@@ -1,0 +1,40 @@
+//! Criterion bench behind Figure 2: how fast the cut-point sweep machinery
+//! profiles split candidates. On the authors' testbed one profile costs an
+//! on-device run; here a full strided two-cut grid of ResNet-50 is the
+//! workload for the rayon-parallel sweep.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use profiler::{sweep_one_cut, sweep_two_cuts};
+use std::hint::black_box;
+
+fn bench_sweeps(c: &mut Criterion) {
+    let dev = DeviceConfig::jetson_nano();
+    let resnet = ModelId::ResNet50.build_calibrated(&dev);
+    let vgg = ModelId::Vgg19.build_calibrated(&dev);
+
+    let mut group = c.benchmark_group("fig2_sweep");
+    group.sample_size(20);
+
+    group.bench_function("one_cut/resnet50", |b| {
+        b.iter(|| black_box(sweep_one_cut(&resnet, &dev, 1)))
+    });
+    group.bench_function("one_cut/vgg19", |b| {
+        b.iter(|| black_box(sweep_one_cut(&vgg, &dev, 1)))
+    });
+    group.bench_function("two_cut_stride4/resnet50", |b| {
+        b.iter(|| black_box(sweep_two_cuts(&resnet, &dev, 4)))
+    });
+    group.bench_function("profile_single_candidate/resnet50", |b| {
+        b.iter_batched(
+            || dnn_graph::SplitSpec::new(&resnet, vec![40, 81]).unwrap(),
+            |spec| black_box(profiler::profile_split(&resnet, &spec, &dev)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweeps);
+criterion_main!(benches);

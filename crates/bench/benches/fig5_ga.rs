@@ -1,0 +1,39 @@
+//! Criterion bench behind Figure 5 / Table 3: the offline genetic
+//! algorithm, including the guided-vs-uniform initialization ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use split_core::{evolve, GaConfig, InitStrategy};
+use std::hint::black_box;
+
+fn bench_ga(c: &mut Criterion) {
+    let dev = DeviceConfig::jetson_nano();
+    let resnet = ModelId::ResNet50.build_calibrated(&dev);
+    let vgg = ModelId::Vgg19.build_calibrated(&dev);
+
+    let mut group = c.benchmark_group("fig5_ga");
+    group.sample_size(10);
+
+    for blocks in [2usize, 3, 4] {
+        group.bench_function(format!("resnet50/{blocks}blocks"), |b| {
+            b.iter(|| black_box(evolve(&resnet, &dev, &GaConfig::new(blocks))))
+        });
+    }
+    group.bench_function("vgg19/3blocks", |b| {
+        b.iter(|| black_box(evolve(&vgg, &dev, &GaConfig::new(3))))
+    });
+    group.bench_function("resnet50/3blocks/uniform_init", |b| {
+        b.iter(|| {
+            black_box(evolve(
+                &resnet,
+                &dev,
+                &GaConfig::new(3).with_init(InitStrategy::Uniform),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ga);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench behind Figures 6–7: serving a full 1000-request
+//! Table 2 scenario with each policy, plus the metric computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceConfig;
+use qos_metrics::{per_model_std, violation_curve};
+use sched::{simulate, Policy};
+use split_repro::experiment::{self, PAPER_MODEL_NAMES};
+use std::hint::black_box;
+use workload::{RequestTrace, Scenario};
+
+fn bench_scenarios(c: &mut Criterion) {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let trace = RequestTrace::generate(Scenario::table2(3), &PAPER_MODEL_NAMES);
+
+    let mut group = c.benchmark_group("fig6_scenario3_1000req");
+    group.sample_size(20);
+    for policy in Policy::all_default() {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| black_box(simulate(&policy, &trace.arrivals, deployment.table())))
+        });
+    }
+    group.finish();
+
+    let outcomes =
+        experiment::scenario_outcomes(&Policy::ClockWork, Scenario::table2(3), &deployment);
+    let mut metrics = c.benchmark_group("metrics");
+    metrics.bench_function("violation_curve_alpha2to20", |b| {
+        b.iter(|| black_box(violation_curve(&outcomes, 2, 20)))
+    });
+    metrics.bench_function("per_model_std", |b| {
+        b.iter(|| black_box(per_model_std(&outcomes)))
+    });
+    metrics.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §2.2's argument, measured: the GA explores a sliver of the candidate
+//! space; exhaustive profiling explodes combinatorially. Uses the real
+//! ResNet-50 at 2 cuts (7,260 candidates — still exhaustible on the
+//! simulator) so the two are directly comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use split_core::{evolve, exhaustive_best, GaConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let dev = DeviceConfig::jetson_nano();
+    let resnet = ModelId::ResNet50.build_calibrated(&dev);
+
+    let mut group = c.benchmark_group("ga_vs_exhaustive");
+    group.sample_size(10);
+
+    group.bench_function("ga/resnet50_3blocks", |b| {
+        b.iter(|| black_box(evolve(&resnet, &dev, &GaConfig::new(3))))
+    });
+    group.bench_function("exhaustive/resnet50_3blocks_7260cand", |b| {
+        b.iter(|| black_box(exhaustive_best(&resnet, &dev, 3, 10_000).unwrap()))
+    });
+    group.bench_function("exhaustive/resnet50_2blocks_121cand", |b| {
+        b.iter(|| black_box(exhaustive_best(&resnet, &dev, 2, 10_000).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 5: genetic-algorithm convergence — the minimum block-time
+//! standard deviation (a) and its splitting overhead (b) per generation,
+//! for ResNet-50 and VGG-19 split into 2/3/4 blocks (the paper's RES-1..3
+//! and VGG-1..3 series).
+
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use split_core::{evolve, GaConfig};
+use split_repro::experiment::OFFLINE_SEED;
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let mut rows = Vec::new();
+    println!("Figure 5: GA convergence (σ and overhead of each generation's best)\n");
+    for id in [ModelId::ResNet50, ModelId::Vgg19] {
+        let g = id.build_calibrated(&dev);
+        let tag = if id == ModelId::ResNet50 {
+            "RES"
+        } else {
+            "VGG"
+        };
+        for blocks in [2usize, 3, 4] {
+            let series = format!("{tag}-{}", blocks - 1);
+            let cfg = GaConfig::new(blocks).with_seed(OFFLINE_SEED ^ blocks as u64);
+            let out = evolve(&g, &dev, &cfg);
+            println!(
+                "{series}: converged in {} generations (paper: nearly all within 12, all by 15)",
+                out.generations_run
+            );
+            print!("  σ(ms):");
+            for s in &out.history {
+                print!(" {:.2}", s.best_std_us / 1e3);
+            }
+            println!();
+            print!("  ovhd%:");
+            for s in &out.history {
+                print!(" {:.1}", 100.0 * s.best_overhead);
+            }
+            println!("\n");
+            for s in &out.history {
+                rows.push(vec![
+                    series.clone(),
+                    s.generation.to_string(),
+                    format!("{:.3}", s.best_std_us / 1e3),
+                    format!("{:.4}", s.best_overhead),
+                    s.candidates_profiled.to_string(),
+                ]);
+            }
+        }
+    }
+    qos_metrics::write_csv(
+        &bench::results_dir().join("fig5.csv"),
+        &[
+            "series",
+            "generation",
+            "best_std_ms",
+            "best_overhead_ratio",
+            "candidates_profiled",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("(CSV written to results/fig5.csv)");
+}

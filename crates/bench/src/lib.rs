@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! # bench — experiment harnesses for every table and figure
+//!
+//! One binary per paper artifact (see DESIGN.md §4 for the index):
+//!
+//! | Artifact | Binary |
+//! |---|---|
+//! | Table 1 (models) | `table1` |
+//! | Table 2 (scenarios) | `table2` |
+//! | Table 3 (optimal splits) | `table3` |
+//! | Figure 2 (cut-point sweeps) | `fig2` |
+//! | Figure 5 (GA convergence) | `fig5` |
+//! | Figure 6 (violation rate vs α) | `fig6` |
+//! | Figure 7 (per-model jitter) | `fig7` |
+//! | Ablations (§DESIGN.md) | `ablations` |
+//!
+//! Each binary prints the paper-shaped table/series and writes CSV to
+//! `results/` for plotting. Criterion micro-benchmarks live in
+//! `benches/`.
+
+use std::path::PathBuf;
+
+/// Directory where harness binaries drop their CSV output (created on
+/// demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Format a ratio as a percent string with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format microseconds as milliseconds with the given precision.
+pub fn ms(us: f64, decimals: usize) -> String {
+    format!("{:.*}", decimals, us / 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(pct(0.154), "15.4%");
+        assert_eq!(ms(28_350.0, 2), "28.35");
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.exists());
+    }
+}

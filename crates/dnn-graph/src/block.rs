@@ -1,0 +1,235 @@
+//! Splitting a model into blocks.
+//!
+//! A [`SplitSpec`] is the paper's "model splitting option": `m-1` cut
+//! positions dividing the linearized operator sequence into `m` blocks
+//! (§3.3). Blocks are contiguous, ordered, and together cover every
+//! operator exactly once — invariants enforced here and property-tested.
+
+use crate::error::GraphError;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A split specification: strictly increasing cut positions in `1..M`.
+///
+/// `cuts = [c1, c2]` over an `M`-operator model yields blocks
+/// `[0..c1)`, `[c1..c2)`, `[c2..M)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SplitSpec {
+    cuts: Vec<usize>,
+}
+
+impl SplitSpec {
+    /// The unsplit model (zero cuts, one block).
+    pub fn unsplit() -> Self {
+        Self { cuts: Vec::new() }
+    }
+
+    /// Build a spec from cut positions, validating against a graph.
+    pub fn new(graph: &Graph, cuts: impl Into<Vec<usize>>) -> Result<Self, GraphError> {
+        let cuts = cuts.into();
+        let m = graph.op_count();
+        for &c in &cuts {
+            if c == 0 || c >= m {
+                return Err(GraphError::CutOutOfRange {
+                    cut: c,
+                    op_count: m,
+                });
+            }
+        }
+        if cuts.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GraphError::CutsNotSorted);
+        }
+        if cuts.len() + 1 > m {
+            return Err(GraphError::TooManyBlocks {
+                blocks: cuts.len() + 1,
+                op_count: m,
+            });
+        }
+        Ok(Self { cuts })
+    }
+
+    /// Build from possibly unsorted/duplicated positions by repairing them:
+    /// sort, dedup, and clamp into range. Used by genetic-algorithm
+    /// operators whose raw offspring may be invalid.
+    pub fn repaired(graph: &Graph, mut cuts: Vec<usize>) -> Self {
+        let m = graph.op_count();
+        for c in cuts.iter_mut() {
+            *c = (*c).clamp(1, m.saturating_sub(1).max(1));
+        }
+        cuts.sort_unstable();
+        cuts.dedup();
+        cuts.truncate(m.saturating_sub(1));
+        Self { cuts }
+    }
+
+    /// The cut positions.
+    #[inline]
+    pub fn cuts(&self) -> &[usize] {
+        &self.cuts
+    }
+
+    /// Number of blocks this spec induces (`cuts + 1`).
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.cuts.len() + 1
+    }
+
+    /// Materialize the blocks for a graph.
+    pub fn blocks(&self, graph: &Graph) -> Vec<Block> {
+        let m = graph.op_count();
+        let mut bounds = Vec::with_capacity(self.cuts.len() + 2);
+        bounds.push(0);
+        bounds.extend_from_slice(&self.cuts);
+        bounds.push(m);
+        bounds
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Block {
+                index: i,
+                start: w[0],
+                end: w[1],
+            })
+            .collect()
+    }
+}
+
+/// One block: the contiguous operator range `[start, end)` of a split model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Block {
+    /// Position of this block within the split (0-based).
+    pub index: usize,
+    /// First operator (inclusive).
+    pub start: usize,
+    /// One past the last operator.
+    pub end: usize,
+}
+
+impl Block {
+    /// Number of operators in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when the block contains no operators (never produced by a valid
+    /// [`SplitSpec`], but present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Total FLOPs of the operators in this block.
+    pub fn flops(&self, graph: &Graph) -> u64 {
+        graph.ops()[self.start..self.end]
+            .iter()
+            .map(|o| o.flops)
+            .sum()
+    }
+
+    /// Bytes entering the block across its leading boundary.
+    pub fn input_transfer_bytes(&self, graph: &Graph) -> u64 {
+        graph.boundary_bytes(self.start)
+    }
+
+    /// Bytes leaving the block across its trailing boundary.
+    pub fn output_transfer_bytes(&self, graph: &Graph) -> u64 {
+        graph.boundary_bytes(self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, Operator};
+    use crate::tensor::TensorShape;
+
+    fn line(n: usize) -> Graph {
+        let mut g = Graph::new("line");
+        let mut prev: Option<usize> = None;
+        for i in 0..n {
+            let ins: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                g.push(
+                    Operator::new(OpKind::Relu, format!("op{i}"), 10, TensorShape::new([8])),
+                    &ins,
+                )
+                .unwrap(),
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn unsplit_is_one_block() {
+        let g = line(5);
+        let s = SplitSpec::unsplit();
+        let blocks = s.blocks(&g);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!((blocks[0].start, blocks[0].end), (0, 5));
+    }
+
+    #[test]
+    fn valid_spec_produces_partition() {
+        let g = line(10);
+        let s = SplitSpec::new(&g, vec![3, 7]).unwrap();
+        let blocks = s.blocks(&g);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!((blocks[0].start, blocks[0].end), (0, 3));
+        assert_eq!((blocks[1].start, blocks[1].end), (3, 7));
+        assert_eq!((blocks[2].start, blocks[2].end), (7, 10));
+        assert_eq!(blocks.iter().map(Block::len).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_unsorted() {
+        let g = line(5);
+        assert!(matches!(
+            SplitSpec::new(&g, vec![0]),
+            Err(GraphError::CutOutOfRange { cut: 0, .. })
+        ));
+        assert!(matches!(
+            SplitSpec::new(&g, vec![5]),
+            Err(GraphError::CutOutOfRange { cut: 5, .. })
+        ));
+        assert_eq!(
+            SplitSpec::new(&g, vec![3, 2]),
+            Err(GraphError::CutsNotSorted)
+        );
+        assert_eq!(
+            SplitSpec::new(&g, vec![2, 2]),
+            Err(GraphError::CutsNotSorted)
+        );
+    }
+
+    #[test]
+    fn repair_sorts_dedups_clamps() {
+        let g = line(6);
+        let s = SplitSpec::repaired(&g, vec![9, 0, 3, 3, 2]);
+        // 9 clamps to 5, 0 clamps to 1.
+        assert_eq!(s.cuts(), &[1, 2, 3, 5]);
+        SplitSpec::new(&g, s.cuts().to_vec()).unwrap();
+    }
+
+    #[test]
+    fn block_flops_partition_total() {
+        let g = line(10);
+        let s = SplitSpec::new(&g, vec![4]).unwrap();
+        let total: u64 = s.blocks(&g).iter().map(|b| b.flops(&g)).sum();
+        assert_eq!(total, g.total_flops());
+    }
+
+    #[test]
+    fn boundary_transfer_consistency() {
+        let g = line(10);
+        let s = SplitSpec::new(&g, vec![4]).unwrap();
+        let blocks = s.blocks(&g);
+        // Trailing transfer of block 0 equals leading transfer of block 1.
+        assert_eq!(
+            blocks[0].output_transfer_bytes(&g),
+            blocks[1].input_transfer_bytes(&g)
+        );
+        // Model input/output boundaries carry nothing.
+        assert_eq!(blocks[0].input_transfer_bytes(&g), 0);
+        assert_eq!(blocks[1].output_transfer_bytes(&g), 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Layer-by-layer graph construction with automatic work accounting.
+//!
+//! [`GraphBuilder`] provides the usual CNN/transformer layer vocabulary and
+//! computes output shapes, FLOP counts (2 FLOPs per multiply-accumulate),
+//! and weight sizes, so model-zoo builders read like architecture
+//! descriptions. Branching (inception modules, residual blocks) works by
+//! holding on to [`Tap`]s.
+
+use crate::graph::{Graph, NodeId};
+use crate::op::{OpKind, Operator};
+use crate::tensor::TensorShape;
+
+/// A handle to an intermediate activation: the producing node (or the model
+/// input when `node` is `None`) plus its shape.
+#[derive(Debug, Clone)]
+pub struct Tap {
+    /// Producing node, `None` for the model input.
+    pub node: Option<NodeId>,
+    /// Activation shape at this point.
+    pub shape: TensorShape,
+}
+
+impl Tap {
+    fn ids(&self) -> Vec<NodeId> {
+        self.node.into_iter().collect()
+    }
+}
+
+/// Incremental builder over a [`Graph`].
+pub struct GraphBuilder {
+    graph: Graph,
+    input: TensorShape,
+    counter: usize,
+}
+
+impl GraphBuilder {
+    /// Start a model with the given name and input shape.
+    pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
+        Self {
+            graph: Graph::new(name),
+            input,
+            counter: 0,
+        }
+    }
+
+    /// The model input tap.
+    pub fn source(&self) -> Tap {
+        Tap {
+            node: None,
+            shape: self.input.clone(),
+        }
+    }
+
+    /// Finish and validate.
+    pub fn finish(self) -> Graph {
+        self.graph
+            .validate()
+            .expect("builder produced invalid graph");
+        self.graph
+    }
+
+    /// Finish without validation (for tests that build deliberately odd
+    /// graphs).
+    pub fn finish_unchecked(self) -> Graph {
+        self.graph
+    }
+
+    /// Current operator count.
+    pub fn op_count(&self) -> usize {
+        self.graph.op_count()
+    }
+
+    fn next_name(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}_{}", self.counter)
+    }
+
+    /// Escape hatch: push a fully-specified operator.
+    pub fn raw(
+        &mut self,
+        kind: OpKind,
+        name: impl Into<String>,
+        flops: u64,
+        out: TensorShape,
+        weight_bytes: u64,
+        inputs: &[&Tap],
+    ) -> Tap {
+        let ids: Vec<NodeId> = inputs.iter().flat_map(|t| t.ids()).collect();
+        let op = Operator::new(kind, name, flops, out.clone()).with_weights(weight_bytes);
+        let id = self
+            .graph
+            .push(op, &ids)
+            .expect("raw op with invalid inputs");
+        Tap {
+            node: Some(id),
+            shape: out,
+        }
+    }
+
+    fn chw(shape: &TensorShape) -> (u64, u64, u64) {
+        assert_eq!(
+            shape.rank(),
+            4,
+            "expected NCHW tensor, got {:?}",
+            shape.dims
+        );
+        (shape.dims[1], shape.dims[2], shape.dims[3])
+    }
+
+    fn pooled_dim(d: u64, k: u64, stride: u64, pad: u64) -> u64 {
+        (d + 2 * pad - k) / stride + 1
+    }
+
+    /// 2-D convolution (`k`×`k`, given stride and padding) with bias.
+    pub fn conv(&mut self, x: &Tap, out_c: u64, k: u64, stride: u64, pad: u64) -> Tap {
+        let (in_c, h, w) = Self::chw(&x.shape);
+        let oh = Self::pooled_dim(h, k, stride, pad);
+        let ow = Self::pooled_dim(w, k, stride, pad);
+        let out = TensorShape::chw(out_c, oh, ow);
+        let macs = out.elements() * in_c * k * k;
+        let weights = (out_c * in_c * k * k + out_c) * 4;
+        let name = self.next_name("conv");
+        self.raw(OpKind::Conv2d, name, 2 * macs, out, weights, &[x])
+    }
+
+    /// Depthwise convolution (`k`×`k`), channel count preserved.
+    pub fn dwconv(&mut self, x: &Tap, k: u64, stride: u64, pad: u64) -> Tap {
+        let (c, h, w) = Self::chw(&x.shape);
+        let oh = Self::pooled_dim(h, k, stride, pad);
+        let ow = Self::pooled_dim(w, k, stride, pad);
+        let out = TensorShape::chw(c, oh, ow);
+        let macs = out.elements() * k * k;
+        let weights = (c * k * k + c) * 4;
+        let name = self.next_name("dwconv");
+        self.raw(OpKind::DepthwiseConv2d, name, 2 * macs, out, weights, &[x])
+    }
+
+    /// Max pooling.
+    pub fn maxpool(&mut self, x: &Tap, k: u64, stride: u64, pad: u64) -> Tap {
+        let (c, h, w) = Self::chw(&x.shape);
+        let out = TensorShape::chw(
+            c,
+            Self::pooled_dim(h, k, stride, pad),
+            Self::pooled_dim(w, k, stride, pad),
+        );
+        let flops = out.elements() * k * k;
+        let name = self.next_name("maxpool");
+        self.raw(OpKind::MaxPool, name, flops, out, 0, &[x])
+    }
+
+    /// Average pooling.
+    pub fn avgpool(&mut self, x: &Tap, k: u64, stride: u64, pad: u64) -> Tap {
+        let (c, h, w) = Self::chw(&x.shape);
+        let out = TensorShape::chw(
+            c,
+            Self::pooled_dim(h, k, stride, pad),
+            Self::pooled_dim(w, k, stride, pad),
+        );
+        let flops = out.elements() * (k * k + 1);
+        let name = self.next_name("avgpool");
+        self.raw(OpKind::AvgPool, name, flops, out, 0, &[x])
+    }
+
+    /// Global average pooling to `[1, C, 1, 1]`.
+    pub fn gavgpool(&mut self, x: &Tap) -> Tap {
+        let (c, h, w) = Self::chw(&x.shape);
+        let out = TensorShape::chw(c, 1, 1);
+        let flops = c * h * w;
+        let name = self.next_name("gavgpool");
+        self.raw(OpKind::GlobalAvgPool, name, flops, out, 0, &[x])
+    }
+
+    /// ReLU (or ReLU6 / leaky — identical accounting).
+    pub fn relu(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let flops = out.elements();
+        let name = self.next_name("relu");
+        self.raw(OpKind::Relu, name, flops, out, 0, &[x])
+    }
+
+    /// Sigmoid / SiLU.
+    pub fn sigmoid(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let flops = 4 * out.elements();
+        let name = self.next_name("sigmoid");
+        self.raw(OpKind::Sigmoid, name, flops, out, 0, &[x])
+    }
+
+    /// GELU.
+    pub fn gelu(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let flops = 8 * out.elements();
+        let name = self.next_name("gelu");
+        self.raw(OpKind::Gelu, name, flops, out, 0, &[x])
+    }
+
+    /// Inference-mode batch norm (scale + shift).
+    pub fn batchnorm(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let c = if out.rank() == 4 {
+            out.dims[1]
+        } else {
+            *out.dims.last().unwrap_or(&1)
+        };
+        let flops = 2 * out.elements();
+        let name = self.next_name("bn");
+        self.raw(OpKind::BatchNorm, name, flops, out, 4 * c * 4, &[x])
+    }
+
+    /// Layer norm.
+    pub fn layernorm(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let h = *out.dims.last().unwrap_or(&1);
+        let flops = 8 * out.elements();
+        let name = self.next_name("ln");
+        self.raw(OpKind::LayerNorm, name, flops, out, 2 * h * 4, &[x])
+    }
+
+    /// Elementwise residual addition. Shapes must match.
+    pub fn add(&mut self, a: &Tap, b: &Tap) -> Tap {
+        assert_eq!(a.shape.elements(), b.shape.elements(), "add shape mismatch");
+        let out = a.shape.clone();
+        let flops = out.elements();
+        let name = self.next_name("add");
+        self.raw(OpKind::Add, name, flops, out, 0, &[a, b])
+    }
+
+    /// Elementwise multiply (squeeze-excite gating; broadcasts allowed).
+    pub fn mul(&mut self, a: &Tap, b: &Tap) -> Tap {
+        let out = if a.shape.elements() >= b.shape.elements() {
+            a.shape.clone()
+        } else {
+            b.shape.clone()
+        };
+        let flops = out.elements();
+        let name = self.next_name("mul");
+        self.raw(OpKind::Mul, name, flops, out, 0, &[a, b])
+    }
+
+    /// Channel concatenation of NCHW taps with equal spatial dims.
+    pub fn concat(&mut self, xs: &[&Tap]) -> Tap {
+        assert!(!xs.is_empty());
+        let (_, h, w) = Self::chw(&xs[0].shape);
+        let c: u64 = xs.iter().map(|t| Self::chw(&t.shape).0).sum();
+        let out = TensorShape::chw(c, h, w);
+        let flops = out.elements(); // pure copy, charged as touched elements
+        let name = self.next_name("concat");
+        self.raw(OpKind::Concat, name, flops, out, 0, &xs.to_vec())
+    }
+
+    /// ShuffleNet channel shuffle.
+    pub fn shuffle(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let flops = out.elements();
+        let name = self.next_name("shuffle");
+        self.raw(OpKind::ChannelShuffle, name, flops, out, 0, &[x])
+    }
+
+    /// Flatten to `[1, N]`.
+    pub fn flatten(&mut self, x: &Tap) -> Tap {
+        let out = TensorShape::new([1, x.shape.elements()]);
+        let name = self.next_name("flatten");
+        self.raw(OpKind::Reshape, name, 0, out, 0, &[x])
+    }
+
+    /// Fully connected layer with bias to `out_features`.
+    pub fn dense(&mut self, x: &Tap, out_features: u64) -> Tap {
+        let in_features = x.shape.elements();
+        let out = TensorShape::new([1, out_features]);
+        let macs = in_features * out_features;
+        let weights = (in_features * out_features + out_features) * 4;
+        let name = self.next_name("dense");
+        self.raw(OpKind::Dense, name, 2 * macs, out, weights, &[x])
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, x: &Tap) -> Tap {
+        let out = x.shape.clone();
+        let flops = 5 * out.elements();
+        let name = self.next_name("softmax");
+        self.raw(OpKind::Softmax, name, flops, out, 0, &[x])
+    }
+
+    /// Nearest-neighbour resize / space-to-depth reorg to an explicit shape.
+    pub fn resize(&mut self, x: &Tap, out: TensorShape) -> Tap {
+        let flops = out.elements();
+        let name = self.next_name("resize");
+        self.raw(OpKind::Resize, name, flops, out, 0, &[x])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes_and_flops() {
+        let mut b = GraphBuilder::new("t", TensorShape::chw(3, 224, 224));
+        let x = b.source();
+        let y = b.conv(&x, 64, 7, 2, 3);
+        assert_eq!(y.shape, TensorShape::chw(64, 112, 112));
+        let g = b.finish();
+        // 2 * out_elems * in_c * k*k
+        let expect = 2 * 64 * 112 * 112 * 3 * 7 * 7;
+        assert_eq!(g.op(0).flops, expect);
+        assert_eq!(g.op(0).weight_bytes, (64 * 3 * 7 * 7 + 64) * 4);
+    }
+
+    #[test]
+    fn residual_block_wires_skip() {
+        let mut b = GraphBuilder::new("res", TensorShape::chw(16, 8, 8));
+        let x = b.source();
+        let c1 = b.conv(&x, 16, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let c2 = b.conv(&r1, 16, 3, 1, 1);
+        let s = b.add(&c2, &c1);
+        let _out = b.relu(&s);
+        let g = b.finish();
+        assert_eq!(g.op_count(), 5);
+        // add (node 3) consumes conv c1 (node 0) and conv c2 (node 2)
+        assert_eq!(g.inputs_of(3), &[2, 0]);
+        // c1 is live across the cut between relu/conv2 (position 2): boundary
+        // must include both c1 and r1 outputs.
+        let c1_bytes = g.op(0).output_bytes();
+        let r1_bytes = g.op(1).output_bytes();
+        assert_eq!(g.boundary_bytes(2), c1_bytes + r1_bytes);
+    }
+
+    #[test]
+    fn concat_sums_channels() {
+        let mut b = GraphBuilder::new("cat", TensorShape::chw(8, 4, 4));
+        let x = b.source();
+        let a = b.conv(&x, 8, 1, 1, 0);
+        let c = b.conv(&x, 24, 1, 1, 0);
+        let y = b.concat(&[&a, &c]);
+        assert_eq!(y.shape, TensorShape::chw(32, 4, 4));
+        b.finish();
+    }
+
+    #[test]
+    fn dense_after_flatten() {
+        let mut b = GraphBuilder::new("fc", TensorShape::chw(512, 7, 7));
+        let x = b.source();
+        let f = b.flatten(&x);
+        let y = b.dense(&f, 1000);
+        assert_eq!(y.shape.elements(), 1000);
+        let g = b.finish();
+        assert_eq!(g.op(1).flops, 2 * 512 * 7 * 7 * 1000);
+    }
+
+    #[test]
+    fn pool_dims() {
+        let mut b = GraphBuilder::new("p", TensorShape::chw(4, 10, 10));
+        let x = b.source();
+        let y = b.maxpool(&x, 2, 2, 0);
+        assert_eq!(y.shape, TensorShape::chw(4, 5, 5));
+        let z = b.avgpool(&y, 3, 1, 1);
+        assert_eq!(z.shape, TensorShape::chw(4, 5, 5));
+        let w = b.gavgpool(&z);
+        assert_eq!(w.shape, TensorShape::chw(4, 1, 1));
+        b.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "add shape mismatch")]
+    fn add_rejects_mismatch() {
+        let mut b = GraphBuilder::new("bad", TensorShape::chw(4, 10, 10));
+        let x = b.source();
+        let a = b.conv(&x, 4, 3, 1, 1);
+        let c = b.conv(&x, 8, 3, 1, 1);
+        b.add(&a, &c);
+    }
+}

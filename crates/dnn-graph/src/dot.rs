@@ -1,0 +1,86 @@
+//! Graphviz DOT export — for eyeballing reconstructed architectures and
+//! visualizing where a split's cut points land.
+
+use crate::block::SplitSpec;
+use crate::graph::Graph;
+use std::fmt::Write as _;
+
+/// Render a graph as DOT. With a [`SplitSpec`], operators are clustered
+/// into their blocks so the cut points are visible.
+pub fn to_dot(graph: &Graph, split: Option<&SplitSpec>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {:?} {{", graph.name);
+    let _ = writeln!(out, "  rankdir=TB; node [shape=box, fontsize=9];");
+
+    match split {
+        Some(spec) => {
+            for block in spec.blocks(graph) {
+                let _ = writeln!(out, "  subgraph cluster_block{} {{", block.index);
+                let _ = writeln!(out, "    label=\"block {}\"; style=rounded;", block.index);
+                for id in block.start..block.end {
+                    let op = graph.op(id);
+                    let _ = writeln!(
+                        out,
+                        "    n{id} [label=\"{}\\n{}\"];",
+                        op.name,
+                        op.kind.name()
+                    );
+                }
+                let _ = writeln!(out, "  }}");
+            }
+        }
+        None => {
+            for (id, op) in graph.ops().iter().enumerate() {
+                let _ = writeln!(out, "  n{id} [label=\"{}\\n{}\"];", op.name, op.kind.name());
+            }
+        }
+    }
+
+    for v in 0..graph.op_count() {
+        for &u in graph.inputs_of(v) {
+            let _ = writeln!(out, "  n{u} -> n{v};");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::tensor::TensorShape;
+
+    fn tiny() -> Graph {
+        let mut b = GraphBuilder::new("tiny", TensorShape::chw(3, 8, 8));
+        let x = b.source();
+        let c = b.conv(&x, 4, 3, 1, 1);
+        let r = b.relu(&c);
+        let c2 = b.conv(&r, 4, 3, 1, 1);
+        let _ = b.add(&c2, &c);
+        b.finish()
+    }
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = tiny();
+        let dot = to_dot(&g, None);
+        for id in 0..g.op_count() {
+            assert!(dot.contains(&format!("n{id} ")), "missing node {id}");
+        }
+        // The residual edge c -> add must be present.
+        assert!(dot.contains("n0 -> n3"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn split_render_clusters_blocks() {
+        let g = tiny();
+        let spec = SplitSpec::new(&g, vec![2]).unwrap();
+        let dot = to_dot(&g, Some(&spec));
+        assert!(dot.contains("cluster_block0"));
+        assert!(dot.contains("cluster_block1"));
+        assert!(dot.contains("label=\"block 1\""));
+    }
+}

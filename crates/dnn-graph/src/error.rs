@@ -1,0 +1,99 @@
+//! Error types for graph construction and splitting.
+
+use std::fmt;
+
+/// Errors raised while building, validating, or splitting a model graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node id that does not exist.
+    UnknownNode(usize),
+    /// The graph contains a cycle (models must be DAGs, paper §2.2).
+    Cycle,
+    /// The graph has no operators.
+    Empty,
+    /// A node other than the designated output has no consumers.
+    DanglingOutput(usize),
+    /// A cut index is outside the valid range `1..op_count`.
+    CutOutOfRange {
+        /// The offending cut position.
+        cut: usize,
+        /// The model's operator count.
+        op_count: usize,
+    },
+    /// Cut indices must be strictly increasing.
+    CutsNotSorted,
+    /// The requested number of blocks exceeds the operator count.
+    TooManyBlocks {
+        /// Requested block count.
+        blocks: usize,
+        /// The model's operator count.
+        op_count: usize,
+    },
+    /// An edge points backwards in the linear order (internal invariant).
+    NonTopological {
+        /// Producer node id.
+        from: usize,
+        /// Consumer node id.
+        to: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(id) => write!(f, "edge references unknown node {id}"),
+            GraphError::Cycle => write!(f, "graph contains a cycle; models must be DAGs"),
+            GraphError::Empty => write!(f, "graph has no operators"),
+            GraphError::DanglingOutput(id) => {
+                write!(f, "node {id} has no consumers but is not the graph output")
+            }
+            GraphError::CutOutOfRange { cut, op_count } => {
+                write!(f, "cut {cut} out of range 1..{op_count}")
+            }
+            GraphError::CutsNotSorted => write!(f, "cut indices must be strictly increasing"),
+            GraphError::TooManyBlocks { blocks, op_count } => {
+                write!(f, "cannot split {op_count} operators into {blocks} blocks")
+            }
+            GraphError::NonTopological { from, to } => {
+                write!(f, "edge {from}->{to} violates topological order")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            GraphError::UnknownNode(3).to_string(),
+            GraphError::Cycle.to_string(),
+            GraphError::Empty.to_string(),
+            GraphError::CutOutOfRange {
+                cut: 9,
+                op_count: 4,
+            }
+            .to_string(),
+            GraphError::CutsNotSorted.to_string(),
+            GraphError::TooManyBlocks {
+                blocks: 10,
+                op_count: 2,
+            }
+            .to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(GraphError::UnknownNode(3).to_string().contains('3'));
+        assert!(GraphError::CutOutOfRange {
+            cut: 9,
+            op_count: 4
+        }
+        .to_string()
+        .contains('9'));
+    }
+}

@@ -1,0 +1,302 @@
+//! The model graph: a DAG of operators stored in topological order.
+//!
+//! SPLIT linearizes a model into its topological operator sequence and cuts
+//! it between positions. A *cut at position `c`* separates operators
+//! `0..c` from `c..M`. Because models are DAGs (not chains), a tensor
+//! produced before the cut may be consumed after it — e.g. a ResNet skip
+//! connection — and every such live tensor must be transferred across the
+//! block boundary. [`Graph::boundary_bytes`] accounts for exactly that, and
+//! is what makes early cuts expensive (paper Figure 2a).
+
+use crate::error::GraphError;
+use crate::op::Operator;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`Graph`]. Node ids are dense and assigned in
+/// insertion order, which the builder guarantees to be topological.
+pub type NodeId = usize;
+
+/// A deep-learning model graph.
+///
+/// Invariants (checked by [`Graph::validate`]):
+/// * node ids are topologically ordered: every edge satisfies `from < to`;
+/// * the graph is non-empty;
+/// * exactly the last node may have no consumers (it is the model output).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    /// Model name, e.g. `"resnet50"`.
+    pub name: String,
+    ops: Vec<Operator>,
+    /// `inputs[v]` = producers feeding node `v`.
+    inputs: Vec<Vec<NodeId>>,
+    /// `last_consumer[u]` = largest node id consuming `u`'s output
+    /// (`u` itself if it has no consumers).
+    last_consumer: Vec<NodeId>,
+    /// Calibration multiplier applied to operator execution times by the
+    /// timing model (not to boundary transfers). Lets a synthetic
+    /// architecture match a measured end-to-end latency (paper Table 1)
+    /// without changing its shape accounting. Defaults to 1.
+    #[serde(default = "default_time_scale")]
+    time_scale: f64,
+}
+
+fn default_time_scale() -> f64 {
+    1.0
+}
+
+impl Graph {
+    /// Create an empty graph. Use [`crate::builder::GraphBuilder`] for
+    /// ergonomic construction.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+            inputs: Vec::new(),
+            last_consumer: Vec::new(),
+            time_scale: 1.0,
+        }
+    }
+
+    /// The calibration multiplier for operator times (default 1).
+    #[inline]
+    pub fn time_scale(&self) -> f64 {
+        self.time_scale
+    }
+
+    /// Set the calibration multiplier (must be positive).
+    pub fn set_time_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "time scale must be positive, got {scale}"
+        );
+        self.time_scale = scale;
+    }
+
+    /// Append an operator whose inputs are the given earlier nodes.
+    ///
+    /// Returns the new node's id. Fails if any input id is not an existing
+    /// earlier node (which would break topological order).
+    pub fn push(&mut self, op: Operator, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        let id = self.ops.len();
+        for &u in inputs {
+            if u >= id {
+                return Err(GraphError::UnknownNode(u));
+            }
+        }
+        self.ops.push(op);
+        self.inputs.push(inputs.to_vec());
+        self.last_consumer.push(id);
+        for &u in inputs {
+            self.last_consumer[u] = self.last_consumer[u].max(id);
+        }
+        Ok(id)
+    }
+
+    /// Number of operators.
+    #[inline]
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operators in topological order.
+    #[inline]
+    pub fn ops(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// One operator by id.
+    #[inline]
+    pub fn op(&self, id: NodeId) -> &Operator {
+        &self.ops[id]
+    }
+
+    /// Producers feeding node `v`.
+    #[inline]
+    pub fn inputs_of(&self, v: NodeId) -> &[NodeId] {
+        &self.inputs[v]
+    }
+
+    /// Largest node id that consumes `u`'s output.
+    #[inline]
+    pub fn last_consumer(&self, u: NodeId) -> NodeId {
+        self.last_consumer[u]
+    }
+
+    /// Total FLOPs across all operators.
+    pub fn total_flops(&self) -> u64 {
+        self.ops.iter().map(|o| o.flops).sum()
+    }
+
+    /// Total parameter bytes across all operators.
+    pub fn total_weight_bytes(&self) -> u64 {
+        self.ops.iter().map(|o| o.weight_bytes).sum()
+    }
+
+    /// Check the structural invariants.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.ops.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        for (v, ins) in self.inputs.iter().enumerate() {
+            for &u in ins {
+                if u >= self.ops.len() {
+                    return Err(GraphError::UnknownNode(u));
+                }
+                if u >= v {
+                    return Err(GraphError::NonTopological { from: u, to: v });
+                }
+            }
+        }
+        // Every node except the final output must feed someone.
+        let last = self.ops.len() - 1;
+        for u in 0..last {
+            if self.last_consumer[u] == u {
+                return Err(GraphError::DanglingOutput(u));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes that must cross a cut placed at position `c` (between operators
+    /// `c-1` and `c`): the sum of output sizes of all tensors produced
+    /// before the cut and still consumed at or after it. Each tensor is
+    /// counted once regardless of how many post-cut consumers it has.
+    ///
+    /// `c` must be in `1..op_count`; `boundary_bytes(0)` and
+    /// `boundary_bytes(op_count)` are defined as the model input/output
+    /// handled outside splitting and return 0.
+    pub fn boundary_bytes(&self, c: usize) -> u64 {
+        if c == 0 || c >= self.ops.len() {
+            return 0;
+        }
+        self.ops
+            .iter()
+            .enumerate()
+            .take(c)
+            .filter(|&(u, _)| self.last_consumer[u] >= c)
+            .map(|(_, op)| op.output_bytes())
+            .sum()
+    }
+
+    /// All boundary transfer volumes at once: `result[c]` =
+    /// [`Graph::boundary_bytes`]`(c)` for `c in 0..=op_count`. Computed in
+    /// `O(M)` with a difference array; used by the Figure 2 sweep where every
+    /// cut position is queried.
+    pub fn all_boundary_bytes(&self) -> Vec<u64> {
+        let m = self.ops.len();
+        let mut diff = vec![0i128; m + 2];
+        for (u, op) in self.ops.iter().enumerate() {
+            let last = self.last_consumer[u];
+            if last > u {
+                // Tensor u is live across cuts c in (u, last].
+                diff[u + 1] += op.output_bytes() as i128;
+                diff[last + 1] -= op.output_bytes() as i128;
+            }
+        }
+        let mut out = vec![0u64; m + 1];
+        let mut acc: i128 = 0;
+        for (c, slot) in out.iter_mut().enumerate() {
+            acc += diff[c];
+            *slot = if c == 0 || c == m { 0 } else { acc as u64 };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, Operator};
+    use crate::tensor::TensorShape;
+
+    fn op(bytes_elems: u64) -> Operator {
+        Operator::new(OpKind::Conv2d, "op", 1000, TensorShape::new([bytes_elems]))
+    }
+
+    /// chain: 0 -> 1 -> 2 -> 3
+    fn chain() -> Graph {
+        let mut g = Graph::new("chain");
+        let a = g.push(op(10), &[]).unwrap();
+        let b = g.push(op(20), &[a]).unwrap();
+        let c = g.push(op(30), &[b]).unwrap();
+        g.push(op(40), &[c]).unwrap();
+        g
+    }
+
+    /// diamond with a skip: 0 -> 1 -> 2 -> 3(add of 1 and 2) -> 4
+    fn skip() -> Graph {
+        let mut g = Graph::new("skip");
+        let a = g.push(op(10), &[]).unwrap();
+        let b = g.push(op(20), &[a]).unwrap();
+        let c = g.push(op(30), &[b]).unwrap();
+        let d = g.push(op(40), &[b, c]).unwrap();
+        g.push(op(50), &[d]).unwrap();
+        g
+    }
+
+    #[test]
+    fn push_rejects_forward_reference() {
+        let mut g = Graph::new("bad");
+        assert_eq!(g.push(op(1), &[0]), Err(GraphError::UnknownNode(0)));
+    }
+
+    #[test]
+    fn validate_accepts_chain_and_skip() {
+        chain().validate().unwrap();
+        skip().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(Graph::new("e").validate(), Err(GraphError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_dangling() {
+        let mut g = Graph::new("d");
+        let a = g.push(op(1), &[]).unwrap();
+        let _orphan = g.push(op(2), &[a]).unwrap();
+        let _also_from_a = g.push(op(3), &[a]).unwrap();
+        // node 1 has no consumers and is not the output
+        assert_eq!(g.validate(), Err(GraphError::DanglingOutput(1)));
+    }
+
+    #[test]
+    fn chain_boundary_is_single_edge() {
+        let g = chain();
+        // Cut between op c-1 and c carries exactly op c-1's output (fp32).
+        assert_eq!(g.boundary_bytes(1), 10 * 4);
+        assert_eq!(g.boundary_bytes(2), 20 * 4);
+        assert_eq!(g.boundary_bytes(3), 30 * 4);
+        assert_eq!(g.boundary_bytes(0), 0);
+        assert_eq!(g.boundary_bytes(4), 0);
+    }
+
+    #[test]
+    fn skip_connection_inflates_boundary() {
+        let g = skip();
+        // Cut at position 3 crosses both op1's output (consumed by op3) and
+        // op2's output.
+        assert_eq!(g.boundary_bytes(3), (20 + 30) * 4);
+        // Cut at position 2 only carries op1's output (op0's last consumer is op1).
+        assert_eq!(g.boundary_bytes(2), 20 * 4);
+    }
+
+    #[test]
+    fn all_boundary_bytes_matches_pointwise() {
+        for g in [chain(), skip()] {
+            let all = g.all_boundary_bytes();
+            assert_eq!(all.len(), g.op_count() + 1);
+            for (c, &v) in all.iter().enumerate() {
+                assert_eq!(v, g.boundary_bytes(c), "cut {c} of {}", g.name);
+            }
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let g = chain();
+        assert_eq!(g.total_flops(), 4000);
+        assert_eq!(g.total_weight_bytes(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # dnn-graph — operator-graph intermediate representation
+//!
+//! Substrate crate for the SPLIT reproduction. A deep-learning model is a
+//! directed acyclic graph (DAG) of operators; SPLIT splits models into
+//! *blocks* — contiguous ranges of the topologically-linearized operator
+//! sequence — at operator boundaries (paper §2.2).
+//!
+//! This crate provides:
+//!
+//! * [`tensor`] — tensor shapes, dtypes, and byte accounting,
+//! * [`op`] — operator kinds and per-operator work accounting (FLOPs,
+//!   activation bytes, weight bytes),
+//! * [`graph`] — the DAG itself with validation and topological
+//!   linearization,
+//! * [`block`] — split specifications ([`block::SplitSpec`]) and the blocks
+//!   they induce, including the inter-block *boundary transfer volume* that
+//!   drives the paper's splitting-overhead observation (Figure 2a),
+//! * [`builder`] — an ergonomic layer-by-layer graph builder used by the
+//!   `model-zoo` crate.
+//!
+//! The crate is deliberately free of any timing model: execution time is the
+//! business of the `gpu-sim` crate, which consumes the FLOP/byte accounting
+//! recorded here.
+
+pub mod block;
+pub mod builder;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod op;
+pub mod stats;
+pub mod tensor;
+
+pub use block::{Block, SplitSpec};
+pub use builder::{GraphBuilder, Tap};
+pub use dot::to_dot;
+pub use error::GraphError;
+pub use graph::{Graph, NodeId};
+pub use op::{OpKind, Operator};
+pub use stats::{count_kind, graph_stats, GraphStats};
+pub use tensor::{DType, TensorShape};

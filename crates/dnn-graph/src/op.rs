@@ -1,0 +1,170 @@
+//! Operators and their work accounting.
+//!
+//! An [`Operator`] records everything a timing model needs: the operator
+//! kind, its FLOP count, the bytes of activation it produces, and the bytes
+//! of weights it reads. FLOP counts follow the standard conventions used by
+//! profilers (one multiply-accumulate = 2 FLOPs).
+
+use crate::tensor::TensorShape;
+use serde::{Deserialize, Serialize};
+
+/// The kind of an operator, mirroring the ONNX operator set used by the
+/// paper's model zoo (conv, relu, pooling, gemm, attention pieces, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// 2-D convolution (includes pointwise 1x1).
+    Conv2d,
+    /// Depthwise 2-D convolution (MobileNet/ShuffleNet/EfficientNet style).
+    DepthwiseConv2d,
+    /// Max pooling.
+    MaxPool,
+    /// Average pooling.
+    AvgPool,
+    /// Global average pooling.
+    GlobalAvgPool,
+    /// Rectified linear unit (also used for ReLU6, LeakyReLU variants).
+    Relu,
+    /// Sigmoid / SiLU / swish style activations.
+    Sigmoid,
+    /// GELU activation (transformers).
+    Gelu,
+    /// Batch normalization (inference mode: scale+shift).
+    BatchNorm,
+    /// Layer normalization.
+    LayerNorm,
+    /// Elementwise addition (residual connections).
+    Add,
+    /// Elementwise multiplication (squeeze-excite gates).
+    Mul,
+    /// Channel concatenation (inception / dense blocks / YOLO passthrough).
+    Concat,
+    /// Channel shuffle (ShuffleNet).
+    ChannelShuffle,
+    /// Fully-connected layer / GEMM.
+    Dense,
+    /// General matrix multiply (attention score/value products).
+    MatMul,
+    /// Softmax.
+    Softmax,
+    /// Token + position embedding lookup.
+    Embedding,
+    /// Shape-only ops: reshape, flatten, transpose, squeeze.
+    Reshape,
+    /// Nearest-neighbour upsampling / space-to-depth (YOLO reorg).
+    Resize,
+    /// Dropout is identity at inference but appears in graphs.
+    Identity,
+}
+
+impl OpKind {
+    /// Human-readable lowercase name (matches ONNX-style naming loosely).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Conv2d => "conv2d",
+            OpKind::DepthwiseConv2d => "dwconv2d",
+            OpKind::MaxPool => "maxpool",
+            OpKind::AvgPool => "avgpool",
+            OpKind::GlobalAvgPool => "gavgpool",
+            OpKind::Relu => "relu",
+            OpKind::Sigmoid => "sigmoid",
+            OpKind::Gelu => "gelu",
+            OpKind::BatchNorm => "batchnorm",
+            OpKind::LayerNorm => "layernorm",
+            OpKind::Add => "add",
+            OpKind::Mul => "mul",
+            OpKind::Concat => "concat",
+            OpKind::ChannelShuffle => "shuffle",
+            OpKind::Dense => "dense",
+            OpKind::MatMul => "matmul",
+            OpKind::Softmax => "softmax",
+            OpKind::Embedding => "embedding",
+            OpKind::Reshape => "reshape",
+            OpKind::Resize => "resize",
+            OpKind::Identity => "identity",
+        }
+    }
+
+    /// Whether the operator does meaningful arithmetic (vs. pure data
+    /// movement). Used by tests and by the kernel-cost model's floor.
+    pub fn is_compute(self) -> bool {
+        !matches!(self, OpKind::Reshape | OpKind::Identity)
+    }
+}
+
+/// One operator (node) in a model graph.
+///
+/// All work accounting is precomputed by the model builders so that timing
+/// queries are pure arithmetic — no shape inference happens at scheduling
+/// time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operator {
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Layer name, e.g. `"conv2_3/dw"`.
+    pub name: String,
+    /// Floating-point operations performed (2 × MACs for conv/gemm).
+    pub flops: u64,
+    /// Shape (and hence bytes) of the activation this operator produces.
+    pub output: TensorShape,
+    /// Bytes of weights/parameters this operator reads.
+    pub weight_bytes: u64,
+}
+
+impl Operator {
+    /// Create an operator with explicit accounting.
+    pub fn new(kind: OpKind, name: impl Into<String>, flops: u64, output: TensorShape) -> Self {
+        Self {
+            kind,
+            name: name.into(),
+            flops,
+            output,
+            weight_bytes: 0,
+        }
+    }
+
+    /// Builder-style: attach weight bytes.
+    pub fn with_weights(mut self, weight_bytes: u64) -> Self {
+        self.weight_bytes = weight_bytes;
+        self
+    }
+
+    /// Bytes of activation output.
+    #[inline]
+    pub fn output_bytes(&self) -> u64 {
+        self.output.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable_and_distinct_enough() {
+        assert_eq!(OpKind::Conv2d.name(), "conv2d");
+        assert_eq!(OpKind::DepthwiseConv2d.name(), "dwconv2d");
+        assert_ne!(OpKind::MaxPool.name(), OpKind::AvgPool.name());
+    }
+
+    #[test]
+    fn shape_only_ops_are_not_compute() {
+        assert!(!OpKind::Reshape.is_compute());
+        assert!(!OpKind::Identity.is_compute());
+        assert!(OpKind::Conv2d.is_compute());
+        assert!(OpKind::Softmax.is_compute());
+    }
+
+    #[test]
+    fn operator_accounting_round_trip() {
+        let op = Operator::new(
+            OpKind::Conv2d,
+            "conv1",
+            1_000_000,
+            TensorShape::chw(64, 56, 56),
+        )
+        .with_weights(9408 * 4);
+        assert_eq!(op.output_bytes(), 64 * 56 * 56 * 4);
+        assert_eq!(op.weight_bytes, 9408 * 4);
+        assert_eq!(op.flops, 1_000_000);
+    }
+}

@@ -1,0 +1,141 @@
+//! Graph statistics: the quantities the paper's §2.4 observations are
+//! built on, computed per model.
+//!
+//! * the **activation-volume curve** (output bytes per operator position)
+//!   — its downward slope is why early cuts are expensive;
+//! * the **operator-kind histogram** — what the model spends its nodes on;
+//! * FLOP and parameter distributions along the depth.
+
+use crate::graph::Graph;
+use crate::op::OpKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate statistics of one model graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Model name.
+    pub model: String,
+    /// Operator count.
+    pub op_count: usize,
+    /// Total FLOPs.
+    pub total_flops: u64,
+    /// Total parameter bytes.
+    pub total_weight_bytes: u64,
+    /// Operators per kind (sorted by kind name for stable output).
+    pub kind_histogram: BTreeMap<String, usize>,
+    /// Output bytes per operator position.
+    pub activation_curve: Vec<u64>,
+    /// Largest single activation, bytes.
+    pub peak_activation_bytes: u64,
+    /// Position (fraction of op index) where the cumulative FLOPs reach
+    /// half the total — before 0.5 means a front-heavy model like VGG.
+    pub flops_midpoint_frac: f64,
+}
+
+/// Compute statistics for a graph.
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    let mut kind_histogram: BTreeMap<String, usize> = BTreeMap::new();
+    let mut activation_curve = Vec::with_capacity(graph.op_count());
+    let mut peak = 0u64;
+    for op in graph.ops() {
+        *kind_histogram
+            .entry(op.kind.name().to_string())
+            .or_insert(0) += 1;
+        let bytes = op.output_bytes();
+        activation_curve.push(bytes);
+        peak = peak.max(bytes);
+    }
+
+    let total_flops = graph.total_flops();
+    let mut acc = 0u64;
+    let mut mid_idx = graph.op_count().saturating_sub(1);
+    for (i, op) in graph.ops().iter().enumerate() {
+        acc += op.flops;
+        if acc * 2 >= total_flops {
+            mid_idx = i;
+            break;
+        }
+    }
+
+    GraphStats {
+        model: graph.name.clone(),
+        op_count: graph.op_count(),
+        total_flops,
+        total_weight_bytes: graph.total_weight_bytes(),
+        kind_histogram,
+        activation_curve,
+        peak_activation_bytes: peak,
+        flops_midpoint_frac: if graph.op_count() == 0 {
+            0.0
+        } else {
+            mid_idx as f64 / graph.op_count() as f64
+        },
+    }
+}
+
+/// Count of operators of one kind.
+pub fn count_kind(graph: &Graph, kind: OpKind) -> usize {
+    graph.ops().iter().filter(|o| o.kind == kind).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::tensor::TensorShape;
+
+    fn cnn() -> Graph {
+        let mut b = GraphBuilder::new("stat-cnn", TensorShape::chw(3, 32, 32));
+        let x = b.source();
+        let c1 = b.conv(&x, 16, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let p = b.maxpool(&r1, 2, 2, 0);
+        let c2 = b.conv(&p, 32, 3, 1, 1);
+        let r2 = b.relu(&c2);
+        let g = b.gavgpool(&r2);
+        let f = b.flatten(&g);
+        let _ = b.dense(&f, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn histogram_counts_kinds() {
+        let s = graph_stats(&cnn());
+        assert_eq!(s.kind_histogram["conv2d"], 2);
+        assert_eq!(s.kind_histogram["relu"], 2);
+        assert_eq!(s.kind_histogram["dense"], 1);
+        assert_eq!(s.kind_histogram.values().sum::<usize>(), s.op_count);
+    }
+
+    #[test]
+    fn activation_curve_matches_ops() {
+        let g = cnn();
+        let s = graph_stats(&g);
+        assert_eq!(s.activation_curve.len(), g.op_count());
+        assert_eq!(s.activation_curve[0], g.op(0).output_bytes());
+        assert_eq!(
+            s.peak_activation_bytes,
+            *s.activation_curve.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    fn cnn_activation_shrinks_overall() {
+        let s = graph_stats(&cnn());
+        assert!(s.activation_curve[0] > *s.activation_curve.last().unwrap());
+    }
+
+    #[test]
+    fn midpoint_fraction_in_unit_range() {
+        let s = graph_stats(&cnn());
+        assert!((0.0..=1.0).contains(&s.flops_midpoint_frac));
+    }
+
+    #[test]
+    fn count_kind_works() {
+        let g = cnn();
+        assert_eq!(count_kind(&g, OpKind::Conv2d), 2);
+        assert_eq!(count_kind(&g, OpKind::Softmax), 0);
+    }
+}

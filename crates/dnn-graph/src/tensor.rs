@@ -1,0 +1,154 @@
+//! Tensor shapes and element types.
+//!
+//! The reproduction only needs *byte accounting*: how large the activation
+//! crossing a potential cut point is, and how much data an operator reads and
+//! writes. Shapes are kept symbolic (no buffers are ever allocated).
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a tensor.
+///
+/// Edge inference typically runs fp16 or fp32; the paper's Jetson Nano
+/// deployment uses fp32 ONNX models, which is our default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float (default for ONNX zoo models).
+    F32,
+    /// 16-bit IEEE float.
+    F16,
+    /// 8-bit signed integer (quantized deployments).
+    I8,
+    /// 32-bit signed integer (index tensors, e.g. token ids).
+    I32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_bytes(self) -> u64 {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F16 => 2,
+            DType::I8 => 1,
+        }
+    }
+}
+
+impl Default for DType {
+    fn default() -> Self {
+        DType::F32
+    }
+}
+
+/// A symbolic tensor shape: a list of dimension extents plus a dtype.
+///
+/// Dimension order follows the NCHW convention for images
+/// (`[batch, channels, height, width]`) and `[batch, seq, hidden]` for
+/// sequence models, but nothing in the crate depends on the convention —
+/// only the element count matters.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TensorShape {
+    /// Dimension extents; empty means a scalar.
+    pub dims: Vec<u64>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorShape {
+    /// Create an fp32 tensor shape from dimension extents.
+    pub fn new(dims: impl Into<Vec<u64>>) -> Self {
+        Self {
+            dims: dims.into(),
+            dtype: DType::F32,
+        }
+    }
+
+    /// Create a tensor shape with an explicit dtype.
+    pub fn with_dtype(dims: impl Into<Vec<u64>>, dtype: DType) -> Self {
+        Self {
+            dims: dims.into(),
+            dtype,
+        }
+    }
+
+    /// Convenience constructor for NCHW image tensors with batch 1.
+    pub fn chw(c: u64, h: u64, w: u64) -> Self {
+        Self::new([1, c, h, w])
+    }
+
+    /// Convenience constructor for `[batch=1, seq, hidden]` sequence tensors.
+    pub fn seq(seq: u64, hidden: u64) -> Self {
+        Self::new([1, seq, hidden])
+    }
+
+    /// Total number of elements (product of dims; 1 for a scalar).
+    #[inline]
+    pub fn elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Total size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> u64 {
+        self.elements() * self.dtype.size_bytes()
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+impl Default for TensorShape {
+    fn default() -> Self {
+        Self {
+            dims: vec![],
+            dtype: DType::F32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::I8.size_bytes(), 1);
+        assert_eq!(DType::I32.size_bytes(), 4);
+    }
+
+    #[test]
+    fn scalar_has_one_element() {
+        let s = TensorShape::default();
+        assert_eq!(s.elements(), 1);
+        assert_eq!(s.bytes(), 4);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn chw_accounting() {
+        // A 224x224 RGB image in fp32: 1*3*224*224*4 bytes.
+        let s = TensorShape::chw(3, 224, 224);
+        assert_eq!(s.elements(), 3 * 224 * 224);
+        assert_eq!(s.bytes(), 3 * 224 * 224 * 4);
+    }
+
+    #[test]
+    fn seq_accounting() {
+        let s = TensorShape::seq(64, 768);
+        assert_eq!(s.elements(), 64 * 768);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn dtype_changes_bytes_not_elements() {
+        let f32 = TensorShape::chw(16, 8, 8);
+        let f16 = TensorShape::with_dtype(f32.dims.clone(), DType::F16);
+        assert_eq!(f32.elements(), f16.elements());
+        assert_eq!(f32.bytes(), 2 * f16.bytes());
+    }
+}

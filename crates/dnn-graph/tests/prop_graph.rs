@@ -1,0 +1,129 @@
+//! Property tests for graph/split invariants.
+
+use dnn_graph::{Graph, GraphBuilder, OpKind, Operator, SplitSpec, TensorShape};
+use proptest::prelude::*;
+
+/// Build a random layered DAG: a chain with occasional skip connections,
+/// mimicking residual networks. Always valid.
+fn random_graph(ops: usize, skips: &[(usize, usize)]) -> Graph {
+    let mut g = Graph::new("prop");
+    for i in 0..ops {
+        let mut ins: Vec<usize> = if i == 0 { vec![] } else { vec![i - 1] };
+        for &(from, to) in skips {
+            if to == i && from < i && !ins.contains(&from) {
+                ins.push(from);
+            }
+        }
+        g.push(
+            Operator::new(
+                OpKind::Conv2d,
+                format!("op{i}"),
+                (i as u64 + 1) * 100,
+                TensorShape::new([(ops - i) as u64 * 16]),
+            ),
+            &ins,
+        )
+        .unwrap();
+    }
+    g
+}
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (3usize..60).prop_flat_map(|ops| {
+        proptest::collection::vec((0usize..ops, 0usize..ops), 0..6).prop_map(move |raw| {
+            let skips: Vec<(usize, usize)> = raw.into_iter().filter(|&(a, b)| a + 1 < b).collect();
+            random_graph(ops, &skips)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn validate_accepts_generated(g in graph_strategy()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn all_boundary_bytes_matches_scalar(g in graph_strategy()) {
+        let all = g.all_boundary_bytes();
+        for c in 0..=g.op_count() {
+            prop_assert_eq!(all[c], g.boundary_bytes(c));
+        }
+    }
+
+    #[test]
+    fn boundary_is_zero_only_at_ends_for_chains(ops in 3usize..40) {
+        let g = random_graph(ops, &[]);
+        let all = g.all_boundary_bytes();
+        prop_assert_eq!(all[0], 0);
+        prop_assert_eq!(all[ops], 0);
+        for c in 1..ops {
+            prop_assert!(all[c] > 0);
+        }
+    }
+
+    /// Blocks from any valid SplitSpec exactly partition the operator range.
+    #[test]
+    fn blocks_partition(g in graph_strategy(), raw_cuts in proptest::collection::vec(1usize..1000, 0..8)) {
+        let spec = SplitSpec::repaired(&g, raw_cuts);
+        let blocks = spec.blocks(&g);
+        prop_assert_eq!(blocks.len(), spec.block_count());
+        // Coverage: consecutive, starting at 0, ending at op_count.
+        prop_assert_eq!(blocks[0].start, 0);
+        prop_assert_eq!(blocks.last().unwrap().end, g.op_count());
+        for w in blocks.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // No block empty, flops partition the total.
+        let mut flops = 0u64;
+        for b in &blocks {
+            prop_assert!(!b.is_empty());
+            flops += b.flops(&g);
+        }
+        prop_assert_eq!(flops, g.total_flops());
+    }
+
+    /// Repair is idempotent: repairing an already-valid cut set is identity.
+    #[test]
+    fn repair_idempotent(g in graph_strategy(), raw in proptest::collection::vec(1usize..1000, 0..8)) {
+        let once = SplitSpec::repaired(&g, raw);
+        let twice = SplitSpec::repaired(&g, once.cuts().to_vec());
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Skip connections can only increase a boundary relative to the chain
+    /// version of the same graph.
+    #[test]
+    fn skips_never_shrink_boundaries(
+        (ops, from, to) in (4usize..40).prop_flat_map(|ops| {
+            (0usize..ops - 2).prop_flat_map(move |from| {
+                (from + 2..ops).prop_map(move |to| (ops, from, to))
+            })
+        }),
+    ) {
+        let chain = random_graph(ops, &[]);
+        let skipped = random_graph(ops, &[(from, to)]);
+        let a = chain.all_boundary_bytes();
+        let b = skipped.all_boundary_bytes();
+        for c in 0..=ops {
+            prop_assert!(b[c] >= a[c], "cut {c}: skip {from}->{to} shrank boundary");
+        }
+    }
+}
+
+#[test]
+fn builder_graphs_validate() {
+    // A small inception-ish module exercised end to end.
+    let mut b = GraphBuilder::new("mini-inception", TensorShape::chw(16, 28, 28));
+    let x = b.source();
+    let b1 = b.conv(&x, 8, 1, 1, 0);
+    let b3a = b.conv(&x, 12, 1, 1, 0);
+    let b3b = b.conv(&b3a, 16, 3, 1, 1);
+    let p = b.maxpool(&x, 3, 1, 1);
+    let pp = b.conv(&p, 8, 1, 1, 0);
+    let cat = b.concat(&[&b1, &b3b, &pp]);
+    let _ = b.relu(&cat);
+    let g = b.finish();
+    assert_eq!(g.op_count(), 7);
+    assert!(g.validate().is_ok());
+}

@@ -1,0 +1,72 @@
+//! Serialization round trips: a graph shipped as JSON (the stand-in for
+//! .onnx files in the paper's workflow) must reproduce identical splitting
+//! behaviour.
+
+use dnn_graph::{Graph, GraphBuilder, SplitSpec, TensorShape};
+
+fn residual_cnn() -> Graph {
+    let mut b = GraphBuilder::new("serde-cnn", TensorShape::chw(3, 32, 32));
+    let x = b.source();
+    let c0 = b.conv(&x, 16, 3, 1, 1);
+    let mut t = b.relu(&c0);
+    for _ in 0..3 {
+        let c1 = b.conv(&t, 16, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let c2 = b.conv(&r1, 16, 3, 1, 1);
+        let s = b.add(&c2, &t);
+        t = b.relu(&s);
+    }
+    let g = b.gavgpool(&t);
+    let f = b.flatten(&g);
+    let _ = b.dense(&f, 10);
+    b.finish()
+}
+
+#[test]
+fn graph_json_round_trip_preserves_everything() {
+    let g = residual_cnn();
+    let json = serde_json::to_string(&g).unwrap();
+    let back: Graph = serde_json::from_str(&json).unwrap();
+
+    assert_eq!(back.name, g.name);
+    assert_eq!(back.op_count(), g.op_count());
+    assert_eq!(back.total_flops(), g.total_flops());
+    assert_eq!(back.total_weight_bytes(), g.total_weight_bytes());
+    assert!(back.validate().is_ok());
+    // The quantities splitting depends on survive exactly.
+    assert_eq!(back.all_boundary_bytes(), g.all_boundary_bytes());
+    for v in 0..g.op_count() {
+        assert_eq!(back.inputs_of(v), g.inputs_of(v));
+        assert_eq!(back.op(v), g.op(v));
+        assert_eq!(back.last_consumer(v), g.last_consumer(v));
+    }
+}
+
+#[test]
+fn time_scale_survives_round_trip() {
+    let mut g = residual_cnn();
+    g.set_time_scale(0.37);
+    let back: Graph = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+    assert!((back.time_scale() - 0.37).abs() < 1e-15);
+}
+
+#[test]
+fn legacy_json_without_time_scale_defaults_to_one() {
+    // Graphs serialized before the calibration field existed must load.
+    let g = residual_cnn();
+    let mut value: serde_json::Value =
+        serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
+    value.as_object_mut().unwrap().remove("time_scale");
+    let back: Graph = serde_json::from_value(value).unwrap();
+    assert_eq!(back.time_scale(), 1.0);
+}
+
+#[test]
+fn split_specs_round_trip_with_graph() {
+    let g = residual_cnn();
+    let spec = SplitSpec::new(&g, vec![5, 11]).unwrap();
+    let json = serde_json::to_string(&spec).unwrap();
+    let back: SplitSpec = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, spec);
+    assert_eq!(back.blocks(&g), spec.blocks(&g));
+}

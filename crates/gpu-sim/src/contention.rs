@@ -1,0 +1,101 @@
+//! Multi-stream contention model.
+//!
+//! Running `k` DNN inference streams concurrently on one edge GPU makes
+//! every kernel slower: SMs, cache, and DRAM bandwidth are shared, and edge
+//! parts have little of each. We model this with the standard linear
+//! interference law: each of `k` resident streams runs at
+//! `1 / (1 + c·(k-1))` of its isolated speed.
+//!
+//! The Runtime-Aware baseline (paper ref.\[34\], §5.3) *aligns* operators with
+//! complementary resource demands, lowering the coefficient `c` — but
+//! alignment forces late arrivals to wait for the next alignment barrier,
+//! which is exactly the latency pathology SPLIT attacks (paper Figure 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Interference law for concurrent streams.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContentionModel {
+    /// Linear interference coefficient (`c` above).
+    pub coef: f64,
+}
+
+impl ContentionModel {
+    /// Model with the given coefficient.
+    pub fn new(coef: f64) -> Self {
+        assert!(coef >= 0.0, "contention coefficient must be non-negative");
+        Self { coef }
+    }
+
+    /// Slowdown factor experienced by each of `k` concurrent streams
+    /// (`>= 1`; `1.0` for `k <= 1`).
+    #[inline]
+    pub fn slowdown(&self, k: usize) -> f64 {
+        if k <= 1 {
+            1.0
+        } else {
+            1.0 + self.coef * (k as f64 - 1.0)
+        }
+    }
+
+    /// Rate of progress (inverse slowdown) for each of `k` streams.
+    #[inline]
+    pub fn rate(&self, k: usize) -> f64 {
+        1.0 / self.slowdown(k)
+    }
+
+    /// Aggregate device throughput with `k` streams, in units of isolated
+    /// streams (`k · rate(k)`). With `coef < 1` this exceeds 1 — concurrency
+    /// helps global throughput even as it hurts each stream, which is why
+    /// throughput-oriented systems love it and QoS-oriented ones do not.
+    #[inline]
+    pub fn aggregate_throughput(&self, k: usize) -> f64 {
+        k as f64 * self.rate(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_is_free() {
+        let m = ContentionModel::new(0.8);
+        assert_eq!(m.slowdown(0), 1.0);
+        assert_eq!(m.slowdown(1), 1.0);
+        assert_eq!(m.rate(1), 1.0);
+    }
+
+    #[test]
+    fn slowdown_monotone_in_k() {
+        let m = ContentionModel::new(0.8);
+        for k in 1..10 {
+            assert!(m.slowdown(k + 1) > m.slowdown(k));
+        }
+    }
+
+    #[test]
+    fn alignment_reduces_interference() {
+        let raw = ContentionModel::new(0.85);
+        let aligned = ContentionModel::new(0.35);
+        for k in 2..8 {
+            assert!(aligned.slowdown(k) < raw.slowdown(k));
+        }
+    }
+
+    #[test]
+    fn throughput_grows_but_sublinearly() {
+        let m = ContentionModel::new(0.85);
+        for k in 2..8 {
+            let agg = m.aggregate_throughput(k);
+            assert!(agg > 1.0, "k={k}: {agg}");
+            assert!(agg < k as f64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_coef_rejected() {
+        ContentionModel::new(-0.1);
+    }
+}

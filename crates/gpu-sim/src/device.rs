@@ -1,0 +1,124 @@
+//! Device configuration: the knobs of the simulated edge accelerator.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated shared GPU.
+///
+/// The default, [`DeviceConfig::jetson_nano`], is loosely calibrated to the
+/// paper's testbed (NVIDIA Jetson Nano, fp32 via ONNX Runtime): ~236 GFLOPS
+/// fp32 peak, 25.6 GB/s LPDDR4, high kernel-launch latency, and expensive
+/// block-boundary transfers because a split ONNX model serializes the
+/// intermediate tensor between runtime sessions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Peak arithmetic throughput in GFLOP/s.
+    pub peak_gflops: f64,
+    /// Memory bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// Fixed kernel-launch overhead per operator, microseconds.
+    pub launch_overhead_us: f64,
+    /// Effective bandwidth for moving an intermediate tensor out of and back
+    /// into the runtime at a block boundary, GB/s (covers device→host plus
+    /// host→device plus serialization; Jetson unified memory still pays the
+    /// runtime-session copy).
+    pub boundary_bw_gbps: f64,
+    /// Fixed cost per block invocation, microseconds (runtime session
+    /// dispatch, input binding).
+    pub block_overhead_us: f64,
+    /// Contention coefficient: `k` concurrent streams each run at
+    /// `1/(1 + coef*(k-1))` of isolated speed.
+    pub contention_coef: f64,
+    /// Contention coefficient when operators are resource-aligned (the RT-A
+    /// trick): alignment reduces, but does not eliminate, interference.
+    pub aligned_contention_coef: f64,
+}
+
+impl DeviceConfig {
+    /// The paper's testbed: NVIDIA Jetson Nano (fp32).
+    pub fn jetson_nano() -> Self {
+        Self {
+            peak_gflops: 236.0,
+            mem_bw_gbps: 25.6,
+            launch_overhead_us: 9.0,
+            boundary_bw_gbps: 1.0,
+            block_overhead_us: 600.0,
+            contention_coef: 0.85,
+            aligned_contention_coef: 0.35,
+        }
+    }
+
+    /// A comfortably faster edge box (used by ablation benches to show the
+    /// conclusions are not an artifact of one device point).
+    pub fn edge_server() -> Self {
+        Self {
+            peak_gflops: 4000.0,
+            mem_bw_gbps: 320.0,
+            launch_overhead_us: 4.0,
+            boundary_bw_gbps: 12.0,
+            block_overhead_us: 90.0,
+            contention_coef: 0.55,
+            aligned_contention_coef: 0.2,
+        }
+    }
+
+    /// Arithmetic efficiency (fraction of peak) achieved by an operator
+    /// kind. Depthwise convolutions and elementwise kernels are famously
+    /// far from peak on edge GPUs.
+    pub fn efficiency(&self, kind: dnn_graph::OpKind) -> f64 {
+        use dnn_graph::OpKind::*;
+        match kind {
+            Conv2d => 0.55,
+            Dense | MatMul => 0.60,
+            DepthwiseConv2d => 0.18,
+            MaxPool | AvgPool | GlobalAvgPool => 0.25,
+            BatchNorm | LayerNorm | Softmax | Relu | Sigmoid | Gelu | Add | Mul => 0.30,
+            Concat | ChannelShuffle | Resize | Embedding => 0.25,
+            Reshape | Identity => 1.0,
+        }
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::jetson_nano()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::OpKind;
+
+    #[test]
+    fn presets_are_sane() {
+        for dev in [DeviceConfig::jetson_nano(), DeviceConfig::edge_server()] {
+            assert!(dev.peak_gflops > 0.0);
+            assert!(dev.mem_bw_gbps > 0.0);
+            assert!(dev.boundary_bw_gbps > 0.0);
+            assert!(dev.launch_overhead_us >= 0.0);
+            assert!(dev.contention_coef > dev.aligned_contention_coef);
+        }
+    }
+
+    #[test]
+    fn efficiency_in_unit_interval() {
+        let dev = DeviceConfig::default();
+        for kind in [
+            OpKind::Conv2d,
+            OpKind::DepthwiseConv2d,
+            OpKind::Dense,
+            OpKind::Relu,
+            OpKind::Reshape,
+            OpKind::Softmax,
+        ] {
+            let e = dev.efficiency(kind);
+            assert!(e > 0.0 && e <= 1.0);
+        }
+    }
+
+    #[test]
+    fn dense_beats_depthwise_efficiency() {
+        let dev = DeviceConfig::default();
+        assert!(dev.efficiency(OpKind::Dense) > dev.efficiency(OpKind::DepthwiseConv2d));
+    }
+}

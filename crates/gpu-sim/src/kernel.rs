@@ -1,0 +1,175 @@
+//! Roofline kernel cost model and block timing.
+//!
+//! An operator's isolated execution time is
+//! `launch + max(flops / (peak·eff), bytes_touched / mem_bw)` — the classic
+//! roofline: compute-bound kernels pay for arithmetic, bandwidth-bound
+//! kernels for traffic. `bytes_touched` counts the operator's inputs
+//! (producer outputs), its own output, and its weights.
+//!
+//! Block timing adds the split costs: each block pays a fixed session
+//! dispatch overhead, the first block of a boundary pays the device→host
+//! half of the intermediate-tensor move and the next block the host→device
+//! half (see [`crate::transfer`]).
+
+use crate::device::DeviceConfig;
+use crate::transfer::half_boundary_us;
+use dnn_graph::{Graph, SplitSpec};
+
+/// Isolated execution time of operator `id` of `graph`, in microseconds.
+pub fn op_time_us(graph: &Graph, id: usize, dev: &DeviceConfig) -> f64 {
+    let op = graph.op(id);
+    if !op.kind.is_compute() {
+        // Shape-only ops are free on device (metadata updates).
+        return 0.0;
+    }
+    let compute_us = op.flops as f64 / (dev.peak_gflops * dev.efficiency(op.kind) * 1e3);
+    let input_bytes: u64 = if graph.inputs_of(id).is_empty() {
+        // The model input tensor: approximate with the op's own output size
+        // (first layers are dominated by their own traffic anyway).
+        op.output_bytes()
+    } else {
+        graph
+            .inputs_of(id)
+            .iter()
+            .map(|&u| graph.op(u).output_bytes())
+            .sum()
+    };
+    let bytes = input_bytes + op.output_bytes() + op.weight_bytes;
+    let mem_us = bytes as f64 / (dev.mem_bw_gbps * 1e3);
+    graph.time_scale() * (dev.launch_overhead_us + compute_us.max(mem_us))
+}
+
+/// Isolated execution times of every operator, in topological order.
+pub fn op_times_us(graph: &Graph, dev: &DeviceConfig) -> Vec<f64> {
+    (0..graph.op_count())
+        .map(|i| op_time_us(graph, i, dev))
+        .collect()
+}
+
+/// Execution time of the *unsplit* model: sum of operator times plus one
+/// block dispatch overhead.
+pub fn block_time_us(graph: &Graph, dev: &DeviceConfig) -> f64 {
+    op_times_us(graph, dev).iter().sum::<f64>() + dev.block_overhead_us
+}
+
+/// Execution times of each block under a split, in microseconds.
+///
+/// `result[j]` covers: the h2d half of block `j`'s leading boundary, the
+/// block's operators, the d2h half of its trailing boundary, and the fixed
+/// per-block dispatch overhead. Summing the vector therefore yields the
+/// end-to-end time of running the split model back to back, and
+/// `sum(result) - block_time_us(unsplit)` is the paper's *splitting
+/// overhead* (§2.4, footnote 2 — expressed there as a ratio).
+pub fn split_block_times_us(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> Vec<f64> {
+    let ops = op_times_us(graph, dev);
+    let mut prefix = Vec::with_capacity(ops.len() + 1);
+    prefix.push(0.0);
+    for t in &ops {
+        prefix.push(prefix.last().unwrap() + t);
+    }
+    spec.blocks(graph)
+        .iter()
+        .map(|b| {
+            let body = prefix[b.end] - prefix[b.start];
+            let lead = half_boundary_us(b.input_transfer_bytes(graph), dev);
+            let trail = half_boundary_us(b.output_transfer_bytes(graph), dev);
+            dev.block_overhead_us + lead + body + trail
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn toy() -> Graph {
+        let mut b = GraphBuilder::new("toy", TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let c1 = b.conv(&x, 32, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let p = b.maxpool(&r1, 2, 2, 0);
+        let c2 = b.conv(&p, 64, 3, 1, 1);
+        let r2 = b.relu(&c2);
+        let g = b.gavgpool(&r2);
+        let f = b.flatten(&g);
+        let _ = b.dense(&f, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn op_times_positive_for_compute() {
+        let g = toy();
+        let dev = DeviceConfig::default();
+        let times = op_times_us(&g, &dev);
+        assert_eq!(times.len(), g.op_count());
+        for (i, t) in times.iter().enumerate() {
+            if g.op(i).kind.is_compute() {
+                assert!(*t >= dev.launch_overhead_us, "op {i} too fast: {t}");
+            } else {
+                assert_eq!(*t, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn conv_slower_than_relu() {
+        let g = toy();
+        let dev = DeviceConfig::default();
+        let times = op_times_us(&g, &dev);
+        // op0 = big conv, op1 = relu on same tensor
+        assert!(times[0] > times[1]);
+    }
+
+    #[test]
+    fn split_times_sum_exceeds_unsplit() {
+        let g = toy();
+        let dev = DeviceConfig::default();
+        let unsplit = block_time_us(&g, &dev);
+        let spec = SplitSpec::new(&g, vec![3]).unwrap();
+        let blocks = split_block_times_us(&g, &spec, &dev);
+        assert_eq!(blocks.len(), 2);
+        let total: f64 = blocks.iter().sum();
+        assert!(
+            total > unsplit,
+            "splitting must cost extra: split {total} vs unsplit {unsplit}"
+        );
+        // The extra cost is exactly one more block overhead plus the
+        // boundary transfer.
+        let transfer = 2.0 * half_boundary_us(g.boundary_bytes(3), &dev);
+        let expect = unsplit + dev.block_overhead_us + transfer;
+        assert!((total - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn earlier_cut_costs_more_in_cnn() {
+        // CNN activations shrink with depth, so an early boundary moves more
+        // data — the paper's Figure 2(a) observation.
+        let g = toy();
+        let dev = DeviceConfig::default();
+        let early = SplitSpec::new(&g, vec![1]).unwrap();
+        let late = SplitSpec::new(&g, vec![5]).unwrap();
+        let sum = |s: &SplitSpec| split_block_times_us(&g, s, &dev).iter().sum::<f64>();
+        assert!(sum(&early) > sum(&late));
+    }
+
+    #[test]
+    fn time_scale_scales_ops_not_transfers() {
+        let mut g = toy();
+        let dev = DeviceConfig::default();
+        let base_ops: f64 = op_times_us(&g, &dev).iter().sum();
+        g.set_time_scale(0.5);
+        let scaled_ops: f64 = op_times_us(&g, &dev).iter().sum();
+        assert!((scaled_ops - 0.5 * base_ops).abs() < 1e-6);
+        // Boundary bytes (and hence transfer costs) are untouched.
+        assert_eq!(g.boundary_bytes(3), toy().boundary_bytes(3));
+    }
+
+    #[test]
+    fn faster_device_is_faster() {
+        let g = toy();
+        let nano = block_time_us(&g, &DeviceConfig::jetson_nano());
+        let server = block_time_us(&g, &DeviceConfig::edge_server());
+        assert!(server < nano);
+    }
+}

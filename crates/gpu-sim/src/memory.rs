@@ -1,0 +1,209 @@
+//! Device-memory residency: weights must be on the device to run.
+//!
+//! The Jetson Nano has 4 GB shared by everything; the paper's five-model
+//! deployment (~240 MB of fp32 weights plus activations and runtime
+//! overheads) fits, which is why the paper never discusses swapping. This
+//! module makes that assumption explicit and checkable — and lets the
+//! capacity-planning harness explore deployments that *don't* fit, where
+//! cold-start weight loading (ClockWork's central concern) dominates
+//! tail latency.
+//!
+//! The model is an LRU cache of model weights with a load cost of
+//! `weight_bytes / host-to-device bandwidth`.
+
+use crate::device::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of ensuring a model is resident.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidencyOutcome {
+    /// Time spent loading weights (0 on a hit), µs.
+    pub load_us: f64,
+    /// Whether the weights were already resident.
+    pub hit: bool,
+    /// Number of models evicted to make room.
+    pub evicted: usize,
+}
+
+/// LRU weight cache for a device with finite memory.
+#[derive(Debug, Clone)]
+pub struct ModelMemory {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// (model name, weight bytes), most recently used last.
+    resident: Vec<(String, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ModelMemory {
+    /// A cache with the given capacity in bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "capacity must be positive");
+        Self {
+            capacity_bytes,
+            used_bytes: 0,
+            resident: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The Jetson Nano's 4 GB module, half budgeted to weights (the rest
+    /// is activations, runtime, and the OS).
+    pub fn jetson_nano() -> Self {
+        Self::new(2 * 1024 * 1024 * 1024)
+    }
+
+    /// Ensure `model` (with `weight_bytes` of parameters) is resident,
+    /// evicting least-recently-used models as needed. Returns the load
+    /// cost on `dev`.
+    ///
+    /// # Panics
+    /// Panics if a single model exceeds the device capacity — that is a
+    /// deployment error, not a scheduling situation.
+    pub fn ensure_resident(
+        &mut self,
+        model: &str,
+        weight_bytes: u64,
+        dev: &DeviceConfig,
+    ) -> ResidencyOutcome {
+        assert!(
+            weight_bytes <= self.capacity_bytes,
+            "model {model:?} ({weight_bytes} B) exceeds device capacity {} B",
+            self.capacity_bytes
+        );
+        if let Some(pos) = self.resident.iter().position(|(m, _)| m == model) {
+            // Hit: refresh recency.
+            let entry = self.resident.remove(pos);
+            self.resident.push(entry);
+            self.hits += 1;
+            return ResidencyOutcome {
+                load_us: 0.0,
+                hit: true,
+                evicted: 0,
+            };
+        }
+        self.misses += 1;
+        let mut evicted = 0;
+        while self.used_bytes + weight_bytes > self.capacity_bytes {
+            let (_, bytes) = self.resident.remove(0);
+            self.used_bytes -= bytes;
+            evicted += 1;
+        }
+        self.used_bytes += weight_bytes;
+        self.resident.push((model.to_string(), weight_bytes));
+        let load_us = weight_bytes as f64 / (dev.boundary_bw_gbps * 1e3);
+        ResidencyOutcome {
+            load_us,
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Whether a model is currently resident.
+    pub fn is_resident(&self, model: &str) -> bool {
+        self.resident.iter().any(|(m, _)| m == model)
+    }
+
+    /// Bytes currently used by resident weights.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of resident models.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::jetson_nano()
+    }
+
+    #[test]
+    fn first_touch_loads_then_hits() {
+        let mut mem = ModelMemory::new(100 * MB);
+        let a = mem.ensure_resident("resnet", 50 * MB, &dev());
+        assert!(!a.hit);
+        assert!(a.load_us > 0.0);
+        let b = mem.ensure_resident("resnet", 50 * MB, &dev());
+        assert!(b.hit);
+        assert_eq!(b.load_us, 0.0);
+        assert_eq!(mem.stats(), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut mem = ModelMemory::new(100 * MB);
+        mem.ensure_resident("a", 40 * MB, &dev());
+        mem.ensure_resident("b", 40 * MB, &dev());
+        // Touch a so b becomes the LRU.
+        mem.ensure_resident("a", 40 * MB, &dev());
+        let c = mem.ensure_resident("c", 40 * MB, &dev());
+        assert_eq!(c.evicted, 1);
+        assert!(mem.is_resident("a"));
+        assert!(!mem.is_resident("b"), "b was least recently used");
+        assert!(mem.is_resident("c"));
+        assert_eq!(mem.used_bytes(), 80 * MB);
+    }
+
+    #[test]
+    fn eviction_can_cascade() {
+        let mut mem = ModelMemory::new(100 * MB);
+        mem.ensure_resident("a", 30 * MB, &dev());
+        mem.ensure_resident("b", 30 * MB, &dev());
+        mem.ensure_resident("c", 30 * MB, &dev());
+        let big = mem.ensure_resident("big", 90 * MB, &dev());
+        assert_eq!(big.evicted, 3);
+        assert_eq!(mem.resident_count(), 1);
+    }
+
+    #[test]
+    fn load_cost_scales_with_weights() {
+        let mut mem = ModelMemory::new(1024 * MB);
+        let small = mem.ensure_resident("s", 10 * MB, &dev());
+        let large = mem.ensure_resident("l", 100 * MB, &dev());
+        assert!((large.load_us / small.load_us - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_deployment_fits_jetson() {
+        // The Table 1 five-model weight set (~240 MB fp32 + GPT-2's 0.6 GB
+        // embedding-heavy weights) fits the weight budget: no steady-state
+        // swapping, confirming the paper's silent assumption.
+        let mut mem = ModelMemory::jetson_nano();
+        let weights: &[(&str, u64)] = &[
+            ("yolov2", 200 * MB),
+            ("googlenet", 28 * MB),
+            ("resnet50", 102 * MB),
+            ("vgg19", 575 * MB),
+            ("gpt2", 650 * MB),
+        ];
+        for (m, b) in weights {
+            mem.ensure_resident(m, *b, &dev());
+        }
+        // Second pass: all hits.
+        for (m, b) in weights {
+            assert!(mem.ensure_resident(m, *b, &dev()).hit, "{m} was evicted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device capacity")]
+    fn oversized_model_rejected() {
+        let mut mem = ModelMemory::new(10 * MB);
+        mem.ensure_resident("whale", 11 * MB, &dev());
+    }
+}

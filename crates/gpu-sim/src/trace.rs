@@ -1,0 +1,180 @@
+//! Execution traces: what ran, where, and when.
+//!
+//! Traces back the illustrative figures (the paper's Figures 1 and 3) and
+//! let tests assert scheduling invariants such as "blocks of one request
+//! never interleave with a preemptor's blocks" precisely.
+
+use serde::{Deserialize, Serialize};
+
+/// One executed span on the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Human-readable label, e.g. `"req3/resnet50/block1"`.
+    pub label: String,
+    /// Stream (lane) the span ran on; sequential policies use stream 0.
+    pub stream: usize,
+    /// Start time, microseconds.
+    pub start_us: f64,
+    /// End time, microseconds.
+    pub end_us: f64,
+}
+
+impl TraceEvent {
+    /// Span duration in microseconds.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// An ordered collection of trace events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a span.
+    pub fn record(&mut self, label: impl Into<String>, stream: usize, start_us: f64, end_us: f64) {
+        debug_assert!(end_us >= start_us, "span ends before it starts");
+        self.events.push(TraceEvent {
+            label: label.into(),
+            stream,
+            start_us,
+            end_us,
+        });
+    }
+
+    /// All events in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose label contains `needle`.
+    pub fn matching(&self, needle: &str) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.label.contains(needle))
+            .collect()
+    }
+
+    /// Verify that no two events on the same stream overlap in time.
+    /// Returns the first offending pair if any.
+    pub fn first_overlap(&self) -> Option<(&TraceEvent, &TraceEvent)> {
+        let mut by_stream: Vec<Vec<&TraceEvent>> = Vec::new();
+        for e in &self.events {
+            if by_stream.len() <= e.stream {
+                by_stream.resize_with(e.stream + 1, Vec::new);
+            }
+            by_stream[e.stream].push(e);
+        }
+        for lane in &mut by_stream {
+            lane.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+            for w in lane.windows(2) {
+                if w[1].start_us < w[0].end_us - 1e-9 {
+                    return Some((w[0], w[1]));
+                }
+            }
+        }
+        None
+    }
+
+    /// Render a fixed-width ASCII Gantt chart, one row per distinct label
+    /// prefix (up to the first `/`), `width` columns spanning the full
+    /// trace. Used by the schedule-gallery example to reproduce the
+    /// flavour of the paper's Figure 1.
+    pub fn render_ascii(&self, width: usize) -> String {
+        if self.events.is_empty() {
+            return String::from("(empty trace)\n");
+        }
+        let t0 = self
+            .events
+            .iter()
+            .map(|e| e.start_us)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self.events.iter().map(|e| e.end_us).fold(0.0f64, f64::max);
+        let span = (t1 - t0).max(1e-9);
+        let mut rows: Vec<(String, Vec<char>)> = Vec::new();
+        for e in &self.events {
+            let key = e.label.split('/').next().unwrap_or(&e.label).to_string();
+            let row = match rows.iter().position(|(k, _)| *k == key) {
+                Some(i) => i,
+                None => {
+                    rows.push((key.clone(), vec![' '; width]));
+                    rows.len() - 1
+                }
+            };
+            let a = (((e.start_us - t0) / span) * width as f64).floor() as usize;
+            let b = (((e.end_us - t0) / span) * width as f64).ceil() as usize;
+            let glyph = char::from(b"#*+=%@&ox"[row % 9]);
+            for c in a..b.min(width) {
+                rows[row].1[c] = glyph;
+            }
+        }
+        let label_w = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(4);
+        let mut out = String::new();
+        for (k, cells) in rows {
+            out.push_str(&format!("{k:label_w$} |"));
+            out.extend(cells);
+            out.push_str("|\n");
+        }
+        out.push_str(&format!(
+            "{:label_w$} |{:<w$}|\n",
+            "us",
+            format!("{t0:.0} .. {t1:.0}"),
+            w = width
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut t = Trace::new();
+        t.record("a/b0", 0, 0.0, 10.0);
+        t.record("b/b0", 0, 10.0, 30.0);
+        t.record("a/b1", 0, 30.0, 40.0);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.matching("a/").len(), 2);
+        assert_eq!(t.events()[1].duration_us(), 20.0);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut ok = Trace::new();
+        ok.record("a", 0, 0.0, 10.0);
+        ok.record("b", 0, 10.0, 20.0);
+        ok.record("c", 1, 5.0, 15.0); // other stream may overlap
+        assert!(ok.first_overlap().is_none());
+
+        let mut bad = Trace::new();
+        bad.record("a", 0, 0.0, 10.0);
+        bad.record("b", 0, 9.0, 20.0);
+        let (x, y) = bad.first_overlap().expect("must detect overlap");
+        assert_eq!(x.label, "a");
+        assert_eq!(y.label, "b");
+    }
+
+    #[test]
+    fn ascii_render_has_all_rows() {
+        let mut t = Trace::new();
+        t.record("reqA/b0", 0, 0.0, 50.0);
+        t.record("reqB/b0", 0, 50.0, 100.0);
+        let s = t.render_ascii(40);
+        assert!(s.contains("reqA"));
+        assert!(s.contains("reqB"));
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(Trace::new().render_ascii(10), "(empty trace)\n");
+    }
+}

@@ -1,0 +1,54 @@
+//! Split-boundary transfer costs.
+//!
+//! When a model is split into ONNX blocks, the intermediate tensor at each
+//! boundary leaves one runtime session and enters the next. We charge each
+//! *half* of that move (out of the producing block / into the consuming
+//! block) separately so that per-block times remain meaningful when the
+//! scheduler interleaves other work between blocks.
+
+use crate::device::DeviceConfig;
+
+/// One half (device→host *or* host→device) of moving `bytes` across a block
+/// boundary, in microseconds. Zero bytes (the model's own input/output
+/// boundary) cost nothing.
+#[inline]
+pub fn half_boundary_us(bytes: u64, dev: &DeviceConfig) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    bytes as f64 / (dev.boundary_bw_gbps * 1e3)
+}
+
+/// Full boundary cost (both halves), in microseconds.
+#[inline]
+pub fn boundary_transfer_us(bytes: u64, dev: &DeviceConfig) -> f64 {
+    2.0 * half_boundary_us(bytes, dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let dev = DeviceConfig::default();
+        assert_eq!(half_boundary_us(0, &dev), 0.0);
+        assert_eq!(boundary_transfer_us(0, &dev), 0.0);
+    }
+
+    #[test]
+    fn linear_in_bytes() {
+        let dev = DeviceConfig::default();
+        let one = boundary_transfer_us(1_000_000, &dev);
+        let two = boundary_transfer_us(2_000_000, &dev);
+        assert!((two - 2.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn megabyte_scale_check() {
+        // 1 GB/s boundary bandwidth: 1 MB one-way ≈ 1000 µs.
+        let dev = DeviceConfig::jetson_nano();
+        let t = half_boundary_us(1_000_000, &dev);
+        assert!((t - 1000.0).abs() < 1e-6, "got {t}");
+    }
+}

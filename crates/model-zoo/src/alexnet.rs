@@ -1,0 +1,61 @@
+//! AlexNet: profiling-set model (paper §3.1). Five convolutions, two LRN
+//! layers, three fully connected layers — the classic 2012 topology as the
+//! ONNX zoo exports it (22 nodes).
+
+use dnn_graph::{Graph, GraphBuilder, TensorShape};
+
+/// Build AlexNet (227×227 single-tower variant).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("alexnet", TensorShape::chw(3, 227, 227));
+    let x = b.source();
+
+    let c1 = b.conv(&x, 96, 11, 4, 0);
+    let r1 = b.relu(&c1);
+    let n1 = b.batchnorm(&r1); // LRN stand-in
+    let p1 = b.maxpool(&n1, 3, 2, 0);
+
+    let c2 = b.conv(&p1, 256, 5, 1, 2);
+    let r2 = b.relu(&c2);
+    let n2 = b.batchnorm(&r2); // LRN
+    let p2 = b.maxpool(&n2, 3, 2, 0);
+
+    let c3 = b.conv(&p2, 384, 3, 1, 1);
+    let r3 = b.relu(&c3);
+    let c4 = b.conv(&r3, 384, 3, 1, 1);
+    let r4 = b.relu(&c4);
+    let c5 = b.conv(&r4, 256, 3, 1, 1);
+    let r5 = b.relu(&c5);
+    let p5 = b.maxpool(&r5, 3, 2, 0);
+
+    let f = b.flatten(&p5);
+    let fc6 = b.dense(&f, 4096);
+    let r6 = b.relu(&fc6);
+    let fc7 = b.dense(&r6, 4096);
+    let r7 = b.relu(&fc7);
+    let fc8 = b.dense(&r7, 1000);
+    let _ = b.softmax(&fc8);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count() {
+        assert_eq!(build().op_count(), 22);
+    }
+
+    #[test]
+    fn params_dominated_by_fc() {
+        // AlexNet: ~61 M params, ~58 M of them in the FC layers.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((58.0..65.0).contains(&mparams), "got {mparams}");
+    }
+
+    #[test]
+    fn validates() {
+        assert!(build().validate().is_ok());
+    }
+}

@@ -1,0 +1,61 @@
+//! Latency calibration.
+//!
+//! Our cost model is not the authors' Jetson Nano, so each model's
+//! *absolute* latency is matched to the paper's Table 1 by setting the
+//! graph's time-scale (see [`dnn_graph::Graph::set_time_scale`]); the
+//! *relative* per-operator profile — what the splitter actually optimizes
+//! over — comes from the architecture.
+
+use dnn_graph::Graph;
+use gpu_sim::{op_times_us, DeviceConfig};
+
+/// Scale `graph` so its isolated end-to-end latency on `dev` (operator time
+/// plus one block dispatch) equals `target_ms`. Returns the applied scale.
+///
+/// # Panics
+/// Panics if the target is not achievable (i.e. `target_ms` does not exceed
+/// the fixed block dispatch overhead).
+pub fn calibrate_to_ms(graph: &mut Graph, dev: &DeviceConfig, target_ms: f64) -> f64 {
+    let target_us = target_ms * 1e3;
+    assert!(
+        target_us > dev.block_overhead_us,
+        "target {target_ms} ms below the fixed dispatch overhead"
+    );
+    graph.set_time_scale(1.0);
+    let raw: f64 = op_times_us(graph, dev).iter().sum();
+    let scale = (target_us - dev.block_overhead_us) / raw;
+    graph.set_time_scale(scale);
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::block_time_us;
+
+    #[test]
+    fn calibration_hits_target() {
+        let dev = DeviceConfig::jetson_nano();
+        let mut g = crate::resnet::build();
+        calibrate_to_ms(&mut g, &dev, 28.35);
+        let t = block_time_us(&g, &dev) / 1e3;
+        assert!((t - 28.35).abs() < 1e-6, "got {t} ms");
+    }
+
+    #[test]
+    fn recalibration_is_stable() {
+        let dev = DeviceConfig::jetson_nano();
+        let mut g = crate::vgg::build();
+        let s1 = calibrate_to_ms(&mut g, &dev, 67.5);
+        let s2 = calibrate_to_ms(&mut g, &dev, 67.5);
+        assert!((s1 - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the fixed dispatch overhead")]
+    fn impossible_target_panics() {
+        let dev = DeviceConfig::jetson_nano();
+        let mut g = crate::alexnet::build();
+        calibrate_to_ms(&mut g, &dev, 0.0001);
+    }
+}

@@ -1,0 +1,95 @@
+//! DenseNet-121: profiling-set model (paper §3.1). Dense connectivity means
+//! *every* layer's output stays live to the end of its block — cutting
+//! inside a dense block is brutally expensive, a stress test for the
+//! boundary-bytes accounting.
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+const GROWTH: u64 = 32;
+
+/// Build DenseNet-121 (BN unfolded, as the ONNX zoo exports it).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("densenet121", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    let c = b.conv(&x, 64, 7, 2, 3);
+    let n = b.batchnorm(&c);
+    let r = b.relu(&n);
+    let mut x = b.maxpool(&r, 3, 2, 1);
+
+    let blocks = [6usize, 12, 24, 16];
+    for (bi, &layers) in blocks.iter().enumerate() {
+        x = dense_block(&mut b, &x, layers);
+        if bi + 1 < blocks.len() {
+            x = transition(&mut b, &x);
+        }
+    }
+
+    let n = b.batchnorm(&x);
+    let r = b.relu(&n);
+    let g = b.gavgpool(&r);
+    let f = b.flatten(&g);
+    let _ = b.dense(&f, 1000);
+    b.finish()
+}
+
+/// One dense layer: bn-relu-conv1x1(4k) - bn-relu-conv3x3(k) - concat.
+fn dense_layer(b: &mut GraphBuilder, x: &Tap) -> Tap {
+    let n1 = b.batchnorm(x);
+    let r1 = b.relu(&n1);
+    let c1 = b.conv(&r1, 4 * GROWTH, 1, 1, 0);
+    let n2 = b.batchnorm(&c1);
+    let r2 = b.relu(&n2);
+    let c3 = b.conv(&r2, GROWTH, 3, 1, 1);
+    b.concat(&[x, &c3])
+}
+
+fn dense_block(b: &mut GraphBuilder, x: &Tap, layers: usize) -> Tap {
+    let mut t = x.clone();
+    for _ in 0..layers {
+        t = dense_layer(b, &t);
+    }
+    t
+}
+
+/// Transition: bn-relu-conv1x1(half) - avgpool2.
+fn transition(b: &mut GraphBuilder, x: &Tap) -> Tap {
+    let n = b.batchnorm(x);
+    let r = b.relu(&n);
+    let half = x.shape.dims[1] / 2;
+    let c = b.conv(&r, half, 1, 1, 0);
+    b.avgpool(&c, 2, 2, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count() {
+        // 4 stem + 58 layers x 7 + 3 transitions x 4 + 5 tail = 427.
+        assert_eq!(build().op_count(), 427);
+    }
+
+    #[test]
+    fn params_in_published_ballpark() {
+        // ~8 M params.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((6.5..9.5).contains(&mparams), "got {mparams}");
+    }
+
+    #[test]
+    fn dense_connectivity_inflates_boundaries() {
+        let g = build();
+        // A cut in the middle of the first dense block carries the running
+        // concat (all previous layer outputs), so it exceeds the cut right
+        // after the stem.
+        let after_stem = g.boundary_bytes(4);
+        let mid_block = g.boundary_bytes(25);
+        assert!(
+            mid_block > after_stem / 2,
+            "stem {after_stem}, mid {mid_block}"
+        );
+    }
+}

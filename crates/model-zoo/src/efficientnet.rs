@@ -1,0 +1,97 @@
+//! EfficientNet-B0 (EfficientNet-Lite style export): profiling-set model
+//! the paper files under object detection (§3.1, likely EfficientDet's
+//! backbone). Sixteen MBConv blocks with squeeze-excitation.
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Build EfficientNet-B0.
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("efficientnet_b0", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    let c = b.conv(&x, 32, 3, 2, 1);
+    let mut x = b.sigmoid(&c); // SiLU stand-in (swish)
+
+    // (expand ratio, channels, repeats, stride, kernel)
+    let cfg: &[(u64, u64, usize, u64, u64)] = &[
+        (1, 16, 1, 1, 3),
+        (6, 24, 2, 2, 3),
+        (6, 40, 2, 2, 5),
+        (6, 80, 3, 2, 3),
+        (6, 112, 3, 1, 5),
+        (6, 192, 4, 2, 5),
+        (6, 320, 1, 1, 3),
+    ];
+    for &(expand, ch, repeats, stride0, k) in cfg {
+        for i in 0..repeats {
+            let stride = if i == 0 { stride0 } else { 1 };
+            x = mbconv(&mut b, &x, expand, ch, stride, k);
+        }
+    }
+
+    let head = b.conv(&x, 1280, 1, 1, 0);
+    let hs = b.sigmoid(&head);
+    let g = b.gavgpool(&hs);
+    let f = b.flatten(&g);
+    let _ = b.dense(&f, 1000);
+    b.finish()
+}
+
+/// MBConv: expand 1×1 + swish, depthwise k×k + swish, SE (gavg, reduce,
+/// swish, expand, sigmoid, mul), project 1×1, residual add when shapes
+/// allow.
+fn mbconv(b: &mut GraphBuilder, x: &Tap, expand: u64, out_ch: u64, stride: u64, k: u64) -> Tap {
+    let in_ch = x.shape.dims[1];
+    let mid = in_ch * expand;
+
+    let mut t = x.clone();
+    if expand != 1 {
+        let e = b.conv(&t, mid, 1, 1, 0);
+        t = b.sigmoid(&e);
+    }
+    let dw = b.dwconv(&t, k, stride, k / 2);
+    let dws = b.sigmoid(&dw);
+
+    // Squeeze-excitation at ratio 0.25 of input channels.
+    let se_ch = (in_ch / 4).max(1);
+    let sq = b.gavgpool(&dws);
+    let red = b.conv(&sq, se_ch, 1, 1, 0);
+    let reds = b.sigmoid(&red);
+    let exp = b.conv(&reds, mid, 1, 1, 0);
+    let gate = b.sigmoid(&exp);
+    let gated = b.mul(&dws, &gate);
+
+    let proj = b.conv(&gated, out_ch, 1, 1, 0);
+    if stride == 1 && out_ch == in_ch {
+        b.add(&proj, x)
+    } else {
+        proj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::OpKind;
+
+    #[test]
+    fn op_count_plausible() {
+        let n = build().op_count();
+        assert!((150..220).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn params_in_published_ballpark() {
+        // ~5.3 M params.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((4.0..7.0).contains(&mparams), "got {mparams}");
+    }
+
+    #[test]
+    fn has_se_gates() {
+        let g = build();
+        let muls = g.ops().iter().filter(|o| o.kind == OpKind::Mul).count();
+        assert_eq!(muls, 16, "one SE gate per MBConv block");
+    }
+}

@@ -1,0 +1,116 @@
+//! GoogLeNet (Inception v1): a *short* benchmark model (Table 1: 142
+//! operators, 13.2 ms isolated). Nine inception modules of four parallel
+//! branches each — a thoroughly non-chain DAG that stresses the boundary
+//! accounting: cutting inside a module would strand up to four live
+//! tensors.
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Inception module channel spec: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5,
+/// pool proj).
+type Inception = (u64, u64, u64, u64, u64, u64);
+
+/// Build GoogLeNet (ONNX zoo style, LRN modeled as a normalization op).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("googlenet", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    // Stem: conv7 - pool - lrn - conv1 - conv3 - lrn - pool.
+    let c1 = b.conv(&x, 64, 7, 2, 3);
+    let r1 = b.relu(&c1);
+    let p1 = b.maxpool(&r1, 3, 2, 1);
+    let n1 = b.batchnorm(&p1); // stands in for LRN
+    let c2 = b.conv(&n1, 64, 1, 1, 0);
+    let r2 = b.relu(&c2);
+    let c3 = b.conv(&r2, 192, 3, 1, 1);
+    let r3 = b.relu(&c3);
+    let n2 = b.batchnorm(&r3); // LRN
+    let mut x = b.maxpool(&n2, 3, 2, 1);
+
+    let modules_3: &[Inception] = &[(64, 96, 128, 16, 32, 32), (128, 128, 192, 32, 96, 64)];
+    for &m in modules_3 {
+        x = inception(&mut b, &x, m);
+    }
+    x = b.maxpool(&x, 3, 2, 1);
+
+    let modules_4: &[Inception] = &[
+        (192, 96, 208, 16, 48, 64),
+        (160, 112, 224, 24, 64, 64),
+        (128, 128, 256, 24, 64, 64),
+        (112, 144, 288, 32, 64, 64),
+        (256, 160, 320, 32, 128, 128),
+    ];
+    for &m in modules_4 {
+        x = inception(&mut b, &x, m);
+    }
+    x = b.maxpool(&x, 3, 2, 1);
+
+    let modules_5: &[Inception] = &[(256, 160, 320, 32, 128, 128), (384, 192, 384, 48, 128, 128)];
+    for &m in modules_5 {
+        x = inception(&mut b, &x, m);
+    }
+
+    let g = b.gavgpool(&x);
+    let f = b.flatten(&g);
+    let fc = b.dense(&f, 1000);
+    let _ = b.softmax(&fc);
+    b.finish()
+}
+
+/// One inception module: 14 operators
+/// (1x1+relu | 1x1+relu+3x3+relu | 1x1+relu+5x5+relu | pool+1x1+relu, concat).
+fn inception(b: &mut GraphBuilder, x: &Tap, (c1, r3, c3, r5, c5, pp): Inception) -> Tap {
+    let b1c = b.conv(x, c1, 1, 1, 0);
+    let b1 = b.relu(&b1c);
+
+    let b3r = b.conv(x, r3, 1, 1, 0);
+    let b3rr = b.relu(&b3r);
+    let b3c = b.conv(&b3rr, c3, 3, 1, 1);
+    let b3 = b.relu(&b3c);
+
+    let b5r = b.conv(x, r5, 1, 1, 0);
+    let b5rr = b.relu(&b5r);
+    let b5c = b.conv(&b5rr, c5, 5, 1, 2);
+    let b5 = b.relu(&b5c);
+
+    let p = b.maxpool(x, 3, 1, 1);
+    let pc = b.conv(&p, pp, 1, 1, 0);
+    let pb = b.relu(&pc);
+
+    b.concat(&[&b1, &b3, &b5, &pb])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_matches_table1() {
+        assert_eq!(build().op_count(), 142);
+    }
+
+    #[test]
+    fn flops_in_published_ballpark() {
+        // GoogLeNet is ~1.5 GMACs ≈ 3 GFLOPs.
+        let g = build();
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((2.0..4.5).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn params_in_published_ballpark() {
+        // ~7 M (6.6 excluding aux heads, which ONNX inference graphs drop).
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((5.5..8.0).contains(&mparams), "got {mparams}");
+    }
+
+    #[test]
+    fn inception_modules_have_four_way_concat() {
+        let g = build();
+        let four_way = (0..g.op_count())
+            .filter(|&v| g.inputs_of(v).len() == 4)
+            .count();
+        assert_eq!(four_way, 9, "nine inception concats expected");
+    }
+}

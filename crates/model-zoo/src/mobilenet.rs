@@ -1,0 +1,82 @@
+//! MobileNetV2: the eleventh profiling model (§3.1 says "11 typical deep
+//! learning models" while naming ten; the ONNX model zoo's edge staple
+//! MobileNetV2 fills the list, documented in DESIGN.md).
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Build MobileNetV2 (1.0×, 224).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("mobilenet_v2", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    let c = b.conv(&x, 32, 3, 2, 1);
+    let mut x = b.relu(&c); // ReLU6
+
+    // (expand, channels, repeats, stride)
+    let cfg: &[(u64, u64, usize, u64)] = &[
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    for &(expand, ch, repeats, stride0) in cfg {
+        for i in 0..repeats {
+            let stride = if i == 0 { stride0 } else { 1 };
+            x = inverted_residual(&mut b, &x, expand, ch, stride);
+        }
+    }
+
+    let head = b.conv(&x, 1280, 1, 1, 0);
+    let hr = b.relu(&head);
+    let g = b.gavgpool(&hr);
+    let f = b.flatten(&g);
+    let _ = b.dense(&f, 1000);
+    b.finish()
+}
+
+/// Inverted residual: expand 1×1 + relu6, depthwise 3×3 + relu6,
+/// project 1×1 (linear), residual add when shapes allow.
+fn inverted_residual(b: &mut GraphBuilder, x: &Tap, expand: u64, out_ch: u64, stride: u64) -> Tap {
+    let in_ch = x.shape.dims[1];
+    let mid = in_ch * expand;
+    let mut t = x.clone();
+    if expand != 1 {
+        let e = b.conv(&t, mid, 1, 1, 0);
+        t = b.relu(&e);
+    }
+    let dw = b.dwconv(&t, 3, stride, 1);
+    let dwr = b.relu(&dw);
+    let proj = b.conv(&dwr, out_ch, 1, 1, 0);
+    if stride == 1 && out_ch == in_ch {
+        b.add(&proj, x)
+    } else {
+        proj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_plausible() {
+        let n = build().op_count();
+        assert!((80..120).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn params_in_published_ballpark() {
+        // ~3.5 M params.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((3.0..4.5).contains(&mparams), "got {mparams}");
+    }
+
+    #[test]
+    fn validates() {
+        assert!(build().validate().is_ok());
+    }
+}

@@ -1,0 +1,210 @@
+//! Model registry: the paper's model sets with their Table 1 metadata.
+
+use crate::calibrate::calibrate_to_ms;
+use dnn_graph::Graph;
+use gpu_sim::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Request length class from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LengthClass {
+    /// Short request (strict effective latency expectations).
+    Short,
+    /// Long request (the ones worth splitting).
+    Long,
+}
+
+/// Application domain from Table 1 / §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// Image classification.
+    Classification,
+    /// Object detection.
+    Detection,
+    /// Text generation.
+    TextGeneration,
+}
+
+/// The eleven models of the paper's §3.1 profiling set; the five marked
+/// with a `Some` latency are the Table 1 benchmark set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModelId {
+    /// YOLOv2 — detection, short.
+    YoloV2,
+    /// GoogLeNet — classification, short.
+    GoogLeNet,
+    /// ResNet-50 — classification, long.
+    ResNet50,
+    /// VGG-19 — classification, long.
+    Vgg19,
+    /// GPT-2 — text generation, short.
+    Gpt2,
+    /// AlexNet (profiling set only).
+    AlexNet,
+    /// SqueezeNet v1.1 (profiling set only).
+    SqueezeNet,
+    /// ShuffleNet v1 (profiling set only).
+    ShuffleNet,
+    /// DenseNet-121 (profiling set only).
+    DenseNet121,
+    /// EfficientNet-B0 (profiling set only).
+    EfficientNetB0,
+    /// MobileNetV2 (profiling set only).
+    MobileNetV2,
+}
+
+/// Static metadata about a model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Which model.
+    pub id: ModelId,
+    /// Canonical lowercase name.
+    pub name: &'static str,
+    /// Application domain.
+    pub domain: Domain,
+    /// Isolated latency on the paper's testbed, milliseconds. Table 1 values
+    /// for the benchmark five; our documented estimates for the rest.
+    pub latency_ms: f64,
+    /// Length class (Table 1 "Type"); estimates use the 15 ms threshold the
+    /// table implies.
+    pub class: LengthClass,
+}
+
+impl ModelId {
+    /// All eleven models.
+    pub const ALL: [ModelId; 11] = [
+        ModelId::YoloV2,
+        ModelId::GoogLeNet,
+        ModelId::ResNet50,
+        ModelId::Vgg19,
+        ModelId::Gpt2,
+        ModelId::AlexNet,
+        ModelId::SqueezeNet,
+        ModelId::ShuffleNet,
+        ModelId::DenseNet121,
+        ModelId::EfficientNetB0,
+        ModelId::MobileNetV2,
+    ];
+
+    /// Static metadata.
+    pub fn info(self) -> ModelInfo {
+        use Domain::*;
+        use LengthClass::*;
+        use ModelId::*;
+        let (name, domain, latency_ms, class) = match self {
+            YoloV2 => ("yolov2", Detection, 10.8, Short),
+            GoogLeNet => ("googlenet", Classification, 13.2, Short),
+            ResNet50 => ("resnet50", Classification, 28.35, Long),
+            Vgg19 => ("vgg19", Classification, 67.5, Long),
+            Gpt2 => ("gpt2", TextGeneration, 20.4, Short),
+            AlexNet => ("alexnet", Classification, 14.0, Short),
+            SqueezeNet => ("squeezenet_v1.1", Classification, 7.5, Short),
+            ShuffleNet => ("shufflenet_v1", Classification, 9.0, Short),
+            DenseNet121 => ("densenet121", Classification, 41.0, Long),
+            EfficientNetB0 => ("efficientnet_b0", Detection, 24.0, Long),
+            MobileNetV2 => ("mobilenet_v2", Classification, 11.5, Short),
+        };
+        ModelInfo {
+            id: self,
+            name,
+            domain,
+            latency_ms,
+            class,
+        }
+    }
+
+    /// Build the (uncalibrated) operator graph.
+    pub fn build(self) -> Graph {
+        match self {
+            ModelId::YoloV2 => crate::yolo::build(),
+            ModelId::GoogLeNet => crate::googlenet::build(),
+            ModelId::ResNet50 => crate::resnet::build(),
+            ModelId::Vgg19 => crate::vgg::build(),
+            ModelId::Gpt2 => crate::gpt2::build(),
+            ModelId::AlexNet => crate::alexnet::build(),
+            ModelId::SqueezeNet => crate::squeezenet::build(),
+            ModelId::ShuffleNet => crate::shufflenet::build(),
+            ModelId::DenseNet121 => crate::densenet::build(),
+            ModelId::EfficientNetB0 => crate::efficientnet::build(),
+            ModelId::MobileNetV2 => crate::mobilenet::build(),
+        }
+    }
+
+    /// Build and calibrate to the Table 1 / estimated latency on `dev`.
+    pub fn build_calibrated(self, dev: &DeviceConfig) -> Graph {
+        let mut g = self.build();
+        calibrate_to_ms(&mut g, dev, self.info().latency_ms);
+        g
+    }
+}
+
+/// The five models of Table 1 in the paper's row order.
+pub fn benchmark_models() -> [ModelId; 5] {
+    [
+        ModelId::YoloV2,
+        ModelId::GoogLeNet,
+        ModelId::ResNet50,
+        ModelId::Vgg19,
+        ModelId::Gpt2,
+    ]
+}
+
+/// The full §3.1 profiling set (11 models).
+pub fn profiling_models() -> [ModelId; 11] {
+    ModelId::ALL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::block_time_us;
+
+    #[test]
+    fn all_models_build_and_validate() {
+        for id in ModelId::ALL {
+            let g = id.build();
+            assert!(g.validate().is_ok(), "{:?}", id);
+            assert_eq!(g.name, id.info().name);
+        }
+    }
+
+    #[test]
+    fn benchmark_set_matches_table1_op_counts() {
+        let expect = [
+            (ModelId::YoloV2, 84),
+            (ModelId::GoogLeNet, 142),
+            (ModelId::ResNet50, 122),
+            (ModelId::Vgg19, 44),
+            (ModelId::Gpt2, 2534),
+        ];
+        for (id, ops) in expect {
+            assert_eq!(id.build().op_count(), ops, "{:?}", id);
+        }
+    }
+
+    #[test]
+    fn calibrated_latencies_match_table1() {
+        let dev = DeviceConfig::jetson_nano();
+        for id in benchmark_models() {
+            let g = id.build_calibrated(&dev);
+            let ms = block_time_us(&g, &dev) / 1e3;
+            let target = id.info().latency_ms;
+            assert!(
+                (ms - target).abs() < 1e-6,
+                "{:?}: calibrated to {ms}, want {target}",
+                id
+            );
+        }
+    }
+
+    #[test]
+    fn long_models_are_the_slow_ones() {
+        for id in ModelId::ALL {
+            let info = id.info();
+            match info.class {
+                LengthClass::Long => assert!(info.latency_ms > 15.0),
+                LengthClass::Short => assert!(info.latency_ms <= 21.0),
+            }
+        }
+    }
+}

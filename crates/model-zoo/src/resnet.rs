@@ -1,0 +1,115 @@
+//! ResNet-50: the paper's second *long* model (Table 1: 122 operators,
+//! 28.35 ms isolated) and the main subject of the splitting experiments
+//! (Figures 2 and 5, Table 3).
+//!
+//! ONNX-zoo ResNet-50 v1 has batch norm folded into the convolutions, which
+//! is how the graph lands on exactly 122 nodes:
+//! stem (conv, relu, maxpool) + 16 bottlenecks (7 ops each, 8 for the four
+//! stage-leading blocks with a projection shortcut) + gavgpool + flatten +
+//! fc = 3 + 12·7 + 4·8 + 3 = 122.
+//!
+//! The residual skip connections matter for splitting: a cut placed inside
+//! a bottleneck must carry *both* the main-path tensor and the skip tensor
+//! across the boundary, so sensible cuts gravitate to block boundaries —
+//! emergent behaviour, not a hand-coded rule.
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Build ResNet-50 (BN folded, ONNX zoo style).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("resnet50", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    // Stem.
+    let c = b.conv(&x, 64, 7, 2, 3);
+    let r = b.relu(&c);
+    let mut x = b.maxpool(&r, 3, 2, 1);
+
+    // Stages: (blocks, mid channels, out channels, first stride).
+    let stages: &[(usize, u64, u64, u64)] = &[
+        (3, 64, 256, 1),
+        (4, 128, 512, 2),
+        (6, 256, 1024, 2),
+        (3, 512, 2048, 2),
+    ];
+    for &(blocks, mid, out, stride0) in stages {
+        for i in 0..blocks {
+            let stride = if i == 0 { stride0 } else { 1 };
+            x = bottleneck(&mut b, &x, mid, out, stride, i == 0);
+        }
+    }
+
+    let g = b.gavgpool(&x);
+    let f = b.flatten(&g);
+    let _ = b.dense(&f, 1000);
+    b.finish()
+}
+
+/// One bottleneck: 1×1 reduce → 3×3 → 1×1 expand, plus identity or
+/// projection shortcut.
+fn bottleneck(
+    b: &mut GraphBuilder,
+    x: &Tap,
+    mid: u64,
+    out: u64,
+    stride: u64,
+    project: bool,
+) -> Tap {
+    let c1 = b.conv(x, mid, 1, 1, 0);
+    let r1 = b.relu(&c1);
+    let c2 = b.conv(&r1, mid, 3, stride, 1);
+    let r2 = b.relu(&c2);
+    let c3 = b.conv(&r2, out, 1, 1, 0);
+    let shortcut = if project {
+        b.conv(x, out, 1, stride, 0)
+    } else {
+        x.clone()
+    };
+    let s = b.add(&c3, &shortcut);
+    b.relu(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_matches_table1() {
+        assert_eq!(build().op_count(), 122);
+    }
+
+    #[test]
+    fn flops_in_published_ballpark() {
+        // ResNet-50 is ~4.1 GMACs ≈ 8.2 GFLOPs.
+        let g = build();
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((7.0..10.0).contains(&gflops), "got {gflops}");
+    }
+
+    #[test]
+    fn params_in_published_ballpark() {
+        // ~25.6 M parameters.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((24.0..27.0).contains(&mparams), "got {mparams}");
+    }
+
+    #[test]
+    fn skip_connections_present() {
+        let g = build();
+        // Some node must consume a tensor produced >2 positions earlier
+        // (the residual add).
+        let has_skip = (0..g.op_count()).any(|v| g.inputs_of(v).iter().any(|&u| v - u > 4));
+        assert!(has_skip);
+    }
+
+    #[test]
+    fn mid_block_cut_carries_skip_tensor() {
+        let g = build();
+        // Position 5 is inside the first bottleneck (stem is ops 0..3).
+        // The boundary must exceed the single main-path tensor because the
+        // stem output is still live for the shortcut.
+        let main_path_only = g.op(4).output_bytes();
+        assert!(g.boundary_bytes(5) > main_path_only);
+    }
+}

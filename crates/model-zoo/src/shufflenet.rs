@@ -1,0 +1,85 @@
+//! ShuffleNet v1 (g=3): profiling-set model (paper §3.1). Grouped 1×1
+//! convolutions with channel shuffles and depthwise 3×3s — the depthwise
+//! kernels run far from peak on edge GPUs, which the device model's
+//! per-kind efficiency captures.
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Build ShuffleNet v1 (groups = 3, 1.0×).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("shufflenet_v1", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    let c1 = b.conv(&x, 24, 3, 2, 1);
+    let r1 = b.relu(&c1);
+    let mut x = b.maxpool(&r1, 3, 2, 1);
+
+    // Stages with (units, out channels) for g=3: 240, 480, 960.
+    let stages: &[(usize, u64)] = &[(4, 240), (8, 480), (4, 960)];
+    for &(units, ch) in stages {
+        for i in 0..units {
+            x = shuffle_unit(&mut b, &x, ch, i == 0);
+        }
+    }
+
+    let g = b.gavgpool(&x);
+    let f = b.flatten(&g);
+    let _ = b.dense(&f, 1000);
+    b.finish()
+}
+
+/// ShuffleNet unit: gconv1x1 + relu + shuffle + dwconv3x3 + gconv1x1 +
+/// (add | avgpool+concat) + relu.
+fn shuffle_unit(b: &mut GraphBuilder, x: &Tap, out_ch: u64, downsample: bool) -> Tap {
+    let mid = out_ch / 4;
+    let c1 = b.conv(x, mid, 1, 1, 0);
+    let r1 = b.relu(&c1);
+    let sh = b.shuffle(&r1);
+    let (stride, branch_ch) = if downsample {
+        // Concat with the shortcut pool: main branch produces out - in channels.
+        let in_ch = x.shape.dims[1];
+        (2, out_ch.saturating_sub(in_ch).max(1))
+    } else {
+        (1, out_ch)
+    };
+    let dw = b.dwconv(&sh, 3, stride, 1);
+    let c2 = b.conv(&dw, branch_ch, 1, 1, 0);
+    let merged = if downsample {
+        let short = b.avgpool(x, 3, 2, 1);
+        b.concat(&[&short, &c2])
+    } else {
+        b.add(&c2, x)
+    };
+    b.relu(&merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::OpKind;
+
+    #[test]
+    fn op_count() {
+        // Stem 3 + 16 units x 7/8 + tail 3.
+        let n = build().op_count();
+        assert!((120..140).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn has_depthwise_and_shuffle_ops() {
+        let g = build();
+        assert!(g.ops().iter().any(|o| o.kind == OpKind::DepthwiseConv2d));
+        assert_eq!(
+            g.ops()
+                .iter()
+                .filter(|o| o.kind == OpKind::ChannelShuffle)
+                .count(),
+            16
+        );
+    }
+
+    #[test]
+    fn validates() {
+        assert!(build().validate().is_ok());
+    }
+}

@@ -1,0 +1,69 @@
+//! SqueezeNet v1.1: profiling-set model (paper §3.1). Eight *fire modules*
+//! (squeeze 1×1 → parallel expand 1×1 / 3×3 → concat) — small, short, and
+//! branchy.
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Build SqueezeNet v1.1.
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("squeezenet_v1.1", TensorShape::chw(3, 224, 224));
+    let x = b.source();
+
+    let c1 = b.conv(&x, 64, 3, 2, 0);
+    let r1 = b.relu(&c1);
+    let mut x = b.maxpool(&r1, 3, 2, 0);
+
+    // (squeeze, expand) channel pairs; pools after fire2/3 and fire4/5
+    // groups per v1.1.
+    x = fire(&mut b, &x, 16, 64);
+    x = fire(&mut b, &x, 16, 64);
+    x = b.maxpool(&x, 3, 2, 0);
+    x = fire(&mut b, &x, 32, 128);
+    x = fire(&mut b, &x, 32, 128);
+    x = b.maxpool(&x, 3, 2, 0);
+    x = fire(&mut b, &x, 48, 192);
+    x = fire(&mut b, &x, 48, 192);
+    x = fire(&mut b, &x, 64, 256);
+    x = fire(&mut b, &x, 64, 256);
+
+    let c10 = b.conv(&x, 1000, 1, 1, 0);
+    let r10 = b.relu(&c10);
+    let g = b.gavgpool(&r10);
+    let _ = b.softmax(&g);
+    b.finish()
+}
+
+/// Fire module: 7 operators.
+fn fire(b: &mut GraphBuilder, x: &Tap, squeeze: u64, expand: u64) -> Tap {
+    let s = b.conv(x, squeeze, 1, 1, 0);
+    let sr = b.relu(&s);
+    let e1 = b.conv(&sr, expand, 1, 1, 0);
+    let e1r = b.relu(&e1);
+    let e3 = b.conv(&sr, expand, 3, 1, 1);
+    let e3r = b.relu(&e3);
+    b.concat(&[&e1r, &e3r])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count() {
+        // 3 stem + 8 fires x 7 + 2 pools + 4 head = 65.
+        assert_eq!(build().op_count(), 65);
+    }
+
+    #[test]
+    fn tiny_parameter_count() {
+        // ~1.2 M params is SqueezeNet's whole point.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!(mparams < 2.0, "got {mparams}");
+    }
+
+    #[test]
+    fn validates() {
+        assert!(build().validate().is_ok());
+    }
+}

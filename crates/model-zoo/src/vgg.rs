@@ -1,0 +1,69 @@
+//! VGG-19: the paper's archetypal *long* model (Table 1: 44 operators,
+//! 67.5 ms isolated). Sixteen 3×3 convolutions in five stacks, three fully
+//! connected layers. Its time profile is extremely front-heavy — the first
+//! two stacks run on 224×224 and 112×112 activations — which is why its
+//! evenly-timed cut point sits well before the operator-index midpoint
+//! (paper Figure 2b).
+
+use dnn_graph::{Graph, GraphBuilder, Tap, TensorShape};
+
+/// Build VGG-19 (ONNX-zoo style: ReLU after every conv/fc, softmax head).
+pub fn build() -> Graph {
+    let mut b = GraphBuilder::new("vgg19", TensorShape::chw(3, 224, 224));
+    let mut x = b.source();
+
+    let stacks: &[(usize, u64)] = &[(2, 64), (2, 128), (4, 256), (4, 512), (4, 512)];
+    for &(convs, ch) in stacks {
+        for _ in 0..convs {
+            x = conv_relu(&mut b, &x, ch);
+        }
+        x = b.maxpool(&x, 2, 2, 0);
+    }
+
+    let f = b.flatten(&x);
+    let fc6 = b.dense(&f, 4096);
+    let r6 = b.relu(&fc6);
+    let fc7 = b.dense(&r6, 4096);
+    let r7 = b.relu(&fc7);
+    let fc8 = b.dense(&r7, 1000);
+    let _ = b.softmax(&fc8);
+    b.finish()
+}
+
+fn conv_relu(b: &mut GraphBuilder, x: &Tap, ch: u64) -> Tap {
+    let c = b.conv(x, ch, 3, 1, 1);
+    b.relu(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_count_matches_table1() {
+        assert_eq!(build().op_count(), 44);
+    }
+
+    #[test]
+    fn flops_in_published_ballpark() {
+        // VGG-19 forward pass is famously ~19.6 GFLOPs (2x the ~9.8 GMACs).
+        let g = build();
+        let gflops = g.total_flops() as f64 / 1e9;
+        assert!((35.0..45.0).contains(&gflops), "got {gflops} GFLOPs");
+    }
+
+    #[test]
+    fn params_in_published_ballpark() {
+        // ~143.7 M parameters * 4 bytes.
+        let g = build();
+        let mparams = g.total_weight_bytes() as f64 / 4.0 / 1e6;
+        assert!((140.0..148.0).contains(&mparams), "got {mparams} M params");
+    }
+
+    #[test]
+    fn front_ops_produce_larger_activations() {
+        let g = build();
+        // First conv output (64x224x224) dwarfs the pre-classifier one.
+        assert!(g.op(0).output_bytes() > g.op(36).output_bytes() * 8);
+    }
+}

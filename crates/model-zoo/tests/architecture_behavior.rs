@@ -1,0 +1,153 @@
+//! Cross-cutting architecture checks: each family's signature structure
+//! must show up in its boundary-transfer and timing behaviour — these are
+//! the properties the splitter actually exploits.
+
+use dnn_graph::{graph_stats, OpKind};
+use gpu_sim::{block_time_us, op_times_us, DeviceConfig};
+use model_zoo::{profiling_models, ModelId};
+
+#[test]
+fn calibration_is_exact_for_all_eleven() {
+    let dev = DeviceConfig::jetson_nano();
+    for id in profiling_models() {
+        let g = id.build_calibrated(&dev);
+        let ms = block_time_us(&g, &dev) / 1e3;
+        assert!(
+            (ms - id.info().latency_ms).abs() < 1e-6,
+            "{id:?}: {ms} vs {}",
+            id.info().latency_ms
+        );
+    }
+}
+
+#[test]
+fn activation_curves_trend_downward_in_cnns() {
+    // The §2.4 mechanism: CNN activation volume shrinks with depth. Check
+    // the first-quartile mean exceeds the last-quartile mean.
+    for id in [
+        ModelId::Vgg19,
+        ModelId::ResNet50,
+        ModelId::GoogLeNet,
+        ModelId::AlexNet,
+        ModelId::SqueezeNet,
+        ModelId::MobileNetV2,
+    ] {
+        let g = id.build();
+        let s = graph_stats(&g);
+        let q = s.activation_curve.len() / 4;
+        let head: f64 = s.activation_curve[..q]
+            .iter()
+            .map(|&b| b as f64)
+            .sum::<f64>()
+            / q as f64;
+        let tail: f64 = s.activation_curve[s.activation_curve.len() - q..]
+            .iter()
+            .map(|&b| b as f64)
+            .sum::<f64>()
+            / q as f64;
+        assert!(head > 2.0 * tail, "{id:?}: head {head} vs tail {tail}");
+    }
+}
+
+#[test]
+fn vgg_is_front_heavy_resnet_is_balanced() {
+    // VGG reaches half its FLOPs well before half its ops; ResNet is more
+    // uniform. This drives where their even cuts land (Figure 2b).
+    let vgg = graph_stats(&ModelId::Vgg19.build());
+    let resnet = graph_stats(&ModelId::ResNet50.build());
+    assert!(
+        vgg.flops_midpoint_frac < 0.45,
+        "vgg {}",
+        vgg.flops_midpoint_frac
+    );
+    assert!(
+        resnet.flops_midpoint_frac > vgg.flops_midpoint_frac,
+        "resnet {} vs vgg {}",
+        resnet.flops_midpoint_frac,
+        vgg.flops_midpoint_frac
+    );
+}
+
+#[test]
+fn densenet_boundaries_grow_inside_blocks() {
+    // Dense connectivity keeps every layer's output live: cuts deeper into
+    // a dense block carry more tensors than the cut at its entry.
+    let g = ModelId::DenseNet121.build();
+    let entry = g.boundary_bytes(4); // right after the stem
+    let mid = g.boundary_bytes(4 + 3 * 7); // three dense layers in
+    assert!(mid > entry, "entry {entry} vs mid-block {mid}");
+}
+
+#[test]
+fn gpt2_layer_structure_is_periodic() {
+    // 12 identical blocks: operator times averaged per layer must be flat
+    // (no layer dominates) — why its even cut sits near the middle.
+    let dev = DeviceConfig::jetson_nano();
+    let g = ModelId::Gpt2.build_calibrated(&dev);
+    let times = op_times_us(&g, &dev);
+    // Prolog 11 ops, 12 layers x 210, epilog 3.
+    let layer_time = |l: usize| -> f64 {
+        let start = 11 + l * 210;
+        times[start..start + 210].iter().sum()
+    };
+    let t0 = layer_time(0);
+    for l in 1..12 {
+        let tl = layer_time(l);
+        assert!(
+            (tl - t0).abs() / t0 < 0.05,
+            "layer {l} time {tl} deviates from layer 0 {t0}"
+        );
+    }
+}
+
+#[test]
+fn depthwise_models_pay_their_efficiency_tax() {
+    // Same FLOPs in depthwise form must cost more device time than in
+    // dense conv form: ShuffleNet/MobileNet are bandwidth-bound.
+    let dev = DeviceConfig::jetson_nano();
+    for id in [
+        ModelId::ShuffleNet,
+        ModelId::MobileNetV2,
+        ModelId::EfficientNetB0,
+    ] {
+        let g = id.build(); // uncalibrated: raw cost model
+        let stats = graph_stats(&g);
+        let time_us = block_time_us(&g, &dev);
+        let gflops = stats.total_flops as f64 / 1e9;
+        // Effective throughput in GFLOP/s.
+        let eff = gflops / (time_us / 1e6);
+        assert!(
+            eff < 100.0,
+            "{id:?}: {eff:.0} GFLOP/s is too close to peak for a depthwise net"
+        );
+    }
+    // VGG, by contrast, sustains far higher effective throughput.
+    let vgg = ModelId::Vgg19.build();
+    let eff = (vgg.total_flops() as f64 / 1e9)
+        / (block_time_us(&vgg, &DeviceConfig::jetson_nano()) / 1e6);
+    assert!(eff > 80.0, "vgg {eff:.0} GFLOP/s");
+}
+
+#[test]
+fn inception_and_fire_models_have_concat_fanin() {
+    for (id, expected_concats) in [
+        (ModelId::GoogLeNet, 9),
+        (ModelId::SqueezeNet, 8),
+        (ModelId::DenseNet121, 58),
+    ] {
+        let g = id.build();
+        let concats = g.ops().iter().filter(|o| o.kind == OpKind::Concat).count();
+        assert_eq!(concats, expected_concats, "{id:?}");
+    }
+}
+
+#[test]
+fn long_models_have_no_shape_only_padding() {
+    // The benchmark long models must be pure compute graphs — op-count
+    // matching never inflated them with fake nodes.
+    for id in [ModelId::ResNet50, ModelId::Vgg19] {
+        let g = id.build();
+        let free = g.ops().iter().filter(|o| !o.kind.is_compute()).count();
+        assert!(free <= 1, "{id:?} has {free} shape-only ops");
+    }
+}

@@ -1,0 +1,121 @@
+//! Profiling one split candidate: block times, overhead, evenness.
+
+use crate::stats::{mean, population_std, range_pct};
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::{block_time_us, split_block_times_us, DeviceConfig};
+use serde::{Deserialize, Serialize};
+
+/// The measured profile of one split candidate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockProfile {
+    /// The cut positions profiled.
+    pub cuts: Vec<usize>,
+    /// Per-block execution times, microseconds.
+    pub block_times_us: Vec<f64>,
+    /// Vanilla (unsplit) model time, microseconds.
+    pub vanilla_us: f64,
+    /// Splitting overhead ratio (footnote 2): `(Σ blocks − vanilla) / vanilla`.
+    pub overhead_ratio: f64,
+    /// Standard deviation of block times, microseconds — the evenness /
+    /// jitter proxy (σ in Eq. 2).
+    pub std_us: f64,
+    /// Mean block time, microseconds.
+    pub mean_us: f64,
+    /// `(max − min) / mean` of block times, percent (Table 3).
+    pub range_pct: f64,
+}
+
+impl BlockProfile {
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_times_us.len()
+    }
+
+    /// Total time of the split model run back to back, microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.block_times_us.iter().sum()
+    }
+}
+
+/// Profile the unsplit model (one block, zero overhead by definition).
+pub fn profile_unsplit(graph: &Graph, dev: &DeviceConfig) -> BlockProfile {
+    let t = block_time_us(graph, dev);
+    BlockProfile {
+        cuts: Vec::new(),
+        block_times_us: vec![t],
+        vanilla_us: t,
+        overhead_ratio: 0.0,
+        std_us: 0.0,
+        mean_us: t,
+        range_pct: 0.0,
+    }
+}
+
+/// Profile a split candidate on the device.
+pub fn profile_split(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
+    let block_times_us = split_block_times_us(graph, spec, dev);
+    let vanilla_us = block_time_us(graph, dev);
+    let total: f64 = block_times_us.iter().sum();
+    BlockProfile {
+        cuts: spec.cuts().to_vec(),
+        overhead_ratio: (total - vanilla_us) / vanilla_us,
+        std_us: population_std(&block_times_us),
+        mean_us: mean(&block_times_us),
+        range_pct: range_pct(&block_times_us),
+        block_times_us,
+        vanilla_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn cnn() -> Graph {
+        let mut b = GraphBuilder::new("cnn", TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let mut t = b.conv(&x, 32, 3, 2, 1);
+        for ch in [32u64, 64, 64, 128, 128] {
+            let c = b.conv(&t, ch, 3, 1, 1);
+            t = b.relu(&c);
+        }
+        let g = b.gavgpool(&t);
+        let f = b.flatten(&g);
+        let _ = b.dense(&f, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn unsplit_profile_is_trivial() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let p = profile_unsplit(&g, &dev);
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.overhead_ratio, 0.0);
+        assert_eq!(p.std_us, 0.0);
+        assert_eq!(p.total_us(), p.vanilla_us);
+    }
+
+    #[test]
+    fn split_profile_consistency() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let spec = SplitSpec::new(&g, vec![4, 8]).unwrap();
+        let p = profile_split(&g, &spec, &dev);
+        assert_eq!(p.block_count(), 3);
+        assert!(p.overhead_ratio > 0.0, "splitting must cost something");
+        assert!(p.total_us() > p.vanilla_us);
+        assert!(p.std_us >= 0.0);
+        assert!((p.mean_us * 3.0 - p.total_us()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_blocks_more_overhead_on_chain() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let two = profile_split(&g, &SplitSpec::new(&g, vec![5]).unwrap(), &dev);
+        let three = profile_split(&g, &SplitSpec::new(&g, vec![4, 8]).unwrap(), &dev);
+        assert!(three.overhead_ratio > two.overhead_ratio);
+    }
+}

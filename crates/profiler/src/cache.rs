@@ -1,0 +1,123 @@
+//! Profile memoization.
+//!
+//! On the paper's real testbed a profile costs an on-device run (§3.1:
+//! "execution time can be profiled within 1s"); the genetic algorithm
+//! re-encounters candidates constantly (elites survive generations,
+//! crossover recreates parents). The cache makes every candidate cost at
+//! most one measurement. It is `Sync` so rayon can evaluate a whole
+//! population in parallel against one cache.
+
+use crate::block_profile::{profile_split, BlockProfile};
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::DeviceConfig;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A concurrent memo table from cut vectors to profiles.
+#[derive(Debug, Default)]
+pub struct ProfileCache {
+    map: Mutex<HashMap<Vec<usize>, BlockProfile>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProfileCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profile `spec`, measuring only on a cache miss.
+    pub fn profile(&self, graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
+        if let Some(hit) = self.map.lock().unwrap().get(spec.cuts()) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        // Measure outside the lock: profiles are deterministic, so a racing
+        // duplicate measurement is harmless and the lock stays uncontended.
+        let p = profile_split(graph, spec, dev);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.map
+            .lock()
+            .unwrap()
+            .insert(spec.cuts().to_vec(), p.clone());
+        p
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of distinct candidates measured.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been measured yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn chain() -> Graph {
+        let mut b = GraphBuilder::new("c", TensorShape::chw(4, 16, 16));
+        let x = b.source();
+        let mut t = b.conv(&x, 8, 3, 1, 1);
+        for _ in 0..6 {
+            t = b.relu(&t);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn caches_repeat_queries() {
+        let g = chain();
+        let dev = DeviceConfig::default();
+        let cache = ProfileCache::new();
+        let spec = SplitSpec::new(&g, vec![3]).unwrap();
+        let a = cache.profile(&g, &spec, &dev);
+        let b = cache.profile(&g, &spec, &dev);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_candidates_get_distinct_entries() {
+        let g = chain();
+        let dev = DeviceConfig::default();
+        let cache = ProfileCache::new();
+        for c in 1..6 {
+            cache.profile(&g, &SplitSpec::new(&g, vec![c]).unwrap(), &dev);
+        }
+        assert_eq!(cache.len(), 5);
+        assert_eq!(cache.stats().0, 0);
+    }
+
+    #[test]
+    fn parallel_use_is_safe() {
+        use rayon::prelude::*;
+        let g = chain();
+        let dev = DeviceConfig::default();
+        let cache = ProfileCache::new();
+        let results: Vec<BlockProfile> = (0..64)
+            .into_par_iter()
+            .map(|i| {
+                let c = 1 + (i % 6);
+                cache.profile(&g, &SplitSpec::new(&g, vec![c]).unwrap(), &dev)
+            })
+            .collect();
+        assert_eq!(results.len(), 64);
+        assert_eq!(cache.len(), 6);
+    }
+}

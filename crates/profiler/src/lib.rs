@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+//! # profiler — offline profiling of models, blocks, and split candidates
+//!
+//! SPLIT's offline stage (paper §3.1) profiles split candidates: it measures
+//! each block's execution time, the *splitting overhead* (extra time the
+//! blocks take versus the vanilla model, footnote 2), and the *standard
+//! deviation of block execution time* (the evenness/jitter proxy).
+//!
+//! The paper reports that exhaustively profiling, e.g., all 287,980 3-block
+//! candidates of ResNet50 would take over 80 hours on device (§2.2). On our
+//! simulated device a profile is arithmetic, but the crate keeps the shape
+//! of the real system: an explicit [`cache::ProfileCache`] so repeated
+//! candidates are never re-measured, and rayon-parallel sweeps
+//! ([`sweep`]) for the Figure 2 heatmaps.
+
+pub mod block_profile;
+pub mod cache;
+pub mod op_report;
+pub mod stats;
+pub mod sweep;
+
+pub use block_profile::{profile_split, profile_unsplit, BlockProfile};
+pub use cache::ProfileCache;
+pub use op_report::{op_report, KindTime, OpReport};
+pub use stats::{mean, population_std, range_pct};
+pub use sweep::{sweep_one_cut, sweep_two_cuts, SweepPoint};

@@ -1,0 +1,114 @@
+//! Per-operator-kind time breakdown — the §3.1 "large-scale evaluation"
+//! view of where each model spends its device time.
+
+use crate::stats::mean;
+use dnn_graph::Graph;
+use gpu_sim::{op_times_us, DeviceConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Time spent in one operator kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KindTime {
+    /// Operator kind name.
+    pub kind: String,
+    /// Number of operators of this kind.
+    pub count: usize,
+    /// Total isolated time, µs.
+    pub total_us: f64,
+    /// Share of the model's operator time.
+    pub share: f64,
+}
+
+/// A model's per-kind profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpReport {
+    /// Model name.
+    pub model: String,
+    /// Per-kind rows, largest share first.
+    pub kinds: Vec<KindTime>,
+    /// Mean operator time, µs.
+    pub mean_op_us: f64,
+    /// Slowest single operator: (name, µs).
+    pub slowest_op: (String, f64),
+}
+
+/// Profile `graph` on `dev` and aggregate by operator kind.
+pub fn op_report(graph: &Graph, dev: &DeviceConfig) -> OpReport {
+    let times = op_times_us(graph, dev);
+    let total: f64 = times.iter().sum::<f64>().max(1e-12);
+
+    let mut by_kind: BTreeMap<&'static str, (usize, f64)> = BTreeMap::new();
+    let mut slowest = (String::new(), 0.0f64);
+    for (op, t) in graph.ops().iter().zip(&times) {
+        let e = by_kind.entry(op.kind.name()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += t;
+        if *t > slowest.1 {
+            slowest = (op.name.clone(), *t);
+        }
+    }
+    let mut kinds: Vec<KindTime> = by_kind
+        .into_iter()
+        .map(|(kind, (count, total_us))| KindTime {
+            kind: kind.to_string(),
+            count,
+            total_us,
+            share: total_us / total,
+        })
+        .collect();
+    kinds.sort_by(|a, b| b.total_us.total_cmp(&a.total_us).then(a.kind.cmp(&b.kind)));
+
+    OpReport {
+        model: graph.name.clone(),
+        kinds,
+        mean_op_us: mean(&times),
+        slowest_op: slowest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn cnn() -> Graph {
+        let mut b = GraphBuilder::new("rep-cnn", TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let c1 = b.conv(&x, 32, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let c2 = b.conv(&r1, 32, 3, 1, 1);
+        let r2 = b.relu(&c2);
+        let g = b.gavgpool(&r2);
+        let f = b.flatten(&g);
+        let _ = b.dense(&f, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let rep = op_report(&cnn(), &DeviceConfig::default());
+        let sum: f64 = rep.kinds.iter().map(|k| k.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{sum}");
+        let count: usize = rep.kinds.iter().map(|k| k.count).sum();
+        assert_eq!(count, cnn().op_count());
+    }
+
+    #[test]
+    fn conv_dominates_a_conv_net() {
+        let rep = op_report(&cnn(), &DeviceConfig::default());
+        assert_eq!(rep.kinds[0].kind, "conv2d");
+        assert!(
+            rep.kinds[0].share > 0.5,
+            "conv share {}",
+            rep.kinds[0].share
+        );
+    }
+
+    #[test]
+    fn slowest_op_is_a_conv() {
+        let rep = op_report(&cnn(), &DeviceConfig::default());
+        assert!(rep.slowest_op.0.starts_with("conv"), "{:?}", rep.slowest_op);
+        assert!(rep.slowest_op.1 > rep.mean_op_us);
+    }
+}

@@ -1,0 +1,72 @@
+//! Small statistics helpers used throughout the profiling pipeline.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (the paper's σ over block times); 0 for
+/// fewer than two samples.
+pub fn population_std(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt()
+}
+
+/// Spread of block times relative to their mean:
+/// `(max - min) / mean`, in percent — Table 3's "Range(Percentage)".
+pub fn range_pct(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let m = mean(xs);
+    if m <= 0.0 {
+        0.0
+    } else {
+        100.0 * (max - min) / m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[3.0]), 3.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn std_basic() {
+        assert_eq!(population_std(&[]), 0.0);
+        assert_eq!(population_std(&[5.0]), 0.0);
+        assert_eq!(population_std(&[4.0, 4.0, 4.0]), 0.0);
+        // Population std of {2, 4} is 1.
+        assert!((population_std(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_pct_basic() {
+        assert_eq!(range_pct(&[10.0]), 0.0);
+        // {9, 11}: range 2, mean 10 → 20%.
+        assert!((range_pct(&[9.0, 11.0]) - 20.0).abs() < 1e-12);
+        assert_eq!(range_pct(&[7.0, 7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn even_blocks_have_zero_std_and_range() {
+        let xs = [12.5; 6];
+        assert_eq!(population_std(&xs), 0.0);
+        assert_eq!(range_pct(&xs), 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Cut-point sweeps — the machinery behind the paper's Figure 2.
+//!
+//! Figure 2 plots, for a model split at two cut points `(c1, c2)`, (a) the
+//! splitting overhead and (b) the standard deviation of block execution
+//! time, as functions of the cut positions. The sweep is embarrassingly
+//! parallel, so it fans out with rayon — this is the "large-scale
+//! evaluation" of §3.1 compressed from 80 GPU-hours to milliseconds by the
+//! simulated substrate.
+
+use crate::block_profile::{profile_split, BlockProfile};
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::DeviceConfig;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One sweep sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Cut positions of this sample.
+    pub cuts: Vec<usize>,
+    /// Splitting overhead ratio.
+    pub overhead_ratio: f64,
+    /// Standard deviation of block times, microseconds.
+    pub std_us: f64,
+}
+
+impl From<BlockProfile> for SweepPoint {
+    fn from(p: BlockProfile) -> Self {
+        Self {
+            cuts: p.cuts.clone(),
+            overhead_ratio: p.overhead_ratio,
+            std_us: p.std_us,
+        }
+    }
+}
+
+/// Sweep a single cut over every position (with the given stride),
+/// producing the 1-D profile of overhead and evenness versus position.
+pub fn sweep_one_cut(graph: &Graph, dev: &DeviceConfig, stride: usize) -> Vec<SweepPoint> {
+    let m = graph.op_count();
+    assert!(stride >= 1);
+    (1..m)
+        .step_by(stride)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|c| {
+            let spec = SplitSpec::new(graph, vec![c]).expect("in-range cut");
+            profile_split(graph, &spec, dev).into()
+        })
+        .collect()
+}
+
+/// Sweep two cuts `(c1, c2)` with `c1 < c2` over the strided grid — the
+/// paper's Figure 2 axes. Returns points in row-major `(c1, c2)` order.
+pub fn sweep_two_cuts(graph: &Graph, dev: &DeviceConfig, stride: usize) -> Vec<SweepPoint> {
+    let m = graph.op_count();
+    assert!(stride >= 1);
+    let pairs: Vec<(usize, usize)> = (1..m)
+        .step_by(stride)
+        .flat_map(|c1| ((c1 + 1)..m).step_by(stride).map(move |c2| (c1, c2)))
+        .collect();
+    pairs
+        .into_par_iter()
+        .map(|(c1, c2)| {
+            let spec = SplitSpec::new(graph, vec![c1, c2]).expect("in-range cuts");
+            profile_split(graph, &spec, dev).into()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    /// A CNN whose activation volume shrinks with depth, like the paper's
+    /// models.
+    fn shrinking_cnn() -> Graph {
+        let mut b = GraphBuilder::new("shrink", TensorShape::chw(3, 128, 128));
+        let x = b.source();
+        let mut t = b.conv(&x, 16, 3, 1, 1);
+        for (ch, stride) in [
+            (32u64, 2u64),
+            (32, 1),
+            (64, 2),
+            (64, 1),
+            (128, 2),
+            (128, 1),
+            (256, 2),
+        ] {
+            let c = b.conv(&t, ch, 3, stride, 1);
+            t = b.relu(&c);
+        }
+        let g = b.gavgpool(&t);
+        let f = b.flatten(&g);
+        let _ = b.dense(&f, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn one_cut_sweep_covers_all_positions() {
+        let g = shrinking_cnn();
+        let pts = sweep_one_cut(&g, &DeviceConfig::default(), 1);
+        assert_eq!(pts.len(), g.op_count() - 1);
+    }
+
+    #[test]
+    fn figure2a_shape_early_cuts_cost_more() {
+        // Paper §2.4 observation 1: splitting at earlier operators gives a
+        // larger overhead, because early activations are bigger.
+        let g = shrinking_cnn();
+        let pts = sweep_one_cut(&g, &DeviceConfig::default(), 1);
+        let early = pts[1].overhead_ratio; // cut at position 2
+        let late = pts[pts.len() - 3].overhead_ratio;
+        assert!(
+            early > late,
+            "early cut overhead {early} should exceed late cut {late}"
+        );
+    }
+
+    #[test]
+    fn figure2b_shape_extreme_cuts_are_uneven() {
+        // Paper §2.4 observation 2: cutting at the very beginning or end
+        // yields a large std; somewhere in the middle is the minimum.
+        let g = shrinking_cnn();
+        let pts = sweep_one_cut(&g, &DeviceConfig::default(), 1);
+        let stds: Vec<f64> = pts.iter().map(|p| p.std_us).collect();
+        let min = stds.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            stds[0] > 2.0 * min,
+            "first-cut std {} vs min {min}",
+            stds[0]
+        );
+        assert!(
+            stds[stds.len() - 1] > 2.0 * min,
+            "last-cut std {} vs min {min}",
+            stds.last().unwrap()
+        );
+        let arg_min = stds.iter().position(|&s| s == min).unwrap();
+        assert!(arg_min > 0 && arg_min < stds.len() - 1, "min at {arg_min}");
+    }
+
+    #[test]
+    fn two_cut_sweep_grid_size() {
+        let g = shrinking_cnn();
+        let pts = sweep_two_cuts(&g, &DeviceConfig::default(), 1);
+        let n = g.op_count() - 1; // candidate positions
+        assert_eq!(pts.len(), n * (n - 1) / 2);
+        for p in &pts {
+            assert!(p.cuts[0] < p.cuts[1]);
+        }
+    }
+
+    #[test]
+    fn stride_reduces_samples() {
+        let g = shrinking_cnn();
+        let dense = sweep_two_cuts(&g, &DeviceConfig::default(), 1);
+        let sparse = sweep_two_cuts(&g, &DeviceConfig::default(), 3);
+        assert!(sparse.len() < dense.len() / 3);
+    }
+}

@@ -1,0 +1,128 @@
+//! Empirical CDFs of response ratios / latencies — the view behind the
+//! Figure 6 curves (a violation-rate-vs-α curve is one minus the response
+//! ratio CDF sampled at integer α).
+
+use crate::violation::RequestOutcome;
+use serde::{Deserialize, Serialize};
+
+/// An empirical cumulative distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from raw samples (order irrelevant; NaNs rejected).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN sample");
+        samples.sort_by(|a, b| a.total_cmp(b));
+        Self { sorted: samples }
+    }
+
+    /// From outcomes' response ratios.
+    pub fn of_response_ratios(outcomes: &[RequestOutcome]) -> Self {
+        Self::new(
+            outcomes
+                .iter()
+                .map(RequestOutcome::response_ratio)
+                .collect(),
+        )
+    }
+
+    /// `P(X <= x)`; 0 for an empty distribution.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Complementary CDF `P(X > x)` — the violation rate when `x = α`.
+    pub fn exceedance(&self, x: f64) -> f64 {
+        1.0 - self.at(x)
+    }
+
+    /// Evenly sampled `(x, P(X <= x))` points between min and max.
+    pub fn sample_points(&self, count: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let (lo, hi) = (self.sorted[0], *self.sorted.last().unwrap());
+        (0..count)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (count.max(2) - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when the distribution has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_semantics() {
+        let cdf = Cdf::new(vec![3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(cdf.at(0.5), 0.0);
+        assert_eq!(cdf.at(1.0), 0.25);
+        assert_eq!(cdf.at(2.0), 0.75);
+        assert_eq!(cdf.at(3.0), 1.0);
+        assert_eq!(cdf.at(99.0), 1.0);
+        assert_eq!(cdf.exceedance(2.0), 0.25);
+    }
+
+    #[test]
+    fn matches_violation_rate() {
+        let outcomes: Vec<RequestOutcome> = (1..=10)
+            .map(|i| RequestOutcome {
+                id: i,
+                model: "m".into(),
+                exec_us: 10.0,
+                e2e_us: 10.0 * i as f64,
+            })
+            .collect();
+        let cdf = Cdf::of_response_ratios(&outcomes);
+        for alpha in [2.0, 4.0, 8.0] {
+            let v = crate::violation::violation_rate(&outcomes, alpha);
+            assert!((cdf.exceedance(alpha) - v).abs() < 1e-12, "α={alpha}");
+        }
+    }
+
+    #[test]
+    fn sample_points_monotone() {
+        let cdf = Cdf::new((0..100).map(|i| (i as f64).sqrt()).collect());
+        let pts = cdf.sample_points(20);
+        assert_eq!(pts.len(), 20);
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::new(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.at(1.0), 0.0);
+        assert!(cdf.sample_points(5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        Cdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Fairness across models — §5.5's closing observation, made a metric.
+//!
+//! The paper notes that under SPLIT "the standard deviation of long
+//! requests is still slightly lower than short requests, indicating that
+//! the stability of all requests is approximately at the same level".
+//! Jain's fairness index over the per-model jitter values captures
+//! "approximately the same level" in one number: 1.0 means perfectly
+//! equal stability across models, 1/n means one model absorbs all the
+//! instability.
+
+use crate::jitter::JitterRow;
+
+/// Jain's fairness index of a non-negative vector:
+/// `(Σx)² / (n · Σx²)` ∈ `[1/n, 1]`. Returns 1.0 for empty or all-zero
+/// input (nothing is unfair about nothing).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    assert!(
+        xs.iter().all(|&x| x >= 0.0),
+        "Jain's index needs non-negative values"
+    );
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
+}
+
+/// Fairness of *stability* across models: Jain's index over the per-model
+/// jitter (std of end-to-end latency). High = every model enjoys similar
+/// stability; low = some models are stable at others' expense.
+pub fn stability_fairness(rows: &[JitterRow]) -> f64 {
+    jain_index(&rows.iter().map(|r| r.std_us).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_and_extremes() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One model absorbs everything: 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_skew() {
+        // {1, 3}: (4)^2 / (2 * 10) = 0.8.
+        assert!((jain_index(&[1.0, 3.0]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_fairness_over_rows() {
+        let row = |model: &str, std_us: f64| JitterRow {
+            model: model.into(),
+            count: 10,
+            mean_us: 1_000.0,
+            std_us,
+        };
+        let even = vec![row("a", 5_000.0), row("b", 5_500.0), row("c", 4_800.0)];
+        let skew = vec![row("a", 100.0), row("b", 20_000.0), row("c", 150.0)];
+        assert!(stability_fairness(&even) > 0.99);
+        assert!(stability_fairness(&skew) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        jain_index(&[1.0, -1.0]);
+    }
+}

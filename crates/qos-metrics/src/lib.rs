@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # qos-metrics — the paper's QoS metrics (§5.2)
+//!
+//! Two metrics gauge SPLIT's effectiveness:
+//!
+//! * the **latency violation rate**: a request violates when its response
+//!   ratio (end-to-end latency over isolated execution time, Eq. 3)
+//!   exceeds the latency target multiplier α; the paper sweeps α from 2 to
+//!   20 (Figure 6);
+//! * **jitter**: the standard deviation of execution latency per model
+//!   (Figure 7) — dispersion means unstable request behaviour.
+//!
+//! Plus reporting helpers that print the same rows/series the paper's
+//! tables and figures show.
+
+pub mod cdf;
+pub mod fairness;
+pub mod jitter;
+pub mod percentile;
+pub mod report;
+pub mod throughput;
+pub mod violation;
+
+pub use cdf::Cdf;
+pub use fairness::{jain_index, stability_fairness};
+pub use jitter::{per_model_std, JitterRow};
+pub use percentile::percentile;
+pub use report::{markdown_table, write_csv};
+pub use throughput::{throughput_report, ThroughputReport};
+pub use violation::{violation_curve, violation_rate, RequestOutcome};

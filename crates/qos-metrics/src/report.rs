@@ -1,0 +1,100 @@
+//! Table rendering: markdown for the terminal, CSV for downstream plotting.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render a markdown table with the given header and rows. Every row must
+/// have the header's arity.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(s, " {:w$} |", c, w = widths[i]);
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line(
+        &header.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&line(&sep));
+    for row in rows {
+        out.push_str(&line(row));
+    }
+    out
+}
+
+/// Write rows as CSV (naive quoting: fields containing commas or quotes are
+/// double-quoted).
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    let quote = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_alignment() {
+        let t = markdown_table(
+            &["Model", "Latency(ms)"],
+            &[
+                vec!["yolov2".into(), "10.8".into()],
+                vec!["vgg19".into(), "67.5".into()],
+            ],
+        );
+        assert!(t.contains("| Model "));
+        assert!(t.contains("| yolov2"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let dir = std::env::temp_dir().join("qos_metrics_test_csv");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("t.csv");
+        write_csv(&path, &["a", "b"], &[vec!["x,y".into(), "plain".into()]]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a,b\n\"x,y\",plain\n");
+    }
+}

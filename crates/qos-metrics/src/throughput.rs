@@ -1,0 +1,103 @@
+//! Throughput and utilization — the metrics the *baselines* optimize
+//! (§2.1 contrasts them with SPLIT's per-request QoS focus). Reported
+//! alongside the QoS metrics so the trade-off is visible: SPLIT gives up
+//! a little global throughput (splitting overhead) for a lot of
+//! per-request latency stability.
+
+use crate::violation::RequestOutcome;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate throughput/utilization over one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputReport {
+    /// Requests served.
+    pub served: usize,
+    /// Wall-clock span from first arrival to last completion, µs.
+    pub span_us: f64,
+    /// Served requests per second.
+    pub requests_per_s: f64,
+    /// Total isolated execution time of all served requests, µs — the
+    /// *useful* work.
+    pub useful_work_us: f64,
+    /// Useful work over span: device *goodput* utilization (overheads and
+    /// idle both depress it).
+    pub goodput_utilization: f64,
+}
+
+/// Compute the report. `arrival_of` supplies each outcome's arrival time
+/// (e2e is relative, so the span needs absolutes).
+pub fn throughput_report(outcomes: &[RequestOutcome], arrivals_us: &[f64]) -> ThroughputReport {
+    assert_eq!(outcomes.len(), arrivals_us.len(), "one arrival per outcome");
+    if outcomes.is_empty() {
+        return ThroughputReport {
+            served: 0,
+            span_us: 0.0,
+            requests_per_s: 0.0,
+            useful_work_us: 0.0,
+            goodput_utilization: 0.0,
+        };
+    }
+    let first_arrival = arrivals_us.iter().copied().fold(f64::INFINITY, f64::min);
+    let last_end = outcomes
+        .iter()
+        .zip(arrivals_us)
+        .map(|(o, a)| a + o.e2e_us)
+        .fold(0.0f64, f64::max);
+    let span_us = (last_end - first_arrival).max(1e-9);
+    let useful_work_us: f64 = outcomes.iter().map(|o| o.exec_us).sum();
+    ThroughputReport {
+        served: outcomes.len(),
+        span_us,
+        requests_per_s: outcomes.len() as f64 / (span_us / 1e6),
+        useful_work_us,
+        goodput_utilization: useful_work_us / span_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(exec: f64, e2e: f64) -> RequestOutcome {
+        RequestOutcome {
+            id: 0,
+            model: "m".into(),
+            exec_us: exec,
+            e2e_us: e2e,
+        }
+    }
+
+    #[test]
+    fn basic_accounting() {
+        // Two requests: arrive at 0 and 100, each 50 exec, back to back.
+        let outcomes = vec![outcome(50.0, 50.0), outcome(50.0, 50.0)];
+        let arrivals = vec![0.0, 100.0];
+        let r = throughput_report(&outcomes, &arrivals);
+        assert_eq!(r.served, 2);
+        assert!((r.span_us - 150.0).abs() < 1e-9);
+        assert!((r.useful_work_us - 100.0).abs() < 1e-9);
+        assert!((r.goodput_utilization - 100.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run() {
+        let r = throughput_report(&[], &[]);
+        assert_eq!(r.served, 0);
+        assert_eq!(r.requests_per_s, 0.0);
+    }
+
+    #[test]
+    fn overhead_depresses_goodput() {
+        // Same schedule, but the served time includes 20% splitting
+        // overhead: goodput counts only isolated exec.
+        let fast = throughput_report(&[outcome(100.0, 100.0)], &[0.0]);
+        let padded = throughput_report(&[outcome(100.0, 120.0)], &[0.0]);
+        assert!(padded.goodput_utilization < fast.goodput_utilization);
+    }
+
+    #[test]
+    #[should_panic(expected = "one arrival per outcome")]
+    fn mismatched_lengths_rejected() {
+        throughput_report(&[outcome(1.0, 1.0)], &[]);
+    }
+}

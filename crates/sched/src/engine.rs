@@ -1,0 +1,182 @@
+//! Uniform entry point over the four policies.
+
+use crate::policy::{
+    clockwork, prema, rta, sjf, split, stream_parallel, PremaCfg, RtaCfg, SplitCfg,
+    StreamParallelCfg,
+};
+use crate::request::{Completion, ModelTable};
+use gpu_sim::Trace;
+use workload::Arrival;
+
+/// A policy choice with its configuration.
+#[derive(Debug, Clone)]
+pub enum Policy {
+    /// SPLIT (§3).
+    Split(SplitCfg),
+    /// ClockWork baseline (§5.3).
+    ClockWork,
+    /// PREMA baseline (§5.3).
+    Prema(PremaCfg),
+    /// Runtime-Aware baseline (§5.3).
+    Rta(RtaCfg),
+    /// Native multi-stream concurrency (Figure 1's first lane; not part of
+    /// the Figure 6/7 comparison set).
+    StreamParallel(StreamParallelCfg),
+    /// Shortest-Job-First (classical reference, not a paper comparator).
+    Sjf,
+}
+
+impl Policy {
+    /// Display name used in figures/tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Split(_) => "SPLIT",
+            Policy::ClockWork => "ClockWork",
+            Policy::Prema(_) => "PREMA",
+            Policy::Rta(_) => "RT-A",
+            Policy::StreamParallel(_) => "Stream-Parallel",
+            Policy::Sjf => "SJF",
+        }
+    }
+
+    /// The paper's Figure 6/7 comparison set (SPLIT + three baselines)
+    /// with default configurations.
+    pub fn all_default() -> Vec<Policy> {
+        vec![
+            Policy::Split(SplitCfg::default()),
+            Policy::ClockWork,
+            Policy::Prema(PremaCfg::default()),
+            Policy::Rta(RtaCfg::default()),
+        ]
+    }
+}
+
+/// The result of serving a trace: completions plus the device trace.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Completed requests in completion order.
+    pub completions: Vec<Completion>,
+    /// Device execution trace.
+    pub trace: Trace,
+}
+
+impl SimResult {
+    /// Convert completions into metric outcomes.
+    pub fn outcomes(&self) -> Vec<qos_metrics::RequestOutcome> {
+        self.completions
+            .iter()
+            .map(Completion::to_outcome)
+            .collect()
+    }
+}
+
+/// Serve `arrivals` over `models` with the chosen policy.
+pub fn simulate(policy: &Policy, arrivals: &[Arrival], models: &ModelTable) -> SimResult {
+    match policy {
+        Policy::Split(cfg) => split(arrivals, models, cfg),
+        Policy::ClockWork => clockwork(arrivals, models),
+        Policy::Prema(cfg) => prema(arrivals, models, cfg),
+        Policy::Rta(cfg) => rta(arrivals, models, cfg),
+        Policy::StreamParallel(cfg) => stream_parallel(arrivals, models, cfg),
+        Policy::Sjf => sjf(arrivals, models),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelRuntime;
+
+    fn table() -> ModelTable {
+        let mut t = ModelTable::new();
+        t.insert(ModelRuntime::vanilla("short", 0, 10_000.0));
+        t.insert(ModelRuntime::split("long", 1, 60_000.0, vec![21_000.0; 3]));
+        t
+    }
+
+    fn arrivals(n: u64) -> Vec<Arrival> {
+        (0..n)
+            .map(|i| Arrival {
+                id: i,
+                model: (if i % 3 == 0 { "long" } else { "short" }).into(),
+                arrival_us: i as f64 * 12_000.0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_policy_serves_every_request() {
+        let a = arrivals(40);
+        let t = table();
+        for p in Policy::all_default() {
+            let r = simulate(&p, &a, &t);
+            assert_eq!(r.completions.len(), 40, "{}", p.name());
+            let mut ids: Vec<u64> = r.completions.iter().map(|c| c.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..40).collect::<Vec<_>>(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn names_are_the_paper_names() {
+        let names: Vec<&str> = Policy::all_default().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["SPLIT", "ClockWork", "PREMA", "RT-A"]);
+    }
+
+    #[test]
+    fn outcomes_match_completions() {
+        let a = arrivals(10);
+        let r = simulate(&Policy::ClockWork, &a, &table());
+        let o = r.outcomes();
+        assert_eq!(o.len(), r.completions.len());
+        for (c, o) in r.completions.iter().zip(&o) {
+            assert_eq!(c.id, o.id);
+            assert!((c.response_ratio() - o.response_ratio()).abs() < 1e-12);
+        }
+    }
+
+    /// The headline qualitative claim of Figure 1: with a short request
+    /// arriving behind a long one, SPLIT's short-request latency beats all
+    /// three baselines.
+    #[test]
+    fn split_wins_the_figure1_scenario() {
+        let t = table();
+        let a = vec![
+            Arrival {
+                id: 0,
+                model: "long".into(),
+                arrival_us: 0.0,
+            },
+            Arrival {
+                id: 1,
+                model: "short".into(),
+                arrival_us: 2_000.0,
+            },
+        ];
+        let e2e = |p: &Policy| {
+            simulate(p, &a, &t)
+                .completions
+                .iter()
+                .find(|c| c.id == 1)
+                .unwrap()
+                .e2e_us()
+        };
+        let split = e2e(&Policy::Split(crate::policy::SplitCfg {
+            alpha: 4.0,
+            elastic: None,
+        }));
+        for p in [
+            Policy::ClockWork,
+            Policy::Prema(Default::default()),
+            Policy::Rta(Default::default()),
+        ] {
+            assert!(
+                split < e2e(&p),
+                "SPLIT {} must beat {} {}",
+                split,
+                p.name(),
+                e2e(&p)
+            );
+        }
+    }
+}

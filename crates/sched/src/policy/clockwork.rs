@@ -1,0 +1,184 @@
+//! ClockWork baseline: sequential, non-preemptive, first-come-first-served
+//! (paper §5.3).
+//!
+//! ClockWork's thesis is *predictability*: one request owns the GPU at a
+//! time and runs its whole (unsplit) model. A short request arriving
+//! behind a long one simply waits — the latency pathology SPLIT attacks
+//! (Figure 1's "Sequential" lane).
+
+use crate::engine::SimResult;
+use crate::request::{Completion, ModelTable};
+use gpu_sim::Timeline;
+use workload::Arrival;
+
+/// Serve the trace FCFS, whole models, no preemption.
+pub fn clockwork(arrivals: &[Arrival], models: &ModelTable) -> SimResult {
+    let mut tl = Timeline::new();
+    let mut completions = Vec::with_capacity(arrivals.len());
+    for a in arrivals {
+        let m = models.get(&a.model);
+        let (start, end) = tl.execute(format!("{}#{}", m.name, a.id), a.arrival_us, m.exec_us);
+        completions.push(Completion {
+            id: a.id,
+            model: m.name.clone(),
+            task: m.task,
+            arrival_us: a.arrival_us,
+            start_us: start,
+            end_us: end,
+            exec_us: m.exec_us,
+        });
+    }
+    SimResult {
+        completions,
+        trace: tl.into_trace(),
+    }
+}
+
+/// ClockWork's signature admission control (§7: "dropping tasks predicted
+/// to be stragglers upon arrival"): a request whose *predicted* response
+/// ratio — queueing delay visible at arrival plus its own execution over
+/// its isolated time — already exceeds `target_alpha` is dropped instead
+/// of queued.
+///
+/// Returns the completions of admitted requests plus the ids of dropped
+/// ones. The paper's Figure 6 comparison cannot drop (every request is
+/// scored), which is why [`clockwork`] is the baseline there; this
+/// variant backs the admission-control ablation.
+pub fn clockwork_with_dropping(
+    arrivals: &[Arrival],
+    models: &ModelTable,
+    target_alpha: f64,
+) -> (SimResult, Vec<u64>) {
+    assert!(
+        target_alpha > 1.0,
+        "a target below 1x isolated time drops everything"
+    );
+    let mut tl = Timeline::new();
+    let mut completions = Vec::new();
+    let mut dropped = Vec::new();
+    for a in arrivals {
+        let m = models.get(&a.model);
+        let wait = (tl.busy_until_us() - a.arrival_us).max(0.0);
+        let predicted_rr = (wait + m.exec_us) / m.exec_us;
+        if predicted_rr > target_alpha {
+            dropped.push(a.id);
+            continue;
+        }
+        let (start, end) = tl.execute(format!("{}#{}", m.name, a.id), a.arrival_us, m.exec_us);
+        completions.push(Completion {
+            id: a.id,
+            model: m.name.clone(),
+            task: m.task,
+            arrival_us: a.arrival_us,
+            start_us: start,
+            end_us: end,
+            exec_us: m.exec_us,
+        });
+    }
+    (
+        SimResult {
+            completions,
+            trace: tl.into_trace(),
+        },
+        dropped,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelRuntime;
+
+    fn table() -> ModelTable {
+        let mut t = ModelTable::new();
+        t.insert(ModelRuntime::vanilla("short", 0, 10_000.0));
+        t.insert(ModelRuntime::vanilla("long", 1, 60_000.0));
+        t
+    }
+
+    fn arrival(id: u64, model: &str, t: f64) -> Arrival {
+        Arrival {
+            id,
+            model: model.into(),
+            arrival_us: t,
+        }
+    }
+
+    #[test]
+    fn fcfs_order_is_arrival_order() {
+        let arrivals = vec![arrival(0, "long", 0.0), arrival(1, "short", 1_000.0)];
+        let r = clockwork(&arrivals, &table());
+        assert_eq!(r.completions.len(), 2);
+        // Short waits for the whole long request.
+        let short = &r.completions[1];
+        assert_eq!(short.start_us, 60_000.0);
+        assert_eq!(short.end_us, 70_000.0);
+        assert!((short.response_ratio() - 6.9).abs() < 1e-9);
+        assert!(r.trace.first_overlap().is_none());
+    }
+
+    #[test]
+    fn idle_gaps_are_respected() {
+        let arrivals = vec![arrival(0, "short", 0.0), arrival(1, "short", 100_000.0)];
+        let r = clockwork(&arrivals, &table());
+        assert_eq!(r.completions[1].start_us, 100_000.0);
+        assert_eq!(r.completions[1].response_ratio(), 1.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let r = clockwork(&[], &table());
+        assert!(r.completions.is_empty());
+    }
+
+    #[test]
+    fn dropping_rejects_predicted_stragglers() {
+        // Short behind a long request: predicted RR = (59 + 10)/10 = 6.9,
+        // over a target of 4 → dropped. A later short is admitted.
+        let arrivals = vec![
+            arrival(0, "long", 0.0),
+            arrival(1, "short", 1_000.0),
+            arrival(2, "short", 100_000.0),
+        ];
+        let (r, dropped) = clockwork_with_dropping(&arrivals, &table(), 4.0);
+        assert_eq!(dropped, vec![1]);
+        assert_eq!(r.completions.len(), 2);
+        assert!(r.completions.iter().all(|c| c.response_ratio() <= 4.0));
+    }
+
+    #[test]
+    fn dropping_admits_everything_when_idle() {
+        let arrivals: Vec<Arrival> = (0..5)
+            .map(|i| arrival(i, "short", i as f64 * 100_000.0))
+            .collect();
+        let (r, dropped) = clockwork_with_dropping(&arrivals, &table(), 2.0);
+        assert!(dropped.is_empty());
+        assert_eq!(r.completions.len(), 5);
+    }
+
+    #[test]
+    fn admitted_requests_never_violate_the_admission_target() {
+        // The whole point of ClockWork's predictability: if a request is
+        // admitted, FCFS guarantees the prediction was exact.
+        let arrivals: Vec<Arrival> = (0..60)
+            .map(|i| {
+                arrival(
+                    i,
+                    if i % 2 == 0 { "long" } else { "short" },
+                    i as f64 * 12_000.0,
+                )
+            })
+            .collect();
+        let (r, dropped) = clockwork_with_dropping(&arrivals, &table(), 3.0);
+        assert!(!dropped.is_empty(), "this load must drop something");
+        for c in &r.completions {
+            assert!(c.response_ratio() <= 3.0 + 1e-9, "{c:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drops everything")]
+    fn dropping_rejects_bad_target() {
+        clockwork_with_dropping(&[], &table(), 0.5);
+    }
+}

@@ -1,0 +1,326 @@
+//! The SPLIT policy (paper §3): sequential block-granular execution with
+//! greedy response-ratio preemption and elastic splitting.
+//!
+//! The device runs one *block* at a time (predictable latency, §6). The
+//! waiting queue holds whole requests; on every arrival the greedy
+//! preemption algorithm ([`split_core::greedy_preempt`]) decides the new
+//! request's queue position — so a short request preempts a long one *at
+//! the next block boundary*, never mid-kernel and never per-block
+//! (full preemption, Figure 3b). The elastic controller downgrades
+//! requests to vanilla execution during floods (§3.3).
+
+use crate::engine::SimResult;
+use crate::request::{Completion, ModelTable};
+use gpu_sim::Trace;
+use serde::{Deserialize, Serialize};
+use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use std::collections::{HashMap, VecDeque};
+use workload::Arrival;
+
+/// SPLIT policy configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitCfg {
+    /// Latency-target multiplier α used inside response-ratio comparisons
+    /// (footnote 3; the evaluation sweeps the *metric's* α separately).
+    pub alpha: f64,
+    /// Elastic splitting thresholds; `None` disables elasticity (always
+    /// split — used by the ablation bench).
+    pub elastic: Option<ElasticConfig>,
+}
+
+impl Default for SplitCfg {
+    fn default() -> Self {
+        Self {
+            alpha: 4.0,
+            elastic: Some(ElasticConfig::default()),
+        }
+    }
+}
+
+/// Serve the trace with SPLIT.
+pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimResult {
+    let mut elastic = cfg.elastic.clone().map(ElasticController::new);
+
+    // Per-request state.
+    let mut blocks_left: HashMap<u64, VecDeque<f64>> = HashMap::new();
+    let mut meta: HashMap<u64, (String, u32, f64, f64)> = HashMap::new(); // name, task, exec, arrival
+    let mut started: HashMap<u64, f64> = HashMap::new();
+
+    let mut queue: Vec<QueueEntry> = Vec::new();
+    let mut running: Option<(u64, f64)> = None; // (request id, block end)
+    let mut trace = Trace::new();
+    let mut completions = Vec::with_capacity(arrivals.len());
+
+    let mut now = 0.0f64;
+    let mut next = 0usize;
+
+    loop {
+        // Dispatch: device idle and someone waiting → run queue head's next
+        // block.
+        if running.is_none() {
+            if let Some(head) = queue.first_mut() {
+                let id = head.id;
+                let blk = blocks_left
+                    .get_mut(&id)
+                    .and_then(|b| b.pop_front())
+                    .expect("queued request has blocks");
+                // The in-flight block leaves the entry's `left_us`; future
+                // preemption decisions see it as `base_wait` instead.
+                head.left_us -= blk;
+                let (name, _, _, _) = &meta[&id];
+                let block_idx = {
+                    let total = models.get(name).blocks_us.len();
+                    total - blocks_left[&id].len() - 1
+                };
+                trace.record(format!("{name}#{id}/b{block_idx}"), 0, now, now + blk);
+                started.entry(id).or_insert(now);
+                running = Some((id, now + blk));
+                continue;
+            }
+        }
+
+        let t_arrival = arrivals.get(next).map(|a| a.arrival_us);
+        let t_block_end = running.map(|(_, e)| e);
+
+        let arrival_first = match (t_arrival, t_block_end) {
+            (None, None) => break,
+            (Some(ta), Some(te)) => ta < te - 1e-12,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+        };
+        if arrival_first {
+            let ta = t_arrival.expect("arrival_first implies an arrival");
+            {
+                // Arrival first.
+                now = ta;
+                let a = &arrivals[next];
+                next += 1;
+                let m = models.get(&a.model);
+                let use_split = match elastic.as_mut() {
+                    Some(ctl) => ctl.on_arrival(now, m.task),
+                    None => true,
+                };
+                let blocks: VecDeque<f64> = if use_split {
+                    m.blocks_us.iter().copied().collect()
+                } else {
+                    std::iter::once(m.exec_us).collect()
+                };
+                let left: f64 = blocks.iter().sum();
+                blocks_left.insert(a.id, blocks);
+                meta.insert(a.id, (m.name.clone(), m.task, m.exec_us, now));
+                let base_wait = running.map(|(_, e)| e - now).unwrap_or(0.0);
+                greedy_preempt(
+                    &mut queue,
+                    QueueEntry {
+                        id: a.id,
+                        task: m.task,
+                        exec_us: m.exec_us,
+                        left_us: left,
+                        arrival_us: now,
+                    },
+                    base_wait,
+                    now,
+                    cfg.alpha,
+                );
+            }
+        } else {
+            {
+                // Block completion first.
+                let te = t_block_end.expect("block end exists");
+                now = te;
+                let (id, _) = running.take().expect("block end without running block");
+                if blocks_left[&id].is_empty() {
+                    // Request finished: drop its queue entry and record.
+                    let pos = queue
+                        .iter()
+                        .position(|e| e.id == id)
+                        .expect("running request is queued");
+                    queue.remove(pos);
+                    blocks_left.remove(&id);
+                    let (name, task, exec, arrival) = meta.remove(&id).expect("meta");
+                    completions.push(Completion {
+                        id,
+                        model: name,
+                        task,
+                        arrival_us: arrival,
+                        start_us: started.remove(&id).expect("started"),
+                        end_us: now,
+                        exec_us: exec,
+                    });
+                }
+                // Otherwise the request stays queued at its position; the
+                // dispatch step picks whoever is at the head now — that is
+                // exactly where block-boundary preemption happens.
+            }
+        }
+    }
+
+    completions.sort_by(|a, b| a.end_us.total_cmp(&b.end_us).then(a.id.cmp(&b.id)));
+    SimResult { completions, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ModelRuntime;
+
+    /// Long model split into 3 even blocks with 10% overhead; short
+    /// unsplit.
+    fn table() -> ModelTable {
+        let mut t = ModelTable::new();
+        t.insert(ModelRuntime::vanilla("short", 0, 10_000.0));
+        t.insert(ModelRuntime::split(
+            "long",
+            1,
+            60_000.0,
+            vec![22_000.0, 22_000.0, 22_000.0],
+        ));
+        t
+    }
+
+    fn arrival(id: u64, model: &str, t: f64) -> Arrival {
+        Arrival {
+            id,
+            model: model.into(),
+            arrival_us: t,
+        }
+    }
+
+    fn cfg_no_elastic() -> SplitCfg {
+        SplitCfg {
+            alpha: 4.0,
+            elastic: None,
+        }
+    }
+
+    #[test]
+    fn lone_request_runs_all_blocks_back_to_back() {
+        let r = split(&[arrival(0, "long", 0.0)], &table(), &cfg_no_elastic());
+        let c = &r.completions[0];
+        assert_eq!(c.start_us, 0.0);
+        assert!((c.end_us - 66_000.0).abs() < 1e-9);
+        assert_eq!(r.trace.events().len(), 3);
+        assert!(r.trace.first_overlap().is_none());
+    }
+
+    #[test]
+    fn short_preempts_at_block_boundary() {
+        // Long starts at 0; short arrives at 1 ms. It must wait only for
+        // the in-flight block (ends at 22 ms), not the whole long model.
+        let r = split(
+            &[arrival(0, "long", 0.0), arrival(1, "short", 1_000.0)],
+            &table(),
+            &cfg_no_elastic(),
+        );
+        let short = r.completions.iter().find(|c| c.id == 1).unwrap();
+        assert_eq!(short.start_us, 22_000.0);
+        assert!((short.e2e_us() - 31_000.0).abs() < 1e-9);
+        // The long request resumes after the short one.
+        let long = r.completions.iter().find(|c| c.id == 0).unwrap();
+        assert!((long.end_us - 76_000.0).abs() < 1e-9);
+        // Full preemption: the long model's remaining blocks run
+        // contiguously after the short request (no interleaving).
+        let events: Vec<&str> = r.trace.events().iter().map(|e| e.label.as_str()).collect();
+        assert_eq!(
+            events,
+            vec!["long#0/b0", "short#1/b0", "long#0/b1", "long#0/b2"]
+        );
+    }
+
+    #[test]
+    fn same_task_requests_stay_fifo() {
+        let r = split(
+            &[
+                arrival(0, "short", 0.0),
+                arrival(1, "short", 100.0),
+                arrival(2, "short", 200.0),
+            ],
+            &table(),
+            &cfg_no_elastic(),
+        );
+        let ends: Vec<(u64, f64)> = r.completions.iter().map(|c| (c.id, c.end_us)).collect();
+        assert_eq!(ends.iter().map(|e| e.0).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn long_cannot_preempt_short() {
+        let r = split(
+            &[
+                arrival(0, "short", 0.0),
+                arrival(1, "long", 10.0),
+                arrival(2, "short", 20.0),
+            ],
+            &table(),
+            &cfg_no_elastic(),
+        );
+        // Second short jumps the waiting long request.
+        let c2 = r.completions.iter().find(|c| c.id == 2).unwrap();
+        let c1 = r.completions.iter().find(|c| c.id == 1).unwrap();
+        assert!(c2.end_us < c1.end_us);
+    }
+
+    #[test]
+    fn elastic_flood_falls_back_to_vanilla() {
+        // A dense same-type flood of long requests: elastic mode must
+        // disable splitting, so no splitting overhead is paid.
+        let arrivals: Vec<Arrival> = (0..12)
+            .map(|i| arrival(i, "long", i as f64 * 1_000.0))
+            .collect();
+        let elastic = ElasticConfig {
+            window_us: 1_000_000.0,
+            density_off_per_s: 5.0,
+            density_on_per_s: 2.0,
+            same_type_frac: 0.9,
+            min_samples: 4,
+        };
+        let r = split(
+            &arrivals,
+            &table(),
+            &SplitCfg {
+                alpha: 4.0,
+                elastic: Some(elastic),
+            },
+        );
+        assert_eq!(r.completions.len(), 12);
+        // Later requests run vanilla (60 ms each, one trace event), so the
+        // tail of the trace must contain unsplit long spans.
+        let has_vanilla_span = r
+            .trace
+            .events()
+            .iter()
+            .any(|e| e.label.starts_with("long") && (e.duration_us() - 60_000.0).abs() < 1e-6);
+        assert!(has_vanilla_span, "flood must trigger vanilla execution");
+    }
+
+    #[test]
+    fn conservation_and_sanity_under_load() {
+        let mut arrivals = Vec::new();
+        for i in 0..100 {
+            let m = if i % 3 == 0 { "long" } else { "short" };
+            arrivals.push(arrival(i, m, i as f64 * 7_000.0));
+        }
+        let r = split(&arrivals, &table(), &SplitCfg::default());
+        assert_eq!(r.completions.len(), 100);
+        assert!(r.trace.first_overlap().is_none());
+        for c in &r.completions {
+            assert!(c.end_us > c.arrival_us);
+            assert!(c.e2e_us() >= c.exec_us - 1e-6, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let arrivals: Vec<Arrival> = (0..50)
+            .map(|i| {
+                arrival(
+                    i,
+                    if i % 4 == 0 { "long" } else { "short" },
+                    i as f64 * 6_500.0,
+                )
+            })
+            .collect();
+        let a = split(&arrivals, &table(), &SplitCfg::default());
+        let b = split(&arrivals, &table(), &SplitCfg::default());
+        assert_eq!(a.completions, b.completions);
+    }
+}

@@ -1,0 +1,181 @@
+//! Runtime model descriptions and completion records.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Everything a policy needs to know about one deployed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRuntime {
+    /// Model name (matches the workload trace).
+    pub name: String,
+    /// Dense task id — requests of one task stay FIFO under SPLIT.
+    pub task: u32,
+    /// Isolated vanilla execution time `Ext`, µs (the QoS baseline).
+    pub exec_us: f64,
+    /// Block times from the offline split plan, µs. A single entry means
+    /// the model runs unsplit.
+    pub blocks_us: Vec<f64>,
+}
+
+impl ModelRuntime {
+    /// An unsplit model.
+    pub fn vanilla(name: impl Into<String>, task: u32, exec_us: f64) -> Self {
+        Self {
+            name: name.into(),
+            task,
+            exec_us,
+            blocks_us: vec![exec_us],
+        }
+    }
+
+    /// A split model with the given block times.
+    pub fn split(name: impl Into<String>, task: u32, exec_us: f64, blocks_us: Vec<f64>) -> Self {
+        assert!(!blocks_us.is_empty(), "need at least one block");
+        Self {
+            name: name.into(),
+            task,
+            exec_us,
+            blocks_us,
+        }
+    }
+
+    /// Total device time when run split, µs (≥ `exec_us` by the splitting
+    /// overhead).
+    pub fn split_total_us(&self) -> f64 {
+        self.blocks_us.iter().sum()
+    }
+}
+
+/// The deployment: model name → runtime description.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ModelTable {
+    map: HashMap<String, ModelRuntime>,
+}
+
+impl ModelTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a model (replacing an existing entry of the same name).
+    pub fn insert(&mut self, m: ModelRuntime) {
+        self.map.insert(m.name.clone(), m);
+    }
+
+    /// Look up a model.
+    ///
+    /// # Panics
+    /// Panics when the model is unknown — a trace referencing an
+    /// undeployed model is a harness bug worth failing loudly on.
+    pub fn get(&self, name: &str) -> &ModelRuntime {
+        self.map
+            .get(name)
+            .unwrap_or_else(|| panic!("model {name:?} not deployed"))
+    }
+
+    /// Whether a model is deployed.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Number of deployed models.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no models are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// One served request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Completion {
+    /// Request id from the trace.
+    pub id: u64,
+    /// Model name.
+    pub model: String,
+    /// Task id.
+    pub task: u32,
+    /// Arrival time, µs.
+    pub arrival_us: f64,
+    /// First time the request made progress on the device, µs.
+    pub start_us: f64,
+    /// Completion time, µs.
+    pub end_us: f64,
+    /// Isolated execution time, µs (response-ratio denominator).
+    pub exec_us: f64,
+}
+
+impl Completion {
+    /// End-to-end latency (Eq. 3's `t_ete`), µs.
+    #[inline]
+    pub fn e2e_us(&self) -> f64 {
+        self.end_us - self.arrival_us
+    }
+
+    /// Response ratio (Eq. 3).
+    #[inline]
+    pub fn response_ratio(&self) -> f64 {
+        self.e2e_us() / self.exec_us
+    }
+
+    /// Convert to the metrics crate's outcome record.
+    pub fn to_outcome(&self) -> qos_metrics::RequestOutcome {
+        qos_metrics::RequestOutcome {
+            id: self.id,
+            model: self.model.clone(),
+            exec_us: self.exec_us,
+            e2e_us: self.e2e_us(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_table_round_trip() {
+        let mut t = ModelTable::new();
+        assert!(t.is_empty());
+        t.insert(ModelRuntime::vanilla("a", 0, 1000.0));
+        t.insert(ModelRuntime::split("b", 1, 2000.0, vec![1100.0, 1200.0]));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains("a"));
+        assert_eq!(t.get("b").split_total_us(), 2300.0);
+        assert_eq!(t.get("a").blocks_us, vec![1000.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not deployed")]
+    fn unknown_model_panics() {
+        ModelTable::new().get("ghost");
+    }
+
+    #[test]
+    fn completion_math() {
+        let c = Completion {
+            id: 1,
+            model: "m".into(),
+            task: 0,
+            arrival_us: 100.0,
+            start_us: 150.0,
+            end_us: 400.0,
+            exec_us: 100.0,
+        };
+        assert_eq!(c.e2e_us(), 300.0);
+        assert_eq!(c.response_ratio(), 3.0);
+        let o = c.to_outcome();
+        assert_eq!(o.e2e_us, 300.0);
+        assert_eq!(o.exec_us, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn empty_blocks_rejected() {
+        ModelRuntime::split("x", 0, 10.0, vec![]);
+    }
+}

@@ -1,0 +1,145 @@
+//! The waiting-latency analysis behind evenly-sized splitting (paper Eq. 1).
+//!
+//! Suppose a long model is split into `n` blocks with execution times
+//! `{t_1, …, t_n}` and a short request arrives uniformly at random while
+//! the long model runs (blocks are non-preemptible, so the short request
+//! waits for the *current block* to finish). Its expected waiting latency
+//! is
+//!
+//! ```text
+//! E[wait] = (1/2) · Σ t_i² / Σ t_i = (1/2) · (σ²/t̄ + t̄)
+//! ```
+//!
+//! Two consequences drive the whole design:
+//! * for a fixed number of blocks, waiting is minimized when the blocks are
+//!   *even* (σ → 0), and
+//! * for even blocks, waiting falls like `t̄/2` as blocks shrink — but the
+//!   splitting overhead grows with block count, so an **optimal number of
+//!   blocks exists** (the hyperbola the paper mentions after Eq. 1).
+
+/// Expected waiting latency (µs) of a uniformly-arriving request over the
+/// given block times (µs) — the exact Eq. 1 left-hand side.
+pub fn expected_waiting_us(block_times_us: &[f64]) -> f64 {
+    let total: f64 = block_times_us.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let sum_sq: f64 = block_times_us.iter().map(|t| t * t).sum();
+    0.5 * sum_sq / total
+}
+
+/// Eq. 1 right-hand side: `(σ²/t̄ + t̄)/2` from the block-time moments.
+/// Mathematically identical to [`expected_waiting_us`]; kept separate so a
+/// property test can confirm the paper's algebra.
+pub fn expected_waiting_via_moments(block_times_us: &[f64]) -> f64 {
+    let n = block_times_us.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = block_times_us.iter().sum::<f64>() / n as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = block_times_us
+        .iter()
+        .map(|t| (t - mean) * (t - mean))
+        .sum::<f64>()
+        / n as f64;
+    0.5 * (var / mean + mean)
+}
+
+/// Monte-Carlo estimate of the same quantity: drop `samples` arrivals
+/// uniformly in `[0, Σt)` and average the residual time of the block in
+/// progress. Used by tests to validate the closed form against the
+/// mechanism it models.
+pub fn monte_carlo_waiting_us(block_times_us: &[f64], samples: usize, seed: u64) -> f64 {
+    use rand::prelude::*;
+    let total: f64 = block_times_us.iter().sum();
+    if total <= 0.0 || samples == 0 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut acc = 0.0;
+    for _ in 0..samples {
+        let arrive = rng.random_range(0.0..total);
+        let mut edge = 0.0;
+        for &t in block_times_us {
+            edge += t;
+            if arrive < edge {
+                acc += edge - arrive;
+                break;
+            }
+        }
+    }
+    acc / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_block_waits_half_its_time() {
+        assert!((expected_waiting_us(&[100.0]) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_blocks_wait_half_a_block() {
+        // Four even 25µs blocks: expected wait 12.5µs.
+        assert!((expected_waiting_us(&[25.0; 4]) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_blocks_wait_longer_than_even() {
+        // Same total (100), same count.
+        let even = expected_waiting_us(&[50.0, 50.0]);
+        let uneven = expected_waiting_us(&[90.0, 10.0]);
+        assert!(uneven > even);
+        // Exact: (8100+100)/200/... => 0.5*8200/100 = 41 vs 25.
+        assert!((even - 25.0).abs() < 1e-12);
+        assert!((uneven - 41.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closed_forms_agree() {
+        let cases: &[&[f64]] = &[
+            &[10.0],
+            &[30.0, 70.0],
+            &[5.0, 5.0, 5.0, 85.0],
+            &[1.0, 2.0, 3.0, 4.0],
+        ];
+        for c in cases {
+            let a = expected_waiting_us(c);
+            let b = expected_waiting_via_moments(c);
+            assert!((a - b).abs() < 1e-9, "{c:?}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_validates_eq1() {
+        let blocks = [12.0, 30.0, 8.0, 50.0];
+        let exact = expected_waiting_us(&blocks);
+        let mc = monte_carlo_waiting_us(&blocks, 200_000, 42);
+        assert!(
+            (mc - exact).abs() / exact < 0.02,
+            "MC {mc} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(expected_waiting_us(&[]), 0.0);
+        assert_eq!(expected_waiting_via_moments(&[]), 0.0);
+        assert_eq!(monte_carlo_waiting_us(&[], 100, 1), 0.0);
+    }
+
+    #[test]
+    fn more_even_blocks_reduce_waiting_hyperbolically() {
+        // 100µs of work split into n even blocks waits 50/n.
+        for n in 1..=10usize {
+            let blocks = vec![100.0 / n as f64; n];
+            let w = expected_waiting_us(&blocks);
+            assert!((w - 50.0 / n as f64).abs() < 1e-9);
+        }
+    }
+}

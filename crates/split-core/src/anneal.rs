@@ -1,0 +1,265 @@
+//! Simulated-annealing splitter — the alternative heuristic §2.3 weighs.
+//!
+//! The paper argues generic heuristics pay "substantial search overhead"
+//! unless guided by prior knowledge. This module provides a competitive,
+//! tunable simulated-annealing search over the same Eq. 2 fitness so the
+//! claim can be *measured* (see `bench/benches/ga_vs_exhaustive.rs` and
+//! the search-quality comparison in `bin/search_methods`): SA with a
+//! guided start matches the GA; SA from a cold uniform start needs more
+//! evaluations for the same quality.
+
+use crate::fitness::fitness;
+use crate::ga::InitStrategy;
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::DeviceConfig;
+use profiler::{BlockProfile, ProfileCache};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Simulated-annealing configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnnealConfig {
+    /// Number of blocks (`m`); the state is `m−1` cuts.
+    pub blocks: usize,
+    /// Total candidate evaluations.
+    pub iterations: usize,
+    /// Initial temperature (in fitness units; Eq. 2 fitness spans ~O(1)).
+    pub t0: f64,
+    /// Geometric cooling factor per iteration.
+    pub cooling: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Initial-state sampling (guided = §2.4 observations).
+    pub init: InitStrategy,
+}
+
+impl AnnealConfig {
+    /// Defaults sized to match the GA's evaluation budget (~300 profiles).
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            blocks,
+            iterations: 300,
+            t0: 0.05,
+            cooling: 0.985,
+            seed: 0xA11EA1,
+            init: InitStrategy::Guided,
+        }
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style init override.
+    pub fn with_init(mut self, init: InitStrategy) -> Self {
+        self.init = init;
+        self
+    }
+}
+
+/// Result of an annealing run.
+#[derive(Debug, Clone)]
+pub struct AnnealOutcome {
+    /// Best split found.
+    pub best: SplitSpec,
+    /// Its profile.
+    pub best_profile: BlockProfile,
+    /// Eq. 2 fitness of the best split.
+    pub best_fitness: f64,
+    /// Distinct candidates profiled.
+    pub candidates_profiled: usize,
+}
+
+fn sample_state(graph: &Graph, cuts: usize, init: InitStrategy, rng: &mut StdRng) -> Vec<usize> {
+    let m = graph.op_count();
+    let mut out: Vec<usize> = Vec::with_capacity(cuts);
+    let mut guard = 0usize;
+    while out.len() < cuts {
+        let c = match init {
+            InitStrategy::Uniform => rng.random_range(1..m),
+            InitStrategy::Guided => {
+                // Same truncated-triangular sampling as the GA.
+                let (lo, peak, hi) = (0.10 * m as f64, 0.45 * m as f64, 0.95 * m as f64);
+                let u: f64 = rng.random_range(0.0..1.0);
+                let fc = (peak - lo) / (hi - lo);
+                let x = if u < fc {
+                    lo + (u * (hi - lo) * (peak - lo)).sqrt()
+                } else {
+                    hi - ((1.0 - u) * (hi - lo) * (hi - peak)).sqrt()
+                };
+                (x.round() as usize).clamp(1, m - 1)
+            }
+        };
+        if !out.contains(&c) {
+            out.push(c);
+        }
+        guard += 1;
+        if guard > 64 * cuts {
+            for c in 1..m {
+                if out.len() < cuts && !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn neighbor(graph: &Graph, state: &[usize], rng: &mut StdRng) -> Vec<usize> {
+    let m = graph.op_count();
+    let mut next = state.to_vec();
+    let i = rng.random_range(0..next.len());
+    let span = (m / 10).max(1) as i64;
+    let step = rng.random_range(-span..=span).max(-(next[i] as i64 - 1));
+    let mut moved = (next[i] as i64 + step).clamp(1, (m - 1) as i64) as usize;
+    // Resolve collisions by walking to the nearest free slot.
+    let mut guard = 0;
+    while next.iter().enumerate().any(|(j, &c)| j != i && c == moved) {
+        moved = (moved % (m - 1)) + 1;
+        guard += 1;
+        if guard > m {
+            break;
+        }
+    }
+    next[i] = moved;
+    next.sort_unstable();
+    next
+}
+
+/// Run simulated annealing on `graph`.
+///
+/// # Panics
+/// Panics if `cfg.blocks < 2` or the model is smaller than the block
+/// count.
+pub fn anneal(graph: &Graph, dev: &DeviceConfig, cfg: &AnnealConfig) -> AnnealOutcome {
+    assert!(
+        cfg.blocks >= 2,
+        "splitting into {} blocks is a no-op",
+        cfg.blocks
+    );
+    assert!(graph.op_count() > cfg.blocks);
+    assert!(cfg.iterations > 0);
+    assert!((0.0..1.0).contains(&cfg.cooling) || cfg.cooling == 1.0);
+
+    let cache = ProfileCache::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let cuts = cfg.blocks - 1;
+
+    let eval = |state: &[usize]| {
+        let spec = SplitSpec::new(graph, state.to_vec()).expect("valid state");
+        let p = cache.profile(graph, &spec, dev);
+        let f = fitness(&p);
+        (spec, p, f)
+    };
+
+    let mut current = sample_state(graph, cuts, cfg.init, &mut rng);
+    let (mut best_spec, mut best_profile, mut best_f) = eval(&current);
+    let mut current_f = best_f;
+    let mut temp = cfg.t0;
+
+    for _ in 0..cfg.iterations {
+        let cand = neighbor(graph, &current, &mut rng);
+        let (spec, profile, f) = eval(&cand);
+        let accept = f > current_f || {
+            let p = ((f - current_f) / temp.max(1e-12)).exp();
+            rng.random_range(0.0..1.0) < p
+        };
+        if accept {
+            current = cand;
+            current_f = f;
+            if f > best_f {
+                best_f = f;
+                best_spec = spec;
+                best_profile = profile;
+            }
+        }
+        temp *= cfg.cooling;
+    }
+
+    AnnealOutcome {
+        best: best_spec,
+        best_profile,
+        best_fitness: best_f,
+        candidates_profiled: cache.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn cnn() -> Graph {
+        let mut b = GraphBuilder::new("sa-cnn", TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let mut t = b.conv(&x, 16, 3, 1, 1);
+        for i in 0..12 {
+            let c = b.conv(&t, 16 + 8 * (i / 4), 3, if i % 5 == 4 { 2 } else { 1 }, 1);
+            t = b.relu(&c);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn anneal_returns_valid_split() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let out = anneal(&g, &dev, &AnnealConfig::new(3));
+        assert_eq!(out.best.block_count(), 3);
+        assert!(out.best_fitness.is_finite());
+        assert!(out.candidates_profiled > 0);
+    }
+
+    #[test]
+    fn anneal_deterministic_per_seed() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let a = anneal(&g, &dev, &AnnealConfig::new(2).with_seed(5));
+        let b = anneal(&g, &dev, &AnnealConfig::new(2).with_seed(5));
+        assert_eq!(a.best.cuts(), b.best.cuts());
+        assert_eq!(a.best_fitness, b.best_fitness);
+    }
+
+    #[test]
+    fn anneal_near_bruteforce_on_single_cut() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let out = anneal(&g, &dev, &AnnealConfig::new(2));
+        let brute = (1..g.op_count())
+            .map(|c| {
+                let spec = SplitSpec::new(&g, vec![c]).unwrap();
+                fitness(&profiler::profile_split(&g, &spec, &dev))
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            brute - out.best_fitness < 5e-3,
+            "SA {} vs brute {brute}",
+            out.best_fitness
+        );
+    }
+
+    #[test]
+    fn best_never_worse_than_first_sample() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut cfg = AnnealConfig::new(3);
+        cfg.iterations = 50;
+        let out = anneal(&g, &dev, &cfg);
+        // Re-derive the initial state's fitness: by construction the best
+        // is at least as good.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let init = sample_state(&g, 2, cfg.init, &mut rng);
+        let spec = SplitSpec::new(&g, init).unwrap();
+        let f0 = fitness(&profiler::profile_split(&g, &spec, &dev));
+        assert!(out.best_fitness >= f0 - 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no-op")]
+    fn rejects_single_block() {
+        anneal(&cnn(), &DeviceConfig::default(), &AnnealConfig::new(1));
+    }
+}

@@ -1,0 +1,223 @@
+//! Elastic model splitting (paper §3.3, "Limitation of evenly-sized model
+//! splitting and elastic model splitting in SPLIT").
+//!
+//! Splitting buys preemption opportunities at the price of splitting
+//! overhead. Two workload regimes make that trade a loss:
+//!
+//! * **high request density** — the device is saturated, so the overhead
+//!   directly grows the backlog and hurts everyone;
+//! * **same-type floods** — requests of one task are FIFO among themselves
+//!   (§3.4), so there is nothing to preempt *between* them and the
+//!   overhead is pure waste.
+//!
+//! The [`ElasticController`] watches a sliding window of recent arrivals
+//! and answers, per dispatch, whether the next request should run split or
+//! vanilla. Hysteresis (distinct on/off thresholds) prevents flapping at
+//! the boundary.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Elastic-splitting thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticConfig {
+    /// Sliding-window length, µs.
+    pub window_us: f64,
+    /// Disable splitting when windowed arrival rate exceeds this
+    /// (requests per second).
+    pub density_off_per_s: f64,
+    /// Re-enable splitting when the rate falls back below this
+    /// (must be ≤ `density_off_per_s`; the gap is the hysteresis band).
+    pub density_on_per_s: f64,
+    /// Disable splitting when one task type exceeds this fraction of the
+    /// windowed arrivals (requires at least `min_samples`).
+    pub same_type_frac: f64,
+    /// Minimum windowed arrivals before the same-type rule can trigger.
+    pub min_samples: usize,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        Self {
+            window_us: 500_000.0,
+            // The Jetson-class device sustains ~35 req/s of the Table 1 mix;
+            // beyond that the queue only grows and overhead is poison.
+            density_off_per_s: 40.0,
+            density_on_per_s: 30.0,
+            same_type_frac: 0.75,
+            min_samples: 6,
+        }
+    }
+}
+
+/// Sliding-window arrival monitor deciding split vs. vanilla execution.
+#[derive(Debug, Clone)]
+pub struct ElasticController {
+    cfg: ElasticConfig,
+    /// Recent arrivals: (time, task type).
+    window: VecDeque<(f64, u32)>,
+    /// Current mode (true = splitting enabled).
+    splitting: bool,
+}
+
+impl ElasticController {
+    /// Controller with the given thresholds; splitting starts enabled.
+    pub fn new(cfg: ElasticConfig) -> Self {
+        assert!(cfg.window_us > 0.0);
+        assert!(
+            cfg.density_on_per_s <= cfg.density_off_per_s,
+            "hysteresis band inverted"
+        );
+        assert!((0.0..=1.0).contains(&cfg.same_type_frac));
+        Self {
+            cfg,
+            window: VecDeque::new(),
+            splitting: true,
+        }
+    }
+
+    /// Record an arrival and return whether this request should be
+    /// dispatched *split* (true) or vanilla (false).
+    pub fn on_arrival(&mut self, now_us: f64, task: u32) -> bool {
+        self.window.push_back((now_us, task));
+        while let Some(&(t, _)) = self.window.front() {
+            if now_us - t > self.cfg.window_us {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        let n = self.window.len();
+        let rate_per_s = n as f64 / (self.cfg.window_us / 1e6);
+
+        let mut dominant = 0usize;
+        if n >= self.cfg.min_samples {
+            let mut counts = std::collections::HashMap::new();
+            for &(_, t) in &self.window {
+                *counts.entry(t).or_insert(0usize) += 1;
+            }
+            dominant = counts.values().copied().max().unwrap_or(0);
+        }
+        let same_type_flood =
+            n >= self.cfg.min_samples && (dominant as f64 / n as f64) >= self.cfg.same_type_frac;
+
+        if self.splitting {
+            if rate_per_s > self.cfg.density_off_per_s || same_type_flood {
+                self.splitting = false;
+            }
+        } else if rate_per_s < self.cfg.density_on_per_s && !same_type_flood {
+            self.splitting = true;
+        }
+        self.splitting
+    }
+
+    /// Current mode without recording an arrival.
+    pub fn splitting_enabled(&self) -> bool {
+        self.splitting
+    }
+
+    /// Windowed arrival count (for tests and telemetry).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl() -> ElasticController {
+        ElasticController::new(ElasticConfig {
+            window_us: 1_000_000.0, // 1 s window for easy arithmetic
+            density_off_per_s: 10.0,
+            density_on_per_s: 5.0,
+            same_type_frac: 0.8,
+            min_samples: 5,
+        })
+    }
+
+    #[test]
+    fn sparse_mixed_traffic_keeps_splitting() {
+        let mut c = ctl();
+        for i in 0..8 {
+            // 2 req/s, alternating tasks.
+            assert!(c.on_arrival(i as f64 * 500_000.0, (i % 4) as u32));
+        }
+    }
+
+    #[test]
+    fn density_flood_disables_splitting() {
+        let mut c = ctl();
+        let mut last = true;
+        for i in 0..30 {
+            // 30 requests in 1s, mixed types → 30/s >> 10/s.
+            last = c.on_arrival(i as f64 * 33_000.0, (i % 5) as u32);
+        }
+        assert!(!last, "flood must disable splitting");
+    }
+
+    #[test]
+    fn recovery_needs_hysteresis_band() {
+        let mut c = ctl();
+        for i in 0..30 {
+            c.on_arrival(i as f64 * 33_000.0, (i % 5) as u32);
+        }
+        assert!(!c.splitting_enabled());
+        // Rate between on (5/s) and off (10/s): 8/s → stays OFF.
+        let mut t = 1_200_000.0;
+        for i in 0..10 {
+            c.on_arrival(t, (i % 5) as u32);
+            t += 125_000.0;
+        }
+        assert!(!c.splitting_enabled(), "must not flap inside the band");
+        // Rate clearly below 5/s → recovers.
+        for i in 0..6 {
+            t += 400_000.0;
+            c.on_arrival(t, (i % 5) as u32);
+        }
+        assert!(c.splitting_enabled(), "must recover at low rate");
+    }
+
+    #[test]
+    fn same_type_flood_disables_splitting() {
+        let mut c = ctl();
+        let mut last = true;
+        for i in 0..8 {
+            // Only 8/s... below density threshold? 8 < 10 → density ok,
+            // but all the same task → FIFO makes splitting pointless.
+            last = c.on_arrival(i as f64 * 125_000.0, 7);
+        }
+        assert!(!last, "same-type flood must disable splitting");
+    }
+
+    #[test]
+    fn same_type_rule_needs_min_samples() {
+        let mut c = ctl();
+        // Three same-type arrivals: below min_samples, keep splitting.
+        for i in 0..3 {
+            assert!(c.on_arrival(i as f64 * 100_000.0, 7));
+        }
+    }
+
+    #[test]
+    fn window_expires_old_arrivals() {
+        let mut c = ctl();
+        for i in 0..20 {
+            c.on_arrival(i as f64 * 10_000.0, (i % 3) as u32);
+        }
+        assert_eq!(c.window_len(), 20);
+        c.on_arrival(10_000_000.0, 0);
+        assert_eq!(c.window_len(), 1, "stale entries must be evicted");
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis band inverted")]
+    fn bad_band_rejected() {
+        ElasticController::new(ElasticConfig {
+            density_on_per_s: 50.0,
+            density_off_per_s: 10.0,
+            ..ElasticConfig::default()
+        });
+    }
+}

@@ -1,0 +1,153 @@
+//! Exhaustive split search — the baseline that motivates the GA.
+//!
+//! §2.2: dividing a model with `M` operators into `N` blocks admits
+//! `C(M−1, N−1)` candidates; profiling them all on device would take tens
+//! of hours. The functions here enumerate that space (guarded by an
+//! explicit candidate limit) so benches can quantify the GA's advantage
+//! and small-model tests can verify the GA finds true optima.
+
+use crate::fitness::fitness;
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::DeviceConfig;
+use profiler::{profile_split, BlockProfile};
+use rayon::prelude::*;
+
+/// Number of split candidates for `op_count` operators into `blocks`
+/// blocks: `C(op_count−1, blocks−1)`. Saturates at `u128::MAX`.
+pub fn count_candidates(op_count: usize, blocks: usize) -> u128 {
+    if blocks == 0 || blocks > op_count {
+        return 0;
+    }
+    let n = (op_count - 1) as u128;
+    let k = (blocks - 1) as u128;
+    let k = k.min(n - k.min(n));
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul(n - i) {
+            Some(v) => v / (i + 1),
+            None => return u128::MAX,
+        };
+    }
+    acc
+}
+
+/// Exhaustively profile every `blocks`-way split and return the fittest
+/// candidate (Eq. 2). Returns `None` when the space exceeds
+/// `max_candidates` — the caller is expected to fall back to the GA, as
+/// the paper does.
+pub fn exhaustive_best(
+    graph: &Graph,
+    dev: &DeviceConfig,
+    blocks: usize,
+    max_candidates: u128,
+) -> Option<(SplitSpec, BlockProfile)> {
+    let total = count_candidates(graph.op_count(), blocks);
+    if total == 0 || total > max_candidates {
+        return None;
+    }
+    let combos = combinations(graph.op_count() - 1, blocks - 1);
+    combos
+        .into_par_iter()
+        .map(|cuts| {
+            let cuts: Vec<usize> = cuts.into_iter().map(|c| c + 1).collect();
+            let spec = SplitSpec::new(graph, cuts).expect("enumerated cuts valid");
+            let p = profile_split(graph, &spec, dev);
+            let f = fitness(&p);
+            (spec, p, f)
+        })
+        .max_by(|a, b| a.2.total_cmp(&b.2).then_with(|| b.0.cuts().cmp(a.0.cuts())))
+        .map(|(s, p, _)| (s, p))
+}
+
+/// All k-combinations of `0..n` in lexicographic order.
+fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    if k == 0 {
+        return vec![vec![]];
+    }
+    if k > n {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.clone());
+        // Advance.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::new("chain", TensorShape::chw(4, 32, 32));
+        let x = b.source();
+        let mut t = b.conv(&x, 8, 3, 1, 1);
+        for _ in 0..n - 1 {
+            t = b.conv(&t, 8, 3, 1, 1);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn candidate_counts() {
+        // C(9, 1) = 9; C(9, 2) = 36.
+        assert_eq!(count_candidates(10, 2), 9);
+        assert_eq!(count_candidates(10, 3), 36);
+        // Paper §2.2 headline shape: counts explode combinatorially.
+        assert!(count_candidates(122, 3) > 7_000);
+        assert_eq!(count_candidates(10, 1), 1);
+        assert_eq!(count_candidates(10, 11), 0);
+        assert_eq!(count_candidates(0, 2), 0);
+    }
+
+    #[test]
+    fn combinations_enumerate_exactly() {
+        let c = combinations(5, 2);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c[0], vec![0, 1]);
+        assert_eq!(c[9], vec![3, 4]);
+        // All distinct and sorted.
+        for combo in &c {
+            assert!(combo[0] < combo[1]);
+        }
+    }
+
+    #[test]
+    fn exhaustive_finds_global_best() {
+        let g = chain(10);
+        let dev = DeviceConfig::default();
+        let (best, bp) = exhaustive_best(&g, &dev, 2, 1_000_000).unwrap();
+        // Check optimality against manual scan.
+        for c in 1..g.op_count() {
+            let p = profile_split(&g, &SplitSpec::new(&g, vec![c]).unwrap(), &dev);
+            assert!(fitness(&p) <= fitness(&bp) + 1e-12, "cut {c} beats 'best'");
+        }
+        assert_eq!(best.block_count(), 2);
+    }
+
+    #[test]
+    fn refuses_oversized_spaces() {
+        let g = chain(30);
+        let dev = DeviceConfig::default();
+        assert!(exhaustive_best(&g, &dev, 4, 100).is_none());
+    }
+}

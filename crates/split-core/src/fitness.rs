@@ -1,0 +1,106 @@
+//! The genetic algorithm's fitness function (paper Eq. 2):
+//!
+//! ```text
+//! fitness = −( e^(σ/T − 1) + e^(overhead/m − 1) )
+//! ```
+//!
+//! where `σ` is the standard deviation of block execution times, `T` the
+//! vanilla model's execution time, `overhead` the splitting-overhead ratio
+//! (footnote 2), and `m` the number of blocks. Both terms are normalized
+//! into comparable exponential penalties: evenness dominates (σ/T is the
+//! first-order QoS lever per Eq. 1) while the overhead term keeps the GA
+//! from chasing evenness at any price.
+
+use profiler::BlockProfile;
+use serde::{Deserialize, Serialize};
+
+/// The two penalty terms of Eq. 2, kept separate for inspection/benches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitnessParts {
+    /// `e^(σ/T − 1)` — the unevenness penalty.
+    pub evenness_penalty: f64,
+    /// `e^(overhead/m − 1)` — the splitting-overhead penalty.
+    pub overhead_penalty: f64,
+}
+
+impl FitnessParts {
+    /// Combine per Eq. 2.
+    pub fn fitness(&self) -> f64 {
+        -(self.evenness_penalty + self.overhead_penalty)
+    }
+}
+
+/// Compute the Eq. 2 parts for a profiled split candidate.
+pub fn fitness_parts(profile: &BlockProfile) -> FitnessParts {
+    let m = profile.block_count().max(1) as f64;
+    let sigma_over_t = if profile.vanilla_us > 0.0 {
+        profile.std_us / profile.vanilla_us
+    } else {
+        0.0
+    };
+    FitnessParts {
+        evenness_penalty: (sigma_over_t - 1.0).exp(),
+        overhead_penalty: (profile.overhead_ratio / m - 1.0).exp(),
+    }
+}
+
+/// Eq. 2 fitness of a profiled split candidate (higher is better; always
+/// negative).
+pub fn fitness(profile: &BlockProfile) -> f64 {
+    fitness_parts(profile).fitness()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(block_times: Vec<f64>, vanilla: f64) -> BlockProfile {
+        let total: f64 = block_times.iter().sum();
+        BlockProfile {
+            cuts: vec![0; block_times.len().saturating_sub(1)],
+            overhead_ratio: (total - vanilla) / vanilla,
+            std_us: profiler::population_std(&block_times),
+            mean_us: profiler::mean(&block_times),
+            range_pct: profiler::range_pct(&block_times),
+            block_times_us: block_times,
+            vanilla_us: vanilla,
+        }
+    }
+
+    #[test]
+    fn fitness_is_negative() {
+        let p = profile(vec![50.0, 52.0], 100.0);
+        assert!(fitness(&p) < 0.0);
+    }
+
+    #[test]
+    fn more_even_is_fitter() {
+        let even = profile(vec![55.0, 55.0], 100.0);
+        let uneven = profile(vec![90.0, 20.0], 100.0);
+        assert!(fitness(&even) > fitness(&uneven));
+    }
+
+    #[test]
+    fn less_overhead_is_fitter() {
+        let cheap = profile(vec![51.0, 51.0], 100.0);
+        let costly = profile(vec![70.0, 70.0], 100.0);
+        assert!(fitness(&cheap) > fitness(&costly));
+    }
+
+    #[test]
+    fn parts_recombine() {
+        let p = profile(vec![40.0, 70.0], 100.0);
+        let parts = fitness_parts(&p);
+        assert!((parts.fitness() - fitness(&p)).abs() < 1e-15);
+        assert!(parts.evenness_penalty > 0.0);
+        assert!(parts.overhead_penalty > 0.0);
+    }
+
+    #[test]
+    fn perfect_split_fitness_bound() {
+        // σ=0, overhead=0: fitness = -2/e.
+        let p = profile(vec![50.0, 50.0], 100.0);
+        let expect = -2.0 * (-1.0f64).exp();
+        assert!((fitness(&p) - expect).abs() < 1e-12);
+    }
+}

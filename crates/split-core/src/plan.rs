@@ -1,0 +1,235 @@
+//! Split plans: the artifact of the offline stage.
+//!
+//! The paper's workflow (§4.1) runs the genetic algorithm **offline**, once
+//! per deployed model, and stores the resulting blocks; the online
+//! scheduler then works purely from the stored plan. [`SplitPlan`] is that
+//! stored result, and [`PlanSet`] the per-deployment collection the online
+//! side consults.
+
+use crate::fitness::fitness;
+use crate::ga::{evolve, GaConfig, GaOutcome};
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::DeviceConfig;
+use profiler::{profile_split, profile_unsplit};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The offline splitting decision for one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitPlan {
+    /// Model name (matches `Graph::name`).
+    pub model: String,
+    /// Chosen cut positions (empty = run vanilla).
+    pub cuts: Vec<usize>,
+    /// Profiled per-block times, µs (a single entry when unsplit).
+    pub block_times_us: Vec<f64>,
+    /// Vanilla model time, µs.
+    pub vanilla_us: f64,
+    /// Splitting overhead ratio of the chosen plan.
+    pub overhead_ratio: f64,
+    /// σ of block times, µs.
+    pub std_us: f64,
+    /// Eq. 2 fitness of the chosen plan.
+    pub fitness: f64,
+}
+
+impl SplitPlan {
+    /// Plan that runs the model unsplit.
+    pub fn vanilla(graph: &Graph, dev: &DeviceConfig) -> Self {
+        let p = profile_unsplit(graph, dev);
+        Self {
+            model: graph.name.clone(),
+            cuts: Vec::new(),
+            block_times_us: p.block_times_us.clone(),
+            vanilla_us: p.vanilla_us,
+            overhead_ratio: 0.0,
+            std_us: 0.0,
+            fitness: fitness(&p),
+        }
+    }
+
+    /// Plan from an explicit split spec.
+    pub fn from_spec(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> Self {
+        let p = profile_split(graph, spec, dev);
+        Self {
+            model: graph.name.clone(),
+            cuts: spec.cuts().to_vec(),
+            block_times_us: p.block_times_us.clone(),
+            vanilla_us: p.vanilla_us,
+            overhead_ratio: p.overhead_ratio,
+            std_us: p.std_us,
+            fitness: fitness(&p),
+        }
+    }
+
+    /// Run the offline GA for each block count in `block_range` and keep
+    /// the fittest result — the full §3.3 offline stage for one model.
+    /// Returns the plan and the winning GA run's history.
+    pub fn offline(
+        graph: &Graph,
+        dev: &DeviceConfig,
+        block_range: std::ops::RangeInclusive<usize>,
+        seed: u64,
+    ) -> (Self, GaOutcome) {
+        let mut best: Option<(Self, GaOutcome)> = None;
+        for blocks in block_range {
+            let cfg = GaConfig::new(blocks).with_seed(seed ^ blocks as u64);
+            let out = evolve(graph, dev, &cfg);
+            let plan = Self::from_spec(graph, &out.best, dev);
+            let better = match &best {
+                None => true,
+                Some((b, _)) => plan.fitness > b.fitness,
+            };
+            if better {
+                best = Some((plan, out));
+            }
+        }
+        best.expect("non-empty block range")
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.block_times_us.len()
+    }
+
+    /// Total device time when run split, µs.
+    pub fn total_us(&self) -> f64 {
+        self.block_times_us.iter().sum()
+    }
+
+    /// True when the plan actually splits the model.
+    pub fn is_split(&self) -> bool {
+        !self.cuts.is_empty()
+    }
+}
+
+/// Per-deployment collection of plans, keyed by model name.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PlanSet {
+    plans: HashMap<String, SplitPlan>,
+}
+
+impl PlanSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (replacing any previous plan for the model).
+    pub fn insert(&mut self, plan: SplitPlan) {
+        self.plans.insert(plan.model.clone(), plan);
+    }
+
+    /// Look up a model's plan.
+    pub fn get(&self, model: &str) -> Option<&SplitPlan> {
+        self.plans.get(model)
+    }
+
+    /// Number of plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans are stored.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Iterate over plans in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &SplitPlan> {
+        self.plans.values()
+    }
+
+    /// Persist to a JSON file (the paper stores split results next to the
+    /// .onnx blocks; we store the metadata that regenerates them).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("plans serialize");
+        std::fs::write(path, json)
+    }
+
+    /// Load from a JSON file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn cnn() -> Graph {
+        let mut b = GraphBuilder::new("toy", TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let mut t = b.conv(&x, 16, 3, 1, 1);
+        for i in 0..10 {
+            let c = b.conv(&t, 16 + 8 * (i / 3), 3, if i % 4 == 3 { 2 } else { 1 }, 1);
+            t = b.relu(&c);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn vanilla_plan_is_one_block() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let p = SplitPlan::vanilla(&g, &dev);
+        assert_eq!(p.block_count(), 1);
+        assert!(!p.is_split());
+        assert_eq!(p.total_us(), p.vanilla_us);
+    }
+
+    #[test]
+    fn offline_picks_a_split() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let (plan, out) = SplitPlan::offline(&g, &dev, 2..=3, 11);
+        assert!(plan.is_split());
+        assert!(plan.block_count() == 2 || plan.block_count() == 3);
+        assert!(!out.history.is_empty());
+        // The chosen plan's fitness matches re-profiling its spec.
+        let spec = SplitSpec::new(&g, plan.cuts.clone()).unwrap();
+        let again = SplitPlan::from_spec(&g, &spec, &dev);
+        assert!((again.fitness - plan.fitness).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_set_file_round_trip() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut set = PlanSet::new();
+        set.insert(SplitPlan::vanilla(&g, &dev));
+        set.insert(SplitPlan::from_spec(
+            &g,
+            &SplitSpec::new(&g, vec![4]).unwrap(),
+            &dev,
+        ));
+        // from_spec replaced the vanilla plan for the same model.
+        assert_eq!(set.len(), 1);
+        let dir = std::env::temp_dir().join("split_core_plan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        set.save(&path).unwrap();
+        let back = PlanSet::load(&path).unwrap();
+        assert_eq!(back.get("toy").unwrap(), set.get("toy").unwrap());
+        assert!(PlanSet::load(&dir.join("missing.json")).is_err());
+    }
+
+    #[test]
+    fn plan_set_round_trip() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut set = PlanSet::new();
+        assert!(set.is_empty());
+        set.insert(SplitPlan::vanilla(&g, &dev));
+        assert_eq!(set.len(), 1);
+        assert!(set.get("toy").is_some());
+        assert!(set.get("nonexistent").is_none());
+        // serde round trip
+        let json = serde_json::to_string(&set).unwrap();
+        let back: PlanSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("toy").unwrap(), set.get("toy").unwrap());
+    }
+}

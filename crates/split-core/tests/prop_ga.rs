@@ -1,0 +1,77 @@
+//! Property tests for the genetic algorithm and the Eq. 1 analysis.
+
+use dnn_graph::{Graph, GraphBuilder, SplitSpec, TensorShape};
+use gpu_sim::DeviceConfig;
+use proptest::prelude::*;
+use split_core::analysis::monte_carlo_waiting_us;
+use split_core::{evolve, expected_waiting_us, expected_waiting_via_moments, GaConfig};
+
+fn cnn(depth: usize, width: u64) -> Graph {
+    let mut b = GraphBuilder::new("prop-cnn", TensorShape::chw(3, 64, 64));
+    let x = b.source();
+    let mut t = b.conv(&x, width, 3, 1, 1);
+    for i in 0..depth {
+        let stride = if i % 4 == 3 { 2 } else { 1 };
+        let c = b.conv(&t, width + 8 * (i as u64 / 4), 3, stride, 1);
+        t = b.relu(&c);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The GA always returns a valid split with the requested block count
+    /// and a finite fitness, for any model shape and seed.
+    #[test]
+    fn ga_output_always_valid(depth in 4usize..14, width in 8u64..32, blocks in 2usize..5, seed in 0u64..1_000) {
+        let g = cnn(depth, width);
+        prop_assume!(g.op_count() > blocks + 1);
+        let dev = DeviceConfig::default();
+        let mut cfg = GaConfig::new(blocks).with_seed(seed);
+        cfg.generations = 8;
+        cfg.population = 12;
+        let out = evolve(&g, &dev, &cfg);
+        prop_assert_eq!(out.best.block_count(), blocks);
+        SplitSpec::new(&g, out.best.cuts().to_vec()).unwrap();
+        prop_assert!(out.best_profile.std_us.is_finite());
+        prop_assert!(out.best_profile.overhead_ratio > 0.0);
+        // History fitness is monotone non-decreasing.
+        for w in out.history.windows(2) {
+            prop_assert!(w[1].best_fitness + 1e-12 >= w[0].best_fitness);
+        }
+    }
+}
+
+proptest! {
+    /// Eq. 1: both closed forms agree with each other and with the
+    /// Monte-Carlo mechanism for arbitrary block vectors.
+    #[test]
+    fn eq1_forms_agree(blocks in proptest::collection::vec(10.0f64..10_000.0, 1..12)) {
+        let a = expected_waiting_us(&blocks);
+        let b = expected_waiting_via_moments(&blocks);
+        prop_assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+        let mc = monte_carlo_waiting_us(&blocks, 60_000, 11);
+        prop_assert!((mc - a).abs() < 0.05 * a, "exact {a} vs MC {mc}");
+    }
+
+    /// Eq. 1 is minimized, over fixed total and count, by the even split.
+    #[test]
+    fn eq1_even_is_optimal(total in 1_000.0f64..100_000.0, n in 2usize..8, skew in 0.01f64..0.99) {
+        let even = vec![total / n as f64; n];
+        // Skewed: one block takes `skew` of the total, the rest share.
+        let mut skewed = vec![total * (1.0 - skew) / (n - 1) as f64; n - 1];
+        skewed.push(total * skew);
+        prop_assume!((skew - 1.0 / n as f64).abs() > 0.01);
+        prop_assert!(expected_waiting_us(&even) < expected_waiting_us(&skewed));
+    }
+
+    /// Adding a cut to an even split never increases expected waiting
+    /// (ignoring overhead — that's what Eq. 2's second term is for).
+    #[test]
+    fn eq1_more_even_blocks_wait_less(total in 1_000.0f64..100_000.0, n in 1usize..10) {
+        let coarse = vec![total / n as f64; n];
+        let fine = vec![total / (n + 1) as f64; n + 1];
+        prop_assert!(expected_waiting_us(&fine) < expected_waiting_us(&coarse));
+    }
+}

@@ -1,0 +1,195 @@
+//! Wire codec: length-prefixed JSON frames.
+//!
+//! The paper's responder "accepts user requests using the RPC protocol"
+//! (§4.2). This module is that wire format: each message is a 4-byte
+//! little-endian length followed by a JSON payload. The decoder is
+//! incremental — it accepts arbitrarily fragmented byte chunks, as a TCP
+//! stream would deliver them — and enforces a frame-size cap so a
+//! corrupted length prefix cannot balloon memory.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum accepted frame size (1 MiB — requests and replies are tiny).
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A client's inference request on the wire.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireRequest {
+    /// Model to run.
+    pub model: String,
+}
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Frame length prefix exceeds [`MAX_FRAME_BYTES`].
+    FrameTooLarge(usize),
+    /// Payload was not valid JSON for the expected type.
+    BadPayload(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds cap"),
+            CodecError::BadPayload(e) => write!(f, "bad frame payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Encode a message as one frame.
+pub fn encode<T: Serialize>(msg: &T) -> Bytes {
+    let payload = serde_json::to_vec(msg).expect("wire types serialize");
+    assert!(payload.len() <= MAX_FRAME_BYTES, "outgoing frame too large");
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(&payload);
+    buf.freeze()
+}
+
+/// Decode a single frame's payload.
+pub fn decode<T: DeserializeOwned>(payload: &[u8]) -> Result<T, CodecError> {
+    serde_json::from_slice(payload).map_err(|e| CodecError::BadPayload(e.to_string()))
+}
+
+/// Incremental frame decoder over a fragmented byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed a chunk of bytes (any fragmentation).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Try to extract the next complete frame's payload.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(CodecError::FrameTooLarge(len));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        Ok(Some(self.buf.split_to(len).freeze()))
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::{InferenceReply, RequestStatus};
+
+    #[test]
+    fn round_trip_request() {
+        let req = WireRequest {
+            model: "resnet50".into(),
+        };
+        let frame = encode(&req);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let payload = dec.next_frame().unwrap().expect("complete frame");
+        let back: WireRequest = decode(&payload).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn round_trip_reply() {
+        let reply = InferenceReply {
+            id: 7,
+            model: "vgg19".into(),
+            status: RequestStatus::Completed,
+            arrival_us: 1.0,
+            start_us: 2.0,
+            end_us: 3.0,
+            exec_us: 4.0,
+            blocks_run: 2,
+        };
+        let frame = encode(&reply);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let back: InferenceReply = decode(&dec.next_frame().unwrap().unwrap()).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn byte_by_byte_fragmentation() {
+        let req = WireRequest {
+            model: "gpt2".into(),
+        };
+        let frame = encode(&req);
+        let mut dec = FrameDecoder::new();
+        for (i, b) in frame.iter().enumerate() {
+            dec.feed(&[*b]);
+            let got = dec.next_frame().unwrap();
+            if i + 1 < frame.len() {
+                assert!(got.is_none(), "frame completed early at byte {i}");
+            } else {
+                let back: WireRequest = decode(&got.unwrap()).unwrap();
+                assert_eq!(back, req);
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let a = WireRequest { model: "a".into() };
+        let b = WireRequest { model: "b".into() };
+        let mut chunk = Vec::new();
+        chunk.extend_from_slice(&encode(&a));
+        chunk.extend_from_slice(&encode(&b));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&chunk);
+        let fa: WireRequest = decode(&dec.next_frame().unwrap().unwrap()).unwrap();
+        let fb: WireRequest = decode(&dec.next_frame().unwrap().unwrap()).unwrap();
+        assert_eq!(fa, a);
+        assert_eq!(fb, b);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            dec.next_frame(),
+            Err(CodecError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_payload_is_a_decode_error() {
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(3);
+        frame.put_slice(b"{{{");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let payload = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            decode::<WireRequest>(&payload),
+            Err(CodecError::BadPayload(_))
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! Deployment manager: models plus their offline split plans (Figure 4's
+//! "Deployment manager" box).
+
+use sched::{ModelRuntime, ModelTable};
+use split_core::{PlanSet, SplitPlan};
+
+/// The deployed models, ready for the online scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct Deployment {
+    table: ModelTable,
+    next_task: u32,
+}
+
+impl Deployment {
+    /// Empty deployment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deploy a model that runs unsplit.
+    pub fn deploy_vanilla(&mut self, name: impl Into<String>, exec_us: f64) -> u32 {
+        let task = self.next_task;
+        self.next_task += 1;
+        self.table
+            .insert(ModelRuntime::vanilla(name, task, exec_us));
+        task
+    }
+
+    /// Deploy a model with an offline split plan. The plan's vanilla time
+    /// becomes the QoS baseline.
+    pub fn deploy_plan(&mut self, plan: &SplitPlan) -> u32 {
+        let task = self.next_task;
+        self.next_task += 1;
+        self.table.insert(ModelRuntime::split(
+            plan.model.clone(),
+            task,
+            plan.vanilla_us,
+            plan.block_times_us.clone(),
+        ));
+        task
+    }
+
+    /// Deploy every plan of a [`PlanSet`]; returns how many were deployed.
+    pub fn deploy_all(&mut self, plans: &PlanSet) -> usize {
+        // Sort for deterministic task-id assignment.
+        let mut items: Vec<&SplitPlan> = plans.iter().collect();
+        items.sort_by(|a, b| a.model.cmp(&b.model));
+        for p in &items {
+            self.deploy_plan(p);
+        }
+        items.len()
+    }
+
+    /// The model table the scheduler consumes.
+    pub fn table(&self) -> &ModelTable {
+        &self.table
+    }
+
+    /// Number of deployed models.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when nothing is deployed.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploys_assign_distinct_tasks() {
+        let mut d = Deployment::new();
+        let a = d.deploy_vanilla("a", 1_000.0);
+        let b = d.deploy_vanilla("b", 2_000.0);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.table().get("a").task, a);
+    }
+
+    #[test]
+    fn deploy_plan_carries_blocks() {
+        let mut d = Deployment::new();
+        let plan = SplitPlan {
+            model: "m".into(),
+            cuts: vec![5],
+            block_times_us: vec![600.0, 700.0],
+            vanilla_us: 1_000.0,
+            overhead_ratio: 0.3,
+            std_us: 50.0,
+            fitness: -1.0,
+        };
+        d.deploy_plan(&plan);
+        let rt = d.table().get("m");
+        assert_eq!(rt.blocks_us, vec![600.0, 700.0]);
+        assert_eq!(rt.exec_us, 1_000.0);
+    }
+}

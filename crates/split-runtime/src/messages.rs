@@ -1,0 +1,66 @@
+//! Wire types between clients and the server.
+
+use serde::{Deserialize, Serialize};
+
+/// Terminal status of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestStatus {
+    /// Served to completion.
+    Completed,
+    /// The server shut down before the request ran.
+    Dropped,
+}
+
+/// The reply a client receives for one inference request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InferenceReply {
+    /// Server-assigned request id.
+    pub id: u64,
+    /// Model served.
+    pub model: String,
+    /// Terminal status.
+    pub status: RequestStatus,
+    /// Arrival timestamp, simulated µs.
+    pub arrival_us: f64,
+    /// First block start, simulated µs (0 when dropped).
+    pub start_us: f64,
+    /// Completion, simulated µs (0 when dropped).
+    pub end_us: f64,
+    /// Isolated execution time of the model, µs.
+    pub exec_us: f64,
+    /// Number of blocks executed (1 when run vanilla).
+    pub blocks_run: usize,
+}
+
+impl InferenceReply {
+    /// End-to-end latency, µs.
+    pub fn e2e_us(&self) -> f64 {
+        self.end_us - self.arrival_us
+    }
+
+    /// Response ratio (Eq. 3).
+    pub fn response_ratio(&self) -> f64 {
+        self.e2e_us() / self.exec_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_math() {
+        let r = InferenceReply {
+            id: 1,
+            model: "m".into(),
+            status: RequestStatus::Completed,
+            arrival_us: 1_000.0,
+            start_us: 2_000.0,
+            end_us: 5_000.0,
+            exec_us: 2_000.0,
+            blocks_run: 2,
+        };
+        assert_eq!(r.e2e_us(), 4_000.0);
+        assert_eq!(r.response_ratio(), 2.0);
+    }
+}

@@ -1,0 +1,607 @@
+//! The threaded SPLIT server (paper §4, Figure 4).
+//!
+//! Two long-lived threads share one queue behind a `parking_lot` mutex:
+//!
+//! * the **responder/token-scheduler** thread accepts client requests,
+//!   stamps their arrival, consults the elastic controller, and places
+//!   them with the greedy preemption algorithm (timing every decision);
+//! * the **token-assigner/executor** thread repeatedly grants the device
+//!   token to the queue head and executes its next block (a
+//!   clock-compressed sleep standing in for the GPU kernel launches).
+//!
+//! Preemption therefore happens exactly at block boundaries: whoever the
+//! scheduler moved to the head while a block was in flight gets the token
+//! next. The responder replies on a per-request channel as soon as the
+//! last block completes — the asynchronous read/write split of §4.2.
+
+use crate::clock::SimClock;
+use crate::deployment::Deployment;
+use crate::messages::{InferenceReply, RequestStatus};
+use crate::stats::DecisionStats;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Latency-target multiplier α for response-ratio comparisons.
+    pub alpha: f64,
+    /// Elastic-splitting thresholds (`None` = always split).
+    pub elastic: Option<ElasticConfig>,
+    /// Clock compression (simulated time vs wall time).
+    pub compression: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 4.0,
+            elastic: Some(ElasticConfig::default()),
+            compression: 100.0,
+        }
+    }
+}
+
+struct ClientRequest {
+    model: String,
+    reply: Sender<InferenceReply>,
+}
+
+struct Meta {
+    model: String,
+    exec_us: f64,
+    arrival_us: f64,
+    start_us: Option<f64>,
+    blocks_run: usize,
+    reply: Sender<InferenceReply>,
+}
+
+#[derive(Default)]
+struct State {
+    queue: Vec<QueueEntry>,
+    blocks: HashMap<u64, VecDeque<f64>>,
+    meta: HashMap<u64, Meta>,
+    running_end_us: Option<f64>,
+    closed: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    clock: SimClock,
+    decisions: DecisionStats,
+}
+
+/// A running SPLIT server.
+pub struct Server {
+    shared: Arc<Shared>,
+    request_tx: Sender<ClientRequest>,
+    shutdown_tx: Sender<()>,
+    responder: Option<std::thread::JoinHandle<u64>>,
+    executor: Option<std::thread::JoinHandle<u64>>,
+}
+
+/// A cheap cloneable handle for submitting requests.
+#[derive(Clone)]
+pub struct Client {
+    tx: Sender<ClientRequest>,
+}
+
+impl Client {
+    /// Submit an inference request; the reply arrives on the returned
+    /// channel when the request completes (or is dropped at shutdown).
+    pub fn infer(&self, model: impl Into<String>) -> Receiver<InferenceReply> {
+        let (reply_tx, reply_rx) = bounded(1);
+        // A send failure means the server is gone; the empty reply channel
+        // communicates that to the caller.
+        let _ = self.tx.send(ClientRequest {
+            model: model.into(),
+            reply: reply_tx,
+        });
+        reply_rx
+    }
+}
+
+/// A point-in-time view of scheduler state (see [`Server::snapshot`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    /// Requests currently queued (including the one whose block is
+    /// running).
+    pub queued: usize,
+    /// Whether a block is executing right now.
+    pub block_in_flight: bool,
+    /// `(request id, task)` of the queue head, if any.
+    pub head: Option<(u64, u32)>,
+    /// Preemption decisions made so far.
+    pub decisions: u64,
+}
+
+/// Final report returned by [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ShutdownReport {
+    /// Requests fully served.
+    pub served: u64,
+    /// Preemption decisions made.
+    pub decisions: u64,
+    /// Mean decision latency, nanoseconds.
+    pub mean_decision_ns: f64,
+    /// Worst decision latency, nanoseconds.
+    pub max_decision_ns: u64,
+}
+
+impl Server {
+    /// Start the server threads over a deployment.
+    pub fn start(deployment: Deployment, cfg: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            clock: SimClock::new(cfg.compression),
+            decisions: DecisionStats::new(),
+        });
+        let (request_tx, request_rx) = unbounded::<ClientRequest>();
+        let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
+
+        let responder = {
+            let shared = Arc::clone(&shared);
+            let deployment = deployment.clone();
+            let alpha = cfg.alpha;
+            let elastic_cfg = cfg.elastic.clone();
+            std::thread::Builder::new()
+                .name("split-responder".into())
+                .spawn(move || {
+                    responder_loop(
+                        &shared,
+                        &deployment,
+                        alpha,
+                        elastic_cfg,
+                        request_rx,
+                        shutdown_rx,
+                    )
+                })
+                .expect("spawn responder")
+        };
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("split-executor".into())
+                .spawn(move || executor_loop(&shared))
+                .expect("spawn executor")
+        };
+
+        Self {
+            shared,
+            request_tx,
+            shutdown_tx,
+            responder: Some(responder),
+            executor: Some(executor),
+        }
+    }
+
+    /// A client handle (clone freely across threads).
+    pub fn client(&self) -> Client {
+        Client {
+            tx: self.request_tx.clone(),
+        }
+    }
+
+    /// The simulated clock (for tests that want timestamps).
+    pub fn clock(&self) -> &SimClock {
+        &self.shared.clock
+    }
+
+    /// A point-in-time view of the scheduler state (telemetry; takes the
+    /// queue lock briefly).
+    pub fn snapshot(&self) -> QueueSnapshot {
+        let st = self.shared.state.lock();
+        QueueSnapshot {
+            queued: st.queue.len(),
+            block_in_flight: st.running_end_us.is_some(),
+            head: st.queue.first().map(|e| (e.id, e.task)),
+            decisions: self.shared.decisions.count(),
+        }
+    }
+
+    /// Stop accepting requests, drain the queue, join the threads, and
+    /// report.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let _ = self.shutdown_tx.send(());
+        let accepted = self
+            .responder
+            .take()
+            .map(|h| h.join().expect("responder panicked"));
+        let served = self
+            .executor
+            .take()
+            .map(|h| h.join().expect("executor panicked"));
+        let _ = accepted;
+        ShutdownReport {
+            served: served.unwrap_or(0),
+            decisions: self.shared.decisions.count(),
+            mean_decision_ns: self.shared.decisions.mean_ns(),
+            max_decision_ns: self.shared.decisions.max_ns(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Idempotent: shutdown() takes the handles; a bare drop still stops
+        // the threads.
+        let _ = self.shutdown_tx.send(());
+        if let Some(h) = self.responder.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn responder_loop(
+    shared: &Shared,
+    deployment: &Deployment,
+    alpha: f64,
+    elastic_cfg: Option<ElasticConfig>,
+    request_rx: Receiver<ClientRequest>,
+    shutdown_rx: Receiver<()>,
+) -> u64 {
+    struct Ctx<'a> {
+        shared: &'a Shared,
+        deployment: &'a Deployment,
+        alpha: f64,
+        elastic: Option<ElasticController>,
+        next_id: u64,
+        accepted: u64,
+    }
+
+    impl Ctx<'_> {
+        fn handle(&mut self, req: ClientRequest) {
+            let shared = self.shared;
+            let now = shared.clock.now_us();
+            if !self.deployment.table().contains(&req.model) {
+                let _ = req.reply.send(InferenceReply {
+                    id: self.next_id,
+                    model: req.model,
+                    status: RequestStatus::Dropped,
+                    arrival_us: now,
+                    start_us: 0.0,
+                    end_us: 0.0,
+                    exec_us: 0.0,
+                    blocks_run: 0,
+                });
+                self.next_id += 1;
+                return;
+            }
+            let m = self.deployment.table().get(&req.model);
+            let use_split = match self.elastic.as_mut() {
+                Some(ctl) => ctl.on_arrival(now, m.task),
+                None => true,
+            };
+            let blocks: VecDeque<f64> = if use_split {
+                m.blocks_us.iter().copied().collect()
+            } else {
+                std::iter::once(m.exec_us).collect()
+            };
+            let left: f64 = blocks.iter().sum();
+            let id = self.next_id;
+            self.next_id += 1;
+            self.accepted += 1;
+
+            let mut st = shared.state.lock();
+            st.blocks.insert(id, blocks);
+            st.meta.insert(
+                id,
+                Meta {
+                    model: m.name.clone(),
+                    exec_us: m.exec_us,
+                    arrival_us: now,
+                    start_us: None,
+                    blocks_run: 0,
+                    reply: req.reply,
+                },
+            );
+            let base_wait = st.running_end_us.map(|e| (e - now).max(0.0)).unwrap_or(0.0);
+            let t0 = Instant::now();
+            greedy_preempt(
+                &mut st.queue,
+                QueueEntry {
+                    id,
+                    task: m.task,
+                    exec_us: m.exec_us,
+                    left_us: left,
+                    arrival_us: now,
+                },
+                base_wait,
+                now,
+                self.alpha,
+            );
+            shared.decisions.record(t0.elapsed().as_nanos() as u64);
+            drop(st);
+            shared.work.notify_all();
+        }
+    }
+
+    let mut ctx = Ctx {
+        shared,
+        deployment,
+        alpha,
+        elastic: elastic_cfg.map(ElasticController::new),
+        next_id: 0,
+        accepted: 0,
+    };
+
+    loop {
+        crossbeam::channel::select! {
+            recv(request_rx) -> msg => {
+                let Ok(req) = msg else { break };
+                ctx.handle(req);
+            }
+            recv(shutdown_rx) -> _ => {
+                // Drain everything already submitted before closing: a
+                // request acknowledged by `infer` must not be lost.
+                while let Ok(req) = request_rx.try_recv() {
+                    ctx.handle(req);
+                }
+                break;
+            }
+        }
+    }
+
+    let mut st = shared.state.lock();
+    st.closed = true;
+    drop(st);
+    shared.work.notify_all();
+    ctx.accepted
+}
+
+fn executor_loop(shared: &Shared) -> u64 {
+    let mut served = 0u64;
+    let mut st = shared.state.lock();
+    loop {
+        if st.queue.is_empty() {
+            if st.closed {
+                break;
+            }
+            shared.work.wait(&mut st);
+            continue;
+        }
+
+        // Token assignment: the head owns the device for one block.
+        let id = st.queue[0].id;
+        let blk = st
+            .blocks
+            .get_mut(&id)
+            .and_then(|b| b.pop_front())
+            .expect("queued request has blocks");
+        st.queue[0].left_us -= blk;
+        let now = shared.clock.now_us();
+        st.running_end_us = Some(now + blk);
+        {
+            let meta = st.meta.get_mut(&id).expect("meta");
+            meta.start_us.get_or_insert(now);
+            meta.blocks_run += 1;
+        }
+        drop(st);
+
+        shared.clock.sleep_us(blk);
+
+        st = shared.state.lock();
+        st.running_end_us = None;
+        if st.blocks.get(&id).map(|b| b.is_empty()).unwrap_or(false) {
+            let pos = st
+                .queue
+                .iter()
+                .position(|e| e.id == id)
+                .expect("entry present");
+            st.queue.remove(pos);
+            st.blocks.remove(&id);
+            let meta = st.meta.remove(&id).expect("meta present");
+            let end = shared.clock.now_us();
+            let _ = meta.reply.send(InferenceReply {
+                id,
+                model: meta.model,
+                status: RequestStatus::Completed,
+                arrival_us: meta.arrival_us,
+                start_us: meta.start_us.unwrap_or(end),
+                end_us: end,
+                exec_us: meta.exec_us,
+                blocks_run: meta.blocks_run,
+            });
+            served += 1;
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment() -> Deployment {
+        let mut d = Deployment::new();
+        d.deploy_vanilla("short", 10_000.0);
+        let plan = split_core::SplitPlan {
+            model: "long".into(),
+            cuts: vec![40, 80],
+            block_times_us: vec![22_000.0, 22_000.0, 22_000.0],
+            vanilla_us: 60_000.0,
+            overhead_ratio: 0.1,
+            std_us: 0.0,
+            fitness: -1.0,
+        };
+        d.deploy_plan(&plan);
+        d
+    }
+
+    fn config() -> ServerConfig {
+        ServerConfig {
+            alpha: 4.0,
+            elastic: None,
+            compression: 2_000.0,
+        }
+    }
+
+    #[test]
+    fn serves_a_single_request() {
+        let server = Server::start(deployment(), config());
+        let rx = server.client().infer("short");
+        let reply = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.status, RequestStatus::Completed);
+        assert_eq!(reply.blocks_run, 1);
+        assert!(reply.e2e_us() >= 10_000.0 * 0.5, "{}", reply.e2e_us());
+        let report = server.shutdown();
+        assert_eq!(report.served, 1);
+        assert_eq!(report.decisions, 1);
+    }
+
+    #[test]
+    fn split_model_runs_all_blocks() {
+        let server = Server::start(deployment(), config());
+        let rx = server.client().infer("long");
+        let reply = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.blocks_run, 3);
+        assert!(reply.e2e_us() >= 60_000.0 * 0.5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_is_dropped() {
+        let server = Server::start(deployment(), config());
+        let rx = server.client().infer("ghost");
+        let reply = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.status, RequestStatus::Dropped);
+        server.shutdown();
+    }
+
+    #[test]
+    fn short_request_preempts_long_between_blocks() {
+        // Gentle compression so the 22 ms block spans ~2.2 real ms and the
+        // short request reliably lands inside block 0.
+        let server = Server::start(
+            deployment(),
+            ServerConfig {
+                alpha: 4.0,
+                elastic: None,
+                compression: 10.0,
+            },
+        );
+        let client = server.client();
+        let long_rx = client.infer("long");
+        // Give the long request a head start into its first block.
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let short_rx = client.infer("short");
+        let long = long_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        let short = short_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        assert!(
+            short.end_us < long.end_us,
+            "short ({}) must finish before long ({})",
+            short.end_us,
+            long.end_us
+        );
+        // The short request never waits for the whole long model.
+        assert!(short.e2e_us() < 60_000.0, "short e2e {}", short.e2e_us());
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_get_replies() {
+        let server = Server::start(deployment(), config());
+        let mut rxs = Vec::new();
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    (0..10)
+                        .map(|i| client.infer(if (t + i) % 3 == 0 { "long" } else { "short" }))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            rxs.extend(h.join().unwrap());
+        }
+        let mut completed = 0;
+        for rx in rxs {
+            let r = rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+            assert_eq!(r.status, RequestStatus::Completed);
+            completed += 1;
+        }
+        assert_eq!(completed, 40);
+        let report = server.shutdown();
+        assert_eq!(report.served, 40);
+        assert_eq!(report.decisions, 40);
+        // §3.4: decisions are microsecond-scale.
+        assert!(
+            report.mean_decision_ns < 1_000_000.0,
+            "mean decision {} ns",
+            report.mean_decision_ns
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let server = Server::start(deployment(), config());
+        let client = server.client();
+        let rxs: Vec<_> = (0..5).map(|_| client.infer("short")).collect();
+        let report = server.shutdown();
+        assert_eq!(report.served, 5, "shutdown must drain the queue");
+        for rx in rxs {
+            assert_eq!(rx.recv().unwrap().status, RequestStatus::Completed);
+        }
+    }
+
+    #[test]
+    fn snapshot_reflects_queue_state() {
+        // Gentle compression so the queued phase is long enough for the
+        // polling observer to catch it even on a contended host.
+        let server = Server::start(
+            deployment(),
+            ServerConfig {
+                alpha: 4.0,
+                elastic: None,
+                compression: 20.0,
+            },
+        );
+        let idle = server.snapshot();
+        assert_eq!(idle.queued, 0);
+        assert!(!idle.block_in_flight);
+        assert_eq!(idle.head, None);
+
+        // Queue several long requests and observe a non-empty snapshot.
+        let client = server.client();
+        let rxs: Vec<_> = (0..4).map(|_| client.infer("long")).collect();
+        // Spin briefly until the scheduler has enqueued at least one.
+        let mut snap = server.snapshot();
+        for _ in 0..200 {
+            if snap.queued > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            snap = server.snapshot();
+        }
+        assert!(snap.queued > 0, "queue never became visible");
+        assert!(snap.head.is_some());
+        for rx in rxs {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        let done = server.snapshot();
+        assert_eq!(done.queued, 0);
+        assert_eq!(done.decisions, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_without_shutdown_does_not_hang() {
+        let server = Server::start(deployment(), config());
+        let _ = server.client().infer("short");
+        drop(server);
+    }
+}

@@ -1,0 +1,88 @@
+//! Preemption-decision latency statistics.
+//!
+//! §3.4 claims the greedy preemption achieves "near-optimal preemption at
+//! microsecond-scale". The scheduler thread times every `greedy_preempt`
+//! call with `Instant`; this collector aggregates those wall-clock
+//! durations lock-free so reading stats never perturbs the scheduler.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free aggregate of decision durations (nanoseconds).
+#[derive(Debug, Default)]
+pub struct DecisionStats {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl DecisionStats {
+    /// Fresh collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one decision.
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of decisions recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean decision time, nanoseconds (0 before any decision).
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Worst decision time, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = DecisionStats::new();
+        assert_eq!(s.mean_ns(), 0.0);
+        s.record(100);
+        s.record(300);
+        s.record(200);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean_ns(), 200.0);
+        assert_eq!(s.max_ns(), 300);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let s = Arc::new(DecisionStats::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        s.record(i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.count(), 8000);
+        assert_eq!(s.max_ns(), 999);
+    }
+}

@@ -1,0 +1,222 @@
+//! Wire transport: serving the framed protocol of [`crate::codec`].
+//!
+//! [`WireServer`] adapts a running [`Server`] to byte-stream connections:
+//! each connection is a pair of byte channels (standing in for a TCP
+//! socket), a per-connection thread decodes request frames, forwards them
+//! to the responder, and streams reply frames back as requests complete —
+//! out of order, as a real asynchronous RPC server would.
+
+use crate::codec::{decode, encode, FrameDecoder, WireRequest};
+use crate::messages::InferenceReply;
+use crate::server::Server;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One client connection: write request bytes in, read reply bytes out.
+pub struct WireConn {
+    /// Byte stream toward the server.
+    pub to_server: Sender<Bytes>,
+    /// Byte stream from the server.
+    pub from_server: Receiver<Bytes>,
+}
+
+/// Adapter exposing a [`Server`] over the framed wire protocol.
+pub struct WireServer<'a> {
+    server: &'a Server,
+}
+
+impl<'a> WireServer<'a> {
+    /// Wrap a running server.
+    pub fn new(server: &'a Server) -> Self {
+        Self { server }
+    }
+
+    /// Open a connection; spawns the per-connection service thread.
+    pub fn connect(&self) -> WireConn {
+        let (to_server_tx, to_server_rx) = unbounded::<Bytes>();
+        let (from_server_tx, from_server_rx) = unbounded::<Bytes>();
+        let client = self.server.client();
+
+        std::thread::Builder::new()
+            .name("split-wire-conn".into())
+            .spawn(move || {
+                let mut dec = FrameDecoder::new();
+                // Replies flow back through one funnel so frames never
+                // interleave mid-frame.
+                let (reply_tx, reply_rx) = unbounded::<InferenceReply>();
+                let writer = {
+                    let out = from_server_tx.clone();
+                    std::thread::spawn(move || {
+                        for reply in reply_rx {
+                            if out.send(encode(&reply)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                };
+
+                for chunk in to_server_rx {
+                    dec.feed(&chunk);
+                    loop {
+                        match dec.next_frame() {
+                            Ok(Some(payload)) => {
+                                match decode::<WireRequest>(&payload) {
+                                    Ok(req) => {
+                                        let rx = client.infer(req.model);
+                                        let tx = reply_tx.clone();
+                                        // Replies complete out of order;
+                                        // each waiter forwards when ready.
+                                        std::thread::spawn(move || {
+                                            if let Ok(reply) = rx.recv() {
+                                                let _ = tx.send(reply);
+                                            }
+                                        });
+                                    }
+                                    Err(_) => return, // protocol error: drop conn
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => return,
+                        }
+                    }
+                }
+                drop(reply_tx);
+                let _ = writer.join();
+            })
+            .expect("spawn wire connection");
+
+        WireConn {
+            to_server: to_server_tx,
+            from_server: from_server_rx,
+        }
+    }
+}
+
+/// Blocking convenience client over a [`WireConn`].
+pub struct WireClient {
+    conn: WireConn,
+    decoder: FrameDecoder,
+}
+
+impl WireClient {
+    /// Wrap a connection.
+    pub fn new(conn: WireConn) -> Self {
+        Self {
+            conn,
+            decoder: FrameDecoder::new(),
+        }
+    }
+
+    /// Send one request frame (does not wait for the reply).
+    pub fn send(&self, model: impl Into<String>) {
+        let frame = encode(&WireRequest {
+            model: model.into(),
+        });
+        let _ = self.conn.to_server.send(frame);
+    }
+
+    /// Block until the next reply frame arrives.
+    pub fn recv_reply(&mut self) -> Option<InferenceReply> {
+        loop {
+            if let Ok(Some(payload)) = self.decoder.next_frame() {
+                return decode(&payload).ok();
+            }
+            match self.conn.from_server.recv() {
+                Ok(chunk) => self.decoder.feed(&chunk),
+                Err(_) => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployment::Deployment;
+    use crate::messages::RequestStatus;
+    use crate::server::ServerConfig;
+
+    fn server() -> Server {
+        let mut d = Deployment::new();
+        d.deploy_vanilla("short", 5_000.0);
+        d.deploy_vanilla("long", 40_000.0);
+        Server::start(
+            d,
+            ServerConfig {
+                alpha: 4.0,
+                elastic: None,
+                compression: 2_000.0,
+            },
+        )
+    }
+
+    #[test]
+    fn single_request_over_the_wire() {
+        let server = server();
+        let wire = WireServer::new(&server);
+        let mut client = WireClient::new(wire.connect());
+        client.send("short");
+        let reply = client.recv_reply().expect("reply");
+        assert_eq!(reply.status, RequestStatus::Completed);
+        assert_eq!(reply.model, "short");
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_all_answered() {
+        let server = server();
+        let wire = WireServer::new(&server);
+        let mut client = WireClient::new(wire.connect());
+        for i in 0..20 {
+            client.send(if i % 4 == 0 { "long" } else { "short" });
+        }
+        let mut models = Vec::new();
+        for _ in 0..20 {
+            let r = client.recv_reply().expect("reply");
+            assert_eq!(r.status, RequestStatus::Completed);
+            models.push(r.model);
+        }
+        assert_eq!(models.iter().filter(|m| *m == "long").count(), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_are_isolated() {
+        let server = server();
+        let wire = WireServer::new(&server);
+        let mut clients: Vec<WireClient> =
+            (0..4).map(|_| WireClient::new(wire.connect())).collect();
+        for c in &clients {
+            for _ in 0..5 {
+                c.send("short");
+            }
+        }
+        for c in clients.iter_mut() {
+            for _ in 0..5 {
+                assert_eq!(
+                    c.recv_reply().expect("reply").status,
+                    RequestStatus::Completed
+                );
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn fragmented_request_bytes_are_reassembled() {
+        let server = server();
+        let wire = WireServer::new(&server);
+        let conn = wire.connect();
+        let frame = encode(&WireRequest {
+            model: "short".into(),
+        });
+        // Deliver the frame one byte at a time.
+        for b in frame.iter() {
+            conn.to_server.send(Bytes::copy_from_slice(&[*b])).unwrap();
+        }
+        let mut client = WireClient::new(conn);
+        let reply = client.recv_reply().expect("reply");
+        assert_eq!(reply.status, RequestStatus::Completed);
+        server.shutdown();
+    }
+}

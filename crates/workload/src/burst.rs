@@ -1,0 +1,193 @@
+//! Bursty arrivals: a two-state Markov-modulated Poisson process.
+//!
+//! The paper evaluates on plain Poisson streams (§5.1); real edge traffic
+//! is burstier — a pedestrian entering the scene fires a volley of short
+//! requests (the §1 motivation). This generator alternates between a
+//! *calm* state and a *burst* state, each with its own mean inter-arrival
+//! interval and exponentially-distributed dwell time. With both states
+//! identical it degenerates to plain Poisson, which the tests exploit.
+
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the two-state MMPP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BurstConfig {
+    /// Mean inter-arrival interval while calm, µs.
+    pub calm_interval_us: f64,
+    /// Mean inter-arrival interval while bursting, µs.
+    pub burst_interval_us: f64,
+    /// Mean dwell time in the calm state, µs.
+    pub calm_dwell_us: f64,
+    /// Mean dwell time in the burst state, µs.
+    pub burst_dwell_us: f64,
+}
+
+impl BurstConfig {
+    /// A pedestrian-event flavour: calm 200 ms arrivals, 10× bursts for
+    /// ~300 ms every ~2 s.
+    pub fn pedestrian() -> Self {
+        Self {
+            calm_interval_us: 200_000.0,
+            burst_interval_us: 20_000.0,
+            calm_dwell_us: 2_000_000.0,
+            burst_dwell_us: 300_000.0,
+        }
+    }
+
+    /// The long-run mean inter-arrival interval implied by the config.
+    pub fn mean_interval_us(&self) -> f64 {
+        let total_dwell = self.calm_dwell_us + self.burst_dwell_us;
+        let arrivals = self.calm_dwell_us / self.calm_interval_us
+            + self.burst_dwell_us / self.burst_interval_us;
+        total_dwell / arrivals
+    }
+}
+
+/// Two-state MMPP arrival generator.
+#[derive(Debug)]
+pub struct BurstGen {
+    cfg: BurstConfig,
+    rng: StdRng,
+    now_us: f64,
+    in_burst: bool,
+    state_ends_us: f64,
+}
+
+impl BurstGen {
+    /// New generator starting in the calm state.
+    pub fn new(cfg: BurstConfig, seed: u64) -> Self {
+        assert!(cfg.calm_interval_us > 0.0 && cfg.burst_interval_us > 0.0);
+        assert!(cfg.calm_dwell_us > 0.0 && cfg.burst_dwell_us > 0.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let first_dwell = sample_exp(&mut rng, cfg.calm_dwell_us);
+        Self {
+            cfg,
+            rng,
+            now_us: 0.0,
+            in_burst: false,
+            state_ends_us: first_dwell,
+        }
+    }
+
+    /// Next arrival timestamp (strictly increasing).
+    pub fn next_arrival_us(&mut self) -> f64 {
+        loop {
+            let interval = if self.in_burst {
+                self.cfg.burst_interval_us
+            } else {
+                self.cfg.calm_interval_us
+            };
+            let gap = sample_exp(&mut self.rng, interval);
+            let candidate = self.now_us + gap;
+            if candidate <= self.state_ends_us {
+                self.now_us = candidate;
+                return candidate;
+            }
+            // State flips before the candidate arrival: discard it
+            // (memorylessness makes this exact) and advance the state.
+            self.now_us = self.state_ends_us;
+            self.in_burst = !self.in_burst;
+            let dwell = if self.in_burst {
+                self.cfg.burst_dwell_us
+            } else {
+                self.cfg.calm_dwell_us
+            };
+            self.state_ends_us = self.now_us + sample_exp(&mut self.rng, dwell);
+        }
+    }
+
+    /// Generate `n` arrivals.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_arrival_us()).collect()
+    }
+
+    /// Whether the generator is currently in the burst state.
+    pub fn in_burst(&self) -> bool {
+        self.in_burst
+    }
+}
+
+fn sample_exp(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        let mut g = BurstGen::new(BurstConfig::pedestrian(), 7);
+        let ts = g.take(2000);
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_config_is_poisson_rate() {
+        let cfg = BurstConfig {
+            calm_interval_us: 10_000.0,
+            burst_interval_us: 10_000.0,
+            calm_dwell_us: 1_000_000.0,
+            burst_dwell_us: 1_000_000.0,
+        };
+        assert!((cfg.mean_interval_us() - 10_000.0).abs() < 1e-9);
+        let mut g = BurstGen::new(cfg, 3);
+        let n = 20_000;
+        let ts = g.take(n);
+        let measured = ts[n - 1] / n as f64;
+        assert!((measured - 10_000.0).abs() / 10_000.0 < 0.05, "{measured}");
+    }
+
+    #[test]
+    fn long_run_rate_matches_formula() {
+        let cfg = BurstConfig::pedestrian();
+        let mut g = BurstGen::new(cfg.clone(), 11);
+        let n = 40_000;
+        let ts = g.take(n);
+        let measured = ts[n - 1] / n as f64;
+        let predicted = cfg.mean_interval_us();
+        assert!(
+            (measured - predicted).abs() / predicted < 0.08,
+            "measured {measured} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn bursts_create_heavier_clustering_than_poisson() {
+        // Index of dispersion of counts over windows: ~1 for Poisson,
+        // substantially above 1 for the MMPP.
+        let dispersion = |ts: &[f64], window: f64| {
+            let end = ts.last().copied().unwrap_or(0.0);
+            let bins = (end / window).ceil() as usize;
+            let mut counts = vec![0.0f64; bins.max(1)];
+            for &t in ts {
+                let b = ((t / window) as usize).min(counts.len() - 1);
+                counts[b] += 1.0;
+            }
+            let m = counts.iter().sum::<f64>() / counts.len() as f64;
+            let v = counts.iter().map(|c| (c - m) * (c - m)).sum::<f64>() / counts.len() as f64;
+            v / m
+        };
+        let cfg = BurstConfig::pedestrian();
+        let bursty = BurstGen::new(cfg.clone(), 5).take(20_000);
+        let mut poisson = crate::poisson::PoissonGen::new(cfg.mean_interval_us(), 5);
+        let smooth = poisson.take(20_000);
+        let d_bursty = dispersion(&bursty, 500_000.0);
+        let d_smooth = dispersion(&smooth, 500_000.0);
+        assert!(
+            d_bursty > 2.0 * d_smooth,
+            "bursty {d_bursty} vs smooth {d_smooth}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = BurstGen::new(BurstConfig::pedestrian(), 9).take(100);
+        let b = BurstGen::new(BurstConfig::pedestrian(), 9).take(100);
+        assert_eq!(a, b);
+    }
+}

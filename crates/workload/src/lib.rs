@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+//! # workload — Poisson request generation (paper §5.1)
+//!
+//! The paper generates request queries from a Poisson process whose mean
+//! inter-arrival interval λ defines six scenarios (Table 2: 160 ms "low
+//! load" down to 110 ms "high load"), 1000 requests per scenario, each
+//! request drawn from the five Table 1 models. This crate reproduces that
+//! generator with explicit seeds so every figure is replayable.
+
+pub mod burst;
+pub mod poisson;
+pub mod scenario;
+pub mod trace;
+
+pub use burst::{BurstConfig, BurstGen};
+pub use poisson::PoissonGen;
+pub use scenario::{all_scenarios, Load, Scenario};
+pub use trace::{Arrival, RequestTrace};

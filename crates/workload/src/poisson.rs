@@ -1,0 +1,95 @@
+//! Seeded Poisson arrival generation.
+//!
+//! Inter-arrival gaps of a Poisson process are exponential; we sample them
+//! by inverse transform (`−λ·ln(u)`) from a seeded `StdRng`, keeping every
+//! scenario bit-reproducible.
+
+use rand::prelude::*;
+
+/// Generator of Poisson arrival timestamps.
+#[derive(Debug)]
+pub struct PoissonGen {
+    rng: StdRng,
+    mean_interval_us: f64,
+    now_us: f64,
+}
+
+impl PoissonGen {
+    /// Process with the given mean inter-arrival interval (µs) and seed.
+    pub fn new(mean_interval_us: f64, seed: u64) -> Self {
+        assert!(mean_interval_us > 0.0, "interval must be positive");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mean_interval_us,
+            now_us: 0.0,
+        }
+    }
+
+    /// Sample the next arrival timestamp (µs, strictly increasing).
+    pub fn next_arrival_us(&mut self) -> f64 {
+        // Inverse-transform sampling; `1 − u ∈ (0, 1]` avoids ln(0).
+        let u: f64 = self.rng.random_range(0.0..1.0);
+        let gap = -self.mean_interval_us * (1.0 - u).ln();
+        self.now_us += gap;
+        self.now_us
+    }
+
+    /// Generate `n` arrival timestamps.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_arrival_us()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_strictly_increasing() {
+        let mut g = PoissonGen::new(1000.0, 7);
+        let ts = g.take(500);
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn mean_interval_converges() {
+        let mean = 150_000.0;
+        let mut g = PoissonGen::new(mean, 42);
+        let n = 20_000;
+        let ts = g.take(n);
+        let measured = ts[n - 1] / n as f64;
+        assert!(
+            (measured - mean).abs() / mean < 0.03,
+            "measured {measured} vs {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_gaps_have_cv_about_one() {
+        // Coefficient of variation of exponential gaps is 1.
+        let mut g = PoissonGen::new(1000.0, 3);
+        let ts = g.take(20_000);
+        let gaps: Vec<f64> = ts.windows(2).map(|w| w[1] - w[0]).collect();
+        let m = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / m;
+        assert!((cv - 1.0).abs() < 0.05, "cv {cv}");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a = PoissonGen::new(5000.0, 99).take(100);
+        let b = PoissonGen::new(5000.0, 99).take(100);
+        assert_eq!(a, b);
+        let c = PoissonGen::new(5000.0, 100).take(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        PoissonGen::new(0.0, 1);
+    }
+}

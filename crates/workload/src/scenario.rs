@@ -1,0 +1,107 @@
+//! The six evaluation scenarios of Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Load class of a scenario (Table 2's "Load" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Load {
+    /// λ ∈ {160, 150} ms.
+    Low,
+    /// λ ∈ {140, 130, 120, 110} ms.
+    High,
+}
+
+/// One DLI scenario: a Poisson request stream at a given mean interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// 1-based scenario index as in Table 2.
+    pub index: usize,
+    /// Mean arrival interval λ, milliseconds.
+    pub lambda_ms: f64,
+    /// Load class.
+    pub load: Load,
+    /// Total requests (the paper fixes 1000).
+    pub requests: usize,
+}
+
+impl Scenario {
+    /// Table 2 row by 1-based index.
+    pub fn table2(index: usize) -> Self {
+        let lambda_ms = match index {
+            1 => 160.0,
+            2 => 150.0,
+            3 => 140.0,
+            4 => 130.0,
+            5 => 120.0,
+            6 => 110.0,
+            _ => panic!("Table 2 defines scenarios 1..=6, got {index}"),
+        };
+        let load = if lambda_ms >= 150.0 {
+            Load::Low
+        } else {
+            Load::High
+        };
+        Scenario {
+            index,
+            lambda_ms,
+            load,
+            requests: 1000,
+        }
+    }
+
+    /// Mean arrival interval in microseconds.
+    pub fn lambda_us(&self) -> f64 {
+        self.lambda_ms * 1e3
+    }
+
+    /// A deterministic per-scenario seed for workload generation.
+    pub fn seed(&self) -> u64 {
+        0xC0FFEE ^ (self.index as u64) << 8
+    }
+}
+
+/// All six Table 2 scenarios in order.
+pub fn all_scenarios() -> Vec<Scenario> {
+    (1..=6).map(Scenario::table2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_rows() {
+        let s = all_scenarios();
+        assert_eq!(s.len(), 6);
+        assert_eq!(s[0].lambda_ms, 160.0);
+        assert_eq!(s[5].lambda_ms, 110.0);
+        assert_eq!(s[0].load, Load::Low);
+        assert_eq!(s[1].load, Load::Low);
+        assert_eq!(s[2].load, Load::High);
+        assert_eq!(s[5].load, Load::High);
+        for sc in &s {
+            assert_eq!(sc.requests, 1000);
+        }
+    }
+
+    #[test]
+    fn lambdas_strictly_decrease() {
+        let s = all_scenarios();
+        for w in s.windows(2) {
+            assert!(w[1].lambda_ms < w[0].lambda_ms);
+        }
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            all_scenarios().iter().map(|s| s.seed()).collect();
+        assert_eq!(seeds.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "Table 2")]
+    fn out_of_range_scenario() {
+        Scenario::table2(7);
+    }
+}

@@ -1,0 +1,166 @@
+//! Request traces: the replayable product of a scenario.
+
+use crate::poisson::PoissonGen;
+use crate::scenario::Scenario;
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One request arrival.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arrival {
+    /// Dense request id (also the arrival order).
+    pub id: u64,
+    /// Model name this request targets.
+    pub model: String,
+    /// Arrival timestamp, µs.
+    pub arrival_us: f64,
+}
+
+/// A complete scenario trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTrace {
+    /// The scenario this trace realizes.
+    pub scenario: Scenario,
+    /// Arrivals in time order.
+    pub arrivals: Vec<Arrival>,
+}
+
+impl RequestTrace {
+    /// Generate a trace for `scenario`: Poisson arrivals, each request
+    /// drawn uniformly from `models` (the paper's five-model mix).
+    pub fn generate(scenario: Scenario, models: &[&str]) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        let mut gen = PoissonGen::new(scenario.lambda_us(), scenario.seed());
+        let mut rng = StdRng::seed_from_u64(scenario.seed() ^ 0x9E3779B97F4A7C15);
+        let arrivals = (0..scenario.requests)
+            .map(|i| Arrival {
+                id: i as u64,
+                model: models[rng.random_range(0..models.len())].to_string(),
+                arrival_us: gen.next_arrival_us(),
+            })
+            .collect();
+        Self { scenario, arrivals }
+    }
+
+    /// Generate with a custom per-model weight (still Poisson in time).
+    pub fn generate_weighted(scenario: Scenario, weighted: &[(&str, f64)]) -> Self {
+        assert!(!weighted.is_empty());
+        let total: f64 = weighted.iter().map(|(_, w)| *w).sum();
+        assert!(total > 0.0, "weights must sum positive");
+        let mut gen = PoissonGen::new(scenario.lambda_us(), scenario.seed());
+        let mut rng = StdRng::seed_from_u64(scenario.seed() ^ 0x9E3779B97F4A7C15);
+        let arrivals = (0..scenario.requests)
+            .map(|i| {
+                let mut pick: f64 = rng.random_range(0.0..total);
+                let mut model = weighted[0].0;
+                for (m, w) in weighted {
+                    if pick < *w {
+                        model = m;
+                        break;
+                    }
+                    pick -= w;
+                }
+                Arrival {
+                    id: i as u64,
+                    model: model.to_string(),
+                    arrival_us: gen.next_arrival_us(),
+                }
+            })
+            .collect();
+        Self { scenario, arrivals }
+    }
+
+    /// Duration spanned by the trace, µs.
+    pub fn span_us(&self) -> f64 {
+        self.arrivals.last().map(|a| a.arrival_us).unwrap_or(0.0)
+    }
+
+    /// Count of requests per model name.
+    pub fn model_counts(&self) -> std::collections::HashMap<String, usize> {
+        let mut m = std::collections::HashMap::new();
+        for a in &self.arrivals {
+            *m.entry(a.model.clone()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Persist the trace as JSON so an experiment can be replayed outside
+    /// this process (or shipped with a bug report).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("traces serialize");
+        std::fs::write(path, json)
+    }
+
+    /// Load a trace saved with [`RequestTrace::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODELS: [&str; 5] = ["yolov2", "googlenet", "resnet50", "vgg19", "gpt2"];
+
+    #[test]
+    fn trace_has_requested_count_and_order() {
+        let t = RequestTrace::generate(Scenario::table2(3), &MODELS);
+        assert_eq!(t.arrivals.len(), 1000);
+        for w in t.arrivals.windows(2) {
+            assert!(w[1].arrival_us > w[0].arrival_us);
+            assert_eq!(w[1].id, w[0].id + 1);
+        }
+    }
+
+    #[test]
+    fn uniform_mix_is_roughly_even() {
+        let t = RequestTrace::generate(Scenario::table2(1), &MODELS);
+        let counts = t.model_counts();
+        assert_eq!(counts.len(), 5);
+        for (m, c) in counts {
+            assert!((120..280).contains(&c), "{m}: {c}");
+        }
+    }
+
+    #[test]
+    fn weighted_mix_respects_weights() {
+        let t = RequestTrace::generate_weighted(
+            Scenario::table2(1),
+            &[("yolov2", 8.0), ("vgg19", 2.0)],
+        );
+        let counts = t.model_counts();
+        let yolo = counts.get("yolov2").copied().unwrap_or(0);
+        assert!(yolo > 700, "yolo {yolo}");
+    }
+
+    #[test]
+    fn reproducible_per_scenario() {
+        let a = RequestTrace::generate(Scenario::table2(2), &MODELS);
+        let b = RequestTrace::generate(Scenario::table2(2), &MODELS);
+        assert_eq!(a, b);
+        let c = RequestTrace::generate(Scenario::table2(4), &MODELS);
+        assert_ne!(a.arrivals[0].arrival_us, c.arrivals[0].arrival_us);
+    }
+
+    #[test]
+    fn file_round_trip_is_exact() {
+        let t = RequestTrace::generate(Scenario::table2(4), &MODELS);
+        let dir = std::env::temp_dir().join("workload_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        t.save(&path).unwrap();
+        let back = RequestTrace::load(&path).unwrap();
+        assert_eq!(back, t);
+        assert!(RequestTrace::load(&dir.join("nope.json")).is_err());
+    }
+
+    #[test]
+    fn span_matches_lambda_roughly() {
+        let t = RequestTrace::generate(Scenario::table2(1), &MODELS);
+        let expect = 160_000.0 * 1000.0;
+        assert!((t.span_us() - expect).abs() / expect < 0.1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Autonomous-driving scenario (the paper's §1 motivation).
+//!
+//! The on-board processor continuously runs person *detection* (a long
+//! request); as pedestrians approach, bursts of *tracking* and *pose
+//! extraction* (short requests) fire and must answer quickly to assess
+//! route safety. This example builds that weighted, bursty workload and
+//! compares how long a pose request waits under each policy.
+//!
+//! Run with: `cargo run --release --example autonomous_driving`
+
+use split_repro::experiment;
+use split_repro::gpu_sim::DeviceConfig;
+use split_repro::qos_metrics::percentile;
+use split_repro::sched::{simulate, Policy};
+use split_repro::workload::{Arrival, PoissonGen, Scenario};
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+
+    // Continuous detection on VGG19 every ~90 ms, plus pedestrian bursts:
+    // three quick shorts (tracking = yolov2, pose = googlenet, intent =
+    // gpt2) arriving within a few ms of each other.
+    let mut arrivals: Vec<Arrival> = Vec::new();
+    let mut id = 0u64;
+    let horizon_us = 30_000_000.0; // 30 s drive
+
+    let mut t = 0.0;
+    while t < horizon_us {
+        arrivals.push(Arrival {
+            id,
+            model: "vgg19".into(),
+            arrival_us: t,
+        });
+        id += 1;
+        t += 90_000.0;
+    }
+    // Pedestrian events: Poisson with mean 600 ms.
+    let mut events = PoissonGen::new(600_000.0, Scenario::table2(1).seed());
+    loop {
+        let e = events.next_arrival_us();
+        if e >= horizon_us {
+            break;
+        }
+        for (k, model) in ["yolov2", "googlenet", "gpt2"].iter().enumerate() {
+            arrivals.push(Arrival {
+                id,
+                model: (*model).into(),
+                arrival_us: e + k as f64 * 2_000.0,
+            });
+            id += 1;
+        }
+    }
+    arrivals.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+    for (i, a) in arrivals.iter_mut().enumerate() {
+        a.id = i as u64;
+    }
+
+    println!(
+        "driving workload: {} requests over {:.0} s ({} detection frames)",
+        arrivals.len(),
+        horizon_us / 1e6,
+        arrivals.iter().filter(|a| a.model == "vgg19").count()
+    );
+    println!(
+        "\n{:16} {:>12} {:>12} {:>12} {:>14}",
+        "policy", "pose p50", "pose p99", "pose worst", "detector p99"
+    );
+
+    for policy in Policy::all_default() {
+        let r = simulate(&policy, &arrivals, deployment.table());
+        let pose: Vec<f64> = r
+            .completions
+            .iter()
+            .filter(|c| c.model != "vgg19")
+            .map(|c| c.e2e_us() / 1e3)
+            .collect();
+        let detect: Vec<f64> = r
+            .completions
+            .iter()
+            .filter(|c| c.model == "vgg19")
+            .map(|c| c.e2e_us() / 1e3)
+            .collect();
+        let worst = pose.iter().copied().fold(0.0f64, f64::max);
+        println!(
+            "{:16} {:>9.1} ms {:>9.1} ms {:>9.1} ms {:>11.1} ms",
+            policy.name(),
+            percentile(&pose, 50.0).unwrap(),
+            percentile(&pose, 99.0).unwrap(),
+            worst,
+            percentile(&detect, 99.0).unwrap(),
+        );
+    }
+    println!("\nSPLIT bounds the pose-request tail at one detector *block*,");
+    println!("not one whole detector pass — the difference between braking");
+    println!("decisions made in tens versus hundreds of milliseconds.");
+}

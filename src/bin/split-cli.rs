@@ -1,0 +1,255 @@
+//! `split-cli` — drive the reproduction from the command line.
+//!
+//! ```text
+//! split-cli zoo                               # list the model zoo
+//! split-cli plan resnet50 --blocks 3          # run the offline GA
+//! split-cli plan-all --out plans.json         # offline stage for Table 1
+//! split-cli simulate --scenario 3 --policy split [--plans plans.json]
+//! split-cli dot vgg19 --blocks 3              # graphviz of a split model
+//! ```
+//!
+//! Argument parsing is deliberately hand-rolled (no extra dependencies);
+//! every unknown input prints usage and exits non-zero.
+
+use split_repro::experiment;
+use split_repro::gpu_sim::{block_time_us, DeviceConfig};
+use split_repro::model_zoo::{profiling_models, ModelId};
+use split_repro::qos_metrics::{per_model_std, violation_rate};
+use split_repro::sched::policy::SplitCfg;
+use split_repro::sched::{simulate, Policy};
+use split_repro::split_core::{evolve, GaConfig, PlanSet, SplitPlan};
+use split_repro::split_runtime::Deployment;
+use split_repro::workload::{RequestTrace, Scenario};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: split-cli <command> [options]
+
+commands:
+  zoo                                  list the model zoo with measured latencies
+  plan <model> [--blocks N] [--seed S] run the offline GA on one model
+  plan-all [--out FILE]                offline stage for the Table 1 deployment
+  simulate [--scenario 1..6] [--policy split|clockwork|prema|rta]
+           [--plans FILE] [--alpha A]  serve a Table 2 scenario and report QoS
+  dot <model> [--blocks N]             emit Graphviz DOT (split into N blocks)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "zoo" => cmd_zoo(),
+        "plan" => cmd_plan(rest),
+        "plan-all" => cmd_plan_all(rest),
+        "simulate" => cmd_simulate(rest),
+        "dot" => cmd_dot(rest),
+        _ => Err(format!("unknown command {cmd:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pull `--key value` out of an argument list.
+fn opt(args: &[String], key: &str) -> Result<Option<String>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if a == key {
+            return args
+                .get(i + 1)
+                .cloned()
+                .map(Some)
+                .ok_or_else(|| format!("{key} needs a value"));
+        }
+    }
+    Ok(None)
+}
+
+fn find_model(name: &str) -> Result<ModelId, String> {
+    profiling_models()
+        .into_iter()
+        .find(|id| id.info().name == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = profiling_models().iter().map(|id| id.info().name).collect();
+            format!("unknown model {name:?}; available: {}", names.join(", "))
+        })
+}
+
+fn cmd_zoo() -> Result<(), String> {
+    let dev = DeviceConfig::jetson_nano();
+    println!(
+        "{:16} {:>6} {:>10} {:>12} {:>7}",
+        "model", "ops", "GFLOPs", "latency(ms)", "type"
+    );
+    for id in profiling_models() {
+        let g = id.build_calibrated(&dev);
+        let info = id.info();
+        println!(
+            "{:16} {:>6} {:>10.1} {:>12.2} {:>7}",
+            info.name,
+            g.op_count(),
+            g.total_flops() as f64 / 1e9,
+            block_time_us(&g, &dev) / 1e3,
+            format!("{:?}", info.class)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("plan needs a model name")?;
+    let id = find_model(name)?;
+    let blocks: usize = opt(args, "--blocks")?
+        .map(|s| s.parse().map_err(|_| "bad --blocks"))
+        .transpose()?
+        .unwrap_or(3);
+    let seed: u64 = opt(args, "--seed")?
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or(experiment::OFFLINE_SEED);
+
+    let dev = DeviceConfig::jetson_nano();
+    let g = id.build_calibrated(&dev);
+    let out = evolve(&g, &dev, &GaConfig::new(blocks).with_seed(seed));
+    let p = &out.best_profile;
+    println!(
+        "model {name}: {} operators, vanilla {:.2} ms",
+        g.op_count(),
+        p.vanilla_us / 1e3
+    );
+    println!(
+        "GA converged in {} generations ({} candidates profiled)",
+        out.generations_run,
+        out.history
+            .last()
+            .map(|h| h.candidates_profiled)
+            .unwrap_or(0)
+    );
+    println!("cuts: {:?}", out.best.cuts());
+    println!(
+        "blocks: {}",
+        p.block_times_us
+            .iter()
+            .map(|b| format!("{:.2}ms", b / 1e3))
+            .collect::<Vec<_>>()
+            .join(" + ")
+    );
+    println!(
+        "σ = {:.3} ms, overhead = {:.1}%, range = {:.2}%",
+        p.std_us / 1e3,
+        100.0 * p.overhead_ratio,
+        p.range_pct
+    );
+    Ok(())
+}
+
+fn cmd_plan_all(args: &[String]) -> Result<(), String> {
+    let dev = DeviceConfig::jetson_nano();
+    let plans = experiment::paper_plans(&dev);
+    for p in plans.iter() {
+        println!(
+            "{:12} {} block(s){}",
+            p.model,
+            p.block_count(),
+            if p.is_split() {
+                format!(", cuts {:?}", p.cuts)
+            } else {
+                String::new()
+            }
+        );
+    }
+    if let Some(path) = opt(args, "--out")? {
+        let path = PathBuf::from(path);
+        plans.save(&path).map_err(|e| e.to_string())?;
+        println!("saved to {}", path.display());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let scenario: usize = opt(args, "--scenario")?
+        .map(|s| s.parse().map_err(|_| "bad --scenario"))
+        .transpose()?
+        .unwrap_or(3);
+    if !(1..=6).contains(&scenario) {
+        return Err("scenario must be 1..=6 (Table 2)".into());
+    }
+    let alpha: f64 = opt(args, "--alpha")?
+        .map(|s| s.parse().map_err(|_| "bad --alpha"))
+        .transpose()?
+        .unwrap_or(4.0);
+    let policy = match opt(args, "--policy")?.as_deref().unwrap_or("split") {
+        "split" => Policy::Split(SplitCfg::default()),
+        "clockwork" => Policy::ClockWork,
+        "prema" => Policy::Prema(Default::default()),
+        "rta" => Policy::Rta(Default::default()),
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = match opt(args, "--plans")? {
+        Some(path) => {
+            let plans = PlanSet::load(&PathBuf::from(&path)).map_err(|e| format!("{path}: {e}"))?;
+            let mut d = Deployment::new();
+            d.deploy_all(&plans);
+            d
+        }
+        None => experiment::paper_deployment(&dev),
+    };
+
+    let trace = RequestTrace::generate(Scenario::table2(scenario), &experiment::PAPER_MODEL_NAMES);
+    let r = simulate(&policy, &trace.arrivals, deployment.table());
+    let outcomes = r.outcomes();
+    println!(
+        "policy {} on scenario {scenario}: {} requests",
+        policy.name(),
+        outcomes.len()
+    );
+    println!(
+        "violation rate @ α={alpha}: {:.2}%",
+        100.0 * violation_rate(&outcomes, alpha)
+    );
+    println!("\nper-model jitter:");
+    for row in per_model_std(&outcomes) {
+        println!(
+            "  {:12} n={:<4} mean {:>8.2} ms  σ {:>7.2} ms",
+            row.model,
+            row.count,
+            row.mean_us / 1e3,
+            row.std_us / 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("dot needs a model name")?;
+    let id = find_model(name)?;
+    let dev = DeviceConfig::jetson_nano();
+    let g = id.build_calibrated(&dev);
+    let spec = match opt(args, "--blocks")? {
+        Some(b) => {
+            let blocks: usize = b.parse().map_err(|_| "bad --blocks")?;
+            let out = evolve(&g, &dev, &GaConfig::new(blocks));
+            Some(out.best)
+        }
+        None => None,
+    };
+    print!("{}", split_repro::dnn_graph::to_dot(&g, spec.as_ref()));
+    Ok(())
+}
+
+// Exercised by tests/cli.rs; kept here so the binary stays self-contained.
+#[allow(dead_code)]
+fn _assert_plans_type(p: &PlanSet) -> usize {
+    p.iter().map(SplitPlan::block_count).sum()
+}

@@ -1,0 +1,105 @@
+//! High-level helpers gluing the workspace into the paper's experiments.
+//!
+//! Everything here is deterministic: the same device, seeds, and GA
+//! configuration reproduce the same deployment and the same figures.
+
+use gpu_sim::DeviceConfig;
+use model_zoo::{benchmark_models, ModelId};
+use qos_metrics::RequestOutcome;
+use sched::{simulate, Policy, SimResult};
+use split_core::{PlanSet, SplitPlan};
+use split_runtime::Deployment;
+use workload::{RequestTrace, Scenario};
+
+/// The five Table 1 model names, in the paper's row order.
+pub const PAPER_MODEL_NAMES: [&str; 5] = ["yolov2", "googlenet", "resnet50", "vgg19", "gpt2"];
+
+/// The models SPLIT actually splits (§5.4 splits the *long* models).
+pub const SPLIT_MODELS: [ModelId; 2] = [ModelId::ResNet50, ModelId::Vgg19];
+
+/// Seed for the offline GA runs (ties every figure to one offline stage).
+pub const OFFLINE_SEED: u64 = 99;
+
+/// Run the offline stage for the paper's deployment: calibrate the five
+/// benchmark models to Table 1 and GA-split the long ones (block counts
+/// 2..=4, as Table 3 explores). Returns the plans keyed by model name.
+pub fn paper_plans(dev: &DeviceConfig) -> PlanSet {
+    let mut plans = PlanSet::new();
+    for id in benchmark_models() {
+        let g = id.build_calibrated(dev);
+        let plan = if SPLIT_MODELS.contains(&id) {
+            SplitPlan::offline(&g, dev, 2..=4, OFFLINE_SEED).0
+        } else {
+            SplitPlan::vanilla(&g, dev)
+        };
+        plans.insert(plan);
+    }
+    plans
+}
+
+/// The paper's deployment: the five models with their offline plans,
+/// ready for either the deterministic policies or the threaded runtime.
+pub fn paper_deployment(dev: &DeviceConfig) -> Deployment {
+    let mut d = Deployment::new();
+    d.deploy_all(&paper_plans(dev));
+    d
+}
+
+/// Serve one Table 2 scenario with one policy over the paper deployment.
+pub fn run_scenario(policy: &Policy, scenario: Scenario, deployment: &Deployment) -> SimResult {
+    let trace = RequestTrace::generate(scenario, &PAPER_MODEL_NAMES);
+    simulate(policy, &trace.arrivals, deployment.table())
+}
+
+/// Outcomes of one scenario × policy (convenience for metric code).
+pub fn scenario_outcomes(
+    policy: &Policy,
+    scenario: Scenario,
+    deployment: &Deployment,
+) -> Vec<RequestOutcome> {
+    run_scenario(policy, scenario, deployment).outcomes()
+}
+
+/// Short-model names (Table 1's "Short" rows) — the requests whose QoS
+/// SPLIT champions.
+pub fn short_model_names() -> Vec<&'static str> {
+    vec!["yolov2", "googlenet", "gpt2"]
+}
+
+/// Long-model names (Table 1's "Long" rows) — the requests SPLIT splits.
+pub fn long_model_names() -> Vec<&'static str> {
+    vec!["resnet50", "vgg19"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_has_five_models_with_long_ones_split() {
+        let dev = DeviceConfig::jetson_nano();
+        let d = paper_deployment(&dev);
+        assert_eq!(d.len(), 5);
+        for name in long_model_names() {
+            assert!(
+                d.table().get(name).blocks_us.len() >= 2,
+                "{name} must be split"
+            );
+        }
+        for name in short_model_names() {
+            assert_eq!(
+                d.table().get(name).blocks_us.len(),
+                1,
+                "{name} runs vanilla"
+            );
+        }
+    }
+
+    #[test]
+    fn scenario_run_completes_all_requests() {
+        let dev = DeviceConfig::jetson_nano();
+        let d = paper_deployment(&dev);
+        let r = run_scenario(&Policy::ClockWork, Scenario::table2(1), &d);
+        assert_eq!(r.completions.len(), 1000);
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # split-repro — reproduction of *SPLIT: QoS-Aware DNN Inference on
+//! Shared GPU via Evenly-Sized Model Splitting* (ICPP 2023)
+//!
+//! This facade crate re-exports the whole workspace and provides the
+//! high-level [`experiment`] helpers shared by the examples, the
+//! integration tests, and the figure/table harnesses.
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`dnn_graph`] | operator-DAG IR with FLOP/byte accounting |
+//! | [`model_zoo`] | the 11 §3.1 architectures, calibrated to Table 1 |
+//! | [`gpu_sim`] | deterministic shared-GPU timing simulator |
+//! | [`profiler`] | block profiling and cut-point sweeps (Figure 2) |
+//! | [`split_core`] | GA splitting, Eq. 1/2, greedy preemption, elasticity |
+//! | [`sched`] | SPLIT + ClockWork/PREMA/RT-A serving policies |
+//! | [`workload`] | Poisson scenario generation (Table 2) |
+//! | [`qos_metrics`] | violation-rate curves and jitter (Figures 6–7) |
+//! | [`split_runtime`] | the threaded online serving system (Figure 4) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use split_repro::experiment;
+//! use split_repro::sched::{simulate, Policy};
+//! use split_repro::workload::{RequestTrace, Scenario};
+//!
+//! let dev = split_repro::gpu_sim::DeviceConfig::jetson_nano();
+//! let deployment = experiment::paper_deployment(&dev);
+//! let trace = RequestTrace::generate(
+//!     Scenario::table2(1),
+//!     &experiment::PAPER_MODEL_NAMES,
+//! );
+//! let result = simulate(&Policy::all_default()[0], &trace.arrivals, deployment.table());
+//! assert_eq!(result.completions.len(), 1000);
+//! ```
+
+pub use dnn_graph;
+pub use gpu_sim;
+pub use model_zoo;
+pub use profiler;
+pub use qos_metrics;
+pub use sched;
+pub use split_core;
+pub use split_runtime;
+pub use workload;
+
+pub mod experiment;

@@ -1,0 +1,108 @@
+//! End-to-end tests of the `split-cli` binary: the full offline→file→
+//! online workflow a downstream user would run.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    let exe = env!("CARGO_BIN_EXE_split-cli");
+    Command::new(exe)
+        .args(args)
+        .output()
+        .expect("run split-cli")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+#[test]
+fn zoo_lists_all_eleven_models() {
+    let out = cli(&["zoo"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for model in [
+        "yolov2",
+        "googlenet",
+        "resnet50",
+        "vgg19",
+        "gpt2",
+        "densenet121",
+    ] {
+        assert!(text.contains(model), "missing {model} in:\n{text}");
+    }
+}
+
+#[test]
+fn plan_reports_ga_result() {
+    let out = cli(&["plan", "vgg19", "--blocks", "2", "--seed", "3"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("cuts:"));
+    assert!(text.contains("overhead"));
+}
+
+#[test]
+fn plan_unknown_model_fails_with_listing() {
+    let out = cli(&["plan", "resnet51"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown model"));
+    assert!(err.contains("resnet50"), "should list the valid names");
+}
+
+#[test]
+fn plan_all_then_simulate_from_file() {
+    let dir = std::env::temp_dir().join("split_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let plans: PathBuf = dir.join("plans.json");
+    let _ = std::fs::remove_file(&plans);
+
+    let out = cli(&["plan-all", "--out", plans.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(plans.exists());
+
+    let out = cli(&[
+        "simulate",
+        "--scenario",
+        "2",
+        "--policy",
+        "split",
+        "--plans",
+        plans.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("1000 requests"));
+    assert!(text.contains("violation rate"));
+}
+
+#[test]
+fn simulate_validates_inputs() {
+    assert!(!cli(&["simulate", "--scenario", "9"]).status.success());
+    assert!(!cli(&["simulate", "--policy", "fifo"]).status.success());
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let out = cli(&["dot", "vgg19"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.starts_with("digraph"));
+    assert!(text.contains("conv"));
+}
+
+#[test]
+fn no_command_prints_usage() {
+    let out = cli(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

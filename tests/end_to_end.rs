@@ -1,0 +1,162 @@
+//! End-to-end integration: workload → offline splitting → serving policies
+//! → QoS metrics, asserting the paper's headline shapes hold for the full
+//! paper deployment across all six Table 2 scenarios.
+
+use split_repro::experiment::{self, PAPER_MODEL_NAMES};
+use split_repro::gpu_sim::DeviceConfig;
+use split_repro::qos_metrics::{per_model_std, violation_rate, RequestOutcome};
+use split_repro::sched::Policy;
+use split_repro::split_runtime::Deployment;
+use split_repro::workload::all_scenarios;
+
+fn outcomes_for(policy: &Policy, deployment: &Deployment) -> Vec<Vec<RequestOutcome>> {
+    all_scenarios()
+        .into_iter()
+        .map(|sc| experiment::scenario_outcomes(policy, sc, deployment))
+        .collect()
+}
+
+#[test]
+fn every_policy_serves_all_1000_requests_in_every_scenario() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    for policy in Policy::all_default() {
+        for sc in all_scenarios() {
+            let r = experiment::run_scenario(&policy, sc, &deployment);
+            assert_eq!(
+                r.completions.len(),
+                1000,
+                "{} scenario {}",
+                policy.name(),
+                sc.index
+            );
+            for c in &r.completions {
+                assert!(c.end_us > c.arrival_us, "{:?}", c);
+                assert!(
+                    c.e2e_us() >= c.exec_us - 1e-6,
+                    "faster than isolated execution: {c:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Figure 6's shape: SPLIT has the lowest violation rate at the paper's
+/// focal target α = 4 in every scenario, and stays below 10% beyond it.
+#[test]
+fn split_wins_violation_rate_in_every_scenario() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let policies = Policy::all_default();
+    let split_outcomes = outcomes_for(&policies[0], &deployment);
+
+    for (i, sc) in all_scenarios().iter().enumerate() {
+        let split_rate = violation_rate(&split_outcomes[i], 4.0);
+        assert!(
+            split_rate < 0.10,
+            "scenario {}: SPLIT must stay under 10% beyond α=4, got {split_rate}",
+            sc.index
+        );
+        for baseline in &policies[1..] {
+            let base = violation_rate(
+                &experiment::scenario_outcomes(baseline, *sc, &deployment),
+                4.0,
+            );
+            assert!(
+                split_rate <= base + 1e-9,
+                "scenario {}: SPLIT {} must not exceed {} {}",
+                sc.index,
+                split_rate,
+                baseline.name(),
+                base
+            );
+        }
+    }
+}
+
+/// Figure 7's shape: SPLIT reduces short-model jitter versus every
+/// baseline, substantially (the paper reports 46.8–69.3%).
+#[test]
+fn split_reduces_short_model_jitter_substantially() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let shorts = experiment::short_model_names();
+
+    let mean_short_std = |policy: &Policy| {
+        let per_scenario = outcomes_for(policy, &deployment);
+        per_scenario
+            .iter()
+            .map(|outs| {
+                let rows = per_model_std(outs);
+                rows.iter()
+                    .filter(|r| shorts.contains(&r.model.as_str()))
+                    .map(|r| r.std_us)
+                    .sum::<f64>()
+                    / shorts.len() as f64
+            })
+            .sum::<f64>()
+            / 6.0
+    };
+
+    let policies = Policy::all_default();
+    let split = mean_short_std(&policies[0]);
+    for baseline in &policies[1..] {
+        let base = mean_short_std(baseline);
+        let reduction = 1.0 - split / base;
+        assert!(
+            reduction > 0.30,
+            "SPLIT short jitter {split} vs {} {base}: only {:.1}% reduction",
+            baseline.name(),
+            100.0 * reduction
+        );
+    }
+}
+
+/// The paper's honesty clause (§5.5): SPLIT *sacrifices* some stability of
+/// the long requests it splits — their jitter under SPLIT is not the best
+/// of the four systems.
+#[test]
+fn split_trades_some_long_model_stability() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let sc = all_scenarios()[2];
+    let longs = experiment::long_model_names();
+
+    let long_std = |policy: &Policy| {
+        let outs = experiment::scenario_outcomes(policy, sc, &deployment);
+        per_model_std(&outs)
+            .iter()
+            .filter(|r| longs.contains(&r.model.as_str()))
+            .map(|r| r.std_us)
+            .sum::<f64>()
+            / longs.len() as f64
+    };
+
+    let policies = Policy::all_default();
+    let split = long_std(&policies[0]);
+    let best_baseline = policies[1..]
+        .iter()
+        .map(long_std)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        split > best_baseline * 0.8,
+        "long-model jitter should show the documented trade-off: split {split}, best baseline {best_baseline}"
+    );
+}
+
+/// Every model in the deployment keeps its Table 1 identity through the
+/// whole pipeline.
+#[test]
+fn deployment_latencies_match_table1() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let expect = [10.8, 13.2, 28.35, 67.5, 20.4];
+    for (name, ms) in PAPER_MODEL_NAMES.iter().zip(expect) {
+        let m = deployment.table().get(name);
+        assert!(
+            (m.exec_us / 1e3 - ms).abs() < 1e-6,
+            "{name}: {} vs {ms}",
+            m.exec_us / 1e3
+        );
+    }
+}

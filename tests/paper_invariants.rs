@@ -1,0 +1,110 @@
+//! The paper's analytical claims, checked against the real model zoo:
+//! Table 1 identities, the §2.4 observations on real ResNet-50/VGG-19,
+//! Eq. 1's algebra, and the §2.2 candidate-count explosion.
+
+use split_repro::dnn_graph::SplitSpec;
+use split_repro::gpu_sim::{block_time_us, op_times_us, DeviceConfig};
+use split_repro::model_zoo::{benchmark_models, profiling_models, ModelId};
+use split_repro::profiler::{profile_split, sweep_one_cut};
+use split_repro::split_core::analysis::monte_carlo_waiting_us;
+use split_repro::split_core::{count_candidates, expected_waiting_us};
+
+#[test]
+fn table1_op_counts_exact() {
+    let expect = [
+        (ModelId::YoloV2, 84),
+        (ModelId::GoogLeNet, 142),
+        (ModelId::ResNet50, 122),
+        (ModelId::Vgg19, 44),
+        (ModelId::Gpt2, 2534),
+    ];
+    for (id, ops) in expect {
+        assert_eq!(id.build().op_count(), ops, "{id:?}");
+    }
+}
+
+#[test]
+fn all_eleven_profiling_models_validate_and_time() {
+    let dev = DeviceConfig::jetson_nano();
+    for id in profiling_models() {
+        let g = id.build_calibrated(&dev);
+        g.validate().unwrap();
+        let t = block_time_us(&g, &dev);
+        assert!(t > 0.0 && t.is_finite(), "{id:?}: {t}");
+        let times = op_times_us(&g, &dev);
+        assert_eq!(times.len(), g.op_count());
+    }
+}
+
+/// §2.4 observation 1 on the real long models: cutting in the first decile
+/// of operators costs more overhead than cutting in the last decile.
+#[test]
+fn observation1_early_cuts_cost_more_on_real_models() {
+    let dev = DeviceConfig::jetson_nano();
+    for id in [ModelId::ResNet50, ModelId::Vgg19] {
+        let g = id.build_calibrated(&dev);
+        let pts = sweep_one_cut(&g, &dev, 1);
+        let d = pts.len() / 10;
+        let early: f64 = pts[..d].iter().map(|p| p.overhead_ratio).sum::<f64>() / d as f64;
+        let late: f64 = pts[pts.len() - d..]
+            .iter()
+            .map(|p| p.overhead_ratio)
+            .sum::<f64>()
+            / d as f64;
+        assert!(early > 2.0 * late, "{id:?}: early {early} vs late {late}");
+    }
+}
+
+/// §2.4 observation 2 on the real long models: the evenness optimum sits
+/// near, slightly before, the operator-index middle.
+#[test]
+fn observation2_even_cut_sits_before_middle() {
+    let dev = DeviceConfig::jetson_nano();
+    for id in [ModelId::ResNet50, ModelId::Vgg19] {
+        let g = id.build_calibrated(&dev);
+        let pts = sweep_one_cut(&g, &dev, 1);
+        let best = pts
+            .iter()
+            .min_by(|a, b| a.std_us.total_cmp(&b.std_us))
+            .unwrap();
+        let frac = best.cuts[0] as f64 / g.op_count() as f64;
+        assert!(
+            (0.2..=0.55).contains(&frac),
+            "{id:?}: evenness optimum at {frac:.2} of op index"
+        );
+        // Extremes are far worse.
+        assert!(pts[0].std_us > 3.0 * best.std_us);
+        assert!(pts[pts.len() - 1].std_us > 3.0 * best.std_us);
+    }
+}
+
+/// Eq. 1's closed form equals the mechanism it models, on *profiled*
+/// block times of the real ResNet-50 (not synthetic numbers).
+#[test]
+fn eq1_closed_form_matches_monte_carlo_on_real_blocks() {
+    let dev = DeviceConfig::jetson_nano();
+    let g = ModelId::ResNet50.build_calibrated(&dev);
+    for cuts in [vec![61], vec![40, 81], vec![30, 61, 91]] {
+        let spec = SplitSpec::new(&g, cuts).unwrap();
+        let p = profile_split(&g, &spec, &dev);
+        let exact = expected_waiting_us(&p.block_times_us);
+        let mc = monte_carlo_waiting_us(&p.block_times_us, 100_000, 7);
+        assert!(
+            (mc - exact).abs() / exact < 0.03,
+            "exact {exact} vs MC {mc}"
+        );
+    }
+}
+
+/// §2.2: candidate counts explode; the GA's profiled-candidate budget does
+/// not.
+#[test]
+fn candidate_space_explodes_combinatorially() {
+    // ResNet-50 (122 ops) into 3 blocks: C(121,2) = 7260.
+    assert_eq!(count_candidates(122, 3), 7_260);
+    // Into 5 blocks: already ~8.5M.
+    assert!(count_candidates(122, 5) > 8_000_000);
+    // GPT-2 (2534 ops) into 3 blocks: ~3.2M candidates from node count
+    // alone — the paper's "over 80 hours of profiling" regime.
+    assert!(count_candidates(2534, 3) > 3_000_000);
+}

@@ -1,0 +1,117 @@
+//! Integration of the threaded runtime (Figure 4) with the real paper
+//! deployment: the online system must exhibit the same qualitative
+//! behaviour as the deterministic policy engine.
+
+use split_repro::experiment;
+use split_repro::gpu_sim::DeviceConfig;
+use split_repro::split_runtime::{RequestStatus, Server, ServerConfig};
+use std::time::Duration;
+
+fn server(compression: f64) -> Server {
+    let dev = DeviceConfig::jetson_nano();
+    Server::start(
+        experiment::paper_deployment(&dev),
+        ServerConfig {
+            alpha: 4.0,
+            elastic: None,
+            compression,
+        },
+    )
+}
+
+#[test]
+fn paper_deployment_serves_all_five_models() {
+    let server = server(500.0);
+    let client = server.client();
+    let rxs: Vec<_> = experiment::PAPER_MODEL_NAMES
+        .iter()
+        .map(|m| client.infer(*m))
+        .collect();
+    for (rx, name) in rxs.into_iter().zip(experiment::PAPER_MODEL_NAMES) {
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.status, RequestStatus::Completed, "{name}");
+        assert_eq!(r.model, name);
+        assert!(r.e2e_us() > 0.0);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.served, 5);
+}
+
+#[test]
+fn long_models_run_their_ga_blocks() {
+    let server = server(500.0);
+    let client = server.client();
+    let resnet = client
+        .infer("resnet50")
+        .recv_timeout(Duration::from_secs(10))
+        .unwrap();
+    let vgg = client
+        .infer("vgg19")
+        .recv_timeout(Duration::from_secs(10))
+        .unwrap();
+    assert!(
+        resnet.blocks_run >= 2,
+        "resnet50 ran {} blocks",
+        resnet.blocks_run
+    );
+    assert!(vgg.blocks_run >= 2, "vgg19 ran {} blocks", vgg.blocks_run);
+    server.shutdown();
+}
+
+#[test]
+fn sustained_mixed_load_decision_latency_is_microsecond_scale() {
+    let server = server(2_000.0);
+    let client = server.client();
+    let mut rxs = Vec::new();
+    for i in 0..150 {
+        let model = experiment::PAPER_MODEL_NAMES[i % 5];
+        rxs.push(client.infer(model));
+        if i % 10 == 9 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    for rx in rxs {
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap().status,
+            RequestStatus::Completed
+        );
+    }
+    let report = server.shutdown();
+    assert_eq!(report.served, 150);
+    assert_eq!(report.decisions, 150);
+    // §3.4: microsecond-scale scheduling (generous bound for CI noise).
+    assert!(
+        report.mean_decision_ns < 500_000.0,
+        "mean decision {} ns",
+        report.mean_decision_ns
+    );
+}
+
+#[test]
+fn threaded_runtime_preserves_same_task_fifo() {
+    // Same-task requests submitted in order must complete in order, no
+    // matter how the scheduler interleaves other work.
+    let server = server(1_000.0);
+    let client = server.client();
+    let mut rxs = Vec::new();
+    for i in 0..30 {
+        // Interleave a long stream with the observed yolo stream.
+        if i % 3 == 0 {
+            let _ = client.infer("vgg19");
+        }
+        rxs.push(client.infer("yolov2"));
+    }
+    let replies: Vec<_> = rxs
+        .into_iter()
+        .map(|rx| rx.recv_timeout(Duration::from_secs(30)).unwrap())
+        .collect();
+    for w in replies.windows(2) {
+        assert!(
+            w[0].end_us <= w[1].end_us + 1e-6,
+            "yolo requests completed out of order: {} then {}",
+            w[0].end_us,
+            w[1].end_us
+        );
+    }
+    server.shutdown();
+}
