@@ -99,6 +99,39 @@ fn main() {
     )
     .expect("write csv");
     println!("(CSV written to results/fig1.csv)");
+
+    // One representative run per lane as a Perfetto trace: A arriving
+    // mid-way through B, the exact schedule the figure draws.
+    let mid = 14_000.0;
+    for (name, policy, t) in &lanes {
+        let arrivals = vec![
+            Arrival {
+                id: 0,
+                model: "B-long".into(),
+                arrival_us: 0.0,
+            },
+            Arrival {
+                id: 1,
+                model: "A-short".into(),
+                arrival_us: mid,
+            },
+        ];
+        let r = simulate(policy, &arrivals, t);
+        let slug: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = bench::results_dir().join(format!("fig1_{slug}.trace.json"));
+        split_repro::split_telemetry::write_chrome_trace(&r.recorder, name, &path)
+            .expect("write trace");
+    }
+    println!("(Perfetto traces written to results/fig1_*.trace.json)");
     println!("\nPaper claim: even splitting minimizes the average response ratio —");
     println!("the last column — among the sequential/aligned schemes, and caps A's");
     println!("worst case at one block. Stream-Parallel looks competitive with only");

@@ -8,7 +8,7 @@
 
 use qos_metrics::markdown_table;
 use sched::policy::{block_round_robin, split, SplitCfg};
-use sched::{ModelRuntime, ModelTable};
+use sched::{attach_lifecycle, ModelRuntime, ModelTable};
 use workload::Arrival;
 
 fn main() {
@@ -83,6 +83,46 @@ fn main() {
     )
     .expect("write csv");
     println!("(CSV written to results/fig3.csv)");
+
+    // Perfetto traces of the mid-sweep case (B at 5 ms) for both modes.
+    // The policy functions are called directly above, bypassing
+    // `sched::simulate`, so attach the uniform lifecycle events here.
+    let arrivals = vec![
+        Arrival {
+            id: 0,
+            model: "A".into(),
+            arrival_us: 0.0,
+        },
+        Arrival {
+            id: 1,
+            model: "B".into(),
+            arrival_us: 5_000.0,
+        },
+    ];
+    for (mode, r) in [
+        ("partial", block_round_robin(&arrivals, &t)),
+        (
+            "full",
+            split(
+                &arrivals,
+                &t,
+                &SplitCfg {
+                    alpha: 4.0,
+                    elastic: None,
+                },
+            ),
+        ),
+    ] {
+        let r = attach_lifecycle(&arrivals, r);
+        let path = bench::results_dir().join(format!("fig3_{mode}.trace.json"));
+        split_repro::split_telemetry::write_chrome_trace(
+            &r.recorder,
+            &format!("fig3 {mode} preemption"),
+            &path,
+        )
+        .expect("write trace");
+    }
+    println!("(Perfetto traces written to results/fig3_{{partial,full}}.trace.json)");
     println!("\nPaper claim (§3.4, obs. 1): all blocks of one request executing");
     println!("preemption together beats partial preemption — B's column drops,");
     println!("and A pays nothing for it (its last block ends at the same time).");

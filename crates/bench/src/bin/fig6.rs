@@ -3,7 +3,7 @@
 //! scenarios and the four systems.
 
 use gpu_sim::DeviceConfig;
-use qos_metrics::{violation_curve, violation_rate};
+use qos_metrics::{markdown_table, violation_curve, violation_rate};
 use sched::Policy;
 use split_repro::experiment;
 use workload::all_scenarios;
@@ -12,6 +12,7 @@ fn main() {
     let dev = DeviceConfig::jetson_nano();
     let deployment = experiment::paper_deployment(&dev);
     let mut rows = Vec::new();
+    let mut decision_rows = Vec::new();
 
     println!("Figure 6: latency violation rate vs latency target α\n");
     for sc in all_scenarios() {
@@ -20,7 +21,8 @@ fn main() {
             sc.index, sc.lambda_ms
         );
         for policy in Policy::all_default() {
-            let outcomes = experiment::scenario_outcomes(&policy, sc, &deployment);
+            let r = experiment::run_scenario(&policy, sc, &deployment);
+            let outcomes = r.outcomes();
             let curve = violation_curve(&outcomes, 2, 20);
             for (alpha, rate) in &curve {
                 rows.push(vec![
@@ -38,9 +40,41 @@ fn main() {
                 100.0 * violation_rate(&outcomes, 8.0),
                 100.0 * violation_rate(&outcomes, 16.0),
             );
+            if matches!(policy, Policy::Split(_)) {
+                let reg = r.metrics();
+                let h = reg.histogram("sched.preempt.decision_ns");
+                decision_rows.push(vec![
+                    sc.index.to_string(),
+                    h.count().to_string(),
+                    h.quantile(0.50).to_string(),
+                    h.quantile(0.99).to_string(),
+                    h.max().to_string(),
+                ]);
+                if sc.index == 3 {
+                    let path = bench::results_dir().join("fig6_split_s3.trace.json");
+                    split_repro::split_telemetry::write_chrome_trace(
+                        &r.recorder,
+                        "fig6 SPLIT scenario 3",
+                        &path,
+                    )
+                    .expect("write trace");
+                }
+            }
         }
         println!();
     }
+
+    println!("SPLIT preemption-decision latency per scenario (§3.4 claims µs-scale):\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["scenario", "decisions", "p50 (ns)", "p99 (ns)", "max (ns)"],
+            &decision_rows
+        )
+    );
+    println!(
+        "(Perfetto trace of SPLIT on scenario 3 written to results/fig6_split_s3.trace.json)\n"
+    );
 
     qos_metrics::write_csv(
         &bench::results_dir().join("fig6.csv"),

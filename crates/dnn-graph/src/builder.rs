@@ -245,7 +245,7 @@ impl GraphBuilder {
         let out = TensorShape::chw(c, h, w);
         let flops = out.elements(); // pure copy, charged as touched elements
         let name = self.next_name("concat");
-        self.raw(OpKind::Concat, name, flops, out, 0, &xs.to_vec())
+        self.raw(OpKind::Concat, name, flops, out, 0, xs)
     }
 
     /// ShuffleNet channel shuffle.

@@ -10,9 +10,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// Edge inference typically runs fp16 or fp32; the paper's Jetson Nano
 /// deployment uses fp32 ONNX models, which is our default.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum DType {
     /// 32-bit IEEE float (default for ONNX zoo models).
+    #[default]
     F32,
     /// 16-bit IEEE float.
     F16,
@@ -31,12 +32,6 @@ impl DType {
             DType::F16 => 2,
             DType::I8 => 1,
         }
-    }
-}
-
-impl Default for DType {
-    fn default() -> Self {
-        DType::F32
     }
 }
 

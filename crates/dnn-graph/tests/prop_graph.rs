@@ -46,8 +46,8 @@ proptest! {
     #[test]
     fn all_boundary_bytes_matches_scalar(g in graph_strategy()) {
         let all = g.all_boundary_bytes();
-        for c in 0..=g.op_count() {
-            prop_assert_eq!(all[c], g.boundary_bytes(c));
+        for (c, &bytes) in all.iter().enumerate().take(g.op_count() + 1) {
+            prop_assert_eq!(bytes, g.boundary_bytes(c));
         }
     }
 
@@ -57,8 +57,8 @@ proptest! {
         let all = g.all_boundary_bytes();
         prop_assert_eq!(all[0], 0);
         prop_assert_eq!(all[ops], 0);
-        for c in 1..ops {
-            prop_assert!(all[c] > 0);
+        for &bytes in &all[1..ops] {
+            prop_assert!(bytes > 0);
         }
     }
 

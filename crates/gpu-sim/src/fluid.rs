@@ -178,6 +178,36 @@ impl FluidSim {
     }
 }
 
+/// Telemetry for a fluid run: the number of in-system jobs over time as
+/// [`split_telemetry::Event::QueueDepth`] samples, one after every
+/// arrival and every completion. Under processor sharing every resident
+/// job progresses, so "depth" here counts resident jobs rather than a
+/// wait queue — the same counter track the block schedulers emit.
+pub fn queue_depth_series(
+    jobs: &[FluidJob],
+    done: &[FluidCompletion],
+) -> Vec<split_telemetry::Event> {
+    // +1 at each arrival, -1 at each completion, in time order
+    // (completions win ties so depth never over-counts at an instant).
+    let mut deltas: Vec<(f64, i64)> = jobs
+        .iter()
+        .map(|j| (j.arrival_us, 1))
+        .chain(done.iter().map(|d| (d.end_us, -1)))
+        .collect();
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut depth = 0i64;
+    deltas
+        .into_iter()
+        .map(|(t_us, d)| {
+            depth += d;
+            split_telemetry::Event::QueueDepth {
+                depth: depth.max(0) as usize,
+                t_us,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +288,23 @@ mod tests {
     fn empty_input() {
         let sim = FluidSim::new(ContentionModel::new(0.5));
         assert!(sim.run(&[]).is_empty());
+    }
+
+    #[test]
+    fn queue_depth_series_tracks_residency() {
+        let sim = FluidSim::new(ContentionModel::new(0.0));
+        let jobs = vec![job(0, 0.0, 100.0), job(1, 50.0, 100.0)];
+        let done = sim.run(&jobs);
+        let depths: Vec<(usize, f64)> = queue_depth_series(&jobs, &done)
+            .into_iter()
+            .map(|e| match e {
+                split_telemetry::Event::QueueDepth { depth, t_us } => (depth, t_us),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        // 0 arrives (1), 1 arrives (2), 0 finishes at 100 (1),
+        // 1 finishes at 150 (0).
+        assert_eq!(depths, vec![(1, 0.0), (2, 50.0), (1, 100.0), (0, 150.0)]);
     }
 
     #[test]

@@ -5,6 +5,39 @@
 //! never interleave with a preemptor's blocks" precisely.
 
 use serde::{Deserialize, Serialize};
+use split_telemetry::Event;
+
+/// Fill glyph for a Gantt row. The first nine rows use the classic
+/// high-contrast set; rows beyond that switch to letters and digits so
+/// every row keeps a distinct glyph instead of repeating modulo nine.
+fn row_glyph(row: usize) -> char {
+    const BASE: &[u8; 9] = b"#*+=%@&ox";
+    const EXT: &[u8; 62] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+    if row < BASE.len() {
+        char::from(BASE[row])
+    } else {
+        char::from(EXT[(row - BASE.len()) % EXT.len()])
+    }
+}
+
+/// Parse a scheduler span label of the form `model#req` or
+/// `model#req/bN` into `(model, request id, block index)`.
+///
+/// Every policy in `sched` labels its spans this way; the lifecycle
+/// exporter uses this to attribute device spans back to requests.
+pub fn parse_block_label(label: &str) -> Option<(&str, u64, Option<usize>)> {
+    let hash = label.rfind('#')?;
+    let (model, rest) = (&label[..hash], &label[hash + 1..]);
+    let (req_str, block) = match rest.find('/') {
+        Some(slash) => {
+            let b = rest[slash + 1..].strip_prefix('b')?.parse().ok()?;
+            (&rest[..slash], Some(b))
+        }
+        None => (rest, None),
+    };
+    let req = req_str.parse().ok()?;
+    Some((model, req, block))
+}
 
 /// One executed span on the device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,6 +116,115 @@ impl Trace {
         None
     }
 
+    /// Export the trace as telemetry [`Event::BlockStart`] /
+    /// [`Event::BlockEnd`] pairs, ordered by start time.
+    ///
+    /// Request ids come from [`parse_block_label`]; spans with
+    /// unparseable labels are skipped. Block indices are assigned per
+    /// request in start order (matching the `/bN` suffix when present).
+    /// Streams are re-assigned by greedy interval coloring — concurrent
+    /// spans land on distinct streams even when the recording policy
+    /// folded several requests onto one lane — so the export always
+    /// satisfies the recorder's no-same-stream-overlap invariant and
+    /// renders one clean track per concurrency lane in Perfetto.
+    pub fn lifecycle_events(&self) -> Vec<Event> {
+        let mut spans: Vec<&TraceEvent> = self
+            .events
+            .iter()
+            .filter(|e| parse_block_label(&e.label).is_some())
+            .collect();
+        spans.sort_by(|a, b| {
+            a.start_us
+                .total_cmp(&b.start_us)
+                .then(a.end_us.total_cmp(&b.end_us))
+        });
+
+        let mut blocks_seen: std::collections::HashMap<u64, usize> =
+            std::collections::HashMap::new();
+        // Greedy coloring: lane i is free once its last span has ended.
+        let mut lane_free_us: Vec<f64> = Vec::new();
+        let mut out = Vec::with_capacity(spans.len() * 2);
+        for e in spans {
+            let (_, req, _) = parse_block_label(&e.label).expect("filtered above");
+            let block = {
+                let n = blocks_seen.entry(req).or_insert(0);
+                let b = *n;
+                *n += 1;
+                b
+            };
+            let stream = match lane_free_us
+                .iter()
+                .position(|&free| free <= e.start_us + 1e-9)
+            {
+                Some(i) => {
+                    lane_free_us[i] = e.end_us;
+                    i
+                }
+                None => {
+                    lane_free_us.push(e.end_us);
+                    lane_free_us.len() - 1
+                }
+            } as u32;
+            out.push(Event::BlockStart {
+                req,
+                block,
+                stream,
+                t_us: e.start_us,
+            });
+            out.push(Event::BlockEnd {
+                req,
+                block,
+                stream,
+                t_us: e.end_us,
+            });
+        }
+        out
+    }
+
+    /// Sample device utilization over fixed buckets of `bucket_us`,
+    /// returning one [`Event::Utilization`] per bucket (stamped at the
+    /// bucket's end). Busy means "at least one stream executing": the
+    /// spans' union coverage of each bucket, in `[0, 1]`.
+    pub fn utilization_series(&self, bucket_us: f64) -> Vec<Event> {
+        assert!(bucket_us > 0.0, "bucket must be positive");
+        if self.events.is_empty() {
+            return Vec::new();
+        }
+        let t0 = self
+            .events
+            .iter()
+            .map(|e| e.start_us)
+            .fold(f64::INFINITY, f64::min);
+        let t1 = self.events.iter().map(|e| e.end_us).fold(t0, f64::max);
+
+        // Merge spans across streams into disjoint busy intervals.
+        let mut iv: Vec<(f64, f64)> = self.events.iter().map(|e| (e.start_us, e.end_us)).collect();
+        iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut merged: Vec<(f64, f64)> = Vec::new();
+        for (s, e) in iv {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 + 1e-9 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+
+        let buckets = (((t1 - t0) / bucket_us).ceil() as usize).max(1);
+        let mut out = Vec::with_capacity(buckets);
+        for k in 0..buckets {
+            let lo = t0 + k as f64 * bucket_us;
+            let hi = lo + bucket_us;
+            let busy: f64 = merged
+                .iter()
+                .map(|&(s, e)| (e.min(hi) - s.max(lo)).max(0.0))
+                .sum();
+            out.push(Event::Utilization {
+                busy: (busy / bucket_us).clamp(0.0, 1.0),
+                t_us: hi,
+            });
+        }
+        out
+    }
+
     /// Render a fixed-width ASCII Gantt chart, one row per distinct label
     /// prefix (up to the first `/`), `width` columns spanning the full
     /// trace. Used by the schedule-gallery example to reproduce the
@@ -110,7 +252,7 @@ impl Trace {
             };
             let a = (((e.start_us - t0) / span) * width as f64).floor() as usize;
             let b = (((e.end_us - t0) / span) * width as f64).ceil() as usize;
-            let glyph = char::from(b"#*+=%@&ox"[row % 9]);
+            let glyph = row_glyph(row);
             for c in a..b.min(width) {
                 rows[row].1[c] = glyph;
             }
@@ -176,5 +318,95 @@ mod tests {
     #[test]
     fn empty_render() {
         assert_eq!(Trace::new().render_ascii(10), "(empty trace)\n");
+    }
+
+    /// Regression: with more than nine rows the glyph used to repeat
+    /// modulo nine, so row 9 rendered with row 0's `#` and became
+    /// indistinguishable from it. Every row must get a distinct glyph.
+    #[test]
+    fn rows_beyond_nine_get_distinct_glyphs() {
+        let mut t = Trace::new();
+        let n = 12;
+        for i in 0..n {
+            t.record(
+                format!("req{i:02}/b0"),
+                0,
+                i as f64 * 10.0,
+                i as f64 * 10.0 + 10.0,
+            );
+        }
+        let s = t.render_ascii(n * 4);
+        let mut glyphs = Vec::new();
+        for line in s.lines().take(n) {
+            let cells = line.split('|').nth(1).expect("row body");
+            let g = cells.chars().find(|c| *c != ' ').expect("filled cell");
+            glyphs.push(g);
+        }
+        let mut unique = glyphs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), n, "duplicate glyphs in {glyphs:?}\n{s}");
+    }
+
+    #[test]
+    fn label_parsing() {
+        assert_eq!(parse_block_label("vgg19#3/b2"), Some(("vgg19", 3, Some(2))));
+        assert_eq!(
+            parse_block_label("resnet50#17"),
+            Some(("resnet50", 17, None))
+        );
+        assert_eq!(parse_block_label("no-request-id"), None);
+        assert_eq!(parse_block_label("m#x/b1"), None);
+    }
+
+    #[test]
+    fn lifecycle_events_pair_up_and_avoid_lane_collisions() {
+        let mut t = Trace::new();
+        t.record("long#0/b0", 0, 0.0, 10.0);
+        t.record("short#1/b0", 0, 10.0, 15.0);
+        t.record("long#0/b1", 0, 15.0, 25.0);
+        // Concurrent span recorded on the *same* lane by a fluid policy.
+        t.record("other#2", 0, 5.0, 12.0);
+        let ev = t.lifecycle_events();
+        assert_eq!(ev.len(), 8);
+        // Block indices follow per-request start order.
+        let blocks: Vec<(u64, usize)> = ev
+            .iter()
+            .filter_map(|e| match e {
+                Event::BlockStart { req, block, .. } => Some((*req, *block)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(blocks, vec![(0, 0), (2, 0), (1, 0), (0, 1)]);
+        // Coloring pushed the overlapping span onto its own stream.
+        let streams: std::collections::HashMap<u64, u32> = ev
+            .iter()
+            .filter_map(|e| match e {
+                Event::BlockStart { req, stream, .. } => Some((*req, *stream)),
+                _ => None,
+            })
+            .collect();
+        assert_ne!(streams[&2], streams[&0]);
+    }
+
+    #[test]
+    fn utilization_series_measures_coverage() {
+        let mut t = Trace::new();
+        t.record("a#0", 0, 0.0, 10.0);
+        t.record("b#1", 1, 5.0, 10.0); // overlaps — union still [0, 10]
+        t.record("c#2", 0, 15.0, 20.0);
+        let u = t.utilization_series(10.0);
+        assert_eq!(u.len(), 2);
+        match (&u[0], &u[1]) {
+            (
+                Event::Utilization { busy: b0, t_us: t0 },
+                Event::Utilization { busy: b1, t_us: t1 },
+            ) => {
+                assert!((b0 - 1.0).abs() < 1e-9, "first bucket fully busy: {b0}");
+                assert!((b1 - 0.5).abs() < 1e-9, "second bucket half busy: {b1}");
+                assert_eq!((*t0, *t1), (10.0, 20.0));
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
     }
 }

@@ -51,13 +51,19 @@ impl Policy {
     }
 }
 
-/// The result of serving a trace: completions plus the device trace.
+/// The result of serving a trace: completions, the device trace, and a
+/// per-request lifecycle recording.
 #[derive(Debug, Clone)]
 pub struct SimResult {
     /// Completed requests in completion order.
     pub completions: Vec<Completion>,
     /// Device execution trace.
     pub trace: Trace,
+    /// Lifecycle telemetry. Policies contribute their decision-level
+    /// events (preemption decisions, elastic downgrades); [`simulate`]
+    /// merges in the uniform events every policy shares — arrivals,
+    /// block spans, completions, queue depth, utilization.
+    pub recorder: split_telemetry::Recorder,
 }
 
 impl SimResult {
@@ -68,18 +74,118 @@ impl SimResult {
             .map(Completion::to_outcome)
             .collect()
     }
+
+    /// Derive a metrics registry (decision latency, jump counts, e2e and
+    /// wait histograms, …) from the lifecycle recording.
+    pub fn metrics(&self) -> split_telemetry::Registry {
+        split_telemetry::registry_from_events(&self.recorder)
+    }
+}
+
+/// Ordering rank for events sharing a timestamp, so a merged recording
+/// satisfies [`split_telemetry::Recorder::validate`]: a request arrives
+/// before it is enqueued, a block ends before the next one starts at the
+/// same boundary, and completion follows the final block end.
+fn event_rank(e: &split_telemetry::Event) -> u8 {
+    use split_telemetry::Event as E;
+    match e {
+        E::Arrival { .. } => 0,
+        E::Downgrade { .. } => 1,
+        E::PreemptDecision { .. } => 2,
+        E::Enqueue { .. } => 3,
+        E::QueueDepth { .. } => 4,
+        E::BlockEnd { .. } => 5,
+        E::BlockStart { .. } => 6,
+        E::Transfer { .. } => 7,
+        E::Completion { .. } => 8,
+        E::Utilization { .. } | E::Mark { .. } => 9,
+    }
+}
+
+/// Number of utilization samples synthesized over a trace's span.
+const UTILIZATION_BUCKETS: usize = 64;
+
+/// Rebuild `result.recorder` as the full lifecycle recording: the
+/// policy's own decision events plus the uniform events derived from
+/// arrivals, the device trace, and completions. Every policy goes
+/// through [`simulate`], so recordings from SPLIT and the baselines
+/// validate and export identically. Public so harnesses that call a
+/// policy function directly (e.g. the Figure 3 round-robin ablation)
+/// can still produce a full recording.
+pub fn attach_lifecycle(arrivals: &[Arrival], mut result: SimResult) -> SimResult {
+    let mut events: Vec<split_telemetry::Event> = Vec::new();
+    for a in arrivals {
+        events.push(split_telemetry::Event::Arrival {
+            req: a.id,
+            model: a.model.clone(),
+            t_us: a.arrival_us,
+        });
+    }
+    events.extend(result.trace.lifecycle_events());
+    for c in &result.completions {
+        events.push(split_telemetry::Event::Completion {
+            req: c.id,
+            t_us: c.end_us,
+        });
+    }
+    // In-system request count: +1 on arrival, -1 on completion
+    // (completions first on ties so an instant never over-counts).
+    let mut deltas: Vec<(f64, i64)> = arrivals
+        .iter()
+        .map(|a| (a.arrival_us, 1))
+        .chain(result.completions.iter().map(|c| (c.end_us, -1)))
+        .collect();
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut depth = 0i64;
+    for (t_us, d) in deltas {
+        depth += d;
+        events.push(split_telemetry::Event::QueueDepth {
+            depth: depth.max(0) as usize,
+            t_us,
+        });
+    }
+    if let Some(span) = result
+        .trace
+        .events()
+        .iter()
+        .map(|e| e.end_us)
+        .fold(None::<f64>, |m, e| Some(m.map_or(e, |m| m.max(e))))
+    {
+        let t0 = result
+            .trace
+            .events()
+            .iter()
+            .map(|e| e.start_us)
+            .fold(f64::INFINITY, f64::min);
+        let bucket = ((span - t0) / UTILIZATION_BUCKETS as f64).max(1.0);
+        events.extend(result.trace.utilization_series(bucket));
+    }
+    events.extend(result.recorder.events().cloned());
+    events.sort_by(|a, b| {
+        a.t_us()
+            .total_cmp(&b.t_us())
+            .then(event_rank(a).cmp(&event_rank(b)))
+    });
+
+    let mut recorder = split_telemetry::Recorder::new();
+    for e in events {
+        recorder.record(e);
+    }
+    result.recorder = recorder;
+    result
 }
 
 /// Serve `arrivals` over `models` with the chosen policy.
 pub fn simulate(policy: &Policy, arrivals: &[Arrival], models: &ModelTable) -> SimResult {
-    match policy {
+    let result = match policy {
         Policy::Split(cfg) => split(arrivals, models, cfg),
         Policy::ClockWork => clockwork(arrivals, models),
         Policy::Prema(cfg) => prema(arrivals, models, cfg),
         Policy::Rta(cfg) => rta(arrivals, models, cfg),
         Policy::StreamParallel(cfg) => stream_parallel(arrivals, models, cfg),
         Policy::Sjf => sjf(arrivals, models),
-    }
+    };
+    attach_lifecycle(arrivals, result)
 }
 
 #[cfg(test)]

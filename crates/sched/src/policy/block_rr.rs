@@ -103,7 +103,11 @@ pub fn block_round_robin(arrivals: &[Arrival], models: &ModelTable) -> SimResult
     }
 
     completions.sort_by(|a, b| a.end_us.total_cmp(&b.end_us).then(a.id.cmp(&b.id)));
-    SimResult { completions, trace }
+    SimResult {
+        completions,
+        trace,
+        recorder: Default::default(),
+    }
 }
 
 #[cfg(test)]

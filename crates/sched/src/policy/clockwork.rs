@@ -31,6 +31,7 @@ pub fn clockwork(arrivals: &[Arrival], models: &ModelTable) -> SimResult {
     SimResult {
         completions,
         trace: tl.into_trace(),
+        recorder: Default::default(),
     }
 }
 
@@ -79,6 +80,7 @@ pub fn clockwork_with_dropping(
         SimResult {
             completions,
             trace: tl.into_trace(),
+            recorder: Default::default(),
         },
         dropped,
     )

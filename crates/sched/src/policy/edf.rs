@@ -80,6 +80,7 @@ pub fn edf(arrivals: &[Arrival], models: &ModelTable, cfg: &EdfCfg) -> SimResult
     SimResult {
         completions,
         trace: tl.into_trace(),
+        recorder: Default::default(),
     }
 }
 

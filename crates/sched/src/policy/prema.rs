@@ -149,7 +149,11 @@ pub fn prema(arrivals: &[Arrival], models: &ModelTable, cfg: &PremaCfg) -> SimRe
     }
 
     completions.sort_by(|a, b| a.end_us.total_cmp(&b.end_us).then(a.id.cmp(&b.id)));
-    SimResult { completions, trace }
+    SimResult {
+        completions,
+        trace,
+        recorder: Default::default(),
+    }
 }
 
 #[cfg(test)]

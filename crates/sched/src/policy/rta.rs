@@ -78,7 +78,11 @@ pub fn rta(arrivals: &[Arrival], models: &ModelTable, cfg: &RtaCfg) -> SimResult
     }
 
     completions.sort_by(|a, b| a.end_us.total_cmp(&b.end_us).then(a.id.cmp(&b.id)));
-    SimResult { completions, trace }
+    SimResult {
+        completions,
+        trace,
+        recorder: Default::default(),
+    }
 }
 
 #[cfg(test)]

@@ -67,6 +67,7 @@ pub fn sjf(arrivals: &[Arrival], models: &ModelTable) -> SimResult {
     SimResult {
         completions,
         trace: tl.into_trace(),
+        recorder: Default::default(),
     }
 }
 

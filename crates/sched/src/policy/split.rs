@@ -14,7 +14,9 @@ use crate::request::{Completion, ModelTable};
 use gpu_sim::Trace;
 use serde::{Deserialize, Serialize};
 use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use split_telemetry::{Event, Recorder};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 use workload::Arrival;
 
 /// SPLIT policy configuration.
@@ -50,6 +52,9 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
     let mut running: Option<(u64, f64)> = None; // (request id, block end)
     let mut trace = Trace::new();
     let mut completions = Vec::with_capacity(arrivals.len());
+    // Decision-level telemetry; the engine layer merges in the uniform
+    // lifecycle events (arrivals, blocks, completions, queue depth).
+    let mut recorder = Recorder::new();
 
     let mut now = 0.0f64;
     let mut next = 0usize;
@@ -105,11 +110,20 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                 } else {
                     std::iter::once(m.exec_us).collect()
                 };
+                if !use_split && m.blocks_us.len() > 1 {
+                    recorder.record(Event::Downgrade {
+                        req: a.id,
+                        from_blocks: m.blocks_us.len(),
+                        to_blocks: 1,
+                        t_us: now,
+                    });
+                }
                 let left: f64 = blocks.iter().sum();
                 blocks_left.insert(a.id, blocks);
                 meta.insert(a.id, (m.name.clone(), m.task, m.exec_us, now));
                 let base_wait = running.map(|(_, e)| e - now).unwrap_or(0.0);
-                greedy_preempt(
+                let t0 = Instant::now();
+                let decision = greedy_preempt(
                     &mut queue,
                     QueueEntry {
                         id: a.id,
@@ -122,6 +136,20 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                     now,
                     cfg.alpha,
                 );
+                recorder.record(Event::PreemptDecision {
+                    req: a.id,
+                    position: decision.position,
+                    comparisons: decision.comparisons,
+                    stop: format!("{:?}", decision.stop),
+                    decision_ns: t0.elapsed().as_nanos() as u64,
+                    t_us: now,
+                });
+                recorder.record(Event::Enqueue {
+                    req: a.id,
+                    position: decision.position,
+                    displaced: queue.len() - 1 - decision.position,
+                    t_us: now,
+                });
             }
         } else {
             {
@@ -156,7 +184,11 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
     }
 
     completions.sort_by(|a, b| a.end_us.total_cmp(&b.end_us).then(a.id.cmp(&b.id)));
-    SimResult { completions, trace }
+    SimResult {
+        completions,
+        trace,
+        recorder,
+    }
 }
 
 #[cfg(test)]

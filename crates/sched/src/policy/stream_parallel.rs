@@ -67,7 +67,11 @@ pub fn stream_parallel(
         })
         .collect();
     completions.sort_by(|a, b| a.end_us.total_cmp(&b.end_us).then(a.id.cmp(&b.id)));
-    SimResult { completions, trace }
+    SimResult {
+        completions,
+        trace,
+        recorder: Default::default(),
+    }
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! stream would deliver them — and enforces a frame-size cap so a
 //! corrupted length prefix cannot balloon memory.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 use std::fmt;

@@ -21,9 +21,15 @@ use crate::stats::DecisionStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use split_telemetry::{Event, Recorder, RecorderMode, SharedRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Ring capacity for the server's lifecycle recorder: enough for
+/// thousands of in-flight requests (≈6 events each) while bounding a
+/// long-running server's memory. Evictions are counted, not silent.
+const RECORDER_RING: usize = 65_536;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +80,7 @@ struct Shared {
     work: Condvar,
     clock: SimClock,
     decisions: DecisionStats,
+    recorder: SharedRecorder,
 }
 
 /// A running SPLIT server.
@@ -131,6 +138,14 @@ pub struct ShutdownReport {
     pub mean_decision_ns: f64,
     /// Worst decision latency, nanoseconds.
     pub max_decision_ns: u64,
+    /// Median decision latency, nanoseconds (bucket-approximate).
+    pub p50_decision_ns: u64,
+    /// 99th-percentile decision latency, nanoseconds
+    /// (bucket-approximate).
+    pub p99_decision_ns: u64,
+    /// The server's lifecycle recording (ring-bounded; see
+    /// [`Server::telemetry`]).
+    pub recorder: Recorder,
 }
 
 impl Server {
@@ -141,6 +156,7 @@ impl Server {
             work: Condvar::new(),
             clock: SimClock::new(cfg.compression),
             decisions: DecisionStats::new(),
+            recorder: SharedRecorder::with_mode(RecorderMode::Ring(RECORDER_RING)),
         });
         let (request_tx, request_rx) = unbounded::<ClientRequest>();
         let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
@@ -205,6 +221,14 @@ impl Server {
         }
     }
 
+    /// A snapshot of the server's lifecycle recording so far (arrivals,
+    /// preemption decisions, block executions, completions, queue
+    /// depth). Ring-bounded; exportable with
+    /// [`split_telemetry::perfetto::write_chrome_trace`].
+    pub fn telemetry(&self) -> Recorder {
+        self.shared.recorder.snapshot()
+    }
+
     /// Stop accepting requests, drain the queue, join the threads, and
     /// report.
     pub fn shutdown(mut self) -> ShutdownReport {
@@ -223,6 +247,9 @@ impl Server {
             decisions: self.shared.decisions.count(),
             mean_decision_ns: self.shared.decisions.mean_ns(),
             max_decision_ns: self.shared.decisions.max_ns(),
+            p50_decision_ns: self.shared.decisions.p50_ns(),
+            p99_decision_ns: self.shared.decisions.p99_ns(),
+            recorder: self.shared.recorder.snapshot(),
         }
     }
 }
@@ -263,6 +290,10 @@ fn responder_loop(
             let shared = self.shared;
             let now = shared.clock.now_us();
             if !self.deployment.table().contains(&req.model) {
+                shared.recorder.record(Event::Mark {
+                    label: format!("dropped:{}", req.model),
+                    t_us: now,
+                });
                 let _ = req.reply.send(InferenceReply {
                     id: self.next_id,
                     model: req.model,
@@ -292,6 +323,21 @@ fn responder_loop(
             self.accepted += 1;
 
             let mut st = shared.state.lock();
+            // Recorded under the state lock so event order matches
+            // scheduling order across the two threads.
+            shared.recorder.record(Event::Arrival {
+                req: id,
+                model: m.name.clone(),
+                t_us: now,
+            });
+            if !use_split && m.blocks_us.len() > 1 {
+                shared.recorder.record(Event::Downgrade {
+                    req: id,
+                    from_blocks: m.blocks_us.len(),
+                    to_blocks: 1,
+                    t_us: now,
+                });
+            }
             st.blocks.insert(id, blocks);
             st.meta.insert(
                 id,
@@ -306,7 +352,7 @@ fn responder_loop(
             );
             let base_wait = st.running_end_us.map(|e| (e - now).max(0.0)).unwrap_or(0.0);
             let t0 = Instant::now();
-            greedy_preempt(
+            let decision = greedy_preempt(
                 &mut st.queue,
                 QueueEntry {
                     id,
@@ -319,7 +365,26 @@ fn responder_loop(
                 now,
                 self.alpha,
             );
-            shared.decisions.record(t0.elapsed().as_nanos() as u64);
+            let decision_ns = t0.elapsed().as_nanos() as u64;
+            shared.decisions.record(decision_ns);
+            shared.recorder.record(Event::PreemptDecision {
+                req: id,
+                position: decision.position,
+                comparisons: decision.comparisons,
+                stop: format!("{:?}", decision.stop),
+                decision_ns,
+                t_us: now,
+            });
+            shared.recorder.record(Event::Enqueue {
+                req: id,
+                position: decision.position,
+                displaced: st.queue.len() - 1 - decision.position,
+                t_us: now,
+            });
+            shared.recorder.record(Event::QueueDepth {
+                depth: st.queue.len(),
+                t_us: now,
+            });
             drop(st);
             shared.work.notify_all();
         }
@@ -380,17 +445,30 @@ fn executor_loop(shared: &Shared) -> u64 {
         st.queue[0].left_us -= blk;
         let now = shared.clock.now_us();
         st.running_end_us = Some(now + blk);
-        {
+        let block_idx = {
             let meta = st.meta.get_mut(&id).expect("meta");
             meta.start_us.get_or_insert(now);
             meta.blocks_run += 1;
-        }
+            meta.blocks_run - 1
+        };
+        shared.recorder.record(Event::BlockStart {
+            req: id,
+            block: block_idx,
+            stream: 0,
+            t_us: now,
+        });
         drop(st);
 
         shared.clock.sleep_us(blk);
 
         st = shared.state.lock();
         st.running_end_us = None;
+        shared.recorder.record(Event::BlockEnd {
+            req: id,
+            block: block_idx,
+            stream: 0,
+            t_us: shared.clock.now_us(),
+        });
         if st.blocks.get(&id).map(|b| b.is_empty()).unwrap_or(false) {
             let pos = st
                 .queue
@@ -401,6 +479,13 @@ fn executor_loop(shared: &Shared) -> u64 {
             st.blocks.remove(&id);
             let meta = st.meta.remove(&id).expect("meta present");
             let end = shared.clock.now_us();
+            shared
+                .recorder
+                .record(Event::Completion { req: id, t_us: end });
+            shared.recorder.record(Event::QueueDepth {
+                depth: st.queue.len(),
+                t_us: end,
+            });
             let _ = meta.reply.send(InferenceReply {
                 id,
                 model: meta.model,
@@ -603,5 +688,45 @@ mod tests {
         let server = Server::start(deployment(), config());
         let _ = server.client().infer("short");
         drop(server);
+    }
+
+    #[test]
+    fn telemetry_recording_is_well_formed() {
+        let server = Server::start(deployment(), config());
+        let client = server.client();
+        let rxs: Vec<_> = (0..6)
+            .map(|i| client.infer(if i % 2 == 0 { "long" } else { "short" }))
+            .collect();
+        for rx in rxs {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        let report = server.shutdown();
+        let errors = report.recorder.validate();
+        assert!(errors.is_empty(), "lifecycle violations: {errors:?}");
+        assert!(report.p50_decision_ns <= report.p99_decision_ns);
+        assert!(report.p99_decision_ns <= report.max_decision_ns);
+
+        let count = |f: fn(&Event) -> bool| report.recorder.events().filter(|e| f(e)).count();
+        assert_eq!(count(|e| matches!(e, Event::Arrival { .. })), 6);
+        assert_eq!(count(|e| matches!(e, Event::Completion { .. })), 6);
+        assert_eq!(
+            count(|e| matches!(e, Event::PreemptDecision { .. })),
+            6,
+            "one decision per accepted request"
+        );
+        // 3 long (3 blocks) + 3 short (1 block) = 12 block executions.
+        assert_eq!(count(|e| matches!(e, Event::BlockStart { .. })), 12);
+
+        // The recording exports to a loadable Perfetto document.
+        let doc = split_telemetry::trace_events(&report.recorder, "split-runtime");
+        let spans = doc
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .count();
+        assert_eq!(spans, 12);
     }
 }

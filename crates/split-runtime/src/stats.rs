@@ -4,15 +4,19 @@
 //! microsecond-scale". The scheduler thread times every `greedy_preempt`
 //! call with `Instant`; this collector aggregates those wall-clock
 //! durations lock-free so reading stats never perturbs the scheduler.
+//!
+//! Backed by [`split_telemetry::Histogram`], so on top of the original
+//! count/mean/max the collector now answers distribution queries —
+//! [`DecisionStats::p50_ns`] / [`DecisionStats::p99_ns`] — with the
+//! histogram's ≤12.5% relative bucket error; count, mean, and max stay
+//! exact (the histogram tracks them with dedicated atomics).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use split_telemetry::Histogram;
 
 /// Lock-free aggregate of decision durations (nanoseconds).
 #[derive(Debug, Default)]
 pub struct DecisionStats {
-    count: AtomicU64,
-    total_ns: AtomicU64,
-    max_ns: AtomicU64,
+    hist: Histogram,
 }
 
 impl DecisionStats {
@@ -23,29 +27,42 @@ impl DecisionStats {
 
     /// Record one decision.
     pub fn record(&self, ns: u64) {
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.total_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.hist.record(ns);
     }
 
     /// Number of decisions recorded.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.hist.count()
     }
 
     /// Mean decision time, nanoseconds (0 before any decision).
     pub fn mean_ns(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
+        if self.hist.count() == 0 {
             0.0
         } else {
-            self.total_ns.load(Ordering::Relaxed) as f64 / n as f64
+            self.hist.mean()
         }
     }
 
     /// Worst decision time, nanoseconds.
     pub fn max_ns(&self) -> u64 {
-        self.max_ns.load(Ordering::Relaxed)
+        self.hist.max()
+    }
+
+    /// Median decision time, nanoseconds (bucket-approximate).
+    pub fn p50_ns(&self) -> u64 {
+        self.hist.p50()
+    }
+
+    /// 99th-percentile decision time, nanoseconds (bucket-approximate).
+    pub fn p99_ns(&self) -> u64 {
+        self.hist.p99()
+    }
+
+    /// The underlying histogram (e.g. for merging into a registry
+    /// snapshot).
+    pub fn histogram(&self) -> &Histogram {
+        &self.hist
     }
 }
 
@@ -63,6 +80,20 @@ mod tests {
         assert_eq!(s.count(), 3);
         assert_eq!(s.mean_ns(), 200.0);
         assert_eq!(s.max_ns(), 300);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let s = DecisionStats::new();
+        for ns in 1..=1_000u64 {
+            s.record(ns);
+        }
+        let (p50, p99, max) = (s.p50_ns(), s.p99_ns(), s.max_ns());
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 <= max, "p99 {p99} > max {max}");
+        // Log-bucketed: p50 within 12.5% of the true median 500.
+        assert!((p50 as f64 - 500.0).abs() <= 500.0 * 0.125, "p50 {p50}");
+        assert_eq!(max, 1_000);
     }
 
     #[test]

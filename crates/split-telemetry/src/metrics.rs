@@ -1,0 +1,599 @@
+//! Lock-free metrics: counters, gauges, and log-bucketed histograms.
+//!
+//! Handles returned by [`Registry`] are `Arc`s over atomics — recording
+//! never takes a lock, so instrumenting the preemption decision path
+//! (whose whole budget is microseconds, §3.4) costs a few atomic adds.
+//! Registration itself takes a write lock but happens once per metric.
+//!
+//! Histograms use 8 sub-buckets per power-of-two octave (≤ 12.5%
+//! relative error per bucket), with exact tracking of count, sum, and
+//! max. Quantiles are read from the bucket boundaries and clamped to
+//! the exact max, so `p99 <= max` always holds.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depth, inflight requests, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Overwrite the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Buckets 0..=7 hold exact values 0..=7; from 8 up, each power-of-two
+/// octave is split into 8 sub-buckets. Index 8·63−16+7 = 495 is the top.
+const BUCKETS: usize = 496;
+
+/// Log-bucketed latency histogram over `u64` samples (nanoseconds by
+/// convention, but unit-agnostic).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    min: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < 8 {
+        return v as usize;
+    }
+    let log = 63 - v.leading_zeros() as u64; // >= 3
+    let sub = (v >> (log - 3)) & 7;
+    (8 * log - 16 + sub) as usize
+}
+
+/// Representative value (midpoint) of bucket `idx`.
+fn bucket_value(idx: usize) -> u64 {
+    if idx < 8 {
+        return idx as u64;
+    }
+    let log = (idx as u64 + 16) / 8;
+    let sub = (idx as u64 + 16) % 8;
+    let width = 1u64 << (log - 3);
+    (1u64 << log) + sub * width + width / 2
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Exact largest sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.max.load(Ordering::Relaxed)
+        }
+    }
+
+    /// Exact smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count() == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), read from bucket boundaries
+    /// (≤ 12.5% relative error) and clamped to the exact min/max.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * n as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= target {
+                return bucket_value(idx).clamp(self.min(), self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics. Cheap to share (`Arc<Registry>`);
+/// handle lookup takes a read lock, recording through a handle is
+/// lock-free.
+#[derive(Default)]
+pub struct Registry {
+    inner: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Fresh empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let metric = self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default())));
+        match metric {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// Get or create the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let metric = self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default())));
+        match metric {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// Get or create the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let metric = self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::default())));
+        match metric {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.inner.read().expect("registry lock").get(name) {
+            return m.clone();
+        }
+        let mut map = self.inner.write().expect("registry lock");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// Point-in-time snapshot of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.inner.read().expect("registry lock");
+        let entries = map
+            .iter()
+            .map(|(name, metric)| match metric {
+                Metric::Counter(c) => MetricEntry {
+                    name: name.clone(),
+                    kind: "counter".into(),
+                    count: c.get(),
+                    value: c.get() as i64,
+                    mean: 0.0,
+                    p50: 0,
+                    p95: 0,
+                    p99: 0,
+                    max: 0,
+                },
+                Metric::Gauge(g) => MetricEntry {
+                    name: name.clone(),
+                    kind: "gauge".into(),
+                    count: 0,
+                    value: g.get(),
+                    mean: 0.0,
+                    p50: 0,
+                    p95: 0,
+                    p99: 0,
+                    max: 0,
+                },
+                Metric::Histogram(h) => MetricEntry {
+                    name: name.clone(),
+                    kind: "histogram".into(),
+                    count: h.count(),
+                    value: 0,
+                    mean: h.mean(),
+                    p50: h.p50(),
+                    p95: h.p95(),
+                    p99: h.p99(),
+                    max: h.max(),
+                },
+            })
+            .collect();
+        MetricsSnapshot { entries }
+    }
+}
+
+/// One metric's state inside a [`MetricsSnapshot`]. Fields that do not
+/// apply to the metric's kind are zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricEntry {
+    /// Registered name.
+    pub name: String,
+    /// `"counter"`, `"gauge"`, or `"histogram"`.
+    pub kind: String,
+    /// Counter value / histogram sample count.
+    pub count: u64,
+    /// Counter or gauge level.
+    pub value: i64,
+    /// Histogram mean.
+    pub mean: f64,
+    /// Histogram median.
+    pub p50: u64,
+    /// Histogram 95th percentile.
+    pub p95: u64,
+    /// Histogram 99th percentile.
+    pub p99: u64,
+    /// Histogram exact max.
+    pub max: u64,
+}
+
+/// Serializable point-in-time view of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Entries sorted by metric name.
+    pub entries: Vec<MetricEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Look up one entry by name.
+    pub fn get(&self, name: &str) -> Option<&MetricEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Table header matching [`MetricsSnapshot::to_rows`].
+    pub fn header() -> [&'static str; 9] {
+        [
+            "metric", "kind", "count", "value", "mean", "p50", "p95", "p99", "max",
+        ]
+    }
+
+    /// One row of cells per metric, for markdown/CSV rendering.
+    pub fn to_rows(&self) -> Vec<Vec<String>> {
+        self.entries
+            .iter()
+            .map(|e| {
+                let (stats_on, value_on) = match e.kind.as_str() {
+                    "histogram" => (true, false),
+                    "counter" | "gauge" => (false, true),
+                    _ => (false, false),
+                };
+                let num = |on: bool, v: String| if on { v } else { "-".to_string() };
+                vec![
+                    e.name.clone(),
+                    e.kind.clone(),
+                    num(e.kind != "gauge", e.count.to_string()),
+                    num(value_on, e.value.to_string()),
+                    num(stats_on, format!("{:.1}", e.mean)),
+                    num(stats_on, e.p50.to_string()),
+                    num(stats_on, e.p95.to_string()),
+                    num(stats_on, e.p99.to_string()),
+                    num(stats_on, e.max.to_string()),
+                ]
+            })
+            .collect()
+    }
+
+    /// Render as a markdown table.
+    pub fn render_markdown(&self) -> String {
+        qos_metrics::report::markdown_table(&Self::header(), &self.to_rows())
+    }
+
+    /// Write as CSV.
+    pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
+        qos_metrics::report::write_csv(path, &Self::header(), &self.to_rows())
+    }
+}
+
+/// Derive a [`Registry`] from a lifecycle recording.
+///
+/// This is the bridge between the two telemetry halves: replaying the
+/// recorder's events populates the standard metric names —
+/// `sched.preempt.decision_ns` / `sched.preempt.comparisons` histograms,
+/// `request.e2e_us` / `request.wait_us` latency histograms (microsecond
+/// values), `requests.arrived` / `requests.completed` / `preempt.jumps`
+/// counters, and the `queue.depth.peak` gauge — so snapshots from an
+/// offline simulation line up with ones recorded live.
+pub fn registry_from_events(rec: &crate::lifecycle::Recorder) -> Registry {
+    use crate::lifecycle::Event;
+    let reg = Registry::new();
+    let arrived = reg.counter("requests.arrived");
+    let completed = reg.counter("requests.completed");
+    let jumps = reg.counter("preempt.jumps");
+    let downgrades = reg.counter("elastic.downgrades");
+    let decision_ns = reg.histogram("sched.preempt.decision_ns");
+    let comparisons = reg.histogram("sched.preempt.comparisons");
+    let depth_peak = reg.gauge("queue.depth.peak");
+
+    for e in rec.events() {
+        match e {
+            Event::Arrival { .. } => arrived.inc(),
+            Event::Completion { .. } => completed.inc(),
+            Event::Enqueue { displaced, .. } if *displaced > 0 => jumps.inc(),
+            Event::Downgrade { .. } => downgrades.inc(),
+            Event::PreemptDecision {
+                decision_ns: ns,
+                comparisons: cmp,
+                ..
+            } => {
+                decision_ns.record(*ns);
+                comparisons.record(*cmp as u64);
+            }
+            Event::QueueDepth { depth, .. } if *depth as i64 > depth_peak.get() => {
+                depth_peak.set(*depth as i64);
+            }
+            _ => {}
+        }
+    }
+
+    let e2e = reg.histogram("request.e2e_us");
+    let wait = reg.histogram("request.wait_us");
+    for r in rec.summary().requests {
+        if r.e2e_us().is_finite() && r.e2e_us() >= 0.0 {
+            e2e.record(r.e2e_us().round() as u64);
+        }
+        if r.wait_us().is_finite() && r.wait_us() >= 0.0 {
+            wait.record(r.wait_us().round() as u64);
+        }
+    }
+    reg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut samples: Vec<u64> = Vec::new();
+        for exp in 0..64u32 {
+            for off in [0u64, 1, 3] {
+                samples.push((1u64 << exp).saturating_add(off << exp.saturating_sub(4)));
+            }
+        }
+        samples.sort_unstable();
+        let mut prev = 0usize;
+        for v in samples {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "v={v} idx={idx} prev={prev}");
+            assert!(idx < BUCKETS);
+            prev = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn bucket_value_within_bucket() {
+        for v in [0u64, 1, 7, 8, 100, 1_000, 123_456, u64::MAX / 2] {
+            let idx = bucket_index(v);
+            let rep = bucket_value(idx);
+            // Representative stays within 12.5% of the sample.
+            if v >= 8 {
+                let rel = (rep as f64 - v as f64).abs() / v as f64;
+                assert!(rel <= 0.125, "v={v} rep={rep} rel={rel}");
+            } else {
+                assert_eq!(rep, v);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_ordered() {
+        let h = Histogram::default();
+        for i in 1..=10_000u64 {
+            h.record(i * 100);
+        }
+        assert_eq!(h.count(), 10_000);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        assert_eq!(h.max(), 1_000_000);
+        // p50 of uniform 100..=1_000_000 is ~500_000; allow bucket error.
+        let p50 = h.p50() as f64;
+        assert!((437_500.0..=562_500.0).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_rendering() {
+        let reg = Registry::new();
+        reg.counter("sched.arrivals").add(3);
+        reg.gauge("sched.queue_depth").set(-2);
+        let h = reg.histogram("sched.decision_ns");
+        h.record(1_000);
+        h.record(2_000);
+        // Same handle back on re-request.
+        reg.counter("sched.arrivals").inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("sched.arrivals").unwrap().count, 4);
+        assert_eq!(snap.get("sched.queue_depth").unwrap().value, -2);
+        assert_eq!(snap.get("sched.decision_ns").unwrap().count, 2);
+        let md = snap.render_markdown();
+        assert!(md.contains("sched.decision_ns"));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        let reg = Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("lat");
+                    for i in 0..10_000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits").get(), 40_000);
+        assert_eq!(reg.histogram("lat").count(), 40_000);
+    }
+
+    #[test]
+    fn registry_from_events_populates_standard_names() {
+        use crate::lifecycle::{Event, Recorder};
+        let mut rec = Recorder::new();
+        rec.record(Event::Arrival {
+            req: 0,
+            model: "m".into(),
+            t_us: 0.0,
+        });
+        rec.record(Event::PreemptDecision {
+            req: 0,
+            position: 0,
+            comparisons: 2,
+            stop: "QueueHead".into(),
+            decision_ns: 800,
+            t_us: 0.0,
+        });
+        rec.record(Event::Enqueue {
+            req: 0,
+            position: 0,
+            displaced: 1,
+            t_us: 0.0,
+        });
+        rec.record(Event::QueueDepth {
+            depth: 3,
+            t_us: 0.0,
+        });
+        rec.record(Event::BlockStart {
+            req: 0,
+            block: 0,
+            stream: 0,
+            t_us: 10.0,
+        });
+        rec.record(Event::BlockEnd {
+            req: 0,
+            block: 0,
+            stream: 0,
+            t_us: 25.0,
+        });
+        rec.record(Event::Completion { req: 0, t_us: 25.0 });
+
+        let reg = registry_from_events(&rec);
+        assert_eq!(reg.counter("requests.arrived").get(), 1);
+        assert_eq!(reg.counter("requests.completed").get(), 1);
+        assert_eq!(reg.counter("preempt.jumps").get(), 1);
+        assert_eq!(reg.gauge("queue.depth.peak").get(), 3);
+        let h = reg.histogram("sched.preempt.decision_ns");
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 800);
+        assert_eq!(reg.histogram("request.e2e_us").max(), 25);
+        assert_eq!(reg.histogram("request.wait_us").max(), 10);
+    }
+}

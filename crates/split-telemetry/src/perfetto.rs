@@ -1,0 +1,377 @@
+//! Chrome/Perfetto `trace_events` export.
+//!
+//! Converts a [`Recorder`] into the JSON object format understood by
+//! `chrome://tracing` and <https://ui.perfetto.dev>: block executions
+//! become complete (`"X"`) spans on one track per GPU stream,
+//! scheduler-side happenings (arrivals, preemption decisions and jumps,
+//! elastic downgrades, completions) become instant (`"i"`) markers on a
+//! dedicated scheduler track, and queue depth / device utilization
+//! become counter (`"C"`) tracks. Timestamps pass through unchanged —
+//! the recorder's microseconds are exactly the `ts` unit the format
+//! expects.
+
+use crate::lifecycle::{Event, Recorder};
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+const PID: u64 = 1;
+/// Track for scheduler instants (decisions, arrivals, completions).
+const TID_SCHED: u64 = 1;
+/// Track for transfer spans.
+const TID_IO: u64 = 2;
+/// Streams map to tids from this base upward.
+const TID_STREAM_BASE: u64 = 100;
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn u(v: u64) -> Value {
+    Value::Number(serde_json::Number::PosInt(v))
+}
+
+fn f(v: f64) -> Value {
+    Value::Number(serde_json::Number::Float(v))
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k, v);
+    }
+    Value::Object(m)
+}
+
+fn instant(name: &str, cat: &str, ts: f64, args: Vec<(&str, Value)>) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("cat", s(cat)),
+        ("ph", s("i")),
+        ("s", s("t")),
+        ("ts", f(ts)),
+        ("pid", u(PID)),
+        ("tid", u(TID_SCHED)),
+        ("args", obj(args)),
+    ])
+}
+
+fn counter(name: &str, ts: f64, key: &str, value: Value) -> Value {
+    obj(vec![
+        ("name", s(name)),
+        ("ph", s("C")),
+        ("ts", f(ts)),
+        ("pid", u(PID)),
+        ("args", obj(vec![(key, value)])),
+    ])
+}
+
+fn metadata(name: &str, tid: Option<u64>, value: &str) -> Value {
+    let mut pairs = vec![
+        ("name", s(name)),
+        ("ph", s("M")),
+        ("pid", u(PID)),
+        ("args", obj(vec![("name", s(value))])),
+    ];
+    if let Some(tid) = tid {
+        pairs.insert(3, ("tid", u(tid)));
+    }
+    obj(pairs)
+}
+
+/// Convert a recording into a `trace_events` JSON document
+/// (`{"traceEvents": [...], "displayTimeUnit": "ms"}`). `process_name`
+/// labels the single process track, e.g. `"split-sim"` or
+/// `"split-runtime"`.
+pub fn trace_events(rec: &Recorder, process_name: &str) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(rec.len() + 8);
+    events.push(metadata("process_name", None, process_name));
+    events.push(metadata("thread_name", Some(TID_SCHED), "scheduler"));
+
+    // Model names per request, for span labels.
+    let mut models: BTreeMap<u64, String> = BTreeMap::new();
+    for e in rec.events() {
+        if let Event::Arrival { req, model, .. } = e {
+            models.insert(*req, model.clone());
+        }
+    }
+
+    // Open BlockStart awaiting its end, keyed by request.
+    let mut open: BTreeMap<u64, (usize, u32, f64)> = BTreeMap::new();
+    let mut streams_seen: BTreeMap<u32, ()> = BTreeMap::new();
+    let mut io_seen = false;
+
+    for e in rec.events() {
+        match e {
+            Event::Arrival { req, model, t_us } => {
+                events.push(instant(
+                    "arrival",
+                    "lifecycle",
+                    *t_us,
+                    vec![("req", u(*req)), ("model", s(model.clone()))],
+                ));
+            }
+            Event::Enqueue {
+                req,
+                position,
+                displaced,
+                t_us,
+            } => {
+                if *displaced > 0 {
+                    events.push(instant(
+                        "preempt-jump",
+                        "preemption",
+                        *t_us,
+                        vec![
+                            ("req", u(*req)),
+                            ("position", u(*position as u64)),
+                            ("displaced", u(*displaced as u64)),
+                        ],
+                    ));
+                }
+            }
+            Event::PreemptDecision {
+                req,
+                position,
+                comparisons,
+                stop,
+                decision_ns,
+                t_us,
+            } => {
+                events.push(instant(
+                    "preempt-decision",
+                    "preemption",
+                    *t_us,
+                    vec![
+                        ("req", u(*req)),
+                        ("position", u(*position as u64)),
+                        ("comparisons", u(*comparisons as u64)),
+                        ("stop", s(stop.clone())),
+                        ("decision_ns", u(*decision_ns)),
+                    ],
+                ));
+            }
+            Event::BlockStart {
+                req,
+                block,
+                stream,
+                t_us,
+            } => {
+                open.insert(*req, (*block, *stream, *t_us));
+            }
+            Event::BlockEnd {
+                req,
+                block,
+                stream,
+                t_us,
+            } => {
+                let Some((b, strm, start)) = open.remove(req) else {
+                    continue;
+                };
+                if b != *block || strm != *stream {
+                    continue;
+                }
+                streams_seen.insert(*stream, ());
+                let label = match models.get(req) {
+                    Some(m) => format!("{m}#{req}/b{block}"),
+                    None => format!("req{req}/b{block}"),
+                };
+                events.push(obj(vec![
+                    ("name", s(label)),
+                    ("cat", s("block")),
+                    ("ph", s("X")),
+                    ("ts", f(start)),
+                    ("dur", f(t_us - start)),
+                    ("pid", u(PID)),
+                    ("tid", u(TID_STREAM_BASE + *stream as u64)),
+                    (
+                        "args",
+                        obj(vec![("req", u(*req)), ("block", u(*block as u64))]),
+                    ),
+                ]));
+            }
+            Event::Transfer {
+                req,
+                bytes,
+                t_us,
+                dur_us,
+            } => {
+                io_seen = true;
+                events.push(obj(vec![
+                    ("name", s(format!("transfer#{req}"))),
+                    ("cat", s("io")),
+                    ("ph", s("X")),
+                    ("ts", f(*t_us)),
+                    ("dur", f(*dur_us)),
+                    ("pid", u(PID)),
+                    ("tid", u(TID_IO)),
+                    ("args", obj(vec![("req", u(*req)), ("bytes", u(*bytes))])),
+                ]));
+            }
+            Event::Completion { req, t_us } => {
+                events.push(instant(
+                    "completion",
+                    "lifecycle",
+                    *t_us,
+                    vec![("req", u(*req))],
+                ));
+            }
+            Event::Downgrade {
+                req,
+                from_blocks,
+                to_blocks,
+                t_us,
+            } => {
+                events.push(instant(
+                    "elastic-downgrade",
+                    "elastic",
+                    *t_us,
+                    vec![
+                        ("req", u(*req)),
+                        ("from_blocks", u(*from_blocks as u64)),
+                        ("to_blocks", u(*to_blocks as u64)),
+                    ],
+                ));
+            }
+            Event::QueueDepth { depth, t_us } => {
+                events.push(counter("queue_depth", *t_us, "depth", u(*depth as u64)));
+            }
+            Event::Utilization { busy, t_us } => {
+                events.push(counter("utilization", *t_us, "busy", f(*busy)));
+            }
+            Event::Mark { label, t_us } => {
+                events.push(instant(label, "mark", *t_us, vec![]));
+            }
+        }
+    }
+
+    for stream in streams_seen.keys() {
+        events.push(metadata(
+            "thread_name",
+            Some(TID_STREAM_BASE + *stream as u64),
+            &format!("stream {stream}"),
+        ));
+    }
+    if io_seen {
+        events.push(metadata("thread_name", Some(TID_IO), "io"));
+    }
+
+    let mut root = Map::new();
+    root.insert("traceEvents", Value::Array(events));
+    root.insert("displayTimeUnit", s("ms"));
+    Value::Object(root)
+}
+
+/// Serialize [`trace_events`] to a file.
+pub fn write_chrome_trace(rec: &Recorder, process_name: &str, path: &Path) -> io::Result<()> {
+    let doc = trace_events(rec, process_name);
+    let text = serde_json::to_string(&doc).map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Recorder {
+        let mut r = Recorder::new();
+        r.record(Event::Arrival {
+            req: 3,
+            model: "vgg19".into(),
+            t_us: 0.0,
+        });
+        r.record(Event::Enqueue {
+            req: 3,
+            position: 0,
+            displaced: 2,
+            t_us: 0.0,
+        });
+        r.record(Event::PreemptDecision {
+            req: 3,
+            position: 0,
+            comparisons: 2,
+            stop: "Beaten".into(),
+            decision_ns: 740,
+            t_us: 0.0,
+        });
+        r.record(Event::QueueDepth {
+            depth: 3,
+            t_us: 0.0,
+        });
+        r.record(Event::BlockStart {
+            req: 3,
+            block: 0,
+            stream: 1,
+            t_us: 4.0,
+        });
+        r.record(Event::BlockEnd {
+            req: 3,
+            block: 0,
+            stream: 1,
+            t_us: 9.5,
+        });
+        r.record(Event::Completion { req: 3, t_us: 9.5 });
+        r
+    }
+
+    #[test]
+    fn document_shape_and_span_pairing() {
+        let doc = trace_events(&sample(), "split-sim");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(doc.get("displayTimeUnit").is_some());
+
+        let spans: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 1);
+        let span = spans[0];
+        assert_eq!(span.get("name").unwrap().as_str().unwrap(), "vgg19#3/b0");
+        assert_eq!(span.get("ts").unwrap().as_f64().unwrap(), 4.0);
+        assert!((span.get("dur").unwrap().as_f64().unwrap() - 5.5).abs() < 1e-9);
+        assert_eq!(span.get("tid").unwrap().as_u64().unwrap(), 101);
+
+        let kinds: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Value::as_str))
+            .collect();
+        assert!(kinds.contains(&"preempt-decision"));
+        assert!(kinds.contains(&"preempt-jump"));
+        assert!(kinds.contains(&"queue_depth"));
+        assert!(kinds.contains(&"arrival"));
+        assert!(kinds.contains(&"completion"));
+
+        // Stream track got a thread_name metadata record.
+        assert!(events.iter().any(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("M")
+                && e.get("tid").and_then(Value::as_u64) == Some(101)
+        }));
+    }
+
+    #[test]
+    fn counter_events_carry_args() {
+        let doc = trace_events(&sample(), "p");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let c = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .unwrap();
+        assert_eq!(
+            c.get("args").unwrap().get("depth").unwrap().as_u64(),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_parses() {
+        let dir = std::env::temp_dir().join("split-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        write_chrome_trace(&sample(), "split-sim", &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        assert!(parsed.get("traceEvents").unwrap().as_array().unwrap().len() > 5);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -81,10 +81,17 @@ fn main() {
 
     let report = server.shutdown();
     println!(
-        "\npreemption decisions: {} total, mean {:.1} µs, worst {:.1} µs",
+        "\npreemption decisions: {} total, mean {:.1} µs, p50 {:.1} µs, p99 {:.1} µs, worst {:.1} µs",
         report.decisions,
         report.mean_decision_ns / 1e3,
+        report.p50_decision_ns as f64 / 1e3,
+        report.p99_decision_ns as f64 / 1e3,
         report.max_decision_ns as f64 / 1e3
+    );
+    println!(
+        "lifecycle recording: {} events, invariant violations: {}",
+        report.recorder.len(),
+        report.recorder.validate().len()
     );
     println!("(§3.4's claim: near-optimal preemption at microsecond scale)");
 }

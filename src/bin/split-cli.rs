@@ -32,6 +32,10 @@ commands:
   plan-all [--out FILE]                offline stage for the Table 1 deployment
   simulate [--scenario 1..6] [--policy split|clockwork|prema|rta]
            [--plans FILE] [--alpha A]  serve a Table 2 scenario and report QoS
+           [--trace FILE]              also write a Chrome/Perfetto trace
+                                       (open in ui.perfetto.dev)
+           [--metrics]                 also print the telemetry snapshot
+                                       (decision latency p50/p99, e2e, ...)
   dot <model> [--blocks N]             emit Graphviz DOT (split into N blocks)
 ";
 
@@ -206,6 +210,9 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         None => experiment::paper_deployment(&dev),
     };
 
+    let trace_out = opt(args, "--trace")?;
+    let want_metrics = args.iter().any(|a| a == "--metrics");
+
     let trace = RequestTrace::generate(Scenario::table2(scenario), &experiment::PAPER_MODEL_NAMES);
     let r = simulate(&policy, &trace.arrivals, deployment.table());
     let outcomes = r.outcomes();
@@ -227,6 +234,24 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             row.mean_us / 1e3,
             row.std_us / 1e3
         );
+    }
+
+    if let Some(path) = trace_out {
+        let path = PathBuf::from(path);
+        split_repro::split_telemetry::write_chrome_trace(
+            &r.recorder,
+            &format!("split-sim ({} / scenario {scenario})", policy.name()),
+            &path,
+        )
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "\nwrote Perfetto trace ({} events) to {}",
+            r.recorder.len(),
+            path.display()
+        );
+    }
+    if want_metrics {
+        println!("\ntelemetry:\n{}", r.metrics().snapshot().render_markdown());
     }
     Ok(())
 }

@@ -45,6 +45,7 @@ pub use qos_metrics;
 pub use sched;
 pub use split_core;
 pub use split_runtime;
+pub use split_telemetry;
 pub use workload;
 
 pub mod experiment;

@@ -4,7 +4,7 @@
 
 use split_repro::dnn_graph::SplitSpec;
 use split_repro::gpu_sim::{block_time_us, op_times_us, DeviceConfig};
-use split_repro::model_zoo::{benchmark_models, profiling_models, ModelId};
+use split_repro::model_zoo::{profiling_models, ModelId};
 use split_repro::profiler::{profile_split, sweep_one_cut};
 use split_repro::split_core::analysis::monte_carlo_waiting_us;
 use split_repro::split_core::{count_candidates, expected_waiting_us};

@@ -1,0 +1,348 @@
+//! Offline stand-in for `bytes`.
+//!
+//! `Bytes` is an immutable `Arc<[u8]>` window and `BytesMut` a growable
+//! buffer with cursor-style consumption (`advance`, `split_to`). Only the
+//! surface the codec layer uses is provided; semantics (zero-copy
+//! `freeze`, cheap `clone`, shared sub-slices) match the real crate.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        let data: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
+    /// Wrap a static slice (copies here; the real crate borrows).
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self::copy_from_slice(data)
+    }
+
+    /// Number of visible bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Shared sub-window `[at, len)`; `self` keeps `[0, at)`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+
+    /// Shared sub-window `[0, at)`; `self` keeps `[at, len)`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Drop the first `n` bytes from view.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+
+    /// Copy the visible bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let data: Arc<[u8]> = Arc::from(v);
+        let end = data.len();
+        Self {
+            data,
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Self::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_ref() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_ref() == *other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({:?})", self.as_ref())
+    }
+}
+
+/// Growable byte buffer with cursor-style consumption.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spare capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve space for at least `additional` further bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Append a byte slice.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Append a byte slice (BufMut spelling).
+    pub fn put_slice(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` in little-endian order.
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` in little-endian order.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Discard the first `n` bytes.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.buf.len(), "advance out of bounds");
+        self.buf.drain(..n);
+    }
+
+    /// Remove and return the first `at` bytes; `self` keeps the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_to out of bounds");
+        let tail = self.buf.split_off(at);
+        let head = std::mem::replace(&mut self.buf, tail);
+        BytesMut { buf: head }
+    }
+
+    /// Remove and return bytes `[at, len)`; `self` keeps `[0, at)`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.buf.len(), "split_off out of bounds");
+        BytesMut {
+            buf: self.buf.split_off(at),
+        }
+    }
+
+    /// Clear contents, keeping capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BytesMut({:?})", self.as_ref())
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        Self { buf: v.to_vec() }
+    }
+}
+
+/// Read-cursor trait (subset).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Discard the next `n` bytes.
+    fn advance(&mut self, n: usize);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        Bytes::advance(self, n);
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, n: usize) {
+        BytesMut::advance(self, n);
+    }
+}
+
+/// Write-cursor trait (subset).
+pub trait BufMut {
+    /// Append a byte slice.
+    fn put_slice(&mut self, data: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, data: &[u8]) {
+        BytesMut::put_slice(self, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_freeze() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(0xDEADBEEF);
+        b.put_slice(b"hi");
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 6);
+        assert_eq!(&frozen[..4], &0xDEADBEEFu32.to_le_bytes());
+        assert_eq!(&frozen[4..], b"hi");
+    }
+
+    #[test]
+    fn bytesmut_cursor_ops() {
+        let mut b = BytesMut::from(&b"abcdef"[..]);
+        b.advance(1);
+        assert_eq!(&b[..], b"bcdef");
+        let head = b.split_to(2);
+        assert_eq!(&head[..], b"bc");
+        assert_eq!(&b[..], b"def");
+    }
+
+    #[test]
+    fn bytes_shared_windows() {
+        let mut b = Bytes::copy_from_slice(b"0123456789");
+        let head = b.split_to(4);
+        assert_eq!(&head[..], b"0123");
+        assert_eq!(&b[..], b"456789");
+        let clone = b.clone();
+        b.advance(2);
+        assert_eq!(&b[..], b"6789");
+        assert_eq!(&clone[..], b"456789");
+    }
+
+    #[test]
+    fn indexing_works_via_deref() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x7F);
+        assert_eq!(b[0], 0x7F);
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for `crossbeam` — the `channel` module only.
+//!
+//! Multi-producer multi-consumer channels built on `Mutex` + `Condvar`,
+//! with the same disconnect semantics as crossbeam-channel: `recv` fails
+//! once all senders are gone and the queue is drained; `send` fails once
+//! all receivers are gone. A two-arm `select!` macro covers the pattern
+//! the runtime's responder loop uses.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        capacity: Option<usize>,
+    }
+
+    struct Chan<T> {
+        inner: Mutex<Inner<T>>,
+        /// Signaled on enqueue and on disconnect (wakes receivers).
+        readable: Condvar,
+        /// Signaled on dequeue and on disconnect (wakes bounded senders).
+        writable: Condvar,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline passed with no message.
+        Timeout,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// The sending half; clone freely.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; clone freely (multi-consumer).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded channel: `send` blocks while `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                capacity,
+            }),
+            readable: Condvar::new(),
+            writable: Condvar::new(),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.chan.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = inner
+                    .capacity
+                    .map(|cap| inner.queue.len() >= cap)
+                    .unwrap_or(false);
+                if !full {
+                    inner.queue.push_back(value);
+                    drop(inner);
+                    self.chan.readable.notify_one();
+                    return Ok(());
+                }
+                inner = self.chan.writable.wait(inner).unwrap();
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.inner.lock().unwrap().senders += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.chan.readable.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message or total disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.chan.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.chan.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.chan.readable.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.chan.inner.lock().unwrap();
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.chan.writable.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.chan.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.chan.writable.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timeout) = self
+                    .chan
+                    .readable
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap();
+                inner = guard;
+            }
+        }
+
+        /// Iterate messages until disconnect (borrowing).
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.inner.lock().unwrap().receivers += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.chan.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.chan.writable.notify_all();
+            }
+        }
+    }
+
+    /// Borrowing iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Owning iterator over received messages.
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = Iter<'a, T>;
+        fn into_iter(self) -> Iter<'a, T> {
+            self.iter()
+        }
+    }
+
+    #[doc(hidden)]
+    pub enum __Selected<A, B> {
+        /// First arm fired.
+        A(Result<A, RecvError>),
+        /// Second arm fired.
+        B(Result<B, RecvError>),
+    }
+
+    /// Wait on two receivers, mirroring `crossbeam::channel::select!` for
+    /// the two-`recv` form. The arm bodies run *outside* the internal
+    /// polling loop, so `break` / `continue` / `return` inside an arm
+    /// target the caller's control flow exactly as with real crossbeam.
+    #[macro_export]
+    macro_rules! select {
+        (
+            recv($r1:expr) -> $m1:pat => $b1:expr ,
+            recv($r2:expr) -> $m2:pat => $b2:expr $(,)?
+        ) => {
+            $crate::select!(recv($r1) -> $m1 => { $b1 } recv($r2) -> $m2 => { $b2 })
+        };
+        (
+            recv($r1:expr) -> $m1:pat => $b1:block
+            recv($r2:expr) -> $m2:pat => $b2:block
+        ) => {{
+            let __choice = loop {
+                match $r1.try_recv() {
+                    ::core::result::Result::Ok(v) => {
+                        break $crate::channel::__Selected::A(::core::result::Result::Ok(v));
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break $crate::channel::__Selected::A(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match $r2.try_recv() {
+                    ::core::result::Result::Ok(v) => {
+                        break $crate::channel::__Selected::B(::core::result::Result::Ok(v));
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        break $crate::channel::__Selected::B(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                ::std::thread::sleep(::std::time::Duration::from_micros(50));
+            };
+            match __choice {
+                $crate::channel::__Selected::A($m1) => $b1,
+                $crate::channel::__Selected::B($m2) => $b2,
+            }
+        }};
+    }
+
+    // `crossbeam::channel::select!` path form.
+    pub use crate::select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_on_sender_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_without_receivers() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn bounded_blocks_then_unblocks() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2).is_ok());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(t.join().unwrap());
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn threads_share_one_receiver() {
+        let (tx, rx) = unbounded::<u32>();
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().count())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = consumers.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn select_two_arms_and_outer_break() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (tx2, rx2) = unbounded::<u8>();
+        tx2.send(7).unwrap();
+        let mut tx1 = Some(tx1);
+        let mut got = Vec::new();
+        // `break` / `continue` inside an arm must target this loop, not
+        // the macro's internal polling loop.
+        loop {
+            crate::select! {
+                recv(rx1) -> msg => {
+                    let Ok(v) = msg else { break };
+                    got.push(("a", v));
+                }
+                recv(rx2) -> msg => {
+                    let Ok(v) = msg else { break };
+                    got.push(("b", v));
+                    if let Some(t) = tx1.take() {
+                        t.send(1).unwrap(); // dropped after send: rx1 disconnects
+                    }
+                    continue;
+                }
+            }
+        }
+        drop(tx2);
+        assert_eq!(got, vec![("b", 7), ("a", 1)]);
+    }
+}

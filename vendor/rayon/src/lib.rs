@@ -1,0 +1,111 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Sequential fallback: `par_iter()` / `into_par_iter()` delegate to the
+//! ordinary iterators, so every adaptor (`map`, `filter`, `collect`, ...)
+//! is just the std `Iterator` machinery. Results are bit-identical to the
+//! parallel versions for the deterministic pipelines this workspace runs;
+//! only wall-clock parallelism is lost.
+
+/// The conventional glob import, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// By-value conversion into a "parallel" (here: sequential) iterator.
+    pub trait IntoParallelIterator {
+        /// Item type yielded.
+        type Item;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Convert into the iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// By-reference conversion, mirroring `par_iter()` on `Vec`/slices.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type yielded (typically `&'data T`).
+        type Item: 'data;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate by shared reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Item = <&'data I as IntoIterator>::Item;
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// By-mutable-reference conversion, mirroring `par_iter_mut()`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Item type yielded (typically `&'data mut T`).
+        type Item: 'data;
+        /// Iterator type produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate by exclusive reference.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Item = <&'data mut I as IntoIterator>::Item;
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+        let total: i32 = vec![1, 2, 3].into_par_iter().sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

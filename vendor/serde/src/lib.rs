@@ -1,0 +1,639 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization stack with the same surface the code
+//! base uses: `Serialize` / `Deserialize` traits, `#[derive(Serialize,
+//! Deserialize)]` for named-field structs and unit enums, and a JSON
+//! value model consumed by the sibling `serde_json` stand-in.
+//!
+//! The data model is deliberately JSON-shaped (`Value`), not the full
+//! serde visitor architecture: every supported type converts to and from
+//! a `Value` tree. That covers everything this repository serializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A JSON number: integer forms are kept exact so `u64`/`i64` round-trip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    PosInt(u64),
+    /// Negative integer.
+    NegInt(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// Numeric value as `u64` if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Numeric value as `i64` if exactly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(v)
+                if v.fract() == 0.0 && v >= i64::MIN as f64 && v <= i64::MAX as f64 =>
+            {
+                Some(v as i64)
+            }
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (JSON object).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Look up a key mutably.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Insert or replace; returns the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        match self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => Some(std::mem::replace(v, value)),
+            None => {
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// Remove a key; returns its value if present.
+    pub fn remove(&mut self, key: &str) -> Option<Value> {
+        let i = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(i).1)
+    }
+
+    /// Whether a key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<'a> IntoIterator for &'a Map {
+    type Item = (&'a String, &'a Value);
+    type IntoIter = std::vec::IntoIter<(&'a String, &'a Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries
+            .iter()
+            .map(|(k, v)| (k, v))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+/// A JSON value tree — the interchange type between `Serialize`,
+/// `Deserialize`, and `serde_json`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Number.
+    Number(Number),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object.
+    Object(Map),
+}
+
+impl Value {
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a mutable object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Short name of the value's type, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Error with an arbitrary message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// "missing field" error.
+    pub fn missing_field(name: &str) -> Self {
+        Self::custom(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the JSON [`Value`] model.
+pub trait Serialize {
+    /// Convert `self` to a value tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types reconstructible from the JSON [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn deserialize_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Deserialization helpers module, mirroring `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, Error};
+
+    /// Marker for types deserializable without borrowing the input, as in
+    /// real serde. Everything our `Deserialize` covers qualifies.
+    pub trait DeserializeOwned: Deserialize {}
+    impl<T: Deserialize> DeserializeOwned for T {}
+}
+
+/// Serialization helpers module, mirroring `serde::ser`.
+pub mod ser {
+    pub use super::{Error, Serialize};
+}
+
+// ---------------------------------------------------------------------------
+// Derive-support helpers (referenced by generated code; not public API).
+// ---------------------------------------------------------------------------
+
+/// Extract and deserialize a struct field (derive helper).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(obj: &Map, name: &str) -> Result<T, Error> {
+    match obj.get(name) {
+        Some(v) => {
+            T::deserialize_value(v).map_err(|e| Error::custom(format!("field `{name}`: {}", e)))
+        }
+        None => T::deserialize_value(&Value::Null).map_err(|_| Error::missing_field(name)),
+    }
+}
+
+/// Extract a struct field, falling back to `default` when absent (derive
+/// helper for `#[serde(default = "...")]` / `#[serde(default)]`).
+#[doc(hidden)]
+pub fn __field_or_else<T: Deserialize>(
+    obj: &Map,
+    name: &str,
+    default: impl FnOnce() -> T,
+) -> Result<T, Error> {
+    match obj.get(name) {
+        Some(v) => {
+            T::deserialize_value(v).map_err(|e| Error::custom(format!("field `{name}`: {}", e)))
+        }
+        None => Ok(default()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blanket implementations for std types.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                let v = *self as i128;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v as i64))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Number(n) => n,
+                    other => return Err(Error::expected("integer", other)),
+                };
+                let out = match *n {
+                    Number::PosInt(u) => <$t>::try_from(u).ok(),
+                    Number::NegInt(i) => <$t>::try_from(i).ok(),
+                    Number::Float(f) if f.fract() == 0.0 => {
+                        if f >= 0.0 {
+                            <$t>::try_from(f as u64).ok()
+                        } else {
+                            <$t>::try_from(f as i64).ok()
+                        }
+                    }
+                    Number::Float(_) => None,
+                };
+                out.ok_or_else(|| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Number(n) => Ok(n.as_f64()),
+            other => Err(Error::expected("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string to obtain the `'static` lifetime. Acceptable for
+    /// the workspace's use (small static model-metadata tables round-
+    /// tripped in tests); do not deserialize unbounded streams into
+    /// `&'static str` fields.
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::expected("string", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        T::deserialize_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(t) => t.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(Error::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::deserialize_value(v).map(Into::into)
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut m = Map::new();
+        for k in keys {
+            m.insert(k.clone(), self[k].serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+                Ok(($($t::deserialize_value(
+                    a.get($n).ok_or_else(|| Error::custom("tuple too short"))?,
+                )?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Some(3u32).serialize_value(), 3u32.serialize_value());
+        assert_eq!(Option::<u32>::None.serialize_value(), Value::Null);
+        assert_eq!(
+            Option::<u32>::deserialize_value(&Value::Null).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn map_preserves_insertion_order() {
+        let mut m = Map::new();
+        m.insert("z", Value::Null);
+        m.insert("a", Value::Bool(true));
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, vec!["z", "a"]);
+    }
+
+    #[test]
+    fn int_range_checks() {
+        let v = Value::Number(Number::PosInt(300));
+        assert!(u8::deserialize_value(&v).is_err());
+        assert_eq!(u16::deserialize_value(&v).unwrap(), 300);
+    }
+}

@@ -1,0 +1,356 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports the shapes this workspace actually uses:
+//!
+//! * named-field structs (no generics), honoring
+//!   `#[serde(default)]` and `#[serde(default = "path")]` on fields;
+//! * unit-variant enums (serialized as the variant-name string).
+//!
+//! Anything else produces a compile error naming the limitation, so an
+//! accidental new shape fails loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// `None` = required; `Some(None)` = `#[serde(default)]`;
+    /// `Some(Some(path))` = `#[serde(default = "path")]`.
+    default: Option<Option<String>>,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Derive the `Serialize` half.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(Shape::Struct { name, fields }) => {
+            let inserts: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "m.insert({:?}, ::serde::Serialize::serialize_value(&self.{}));\n",
+                        f.name, f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Ok(Shape::UnitEnum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Serialize impl parses")
+        }
+        Err(e) => error(&e),
+    }
+}
+
+/// Derive the `Deserialize` half.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse(input) {
+        Ok(Shape::Struct { name, fields }) => {
+            let extracts: String = fields
+                .iter()
+                .map(|f| match &f.default {
+                    None => format!("{}: ::serde::__field(obj, {:?})?,\n", f.name, f.name),
+                    Some(None) => format!(
+                        "{}: ::serde::__field_or_else(obj, {:?}, ::core::default::Default::default)?,\n",
+                        f.name, f.name
+                    ),
+                    Some(Some(path)) => format!(
+                        "{}: ::serde::__field_or_else(obj, {:?}, {})?,\n",
+                        f.name, f.name, path
+                    ),
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", v))?;\n\
+                         Ok({name} {{ {extracts} }})\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+        Ok(Shape::UnitEnum { name, variants }) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Some({v:?}) => ::core::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            let expected = variants.join(", ");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             _ => ::core::result::Result::Err(::serde::Error::custom(\n\
+                                 format!(\"unknown {name} variant {{v:?}}, expected one of: {expected}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated Deserialize impl parses")
+        }
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Parse the deriving item into one of the supported shapes.
+fn parse(input: TokenStream) -> Result<Shape, String> {
+    let mut it = input.into_iter().peekable();
+
+    // Skip outer attributes (doc comments arrive as #[doc = ...]).
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                it.next(); // the [...] group
+            }
+            _ => break,
+        }
+    }
+
+    // Skip visibility.
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    match it.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "derive(Serialize/Deserialize) stand-in does not support generics on `{name}`"
+            ));
+        }
+        _ => {}
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(_)) => {
+            return Err(format!(
+                "derive stand-in supports only named-field structs; `{name}` is a tuple struct"
+            ));
+        }
+        other => return Err(format!("expected {{...}} body for `{name}`, got {other:?}")),
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Shape::Struct {
+            name,
+            fields: parse_fields(body)?,
+        }),
+        "enum" => Ok(Shape::UnitEnum {
+            name,
+            variants: parse_variants(body)?,
+        }),
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Attributes; look for #[serde(default)] / #[serde(default = "path")].
+        let mut default = None;
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    let Some(TokenTree::Group(g)) = it.next() else {
+                        return Err("malformed attribute".into());
+                    };
+                    if let Some(d) = parse_serde_default(&g.stream())? {
+                        default = Some(d);
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        match it.peek() {
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                it.next();
+                if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    it.next();
+                }
+            }
+            _ => {}
+        }
+        // Field name (or end of stream).
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after `{name}`, got {other:?}")),
+        }
+        // Skip the type: consume until a `,` at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    depth += 1;
+                    it.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    depth -= 1;
+                    it.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => {
+                    it.next();
+                    break;
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes and doc comments.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected enum variant, got {other:?}")),
+        };
+        match it.peek() {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Parenthesis | Delimiter::Brace) =>
+            {
+                return Err(format!(
+                    "derive stand-in supports only unit enum variants; `{name}` carries data"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err(format!(
+                    "derive stand-in does not support explicit discriminants (variant `{name}`)"
+                ));
+            }
+            _ => {}
+        }
+        match it.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            other => {
+                return Err(format!(
+                    "expected `,` after variant `{name}`, got {other:?}"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+/// If `attr` is a `serde(...)` attribute containing `default`, return the
+/// parsed default spec.
+fn parse_serde_default(attr: &TokenStream) -> Result<Option<Option<String>>, String> {
+    let mut it = attr.clone().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return Ok(None), // other attribute (doc, derive, ...)
+    }
+    let Some(TokenTree::Group(args)) = it.next() else {
+        return Ok(None);
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tok) = inner.next() {
+        if let TokenTree::Ident(i) = &tok {
+            if i.to_string() == "default" {
+                match inner.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        inner.next();
+                        match inner.next() {
+                            Some(TokenTree::Literal(l)) => {
+                                let s = l.to_string();
+                                let path = s.trim_matches('"').to_string();
+                                return Ok(Some(Some(path)));
+                            }
+                            other => {
+                                return Err(format!(
+                                    "serde(default = ...) expects a string literal, got {other:?}"
+                                ));
+                            }
+                        }
+                    }
+                    _ => return Ok(Some(None)),
+                }
+            }
+        }
+        // Any other serde attribute (rename, skip, ...) is unsupported.
+        if let TokenTree::Ident(i) = &tok {
+            let known = ["default"];
+            if !known.contains(&i.to_string().as_str()) {
+                return Err(format!(
+                    "unsupported serde attribute `{i}` (stand-in understands only `default`)"
+                ));
+            }
+        }
+    }
+    Ok(None)
+}
