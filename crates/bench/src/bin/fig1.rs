@@ -68,6 +68,7 @@ fn main() {
                 },
             ];
             let r = simulate(policy, &arrivals, t);
+            bench::verify_schedule(policy, &arrivals, t, &r);
             let a = r.completions.iter().find(|c| c.id == 1).unwrap();
             let b = r.completions.iter().find(|c| c.id == 0).unwrap();
             rr_a += a.response_ratio();
@@ -117,6 +118,7 @@ fn main() {
             },
         ];
         let r = simulate(policy, &arrivals, t);
+        bench::verify_schedule(policy, &arrivals, t, &r);
         let slug: String = name
             .chars()
             .map(|c| {

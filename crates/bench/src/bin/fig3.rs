@@ -35,15 +35,22 @@ fn main() {
                 arrival_us: off_ms * 1e3,
             },
         ];
-        let partial = block_round_robin(&arrivals, &t);
-        let full = split(
+        // Attach the uniform lifecycle events so the analyzer can check
+        // the full recording, then gate the figure's numbers on it.
+        let partial = attach_lifecycle(&arrivals, block_round_robin(&arrivals, &t));
+        let full = attach_lifecycle(
             &arrivals,
-            &t,
-            &SplitCfg {
-                alpha: 4.0,
-                elastic: None,
-            },
+            split(
+                &arrivals,
+                &t,
+                &SplitCfg {
+                    alpha: 4.0,
+                    elastic: None,
+                },
+            ),
         );
+        bench::verify_block_granular("block round-robin", &arrivals, &t, &partial);
+        bench::verify_block_granular("SPLIT", &arrivals, &t, &full);
         let get = |r: &sched::SimResult, id: u64| {
             r.completions.iter().find(|c| c.id == id).unwrap().e2e_us() / 1e3
         };

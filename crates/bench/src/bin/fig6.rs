@@ -4,9 +4,9 @@
 
 use gpu_sim::DeviceConfig;
 use qos_metrics::{markdown_table, violation_curve, violation_rate};
-use sched::Policy;
+use sched::{simulate, Policy};
 use split_repro::experiment;
-use workload::all_scenarios;
+use workload::{all_scenarios, RequestTrace};
 
 fn main() {
     let dev = DeviceConfig::jetson_nano();
@@ -20,8 +20,12 @@ fn main() {
             "Scenario {} (λ = {:.0} ms) — violation rate at α = 2 / 4 / 8 / 16:",
             sc.index, sc.lambda_ms
         );
+        let workload = RequestTrace::generate(sc, &experiment::PAPER_MODEL_NAMES);
         for policy in Policy::all_default() {
-            let r = experiment::run_scenario(&policy, sc, &deployment);
+            let r = simulate(&policy, &workload.arrivals, deployment.table());
+            // The figure's numbers are only as good as the schedule they
+            // summarize — verify it before anything is written.
+            bench::verify_schedule(&policy, &workload.arrivals, deployment.table(), &r);
             let outcomes = r.outcomes();
             let curve = violation_curve(&outcomes, 2, 20);
             for (alpha, rate) in &curve {

@@ -18,7 +18,10 @@
 //! `results/` for plotting. Criterion micro-benchmarks live in
 //! `benches/`.
 
+use sched::{ModelTable, Policy, SimResult};
+use split_analyze::{lint_schedule, ScheduleLintCfg};
 use std::path::PathBuf;
+use workload::Arrival;
 
 /// Directory where harness binaries drop their CSV output (created on
 /// demand).
@@ -26,6 +29,57 @@ pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
+}
+
+/// Run the schedule analyzer over a simulation result and abort the
+/// harness when any invariant fails — a figure drawn from a corrupt
+/// schedule is worse than no figure.
+///
+/// # Panics
+/// Panics (after printing the full diagnostic report) when the analyzer
+/// reports any finding.
+pub fn verify_schedule(
+    policy: &Policy,
+    arrivals: &[Arrival],
+    models: &ModelTable,
+    result: &SimResult,
+) {
+    let cfg = match policy {
+        Policy::Split(_) => ScheduleLintCfg::block_granular(models),
+        Policy::Rta(_) | Policy::StreamParallel(_) => ScheduleLintCfg::concurrent(models),
+        _ => ScheduleLintCfg::structural(models),
+    };
+    verify_with(policy.name(), &cfg, arrivals, result);
+}
+
+/// [`verify_schedule`] for block-granular schedules produced by calling a
+/// policy function directly (e.g. `block_round_robin`), where no
+/// [`Policy`] value exists. The result must carry full lifecycle events —
+/// run it through `sched::attach_lifecycle` first.
+///
+/// # Panics
+/// Panics (after printing the full diagnostic report) when the analyzer
+/// reports any finding.
+pub fn verify_block_granular(
+    label: &str,
+    arrivals: &[Arrival],
+    models: &ModelTable,
+    result: &SimResult,
+) {
+    verify_with(
+        label,
+        &ScheduleLintCfg::block_granular(models),
+        arrivals,
+        result,
+    );
+}
+
+fn verify_with(label: &str, cfg: &ScheduleLintCfg, arrivals: &[Arrival], result: &SimResult) {
+    let report = lint_schedule(arrivals, result, cfg);
+    if !report.is_empty() {
+        eprintln!("{}", report.render_text());
+        panic!("schedule verification failed for {label} — refusing to write results");
+    }
 }
 
 /// Format a ratio as a percent string with one decimal.

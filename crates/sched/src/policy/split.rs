@@ -15,7 +15,7 @@ use gpu_sim::Trace;
 use serde::{Deserialize, Serialize};
 use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
 use split_telemetry::{Event, Recorder};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::time::Instant;
 use workload::Arrival;
 
@@ -43,10 +43,13 @@ impl Default for SplitCfg {
 pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimResult {
     let mut elastic = cfg.elastic.clone().map(ElasticController::new);
 
-    // Per-request state.
-    let mut blocks_left: HashMap<u64, VecDeque<f64>> = HashMap::new();
-    let mut meta: HashMap<u64, (String, u32, f64, f64)> = HashMap::new(); // name, task, exec, arrival
-    let mut started: HashMap<u64, f64> = HashMap::new();
+    // Per-request state (BTreeMaps: keyed lookups only, but sorted maps
+    // keep every path deterministic by construction — audited by
+    // split-analyze).
+    let mut blocks_left: BTreeMap<u64, VecDeque<f64>> = BTreeMap::new();
+    let mut meta: BTreeMap<u64, (String, u32, f64, f64)> = BTreeMap::new(); // name, task, exec, arrival
+    let mut started: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut blocks_done: BTreeMap<u64, usize> = BTreeMap::new();
 
     let mut queue: Vec<QueueEntry> = Vec::new();
     let mut running: Option<(u64, f64)> = None; // (request id, block end)
@@ -73,10 +76,13 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                 // preemption decisions see it as `base_wait` instead.
                 head.left_us -= blk;
                 let (name, _, _, _) = &meta[&id];
-                let block_idx = {
-                    let total = models.get(name).blocks_us.len();
-                    total - blocks_left[&id].len() - 1
-                };
+                // Index by blocks this request has actually executed — a
+                // downgraded request runs one vanilla block labeled b0,
+                // not the declared plan's last index (the split-analyze
+                // schedule linter checks block indices are contiguous
+                // from 0).
+                let block_idx = *blocks_done.get(&id).unwrap_or(&0);
+                *blocks_done.entry(id).or_insert(0) += 1;
                 trace.record(format!("{name}#{id}/b{block_idx}"), 0, now, now + blk);
                 started.entry(id).or_insert(now);
                 running = Some((id, now + blk));
@@ -165,6 +171,7 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                         .expect("running request is queued");
                     queue.remove(pos);
                     blocks_left.remove(&id);
+                    blocks_done.remove(&id);
                     let (name, task, exec, arrival) = meta.remove(&id).expect("meta");
                     completions.push(Completion {
                         id,

@@ -1,7 +1,7 @@
 //! Runtime model descriptions and completion records.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Everything a policy needs to know about one deployed model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,9 +47,12 @@ impl ModelRuntime {
 }
 
 /// The deployment: model name → runtime description.
+/// Kept in a `BTreeMap` so serialization and any future iteration are
+/// deterministic (split-analyze audits scheduling paths for
+/// iteration-order dependence).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ModelTable {
-    map: HashMap<String, ModelRuntime>,
+    map: BTreeMap<String, ModelRuntime>,
 }
 
 impl ModelTable {

@@ -1,0 +1,253 @@
+//! The unified diagnostic model shared by all three analyzers.
+//!
+//! Every invariant violation is reported as a rustc-style [`Diagnostic`]:
+//! a severity, a stable code from the invariant catalog (DESIGN.md §9), a
+//! span-ish `context` naming the artifact location ("plan(resnet50) cut
+//! 2", "stream 0 @ 1234µs", "request 17"), the violation message, and an
+//! optional `help` suggesting the fix. Diagnostics accumulate in a
+//! [`Report`] that renders as text or JSON and decides the process exit
+//! (`--deny-warnings` promotes warnings to failures).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational; never fails an analysis run.
+    Note,
+    /// Suspicious but not provably wrong; fails under `--deny-warnings`.
+    Warning,
+    /// A broken invariant; always fails the run.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding from an analyzer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Stable invariant code, e.g. `"SA102"` (catalog in DESIGN.md §9).
+    pub code: String,
+    /// Span-ish location inside the analyzed artifact.
+    pub context: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the analyzer knows.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build an error diagnostic.
+    pub fn error(code: &str, context: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Error,
+            code: code.to_string(),
+            context: context.into(),
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Build a warning diagnostic.
+    pub fn warning(
+        code: &str,
+        context: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, context, message)
+        }
+    }
+
+    /// Build a note diagnostic.
+    pub fn note(code: &str, context: impl Into<String>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Note,
+            ..Diagnostic::error(code, context, message)
+        }
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        write!(f, "  --> {}", self.context)?;
+        if let Some(help) = &self.help {
+            write!(f, "\n  = help: {help}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A batch of diagnostics from one analyzer run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// The findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty (clean) report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Append one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Absorb another report's findings.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// Total number of findings, all severities.
+    pub fn len(&self) -> usize {
+        self.diagnostics.len()
+    }
+
+    /// True when nothing at all was reported.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// True when the analysis should fail the process: any error, or any
+    /// warning under `deny_warnings`.
+    pub fn fails(&self, deny_warnings: bool) -> bool {
+        self.error_count() > 0 || (deny_warnings && self.warning_count() > 0)
+    }
+
+    /// All findings with the given code (fixture tests key off this).
+    pub fn with_code(&self, code: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Render every finding as rustc-style text, most severe first, plus
+    /// a trailing tally line.
+    pub fn render_text(&self) -> String {
+        let mut sorted: Vec<&Diagnostic> = self.diagnostics.iter().collect();
+        sorted.sort_by(|a, b| b.severity.cmp(&a.severity).then(a.code.cmp(&b.code)));
+        let mut out = String::new();
+        for d in sorted {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.count(Severity::Note),
+        ));
+        out
+    }
+
+    /// Render as a JSON array of diagnostics.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(&self.diagnostics).expect("diagnostics serialize")
+    }
+}
+
+impl FromIterator<Diagnostic> for Report {
+    fn from_iter<T: IntoIterator<Item = Diagnostic>>(iter: T) -> Report {
+        Report {
+            diagnostics: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_and_display() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Note);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn report_tallies_and_failure_policy() {
+        let mut r = Report::new();
+        assert!(!r.fails(true));
+        r.push(Diagnostic::warning("SA005", "plan(x)", "uneven"));
+        assert!(!r.fails(false));
+        assert!(r.fails(true));
+        r.push(Diagnostic::error("SA003", "plan(x)", "gap").with_help("regenerate"));
+        assert!(r.fails(false));
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert_eq!(r.with_code("SA003").len(), 1);
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_shaped() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::error("SA101", "stream 0 @ 12.0µs", "spans overlap")
+                .with_help("check the policy's dispatch loop"),
+        );
+        let text = r.render_text();
+        assert!(text.contains("error[SA101]: spans overlap"));
+        assert!(text.contains("--> stream 0 @ 12.0µs"));
+        assert!(text.contains("= help: check the policy's dispatch loop"));
+        assert!(text.contains("1 error(s), 0 warning(s), 0 note(s)"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = Report::new();
+        r.push(Diagnostic::note(
+            "SA006",
+            "plan(y)",
+            "no declared transfers",
+        ));
+        let json = r.render_json();
+        let back: Vec<Diagnostic> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r.diagnostics);
+    }
+
+    #[test]
+    fn errors_sort_before_warnings_in_text() {
+        let mut r = Report::new();
+        r.push(Diagnostic::warning("SA005", "a", "w"));
+        r.push(Diagnostic::error("SA001", "b", "e"));
+        let text = r.render_text();
+        let epos = text.find("error[SA001]").unwrap();
+        let wpos = text.find("warning[SA005]").unwrap();
+        assert!(epos < wpos);
+    }
+}

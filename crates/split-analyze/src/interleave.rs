@@ -1,0 +1,521 @@
+//! Bounded exhaustive-interleaving checker for the lock-free telemetry
+//! primitives.
+//!
+//! `split-telemetry`'s hot-path metrics (`Counter`, `Gauge`, `Histogram`)
+//! are wait-free atomics; their correctness argument is "every mutation is
+//! a single RMW, so any interleaving linearizes". This module *checks*
+//! that argument instead of trusting it: the primitives' operations are
+//! modeled as sequences of atomic steps over shared cells, and a
+//! depth-first explorer enumerates **every** interleaving of the modeled
+//! threads (loom-style, but hand-rolled — the container has no registry
+//! access), asserting the invariant at each completed execution.
+//!
+//! Invariant catalog (DESIGN.md §9):
+//! * `SA201` — lost update: the final state misses an increment some
+//!   thread performed (non-linearizable mutation)
+//! * `SA202` — a snapshot observed a counter moving backwards
+//! * `SA203` — merge result depends on merge order
+//!
+//! The step language deliberately includes two *racy* composite
+//! operations (`LoadAccum`/`StoreAccum` — a read-modify-write torn into a
+//! separate load and store) so the checker can be demonstrated to catch
+//! the bug class it exists for; the real primitives never use them.
+
+use crate::diag::{Diagnostic, Report};
+
+/// One atomic step of a modeled thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// `cell.fetch_add(delta, Relaxed)` — wrapping, like the real counter.
+    FetchAdd {
+        /// Shared cell index.
+        cell: usize,
+        /// Added value.
+        delta: u64,
+    },
+    /// `cell.fetch_max(val, Relaxed)`.
+    FetchMax {
+        /// Shared cell index.
+        cell: usize,
+        /// Candidate maximum.
+        val: u64,
+    },
+    /// `cell.fetch_min(val, Relaxed)`.
+    FetchMin {
+        /// Shared cell index.
+        cell: usize,
+        /// Candidate minimum.
+        val: u64,
+    },
+    /// `cell.store(val, Relaxed)`.
+    Store {
+        /// Shared cell index.
+        cell: usize,
+        /// Stored value.
+        val: u64,
+    },
+    /// `cell.load(Relaxed)` appended to the thread's observation log.
+    Load {
+        /// Shared cell index.
+        cell: usize,
+    },
+    /// **Racy**: load `cell` into the thread-local register (first half of
+    /// a torn read-modify-write). Only used by negative fixtures.
+    LoadAccum {
+        /// Shared cell index.
+        cell: usize,
+    },
+    /// **Racy**: store `register + delta` back to `cell` (second half of
+    /// the torn read-modify-write). Only used by negative fixtures.
+    StoreAccum {
+        /// Shared cell index.
+        cell: usize,
+        /// Added value.
+        delta: u64,
+    },
+}
+
+/// A little machine: shared cells plus per-thread step programs.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Initial shared-cell values.
+    pub cells: Vec<u64>,
+    /// One step program per modeled thread.
+    pub threads: Vec<Vec<Step>>,
+}
+
+/// The final state of one completed interleaving, handed to the checker.
+#[derive(Debug)]
+pub struct FinalState<'a> {
+    /// Shared cells after every thread ran to completion.
+    pub cells: &'a [u64],
+    /// Per-thread observation logs (values seen by `Load` steps, in
+    /// program order).
+    pub logs: &'a [Vec<u64>],
+}
+
+/// Result of exploring a machine.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Complete interleavings enumerated.
+    pub interleavings: u64,
+    /// True when `limit` stopped the search before exhaustion.
+    pub truncated: bool,
+    /// Checker messages from violating interleavings (capped at 8).
+    pub violations: Vec<String>,
+}
+
+/// Exhaustively enumerate every interleaving of `machine`'s threads (up
+/// to `limit` complete executions) and run `check` on each final state.
+/// `check` returns `Some(description)` to flag a violation.
+pub fn explore(
+    machine: &Machine,
+    limit: u64,
+    check: &dyn Fn(&FinalState) -> Option<String>,
+) -> ExploreOutcome {
+    struct Dfs<'a> {
+        threads: &'a [Vec<Step>],
+        cells: Vec<u64>,
+        pcs: Vec<usize>,
+        regs: Vec<u64>,
+        logs: Vec<Vec<u64>>,
+        leaves: u64,
+        limit: u64,
+        truncated: bool,
+        violations: Vec<String>,
+        check: &'a dyn Fn(&FinalState) -> Option<String>,
+    }
+
+    impl Dfs<'_> {
+        fn run(&mut self) {
+            if self.leaves >= self.limit {
+                self.truncated = true;
+                return;
+            }
+            let mut any = false;
+            for t in 0..self.threads.len() {
+                let pc = self.pcs[t];
+                if pc >= self.threads[t].len() {
+                    continue;
+                }
+                any = true;
+                // Apply the step, remembering exactly what to undo.
+                let step = self.threads[t][pc];
+                let (old_cell, old_reg, logged) = match step {
+                    Step::FetchAdd { cell, delta } => {
+                        let old = self.cells[cell];
+                        self.cells[cell] = old.wrapping_add(delta);
+                        (Some((cell, old)), None, false)
+                    }
+                    Step::FetchMax { cell, val } => {
+                        let old = self.cells[cell];
+                        self.cells[cell] = old.max(val);
+                        (Some((cell, old)), None, false)
+                    }
+                    Step::FetchMin { cell, val } => {
+                        let old = self.cells[cell];
+                        self.cells[cell] = old.min(val);
+                        (Some((cell, old)), None, false)
+                    }
+                    Step::Store { cell, val } => {
+                        let old = self.cells[cell];
+                        self.cells[cell] = val;
+                        (Some((cell, old)), None, false)
+                    }
+                    Step::Load { cell } => {
+                        self.logs[t].push(self.cells[cell]);
+                        (None, None, true)
+                    }
+                    Step::LoadAccum { cell } => {
+                        let old = self.regs[t];
+                        self.regs[t] = self.cells[cell];
+                        (None, Some(old), false)
+                    }
+                    Step::StoreAccum { cell, delta } => {
+                        let old = self.cells[cell];
+                        self.cells[cell] = self.regs[t].wrapping_add(delta);
+                        (Some((cell, old)), None, false)
+                    }
+                };
+                self.pcs[t] = pc + 1;
+                self.run();
+                self.pcs[t] = pc;
+                if let Some((cell, old)) = old_cell {
+                    self.cells[cell] = old;
+                }
+                if let Some(old) = old_reg {
+                    self.regs[t] = old;
+                }
+                if logged {
+                    self.logs[t].pop();
+                }
+                if self.truncated {
+                    return;
+                }
+            }
+            if !any {
+                // Every thread ran to completion: one full interleaving.
+                self.leaves += 1;
+                if self.violations.len() < 8 {
+                    let state = FinalState {
+                        cells: &self.cells,
+                        logs: &self.logs,
+                    };
+                    if let Some(msg) = (self.check)(&state) {
+                        self.violations.push(msg);
+                    }
+                }
+            }
+        }
+    }
+
+    let n = machine.threads.len();
+    let mut dfs = Dfs {
+        threads: &machine.threads,
+        cells: machine.cells.clone(),
+        pcs: vec![0; n],
+        regs: vec![0; n],
+        logs: vec![Vec::new(); n],
+        leaves: 0,
+        limit: limit.max(1),
+        truncated: false,
+        violations: Vec::new(),
+        check,
+    };
+    dfs.run();
+    ExploreOutcome {
+        interleavings: dfs.leaves,
+        truncated: dfs.truncated,
+        violations: dfs.violations,
+    }
+}
+
+/// The correct model of `Counter::add`: one `FetchAdd` per increment.
+/// `threads × adds_per_thread` increments of distinct odd deltas.
+pub fn counter_machine(threads: usize, adds_per_thread: usize) -> (Machine, u64) {
+    let mut total = 0u64;
+    let programs: Vec<Vec<Step>> = (0..threads)
+        .map(|t| {
+            (0..adds_per_thread)
+                .map(|i| {
+                    let delta = (t * adds_per_thread + i) as u64 * 2 + 1;
+                    total += delta;
+                    Step::FetchAdd { cell: 0, delta }
+                })
+                .collect()
+        })
+        .collect();
+    (
+        Machine {
+            cells: vec![0],
+            threads: programs,
+        },
+        total,
+    )
+}
+
+/// A **deliberately broken** counter whose increment is a torn
+/// load/store pair. Exists so tests can prove the explorer catches lost
+/// updates (`SA201`); the real `Counter` never does this.
+pub fn racy_counter_machine(threads: usize, adds_per_thread: usize) -> (Machine, u64) {
+    let (correct, total) = counter_machine(threads, adds_per_thread);
+    let programs = correct
+        .threads
+        .iter()
+        .map(|prog| {
+            prog.iter()
+                .flat_map(|s| match *s {
+                    Step::FetchAdd { cell, delta } => {
+                        vec![Step::LoadAccum { cell }, Step::StoreAccum { cell, delta }]
+                    }
+                    other => vec![other],
+                })
+                .collect()
+        })
+        .collect();
+    (
+        Machine {
+            cells: vec![0],
+            threads: programs,
+        },
+        total,
+    )
+}
+
+/// Model of `Histogram::record(v)`: bucket count, total count, sum,
+/// max, and min are each a single RMW on their own cell.
+///
+/// Cells: `0..n_buckets` bucket counts, then count, sum, max, min.
+pub fn histogram_machine(
+    values: &[u64],
+    n_buckets: usize,
+    bucket_of: &dyn Fn(u64) -> usize,
+) -> Machine {
+    let count = n_buckets;
+    let sum = n_buckets + 1;
+    let max = n_buckets + 2;
+    let min = n_buckets + 3;
+    let mut cells = vec![0u64; n_buckets + 4];
+    cells[min] = u64::MAX; // empty-histogram sentinel, like the real one
+    let threads = values
+        .iter()
+        .map(|&v| {
+            vec![
+                Step::FetchAdd {
+                    cell: bucket_of(v),
+                    delta: 1,
+                },
+                Step::FetchAdd {
+                    cell: count,
+                    delta: 1,
+                },
+                Step::FetchAdd {
+                    cell: sum,
+                    delta: v,
+                },
+                Step::FetchMax { cell: max, val: v },
+                Step::FetchMin { cell: min, val: v },
+            ]
+        })
+        .collect();
+    Machine { cells, threads }
+}
+
+/// Run the standard telemetry scenario suite: every interleaving of the
+/// modeled `Counter`, `Gauge`, `Histogram::record`, snapshot, and
+/// `Histogram::merge` operations, each bounded by `limit` interleavings.
+/// Returns the report plus the total number of interleavings exhausted.
+pub fn check_telemetry_interleavings(limit: u64) -> (Report, u64) {
+    let mut report = Report::new();
+    let mut explored = 0u64;
+
+    // --- Counter linearizability (SA201): 3 threads × 4 increments. ---
+    let (machine, expected) = counter_machine(3, 4);
+    let out = explore(&machine, limit, &|st: &FinalState| {
+        (st.cells[0] != expected).then(|| {
+            format!(
+                "final counter value {} ≠ sum of increments {expected}",
+                st.cells[0]
+            )
+        })
+    });
+    explored += out.interleavings;
+    push_violations(&mut report, "SA201", "Counter::add", &out);
+
+    // --- Gauge (signed add modeled two's-complement): 2×3 mixed deltas. ---
+    let deltas: [i64; 6] = [5, -3, 7, -2, 11, -6];
+    let net: i64 = deltas.iter().sum();
+    let machine = Machine {
+        cells: vec![0],
+        threads: deltas
+            .chunks(3)
+            .map(|c| {
+                c.iter()
+                    .map(|&d| Step::FetchAdd {
+                        cell: 0,
+                        delta: d as u64,
+                    })
+                    .collect()
+            })
+            .collect(),
+    };
+    let out = explore(&machine, limit, &|st: &FinalState| {
+        (st.cells[0] as i64 != net)
+            .then(|| format!("final gauge value {} ≠ net delta {net}", st.cells[0] as i64))
+    });
+    explored += out.interleavings;
+    push_violations(&mut report, "SA201", "Gauge::add", &out);
+
+    // --- Histogram::record linearizability: 3 concurrent records. ---
+    let values = [3u64, 900, 17];
+    let machine = histogram_machine(&values, 3, &|v| {
+        if v < 10 {
+            0
+        } else if v < 100 {
+            1
+        } else {
+            2
+        }
+    });
+    let out = explore(&machine, limit, &|st: &FinalState| {
+        let (count, sum, max, min) = (st.cells[3], st.cells[4], st.cells[5], st.cells[6]);
+        if st.cells[0] != 1 || st.cells[1] != 1 || st.cells[2] != 1 {
+            return Some(format!("bucket counts {:?} ≠ [1, 1, 1]", &st.cells[0..3]));
+        }
+        if count != 3 || sum != 920 || max != 900 || min != 3 {
+            return Some(format!(
+                "count/sum/max/min = {count}/{sum}/{max}/{min} ≠ 3/920/900/3"
+            ));
+        }
+        None
+    });
+    explored += out.interleavings;
+    push_violations(&mut report, "SA201", "Histogram::record", &out);
+
+    // --- Snapshot monotonicity (SA202): reader vs writer. ---
+    let machine = Machine {
+        cells: vec![0],
+        threads: vec![
+            vec![Step::FetchAdd { cell: 0, delta: 1 }; 4],
+            vec![Step::Load { cell: 0 }; 4],
+        ],
+    };
+    let out = explore(&machine, limit, &|st: &FinalState| {
+        let log = &st.logs[1];
+        log.windows(2)
+            .any(|w| w[1] < w[0])
+            .then(|| format!("snapshot sequence {log:?} is not monotone non-decreasing"))
+    });
+    explored += out.interleavings;
+    push_violations(&mut report, "SA202", "Counter snapshot", &out);
+
+    // --- Merge order-independence (SA203): two sources into one dest. ---
+    // Source A: count 2, sum 30, max 20, min 10; source B: count 3,
+    // sum 600, max 500, min 1. Cells: count, sum, max, min.
+    let merge_prog = |count: u64, sum: u64, max: u64, min: u64| {
+        vec![
+            Step::FetchAdd {
+                cell: 0,
+                delta: count,
+            },
+            Step::FetchAdd {
+                cell: 1,
+                delta: sum,
+            },
+            Step::FetchMax { cell: 2, val: max },
+            Step::FetchMin { cell: 3, val: min },
+        ]
+    };
+    let machine = Machine {
+        cells: vec![0, 0, 0, u64::MAX],
+        threads: vec![merge_prog(2, 30, 20, 10), merge_prog(3, 600, 500, 1)],
+    };
+    let out = explore(&machine, limit, &|st: &FinalState| {
+        (st.cells != [5, 630, 500, 1]).then(|| {
+            format!(
+                "merged count/sum/max/min = {:?} ≠ [5, 630, 500, 1] — \
+                 merge result depends on interleaving",
+                st.cells
+            )
+        })
+    });
+    explored += out.interleavings;
+    push_violations(&mut report, "SA203", "Histogram::merge", &out);
+
+    (report, explored)
+}
+
+fn push_violations(report: &mut Report, code: &str, context: &str, out: &ExploreOutcome) {
+    for v in &out.violations {
+        report.push(
+            Diagnostic::error(code, context, v.clone())
+                .with_help("a lock-free mutation is not linearizable as modeled"),
+        );
+    }
+    if out.truncated {
+        report.push(Diagnostic::note(
+            code,
+            context,
+            format!(
+                "search truncated after {} interleavings — not exhaustive",
+                out.interleavings
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_machine_exhausts_expected_count() {
+        // 3 threads × 4 steps: multinomial(12; 4,4,4) = 34650.
+        let (machine, expected) = counter_machine(3, 4);
+        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
+            (st.cells[0] != expected).then(|| "lost update".to_string())
+        });
+        assert_eq!(out.interleavings, 34_650);
+        assert!(!out.truncated);
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn racy_counter_loses_updates() {
+        let (machine, expected) = racy_counter_machine(2, 2);
+        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
+            (st.cells[0] != expected).then(|| format!("final {} ≠ {expected}", st.cells[0]))
+        });
+        assert!(
+            !out.violations.is_empty(),
+            "the torn RMW must lose updates in some interleaving"
+        );
+    }
+
+    #[test]
+    fn limit_truncates_and_reports() {
+        let (machine, _) = counter_machine(3, 3);
+        let out = explore(&machine, 10, &|_: &FinalState| None);
+        assert!(out.truncated);
+        assert!(out.interleavings <= 10);
+    }
+
+    #[test]
+    fn telemetry_suite_is_clean_and_exhaustive() {
+        let (report, explored) = check_telemetry_interleavings(u64::MAX);
+        assert!(report.is_empty(), "{}", report.render_text());
+        // The acceptance bar: ≥ 10⁴ interleavings actually exhausted.
+        assert!(explored >= 10_000, "only {explored} interleavings");
+    }
+
+    #[test]
+    fn racy_suite_diagnostic_is_sa201() {
+        let (machine, expected) = racy_counter_machine(2, 2);
+        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
+            (st.cells[0] != expected).then(|| "lost update".to_string())
+        });
+        let mut report = Report::new();
+        push_violations(&mut report, "SA201", "racy counter", &out);
+        assert!(!report.with_code("SA201").is_empty());
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! # split-analyze — static verification of SPLIT's artifacts
+//!
+//! Every stage of the SPLIT pipeline produces an artifact with invariants
+//! the paper's claims rest on: the offline GA emits [`split_core::SplitPlan`]s
+//! that must actually partition the model graph evenly (§3.3); the online
+//! policies emit schedules that must preempt only at block boundaries
+//! (§3.4) and lose no requests; the telemetry layer mutates lock-free
+//! counters whose correctness argument is linearizability. This crate
+//! *checks* those invariants instead of trusting them, with three
+//! analyzers sharing one rustc-style diagnostic model:
+//!
+//! * [`plan_lint`] — lints a split plan against the operator graph it was
+//!   derived from (`SA0xx` codes);
+//! * [`sched_lint`] — replays a simulation result and checks scheduling
+//!   invariants, plus a determinism auditor that runs each policy twice
+//!   and structurally diffs the results (`SA1xx`);
+//! * [`interleave`] — a bounded exhaustive-interleaving explorer over
+//!   modeled atomic operations of the telemetry primitives (`SA2xx`).
+//!
+//! [`suite::run_suite`] runs all three over regenerated artifacts — this
+//! is what `split-cli analyze` and the figure harnesses call. The full
+//! invariant catalog lives in DESIGN.md §9.
+
+pub mod diag;
+pub mod interleave;
+pub mod plan_lint;
+pub mod sched_lint;
+pub mod suite;
+
+pub use diag::{Diagnostic, Report, Severity};
+pub use interleave::{check_telemetry_interleavings, explore, ExploreOutcome, Machine, Step};
+pub use plan_lint::{lint_plan, PlanLintCfg};
+pub use sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
+pub use suite::{run_suite, SuiteCfg, SuiteOutcome};

@@ -1,0 +1,401 @@
+//! Plan linter: check a [`SplitPlan`] against the dnn-graph IR.
+//!
+//! The offline GA *produces* plans; nothing in the production path
+//! re-checks them against the model graph before the online scheduler
+//! trusts their block times. This linter is that independent check. It
+//! re-derives every claim a plan makes — partition structure, boundary
+//! transfer volumes, profiled block times, derived statistics, and the
+//! paper's evenness property (§3.3) — from the graph and device model,
+//! and reports any drift as [`Diagnostic`]s.
+//!
+//! Invariant catalog (DESIGN.md §9):
+//! * `SA001` — the model graph itself violates DAG/topological invariants
+//! * `SA002` — a cut position is invalid (out of range / unsorted)
+//! * `SA003` — the blocks are not an exact cover of the operator sequence
+//! * `SA004` — declared block/vanilla times differ from re-profiling
+//! * `SA005` — the plan exceeds the evenness bound
+//! * `SA006` — declared transfer bytes differ from the live tensors at a cut
+//! * `SA007` — derived statistics (overhead, σ, fitness) are inconsistent
+//! * `SA008` — adjacent blocks disagree about their shared boundary
+//! * `SA009` — the plan names a different model than the graph
+
+use crate::diag::{Diagnostic, Report};
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::DeviceConfig;
+use profiler::profile_split;
+use split_core::{fitness, SplitPlan};
+
+/// Tunable thresholds for [`lint_plan`].
+#[derive(Debug, Clone)]
+pub struct PlanLintCfg {
+    /// Relative tolerance when comparing re-derived times/statistics.
+    pub rel_tol: f64,
+    /// Maximum `(max − min) / mean` of block times, percent, before a
+    /// split plan is flagged as uneven (`SA005`). The paper's Table 3
+    /// plans stay well under 30%; the default leaves headroom for
+    /// skip-connection-heavy architectures while still catching the
+    /// degenerate "one huge block" plans SPLIT exists to avoid.
+    pub max_range_pct: f64,
+}
+
+impl Default for PlanLintCfg {
+    fn default() -> Self {
+        Self {
+            rel_tol: 1e-9,
+            max_range_pct: 60.0,
+        }
+    }
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Lint one plan against its model graph on a device.
+pub fn lint_plan(graph: &Graph, plan: &SplitPlan, dev: &DeviceConfig, cfg: &PlanLintCfg) -> Report {
+    let mut report = Report::new();
+    let ctx = |detail: &str| format!("plan({}) {detail}", plan.model);
+
+    if plan.model != graph.name {
+        report.push(Diagnostic::error(
+            "SA009",
+            ctx("model"),
+            format!(
+                "plan is for model {:?} but was checked against graph {:?}",
+                plan.model, graph.name
+            ),
+        ));
+        return report;
+    }
+
+    // SA001: the IR itself must be a well-formed topologically-ordered DAG.
+    if let Err(e) = graph.validate() {
+        report.push(
+            Diagnostic::error(
+                "SA001",
+                ctx("graph"),
+                format!("model graph is invalid: {e}"),
+            )
+            .with_help("fix the model builder; plans over a broken IR are meaningless"),
+        );
+        return report;
+    }
+
+    // SA002: cut positions must form a valid split of this graph.
+    let spec = match SplitSpec::new(graph, plan.cuts.clone()) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(
+                Diagnostic::error(
+                    "SA002",
+                    ctx(&format!("cuts {:?}", plan.cuts)),
+                    format!("invalid cut positions: {e}"),
+                )
+                .with_help("regenerate the plan with `split-cli plan-all`"),
+            );
+            return report;
+        }
+    };
+
+    // SA003: exact cover — every operator in exactly one block. Re-derived
+    // from the cut list, independently of SplitSpec's own block builder.
+    let blocks = spec.blocks(graph);
+    let mut owners = vec![0usize; graph.op_count()];
+    for b in &blocks {
+        if b.is_empty() {
+            report.push(Diagnostic::error(
+                "SA003",
+                ctx(&format!("block {}", b.index)),
+                format!("block {} covers no operators", b.index),
+            ));
+        }
+        for owner in &mut owners[b.start..b.end.min(graph.op_count())] {
+            *owner += 1;
+        }
+    }
+    for (op, &n) in owners.iter().enumerate() {
+        if n != 1 {
+            report.push(Diagnostic::error(
+                "SA003",
+                ctx(&format!("operator {op}")),
+                format!("operator {op} is covered by {n} blocks (must be exactly 1)"),
+            ));
+        }
+    }
+    if blocks.first().map(|b| b.start) != Some(0)
+        || blocks.last().map(|b| b.end) != Some(graph.op_count())
+    {
+        report.push(Diagnostic::error(
+            "SA003",
+            ctx("blocks"),
+            "blocks do not span the full operator sequence",
+        ));
+    }
+
+    // SA008: adjacent blocks must agree about their shared boundary — the
+    // bytes leaving block i are the bytes entering block i+1, and both
+    // equal the live-tensor volume at the cut.
+    for w in blocks.windows(2) {
+        let (prev, next) = (&w[0], &w[1]);
+        let out = prev.output_transfer_bytes(graph);
+        let inp = next.input_transfer_bytes(graph);
+        let live = graph.boundary_bytes(prev.end);
+        if out != inp || out != live {
+            report.push(Diagnostic::error(
+                "SA008",
+                ctx(&format!("boundary at operator {}", prev.end)),
+                format!(
+                    "blocks {} and {} disagree about their boundary: \
+                     {out} bytes out vs {inp} bytes in (live tensors: {live} bytes)",
+                    prev.index, next.index
+                ),
+            ));
+        }
+    }
+
+    // SA006: the declared transfer tensors must be exactly the live
+    // tensors at each cut.
+    if plan.transfer_bytes.is_empty() {
+        if plan.is_split() {
+            report.push(
+                Diagnostic::note(
+                    "SA006",
+                    ctx("transfers"),
+                    "plan declares no per-cut transfer volumes (legacy plan format)",
+                )
+                .with_help("regenerate the plan to record boundary transfers"),
+            );
+        }
+    } else if plan.transfer_bytes.len() != plan.cuts.len() {
+        report.push(Diagnostic::error(
+            "SA006",
+            ctx("transfers"),
+            format!(
+                "plan declares {} transfer volumes for {} cuts",
+                plan.transfer_bytes.len(),
+                plan.cuts.len()
+            ),
+        ));
+    } else {
+        for (i, (&cut, &declared)) in plan.cuts.iter().zip(&plan.transfer_bytes).enumerate() {
+            let live = graph.boundary_bytes(cut);
+            if declared != live {
+                report.push(
+                    Diagnostic::error(
+                        "SA006",
+                        ctx(&format!("cut {i} at operator {cut}")),
+                        format!(
+                            "declared transfer of {declared} bytes but the live tensors \
+                             at the cut total {live} bytes"
+                        ),
+                    )
+                    .with_help("a skip connection crossing the cut is likely unaccounted"),
+                );
+            }
+        }
+    }
+
+    // SA004/SA007: re-profile the spec and compare every claimed number.
+    let p = profile_split(graph, &spec, dev);
+    if plan.block_times_us.len() != p.block_times_us.len() {
+        report.push(Diagnostic::error(
+            "SA004",
+            ctx("block times"),
+            format!(
+                "plan declares {} block times but the cuts induce {} blocks",
+                plan.block_times_us.len(),
+                p.block_times_us.len()
+            ),
+        ));
+    } else {
+        for (i, (&got, &want)) in plan
+            .block_times_us
+            .iter()
+            .zip(&p.block_times_us)
+            .enumerate()
+        {
+            if !rel_close(got, want, cfg.rel_tol) {
+                report.push(
+                    Diagnostic::error(
+                        "SA004",
+                        ctx(&format!("block {i}")),
+                        format!("declared block time {got:.3}µs; re-profiling gives {want:.3}µs"),
+                    )
+                    .with_help("the device model or graph changed since the plan was generated"),
+                );
+            }
+        }
+    }
+    if !rel_close(plan.vanilla_us, p.vanilla_us, cfg.rel_tol) {
+        report.push(Diagnostic::error(
+            "SA004",
+            ctx("vanilla time"),
+            format!(
+                "declared vanilla time {:.3}µs; re-profiling gives {:.3}µs",
+                plan.vanilla_us, p.vanilla_us
+            ),
+        ));
+    }
+    // SA007: the plan's summary statistics must follow from its *own*
+    // declared block times (internal consistency — orthogonal to SA004,
+    // which compares against a fresh profile). Tampering with any one
+    // field breaks the set.
+    let declared = profiler::BlockProfile {
+        cuts: plan.cuts.clone(),
+        block_times_us: plan.block_times_us.clone(),
+        vanilla_us: plan.vanilla_us,
+        overhead_ratio: if plan.vanilla_us > 0.0 {
+            (plan.total_us() - plan.vanilla_us) / plan.vanilla_us
+        } else {
+            0.0
+        },
+        std_us: profiler::population_std(&plan.block_times_us),
+        mean_us: profiler::mean(&plan.block_times_us),
+        range_pct: profiler::range_pct(&plan.block_times_us),
+    };
+    for (name, got, want) in [
+        (
+            "overhead_ratio",
+            plan.overhead_ratio,
+            declared.overhead_ratio,
+        ),
+        ("std_us", plan.std_us, declared.std_us),
+        ("fitness", plan.fitness, fitness(&declared)),
+    ] {
+        if !rel_close(got, want, cfg.rel_tol.max(1e-9)) {
+            report.push(Diagnostic::error(
+                "SA007",
+                ctx(name),
+                format!(
+                    "declared {name} = {got} does not follow from the plan's \
+                     own block times (expected {want})"
+                ),
+            ));
+        }
+    }
+
+    // SA005: the paper's evenness property (§3.3) — block times of a split
+    // plan must stay within the configured range bound.
+    if plan.is_split() && p.range_pct > cfg.max_range_pct {
+        report.push(
+            Diagnostic::error(
+                "SA005",
+                ctx(&format!("cuts {:?}", plan.cuts)),
+                format!(
+                    "block times span {:.1}% of their mean (bound: {:.1}%) — \
+                     the plan is not evenly sized",
+                    p.range_pct, cfg.max_range_pct
+                ),
+            )
+            .with_help("re-run the offline GA; an uneven plan forfeits the §3.3 QoS guarantee"),
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+
+    fn cnn() -> Graph {
+        let mut b = GraphBuilder::new("toy", TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let mut t = b.conv(&x, 16, 3, 1, 1);
+        for i in 0..10 {
+            let c = b.conv(&t, 16 + 8 * (i / 3), 3, if i % 4 == 3 { 2 } else { 1 }, 1);
+            t = b.relu(&c);
+        }
+        b.finish()
+    }
+
+    fn good_plan(g: &Graph, dev: &DeviceConfig) -> SplitPlan {
+        let spec = SplitSpec::new(g, vec![4, 8]).unwrap();
+        SplitPlan::from_spec(g, &spec, dev)
+    }
+
+    #[test]
+    fn clean_plan_lints_clean() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let plan = good_plan(&g, &dev);
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn vanilla_plan_lints_clean() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let plan = SplitPlan::vanilla(&g, &dev);
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert!(r.is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn wrong_model_is_sa009() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut plan = good_plan(&g, &dev);
+        plan.model = "other".into();
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert_eq!(r.with_code("SA009").len(), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn out_of_range_cut_is_sa002() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut plan = good_plan(&g, &dev);
+        plan.cuts = vec![4, 999];
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert_eq!(r.with_code("SA002").len(), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn tampered_block_time_is_sa004() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut plan = good_plan(&g, &dev);
+        plan.block_times_us[1] *= 1.5;
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert!(!r.with_code("SA004").is_empty(), "{}", r.render_text());
+        // The tampered time also breaks σ and fitness.
+        assert!(!r.with_code("SA007").is_empty(), "{}", r.render_text());
+    }
+
+    #[test]
+    fn tampered_transfer_bytes_is_sa006() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut plan = good_plan(&g, &dev);
+        assert_eq!(plan.transfer_bytes.len(), 2, "from_spec declares transfers");
+        plan.transfer_bytes[0] += 1;
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert_eq!(r.with_code("SA006").len(), 1, "{}", r.render_text());
+    }
+
+    #[test]
+    fn legacy_plan_without_transfers_gets_a_note_only() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        let mut plan = good_plan(&g, &dev);
+        plan.transfer_bytes.clear();
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert_eq!(r.error_count(), 0, "{}", r.render_text());
+        assert_eq!(r.with_code("SA006").len(), 1);
+    }
+
+    #[test]
+    fn uneven_plan_is_sa005() {
+        let g = cnn();
+        let dev = DeviceConfig::default();
+        // Cut almost at the end: a tiny final block → huge range.
+        let spec = SplitSpec::new(&g, vec![g.op_count() - 1]).unwrap();
+        let plan = SplitPlan::from_spec(&g, &spec, &dev);
+        let r = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert_eq!(r.with_code("SA005").len(), 1, "{}", r.render_text());
+    }
+}

@@ -1,0 +1,209 @@
+//! The full verification suite: plans for every zoo model, schedules for
+//! every policy, and the telemetry interleaving checks, in one call.
+//!
+//! This is what `split-cli analyze` and the figure harnesses run. The
+//! suite regenerates each artifact the same way the experiments do (GA
+//! plans from the calibrated zoo graphs, simulations over a Table 2
+//! scenario) and lints everything it produces.
+
+use crate::diag::Report;
+use crate::interleave::check_telemetry_interleavings;
+use crate::plan_lint::{lint_plan, PlanLintCfg};
+use crate::sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
+use gpu_sim::DeviceConfig;
+use model_zoo::{benchmark_models, LengthClass, ModelId};
+use sched::{simulate, Policy};
+use split_core::SplitPlan;
+use split_runtime::Deployment;
+use workload::{RequestTrace, Scenario};
+
+/// Suite configuration.
+#[derive(Debug, Clone)]
+pub struct SuiteCfg {
+    /// Models to plan and deploy.
+    pub models: Vec<ModelId>,
+    /// Table 2 scenario index driving the simulated workload.
+    pub scenario: usize,
+    /// Requests in the workload (Table 2 uses 1000; the suite default is
+    /// smaller to keep `analyze` quick).
+    pub requests: usize,
+    /// GA block-count range for long models (§3.3 searches 2..=4).
+    pub ga_blocks: std::ops::RangeInclusive<usize>,
+    /// GA seed (the experiments' offline seed).
+    pub seed: u64,
+    /// Interleaving-search bound per scenario.
+    pub interleave_limit: u64,
+    /// Plan-linter thresholds.
+    pub plan_cfg: PlanLintCfg,
+}
+
+impl Default for SuiteCfg {
+    fn default() -> Self {
+        Self {
+            models: benchmark_models().to_vec(),
+            scenario: 3,
+            requests: 150,
+            ga_blocks: 2..=4,
+            seed: 99,
+            interleave_limit: u64::MAX,
+            plan_cfg: PlanLintCfg::default(),
+        }
+    }
+}
+
+impl SuiteCfg {
+    /// The `--all` configuration: every zoo model.
+    pub fn all_models() -> Self {
+        Self {
+            models: ModelId::ALL.to_vec(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything the suite verified, with one report per section.
+#[derive(Debug)]
+pub struct SuiteOutcome {
+    /// Plan-linter findings (`SA0xx`), across all models.
+    pub plan_report: Report,
+    /// Schedule-analyzer findings (`SA101`–`SA105`), across all policies.
+    pub schedule_report: Report,
+    /// Determinism-auditor findings (`SA106`), across all policies.
+    pub determinism_report: Report,
+    /// Interleaving-checker findings (`SA2xx`).
+    pub interleave_report: Report,
+    /// Plans linted.
+    pub plans_checked: usize,
+    /// Policy schedules analyzed.
+    pub schedules_checked: usize,
+    /// Interleavings exhausted by the telemetry scenarios.
+    pub interleavings: u64,
+}
+
+impl SuiteOutcome {
+    /// All findings merged into one report (section order preserved).
+    pub fn merged(&self) -> Report {
+        let mut all = Report::new();
+        for r in [
+            &self.plan_report,
+            &self.schedule_report,
+            &self.determinism_report,
+            &self.interleave_report,
+        ] {
+            for d in &r.diagnostics {
+                all.push(d.clone());
+            }
+        }
+        all
+    }
+}
+
+/// Run the whole suite.
+pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
+    let dev = DeviceConfig::default();
+
+    // --- Offline stage: plan every model, lint every plan. ---
+    let mut plan_report = Report::new();
+    let mut plans_checked = 0usize;
+    let mut deployment = Deployment::new();
+    let mut names: Vec<&'static str> = Vec::new();
+    for &id in &cfg.models {
+        let graph = id.build_calibrated(&dev);
+        let info = id.info();
+        names.push(info.name);
+        // The paper splits the long models; short ones deploy vanilla.
+        // Lint both artifacts either way — the GA output must be sane
+        // even for models the deployment ends up not splitting.
+        let (ga_plan, _) =
+            SplitPlan::offline(&graph, &dev, cfg.ga_blocks.clone(), cfg.seed ^ id as u64);
+        plan_report.merge(lint_plan(&graph, &ga_plan, &dev, &cfg.plan_cfg));
+        let vanilla = SplitPlan::vanilla(&graph, &dev);
+        plan_report.merge(lint_plan(&graph, &vanilla, &dev, &cfg.plan_cfg));
+        plans_checked += 2;
+        if info.class == LengthClass::Long {
+            deployment.deploy_plan(&ga_plan);
+        } else {
+            deployment.deploy_plan(&vanilla);
+        }
+    }
+    let table = deployment.table();
+
+    // --- Online stage: one workload, every policy, lint + audit. ---
+    let mut scenario = Scenario::table2(cfg.scenario);
+    scenario.requests = cfg.requests;
+    let trace = RequestTrace::generate(scenario, &names);
+    let arrivals = &trace.arrivals;
+
+    let mut schedule_report = Report::new();
+    let mut determinism_report = Report::new();
+    let mut schedules_checked = 0usize;
+    let mut policies = Policy::all_default();
+    policies.push(Policy::StreamParallel(Default::default()));
+    policies.push(Policy::Sjf);
+    for policy in &policies {
+        let result = simulate(policy, arrivals, table);
+        let lint_cfg = match policy {
+            Policy::Split(_) => ScheduleLintCfg::block_granular(table),
+            Policy::Rta(_) | Policy::StreamParallel(_) => ScheduleLintCfg::concurrent(table),
+            _ => ScheduleLintCfg::structural(table),
+        };
+        schedule_report.merge(prefix_context(
+            lint_schedule(arrivals, &result, &lint_cfg),
+            policy.name(),
+        ));
+        determinism_report.merge(audit_determinism(policy, arrivals, table));
+        schedules_checked += 1;
+    }
+
+    // --- Telemetry stage: exhaustive interleavings. ---
+    let (interleave_report, interleavings) = check_telemetry_interleavings(cfg.interleave_limit);
+
+    SuiteOutcome {
+        plan_report,
+        schedule_report,
+        determinism_report,
+        interleave_report,
+        plans_checked,
+        schedules_checked,
+        interleavings,
+    }
+}
+
+/// Prepend a policy name to every diagnostic context so merged reports
+/// stay attributable.
+fn prefix_context(report: Report, prefix: &str) -> Report {
+    report
+        .diagnostics
+        .into_iter()
+        .map(|mut d| {
+            d.context = format!("{prefix}: {}", d.context);
+            d
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_suite_is_clean() {
+        let cfg = SuiteCfg {
+            // Keep the unit test quick: two models (one long, one short),
+            // a short trace, and a bounded interleaving search.
+            models: vec![ModelId::ResNet50, ModelId::GoogLeNet],
+            requests: 60,
+            interleave_limit: 20_000,
+            ..SuiteCfg::default()
+        };
+        let out = run_suite(&cfg);
+        let merged = out.merged();
+        // Truncation notes are allowed (we bounded the search); errors and
+        // warnings are not.
+        assert_eq!(merged.error_count(), 0, "{}", merged.render_text());
+        assert_eq!(merged.warning_count(), 0, "{}", merged.render_text());
+        assert_eq!(out.plans_checked, 4);
+        assert_eq!(out.schedules_checked, 6);
+        assert!(out.interleavings >= 20_000);
+    }
+}

@@ -1,0 +1,82 @@
+//! Small-graph oracle: on graphs small enough to enumerate every cut
+//! combination, the GA must find the exhaustive optimum (or at least a
+//! plan within the evenness bound of it), and everything either search
+//! produces must pass the plan linter.
+
+use dnn_graph::{Graph, GraphBuilder, TensorShape};
+use gpu_sim::DeviceConfig;
+use split_analyze::{lint_plan, PlanLintCfg};
+use split_core::{evolve, exhaustive_best, GaConfig, SplitPlan};
+
+/// A small sequential CNN with `convs` conv+relu pairs (≤ 12 ops total).
+fn small_cnn(name: &str, convs: usize) -> Graph {
+    let mut b = GraphBuilder::new(name, TensorShape::chw(3, 32, 32));
+    let x = b.source();
+    let mut t = b.conv(&x, 8, 3, 1, 1);
+    for i in 0..convs as u64 {
+        let c = b.conv(&t, 8 + 4 * (i % 3), 3, if i % 3 == 2 { 2 } else { 1 }, 1);
+        t = b.relu(&c);
+    }
+    b.finish()
+}
+
+#[test]
+fn ga_matches_exhaustive_on_small_graphs() {
+    let dev = DeviceConfig::default();
+    for (name, convs, blocks) in [("tiny-a", 4, 2), ("tiny-b", 5, 3), ("tiny-c", 5, 2)] {
+        let g = small_cnn(name, convs);
+        assert!(g.op_count() <= 12, "oracle graphs must stay enumerable");
+
+        let (_, best_profile) =
+            exhaustive_best(&g, &dev, blocks, 1_000_000).expect("small graph is enumerable");
+        let oracle_fitness = split_core::fitness(&best_profile);
+
+        let out = evolve(&g, &dev, &GaConfig::new(blocks).with_seed(7));
+        let ga_plan = SplitPlan::from_spec(&g, &out.best, &dev);
+
+        // The GA plan must lint clean...
+        let report = lint_plan(&g, &ga_plan, &dev, &PlanLintCfg::default());
+        assert!(report.is_empty(), "{name}: {}", report.render_text());
+
+        // ...and on an enumerable search space it must actually reach the
+        // exhaustive optimum (the space has at most C(11,2) = 55 points;
+        // the GA's population alone covers it).
+        assert!(
+            (ga_plan.fitness - oracle_fitness).abs() <= 1e-9,
+            "{name}: GA fitness {} vs exhaustive optimum {}",
+            ga_plan.fitness,
+            oracle_fitness
+        );
+
+        // Evenness: the GA plan's block-time spread stays within the bound
+        // of the exhaustive optimum's spread (identical when fitness ties).
+        let spread = |times: &[f64]| {
+            let max = times.iter().cloned().fold(f64::MIN, f64::max);
+            let min = times.iter().cloned().fold(f64::MAX, f64::min);
+            max - min
+        };
+        let ga_spread = spread(&ga_plan.block_times_us);
+        let oracle_spread = spread(&best_profile.block_times_us);
+        assert!(
+            ga_spread <= oracle_spread + 1e-9,
+            "{name}: GA spread {ga_spread}µs exceeds oracle spread {oracle_spread}µs"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_oracle_plans_lint_clean() {
+    let dev = DeviceConfig::default();
+    let g = small_cnn("tiny-d", 5);
+    for blocks in 2..=4 {
+        let (spec, _) =
+            exhaustive_best(&g, &dev, blocks, 1_000_000).expect("small graph is enumerable");
+        let plan = SplitPlan::from_spec(&g, &spec, &dev);
+        let report = lint_plan(&g, &plan, &dev, &PlanLintCfg::default());
+        assert!(
+            report.is_empty(),
+            "blocks={blocks}: {}",
+            report.render_text()
+        );
+    }
+}

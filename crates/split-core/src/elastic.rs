@@ -93,7 +93,11 @@ impl ElasticController {
 
         let mut dominant = 0usize;
         if n >= self.cfg.min_samples {
-            let mut counts = std::collections::HashMap::new();
+            // BTreeMap keeps the tally iteration deterministic (audited by
+            // split-analyze; a HashMap is order-safe here only because max()
+            // over counts is commutative, but determinism is cheaper than
+            // that argument).
+            let mut counts = std::collections::BTreeMap::new();
             for &(_, t) in &self.window {
                 *counts.entry(t).or_insert(0usize) += 1;
             }

@@ -12,7 +12,7 @@ use dnn_graph::{Graph, SplitSpec};
 use gpu_sim::DeviceConfig;
 use profiler::{profile_split, profile_unsplit};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The offline splitting decision for one model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,6 +21,12 @@ pub struct SplitPlan {
     pub model: String,
     /// Chosen cut positions (empty = run vanilla).
     pub cuts: Vec<usize>,
+    /// Declared boundary transfer volume at each cut, bytes — the live
+    /// tensors the runtime must move across each block boundary. The plan
+    /// linter (`split-analyze`) verifies these against the graph's live
+    /// sets. Empty on plans saved before this field existed.
+    #[serde(default)]
+    pub transfer_bytes: Vec<u64>,
     /// Profiled per-block times, µs (a single entry when unsplit).
     pub block_times_us: Vec<f64>,
     /// Vanilla model time, µs.
@@ -40,6 +46,7 @@ impl SplitPlan {
         Self {
             model: graph.name.clone(),
             cuts: Vec::new(),
+            transfer_bytes: Vec::new(),
             block_times_us: p.block_times_us.clone(),
             vanilla_us: p.vanilla_us,
             overhead_ratio: 0.0,
@@ -54,6 +61,11 @@ impl SplitPlan {
         Self {
             model: graph.name.clone(),
             cuts: spec.cuts().to_vec(),
+            transfer_bytes: spec
+                .cuts()
+                .iter()
+                .map(|&c| graph.boundary_bytes(c))
+                .collect(),
             block_times_us: p.block_times_us.clone(),
             vanilla_us: p.vanilla_us,
             overhead_ratio: p.overhead_ratio,
@@ -104,9 +116,15 @@ impl SplitPlan {
 }
 
 /// Per-deployment collection of plans, keyed by model name.
+///
+/// Stored in a `BTreeMap` so iteration, serialization, and the files
+/// written by [`PlanSet::save`] are deterministic — a `HashMap` here made
+/// `plans.json` key order (and everything downstream of [`PlanSet::iter`])
+/// vary from run to run, which the `split-analyze` determinism auditor
+/// flags.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PlanSet {
-    plans: HashMap<String, SplitPlan>,
+    plans: BTreeMap<String, SplitPlan>,
 }
 
 impl PlanSet {
@@ -135,7 +153,7 @@ impl PlanSet {
         self.plans.is_empty()
     }
 
-    /// Iterate over plans in unspecified order.
+    /// Iterate over plans in model-name order.
     pub fn iter(&self) -> impl Iterator<Item = &SplitPlan> {
         self.plans.values()
     }

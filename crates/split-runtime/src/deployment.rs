@@ -92,6 +92,7 @@ mod tests {
             overhead_ratio: 0.3,
             std_us: 50.0,
             fitness: -1.0,
+            transfer_bytes: vec![0],
         };
         d.deploy_plan(&plan);
         let rt = d.table().get("m");

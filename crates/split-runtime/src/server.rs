@@ -517,6 +517,7 @@ mod tests {
             overhead_ratio: 0.1,
             std_us: 0.0,
             fitness: -1.0,
+            transfer_bytes: vec![0, 0],
         };
         d.deploy_plan(&plan);
         d

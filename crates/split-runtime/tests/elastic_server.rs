@@ -16,6 +16,7 @@ fn deployment() -> Deployment {
         overhead_ratio: 0.1,
         std_us: 0.0,
         fitness: -1.0,
+        transfer_bytes: vec![0],
     });
     d.deploy_vanilla("short", 5_000.0);
     d

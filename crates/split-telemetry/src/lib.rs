@@ -16,8 +16,8 @@
 //!   `trace_events` JSON (one track per GPU stream plus a scheduler
 //!   track), loadable in `chrome://tracing` or <https://ui.perfetto.dev>.
 //!
-//! The simulator ([`gpu-sim`]), the policy engine ([`sched`]), and the
-//! serving runtime ([`split-runtime`]) all feed the same event model, so
+//! The simulator (`gpu-sim`), the policy engine (`sched`), and the
+//! serving runtime (`split-runtime`) all feed the same event model, so
 //! a trace taken from any layer renders and validates identically.
 //!
 //! [§3.4]: https://doi.org/10.1145/3605573.3605627

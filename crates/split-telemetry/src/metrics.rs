@@ -189,6 +189,32 @@ impl Histogram {
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
     }
+
+    /// Fold `other`'s samples into `self`.
+    ///
+    /// Every field update is a single commutative RMW (`fetch_add` for
+    /// buckets/count/sum, `fetch_max`/`fetch_min` for the extrema), so the
+    /// result is independent of merge order and of concurrent `record`
+    /// calls — the property `split-analyze`'s interleaving checker
+    /// verifies (`SA203`). Merging an empty histogram is a no-op: its
+    /// `min` sentinel (`u64::MAX`) never wins `fetch_min` against a real
+    /// sample, and its zero `max`/`sum`/counts are additive identities.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(&other.buckets) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
 }
 
 #[derive(Clone)]
@@ -498,6 +524,47 @@ mod tests {
         assert_eq!(h.p99(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for v in [100u64, 250, 7_000] {
+            a.record(v);
+        }
+        for v in [3u64, 900_000] {
+            b.record(v);
+        }
+        // Merge in both orders into fresh accumulators.
+        let ab = Histogram::default();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Histogram::default();
+        ba.merge(&b);
+        ba.merge(&a);
+        for h in [&ab, &ba] {
+            assert_eq!(h.count(), 5);
+            assert_eq!(h.sum(), 100 + 250 + 7_000 + 3 + 900_000);
+            assert_eq!(h.max(), 900_000);
+            assert_eq!(h.min(), 3);
+        }
+        assert_eq!(ab.p50(), ba.p50());
+        assert_eq!(ab.p99(), ba.p99());
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_identity() {
+        let h = Histogram::default();
+        h.record(42);
+        h.merge(&Histogram::default());
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42, "empty min sentinel must not leak in");
+        assert_eq!(h.max(), 42);
+        // Merging into an empty accumulator adopts the source exactly.
+        let acc = Histogram::default();
+        acc.merge(&h);
+        assert_eq!((acc.count(), acc.min(), acc.max()), (1, 42, 42));
     }
 
     #[test]

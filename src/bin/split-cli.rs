@@ -17,6 +17,7 @@ use split_repro::model_zoo::{profiling_models, ModelId};
 use split_repro::qos_metrics::{per_model_std, violation_rate};
 use split_repro::sched::policy::SplitCfg;
 use split_repro::sched::{simulate, Policy};
+use split_repro::split_analyze::{run_suite, SuiteCfg};
 use split_repro::split_core::{evolve, GaConfig, PlanSet, SplitPlan};
 use split_repro::split_runtime::Deployment;
 use split_repro::workload::{RequestTrace, Scenario};
@@ -37,6 +38,10 @@ commands:
            [--metrics]                 also print the telemetry snapshot
                                        (decision latency p50/p99, e2e, ...)
   dot <model> [--blocks N]             emit Graphviz DOT (split into N blocks)
+  analyze [--all] [--deny-warnings]    statically verify plans, schedules, and
+          [--json] [--requests N]      telemetry (DESIGN.md \u{a7}9); --all covers
+                                       every zoo model, --json emits machine-
+                                       readable diagnostics
 ";
 
 fn main() -> ExitCode {
@@ -52,6 +57,12 @@ fn main() -> ExitCode {
         "plan-all" => cmd_plan_all(rest),
         "simulate" => cmd_simulate(rest),
         "dot" => cmd_dot(rest),
+        // `analyze` owns its exit code: diagnostics are the output, not a
+        // usage error — only bad arguments fall through to the usage path.
+        "analyze" => match cmd_analyze(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
         _ => Err(format!("unknown command {cmd:?}")),
     };
     match result {
@@ -254,6 +265,56 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
         println!("\ntelemetry:\n{}", r.metrics().snapshot().render_markdown());
     }
     Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" | "--deny-warnings" | "--json" => i += 1,
+            "--requests" => i += 2,
+            other => return Err(format!("analyze: unknown option {other:?}")),
+        }
+    }
+    let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
+    let json = args.iter().any(|a| a == "--json");
+    let mut cfg = if args.iter().any(|a| a == "--all") {
+        SuiteCfg::all_models()
+    } else {
+        SuiteCfg::default()
+    };
+    if let Some(n) = opt(args, "--requests")? {
+        cfg.requests = n.parse().map_err(|_| "bad --requests")?;
+    }
+
+    let out = run_suite(&cfg);
+    let merged = out.merged();
+    if json {
+        println!("{}", merged.render_json());
+    } else {
+        eprintln!(
+            "analyzed {} plan(s), {} schedule(s), {} telemetry interleavings",
+            out.plans_checked, out.schedules_checked, out.interleavings
+        );
+        for (section, report) in [
+            ("plans", &out.plan_report),
+            ("schedules", &out.schedule_report),
+            ("determinism", &out.determinism_report),
+            ("telemetry interleavings", &out.interleave_report),
+        ] {
+            if report.is_empty() {
+                eprintln!("  {section}: clean");
+            } else {
+                eprintln!("  {section}:");
+                print!("{}", report.render_text());
+            }
+        }
+    }
+    Ok(if merged.fails(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {

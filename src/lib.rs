@@ -19,6 +19,8 @@
 //! | [`workload`] | Poisson scenario generation (Table 2) |
 //! | [`qos_metrics`] | violation-rate curves and jitter (Figures 6–7) |
 //! | [`split_runtime`] | the threaded online serving system (Figure 4) |
+//! | [`split_telemetry`] | lock-free metrics, lifecycle tracing, Perfetto export |
+//! | [`split_analyze`] | static verification of plans, schedules, telemetry (DESIGN.md §9) |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use model_zoo;
 pub use profiler;
 pub use qos_metrics;
 pub use sched;
+pub use split_analyze;
 pub use split_core;
 pub use split_runtime;
 pub use split_telemetry;

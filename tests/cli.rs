@@ -101,6 +101,35 @@ fn dot_emits_graphviz() {
 }
 
 #[test]
+fn analyze_is_clean_and_exits_zero() {
+    let out = cli(&["analyze", "--deny-warnings", "--requests", "60"]);
+    assert!(
+        out.status.success(),
+        "{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("plans: clean"), "{err}");
+    assert!(err.contains("schedules: clean"), "{err}");
+    assert!(err.contains("determinism: clean"), "{err}");
+}
+
+#[test]
+fn analyze_json_emits_empty_diagnostic_array() {
+    let out = cli(&["analyze", "--json", "--requests", "60"]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out).trim(), "[]");
+}
+
+#[test]
+fn analyze_rejects_unknown_options() {
+    let out = cli(&["analyze", "--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
 fn no_command_prints_usage() {
     let out = cli(&[]);
     assert!(!out.status.success());
