@@ -13,6 +13,7 @@ fn main() {
     let deployment = experiment::paper_deployment(&dev);
     let mut rows = Vec::new();
     let mut decision_rows = Vec::new();
+    let mut s3_breakdown = None;
 
     println!("Figure 6: latency violation rate vs latency target α\n");
     for sc in all_scenarios() {
@@ -62,6 +63,7 @@ fn main() {
                         &path,
                     )
                     .expect("write trace");
+                    s3_breakdown = Some(split_repro::split_obs::rollup_by_model(&r.attribution()));
                 }
             }
         }
@@ -79,6 +81,11 @@ fn main() {
     println!(
         "(Perfetto trace of SPLIT on scenario 3 written to results/fig6_split_s3.trace.json)\n"
     );
+
+    if let Some(rows) = s3_breakdown {
+        println!("SPLIT scenario 3 — mean e2e latency by critical-path component (ms):\n");
+        println!("{}", qos_metrics::breakdown_markdown(&rows));
+    }
 
     qos_metrics::write_csv(
         &bench::results_dir().join("fig6.csv"),

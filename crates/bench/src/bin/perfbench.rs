@@ -1,0 +1,119 @@
+//! Performance benchmark for the reproduction's hot paths, writing
+//! machine-readable timings to `BENCH_core.json` at the repo root.
+//!
+//! Three families are timed (schema in DESIGN.md §10):
+//!
+//! * `ga_split/<model>` — the offline GA split search per model;
+//! * `simulate/<policy>` — one full `sched::simulate` of the Figure 6
+//!   scenario-3 workload per serving policy;
+//! * `telemetry/*` — deriving the metrics registry + snapshot from a
+//!   lifecycle recording, and critical-path attribution over it.
+//!
+//! Every entry runs ≥ 5 iterations and reports `{name, p50_ns,
+//! mean_ns, iters}`. This is a trend tool, not a gate: CI only fails
+//! the job when the binary panics.
+
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use sched::{simulate, Policy};
+use serde_json::{Map, Number, Value};
+use split_core::{evolve, GaConfig};
+use split_repro::experiment;
+use std::time::Instant;
+use workload::{RequestTrace, Scenario};
+
+/// Iterations for the slower, simulation-scale benchmarks.
+const ITERS: usize = 5;
+/// Iterations for the cheap telemetry paths.
+const FAST_ITERS: usize = 100;
+
+struct Entry {
+    name: String,
+    p50_ns: u64,
+    mean_ns: f64,
+    iters: usize,
+}
+
+/// Time `iters` runs of `f` (its result is consumed via `drop` so the
+/// optimizer cannot elide the work).
+fn time<T>(name: impl Into<String>, iters: usize, mut f: impl FnMut() -> T) -> Entry {
+    let mut samples_ns: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let out = f();
+        samples_ns.push(t0.elapsed().as_nanos() as u64);
+        drop(out);
+    }
+    samples_ns.sort_unstable();
+    let p50_ns = samples_ns[samples_ns.len() / 2];
+    let mean_ns = samples_ns.iter().sum::<u64>() as f64 / samples_ns.len() as f64;
+    let name = name.into();
+    println!(
+        "{name:32} p50 {:>12} ns   mean {:>14.0} ns   ({iters} iters)",
+        p50_ns, mean_ns
+    );
+    Entry {
+        name,
+        p50_ns,
+        mean_ns,
+        iters,
+    }
+}
+
+fn main() {
+    let dev = DeviceConfig::jetson_nano();
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- Offline: GA split search on a representative long model pair. ---
+    for id in [ModelId::ResNet50, ModelId::Vgg19] {
+        let graph = id.build_calibrated(&dev);
+        let name = id.info().name;
+        entries.push(time(format!("ga_split/{name}"), ITERS, || {
+            evolve(
+                &graph,
+                &dev,
+                &GaConfig::new(3).with_seed(experiment::OFFLINE_SEED),
+            )
+        }));
+    }
+
+    // --- Online: one simulate() of the fig6 scenario-3 workload per policy. ---
+    let deployment = experiment::paper_deployment(&dev);
+    let workload = RequestTrace::generate(Scenario::table2(3), &experiment::PAPER_MODEL_NAMES);
+    for policy in Policy::all_default() {
+        entries.push(time(format!("simulate/{}", policy.name()), ITERS, || {
+            simulate(&policy, &workload.arrivals, deployment.table())
+        }));
+    }
+
+    // --- Telemetry: registry/snapshot and attribution over one recording. ---
+    let result = simulate(
+        &Policy::Split(Default::default()),
+        &workload.arrivals,
+        deployment.table(),
+    );
+    entries.push(time("telemetry/registry_snapshot", FAST_ITERS, || {
+        result.metrics().snapshot()
+    }));
+    entries.push(time("telemetry/attribution", FAST_ITERS, || {
+        result.attribution()
+    }));
+
+    let doc = Value::Array(
+        entries
+            .iter()
+            .map(|e| {
+                let mut m = Map::new();
+                m.insert("name", Value::String(e.name.clone()));
+                m.insert("p50_ns", Value::Number(Number::PosInt(e.p50_ns)));
+                m.insert("mean_ns", Value::Number(Number::Float(e.mean_ns)));
+                m.insert("iters", Value::Number(Number::PosInt(e.iters as u64)));
+                Value::Object(m)
+            })
+            .collect(),
+    );
+    let path = bench::results_dir().join("../BENCH_core.json");
+    let text = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&path, text + "\n").expect("write BENCH_core.json");
+    println!("\n{} entries written to BENCH_core.json", entries.len());
+}

@@ -62,8 +62,8 @@ fn main() {
         println!(
             "{:16} {:>9.1} ms {:>9.1} ms {:>9.1} ms",
             policy.name(),
-            percentile(&errors, 50.0).unwrap(),
-            percentile(&errors, 95.0).unwrap(),
+            percentile(&errors, 0.50).unwrap(),
+            percentile(&errors, 0.95).unwrap(),
             errors.iter().copied().fold(0.0f64, f64::max),
         );
     }

@@ -19,7 +19,7 @@
 //! `benches/`.
 
 use sched::{ModelTable, Policy, SimResult};
-use split_analyze::{lint_schedule, ScheduleLintCfg};
+use split_analyze::{lint_attribution, lint_schedule, ScheduleLintCfg};
 use std::path::PathBuf;
 use workload::Arrival;
 
@@ -75,7 +75,10 @@ pub fn verify_block_granular(
 }
 
 fn verify_with(label: &str, cfg: &ScheduleLintCfg, arrivals: &[Arrival], result: &SimResult) {
-    let report = lint_schedule(arrivals, result, cfg);
+    let mut report = lint_schedule(arrivals, result, cfg);
+    // Figures that quote latency components need the attribution
+    // invariant (SA3xx) as much as the schedule ones.
+    report.merge(lint_attribution(result));
     if !report.is_empty() {
         eprintln!("{}", report.render_text());
         panic!("schedule verification failed for {label} — refusing to write results");

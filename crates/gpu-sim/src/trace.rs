@@ -59,10 +59,26 @@ impl TraceEvent {
     }
 }
 
+/// One boundary activation transfer attributed to a request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRecord {
+    /// Request id the transfer belongs to.
+    pub req: u64,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Transfer start time, microseconds.
+    pub start_us: f64,
+    /// Transfer duration, microseconds (0 when the cost is already
+    /// folded into the adjacent block's overhead).
+    pub dur_us: f64,
+}
+
 /// An ordered collection of trace events.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    #[serde(default)]
+    transfers: Vec<TransferRecord>,
 }
 
 impl Trace {
@@ -85,6 +101,22 @@ impl Trace {
     /// All events in recording order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Record a boundary activation transfer for request `req`.
+    pub fn record_transfer(&mut self, req: u64, bytes: u64, start_us: f64, dur_us: f64) {
+        debug_assert!(dur_us >= 0.0, "negative transfer duration");
+        self.transfers.push(TransferRecord {
+            req,
+            bytes,
+            start_us,
+            dur_us,
+        });
+    }
+
+    /// All recorded transfers in recording order.
+    pub fn transfers(&self) -> &[TransferRecord] {
+        &self.transfers
     }
 
     /// Events whose label contains `needle`.
@@ -176,6 +208,14 @@ impl Trace {
                 block,
                 stream,
                 t_us: e.end_us,
+            });
+        }
+        for t in &self.transfers {
+            out.push(Event::Transfer {
+                req: t.req,
+                bytes: t.bytes,
+                t_us: t.start_us,
+                dur_us: t.dur_us,
             });
         }
         out
@@ -387,6 +427,34 @@ mod tests {
             })
             .collect();
         assert_ne!(streams[&2], streams[&0]);
+    }
+
+    #[test]
+    fn transfers_export_as_lifecycle_events() {
+        let mut t = Trace::new();
+        t.record("m#0/b0", 0, 0.0, 10.0);
+        t.record_transfer(0, 4096, 10.0, 0.0);
+        t.record("m#0/b1", 0, 10.0, 20.0);
+        assert_eq!(t.transfers().len(), 1);
+        assert_eq!(t.transfers()[0].bytes, 4096);
+        let ev = t.lifecycle_events();
+        let transfers: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e, Event::Transfer { .. }))
+            .collect();
+        assert_eq!(transfers.len(), 1);
+        match transfers[0] {
+            Event::Transfer {
+                req,
+                bytes,
+                t_us,
+                dur_us,
+            } => {
+                assert_eq!((*req, *bytes), (0, 4096));
+                assert_eq!((*t_us, *dur_us), (10.0, 0.0));
+            }
+            _ => unreachable!(),
+        }
     }
 
     #[test]

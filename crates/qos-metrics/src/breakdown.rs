@@ -1,0 +1,106 @@
+//! Per-model latency breakdown rows (critical-path attribution).
+//!
+//! `split-obs` decomposes every completed request's end-to-end latency
+//! into queueing / compute / transfer / stall / scheduler components;
+//! this module holds the aggregate row type and its report rendering so
+//! breakdowns print alongside the other QoS tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean latency decomposition for one model (all times µs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakdownRow {
+    /// Model name.
+    pub model: String,
+    /// Requests aggregated into this row.
+    pub count: u64,
+    /// Mean end-to-end latency.
+    pub e2e_us: f64,
+    /// Mean queueing time (arrival → first block).
+    pub queue_us: f64,
+    /// Mean device compute time.
+    pub compute_us: f64,
+    /// Mean boundary transfer time.
+    pub transfer_us: f64,
+    /// Mean preemption/downgrade stall time.
+    pub stall_us: f64,
+    /// Mean scheduler/drain time.
+    pub sched_us: f64,
+}
+
+impl BreakdownRow {
+    /// Sum of the five components (should equal `e2e_us` within noise).
+    pub fn components_sum_us(&self) -> f64 {
+        self.queue_us + self.compute_us + self.transfer_us + self.stall_us + self.sched_us
+    }
+}
+
+/// Table header matching [`breakdown_rows`].
+pub fn breakdown_header() -> [&'static str; 8] {
+    [
+        "model",
+        "count",
+        "e2e (ms)",
+        "queue (ms)",
+        "compute (ms)",
+        "transfer (ms)",
+        "stall (ms)",
+        "sched (ms)",
+    ]
+}
+
+/// Render rows as cells (ms, 3 decimals) for markdown/CSV.
+pub fn breakdown_rows(rows: &[BreakdownRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            let ms = |v: f64| format!("{:.3}", v / 1e3);
+            vec![
+                r.model.clone(),
+                r.count.to_string(),
+                ms(r.e2e_us),
+                ms(r.queue_us),
+                ms(r.compute_us),
+                ms(r.transfer_us),
+                ms(r.stall_us),
+                ms(r.sched_us),
+            ]
+        })
+        .collect()
+}
+
+/// Render a markdown breakdown table.
+pub fn breakdown_markdown(rows: &[BreakdownRow]) -> String {
+    crate::report::markdown_table(&breakdown_header(), &breakdown_rows(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> BreakdownRow {
+        BreakdownRow {
+            model: "resnet50".into(),
+            count: 10,
+            e2e_us: 5_000.0,
+            queue_us: 1_000.0,
+            compute_us: 3_200.0,
+            transfer_us: 300.0,
+            stall_us: 400.0,
+            sched_us: 100.0,
+        }
+    }
+
+    #[test]
+    fn components_sum() {
+        assert!((row().components_sum_us() - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn markdown_renders_all_columns() {
+        let md = breakdown_markdown(&[row()]);
+        assert!(md.contains("resnet50"));
+        assert!(md.contains("compute (ms)"));
+        assert!(md.contains("3.200"));
+        assert!(md.contains("0.400"));
+    }
+}

@@ -13,6 +13,7 @@
 //! Plus reporting helpers that print the same rows/series the paper's
 //! tables and figures show.
 
+pub mod breakdown;
 pub mod cdf;
 pub mod fairness;
 pub mod jitter;
@@ -21,6 +22,7 @@ pub mod report;
 pub mod throughput;
 pub mod violation;
 
+pub use breakdown::{breakdown_markdown, BreakdownRow};
 pub use cdf::Cdf;
 pub use fairness::{jain_index, stability_fairness};
 pub use jitter::{per_model_std, JitterRow};

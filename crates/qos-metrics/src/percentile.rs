@@ -1,17 +1,30 @@
-//! Percentile helper (nearest-rank), used by reports and tail-latency
-//! ablations.
+//! Percentile helper, used by reports and tail-latency ablations.
+//!
+//! `p` is a fraction in `[0, 1]` and values between sample points are
+//! linearly interpolated (the "linear" / type-7 estimator), so the
+//! boundaries are exact: `percentile(xs, 0.0)` is the minimum,
+//! `percentile(xs, 1.0)` is the maximum, and the result is monotone
+//! non-decreasing in `p`. The previous nearest-rank version violated
+//! both boundary identities (`p = 1.0` meant the 1st percentile on its
+//! percent scale) which is why the scale changed with the fix.
 
-/// Nearest-rank percentile of `xs` for `p ∈ [0, 100]`. Returns `None` for
-/// empty input. The input need not be sorted.
+/// Linearly-interpolated percentile of `xs` for `p ∈ [0, 1]`. Returns
+/// `None` for empty input. The input need not be sorted.
+///
+/// # Panics
+/// If `p` is outside `[0, 1]` or NaN.
 pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
     if xs.is_empty() {
         return None;
     }
-    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    assert!((0.0..=1.0).contains(&p), "percentile {p} out of range");
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
 }
 
 #[cfg(test)]
@@ -22,21 +35,35 @@ mod tests {
     fn basics() {
         let xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
         assert_eq!(percentile(&xs, 0.0), Some(1.0));
-        assert_eq!(percentile(&xs, 50.0), Some(3.0));
-        assert_eq!(percentile(&xs, 100.0), Some(5.0));
-        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+        assert_eq!(percentile(&xs, 1.0), Some(5.0));
+        assert_eq!(percentile(&[], 0.5), None);
     }
 
     #[test]
-    fn p99_of_uniform() {
+    fn interpolates_between_ranks() {
+        let xs = vec![10.0, 20.0];
+        assert_eq!(percentile(&xs, 0.25), Some(12.5));
+        assert_eq!(percentile(&xs, 0.75), Some(17.5));
+        // Single element: every p hits it.
+        assert_eq!(percentile(&[42.0], 0.0), Some(42.0));
+        assert_eq!(percentile(&[42.0], 0.37), Some(42.0));
+        assert_eq!(percentile(&[42.0], 1.0), Some(42.0));
+    }
+
+    #[test]
+    fn tail_of_uniform() {
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&xs, 99.0), Some(99.0));
-        assert_eq!(percentile(&xs, 95.0), Some(95.0));
+        // pos = 0.99 · 99 = 98.01 → lerp(99, 100, 0.01) = 99.01
+        let p99 = percentile(&xs, 0.99).unwrap();
+        assert!((p99 - 99.01).abs() < 1e-9, "{p99}");
+        let p95 = percentile(&xs, 0.95).unwrap();
+        assert!((p95 - 95.05).abs() < 1e-9, "{p95}");
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_bad_p() {
-        percentile(&[1.0], 150.0);
+        percentile(&[1.0], 1.5);
     }
 }

@@ -1,0 +1,42 @@
+//! Property tests for the percentile boundary/monotonicity contract
+//! (the ISSUE-mandated checks that caught the old nearest-rank
+//! implementation returning the 1st percentile for `p = 1.0`).
+
+use proptest::prelude::*;
+use qos_metrics::percentile;
+
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6..1e6f64, 1..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn p_zero_is_min(xs in samples()) {
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        prop_assert_eq!(percentile(&xs, 0.0), Some(min));
+    }
+
+    #[test]
+    fn p_one_is_max(xs in samples()) {
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(percentile(&xs, 1.0), Some(max));
+    }
+
+    #[test]
+    fn monotone_in_p(xs in samples(), a in 0.0..=1.0f64, b in 0.0..=1.0f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let plo = percentile(&xs, lo).unwrap();
+        let phi = percentile(&xs, hi).unwrap();
+        prop_assert!(plo <= phi, "percentile({lo}) = {plo} > percentile({hi}) = {phi}");
+    }
+
+    #[test]
+    fn result_is_within_range(xs in samples(), p in 0.0..=1.0f64) {
+        let v = percentile(&xs, p).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min && v <= max, "{v} outside [{min}, {max}]");
+    }
+}

@@ -80,6 +80,20 @@ impl SimResult {
     pub fn metrics(&self) -> split_telemetry::Registry {
         split_telemetry::registry_from_events(&self.recorder)
     }
+
+    /// Rebuild every request's causal span tree (arrival → queue →
+    /// blocks → transfers → stalls → completion) from the lifecycle
+    /// recording.
+    pub fn spans(&self) -> Vec<split_obs::Span> {
+        split_obs::build_spans(&self.recorder)
+    }
+
+    /// Critical-path attribution for every completed request: e2e
+    /// latency decomposed into queue / compute / transfer / stall /
+    /// sched components (sum = e2e within 1 ns; linted as `SA301`).
+    pub fn attribution(&self) -> Vec<split_obs::Attribution> {
+        split_obs::attribute(&self.recorder)
+    }
 }
 
 /// Ordering rank for events sharing a timestamp, so a merged recording

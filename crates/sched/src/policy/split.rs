@@ -84,6 +84,15 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                 let block_idx = *blocks_done.get(&id).unwrap_or(&0);
                 *blocks_done.entry(id).or_insert(0) += 1;
                 trace.record(format!("{name}#{id}/b{block_idx}"), 0, now, now + blk);
+                // Entering block N crosses boundary N−1: attribute the
+                // activation traffic. Zero duration — the transfer cost
+                // is already folded into the block overhead (§4), so
+                // schedules and latencies are unchanged.
+                if block_idx > 0 {
+                    if let Some(&bytes) = models.get(name).transfer_bytes.get(block_idx - 1) {
+                        trace.record_transfer(id, bytes, now, 0.0);
+                    }
+                }
                 started.entry(id).or_insert(now);
                 running = Some((id, now + blk));
                 continue;

@@ -15,6 +15,13 @@ pub struct ModelRuntime {
     /// Block times from the offline split plan, µs. A single entry means
     /// the model runs unsplit.
     pub blocks_us: Vec<f64>,
+    /// Activation bytes crossing each block boundary (length
+    /// `blocks_us.len() - 1`; empty for unsplit models or when the plan
+    /// predates transfer accounting). The transfer *time* is already
+    /// folded into the blocks' overhead — these sizes only attribute the
+    /// traffic in telemetry.
+    #[serde(default)]
+    pub transfer_bytes: Vec<u64>,
 }
 
 impl ModelRuntime {
@@ -25,6 +32,7 @@ impl ModelRuntime {
             task,
             exec_us,
             blocks_us: vec![exec_us],
+            transfer_bytes: Vec::new(),
         }
     }
 
@@ -36,7 +44,23 @@ impl ModelRuntime {
             task,
             exec_us,
             blocks_us,
+            transfer_bytes: Vec::new(),
         }
+    }
+
+    /// Attach per-boundary activation sizes (builder style).
+    ///
+    /// # Panics
+    /// When the length is not `blocks_us.len() - 1` (one boundary
+    /// between each pair of consecutive blocks).
+    pub fn with_transfer_bytes(mut self, bytes: Vec<u64>) -> Self {
+        assert_eq!(
+            bytes.len(),
+            self.blocks_us.len().saturating_sub(1),
+            "one transfer per block boundary"
+        );
+        self.transfer_bytes = bytes;
+        self
     }
 
     /// Total device time when run split, µs (≥ `exec_us` by the splitting
@@ -150,6 +174,22 @@ mod tests {
         assert!(t.contains("a"));
         assert_eq!(t.get("b").split_total_us(), 2300.0);
         assert_eq!(t.get("a").blocks_us, vec![1000.0]);
+    }
+
+    #[test]
+    fn transfer_bytes_builder() {
+        let m = ModelRuntime::split("b", 1, 2000.0, vec![1100.0, 1200.0])
+            .with_transfer_bytes(vec![4096]);
+        assert_eq!(m.transfer_bytes, vec![4096]);
+        assert!(ModelRuntime::vanilla("a", 0, 10.0)
+            .transfer_bytes
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one transfer per block boundary")]
+    fn transfer_bytes_arity_checked() {
+        ModelRuntime::split("b", 1, 2000.0, vec![1100.0, 1200.0]).with_transfer_bytes(vec![1, 2]);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Property test for critical-path attribution: for arbitrary workloads
+//! and every serving policy, each completed request's latency components
+//! (queue + compute + transfer + stall + sched) must sum back to its
+//! end-to-end latency within 1 ns — the `SA301` invariant the analyzer
+//! enforces on fixed scenarios, checked here over random ones.
+
+use proptest::prelude::*;
+use sched::{simulate, ModelRuntime, ModelTable, Policy};
+use split_obs::SUM_TOLERANCE_US;
+use workload::Arrival;
+
+fn table_strategy() -> impl Strategy<Value = ModelTable> {
+    proptest::collection::vec((2_000.0f64..60_000.0, 1usize..4, 1.0f64..1.3), 1..4).prop_map(
+        |models| {
+            let mut t = ModelTable::new();
+            for (i, (exec, blocks, overhead)) in models.into_iter().enumerate() {
+                let name = format!("m{i}");
+                if blocks == 1 {
+                    t.insert(ModelRuntime::vanilla(name, i as u32, exec));
+                } else {
+                    let total = exec * overhead;
+                    let blocks_us = vec![total / blocks as f64; blocks];
+                    t.insert(
+                        ModelRuntime::split(name, i as u32, exec, blocks_us)
+                            .with_transfer_bytes(vec![1 << 20; blocks - 1]),
+                    );
+                }
+            }
+            t
+        },
+    )
+}
+
+fn workload_strategy() -> impl Strategy<Value = (ModelTable, Vec<Arrival>)> {
+    (
+        table_strategy(),
+        proptest::collection::vec((0.0f64..400_000.0, 0usize..4), 1..40),
+    )
+        .prop_map(|(table, raw)| {
+            let n_models = table.len();
+            let mut arrivals: Vec<Arrival> = raw
+                .into_iter()
+                .map(|(at, m)| Arrival {
+                    id: 0,
+                    model: format!("m{}", m % n_models),
+                    arrival_us: at,
+                })
+                .collect();
+            arrivals.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+            for (i, a) in arrivals.iter_mut().enumerate() {
+                a.id = i as u64;
+            }
+            (table, arrivals)
+        })
+}
+
+/// The five serving policies attribution must hold for.
+fn all_policies() -> Vec<Policy> {
+    let mut p = Policy::all_default();
+    p.push(Policy::StreamParallel(Default::default()));
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn components_sum_to_e2e_for_every_policy(
+        (table, arrivals) in workload_strategy()
+    ) {
+        for policy in all_policies() {
+            let r = simulate(&policy, &arrivals, &table);
+            let attrs = r.attribution();
+            // Every completion gets an attribution.
+            prop_assert_eq!(
+                attrs.len(),
+                r.completions.len(),
+                "{}: attribution coverage",
+                policy.name()
+            );
+            for a in &attrs {
+                prop_assert!(
+                    a.residual_us().abs() <= SUM_TOLERANCE_US,
+                    "{}: req {} residual {} µs (components {:?} vs e2e {})",
+                    policy.name(),
+                    a.req,
+                    a.residual_us(),
+                    (a.queue_us, a.compute_us, a.transfer_us, a.stall_us, a.sched_us),
+                    a.e2e_us()
+                );
+                // Components are non-negative by construction.
+                for c in [a.queue_us, a.compute_us, a.transfer_us, a.stall_us, a.sched_us] {
+                    prop_assert!(c >= -1e-9, "{}: negative component {c}", policy.name());
+                }
+                // Attribution matches the engine's completion record.
+                let c = r.completions.iter().find(|c| c.id == a.req).expect("completion");
+                prop_assert!((a.e2e_us() - c.e2e_us()).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Attribution analyzer (`SA3xx`): verifies that critical-path
+//! attribution is *exact* for a simulation result.
+//!
+//! `split-obs` claims each completed request's latency decomposes into
+//! queue / compute / transfer / stall / sched components that sum back
+//! to the end-to-end latency. This analyzer re-derives the attribution
+//! from the lifecycle recording and checks the claim against the
+//! engine's completion records:
+//!
+//! * `SA301` — components do not sum to the request's e2e latency
+//!   within 1 ns ([`split_obs::SUM_TOLERANCE_US`]);
+//! * `SA302` — a component is negative (the span partition is broken,
+//!   e.g. overlapping blocks for one request);
+//! * `SA303` — a completed request has no attribution at all (its
+//!   lifecycle events are missing or unpaired).
+
+use crate::diag::{Diagnostic, Report};
+use sched::SimResult;
+use split_obs::{attribute, SUM_TOLERANCE_US};
+use std::collections::BTreeMap;
+
+/// Lint critical-path attribution for one simulation result.
+pub fn lint_attribution(result: &SimResult) -> Report {
+    let mut report = Report::new();
+    let attrs = attribute(&result.recorder);
+    let by_req: BTreeMap<u64, &split_obs::Attribution> = attrs.iter().map(|a| (a.req, a)).collect();
+
+    for a in &attrs {
+        let ctx = format!("request {} ({})", a.req, a.model);
+        let residual = a.residual_us();
+        if residual.abs() > SUM_TOLERANCE_US {
+            report.push(
+                Diagnostic::error(
+                    "SA301",
+                    ctx.clone(),
+                    format!(
+                        "components sum to {:.4} µs but e2e is {:.4} µs (residual {:+.4} µs, \
+                         tolerance ±{} µs)",
+                        a.components_sum_us(),
+                        a.e2e_us(),
+                        residual,
+                        SUM_TOLERANCE_US
+                    ),
+                )
+                .with_help(
+                    "the request's spans no longer partition [arrival, completion]; check for \
+                     missing BlockEnd events or blocks recorded outside the request interval",
+                ),
+            );
+        }
+        for (name, v) in [
+            ("queue", a.queue_us),
+            ("compute", a.compute_us),
+            ("transfer", a.transfer_us),
+            ("stall", a.stall_us),
+            ("sched", a.sched_us),
+        ] {
+            if v < -1e-9 {
+                report.push(Diagnostic::error(
+                    "SA302",
+                    ctx.clone(),
+                    format!("negative {name} component: {v:.4} µs"),
+                ));
+            }
+        }
+    }
+
+    for c in &result.completions {
+        if !by_req.contains_key(&c.id) {
+            report.push(
+                Diagnostic::error(
+                    "SA303",
+                    format!("request {} ({})", c.id, c.model),
+                    "completed request has no latency attribution",
+                )
+                .with_help(
+                    "the lifecycle recording lacks the request's arrival or completion event \
+                     (ring-buffer eviction loses attribution; use an unbounded recorder when \
+                     analyzing)",
+                ),
+            );
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sched::{simulate, ModelRuntime, ModelTable, Policy};
+    use split_telemetry::{Event, Recorder};
+    use workload::Arrival;
+
+    fn sim() -> SimResult {
+        let mut t = ModelTable::new();
+        t.insert(ModelRuntime::vanilla("short", 0, 10_000.0));
+        t.insert(
+            ModelRuntime::split("long", 1, 60_000.0, vec![22_000.0; 3])
+                .with_transfer_bytes(vec![1 << 20, 1 << 20]),
+        );
+        let arrivals: Vec<Arrival> = (0..20)
+            .map(|i| Arrival {
+                id: i,
+                model: (if i % 3 == 0 { "long" } else { "short" }).into(),
+                arrival_us: i as f64 * 9_000.0,
+            })
+            .collect();
+        simulate(&Policy::Split(Default::default()), &arrivals, &t)
+    }
+
+    #[test]
+    fn clean_simulation_is_clean() {
+        let report = lint_attribution(&sim());
+        assert!(report.diagnostics.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn missing_lifecycle_events_raise_sa303() {
+        let mut result = sim();
+        // Drop the recording: every completion loses its attribution.
+        result.recorder = Recorder::new();
+        let report = lint_attribution(&result);
+        assert_eq!(report.diagnostics.len(), result.completions.len());
+        assert!(report.diagnostics.iter().all(|d| d.code == "SA303"));
+    }
+
+    #[test]
+    fn broken_partition_raises_sa301() {
+        let mut result = sim();
+        // A rogue block outside the request interval breaks the
+        // telescoping sum for request 0.
+        let mut rec = Recorder::new();
+        for e in result.recorder.events() {
+            rec.record(e.clone());
+        }
+        rec.record(Event::BlockStart {
+            req: 0,
+            block: 99,
+            stream: 7,
+            t_us: 10_000_000.0,
+        });
+        rec.record(Event::BlockEnd {
+            req: 0,
+            block: 99,
+            stream: 7,
+            t_us: 10_050_000.0,
+        });
+        result.recorder = rec;
+        let report = lint_attribution(&result);
+        assert!(
+            report.diagnostics.iter().any(|d| d.code == "SA301"),
+            "{}",
+            report.render_text()
+        );
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::diag::Report;
 use crate::interleave::check_telemetry_interleavings;
+use crate::obs_lint::lint_attribution;
 use crate::plan_lint::{lint_plan, PlanLintCfg};
 use crate::sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
 use gpu_sim::DeviceConfig;
@@ -72,6 +73,9 @@ pub struct SuiteOutcome {
     pub determinism_report: Report,
     /// Interleaving-checker findings (`SA2xx`).
     pub interleave_report: Report,
+    /// Attribution-exactness findings (`SA301`–`SA303`), across all
+    /// policies.
+    pub attribution_report: Report,
     /// Plans linted.
     pub plans_checked: usize,
     /// Policy schedules analyzed.
@@ -89,6 +93,7 @@ impl SuiteOutcome {
             &self.schedule_report,
             &self.determinism_report,
             &self.interleave_report,
+            &self.attribution_report,
         ] {
             for d in &r.diagnostics {
                 all.push(d.clone());
@@ -136,6 +141,7 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
 
     let mut schedule_report = Report::new();
     let mut determinism_report = Report::new();
+    let mut attribution_report = Report::new();
     let mut schedules_checked = 0usize;
     let mut policies = Policy::all_default();
     policies.push(Policy::StreamParallel(Default::default()));
@@ -152,6 +158,7 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
             policy.name(),
         ));
         determinism_report.merge(audit_determinism(policy, arrivals, table));
+        attribution_report.merge(prefix_context(lint_attribution(&result), policy.name()));
         schedules_checked += 1;
     }
 
@@ -163,6 +170,7 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         schedule_report,
         determinism_report,
         interleave_report,
+        attribution_report,
         plans_checked,
         schedules_checked,
         interleavings,

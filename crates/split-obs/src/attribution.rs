@@ -1,0 +1,280 @@
+//! Critical-path attribution: where did each request's latency go?
+//!
+//! For every completed request the end-to-end latency decomposes into
+//! five components, read off the request's span tree
+//! ([`crate::span::build_spans`]):
+//!
+//! | component | span kind | meaning |
+//! |---|---|---|
+//! | `queue_us` | Queue | arrival → first block start |
+//! | `compute_us` | Block | time a block of this request held the device |
+//! | `transfer_us` | Transfer | boundary activation movement |
+//! | `stall_us` | Stall | block-boundary time lost to preemption/downgrade |
+//! | `sched_us` | Drain | last block end → completion bookkeeping |
+//!
+//! Because the spans *partition* the arrival → completion interval, the
+//! components sum to the e2e latency exactly (within floating-point
+//! noise, far below [`SUM_TOLERANCE_US`] = 1 ns). `split-analyze`
+//! enforces this as diagnostic `SA301` on every schedule it lints.
+
+use crate::span::{build_spans, Span, SpanKind};
+use qos_metrics::breakdown::BreakdownRow;
+use serde::{Deserialize, Serialize};
+use split_telemetry::Recorder;
+use std::collections::BTreeMap;
+
+/// Components must sum to e2e within this tolerance (1 ns in µs).
+pub const SUM_TOLERANCE_US: f64 = 1e-3;
+
+/// One completed request's latency decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Request id.
+    pub req: u64,
+    /// Model name.
+    pub model: String,
+    /// Arrival time, µs.
+    pub arrival_us: f64,
+    /// Completion time, µs.
+    pub completion_us: f64,
+    /// Queueing before the first block, µs.
+    pub queue_us: f64,
+    /// Device time across the request's blocks, µs.
+    pub compute_us: f64,
+    /// Boundary transfer time, µs.
+    pub transfer_us: f64,
+    /// Preemption/downgrade-induced boundary stalls, µs.
+    pub stall_us: f64,
+    /// Scheduler-decision/drain time after the last block, µs.
+    pub sched_us: f64,
+}
+
+impl Attribution {
+    /// End-to-end latency, µs.
+    pub fn e2e_us(&self) -> f64 {
+        self.completion_us - self.arrival_us
+    }
+
+    /// Sum of the five components, µs.
+    pub fn components_sum_us(&self) -> f64 {
+        self.queue_us + self.compute_us + self.transfer_us + self.stall_us + self.sched_us
+    }
+
+    /// Signed gap between the component sum and the e2e latency, µs.
+    /// Must stay within [`SUM_TOLERANCE_US`] for a well-formed recording.
+    pub fn residual_us(&self) -> f64 {
+        self.components_sum_us() - self.e2e_us()
+    }
+
+    /// The dominant component's name (ties break in table order).
+    pub fn dominant(&self) -> &'static str {
+        let parts = [
+            ("queue", self.queue_us),
+            ("compute", self.compute_us),
+            ("transfer", self.transfer_us),
+            ("stall", self.stall_us),
+            ("sched", self.sched_us),
+        ];
+        parts
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(n, _)| *n)
+            .expect("non-empty")
+    }
+}
+
+/// Attribute every completed request in a recording, ordered by request
+/// id. Requests without both an arrival and a completion are skipped
+/// (they have no e2e latency to decompose).
+pub fn attribute(rec: &Recorder) -> Vec<Attribution> {
+    attribute_spans(&build_spans(rec))
+}
+
+/// [`attribute`] over an already-built span forest.
+pub fn attribute_spans(spans: &[Span]) -> Vec<Attribution> {
+    let mut by_trace: BTreeMap<u64, Attribution> = BTreeMap::new();
+    for sp in spans {
+        let id = sp.ctx.trace_id;
+        match sp.kind {
+            SpanKind::Request => {
+                by_trace
+                    .entry(id)
+                    .or_insert_with(|| Attribution {
+                        req: id,
+                        model: String::new(),
+                        arrival_us: 0.0,
+                        completion_us: 0.0,
+                        queue_us: 0.0,
+                        compute_us: 0.0,
+                        transfer_us: 0.0,
+                        stall_us: 0.0,
+                        sched_us: 0.0,
+                    })
+                    .model = sp.model.clone();
+                let a = by_trace.get_mut(&id).expect("just inserted");
+                a.arrival_us = sp.start_us;
+                a.completion_us = sp.end_us;
+            }
+            _ => {
+                let a = by_trace.entry(id).or_insert_with(|| Attribution {
+                    req: id,
+                    model: sp.model.clone(),
+                    arrival_us: 0.0,
+                    completion_us: 0.0,
+                    queue_us: 0.0,
+                    compute_us: 0.0,
+                    transfer_us: 0.0,
+                    stall_us: 0.0,
+                    sched_us: 0.0,
+                });
+                let d = sp.dur_us();
+                match sp.kind {
+                    SpanKind::Queue => a.queue_us += d,
+                    SpanKind::Block { .. } => a.compute_us += d,
+                    SpanKind::Transfer { .. } => a.transfer_us += d,
+                    SpanKind::Stall => a.stall_us += d,
+                    SpanKind::Drain => a.sched_us += d,
+                    SpanKind::Request => unreachable!("matched above"),
+                }
+            }
+        }
+    }
+    by_trace.into_values().collect()
+}
+
+/// Aggregate attributions into per-model mean breakdowns (rows for
+/// `qos_metrics::breakdown` rendering), ordered by model name.
+pub fn rollup_by_model(attrs: &[Attribution]) -> Vec<BreakdownRow> {
+    let mut acc: BTreeMap<&str, BreakdownRow> = BTreeMap::new();
+    for a in attrs {
+        let row = acc.entry(a.model.as_str()).or_insert_with(|| BreakdownRow {
+            model: a.model.clone(),
+            count: 0,
+            e2e_us: 0.0,
+            queue_us: 0.0,
+            compute_us: 0.0,
+            transfer_us: 0.0,
+            stall_us: 0.0,
+            sched_us: 0.0,
+        });
+        row.count += 1;
+        row.e2e_us += a.e2e_us();
+        row.queue_us += a.queue_us;
+        row.compute_us += a.compute_us;
+        row.transfer_us += a.transfer_us;
+        row.stall_us += a.stall_us;
+        row.sched_us += a.sched_us;
+    }
+    acc.into_values()
+        .map(|mut r| {
+            let n = r.count.max(1) as f64;
+            r.e2e_us /= n;
+            r.queue_us /= n;
+            r.compute_us /= n;
+            r.transfer_us /= n;
+            r.stall_us /= n;
+            r.sched_us /= n;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use split_telemetry::Event;
+
+    /// (req, model, arrival, blocks[(start,end)], completion)
+    type Spec<'a> = (u64, &'a str, f64, &'a [(f64, f64)], f64);
+
+    fn rec(specs: &[Spec]) -> Recorder {
+        let mut r = Recorder::new();
+        for &(req, model, arrival, blocks, completion) in specs {
+            r.record(Event::Arrival {
+                req,
+                model: model.into(),
+                t_us: arrival,
+            });
+            for (i, &(s, e)) in blocks.iter().enumerate() {
+                r.record(Event::BlockStart {
+                    req,
+                    block: i,
+                    stream: 0,
+                    t_us: s,
+                });
+                r.record(Event::BlockEnd {
+                    req,
+                    block: i,
+                    stream: 0,
+                    t_us: e,
+                });
+            }
+            r.record(Event::Completion {
+                req,
+                t_us: completion,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn decomposition_matches_hand_computation() {
+        // arrival 0, queue to 10, b0 [10,20], stall to 25, b1 [25,35],
+        // drain to 36.
+        let r = rec(&[(7, "resnet50", 0.0, &[(10.0, 20.0), (25.0, 35.0)], 36.0)]);
+        let attrs = attribute(&r);
+        assert_eq!(attrs.len(), 1);
+        let a = &attrs[0];
+        assert_eq!(a.req, 7);
+        assert_eq!(a.model, "resnet50");
+        assert!((a.queue_us - 10.0).abs() < 1e-12);
+        assert!((a.compute_us - 20.0).abs() < 1e-12);
+        assert!((a.stall_us - 5.0).abs() < 1e-12);
+        assert!((a.sched_us - 1.0).abs() < 1e-12);
+        assert_eq!(a.transfer_us, 0.0);
+        assert!(a.residual_us().abs() < SUM_TOLERANCE_US);
+        assert_eq!(a.dominant(), "compute");
+    }
+
+    #[test]
+    fn transfers_inside_gaps_are_split_out() {
+        let mut r = rec(&[(1, "m", 0.0, &[(0.0, 10.0), (18.0, 28.0)], 28.0)]);
+        r.record(Event::Transfer {
+            req: 1,
+            bytes: 1024,
+            t_us: 10.0,
+            dur_us: 3.0,
+        });
+        let a = &attribute(&r)[0];
+        assert!((a.transfer_us - 3.0).abs() < 1e-12);
+        assert!((a.stall_us - 5.0).abs() < 1e-12);
+        assert!(a.residual_us().abs() < SUM_TOLERANCE_US);
+    }
+
+    #[test]
+    fn rollup_averages_per_model() {
+        let r = rec(&[
+            (0, "a", 0.0, &[(0.0, 10.0)], 10.0),
+            (1, "a", 0.0, &[(10.0, 40.0)], 40.0),
+            (2, "b", 5.0, &[(40.0, 50.0)], 50.0),
+        ]);
+        let rows = rollup_by_model(&attribute(&r));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].model, "a");
+        assert_eq!(rows[0].count, 2);
+        assert!((rows[0].compute_us - 20.0).abs() < 1e-9);
+        assert_eq!(rows[1].model, "b");
+        assert!((rows[1].queue_us - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn incomplete_requests_have_no_attribution() {
+        let mut r = Recorder::new();
+        r.record(Event::Arrival {
+            req: 9,
+            model: "m".into(),
+            t_us: 1.0,
+        });
+        assert!(attribute(&r).is_empty());
+    }
+}

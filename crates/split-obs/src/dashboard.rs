@@ -1,0 +1,248 @@
+//! In-terminal dashboard frames for `split-cli monitor`.
+//!
+//! A [`Frame`] is a point-in-time snapshot of the serving system
+//! (queue depth, utilization, per-model latency quantiles, burn-rate
+//! gauges, alert state); [`render_frame`] draws it as a fixed-width
+//! ASCII panel. Rendering is pure — the [`crate::monitor::Monitor`]
+//! produces frames, the CLI decides when and where to print them.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-model latency summary line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelLatencyRow {
+    /// Model name.
+    pub model: String,
+    /// Completed requests observed so far.
+    pub count: u64,
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// Tail end-to-end latency, ms.
+    pub p99_ms: f64,
+}
+
+/// One dashboard frame: everything the terminal panel shows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Simulated time of the snapshot, µs.
+    pub now_us: f64,
+    /// Requests currently queued.
+    pub queue_depth: i64,
+    /// Device busy percentage (0–100).
+    pub utilization_pct: i64,
+    /// Requests that have arrived.
+    pub arrived: u64,
+    /// Requests that have completed.
+    pub completed: u64,
+    /// Per-model latency rows, sorted by model name.
+    pub models: Vec<ModelLatencyRow>,
+    /// Fast-window burn rate.
+    pub fast_burn: f64,
+    /// Slow-window burn rate.
+    pub slow_burn: f64,
+    /// Violation rate over the slow window.
+    pub violation_rate: f64,
+    /// Whether a burn-rate alert is currently firing.
+    pub alert_active: bool,
+    /// Total alerts fired since monitoring began.
+    pub alerts_fired: usize,
+}
+
+const WIDTH: usize = 62;
+
+/// Render a frame as a fixed-width ASCII panel (one `String`, trailing
+/// newline included).
+pub fn render_frame(f: &Frame) -> String {
+    let mut out = String::new();
+    let hr = format!("+{}+\n", "-".repeat(WIDTH));
+    out.push_str(&hr);
+    line(
+        &mut out,
+        &format!(
+            "SPLIT monitor                      t = {:>14.1} us",
+            f.now_us
+        ),
+    );
+    line(
+        &mut out,
+        &format!(
+            "requests  arrived {:>6}   completed {:>6}   in-flight {:>4}",
+            f.arrived,
+            f.completed,
+            f.arrived.saturating_sub(f.completed)
+        ),
+    );
+    line(
+        &mut out,
+        &format!(
+            "queue depth {:>4} {}",
+            f.queue_depth,
+            bar(f.queue_depth.max(0) as f64, 16.0, 24)
+        ),
+    );
+    line(
+        &mut out,
+        &format!(
+            "utilization {:>3}% {}",
+            f.utilization_pct,
+            bar(f.utilization_pct.max(0) as f64, 100.0, 24)
+        ),
+    );
+    line(&mut out, "");
+    line(
+        &mut out,
+        &format!(
+            "{:<14} {:>8} {:>12} {:>12}",
+            "model", "count", "p50 (ms)", "p99 (ms)"
+        ),
+    );
+    if f.models.is_empty() {
+        line(&mut out, "  (no completions yet)");
+    }
+    for m in &f.models {
+        line(
+            &mut out,
+            &format!(
+                "{:<14} {:>8} {:>12.3} {:>12.3}",
+                trunc(&m.model, 14),
+                m.count,
+                m.p50_ms,
+                m.p99_ms
+            ),
+        );
+    }
+    line(&mut out, "");
+    line(
+        &mut out,
+        &format!(
+            "burn  fast {:>6.2}x {}  slow {:>6.2}x {}",
+            f.fast_burn,
+            bar(f.fast_burn, 2.0, 8),
+            f.slow_burn,
+            bar(f.slow_burn, 2.0, 8)
+        ),
+    );
+    line(
+        &mut out,
+        &format!(
+            "violation rate {:>6.2}%   alerts fired {:>3}   {}",
+            f.violation_rate * 100.0,
+            f.alerts_fired,
+            if f.alert_active {
+                "** ALERT ACTIVE **"
+            } else {
+                "ok"
+            }
+        ),
+    );
+    out.push_str(&hr);
+    out
+}
+
+fn line(out: &mut String, content: &str) {
+    let c = trunc(content, WIDTH - 2);
+    out.push_str(&format!("| {:<w$} |\n", c, w = WIDTH - 2));
+}
+
+fn trunc(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        s.chars().take(max).collect()
+    }
+}
+
+/// Proportional gauge: `value` against `full_scale`, `cells` wide,
+/// clamped. E.g. `[####....]`.
+fn bar(value: f64, full_scale: f64, cells: usize) -> String {
+    let frac = if full_scale > 0.0 {
+        (value / full_scale).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let filled = (frac * cells as f64).round() as usize;
+    let filled = filled.min(cells);
+    format!("[{}{}]", "#".repeat(filled), ".".repeat(cells - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Frame {
+        Frame {
+            now_us: 1_234_567.8,
+            queue_depth: 8,
+            utilization_pct: 75,
+            arrived: 120,
+            completed: 100,
+            models: vec![
+                ModelLatencyRow {
+                    model: "resnet50".into(),
+                    count: 60,
+                    p50_ms: 12.5,
+                    p99_ms: 40.25,
+                },
+                ModelLatencyRow {
+                    model: "vgg19".into(),
+                    count: 40,
+                    p50_ms: 30.0,
+                    p99_ms: 95.125,
+                },
+            ],
+            fast_burn: 1.5,
+            slow_burn: 0.75,
+            violation_rate: 0.075,
+            alert_active: true,
+            alerts_fired: 3,
+        }
+    }
+
+    #[test]
+    fn render_shows_every_panel_section() {
+        let s = render_frame(&frame());
+        for needle in [
+            "SPLIT monitor",
+            "queue depth    8",
+            "utilization  75%",
+            "resnet50",
+            "vgg19",
+            "40.250",
+            "95.125",
+            "burn",
+            "ALERT ACTIVE",
+            "alerts fired   3",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn render_has_uniform_width() {
+        let s = render_frame(&frame());
+        for l in s.lines() {
+            assert_eq!(l.chars().count(), WIDTH + 2, "ragged line: {l:?}");
+        }
+    }
+
+    #[test]
+    fn empty_frame_renders_placeholder() {
+        let f = Frame {
+            models: vec![],
+            alert_active: false,
+            ..frame()
+        };
+        let s = render_frame(&f);
+        assert!(s.contains("(no completions yet)"));
+        assert!(s.contains("ok"));
+        assert!(!s.contains("ALERT ACTIVE"));
+    }
+
+    #[test]
+    fn bar_clamps_and_scales() {
+        assert_eq!(bar(0.0, 4.0, 4), "[....]");
+        assert_eq!(bar(2.0, 4.0, 4), "[##..]");
+        assert_eq!(bar(99.0, 4.0, 4), "[####]");
+        assert_eq!(bar(1.0, 0.0, 4), "[....]");
+    }
+}

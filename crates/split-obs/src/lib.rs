@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+//! # split-obs — online observability for the SPLIT serving stack
+//!
+//! The telemetry substrate (`split-telemetry`) records *what happened*;
+//! this crate explains *why a request was slow* and *whether the QoS
+//! budget is burning*, while the system is still running:
+//!
+//! * [`span`] — rebuilds every request's causal span tree
+//!   ([`SpanContext`] with real parent links) from a lifecycle
+//!   recording: arrival → queue → per-block execute → transfers →
+//!   preemption/downgrade stalls → completion drain. Exportable to
+//!   Perfetto with one track per request.
+//! * [`attribution`] — critical-path attribution: decomposes each
+//!   completed request's end-to-end latency into queueing / compute /
+//!   transfer / preemption-stall / scheduler-drain components that sum
+//!   to the e2e latency within 1 ns (the `SA301` invariant enforced by
+//!   `split-analyze`), plus per-model aggregate rollups for
+//!   `qos-metrics` reports.
+//! * [`slo`] — a rolling-window violation-rate tracker with Google
+//!   SRE-style multi-window burn-rate alerts (fast 5 s + slow 60 s
+//!   simulated-time windows by default) feeding an [`AlertLog`].
+//! * [`dashboard`] / [`monitor`] — an incremental event consumer that
+//!   maintains a live [`split_telemetry::Registry`], renders in-terminal
+//!   dashboard frames (queue depth, utilization, per-model p50/p99,
+//!   burn-rate gauges, active alerts), and emits Prometheus text-format
+//!   metrics. Backs `split-cli monitor`.
+//!
+//! The crate depends only on `split-telemetry` and `qos-metrics`, so
+//! every layer above (the policy engine, the threaded runtime, the
+//! analyzers, the CLI) can consume it without dependency cycles.
+
+pub mod attribution;
+pub mod dashboard;
+pub mod monitor;
+pub mod slo;
+pub mod span;
+
+pub use attribution::{attribute, rollup_by_model, Attribution, SUM_TOLERANCE_US};
+pub use dashboard::{render_frame, Frame, ModelLatencyRow};
+pub use monitor::{Monitor, MonitorCfg};
+pub use slo::{Alert, AlertLog, SloCfg, SloMonitor};
+pub use span::{build_spans, span_trace_events, write_span_trace, Span, SpanContext, SpanKind};

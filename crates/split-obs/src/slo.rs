@@ -1,0 +1,327 @@
+//! Rolling-window SLO tracking with multi-window burn-rate alerts.
+//!
+//! The objective is phrased the SPLIT way: at most `objective` of
+//! requests may violate QoS (response ratio > α). The monitor keeps
+//! every completion as a timestamped sample, computes the violation
+//! rate over two half-open windows `(now − w, now]` of simulated time —
+//! a fast window (default 5 s) and a slow window (default 60 s) — and
+//! derives each window's **burn rate** = windowed violation rate ÷
+//! objective. Following the Google SRE multi-window pattern, an alert
+//! fires only when *both* windows burn at ≥ their thresholds (slow
+//! window for significance, fast window for recency) and resolves as
+//! soon as the fast window drops below its threshold. Empty windows
+//! have rate 0 and never burn.
+
+use serde::{Deserialize, Serialize};
+
+/// SLO + alerting configuration (times in simulated µs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloCfg {
+    /// QoS latency multiplier: a request violates when e2e > α × compute.
+    pub alpha: f64,
+    /// Violation-rate objective (fraction of requests allowed to violate).
+    pub objective: f64,
+    /// Fast ("recency") window length, µs.
+    pub fast_window_us: f64,
+    /// Slow ("significance") window length, µs.
+    pub slow_window_us: f64,
+    /// Fast-window burn-rate threshold.
+    pub fast_burn: f64,
+    /// Slow-window burn-rate threshold.
+    pub slow_burn: f64,
+}
+
+impl Default for SloCfg {
+    fn default() -> Self {
+        SloCfg {
+            alpha: 4.0,
+            objective: 0.10,
+            fast_window_us: 5_000_000.0,
+            slow_window_us: 60_000_000.0,
+            fast_burn: 1.0,
+            slow_burn: 1.0,
+        }
+    }
+}
+
+/// One fired alert, with the burn rates observed at fire time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// Simulated time the alert fired, µs.
+    pub fired_at_us: f64,
+    /// Simulated time it resolved (None while still active).
+    pub resolved_at_us: Option<f64>,
+    /// Fast-window burn rate when it fired.
+    pub fast_burn_at_fire: f64,
+    /// Slow-window burn rate when it fired.
+    pub slow_burn_at_fire: f64,
+}
+
+/// Chronological record of every alert the monitor has raised.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AlertLog {
+    /// Alerts in fire order.
+    pub alerts: Vec<Alert>,
+}
+
+impl AlertLog {
+    /// Number of alerts ever fired.
+    pub fn fired(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// Whether the latest alert is still unresolved.
+    pub fn active(&self) -> bool {
+        self.alerts
+            .last()
+            .is_some_and(|a| a.resolved_at_us.is_none())
+    }
+
+    /// One-line summary for reports, e.g. `2 fired, 1 active`.
+    pub fn summary(&self) -> String {
+        let active = usize::from(self.active());
+        format!("{} fired, {} active", self.fired(), active)
+    }
+}
+
+/// Sliding-window violation tracker + burn-rate alerter.
+#[derive(Debug, Clone)]
+pub struct SloMonitor {
+    cfg: SloCfg,
+    /// (completion time µs, violated) — ascending in time.
+    samples: Vec<(f64, bool)>,
+    now_us: f64,
+    log: AlertLog,
+}
+
+impl SloMonitor {
+    /// New monitor with the given configuration.
+    pub fn new(cfg: SloCfg) -> Self {
+        SloMonitor {
+            cfg,
+            samples: Vec::new(),
+            now_us: 0.0,
+            log: AlertLog::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn cfg(&self) -> &SloCfg {
+        &self.cfg
+    }
+
+    /// Record one completed request at simulated time `t_us`.
+    /// Timestamps must be non-decreasing; out-of-order samples are
+    /// clamped to the current time so the windows stay well-formed.
+    pub fn observe(&mut self, t_us: f64, violated: bool) {
+        let t = t_us.max(self.now_us);
+        self.now_us = t;
+        self.samples.push((t, violated));
+        self.prune();
+        self.evaluate();
+    }
+
+    /// Record a completion given its e2e and pure-compute time,
+    /// applying the α rule (violates iff `e2e > α × compute`, strict —
+    /// matching `qos_metrics::RequestOutcome::violates`).
+    pub fn observe_outcome(&mut self, t_us: f64, e2e_us: f64, compute_us: f64) {
+        let violated = compute_us > 0.0 && e2e_us > self.cfg.alpha * compute_us;
+        self.observe(t_us, violated);
+    }
+
+    /// Advance simulated time without a sample (lets alerts resolve as
+    /// old violations age out of the fast window).
+    pub fn advance(&mut self, t_us: f64) {
+        if t_us > self.now_us {
+            self.now_us = t_us;
+            self.prune();
+            self.evaluate();
+        }
+    }
+
+    /// Current simulated time, µs.
+    pub fn now_us(&self) -> f64 {
+        self.now_us
+    }
+
+    /// Violation rate over the half-open window `(now − window_us, now]`.
+    /// Empty window → 0.
+    pub fn window_rate(&self, window_us: f64) -> f64 {
+        let lo = self.now_us - window_us;
+        let (mut total, mut bad) = (0u64, 0u64);
+        for &(t, v) in self.samples.iter().rev() {
+            if t <= lo {
+                break;
+            }
+            total += 1;
+            bad += u64::from(v);
+        }
+        if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        }
+    }
+
+    /// Burn rate over a window: violation rate ÷ objective.
+    pub fn burn_rate(&self, window_us: f64) -> f64 {
+        self.window_rate(window_us) / self.cfg.objective
+    }
+
+    /// Fast-window burn rate.
+    pub fn fast_burn(&self) -> f64 {
+        self.burn_rate(self.cfg.fast_window_us)
+    }
+
+    /// Slow-window burn rate.
+    pub fn slow_burn(&self) -> f64 {
+        self.burn_rate(self.cfg.slow_window_us)
+    }
+
+    /// Whether an alert is currently firing.
+    pub fn alert_active(&self) -> bool {
+        self.log.active()
+    }
+
+    /// The alert history.
+    pub fn log(&self) -> &AlertLog {
+        &self.log
+    }
+
+    fn prune(&mut self) {
+        // Keep everything inside the slow window; older samples can
+        // never influence either rate again.
+        let lo = self.now_us - self.cfg.slow_window_us;
+        let cut = self.samples.partition_point(|&(t, _)| t <= lo);
+        if cut > 0 {
+            self.samples.drain(..cut);
+        }
+    }
+
+    fn evaluate(&mut self) {
+        let fast = self.fast_burn();
+        let slow = self.slow_burn();
+        if self.log.active() {
+            if fast < self.cfg.fast_burn {
+                self.log
+                    .alerts
+                    .last_mut()
+                    .expect("active implies non-empty")
+                    .resolved_at_us = Some(self.now_us);
+            }
+        } else if fast >= self.cfg.fast_burn && slow >= self.cfg.slow_burn {
+            self.log.alerts.push(Alert {
+                fired_at_us: self.now_us,
+                resolved_at_us: None,
+                fast_burn_at_fire: fast,
+                slow_burn_at_fire: slow,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloCfg {
+        SloCfg {
+            alpha: 4.0,
+            objective: 0.10,
+            fast_window_us: 100.0,
+            slow_window_us: 1000.0,
+            fast_burn: 1.0,
+            slow_burn: 1.0,
+        }
+    }
+
+    #[test]
+    fn empty_windows_have_zero_rate_and_no_alert() {
+        let mut m = SloMonitor::new(cfg());
+        m.advance(10_000.0);
+        assert_eq!(m.window_rate(100.0), 0.0);
+        assert_eq!(m.fast_burn(), 0.0);
+        assert!(!m.alert_active());
+        assert_eq!(m.log().fired(), 0);
+    }
+
+    #[test]
+    fn alert_fires_iff_windowed_rate_exceeds_threshold() {
+        let mut m = SloMonitor::new(cfg());
+        // 9 good + 1 bad = 10% violation rate = burn 1.0 → fires
+        // exactly at the threshold sample, not before.
+        for i in 0..9 {
+            m.observe(i as f64, false);
+            assert!(!m.alert_active(), "must not fire below objective");
+        }
+        m.observe(9.0, true);
+        assert!(m.alert_active(), "burn 1.0 reaches both thresholds");
+        assert_eq!(m.log().fired(), 1);
+        let a = &m.log().alerts[0];
+        assert!((a.fast_burn_at_fire - 1.0).abs() < 1e-9);
+        assert!((a.slow_burn_at_fire - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_boundary_is_half_open() {
+        let mut m = SloMonitor::new(cfg());
+        m.observe(0.0, true);
+        m.advance(100.0);
+        // Sample at t=0 with window (0, 100]: exactly on the open edge,
+        // so it is excluded from the fast window...
+        assert_eq!(m.window_rate(100.0), 0.0);
+        // ...but still inside the slow window (−900, 100].
+        assert_eq!(m.window_rate(1000.0), 1.0);
+    }
+
+    #[test]
+    fn alert_resolves_when_fast_window_cools() {
+        let mut m = SloMonitor::new(cfg());
+        m.observe(0.0, true); // rate 1.0 in both windows → fires
+        assert!(m.alert_active());
+        // Violation ages out of the fast window; slow window still hot,
+        // but resolution only needs the fast window to cool.
+        m.advance(200.0);
+        assert!(!m.alert_active());
+        assert_eq!(m.log().fired(), 1);
+        assert_eq!(m.log().alerts[0].resolved_at_us, Some(200.0));
+        assert!(m.slow_burn() > 1.0, "slow window is still burning");
+    }
+
+    #[test]
+    fn slow_window_gates_firing() {
+        let mut m = SloMonitor::new(cfg());
+        // Dilute the slow window with old successes so a fresh burst
+        // burns the fast window but not the slow one.
+        for i in 0..95 {
+            m.observe(i as f64, false);
+        }
+        for i in 0..5 {
+            m.observe(900.0 + i as f64, true);
+        }
+        assert!(m.fast_burn() >= 1.0, "fast window is all violations");
+        assert!(m.slow_burn() < 1.0, "slow window diluted to 5%");
+        assert!(!m.alert_active(), "multi-window AND must gate the alert");
+    }
+
+    #[test]
+    fn samples_prune_but_rates_are_unaffected() {
+        let mut m = SloMonitor::new(cfg());
+        for i in 0..500 {
+            m.observe(i as f64 * 10.0, i % 2 == 0);
+        }
+        // Only the slow window (1000 µs / 10 µs spacing ≈ 100 samples)
+        // is retained.
+        assert!(m.samples.len() <= 101, "kept {}", m.samples.len());
+        assert!((m.window_rate(1000.0) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn observe_outcome_applies_alpha_rule() {
+        let mut m = SloMonitor::new(cfg());
+        m.observe_outcome(1.0, 39.9, 10.0); // 39.9 ≤ 4×10 → ok
+        m.observe_outcome(2.0, 40.0, 10.0); // boundary: not strict-greater
+        m.observe_outcome(3.0, 40.1, 10.0); // violation
+        assert!((m.window_rate(100.0) - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,514 @@
+//! Causal spans: every request's lifecycle as a tree with parent links.
+//!
+//! A lifecycle recording is a flat event stream; this module folds it
+//! back into the causal structure the events came from. Each completed
+//! request becomes one *trace* (`trace_id` = request id) whose root span
+//! covers arrival → completion, with child spans partitioning that
+//! interval:
+//!
+//! ```text
+//! request resnet50#17          [arrival ............... completion]
+//! ├─ queue                     [arrival .. first block start]
+//! ├─ execute b0                [block 0 start .. end]
+//! ├─ transfer (N bytes)        [boundary activation movement]
+//! ├─ stall                     [preemption / downgrade wait at a boundary]
+//! ├─ execute b1                [block 1 start .. end]
+//! └─ drain                     [last block end .. completion]
+//! ```
+//!
+//! The children are a *partition* of the root interval, which is what
+//! makes critical-path attribution ([`crate::attribution`]) exact: the
+//! component sums telescope back to the end-to-end latency.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Value};
+use split_telemetry::{Event, Recorder};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Identity of one span inside one request's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Trace identifier — the request id (one trace per request).
+    pub trace_id: u64,
+    /// Span identifier, unique within the trace (root = 1, children
+    /// numbered in chronological order from 2).
+    pub span_id: u64,
+    /// Parent span id; `None` for the root span.
+    pub parent: Option<u64>,
+}
+
+/// What a span represents in the request lifecycle.
+/// (Not serde-derived: spans reach disk via the hand-rolled Perfetto
+/// JSON in [`span_trace_events`], never via direct serialization.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Root: the whole arrival → completion interval.
+    Request,
+    /// Waiting in the queue before the first block starts.
+    Queue,
+    /// One model block executing on a stream.
+    Block {
+        /// Block index within the request's plan.
+        index: usize,
+        /// GPU stream it ran on.
+        stream: u32,
+    },
+    /// Boundary activation transfer.
+    Transfer {
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Time at a block boundary where the request owned no resource —
+    /// it was preempted (or downgraded) and waited for the device.
+    Stall,
+    /// Last block end → completion (scheduler bookkeeping / reply
+    /// drain).
+    Drain,
+}
+
+/// One reconstructed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Identity and parent link.
+    pub ctx: SpanContext,
+    /// Model the request ran (empty if the arrival carried none).
+    pub model: String,
+    /// Lifecycle phase this span covers.
+    pub kind: SpanKind,
+    /// Start time, µs.
+    pub start_us: f64,
+    /// End time, µs.
+    pub end_us: f64,
+}
+
+impl Span {
+    /// Span duration, µs.
+    pub fn dur_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+
+    /// Human-readable label, e.g. `"execute b2"` or
+    /// `"request resnet50#17"`.
+    pub fn label(&self) -> String {
+        match self.kind {
+            SpanKind::Request => format!("request {}#{}", self.model, self.ctx.trace_id),
+            SpanKind::Queue => "queue".into(),
+            SpanKind::Block { index, .. } => format!("execute b{index}"),
+            SpanKind::Transfer { bytes } => format!("transfer {bytes}B"),
+            SpanKind::Stall => "stall".into(),
+            SpanKind::Drain => "drain".into(),
+        }
+    }
+}
+
+/// Per-request raw material gathered from the event stream.
+#[derive(Default)]
+struct ReqEvents {
+    model: String,
+    arrival_us: Option<f64>,
+    completion_us: Option<f64>,
+    /// Closed block intervals `(index, stream, start, end)`.
+    blocks: Vec<(usize, u32, f64, f64)>,
+    /// Open block starts awaiting their end.
+    open: Option<(usize, u32, f64)>,
+    /// `(bytes, start, dur)` transfers.
+    transfers: Vec<(u64, f64, f64)>,
+}
+
+/// Rebuild the span forest from a recording: one trace per request that
+/// has both an arrival and a completion, roots first within each trace,
+/// traces ordered by request id. Children partition the root interval;
+/// zero-duration phases are omitted (they contribute nothing).
+pub fn build_spans(rec: &Recorder) -> Vec<Span> {
+    let mut reqs: BTreeMap<u64, ReqEvents> = BTreeMap::new();
+    for e in rec.events() {
+        let Some(id) = e.req() else { continue };
+        let r = reqs.entry(id).or_default();
+        match e {
+            Event::Arrival { model, t_us, .. } => {
+                r.model = model.clone();
+                r.arrival_us = Some(*t_us);
+            }
+            Event::Completion { t_us, .. } => r.completion_us = Some(*t_us),
+            Event::BlockStart {
+                block,
+                stream,
+                t_us,
+                ..
+            } => r.open = Some((*block, *stream, *t_us)),
+            Event::BlockEnd {
+                block,
+                stream,
+                t_us,
+                ..
+            } => {
+                if let Some((b, s, start)) = r.open.take() {
+                    if b == *block && s == *stream {
+                        r.blocks.push((b, s, start, *t_us));
+                    }
+                }
+            }
+            Event::Transfer {
+                bytes,
+                t_us,
+                dur_us,
+                ..
+            } => r.transfers.push((*bytes, *t_us, *dur_us)),
+            _ => {}
+        }
+    }
+
+    let mut out = Vec::new();
+    for (id, r) in reqs {
+        let (Some(arrival), Some(completion)) = (r.arrival_us, r.completion_us) else {
+            continue;
+        };
+        out.extend(build_one(id, &r, arrival, completion));
+    }
+    out
+}
+
+/// Build one request's trace. `blocks` are assumed time-ordered (the
+/// recorder invariant `validate()` enforces per-request monotonicity).
+fn build_one(id: u64, r: &ReqEvents, arrival: f64, completion: f64) -> Vec<Span> {
+    let mut blocks = r.blocks.clone();
+    blocks.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+    let mut spans = Vec::with_capacity(blocks.len() * 2 + 3);
+    let mut next_span = 2u64;
+    let root = SpanContext {
+        trace_id: id,
+        span_id: 1,
+        parent: None,
+    };
+    spans.push(Span {
+        ctx: root,
+        model: r.model.clone(),
+        kind: SpanKind::Request,
+        start_us: arrival,
+        end_us: completion,
+    });
+    let mut child = |kind: SpanKind, start_us: f64, end_us: f64, spans: &mut Vec<Span>| {
+        if end_us - start_us <= 0.0 {
+            return;
+        }
+        spans.push(Span {
+            ctx: SpanContext {
+                trace_id: id,
+                span_id: next_span,
+                parent: Some(1),
+            },
+            model: r.model.clone(),
+            kind,
+            start_us,
+            end_us,
+        });
+        next_span += 1;
+    };
+
+    if blocks.is_empty() {
+        // Completed without a recorded block (e.g. ring eviction): the
+        // whole interval is unexplained queueing.
+        child(SpanKind::Queue, arrival, completion, &mut spans);
+        return spans;
+    }
+
+    child(SpanKind::Queue, arrival, blocks[0].2, &mut spans);
+    for (i, &(index, stream, start, end)) in blocks.iter().enumerate() {
+        child(SpanKind::Block { index, stream }, start, end, &mut spans);
+        if let Some(&(_, _, next_start, _)) = blocks.get(i + 1) {
+            // Boundary gap: transfers first (clamped into the gap),
+            // whatever remains is a preemption/downgrade stall.
+            let mut cursor = end;
+            for &(bytes, t, dur) in &r.transfers {
+                if t + 1e-9 >= end && t <= next_start + 1e-9 && dur > 0.0 {
+                    let t_end = (cursor + dur).min(next_start);
+                    child(SpanKind::Transfer { bytes }, cursor, t_end, &mut spans);
+                    cursor = t_end;
+                }
+            }
+            child(SpanKind::Stall, cursor, next_start, &mut spans);
+        }
+    }
+    let last_end = blocks.last().expect("non-empty").3;
+    child(SpanKind::Drain, last_end, completion, &mut spans);
+    spans
+}
+
+// --- Perfetto export -----------------------------------------------------
+
+/// Per-request tracks start at this tid (scheduler/io tracks of the
+/// plain exporter use low tids).
+const TID_TRACE_BASE: u64 = 1_000;
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn u(v: u64) -> Value {
+    Value::Number(serde_json::Number::PosInt(v))
+}
+
+fn f(v: f64) -> Value {
+    Value::Number(serde_json::Number::Float(v))
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k, v);
+    }
+    Value::Object(m)
+}
+
+/// Export a span forest as a Chrome/Perfetto `trace_events` document.
+///
+/// Each trace (request) gets its own track (`tid = 1000 + trace_id`), so
+/// the root request span visually contains its children; the real parent
+/// links ride in `args` (`trace_id`, `span_id`, `parent`) for tooling
+/// that wants the exact tree rather than the nesting heuristic.
+pub fn span_trace_events(spans: &[Span], process_name: &str) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + 1);
+    events.push(obj(vec![
+        ("name", s("process_name")),
+        ("ph", s("M")),
+        ("pid", u(1)),
+        ("args", obj(vec![("name", s(process_name))])),
+    ]));
+    for sp in spans {
+        let mut args = vec![
+            ("trace_id", u(sp.ctx.trace_id)),
+            ("span_id", u(sp.ctx.span_id)),
+        ];
+        if let Some(p) = sp.ctx.parent {
+            args.push(("parent", u(p)));
+        }
+        let cat = match sp.kind {
+            SpanKind::Request => "request",
+            SpanKind::Queue => "queue",
+            SpanKind::Block { .. } => "execute",
+            SpanKind::Transfer { .. } => "transfer",
+            SpanKind::Stall => "stall",
+            SpanKind::Drain => "drain",
+        };
+        events.push(obj(vec![
+            ("name", s(sp.label())),
+            ("cat", s(cat)),
+            ("ph", s("X")),
+            ("ts", f(sp.start_us)),
+            ("dur", f(sp.dur_us())),
+            ("pid", u(1)),
+            ("tid", u(TID_TRACE_BASE + sp.ctx.trace_id)),
+            ("args", obj(args)),
+        ]));
+    }
+    let mut root = Map::new();
+    root.insert("traceEvents", Value::Array(events));
+    root.insert("displayTimeUnit", s("ms"));
+    Value::Object(root)
+}
+
+/// Serialize [`span_trace_events`] to a file.
+pub fn write_span_trace(spans: &[Span], process_name: &str, path: &Path) -> io::Result<()> {
+    let doc = span_trace_events(spans, process_name);
+    let text = serde_json::to_string(&doc).map_err(|e| io::Error::other(e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Request 5: arrives at 0, queues until 10, runs b0 [10,20],
+    /// transfer [20,21], stalls [21,30], runs b1 [30,40], completes 41.
+    fn sample() -> Recorder {
+        let mut r = Recorder::new();
+        r.record(Event::Arrival {
+            req: 5,
+            model: "vgg19".into(),
+            t_us: 0.0,
+        });
+        r.record(Event::BlockStart {
+            req: 5,
+            block: 0,
+            stream: 0,
+            t_us: 10.0,
+        });
+        r.record(Event::BlockEnd {
+            req: 5,
+            block: 0,
+            stream: 0,
+            t_us: 20.0,
+        });
+        r.record(Event::Transfer {
+            req: 5,
+            bytes: 4096,
+            t_us: 20.0,
+            dur_us: 1.0,
+        });
+        r.record(Event::BlockStart {
+            req: 5,
+            block: 1,
+            stream: 0,
+            t_us: 30.0,
+        });
+        r.record(Event::BlockEnd {
+            req: 5,
+            block: 1,
+            stream: 0,
+            t_us: 40.0,
+        });
+        r.record(Event::Completion { req: 5, t_us: 41.0 });
+        r
+    }
+
+    #[test]
+    fn tree_structure_and_partition() {
+        let spans = build_spans(&sample());
+        let root = &spans[0];
+        assert_eq!(root.kind, SpanKind::Request);
+        assert_eq!(root.ctx.trace_id, 5);
+        assert_eq!(root.ctx.span_id, 1);
+        assert_eq!(root.ctx.parent, None);
+        assert_eq!(root.label(), "request vgg19#5");
+
+        let kinds: Vec<SpanKind> = spans[1..].iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                SpanKind::Queue,
+                SpanKind::Block {
+                    index: 0,
+                    stream: 0
+                },
+                SpanKind::Transfer { bytes: 4096 },
+                SpanKind::Stall,
+                SpanKind::Block {
+                    index: 1,
+                    stream: 0
+                },
+                SpanKind::Drain,
+            ]
+        );
+        // Children partition the root interval.
+        let total: f64 = spans[1..].iter().map(Span::dur_us).sum();
+        assert!((total - root.dur_us()).abs() < 1e-9, "{total}");
+        for sp in &spans[1..] {
+            assert_eq!(sp.ctx.parent, Some(1));
+            assert!(sp.dur_us() > 0.0);
+        }
+        // Span ids are unique within the trace.
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.ctx.span_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), spans.len());
+    }
+
+    #[test]
+    fn incomplete_requests_are_skipped() {
+        let mut r = Recorder::new();
+        r.record(Event::Arrival {
+            req: 1,
+            model: "m".into(),
+            t_us: 0.0,
+        });
+        assert!(build_spans(&r).is_empty());
+    }
+
+    #[test]
+    fn zero_duration_phases_are_omitted() {
+        // Back-to-back blocks with no queueing and instant completion:
+        // only the root and the two block spans exist.
+        let mut r = Recorder::new();
+        r.record(Event::Arrival {
+            req: 0,
+            model: "m".into(),
+            t_us: 0.0,
+        });
+        r.record(Event::BlockStart {
+            req: 0,
+            block: 0,
+            stream: 0,
+            t_us: 0.0,
+        });
+        r.record(Event::BlockEnd {
+            req: 0,
+            block: 0,
+            stream: 0,
+            t_us: 5.0,
+        });
+        r.record(Event::BlockStart {
+            req: 0,
+            block: 1,
+            stream: 0,
+            t_us: 5.0,
+        });
+        r.record(Event::BlockEnd {
+            req: 0,
+            block: 1,
+            stream: 0,
+            t_us: 9.0,
+        });
+        r.record(Event::Completion { req: 0, t_us: 9.0 });
+        let spans = build_spans(&r);
+        assert_eq!(spans.len(), 3);
+        assert!(spans[1..]
+            .iter()
+            .all(|s| matches!(s.kind, SpanKind::Block { .. })));
+    }
+
+    #[test]
+    fn perfetto_export_carries_parent_links() {
+        let spans = build_spans(&sample());
+        let doc = span_trace_events(&spans, "split-obs");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // Metadata + one X per span.
+        assert_eq!(events.len(), spans.len() + 1);
+        let root_ev = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Value::as_str) == Some("request"))
+            .unwrap();
+        assert_eq!(root_ev.get("tid").unwrap().as_u64().unwrap(), 1_005);
+        let queue_ev = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Value::as_str) == Some("queue"))
+            .unwrap();
+        assert_eq!(
+            queue_ev
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            queue_ev
+                .get("args")
+                .unwrap()
+                .get("trace_id")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn span_file_roundtrip() {
+        let dir = std::env::temp_dir().join("split-obs-span-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spans.json");
+        write_span_trace(&build_spans(&sample()), "p", &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        assert!(!parsed
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

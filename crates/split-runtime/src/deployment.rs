@@ -31,12 +31,18 @@ impl Deployment {
     pub fn deploy_plan(&mut self, plan: &SplitPlan) -> u32 {
         let task = self.next_task;
         self.next_task += 1;
-        self.table.insert(ModelRuntime::split(
+        let mut rt = ModelRuntime::split(
             plan.model.clone(),
             task,
             plan.vanilla_us,
             plan.block_times_us.clone(),
-        ));
+        );
+        // Legacy plans (deserialized before transfer accounting) carry no
+        // boundary sizes; only attach when the arity matches.
+        if plan.transfer_bytes.len() + 1 == plan.block_times_us.len() {
+            rt = rt.with_transfer_bytes(plan.transfer_bytes.clone());
+        }
+        self.table.insert(rt);
         task
     }
 
@@ -98,5 +104,23 @@ mod tests {
         let rt = d.table().get("m");
         assert_eq!(rt.blocks_us, vec![600.0, 700.0]);
         assert_eq!(rt.exec_us, 1_000.0);
+        assert_eq!(rt.transfer_bytes, vec![0]);
+    }
+
+    #[test]
+    fn deploy_plan_skips_mismatched_transfer_arity() {
+        let mut d = Deployment::new();
+        let plan = SplitPlan {
+            model: "m".into(),
+            cuts: vec![5],
+            block_times_us: vec![600.0, 700.0],
+            vanilla_us: 1_000.0,
+            overhead_ratio: 0.3,
+            std_us: 50.0,
+            fitness: -1.0,
+            transfer_bytes: vec![], // legacy plan without boundary sizes
+        };
+        d.deploy_plan(&plan);
+        assert!(d.table().get("m").transfer_bytes.is_empty());
     }
 }

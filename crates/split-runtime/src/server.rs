@@ -21,6 +21,7 @@ use crate::stats::DecisionStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use split_obs::{AlertLog, SloCfg, SloMonitor};
 use split_telemetry::{Event, Recorder, RecorderMode, SharedRecorder};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -63,6 +64,8 @@ struct Meta {
     arrival_us: f64,
     start_us: Option<f64>,
     blocks_run: usize,
+    /// Inter-block activation sizes (one per boundary) for telemetry.
+    transfer_bytes: Vec<u64>,
     reply: Sender<InferenceReply>,
 }
 
@@ -81,6 +84,10 @@ struct Shared {
     clock: SimClock,
     decisions: DecisionStats,
     recorder: SharedRecorder,
+    /// Burn-rate SLO monitor, fed by the executor on every completion;
+    /// observable live via [`Server::alerts`] and in the shutdown
+    /// report.
+    slo: Mutex<SloMonitor>,
 }
 
 /// A running SPLIT server.
@@ -146,6 +153,8 @@ pub struct ShutdownReport {
     /// The server's lifecycle recording (ring-bounded; see
     /// [`Server::telemetry`]).
     pub recorder: Recorder,
+    /// Burn-rate alert history (summarize with [`AlertLog::summary`]).
+    pub alerts: AlertLog,
 }
 
 impl Server {
@@ -157,6 +166,10 @@ impl Server {
             clock: SimClock::new(cfg.compression),
             decisions: DecisionStats::new(),
             recorder: SharedRecorder::with_mode(RecorderMode::Ring(RECORDER_RING)),
+            slo: Mutex::new(SloMonitor::new(SloCfg {
+                alpha: cfg.alpha,
+                ..SloCfg::default()
+            })),
         });
         let (request_tx, request_rx) = unbounded::<ClientRequest>();
         let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
@@ -229,6 +242,12 @@ impl Server {
         self.shared.recorder.snapshot()
     }
 
+    /// A snapshot of the burn-rate alert history so far (takes the SLO
+    /// lock briefly).
+    pub fn alerts(&self) -> AlertLog {
+        self.shared.slo.lock().log().clone()
+    }
+
     /// Stop accepting requests, drain the queue, join the threads, and
     /// report.
     pub fn shutdown(mut self) -> ShutdownReport {
@@ -250,6 +269,7 @@ impl Server {
             p50_decision_ns: self.shared.decisions.p50_ns(),
             p99_decision_ns: self.shared.decisions.p99_ns(),
             recorder: self.shared.recorder.snapshot(),
+            alerts: self.shared.slo.lock().log().clone(),
         }
     }
 }
@@ -347,6 +367,11 @@ fn responder_loop(
                     arrival_us: now,
                     start_us: None,
                     blocks_run: 0,
+                    transfer_bytes: if use_split {
+                        m.transfer_bytes.clone()
+                    } else {
+                        Vec::new()
+                    },
                     reply: req.reply,
                 },
             );
@@ -445,11 +470,15 @@ fn executor_loop(shared: &Shared) -> u64 {
         st.queue[0].left_us -= blk;
         let now = shared.clock.now_us();
         st.running_end_us = Some(now + blk);
-        let block_idx = {
+        let (block_idx, boundary_bytes) = {
             let meta = st.meta.get_mut(&id).expect("meta");
             meta.start_us.get_or_insert(now);
             meta.blocks_run += 1;
-            meta.blocks_run - 1
+            let idx = meta.blocks_run - 1;
+            let bytes = idx
+                .checked_sub(1)
+                .and_then(|b| meta.transfer_bytes.get(b).copied());
+            (idx, bytes)
         };
         shared.recorder.record(Event::BlockStart {
             req: id,
@@ -457,6 +486,17 @@ fn executor_loop(shared: &Shared) -> u64 {
             stream: 0,
             t_us: now,
         });
+        // Activation hand-off at the boundary into this block. Its time
+        // is already folded into the block's profiled duration (§4); the
+        // event attributes traffic, it does not add latency.
+        if let Some(bytes) = boundary_bytes {
+            shared.recorder.record(Event::Transfer {
+                req: id,
+                bytes,
+                t_us: now,
+                dur_us: 0.0,
+            });
+        }
         drop(st);
 
         shared.clock.sleep_us(blk);
@@ -486,6 +526,10 @@ fn executor_loop(shared: &Shared) -> u64 {
                 depth: st.queue.len(),
                 t_us: end,
             });
+            shared
+                .slo
+                .lock()
+                .observe_outcome(end, end - meta.arrival_us, meta.exec_us);
             let _ = meta.reply.send(InferenceReply {
                 id,
                 model: meta.model,
@@ -717,17 +761,65 @@ mod tests {
         );
         // 3 long (3 blocks) + 3 short (1 block) = 12 block executions.
         assert_eq!(count(|e| matches!(e, Event::BlockStart { .. })), 12);
+        // 3 long requests × 2 block boundaries = 6 activation hand-offs.
+        assert_eq!(count(|e| matches!(e, Event::Transfer { .. })), 6);
 
         // The recording exports to a loadable Perfetto document.
         let doc = split_telemetry::trace_events(&report.recorder, "split-runtime");
-        let spans = doc
-            .get("traceEvents")
-            .unwrap()
-            .as_array()
-            .unwrap()
-            .iter()
-            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
-            .count();
-        assert_eq!(spans, 12);
+        let span_cat = |cat: &str| {
+            doc.get("traceEvents")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("cat").and_then(|c| c.as_str()) == Some(cat)
+                })
+                .count()
+        };
+        assert_eq!(span_cat("block"), 12);
+        assert_eq!(span_cat("io"), 6);
+    }
+
+    #[test]
+    fn quiet_server_raises_no_alerts() {
+        // Clock compression turns thread-wakeup wall latency into
+        // simulated queue time, so even a lone request can breach a
+        // small α on a loaded host; a huge α isolates the plumbing.
+        let server = Server::start(
+            deployment(),
+            ServerConfig {
+                alpha: 1e9,
+                ..config()
+            },
+        );
+        let rx = server.client().infer("short");
+        rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.alerts.fired(), 0);
+        assert_eq!(report.alerts.summary(), "0 fired, 0 active");
+    }
+
+    #[test]
+    fn overload_fires_a_burn_rate_alert() {
+        let server = Server::start(deployment(), config());
+        let client = server.client();
+        // Flood the queue: request k waits ~k × 10 ms of simulated time,
+        // so most requests blow e2e > α × exec and the violation rate
+        // swamps the 10% objective in both burn windows.
+        let rxs: Vec<_> = (0..30).map(|_| client.infer("short")).collect();
+        for rx in rxs {
+            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(
+            report.alerts.fired() >= 1,
+            "overload must trip the burn-rate alert ({})",
+            report.alerts.summary()
+        );
+        let a = &report.alerts.alerts[0];
+        assert!(a.fast_burn_at_fire >= 1.0);
+        assert!(a.slow_burn_at_fire >= 1.0);
     }
 }

@@ -32,4 +32,6 @@ pub use lifecycle::{Event, Recorder, RecorderMode, SharedRecorder};
 pub use metrics::{
     registry_from_events, Counter, Gauge, Histogram, MetricEntry, MetricsSnapshot, Registry,
 };
-pub use perfetto::{trace_events, write_chrome_trace};
+pub use perfetto::{
+    read_chrome_trace, recorder_from_trace_events, trace_events, write_chrome_trace,
+};

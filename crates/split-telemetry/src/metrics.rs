@@ -406,6 +406,43 @@ impl MetricsSnapshot {
     pub fn write_csv(&self, path: &std::path::Path) -> std::io::Result<()> {
         qos_metrics::report::write_csv(path, &Self::header(), &self.to_rows())
     }
+
+    /// Render in Prometheus text exposition format. Metric names are
+    /// `<prefix>_<name>` with non-alphanumeric characters mapped to
+    /// `_`; histograms become summaries (p50/p95/p99 quantiles plus
+    /// `_sum`/`_count`), counters and gauges map directly.
+    pub fn render_prometheus(&self, prefix: &str) -> String {
+        let sanitize = |s: &str| -> String {
+            s.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        };
+        let mut out = String::new();
+        for e in &self.entries {
+            let name = format!("{}_{}", sanitize(prefix), sanitize(&e.name));
+            match e.kind.as_str() {
+                "counter" => {
+                    out.push_str(&format!("# TYPE {name} counter\n"));
+                    out.push_str(&format!("{name} {}\n", e.count));
+                }
+                "gauge" => {
+                    out.push_str(&format!("# TYPE {name} gauge\n"));
+                    out.push_str(&format!("{name} {}\n", e.value));
+                }
+                "histogram" => {
+                    out.push_str(&format!("# TYPE {name} summary\n"));
+                    for (q, v) in [("0.5", e.p50), ("0.95", e.p95), ("0.99", e.p99)] {
+                        out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                    }
+                    let sum = e.mean * e.count as f64;
+                    out.push_str(&format!("{name}_sum {sum}\n"));
+                    out.push_str(&format!("{name}_count {}\n", e.count));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
 }
 
 /// Derive a [`Registry`] from a lifecycle recording.
@@ -586,6 +623,29 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_all_kinds() {
+        let reg = Registry::new();
+        reg.counter("requests.arrived").add(7);
+        reg.gauge("queue.depth").set(-1);
+        let h = reg.histogram("request.e2e_us");
+        h.record(100);
+        h.record(300);
+        let p = reg.snapshot().render_prometheus("split");
+        assert!(p.contains("# TYPE split_requests_arrived counter"));
+        assert!(p.contains("split_requests_arrived 7"));
+        assert!(p.contains("# TYPE split_queue_depth gauge"));
+        assert!(p.contains("split_queue_depth -1"));
+        assert!(p.contains("# TYPE split_request_e2e_us summary"));
+        assert!(p.contains("split_request_e2e_us{quantile=\"0.5\"}"));
+        assert!(p.contains("split_request_e2e_us_count 2"));
+        assert!(p.contains("split_request_e2e_us_sum 400"));
+        // Every non-comment line is `name[{labels}] value`.
+        for l in p.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(l.split_whitespace().count(), 2, "bad line {l:?}");
+        }
     }
 
     #[test]

@@ -263,6 +263,185 @@ pub fn trace_events(rec: &Recorder, process_name: &str) -> Value {
     Value::Object(root)
 }
 
+/// Numeric field accessor tolerant of integer/float JSON encodings.
+fn num(v: &Value) -> Option<f64> {
+    v.as_f64().or_else(|| v.as_u64().map(|n| n as f64))
+}
+
+fn arg_u64(e: &Value, key: &str) -> Option<u64> {
+    e.get("args")?.get(key)?.as_u64()
+}
+
+fn arg_f64(e: &Value, key: &str) -> Option<f64> {
+    num(e.get("args")?.get(key)?)
+}
+
+/// Rebuild a [`Recorder`] from a `trace_events` document previously
+/// produced by [`trace_events`] — the inverse mapping of the exporter
+/// (instants by name, `"block"`/`"io"` complete spans back to
+/// block/transfer events, counters back to samples; metadata records
+/// are skipped). Events are re-sorted by time with the scheduler's
+/// same-timestamp ordering so replays feed consumers causally. Returns
+/// an error when the document lacks a `traceEvents` array.
+pub fn recorder_from_trace_events(doc: &Value) -> Result<Recorder, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+
+    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or_default();
+        let ts = e.get("ts").and_then(num).unwrap_or(0.0);
+        let name = e.get("name").and_then(Value::as_str).unwrap_or_default();
+        let cat = e.get("cat").and_then(Value::as_str).unwrap_or_default();
+        match ph {
+            "i" => match name {
+                "arrival" => {
+                    if let Some(req) = arg_u64(e, "req") {
+                        let model = e
+                            .get("args")
+                            .and_then(|a| a.get("model"))
+                            .and_then(Value::as_str)
+                            .unwrap_or_default()
+                            .to_string();
+                        out.push(Event::Arrival {
+                            req,
+                            model,
+                            t_us: ts,
+                        });
+                    }
+                }
+                "completion" => {
+                    if let Some(req) = arg_u64(e, "req") {
+                        out.push(Event::Completion { req, t_us: ts });
+                    }
+                }
+                "preempt-decision" => {
+                    if let Some(req) = arg_u64(e, "req") {
+                        out.push(Event::PreemptDecision {
+                            req,
+                            position: arg_u64(e, "position").unwrap_or(0) as usize,
+                            comparisons: arg_u64(e, "comparisons").unwrap_or(0) as usize,
+                            stop: e
+                                .get("args")
+                                .and_then(|a| a.get("stop"))
+                                .and_then(Value::as_str)
+                                .unwrap_or_default()
+                                .to_string(),
+                            decision_ns: arg_u64(e, "decision_ns").unwrap_or(0),
+                            t_us: ts,
+                        });
+                    }
+                }
+                "preempt-jump" => {
+                    if let Some(req) = arg_u64(e, "req") {
+                        out.push(Event::Enqueue {
+                            req,
+                            position: arg_u64(e, "position").unwrap_or(0) as usize,
+                            displaced: arg_u64(e, "displaced").unwrap_or(0) as usize,
+                            t_us: ts,
+                        });
+                    }
+                }
+                "elastic-downgrade" => {
+                    if let Some(req) = arg_u64(e, "req") {
+                        out.push(Event::Downgrade {
+                            req,
+                            from_blocks: arg_u64(e, "from_blocks").unwrap_or(0) as usize,
+                            to_blocks: arg_u64(e, "to_blocks").unwrap_or(0) as usize,
+                            t_us: ts,
+                        });
+                    }
+                }
+                _ if cat == "mark" => out.push(Event::Mark {
+                    label: name.to_string(),
+                    t_us: ts,
+                }),
+                _ => {}
+            },
+            "X" if cat == "block" => {
+                let (Some(req), Some(block)) = (arg_u64(e, "req"), arg_u64(e, "block")) else {
+                    continue;
+                };
+                let tid = e.get("tid").and_then(Value::as_u64).unwrap_or(0);
+                let stream = tid.saturating_sub(TID_STREAM_BASE) as u32;
+                let dur = e.get("dur").and_then(num).unwrap_or(0.0);
+                out.push(Event::BlockStart {
+                    req,
+                    block: block as usize,
+                    stream,
+                    t_us: ts,
+                });
+                out.push(Event::BlockEnd {
+                    req,
+                    block: block as usize,
+                    stream,
+                    t_us: ts + dur,
+                });
+            }
+            "X" if cat == "io" => {
+                if let (Some(req), Some(bytes)) = (arg_u64(e, "req"), arg_u64(e, "bytes")) {
+                    out.push(Event::Transfer {
+                        req,
+                        bytes,
+                        t_us: ts,
+                        dur_us: e.get("dur").and_then(num).unwrap_or(0.0),
+                    });
+                }
+            }
+            "C" => match name {
+                "queue_depth" => {
+                    if let Some(d) = arg_u64(e, "depth") {
+                        out.push(Event::QueueDepth {
+                            depth: d as usize,
+                            t_us: ts,
+                        });
+                    }
+                }
+                "utilization" => {
+                    if let Some(b) = arg_f64(e, "busy") {
+                        out.push(Event::Utilization { busy: b, t_us: ts });
+                    }
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    // Same same-timestamp ordering the scheduler uses when it merges
+    // lifecycle streams, so a replay observes causally-ordered events.
+    fn rank(e: &Event) -> u8 {
+        match e {
+            Event::Arrival { .. } => 0,
+            Event::Downgrade { .. } => 1,
+            Event::PreemptDecision { .. } => 2,
+            Event::Enqueue { .. } => 3,
+            Event::QueueDepth { .. } => 4,
+            Event::BlockEnd { .. } => 5,
+            Event::BlockStart { .. } => 6,
+            Event::Transfer { .. } => 7,
+            Event::Completion { .. } => 8,
+            Event::Utilization { .. } | Event::Mark { .. } => 9,
+        }
+    }
+    out.sort_by(|a, b| a.t_us().total_cmp(&b.t_us()).then(rank(a).cmp(&rank(b))));
+
+    let mut rec = Recorder::new();
+    for e in out {
+        rec.record(e);
+    }
+    Ok(rec)
+}
+
+/// [`recorder_from_trace_events`] from a file on disk.
+pub fn read_chrome_trace(path: &Path) -> Result<Recorder, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let doc: Value = serde_json::from_str(&text).map_err(|e| format!("parse {path:?}: {e:?}"))?;
+    recorder_from_trace_events(&doc)
+}
+
 /// Serialize [`trace_events`] to a file.
 pub fn write_chrome_trace(rec: &Recorder, process_name: &str, path: &Path) -> io::Result<()> {
     let doc = trace_events(rec, process_name);
@@ -361,6 +540,33 @@ mod tests {
             c.get("args").unwrap().get("depth").unwrap().as_u64(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn import_inverts_export() {
+        let rec = sample();
+        let doc = trace_events(&rec, "split-sim");
+        let back = recorder_from_trace_events(&doc).unwrap();
+        // Same number of events (every original event has an inverse).
+        assert_eq!(back.len(), rec.len());
+        // Same multiset of events: the importer re-sorts same-timestamp
+        // events into scheduler order, so compare order-insensitively.
+        let key = |e: &Event| format!("{e:?}");
+        let mut a: Vec<String> = rec.events().map(key).collect();
+        let mut b: Vec<String> = back.events().map(key).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // And the derived summary (e2e latency) survives the roundtrip.
+        let e2e: Vec<f64> = back.summary().requests.iter().map(|r| r.e2e_us()).collect();
+        assert_eq!(e2e, vec![9.5]);
+    }
+
+    #[test]
+    fn import_rejects_non_trace_documents() {
+        assert!(recorder_from_trace_events(&Value::Null).is_err());
+        let empty = obj(vec![("traceEvents", Value::Array(vec![]))]);
+        assert_eq!(recorder_from_trace_events(&empty).unwrap().len(), 0);
     }
 
     #[test]

@@ -85,10 +85,10 @@ fn main() {
         println!(
             "{:16} {:>9.1} ms {:>9.1} ms {:>9.1} ms {:>11.1} ms",
             policy.name(),
-            percentile(&pose, 50.0).unwrap(),
-            percentile(&pose, 99.0).unwrap(),
+            percentile(&pose, 0.50).unwrap(),
+            percentile(&pose, 0.99).unwrap(),
             worst,
-            percentile(&detect, 99.0).unwrap(),
+            percentile(&detect, 0.99).unwrap(),
         );
     }
     println!("\nSPLIT bounds the pose-request tail at one detector *block*,");

@@ -94,8 +94,8 @@ fn part2_memory_pressure() {
         println!(
             "  budget {budget_mb:>5} MB: hit rate {:>5.1}%, p50 {:>7.1} ms, p99 {:>8.1} ms",
             100.0 * hits as f64 / (hits + misses) as f64,
-            percentile(&e2es, 50.0).unwrap() / 1e3,
-            percentile(&e2es, 99.0).unwrap() / 1e3,
+            percentile(&e2es, 0.50).unwrap() / 1e3,
+            percentile(&e2es, 0.99).unwrap() / 1e3,
         );
     }
     println!("\nBelow the working-set size the LRU thrashes and weight transfers");

@@ -19,6 +19,7 @@ use split_repro::sched::policy::SplitCfg;
 use split_repro::sched::{simulate, Policy};
 use split_repro::split_analyze::{run_suite, SuiteCfg};
 use split_repro::split_core::{evolve, GaConfig, PlanSet, SplitPlan};
+use split_repro::split_obs::{Monitor, MonitorCfg, SloCfg};
 use split_repro::split_runtime::Deployment;
 use split_repro::workload::{RequestTrace, Scenario};
 use std::path::PathBuf;
@@ -42,6 +43,11 @@ commands:
           [--json] [--requests N]      telemetry (DESIGN.md \u{a7}9); --all covers
                                        every zoo model, --json emits machine-
                                        readable diagnostics
+  monitor [--replay FILE | --scenario 1..6 [--policy P] [--alpha A]]
+          [--frames N] [--interval MS] live dashboard (queue depth, utilization,
+          [--prom FILE]                per-model p50/p99, SLO burn rate) over a
+                                       replayed trace or a fresh simulation;
+                                       --prom also writes Prometheus metrics
 ";
 
 fn main() -> ExitCode {
@@ -56,6 +62,7 @@ fn main() -> ExitCode {
         "plan" => cmd_plan(rest),
         "plan-all" => cmd_plan_all(rest),
         "simulate" => cmd_simulate(rest),
+        "monitor" => cmd_monitor(rest),
         "dot" => cmd_dot(rest),
         // `analyze` owns its exit code: diagnostics are the output, not a
         // usage error — only bad arguments fall through to the usage path.
@@ -263,6 +270,12 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     }
     if want_metrics {
         println!("\ntelemetry:\n{}", r.metrics().snapshot().render_markdown());
+        println!(
+            "mean e2e latency by critical-path component (ms):\n{}",
+            split_repro::qos_metrics::breakdown_markdown(&split_repro::split_obs::rollup_by_model(
+                &r.attribution()
+            ))
+        );
     }
     Ok(())
 }
@@ -301,6 +314,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             ("schedules", &out.schedule_report),
             ("determinism", &out.determinism_report),
             ("telemetry interleavings", &out.interleave_report),
+            ("attribution", &out.attribution_report),
         ] {
             if report.is_empty() {
                 eprintln!("  {section}: clean");
@@ -315,6 +329,95 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_monitor(args: &[String]) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--replay" | "--scenario" | "--policy" | "--alpha" | "--frames" | "--interval"
+            | "--prom" => i += 2,
+            other => return Err(format!("monitor: unknown option {other:?}")),
+        }
+    }
+    let frames: usize = opt(args, "--frames")?
+        .map(|s| s.parse().map_err(|_| "bad --frames"))
+        .transpose()?
+        .unwrap_or(5)
+        .max(1);
+    let interval_ms: u64 = opt(args, "--interval")?
+        .map(|s| s.parse().map_err(|_| "bad --interval"))
+        .transpose()?
+        .unwrap_or(250);
+    let alpha: f64 = opt(args, "--alpha")?
+        .map(|s| s.parse().map_err(|_| "bad --alpha"))
+        .transpose()?
+        .unwrap_or(4.0);
+
+    let recorder = match opt(args, "--replay")? {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            split_repro::split_telemetry::read_chrome_trace(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+        }
+        None => {
+            let scenario: usize = opt(args, "--scenario")?
+                .map(|s| s.parse().map_err(|_| "bad --scenario"))
+                .transpose()?
+                .unwrap_or(3);
+            if !(1..=6).contains(&scenario) {
+                return Err("scenario must be 1..=6 (Table 2)".into());
+            }
+            let policy = match opt(args, "--policy")?.as_deref().unwrap_or("split") {
+                "split" => Policy::Split(SplitCfg::default()),
+                "clockwork" => Policy::ClockWork,
+                "prema" => Policy::Prema(Default::default()),
+                "rta" => Policy::Rta(Default::default()),
+                other => return Err(format!("unknown policy {other:?}")),
+            };
+            let dev = DeviceConfig::jetson_nano();
+            let deployment = experiment::paper_deployment(&dev);
+            let trace =
+                RequestTrace::generate(Scenario::table2(scenario), &experiment::PAPER_MODEL_NAMES);
+            simulate(&policy, &trace.arrivals, deployment.table()).recorder
+        }
+    };
+    if recorder.is_empty() {
+        return Err("nothing to monitor: the trace has no events".into());
+    }
+
+    // Replay the timeline in `frames` equal simulated-time windows,
+    // rendering the dashboard after each.
+    let events: Vec<split_repro::split_telemetry::Event> = recorder.events().cloned().collect();
+    let t0 = events.first().map(|e| e.t_us()).unwrap_or(0.0);
+    let t1 = events.last().map(|e| e.t_us()).unwrap_or(0.0);
+    let span = (t1 - t0).max(1.0);
+    let mut monitor = Monitor::new(MonitorCfg {
+        slo: SloCfg {
+            alpha,
+            ..SloCfg::default()
+        },
+    });
+    let mut fed = 0usize;
+    for frame in 1..=frames {
+        let cutoff = t0 + span * frame as f64 / frames as f64;
+        while fed < events.len() && (frame == frames || events[fed].t_us() <= cutoff) {
+            monitor.feed(&events[fed]);
+            fed += 1;
+        }
+        println!("{}", monitor.render());
+        if interval_ms > 0 && frame < frames {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+    }
+
+    if let Some(path) = opt(args, "--prom")? {
+        let path = PathBuf::from(path);
+        std::fs::write(&path, monitor.prometheus())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote Prometheus metrics to {}", path.display());
+    }
+    Ok(())
 }
 
 fn cmd_dot(args: &[String]) -> Result<(), String> {

@@ -20,6 +20,7 @@
 //! | [`qos_metrics`] | violation-rate curves and jitter (Figures 6–7) |
 //! | [`split_runtime`] | the threaded online serving system (Figure 4) |
 //! | [`split_telemetry`] | lock-free metrics, lifecycle tracing, Perfetto export |
+//! | [`split_obs`] | causal spans, latency attribution, SLO burn-rate, dashboard (DESIGN.md §10) |
 //! | [`split_analyze`] | static verification of plans, schedules, telemetry (DESIGN.md §9) |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use qos_metrics;
 pub use sched;
 pub use split_analyze;
 pub use split_core;
+pub use split_obs;
 pub use split_runtime;
 pub use split_telemetry;
 pub use workload;

@@ -113,6 +113,7 @@ fn analyze_is_clean_and_exits_zero() {
     assert!(err.contains("plans: clean"), "{err}");
     assert!(err.contains("schedules: clean"), "{err}");
     assert!(err.contains("determinism: clean"), "{err}");
+    assert!(err.contains("attribution: clean"), "{err}");
 }
 
 #[test]
@@ -127,6 +128,75 @@ fn analyze_rejects_unknown_options() {
     let out = cli(&["analyze", "--frobnicate"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn monitor_renders_dashboard_frames_and_prometheus() {
+    let dir = std::env::temp_dir().join("split_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace: PathBuf = dir.join("monitor.trace.json");
+    let prom: PathBuf = dir.join("monitor.prom");
+    let _ = std::fs::remove_file(&trace);
+    let _ = std::fs::remove_file(&prom);
+
+    // Simulate once, exporting a Perfetto trace...
+    let out = cli(&[
+        "simulate",
+        "--scenario",
+        "3",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(trace.exists());
+
+    // ...then replay it through the live dashboard.
+    let out = cli(&[
+        "monitor",
+        "--replay",
+        trace.to_str().unwrap(),
+        "--frames",
+        "3",
+        "--interval",
+        "0",
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert_eq!(
+        text.matches("SPLIT monitor").count(),
+        3,
+        "one dashboard per frame:\n{text}"
+    );
+    for needle in [
+        "queue depth",
+        "utilization",
+        "p99 (ms)",
+        "burn",
+        "violation rate",
+        "vgg19",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+
+    let prom_text = std::fs::read_to_string(&prom).unwrap();
+    assert!(prom_text.contains("# TYPE split_requests_completed counter"));
+    assert!(prom_text.contains("split_slo_fast_burn"));
+}
+
+#[test]
+fn monitor_validates_inputs() {
+    assert!(!cli(&["monitor", "--scenario", "9"]).status.success());
+    assert!(!cli(&["monitor", "--bogus", "1"]).status.success());
 }
 
 #[test]
