@@ -4,70 +4,111 @@
 
 use gpu_sim::DeviceConfig;
 use qos_metrics::{markdown_table, violation_curve, violation_rate};
+use rayon::prelude::*;
 use sched::{simulate, Policy};
 use split_repro::experiment;
 use workload::{all_scenarios, RequestTrace};
 
+/// Everything one scenario contributes to the figure, computed in
+/// parallel and printed in scenario order afterwards.
+struct ScenarioOut {
+    header: String,
+    policy_lines: Vec<String>,
+    rows: Vec<Vec<String>>,
+    decision_rows: Vec<Vec<String>>,
+    s3_breakdown: Option<String>,
+}
+
 fn main() {
     let dev = DeviceConfig::jetson_nano();
     let deployment = experiment::paper_deployment(&dev);
+
+    println!("Figure 6: latency violation rate vs latency target α\n");
+    // The six Table 2 scenarios are independent simulations; fan them out
+    // over the pool and stitch the output back in scenario order so the
+    // printed report and fig6.csv are byte-identical to the sequential
+    // run at any SPLIT_THREADS.
+    let per_scenario: Vec<ScenarioOut> = all_scenarios()
+        .into_par_iter()
+        .map(|sc| {
+            let header = format!(
+                "Scenario {} (λ = {:.0} ms) — violation rate at α = 2 / 4 / 8 / 16:",
+                sc.index, sc.lambda_ms
+            );
+            let workload = RequestTrace::generate(sc, &experiment::PAPER_MODEL_NAMES);
+            let mut policy_lines = Vec::new();
+            let mut rows = Vec::new();
+            let mut decision_rows = Vec::new();
+            let mut s3_breakdown = None;
+            for policy in Policy::all_default() {
+                let r = simulate(&policy, &workload.arrivals, deployment.table());
+                // The figure's numbers are only as good as the schedule they
+                // summarize — verify it before anything is written.
+                bench::verify_schedule(&policy, &workload.arrivals, deployment.table(), &r);
+                let outcomes = r.outcomes();
+                let curve = violation_curve(&outcomes, 2, 20);
+                for (alpha, rate) in &curve {
+                    rows.push(vec![
+                        sc.index.to_string(),
+                        policy.name().to_string(),
+                        format!("{alpha}"),
+                        format!("{rate:.4}"),
+                    ]);
+                }
+                policy_lines.push(format!(
+                    "  {:10} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+                    policy.name(),
+                    100.0 * violation_rate(&outcomes, 2.0),
+                    100.0 * violation_rate(&outcomes, 4.0),
+                    100.0 * violation_rate(&outcomes, 8.0),
+                    100.0 * violation_rate(&outcomes, 16.0),
+                ));
+                if matches!(policy, Policy::Split(_)) {
+                    let reg = r.metrics();
+                    let h = reg.histogram("sched.preempt.decision_ns");
+                    decision_rows.push(vec![
+                        sc.index.to_string(),
+                        h.count().to_string(),
+                        h.quantile(0.50).to_string(),
+                        h.quantile(0.99).to_string(),
+                        h.max().to_string(),
+                    ]);
+                    if sc.index == 3 {
+                        let path = bench::results_dir().join("fig6_split_s3.trace.json");
+                        split_repro::split_telemetry::write_chrome_trace(
+                            &r.recorder,
+                            "fig6 SPLIT scenario 3",
+                            &path,
+                        )
+                        .expect("write trace");
+                        s3_breakdown = Some(qos_metrics::breakdown_markdown(
+                            &split_repro::split_obs::rollup_by_model(&r.attribution()),
+                        ));
+                    }
+                }
+            }
+            ScenarioOut {
+                header,
+                policy_lines,
+                rows,
+                decision_rows,
+                s3_breakdown,
+            }
+        })
+        .collect();
+
     let mut rows = Vec::new();
     let mut decision_rows = Vec::new();
     let mut s3_breakdown = None;
-
-    println!("Figure 6: latency violation rate vs latency target α\n");
-    for sc in all_scenarios() {
-        println!(
-            "Scenario {} (λ = {:.0} ms) — violation rate at α = 2 / 4 / 8 / 16:",
-            sc.index, sc.lambda_ms
-        );
-        let workload = RequestTrace::generate(sc, &experiment::PAPER_MODEL_NAMES);
-        for policy in Policy::all_default() {
-            let r = simulate(&policy, &workload.arrivals, deployment.table());
-            // The figure's numbers are only as good as the schedule they
-            // summarize — verify it before anything is written.
-            bench::verify_schedule(&policy, &workload.arrivals, deployment.table(), &r);
-            let outcomes = r.outcomes();
-            let curve = violation_curve(&outcomes, 2, 20);
-            for (alpha, rate) in &curve {
-                rows.push(vec![
-                    sc.index.to_string(),
-                    policy.name().to_string(),
-                    format!("{alpha}"),
-                    format!("{rate:.4}"),
-                ]);
-            }
-            println!(
-                "  {:10} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
-                policy.name(),
-                100.0 * violation_rate(&outcomes, 2.0),
-                100.0 * violation_rate(&outcomes, 4.0),
-                100.0 * violation_rate(&outcomes, 8.0),
-                100.0 * violation_rate(&outcomes, 16.0),
-            );
-            if matches!(policy, Policy::Split(_)) {
-                let reg = r.metrics();
-                let h = reg.histogram("sched.preempt.decision_ns");
-                decision_rows.push(vec![
-                    sc.index.to_string(),
-                    h.count().to_string(),
-                    h.quantile(0.50).to_string(),
-                    h.quantile(0.99).to_string(),
-                    h.max().to_string(),
-                ]);
-                if sc.index == 3 {
-                    let path = bench::results_dir().join("fig6_split_s3.trace.json");
-                    split_repro::split_telemetry::write_chrome_trace(
-                        &r.recorder,
-                        "fig6 SPLIT scenario 3",
-                        &path,
-                    )
-                    .expect("write trace");
-                    s3_breakdown = Some(split_repro::split_obs::rollup_by_model(&r.attribution()));
-                }
-            }
+    for out in per_scenario {
+        println!("{}", out.header);
+        for line in &out.policy_lines {
+            println!("{line}");
         }
         println!();
+        rows.extend(out.rows);
+        decision_rows.extend(out.decision_rows);
+        s3_breakdown = s3_breakdown.or(out.s3_breakdown);
     }
 
     println!("SPLIT preemption-decision latency per scenario (§3.4 claims µs-scale):\n");
@@ -82,9 +123,9 @@ fn main() {
         "(Perfetto trace of SPLIT on scenario 3 written to results/fig6_split_s3.trace.json)\n"
     );
 
-    if let Some(rows) = s3_breakdown {
+    if let Some(table) = s3_breakdown {
         println!("SPLIT scenario 3 — mean e2e latency by critical-path component (ms):\n");
-        println!("{}", qos_metrics::breakdown_markdown(&rows));
+        println!("{table}");
     }
 
     qos_metrics::write_csv(

@@ -4,6 +4,9 @@
 //! Three families are timed (schema in DESIGN.md §10):
 //!
 //! * `ga_split/<model>` — the offline GA split search per model;
+//! * `ga_split_seq/gpt2` vs `ga_split_par<N>/gpt2` — the same search
+//!   pinned to one pool worker vs the ambient `SPLIT_THREADS` width
+//!   (their p50 ratio is the pool's speedup on population profiling);
 //! * `simulate/<policy>` — one full `sched::simulate` of the Figure 6
 //!   scenario-3 workload per serving policy;
 //! * `telemetry/*` — deriving the metrics registry + snapshot from a
@@ -75,6 +78,30 @@ fn main() {
                 &GaConfig::new(3).with_seed(experiment::OFFLINE_SEED),
             )
         }));
+    }
+
+    // --- Pool: the same GA search pinned to one worker vs the ambient
+    // pool width, on the op-heaviest zoo model. The ratio is the
+    // work-stealing pool's speedup on population profiling; at
+    // SPLIT_THREADS=1 (or on a 1-core host) the two entries coincide.
+    {
+        let graph = ModelId::Gpt2.build_calibrated(&dev);
+        let cfg = GaConfig::new(3).with_seed(experiment::OFFLINE_SEED);
+        let seq = time("ga_split_seq/gpt2", ITERS, || {
+            rayon::with_threads(1, || evolve(&graph, &dev, &cfg))
+        });
+        let par = time(
+            format!("ga_split_par{}/gpt2", rayon::current_threads()),
+            ITERS,
+            || evolve(&graph, &dev, &cfg),
+        );
+        println!(
+            "    pool speedup (seq p50 / par p50, {} workers): {:.2}x",
+            rayon::current_threads(),
+            seq.p50_ns as f64 / par.p50_ns.max(1) as f64
+        );
+        entries.push(seq);
+        entries.push(par);
     }
 
     // --- Online: one simulate() of the fig6 scenario-3 workload per policy. ---

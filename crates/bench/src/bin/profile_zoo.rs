@@ -12,48 +12,65 @@ use gpu_sim::{block_time_us, DeviceConfig};
 use model_zoo::profiling_models;
 use profiler::{op_report, sweep_one_cut};
 use qos_metrics::markdown_table;
+use rayon::prelude::*;
 
 fn main() {
     let dev = DeviceConfig::jetson_nano();
+
+    // Each model's calibration + cut sweep is independent; run the eleven
+    // models through the pool. par_iter collects in zoo order, so the
+    // table and CSV match the sequential run at any SPLIT_THREADS.
+    let per_model: Vec<(Vec<String>, Vec<Vec<String>>)> = profiling_models()
+        .to_vec()
+        .into_par_iter()
+        .map(|id| {
+            let g = id.build_calibrated(&dev);
+            let stats = graph_stats(&g);
+            let report = op_report(&g, &dev);
+            let latency = block_time_us(&g, &dev);
+
+            let sweep = sweep_one_cut(&g, &dev, (g.op_count() / 120).max(1));
+            let best = sweep
+                .iter()
+                .min_by(|a, b| a.std_us.total_cmp(&b.std_us))
+                .expect("non-trivial model");
+            let best_frac = best.cuts[0] as f64 / g.op_count() as f64;
+
+            let row = vec![
+                stats.model.clone(),
+                stats.op_count.to_string(),
+                format!("{:.1}", stats.total_flops as f64 / 1e9),
+                format!("{:.1}", stats.total_weight_bytes as f64 / 4e6),
+                ms(latency, 2),
+                format!(
+                    "{} ({:.0}%)",
+                    report.kinds[0].kind,
+                    100.0 * report.kinds[0].share
+                ),
+                format!("{:.0}%", 100.0 * best_frac),
+                format!("{:.1}%", 100.0 * best.overhead_ratio),
+            ];
+
+            let curves = sweep
+                .iter()
+                .map(|p| {
+                    vec![
+                        stats.model.clone(),
+                        p.cuts[0].to_string(),
+                        format!("{:.4}", p.overhead_ratio),
+                        format!("{:.3}", p.std_us / 1e3),
+                    ]
+                })
+                .collect();
+            (row, curves)
+        })
+        .collect();
+
     let mut rows = Vec::new();
     let mut curve_rows = Vec::new();
-
-    for id in profiling_models() {
-        let g = id.build_calibrated(&dev);
-        let stats = graph_stats(&g);
-        let report = op_report(&g, &dev);
-        let latency = block_time_us(&g, &dev);
-
-        let sweep = sweep_one_cut(&g, &dev, (g.op_count() / 120).max(1));
-        let best = sweep
-            .iter()
-            .min_by(|a, b| a.std_us.total_cmp(&b.std_us))
-            .expect("non-trivial model");
-        let best_frac = best.cuts[0] as f64 / g.op_count() as f64;
-
-        rows.push(vec![
-            stats.model.clone(),
-            stats.op_count.to_string(),
-            format!("{:.1}", stats.total_flops as f64 / 1e9),
-            format!("{:.1}", stats.total_weight_bytes as f64 / 4e6),
-            ms(latency, 2),
-            format!(
-                "{} ({:.0}%)",
-                report.kinds[0].kind,
-                100.0 * report.kinds[0].share
-            ),
-            format!("{:.0}%", 100.0 * best_frac),
-            format!("{:.1}%", 100.0 * best.overhead_ratio),
-        ]);
-
-        for p in &sweep {
-            curve_rows.push(vec![
-                stats.model.clone(),
-                p.cuts[0].to_string(),
-                format!("{:.4}", p.overhead_ratio),
-                format!("{:.3}", p.std_us / 1e3),
-            ]);
-        }
+    for (row, curves) in per_model {
+        rows.push(row);
+        curve_rows.extend(curves);
     }
 
     println!("§3.1 large-scale evaluation over the eleven-model zoo\n");

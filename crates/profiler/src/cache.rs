@@ -3,23 +3,74 @@
 //! On the paper's real testbed a profile costs an on-device run (§3.1:
 //! "execution time can be profiled within 1s"); the genetic algorithm
 //! re-encounters candidates constantly (elites survive generations,
-//! crossover recreates parents). The cache makes every candidate cost at
-//! most one measurement. It is `Sync` so rayon can evaluate a whole
-//! population in parallel against one cache.
+//! crossover recreates parents). The cache makes every candidate cost
+//! **exactly** one measurement, even when a whole population races into it
+//! through the rayon pool:
+//!
+//! * the map is **sharded** (16 shards keyed by a hash of the cut vector)
+//!   so concurrent lookups of distinct candidates rarely contend on one
+//!   lock, and
+//! * a shard entry is either `Ready` (measured) or `Pending` (someone is
+//!   measuring right now). A thread that finds `Pending` blocks on that
+//!   entry's condvar instead of measuring a duplicate — the in-flight
+//!   dedup the old measure-outside-the-lock version lacked, which let two
+//!   racing threads double-measure and double-count `misses`.
+//!
+//! Invariant (checked by tests and modeled by `split-analyze`'s SA204
+//! interleaving scenario): once all in-flight calls return,
+//! `misses == len()` — one miss per distinct candidate, never more.
 
 use crate::block_profile::{profile_split, BlockProfile};
 use dnn_graph::{Graph, SplitSpec};
 use gpu_sim::DeviceConfig;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Shard count; a power of two keeps the reduction a mask. 16 shards is
+/// plenty for the pool's worker counts (≤ a few dozen threads).
+const SHARDS: usize = 16;
+
+/// A measurement in flight: the winner fills `done` and notifies; losers
+/// wait instead of re-measuring.
+#[derive(Debug, Default)]
+struct InFlight {
+    done: Mutex<Option<BlockProfile>>,
+    cv: Condvar,
+}
+
+/// One shard entry.
+#[derive(Debug)]
+enum Slot {
+    /// Measured and memoized.
+    Ready(BlockProfile),
+    /// Being measured by some thread right now.
+    Pending(Arc<InFlight>),
+}
 
 /// A concurrent memo table from cut vectors to profiles.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ProfileCache {
-    map: Mutex<HashMap<Vec<usize>, BlockProfile>>,
+    shards: Vec<Mutex<HashMap<Vec<usize>, Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for ProfileCache {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+fn shard_of(cuts: &[usize]) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    cuts.hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
 }
 
 impl ProfileCache {
@@ -28,24 +79,63 @@ impl ProfileCache {
         Self::default()
     }
 
-    /// Profile `spec`, measuring only on a cache miss.
+    /// Profile `spec`, measuring at most once per distinct cut vector.
+    ///
+    /// Concurrent callers of the same candidate are deduplicated: the
+    /// first claims the entry and measures; the rest block until the
+    /// measurement lands and count as cache hits (they performed none).
     pub fn profile(&self, graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
-        if let Some(hit) = self.map.lock().unwrap().get(spec.cuts()) {
+        let shard = &self.shards[shard_of(spec.cuts())];
+        let inflight = {
+            let mut map = shard.lock().unwrap();
+            match map.get(spec.cuts()) {
+                Some(Slot::Ready(p)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return p.clone();
+                }
+                Some(Slot::Pending(f)) => Some(f.clone()),
+                None => {
+                    // Claim the key while holding the shard lock — this is
+                    // the double-checked step that makes duplicate
+                    // measurement impossible.
+                    map.insert(
+                        spec.cuts().to_vec(),
+                        Slot::Pending(Arc::new(InFlight::default())),
+                    );
+                    None
+                }
+            }
+        };
+
+        if let Some(flight) = inflight {
+            // Someone else is measuring this exact candidate: wait for it.
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            let mut done = flight.done.lock().unwrap();
+            while done.is_none() {
+                done = flight.cv.wait(done).unwrap();
+            }
+            return done.clone().expect("notified with a filled slot");
         }
-        // Measure outside the lock: profiles are deterministic, so a racing
-        // duplicate measurement is harmless and the lock stays uncontended.
+
+        // We won the claim: measure outside the shard lock (the expensive
+        // part stays uncontended), then publish.
         let p = profile_split(graph, spec, dev);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.map
-            .lock()
-            .unwrap()
-            .insert(spec.cuts().to_vec(), p.clone());
+        let mut map = shard.lock().unwrap();
+        let prev = map.insert(spec.cuts().to_vec(), Slot::Ready(p.clone()));
+        drop(map);
+        match prev {
+            Some(Slot::Pending(flight)) => {
+                *flight.done.lock().unwrap() = Some(p.clone());
+                flight.cv.notify_all();
+            }
+            _ => unreachable!("claimed entry must still be pending"),
+        }
         p
     }
 
-    /// `(hits, misses)` so far.
+    /// `(hits, misses)` so far. A waiter that was deduplicated against an
+    /// in-flight measurement counts as a hit.
     pub fn stats(&self) -> (u64, u64) {
         (
             self.hits.load(Ordering::Relaxed),
@@ -53,9 +143,20 @@ impl ProfileCache {
         )
     }
 
-    /// Number of distinct candidates measured.
+    /// Number of distinct candidates measured (in-flight entries are not
+    /// counted until their measurement lands, so `misses == len()` holds
+    /// whenever no call is in flight).
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
     }
 
     /// True when nothing has been measured yet.
@@ -119,5 +220,75 @@ mod tests {
             .collect();
         assert_eq!(results.len(), 64);
         assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn stats_invariant_misses_equal_len() {
+        // The satellite invariant: after any quiescent sequence of calls,
+        // one miss per distinct candidate and hits account for the rest.
+        let g = chain();
+        let dev = DeviceConfig::default();
+        let cache = ProfileCache::new();
+        for i in 0..40usize {
+            let c = 1 + (i % 5);
+            cache.profile(&g, &SplitSpec::new(&g, vec![c]).unwrap(), &dev);
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses as usize, cache.len());
+        assert_eq!(hits + misses, 40);
+    }
+
+    #[test]
+    fn concurrent_stress_never_double_measures() {
+        // Many pool workers hammering few keys: the in-flight dedup must
+        // keep `misses == len()` exactly — the old measure-outside-the-lock
+        // cache double-counted here.
+        use rayon::prelude::*;
+        let g = chain();
+        let dev = DeviceConfig::default();
+        for round in 0..8 {
+            let cache = ProfileCache::new();
+            let n = 256usize;
+            let keys = 4usize;
+            rayon::with_threads(8, || {
+                (0..n)
+                    .into_par_iter()
+                    .map(|i| {
+                        // Rotate which key goes first each round to vary the
+                        // racing pattern.
+                        let c = 1 + ((i + round) % keys);
+                        cache.profile(&g, &SplitSpec::new(&g, vec![c]).unwrap(), &dev)
+                    })
+                    .for_each(drop);
+            });
+            let (hits, misses) = cache.stats();
+            assert_eq!(
+                misses as usize, keys,
+                "round {round}: duplicate measurement"
+            );
+            assert_eq!(cache.len(), keys, "round {round}");
+            assert_eq!(hits as usize, n - keys, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_results_match_sequential() {
+        use rayon::prelude::*;
+        let g = chain();
+        let dev = DeviceConfig::default();
+        let seq: Vec<BlockProfile> = (0..32usize)
+            .map(|i| {
+                let cache = ProfileCache::new();
+                cache.profile(&g, &SplitSpec::new(&g, vec![1 + (i % 6)]).unwrap(), &dev)
+            })
+            .collect();
+        let cache = ProfileCache::new();
+        let par: Vec<BlockProfile> = rayon::with_threads(8, || {
+            (0..32usize)
+                .into_par_iter()
+                .map(|i| cache.profile(&g, &SplitSpec::new(&g, vec![1 + (i % 6)]).unwrap(), &dev))
+                .collect()
+        });
+        assert_eq!(par, seq);
     }
 }

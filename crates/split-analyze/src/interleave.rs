@@ -15,11 +15,21 @@
 //!   thread performed (non-linearizable mutation)
 //! * `SA202` — a snapshot observed a counter moving backwards
 //! * `SA203` — merge result depends on merge order
+//! * `SA204` — profile-cache dedup violation: a candidate measured more
+//!   than once, or `misses ≠` distinct candidates, under some
+//!   interleaving of the modeled `ProfileCache::profile` callers
 //!
 //! The step language deliberately includes two *racy* composite
 //! operations (`LoadAccum`/`StoreAccum` — a read-modify-write torn into a
 //! separate load and store) so the checker can be demonstrated to catch
 //! the bug class it exists for; the real primitives never use them.
+//!
+//! Branching steps (`CasOrJump`, `JumpIfEq`, `Jump`, all forward-only)
+//! extend the language far enough to model `profiler::ProfileCache`'s
+//! claim-then-measure protocol: the winner of the compare-and-swap claim
+//! measures and publishes, losers take the hit path. A *racy* variant
+//! (check-then-measure without a claim — the pre-fix cache) exists as a
+//! negative fixture proving the checker catches double measurement.
 
 use crate::diag::{Diagnostic, Report};
 
@@ -72,6 +82,34 @@ pub enum Step {
         cell: usize,
         /// Added value.
         delta: u64,
+    },
+    /// `cell.compare_exchange(expect, set)` as one atomic step: on success
+    /// fall through to the next step, on failure jump (forward) to
+    /// `orelse`. Models claiming a `Pending` slot under the shard lock.
+    CasOrJump {
+        /// Shared cell index.
+        cell: usize,
+        /// Expected current value.
+        expect: u64,
+        /// Value stored on success.
+        set: u64,
+        /// Forward jump target (step index) on failure.
+        orelse: usize,
+    },
+    /// Load `cell` and jump (forward) to `target` when it equals `val`,
+    /// else fall through. One atomic step — models a locked check.
+    JumpIfEq {
+        /// Shared cell index.
+        cell: usize,
+        /// Compared value.
+        val: u64,
+        /// Forward jump target (step index) on equality.
+        target: usize,
+    },
+    /// Unconditional forward jump to `target` (step index).
+    Jump {
+        /// Forward jump target (step index).
+        target: usize,
     },
 }
 
@@ -139,45 +177,74 @@ pub fn explore(
                     continue;
                 }
                 any = true;
-                // Apply the step, remembering exactly what to undo.
+                // Apply the step, remembering exactly what to undo. Each
+                // arm also yields the next program counter — `pc + 1`
+                // except for the (forward-only) branching steps.
                 let step = self.threads[t][pc];
-                let (old_cell, old_reg, logged) = match step {
+                let (old_cell, old_reg, logged, next_pc) = match step {
                     Step::FetchAdd { cell, delta } => {
                         let old = self.cells[cell];
                         self.cells[cell] = old.wrapping_add(delta);
-                        (Some((cell, old)), None, false)
+                        (Some((cell, old)), None, false, pc + 1)
                     }
                     Step::FetchMax { cell, val } => {
                         let old = self.cells[cell];
                         self.cells[cell] = old.max(val);
-                        (Some((cell, old)), None, false)
+                        (Some((cell, old)), None, false, pc + 1)
                     }
                     Step::FetchMin { cell, val } => {
                         let old = self.cells[cell];
                         self.cells[cell] = old.min(val);
-                        (Some((cell, old)), None, false)
+                        (Some((cell, old)), None, false, pc + 1)
                     }
                     Step::Store { cell, val } => {
                         let old = self.cells[cell];
                         self.cells[cell] = val;
-                        (Some((cell, old)), None, false)
+                        (Some((cell, old)), None, false, pc + 1)
                     }
                     Step::Load { cell } => {
                         self.logs[t].push(self.cells[cell]);
-                        (None, None, true)
+                        (None, None, true, pc + 1)
                     }
                     Step::LoadAccum { cell } => {
                         let old = self.regs[t];
                         self.regs[t] = self.cells[cell];
-                        (None, Some(old), false)
+                        (None, Some(old), false, pc + 1)
                     }
                     Step::StoreAccum { cell, delta } => {
                         let old = self.cells[cell];
                         self.cells[cell] = self.regs[t].wrapping_add(delta);
-                        (Some((cell, old)), None, false)
+                        (Some((cell, old)), None, false, pc + 1)
+                    }
+                    Step::CasOrJump {
+                        cell,
+                        expect,
+                        set,
+                        orelse,
+                    } => {
+                        debug_assert!(orelse > pc, "jumps must be forward-only");
+                        let old = self.cells[cell];
+                        if old == expect {
+                            self.cells[cell] = set;
+                            (Some((cell, old)), None, false, pc + 1)
+                        } else {
+                            (None, None, false, orelse)
+                        }
+                    }
+                    Step::JumpIfEq { cell, val, target } => {
+                        debug_assert!(target > pc, "jumps must be forward-only");
+                        if self.cells[cell] == val {
+                            (None, None, false, target)
+                        } else {
+                            (None, None, false, pc + 1)
+                        }
+                    }
+                    Step::Jump { target } => {
+                        debug_assert!(target > pc, "jumps must be forward-only");
+                        (None, None, false, target)
                     }
                 };
-                self.pcs[t] = pc + 1;
+                self.pcs[t] = next_pc;
                 self.run();
                 self.pcs[t] = pc;
                 if let Some((cell, old)) = old_cell {
@@ -319,6 +386,187 @@ pub fn histogram_machine(
         })
         .collect();
     Machine { cells, threads }
+}
+
+/// A modeled `ProfileCache` with `keys` distinct candidates: cell layout
+/// plus the thread programs, so checkers can find the invariant cells.
+///
+/// Cells: `0..keys` per-key slot state (0 = empty, 1 = pending,
+/// 2 = ready), `keys..2·keys` per-key measurement counts, then `misses`
+/// and `hits`.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    /// The step machine (threads calling `profile` on their key).
+    pub machine: Machine,
+    /// Distinct keys (candidates).
+    pub keys: usize,
+    /// Total modeled calls across all keys.
+    pub calls: usize,
+}
+
+impl CacheModel {
+    fn cells(keys: usize) -> Vec<u64> {
+        // states + measure counts + misses + hits
+        vec![0; 2 * keys + 2]
+    }
+
+    fn measured(&self, st: &FinalState, key: usize) -> u64 {
+        st.cells[self.keys + key]
+    }
+
+    fn misses(&self, st: &FinalState) -> u64 {
+        st.cells[2 * self.keys]
+    }
+
+    fn hits(&self, st: &FinalState) -> u64 {
+        st.cells[2 * self.keys + 1]
+    }
+
+    /// The SA204 invariant over a final state: every key measured exactly
+    /// once, `misses ==` distinct keys, and hits account for the rest.
+    pub fn check(&self, st: &FinalState) -> Option<String> {
+        for k in 0..self.keys {
+            let m = self.measured(st, k);
+            if m != 1 {
+                return Some(format!(
+                    "candidate {k} measured {m} times (must be exactly 1)"
+                ));
+            }
+            if st.cells[k] != 2 {
+                return Some(format!("candidate {k} never published Ready"));
+            }
+        }
+        let (misses, hits) = (self.misses(st), self.hits(st));
+        if misses != self.keys as u64 {
+            return Some(format!(
+                "misses = {misses} ≠ {} distinct candidates — \
+                 stats()/len() invariant broken",
+                self.keys
+            ));
+        }
+        if hits != (self.calls - self.keys) as u64 {
+            return Some(format!(
+                "hits = {hits} ≠ {} deduplicated calls",
+                self.calls - self.keys
+            ));
+        }
+        None
+    }
+}
+
+/// Model of the fixed `ProfileCache::profile`: claim the key's slot with
+/// a CAS under the shard lock, measure outside it, publish `Ready`; a
+/// caller that loses the claim takes the hit path (blocking on the
+/// in-flight condvar mutates nothing shared, so it is not modeled).
+///
+/// `calls_per_key[k]` threads run the program against key `k`.
+pub fn dedup_cache_machine(calls_per_key: &[usize]) -> CacheModel {
+    let keys = calls_per_key.len();
+    let (misses, hits) = (2 * keys, 2 * keys + 1);
+    let mut threads = Vec::new();
+    for (k, &calls) in calls_per_key.iter().enumerate() {
+        for _ in 0..calls {
+            threads.push(vec![
+                // Double-checked claim: only one caller wins the CAS.
+                Step::CasOrJump {
+                    cell: k,
+                    expect: 0,
+                    set: 1,
+                    orelse: 5,
+                },
+                // profile_split, outside the shard lock.
+                Step::FetchAdd {
+                    cell: keys + k,
+                    delta: 1,
+                },
+                Step::FetchAdd {
+                    cell: misses,
+                    delta: 1,
+                },
+                // Publish Ready (and notify waiters).
+                Step::Store { cell: k, val: 2 },
+                Step::Jump { target: 6 },
+                // Pending or Ready found: deduplicated, count a hit.
+                Step::FetchAdd {
+                    cell: hits,
+                    delta: 1,
+                },
+            ]);
+        }
+    }
+    CacheModel {
+        machine: Machine {
+            cells: CacheModel::cells(keys),
+            threads,
+        },
+        keys,
+        calls: calls_per_key.iter().sum(),
+    }
+}
+
+/// The **pre-fix** cache as a negative fixture: check the map, then
+/// measure outside the lock *without claiming the key* — two callers can
+/// both see "absent" and both measure. `check` must catch this (SA204).
+pub fn racy_cache_machine(calls_per_key: &[usize]) -> CacheModel {
+    let keys = calls_per_key.len();
+    let (misses, hits) = (2 * keys, 2 * keys + 1);
+    let mut threads = Vec::new();
+    for (k, &calls) in calls_per_key.iter().enumerate() {
+        for _ in 0..calls {
+            threads.push(vec![
+                // Lookup without a claim: hit only when already Ready.
+                Step::JumpIfEq {
+                    cell: k,
+                    val: 2,
+                    target: 5,
+                },
+                Step::FetchAdd {
+                    cell: keys + k,
+                    delta: 1,
+                },
+                Step::FetchAdd {
+                    cell: misses,
+                    delta: 1,
+                },
+                Step::Store { cell: k, val: 2 },
+                Step::Jump { target: 6 },
+                Step::FetchAdd {
+                    cell: hits,
+                    delta: 1,
+                },
+            ]);
+        }
+    }
+    CacheModel {
+        machine: Machine {
+            cells: CacheModel::cells(keys),
+            threads,
+        },
+        keys,
+        calls: calls_per_key.iter().sum(),
+    }
+}
+
+/// Run the profile-cache scenario suite (SA204): every interleaving of
+/// racing `ProfileCache::profile` callers, each bounded by `limit`.
+/// Returns the report plus the total interleavings exhausted.
+pub fn check_cache_interleavings(limit: u64) -> (Report, u64) {
+    let mut report = Report::new();
+    let mut explored = 0u64;
+
+    // --- Three callers race one candidate: worst contention on a key. ---
+    let model = dedup_cache_machine(&[3]);
+    let out = explore(&model.machine, limit, &|st: &FinalState| model.check(st));
+    explored += out.interleavings;
+    push_violations(&mut report, "SA204", "ProfileCache same-key race", &out);
+
+    // --- Two keys, mixed contention: dedup must stay per-key. ---
+    let model = dedup_cache_machine(&[2, 1]);
+    let out = explore(&model.machine, limit, &|st: &FinalState| model.check(st));
+    explored += out.interleavings;
+    push_violations(&mut report, "SA204", "ProfileCache cross-key", &out);
+
+    (report, explored)
 }
 
 /// Run the standard telemetry scenario suite: every interleaving of the
@@ -506,6 +754,105 @@ mod tests {
         assert!(report.is_empty(), "{}", report.render_text());
         // The acceptance bar: ≥ 10⁴ interleavings actually exhausted.
         assert!(explored >= 10_000, "only {explored} interleavings");
+    }
+
+    #[test]
+    fn cas_claim_admits_exactly_one_winner() {
+        // Two threads CAS the same cell 0→1; in every interleaving exactly
+        // one wins and bumps the win counter (cell 1).
+        let prog = vec![
+            Step::CasOrJump {
+                cell: 0,
+                expect: 0,
+                set: 1,
+                orelse: 2,
+            },
+            Step::FetchAdd { cell: 1, delta: 1 },
+        ];
+        let machine = Machine {
+            cells: vec![0, 0],
+            threads: vec![prog.clone(), prog],
+        };
+        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
+            (st.cells[1] != 1).then(|| format!("{} CAS winners ≠ 1", st.cells[1]))
+        });
+        assert!(!out.truncated);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+    }
+
+    #[test]
+    fn jump_if_eq_branches_both_ways() {
+        // Thread 1 stores 7 into cell 0; thread 2 branches on it. Across
+        // interleavings both the taken and the fall-through path occur, so
+        // cell 1 ends at 1 (taken) in some runs and 2 (not taken) in
+        // others — never anything else.
+        let machine = Machine {
+            cells: vec![0, 0],
+            threads: vec![
+                vec![Step::Store { cell: 0, val: 7 }],
+                vec![
+                    Step::JumpIfEq {
+                        cell: 0,
+                        val: 7,
+                        target: 2,
+                    },
+                    Step::FetchAdd { cell: 1, delta: 1 },
+                    Step::FetchAdd { cell: 1, delta: 1 },
+                ],
+            ],
+        };
+        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
+            (st.cells[1] != 1 && st.cells[1] != 2)
+                .then(|| format!("impossible branch count {}", st.cells[1]))
+        });
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        // Collect outcomes to prove both paths are reached.
+        let seen = std::cell::RefCell::new(std::collections::BTreeSet::new());
+        explore(&machine, u64::MAX, &|st: &FinalState| {
+            seen.borrow_mut().insert(st.cells[1]);
+            None
+        });
+        assert_eq!(
+            seen.into_inner().into_iter().collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn dedup_cache_model_is_race_free() {
+        // The fixed claim-then-measure protocol: no interleaving of three
+        // same-key callers double-measures or breaks misses == len().
+        let model = dedup_cache_machine(&[3]);
+        let out = explore(&model.machine, u64::MAX, &|st: &FinalState| model.check(st));
+        assert!(!out.truncated);
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.interleavings > 100, "only {}", out.interleavings);
+    }
+
+    #[test]
+    fn racy_cache_fixture_double_measures() {
+        // The pre-fix check-then-measure cache: two callers racing one key
+        // must double-measure in some interleaving, and the diagnostic is
+        // SA204.
+        let model = racy_cache_machine(&[2]);
+        let out = explore(&model.machine, u64::MAX, &|st: &FinalState| model.check(st));
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.contains("measured 2 times")),
+            "racy cache must double-measure somewhere: {:?}",
+            out.violations
+        );
+        let mut report = Report::new();
+        push_violations(&mut report, "SA204", "racy profile cache", &out);
+        assert!(!report.with_code("SA204").is_empty());
+    }
+
+    #[test]
+    fn cache_suite_is_clean_and_exhaustive() {
+        let (report, explored) = check_cache_interleavings(u64::MAX);
+        assert!(report.is_empty(), "{}", report.render_text());
+        assert!(explored >= 1_000, "only {explored} interleavings");
     }
 
     #[test]

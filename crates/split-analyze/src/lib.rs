@@ -16,7 +16,11 @@
 //!   invariants, plus a determinism auditor that runs each policy twice
 //!   and structurally diffs the results (`SA1xx`);
 //! * [`interleave`] — a bounded exhaustive-interleaving explorer over
-//!   modeled atomic operations of the telemetry primitives (`SA2xx`);
+//!   modeled atomic operations of the telemetry primitives and the
+//!   profiler's deduplicating `ProfileCache` (`SA2xx`);
+//! * [`par_audit`] — runs the offline GA at one pool worker and at eight
+//!   and structurally (bitwise) diffs the outcomes, extending the
+//!   `SA106` determinism audit to the thread pool;
 //! * [`obs_lint`] — re-derives `split-obs` critical-path attribution
 //!   from the lifecycle recording and checks it is exact: components
 //!   sum to e2e within 1 ns, no negative components, every completion
@@ -29,13 +33,18 @@
 pub mod diag;
 pub mod interleave;
 pub mod obs_lint;
+pub mod par_audit;
 pub mod plan_lint;
 pub mod sched_lint;
 pub mod suite;
 
 pub use diag::{Diagnostic, Report, Severity};
-pub use interleave::{check_telemetry_interleavings, explore, ExploreOutcome, Machine, Step};
+pub use interleave::{
+    check_cache_interleavings, check_telemetry_interleavings, explore, ExploreOutcome, Machine,
+    Step,
+};
 pub use obs_lint::lint_attribution;
+pub use par_audit::audit_parallel_determinism;
 pub use plan_lint::{lint_plan, PlanLintCfg};
 pub use sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
 pub use suite::{run_suite, SuiteCfg, SuiteOutcome};

@@ -1,0 +1,159 @@
+//! Parallel-determinism audit (`SA106` over the thread pool).
+//!
+//! The offline GA profiles its population through the rayon pool, and its
+//! determinism contract says the worker count is **not allowed to
+//! matter**: the pool collects chunk results in index order, the RNG
+//! never leaves the caller thread, and the profile cache returns the same
+//! value to every racer. This auditor *checks* that contract the same way
+//! [`crate::sched_lint::audit_determinism`] checks the schedulers — run
+//! the search once at `SPLIT_THREADS=1` (the old sequential behavior) and
+//! once at 8 workers, then structurally diff the two [`GaOutcome`]s.
+//! Floating-point history rows are compared **bitwise** (`to_bits`), not
+//! by `==`, so a reassociated reduction cannot hide behind an epsilon.
+
+use crate::diag::{Diagnostic, Report};
+use dnn_graph::Graph;
+use gpu_sim::DeviceConfig;
+use split_core::{evolve, GaConfig, GaOutcome};
+
+/// Run the GA search at 1 worker and at `workers`, and diff the outcomes
+/// structurally. Any divergence is an `SA106` error: the pool leaked
+/// scheduling order into the result.
+pub fn audit_parallel_determinism(
+    graph: &Graph,
+    dev: &DeviceConfig,
+    cfg: &GaConfig,
+    workers: usize,
+) -> Report {
+    let seq = rayon::with_threads(1, || evolve(graph, dev, cfg));
+    let par = rayon::with_threads(workers.max(2), || evolve(graph, dev, cfg));
+    diff_outcomes(
+        &format!("GA on {} (1 vs {} workers)", graph.name, workers.max(2)),
+        &seq,
+        &par,
+    )
+}
+
+/// Structural diff of two GA outcomes; every mismatch is one `SA106`.
+/// Split out from [`audit_parallel_determinism`] so tests can feed it
+/// fabricated divergent outcomes.
+pub fn diff_outcomes(ctx: &str, a: &GaOutcome, b: &GaOutcome) -> Report {
+    let mut report = Report::new();
+    if a.best.cuts() != b.best.cuts() {
+        report.push(
+            Diagnostic::error(
+                "SA106",
+                format!("{ctx} best split"),
+                format!(
+                    "worker count changed the winning cut vector: {:?} vs {:?}",
+                    a.best.cuts(),
+                    b.best.cuts()
+                ),
+            )
+            .with_help("the pool must collect results in index order and keep RNG caller-side"),
+        );
+    }
+    if a.best_profile != b.best_profile {
+        report.push(Diagnostic::error(
+            "SA106",
+            format!("{ctx} best profile"),
+            "worker count changed the winning candidate's profile",
+        ));
+    }
+    if a.generations_run != b.generations_run {
+        report.push(Diagnostic::error(
+            "SA106",
+            format!("{ctx} generations"),
+            format!(
+                "worker count changed early-stop behavior: {} vs {} generations",
+                a.generations_run, b.generations_run
+            ),
+        ));
+    }
+    if a.history.len() != b.history.len() {
+        report.push(Diagnostic::error(
+            "SA106",
+            format!("{ctx} history"),
+            format!(
+                "history length diverged: {} vs {} rows",
+                a.history.len(),
+                b.history.len()
+            ),
+        ));
+        return report;
+    }
+    for (i, (x, y)) in a.history.iter().zip(&b.history).enumerate() {
+        let bitwise_equal = x.generation == y.generation
+            && x.best_fitness.to_bits() == y.best_fitness.to_bits()
+            && x.best_std_us.to_bits() == y.best_std_us.to_bits()
+            && x.best_overhead.to_bits() == y.best_overhead.to_bits()
+            && x.candidates_profiled == y.candidates_profiled;
+        if !bitwise_equal {
+            report.push(
+                Diagnostic::error(
+                    "SA106",
+                    format!("{ctx} generation {i}"),
+                    format!("per-generation stats diverge bitwise at row {i}: {x:?} vs {y:?}"),
+                )
+                .with_help("candidates_profiled must be snapshotted after the profiling barrier"),
+            );
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_graph::{GraphBuilder, TensorShape};
+    use split_core::GenStats;
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::new("pa-chain", TensorShape::chw(4, 16, 16));
+        let x = b.source();
+        let mut t = b.conv(&x, 8, 3, 1, 1);
+        for _ in 0..n {
+            t = b.relu(&t);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn ga_is_thread_count_invariant() {
+        let g = chain(12);
+        let dev = DeviceConfig::default();
+        let cfg = GaConfig {
+            generations: 6,
+            ..GaConfig::new(3)
+        };
+        let report = audit_parallel_determinism(&g, &dev, &cfg, 8);
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn fabricated_divergence_is_sa106() {
+        let g = chain(10);
+        let dev = DeviceConfig::default();
+        let cfg = GaConfig {
+            generations: 3,
+            ..GaConfig::new(2)
+        };
+        let a = evolve(&g, &dev, &cfg);
+        // Perturb one history row by one ulp: an epsilon comparison would
+        // miss it, the bitwise diff must not.
+        let mut b = a.clone();
+        b.history[1] = GenStats {
+            best_fitness: f64::from_bits(a.history[1].best_fitness.to_bits() ^ 1),
+            ..a.history[1].clone()
+        };
+        let report = diff_outcomes("fabricated", &a, &b);
+        assert!(!report.with_code("SA106").is_empty());
+        // A divergent winner is flagged too.
+        let mut c = a.clone();
+        c.generations_run += 1;
+        assert!(!diff_outcomes("fabricated", &a, &c)
+            .with_code("SA106")
+            .is_empty());
+    }
+}

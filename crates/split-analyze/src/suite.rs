@@ -7,14 +7,15 @@
 //! scenario) and lints everything it produces.
 
 use crate::diag::Report;
-use crate::interleave::check_telemetry_interleavings;
+use crate::interleave::{check_cache_interleavings, check_telemetry_interleavings};
 use crate::obs_lint::lint_attribution;
+use crate::par_audit::audit_parallel_determinism;
 use crate::plan_lint::{lint_plan, PlanLintCfg};
 use crate::sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
 use gpu_sim::DeviceConfig;
 use model_zoo::{benchmark_models, LengthClass, ModelId};
 use sched::{simulate, Policy};
-use split_core::SplitPlan;
+use split_core::{GaConfig, SplitPlan};
 use split_runtime::Deployment;
 use workload::{RequestTrace, Scenario};
 
@@ -69,9 +70,11 @@ pub struct SuiteOutcome {
     pub plan_report: Report,
     /// Schedule-analyzer findings (`SA101`–`SA105`), across all policies.
     pub schedule_report: Report,
-    /// Determinism-auditor findings (`SA106`), across all policies.
+    /// Determinism-auditor findings (`SA106`), across all policies plus
+    /// the thread-pool (1-vs-8-worker) GA audit.
     pub determinism_report: Report,
-    /// Interleaving-checker findings (`SA2xx`).
+    /// Interleaving-checker findings (`SA2xx`), telemetry plus the
+    /// profile-cache dedup scenarios.
     pub interleave_report: Report,
     /// Attribution-exactness findings (`SA301`–`SA303`), across all
     /// policies.
@@ -80,7 +83,7 @@ pub struct SuiteOutcome {
     pub plans_checked: usize,
     /// Policy schedules analyzed.
     pub schedules_checked: usize,
-    /// Interleavings exhausted by the telemetry scenarios.
+    /// Interleavings exhausted by the telemetry + cache scenarios.
     pub interleavings: u64,
 }
 
@@ -162,8 +165,30 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         schedules_checked += 1;
     }
 
-    // --- Telemetry stage: exhaustive interleavings. ---
-    let (interleave_report, interleavings) = check_telemetry_interleavings(cfg.interleave_limit);
+    // --- Pool stage: the GA must be thread-count invariant (SA106). ---
+    // One long model is enough — every model goes through the same
+    // profile-through-the-pool path.
+    if let Some(&id) = cfg
+        .models
+        .iter()
+        .find(|id| id.info().class == LengthClass::Long)
+    {
+        let graph = id.build_calibrated(&dev);
+        let ga_cfg = GaConfig {
+            blocks: *cfg.ga_blocks.start().max(&2),
+            generations: 5,
+            seed: cfg.seed,
+            ..GaConfig::new(2)
+        };
+        determinism_report.merge(audit_parallel_determinism(&graph, &dev, &ga_cfg, 8));
+    }
+
+    // --- Telemetry + profile-cache stage: exhaustive interleavings. ---
+    let (mut interleave_report, mut interleavings) =
+        check_telemetry_interleavings(cfg.interleave_limit);
+    let (cache_report, cache_interleavings) = check_cache_interleavings(cfg.interleave_limit);
+    interleave_report.merge(cache_report);
+    interleavings += cache_interleavings;
 
     SuiteOutcome {
         plan_report,

@@ -36,6 +36,51 @@ pub struct ElasticConfig {
     pub min_samples: usize,
 }
 
+impl ElasticConfig {
+    /// Check the documented constraints. Deserialized or hand-built
+    /// configs must pass through here (the controller refuses invalid
+    /// ones): the hysteresis band must not be inverted
+    /// (`density_on_per_s ≤ density_off_per_s`), the window positive, the
+    /// same-type fraction a fraction, and `min_samples` at least 1 (a
+    /// zero-sample same-type rule would fire on an empty window).
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.window_us.is_finite() && self.window_us > 0.0) {
+            return Err(format!(
+                "window_us must be positive, got {}",
+                self.window_us
+            ));
+        }
+        if !(self.density_off_per_s.is_finite() && self.density_off_per_s >= 0.0) {
+            return Err(format!(
+                "density_off_per_s must be finite and non-negative, got {}",
+                self.density_off_per_s
+            ));
+        }
+        if !(self.density_on_per_s.is_finite() && self.density_on_per_s >= 0.0) {
+            return Err(format!(
+                "density_on_per_s must be finite and non-negative, got {}",
+                self.density_on_per_s
+            ));
+        }
+        if self.density_on_per_s > self.density_off_per_s {
+            return Err(format!(
+                "hysteresis band inverted: density_on_per_s ({}) must be ≤ density_off_per_s ({})",
+                self.density_on_per_s, self.density_off_per_s
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.same_type_frac) {
+            return Err(format!(
+                "same_type_frac must be within [0, 1], got {}",
+                self.same_type_frac
+            ));
+        }
+        if self.min_samples == 0 {
+            return Err("min_samples must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
 impl Default for ElasticConfig {
     fn default() -> Self {
         Self {
@@ -62,13 +107,13 @@ pub struct ElasticController {
 
 impl ElasticController {
     /// Controller with the given thresholds; splitting starts enabled.
+    ///
+    /// # Panics
+    /// Panics when [`ElasticConfig::validate`] rejects `cfg`.
     pub fn new(cfg: ElasticConfig) -> Self {
-        assert!(cfg.window_us > 0.0);
-        assert!(
-            cfg.density_on_per_s <= cfg.density_off_per_s,
-            "hysteresis band inverted"
-        );
-        assert!((0.0..=1.0).contains(&cfg.same_type_frac));
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ElasticConfig: {e}");
+        }
         Self {
             cfg,
             window: VecDeque::new(),
@@ -223,5 +268,50 @@ mod tests {
             density_off_per_s: 10.0,
             ..ElasticConfig::default()
         });
+    }
+
+    #[test]
+    fn validate_accepts_default_and_flags_each_field() {
+        assert!(ElasticConfig::default().validate().is_ok());
+        // The documented `density_on_per_s ≤ density_off_per_s` constraint
+        // (the satellite's inverted-band case) is now enforced.
+        let inverted = ElasticConfig {
+            density_on_per_s: 50.0,
+            density_off_per_s: 10.0,
+            ..ElasticConfig::default()
+        };
+        assert!(inverted.validate().unwrap_err().contains("inverted"));
+        // Equal thresholds are a legal (degenerate, zero-width) band.
+        let flat = ElasticConfig {
+            density_on_per_s: 10.0,
+            density_off_per_s: 10.0,
+            ..ElasticConfig::default()
+        };
+        assert!(flat.validate().is_ok());
+        let bad_window = ElasticConfig {
+            window_us: 0.0,
+            ..ElasticConfig::default()
+        };
+        assert!(bad_window.validate().unwrap_err().contains("window_us"));
+        let nan_window = ElasticConfig {
+            window_us: f64::NAN,
+            ..ElasticConfig::default()
+        };
+        assert!(nan_window.validate().is_err());
+        let nan_density = ElasticConfig {
+            density_off_per_s: f64::NAN,
+            ..ElasticConfig::default()
+        };
+        assert!(nan_density.validate().is_err());
+        let bad_frac = ElasticConfig {
+            same_type_frac: 1.5,
+            ..ElasticConfig::default()
+        };
+        assert!(bad_frac.validate().unwrap_err().contains("same_type_frac"));
+        let zero_samples = ElasticConfig {
+            min_samples: 0,
+            ..ElasticConfig::default()
+        };
+        assert!(zero_samples.validate().unwrap_err().contains("min_samples"));
     }
 }

@@ -197,6 +197,10 @@ pub fn evolve(graph: &Graph, dev: &DeviceConfig, cfg: &GaConfig) -> GaOutcome {
                 (spec.clone(), p, f)
             })
             .collect();
+        // `collect` is the generation barrier: every candidate above is
+        // measured before the cache size is read, so this statistic is
+        // identical at any SPLIT_THREADS worker count.
+        let candidates_profiled = cache.len();
 
         // Track the global best; the tie-break on cuts keeps runs stable.
         let gen_best = scored
@@ -220,7 +224,7 @@ pub fn evolve(graph: &Graph, dev: &DeviceConfig, cfg: &GaConfig) -> GaOutcome {
             best_fitness: *bf,
             best_std_us: bp.std_us,
             best_overhead: bp.overhead_ratio,
-            candidates_profiled: cache.len(),
+            candidates_profiled,
         });
 
         if stale >= cfg.patience {
@@ -254,6 +258,10 @@ pub fn evolve(graph: &Graph, dev: &DeviceConfig, cfg: &GaConfig) -> GaOutcome {
         }
         population = next;
     }
+
+    // The in-flight dedup invariant: every distinct candidate was measured
+    // exactly once, no matter how the pool raced into the cache.
+    debug_assert_eq!(cache.stats().1 as usize, cache.len());
 
     let (best, best_profile, _) = best.expect("at least one generation ran");
     GaOutcome {
@@ -470,6 +478,32 @@ mod tests {
         let b = evolve(&g, &dev, &GaConfig::new(2).with_seed(7));
         assert_eq!(a.best.cuts(), b.best.cuts());
         assert_eq!(a.history.len(), b.history.len());
+    }
+
+    #[test]
+    fn outcome_bit_identical_across_thread_counts() {
+        // The pool's determinism contract: seeded RNG stays on the caller's
+        // thread and collection is index-ordered, so the whole GaOutcome —
+        // best spec, profile, and every history row — is bit-identical at
+        // any SPLIT_THREADS.
+        let g = cnn(14);
+        let dev = DeviceConfig::default();
+        let cfg = GaConfig::new(3).with_seed(13);
+        let seq = rayon::with_threads(1, || evolve(&g, &dev, &cfg));
+        for threads in [2, 8] {
+            let par = rayon::with_threads(threads, || evolve(&g, &dev, &cfg));
+            assert_eq!(par.best.cuts(), seq.best.cuts(), "threads={threads}");
+            assert_eq!(par.best_profile, seq.best_profile, "threads={threads}");
+            assert_eq!(par.generations_run, seq.generations_run);
+            assert_eq!(par.history.len(), seq.history.len());
+            for (a, b) in par.history.iter().zip(&seq.history) {
+                assert_eq!(a.generation, b.generation);
+                assert_eq!(a.candidates_profiled, b.candidates_profiled);
+                assert_eq!(a.best_fitness.to_bits(), b.best_fitness.to_bits());
+                assert_eq!(a.best_std_us.to_bits(), b.best_std_us.to_bits());
+                assert_eq!(a.best_overhead.to_bits(), b.best_overhead.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Seeded Poisson arrival generation.
 //!
 //! Inter-arrival gaps of a Poisson process are exponential; we sample them
-//! by inverse transform (`−λ·ln(u)`) from a seeded `StdRng`, keeping every
-//! scenario bit-reproducible.
+//! by inverse transform (`−λ·ln(1−u)`) from a seeded `StdRng`, keeping
+//! every scenario bit-reproducible.
 
 use rand::prelude::*;
 
@@ -14,23 +14,67 @@ pub struct PoissonGen {
     now_us: f64,
 }
 
+/// Map a unit draw to an exponential gap, or `None` for the one draw
+/// (`u = 0`) whose gap would be zero and must be rejected: the generator
+/// guarantees **strictly** increasing arrivals, and `−λ·ln(1−0) = 0`.
+fn exp_gap_us(mean_interval_us: f64, u: f64) -> Option<f64> {
+    debug_assert!((0.0..1.0).contains(&u));
+    // `1 − u ∈ (0, 1]` avoids ln(0), but the u = 0 endpoint (and any u so
+    // small that `1 − u` rounds back to 1.0) maps to ln(1) = 0 — reject a
+    // zero gap instead of emitting a duplicate timestamp. The generator's
+    // draws are 53-bit multiples of 2⁻⁵³, so in practice only u = 0 is
+    // ever rejected and committed seeded streams are unchanged.
+    let gap = -mean_interval_us * (1.0 - u).ln();
+    (gap > 0.0).then_some(gap)
+}
+
+/// The next representable f64 above `x` (for non-negative finite `x`).
+/// Used to keep arrivals strictly increasing even when a tiny gap would
+/// be absorbed by floating-point addition.
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}
+
 impl PoissonGen {
     /// Process with the given mean inter-arrival interval (µs) and seed.
     pub fn new(mean_interval_us: f64, seed: u64) -> Self {
+        Self::with_start(mean_interval_us, seed, 0.0)
+    }
+
+    /// Process resuming from an existing timestamp `start_us` (the first
+    /// arrival falls strictly after it).
+    pub fn with_start(mean_interval_us: f64, seed: u64, start_us: f64) -> Self {
         assert!(mean_interval_us > 0.0, "interval must be positive");
+        assert!(
+            start_us.is_finite() && start_us >= 0.0,
+            "start must be finite and non-negative"
+        );
         Self {
             rng: StdRng::seed_from_u64(seed),
             mean_interval_us,
-            now_us: 0.0,
+            now_us: start_us,
         }
     }
 
     /// Sample the next arrival timestamp (µs, strictly increasing).
     pub fn next_arrival_us(&mut self) -> f64 {
-        // Inverse-transform sampling; `1 − u ∈ (0, 1]` avoids ln(0).
-        let u: f64 = self.rng.random_range(0.0..1.0);
-        let gap = -self.mean_interval_us * (1.0 - u).ln();
-        self.now_us += gap;
+        // Rejection happens with probability 2⁻⁵³ per draw, so committed
+        // seeded streams are unchanged by the guard.
+        let gap = loop {
+            let u: f64 = self.rng.random_range(0.0..1.0);
+            if let Some(gap) = exp_gap_us(self.mean_interval_us, u) {
+                break gap;
+            }
+        };
+        let next = self.now_us + gap;
+        // A positive gap can still be absorbed by addition when it falls
+        // below one ulp of `now`; bump to the next representable value so
+        // the documented strict monotonicity holds unconditionally.
+        self.now_us = if next > self.now_us {
+            next
+        } else {
+            next_up(self.now_us)
+        };
         self.now_us
     }
 
@@ -91,5 +135,65 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         PoissonGen::new(0.0, 1);
+    }
+
+    #[test]
+    fn zero_unit_draw_is_rejected_not_zero_gap() {
+        // Regression for the zero-gap bug: u = 0 used to yield gap 0 and a
+        // duplicate timestamp; now the draw is rejected outright.
+        assert_eq!(exp_gap_us(1000.0, 0.0), None);
+        // A u so small that `1 − u` rounds back to 1.0 is rejected too —
+        // its gap would also be zero (such draws cannot occur from the
+        // 53-bit generator, but the guard must be total).
+        assert_eq!(exp_gap_us(1000.0, f64::from_bits(1)), None);
+        // Every admissible draw yields a strictly positive gap, down to
+        // the generator's smallest nonzero draw, 2⁻⁵³.
+        let min_draw = (2f64).powi(-53);
+        assert!(exp_gap_us(1000.0, min_draw).unwrap() > 0.0);
+        for u in [1e-16, 0.25, 0.5, 0.999_999] {
+            assert!(exp_gap_us(1000.0, u).unwrap() > 0.0, "u = {u}");
+        }
+    }
+
+    #[test]
+    fn zero_guard_leaves_seeded_streams_unchanged() {
+        // The fix must not perturb committed workloads: the guarded
+        // generator reproduces the unguarded inverse-transform stream
+        // draw for draw (no committed seed ever draws u = 0).
+        for seed in [0u64, 7, 42, 99, 0x5917] {
+            let got = PoissonGen::new(2500.0, seed).take(200);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut now = 0.0f64;
+            let want: Vec<f64> = (0..200)
+                .map(|_| {
+                    let u: f64 = rng.random_range(0.0..1.0);
+                    now += -2500.0 * (1.0 - u).ln();
+                    now
+                })
+                .collect();
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn strictness_survives_ulp_absorption() {
+        // At a huge starting timestamp a µs-scale gap is far below one ulp
+        // (ulp(1e18) ≈ 128), so naive addition would stall the clock; the
+        // next-up bump must keep arrivals strictly increasing anyway.
+        let mut g = PoissonGen::with_start(1e-3, 5, 1e18);
+        let ts = g.take(64);
+        assert!(ts[0] > 1e18);
+        for w in ts.windows(2) {
+            assert!(w[1] > w[0], "absorbed gap produced a duplicate timestamp");
+        }
+    }
+
+    #[test]
+    fn with_start_offsets_the_stream() {
+        let base = PoissonGen::new(1000.0, 11).take(50);
+        let offset = PoissonGen::with_start(1000.0, 11, 5_000.0).take(50);
+        for (a, b) in base.iter().zip(&offset) {
+            assert!((b - a - 5_000.0).abs() < 1e-6);
+        }
     }
 }

@@ -306,14 +306,14 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         println!("{}", merged.render_json());
     } else {
         eprintln!(
-            "analyzed {} plan(s), {} schedule(s), {} telemetry interleavings",
+            "analyzed {} plan(s), {} schedule(s), {} interleavings",
             out.plans_checked, out.schedules_checked, out.interleavings
         );
         for (section, report) in [
             ("plans", &out.plan_report),
             ("schedules", &out.schedule_report),
             ("determinism", &out.determinism_report),
-            ("telemetry interleavings", &out.interleave_report),
+            ("interleavings", &out.interleave_report),
             ("attribution", &out.attribution_report),
         ] {
             if report.is_empty() {

@@ -24,14 +24,26 @@ pub const OFFLINE_SEED: u64 = 99;
 /// benchmark models to Table 1 and GA-split the long ones (block counts
 /// 2..=4, as Table 3 explores). Returns the plans keyed by model name.
 pub fn paper_plans(dev: &DeviceConfig) -> PlanSet {
+    use rayon::prelude::*;
+    // The per-model offline stages are independent; run them through the
+    // pool and insert in the original model order (par_iter collects in
+    // index order, so the resulting PlanSet is identical to the old
+    // sequential build at any SPLIT_THREADS). The GA inside each stage
+    // sees a busy pool and degrades to its sequential path.
     let mut plans = PlanSet::new();
-    for id in benchmark_models() {
-        let g = id.build_calibrated(dev);
-        let plan = if SPLIT_MODELS.contains(&id) {
-            SplitPlan::offline(&g, dev, 2..=4, OFFLINE_SEED).0
-        } else {
-            SplitPlan::vanilla(&g, dev)
-        };
+    let built: Vec<SplitPlan> = benchmark_models()
+        .to_vec()
+        .into_par_iter()
+        .map(|id| {
+            let g = id.build_calibrated(dev);
+            if SPLIT_MODELS.contains(&id) {
+                SplitPlan::offline(&g, dev, 2..=4, OFFLINE_SEED).0
+            } else {
+                SplitPlan::vanilla(&g, dev)
+            }
+        })
+        .collect();
+    for plan in built {
         plans.insert(plan);
     }
     plans

@@ -1,28 +1,241 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon` — backed by a **real** thread pool.
 //!
-//! Sequential fallback: `par_iter()` / `into_par_iter()` delegate to the
-//! ordinary iterators, so every adaptor (`map`, `filter`, `collect`, ...)
-//! is just the std `Iterator` machinery. Results are bit-identical to the
-//! parallel versions for the deterministic pipelines this workspace runs;
-//! only wall-clock parallelism is lost.
+//! The original stub delegated `par_iter()` / `into_par_iter()` to the
+//! ordinary sequential iterators, which silently made every "parallel"
+//! GA search, sweep, and bench harness in the workspace single-threaded.
+//! This version executes the expensive adaptors (`map`, `for_each`) on a
+//! chunked fork-join executor over `std::thread::scope`, while keeping
+//! the results **bit-identical** to the sequential fallback:
+//!
+//! * **Index-ordered collection.** Items are split into contiguous
+//!   chunks; workers pull chunks from a shared queue (coarse-grained
+//!   work stealing, so an expensive chunk does not serialize the rest),
+//!   and the mapped chunks are stitched back together in index order.
+//!   The output `Vec` is therefore exactly what the sequential `map`
+//!   would have produced, for any worker count.
+//! * **Caller-side determinism.** Nothing here consumes randomness or
+//!   wall-clock time; seeded RNGs stay on the caller's thread (the GA
+//!   profiles its population in parallel but breeds sequentially).
+//! * **`SPLIT_THREADS`.** Worker count comes from the `SPLIT_THREADS`
+//!   environment variable, defaulting to the machine's available
+//!   parallelism; `SPLIT_THREADS=1` reproduces the old sequential
+//!   behavior exactly (no threads are spawned at all).
+//!
+//! After a parallel `map`/`for_each` the returned [`ParIter`] is an
+//! ordinary [`Iterator`] over the already-materialized results, so every
+//! std adaptor (`collect`, `sum`, `max_by`, `filter`, ...) keeps working
+//! unchanged — reductions run sequentially over index-ordered items,
+//! which is what makes `max_by` tie-breaks identical across thread
+//! counts.
+
+use std::cell::Cell;
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Worker-count policy.
+// ---------------------------------------------------------------------------
+
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Per-thread override installed by [`with_threads`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Set while the current thread is a pool worker, so nested parallel
+    /// adaptors degrade to sequential instead of spawning threads
+    /// quadratically.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The worker count parallel adaptors will use on this thread right now:
+/// the innermost [`with_threads`] override if present, else
+/// `SPLIT_THREADS`, else the machine's available parallelism.
+pub fn current_threads() -> usize {
+    if let Some(n) = OVERRIDE.with(Cell::get) {
+        return n.max(1);
+    }
+    *DEFAULT_THREADS.get_or_init(|| {
+        std::env::var("SPLIT_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread (nestable;
+/// restored on exit, including on panic). This is how benches and the
+/// determinism audits compare `SPLIT_THREADS=1` against `=N` runs inside
+/// one process.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// The executor: ordered chunked fork-join.
+// ---------------------------------------------------------------------------
+
+/// Map `f` over `items` using the current worker count, returning results
+/// in item order (bit-identical to `items.into_iter().map(f).collect()`).
+fn run_ordered<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = if IN_POOL.with(Cell::get) {
+        // Already on a worker thread: the outer adaptor owns the pool.
+        1
+    } else {
+        current_threads()
+    };
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Split into ~4 chunks per worker so the shared queue load-balances
+    // uneven per-item cost without per-item locking.
+    let chunk_len = n.div_ceil(workers * 4).max(1);
+    let mut queue: Vec<(usize, Vec<T>)> = Vec::new();
+    let mut it = items.into_iter();
+    let mut start = 0usize;
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        start += chunk.len();
+        queue.push((start - chunk.len(), chunk));
+    }
+    // Workers pop from the back; reverse so chunk 0 is claimed first.
+    queue.reverse();
+
+    let queue = Mutex::new(queue);
+    let done = Mutex::new(Vec::<(usize, Vec<U>)>::with_capacity(workers * 4));
+
+    let work = |queue: &Mutex<Vec<(usize, Vec<T>)>>, done: &Mutex<Vec<(usize, Vec<U>)>>| {
+        IN_POOL.with(|c| c.set(true));
+        loop {
+            let job = queue.lock().unwrap().pop();
+            let Some((at, chunk)) = job else { break };
+            let mapped: Vec<U> = chunk.into_iter().map(&f).collect();
+            done.lock().unwrap().push((at, mapped));
+        }
+        IN_POOL.with(|c| c.set(false));
+    };
+
+    std::thread::scope(|s| {
+        for _ in 0..workers - 1 {
+            s.spawn(|| work(&queue, &done));
+        }
+        // The caller's thread participates too; IN_POOL is restored below
+        // because `work` resets it (the caller is not a pool worker once
+        // the scope ends).
+        work(&queue, &done);
+    });
+
+    let mut chunks = done.into_inner().unwrap();
+    chunks.sort_unstable_by_key(|&(at, _)| at);
+    let mut out = Vec::with_capacity(n);
+    for (_, mapped) in chunks {
+        out.extend(mapped);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The iterator type.
+// ---------------------------------------------------------------------------
+
+/// A "parallel" iterator: parallel at the inherent [`ParIter::map`] /
+/// [`ParIter::for_each`] adaptors, an ordinary ordered [`Iterator`]
+/// everywhere else.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: std::vec::IntoIter<T>,
+}
+
+impl<T> ParIter<T> {
+    fn from_vec(v: Vec<T>) -> Self {
+        Self {
+            items: v.into_iter(),
+        }
+    }
+
+    /// Parallel map with index-ordered results. This is the adaptor that
+    /// carries all the expensive work in this workspace (candidate
+    /// profiling, sweeps, per-policy simulations).
+    #[allow(clippy::should_implement_trait)] // deliberate: shadows Iterator::map with a parallel one
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter::from_vec(run_ordered(self.items.collect(), f))
+    }
+
+    /// Parallel for-each (used with `par_iter_mut`). Side effects on
+    /// distinct items race only through the caller's own shared state.
+    pub fn for_each<F>(self, f: F)
+    where
+        T: Send,
+        F: Fn(T) + Sync,
+    {
+        run_ordered(self.items.collect(), f);
+    }
+
+    /// Remaining (already materialized) item count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items remain.
+    pub fn is_empty(&self) -> bool {
+        self.items.len() == 0
+    }
+}
+
+impl<T> Iterator for ParIter<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.items.next()
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.items.size_hint()
+    }
+}
+
+impl<T> ExactSizeIterator for ParIter<T> {}
 
 /// The conventional glob import, mirroring `rayon::prelude`.
 pub mod prelude {
-    /// By-value conversion into a "parallel" (here: sequential) iterator.
+    pub use super::ParIter;
+
+    /// By-value conversion into a parallel iterator.
     pub trait IntoParallelIterator {
         /// Item type yielded.
         type Item;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Convert into the iterator.
-        fn into_par_iter(self) -> Self::Iter;
+        /// Convert into the parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
     impl<I: IntoIterator> IntoParallelIterator for I {
         type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter::from_vec(self.into_iter().collect())
         }
     }
 
@@ -30,10 +243,8 @@ pub mod prelude {
     pub trait IntoParallelRefIterator<'data> {
         /// Item type yielded (typically `&'data T`).
         type Item: 'data;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
         /// Iterate by shared reference.
-        fn par_iter(&'data self) -> Self::Iter;
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
@@ -41,9 +252,8 @@ pub mod prelude {
         &'data I: IntoIterator,
     {
         type Item = <&'data I as IntoIterator>::Item;
-        type Iter = <&'data I as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter::from_vec(self.into_iter().collect())
         }
     }
 
@@ -51,10 +261,8 @@ pub mod prelude {
     pub trait IntoParallelRefMutIterator<'data> {
         /// Item type yielded (typically `&'data mut T`).
         type Item: 'data;
-        /// Iterator type produced.
-        type Iter: Iterator<Item = Self::Item>;
         /// Iterate by exclusive reference.
-        fn par_iter_mut(&'data mut self) -> Self::Iter;
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item>;
     }
 
     impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
@@ -62,25 +270,36 @@ pub mod prelude {
         &'data mut I: IntoIterator,
     {
         type Item = <&'data mut I as IntoIterator>::Item;
-        type Iter = <&'data mut I as IntoIterator>::IntoIter;
-        fn par_iter_mut(&'data mut self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Item> {
+            ParIter::from_vec(self.into_iter().collect())
         }
     }
 }
 
-/// Run two closures "in parallel" (sequentially here) and return both results.
+/// Run two closures in parallel (when more than one worker is configured)
+/// and return both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_threads() <= 1 || IN_POOL.with(Cell::get) {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join: right closure panicked"))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
 
     #[test]
     fn par_iter_matches_iter() {
@@ -107,5 +326,121 @@ mod tests {
     #[test]
     fn join_returns_both() {
         assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+
+    #[test]
+    fn results_are_index_ordered_at_any_thread_count() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(x) ^ 0xA5A5).collect();
+        for threads in [1, 2, 3, 8, 17] {
+            let par: Vec<u64> = super::with_threads(threads, || {
+                items
+                    .par_iter()
+                    .map(|&x| x.wrapping_mul(x) ^ 0xA5A5)
+                    .collect()
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reductions_match_sequential_tie_breaks() {
+        // max_by over equal keys must pick the same element the sequential
+        // iterator picks (the last maximal one) at every thread count.
+        let items: Vec<(u32, usize)> = (0..257usize).map(|i| (i as u32 % 7, i)).collect();
+        let seq = items.iter().copied().max_by_key(|&(k, _)| k);
+        for threads in [1, 4, 9] {
+            let par = super::with_threads(threads, || {
+                items.par_iter().map(|&p| p).max_by_key(|&(k, _)| k)
+            });
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_really_runs_workers_concurrently() {
+        // 4 items, 4 workers, chunk size 1: each worker claims one chunk
+        // and blocks on a barrier of 4 — the test can only pass (and not
+        // hang) if four threads are truly running at once.
+        let barrier = Barrier::new(4);
+        let ids = Mutex::new(std::collections::HashSet::new());
+        super::with_threads(4, || {
+            (0..4usize)
+                .into_par_iter()
+                .map(|i| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    barrier.wait();
+                    i
+                })
+                .for_each(drop);
+        });
+        assert_eq!(ids.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn nested_parallelism_degrades_gracefully() {
+        // A par map inside a par map must not spawn workers², and must
+        // still produce ordered results.
+        let out: Vec<Vec<usize>> = super::with_threads(4, || {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    (0..8usize)
+                        .into_par_iter()
+                        .map(move |j| i * 8 + j)
+                        .collect()
+                })
+                .collect()
+        });
+        for (i, row) in out.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, i * 8 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit() {
+        let outer = super::current_threads();
+        super::with_threads(3, || {
+            assert_eq!(super::current_threads(), 3);
+            super::with_threads(5, || assert_eq!(super::current_threads(), 5));
+            assert_eq!(super::current_threads(), 3);
+        });
+        assert_eq!(super::current_threads(), outer);
+    }
+
+    #[test]
+    fn single_thread_spawns_nothing() {
+        // With one worker the map must run inline on the caller's thread.
+        let caller = std::thread::current().id();
+        super::with_threads(1, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    assert_eq!(std::thread::current().id(), caller);
+                    i
+                })
+                .for_each(drop);
+        });
+    }
+
+    #[test]
+    fn parallel_for_each_sees_every_item() {
+        let hits = AtomicUsize::new(0);
+        super::with_threads(4, || {
+            (0..1000usize).into_par_iter().for_each(|_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<i32> = vec![7].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
     }
 }
