@@ -98,7 +98,7 @@ fn ablation_even_vs_uneven(_dev: &DeviceConfig) {
         let shorts: Vec<f64> = r
             .completions
             .iter()
-            .filter(|c| c.model == "short")
+            .filter(|c| &*c.model == "short")
             .map(|c| c.e2e_us() - c.exec_us)
             .collect();
         let mean_wait = shorts.iter().sum::<f64>() / shorts.len() as f64;

@@ -1,8 +1,13 @@
 //! Performance benchmark for the reproduction's hot paths, writing
 //! machine-readable timings to `BENCH_core.json` at the repo root.
 //!
-//! Three families are timed (schema in DESIGN.md §10):
+//! Five families are timed (schema in DESIGN.md §10):
 //!
+//! * `profile_candidate_direct/<model>` vs `profile_candidate/<model>` —
+//!   profiling a fixed batch of split candidates from scratch (rebuilding
+//!   the per-op cost arithmetic each call) vs through a memoized
+//!   [`gpu_sim::CostTable`] built once; their p50 ratio is the table's
+//!   per-candidate speedup;
 //! * `ga_split/<model>` — the offline GA split search per model;
 //! * `ga_split_seq/gpt2` vs `ga_split_par<N>/gpt2` — the same search
 //!   pinned to one pool worker vs the ambient `SPLIT_THREADS` width
@@ -12,12 +17,18 @@
 //! * `telemetry/*` — deriving the metrics registry + snapshot from a
 //!   lifecycle recording, and critical-path attribution over it.
 //!
-//! Every entry runs ≥ 5 iterations and reports `{name, p50_ns,
-//! mean_ns, iters}`. This is a trend tool, not a gate: CI only fails
-//! the job when the binary panics.
+//! Every entry runs `iters/5` (min 1) untimed warmup iterations, then
+//! ≥ 5 timed ones, and reports `{name, p50_ns, mean_ns, iters}` plus
+//! `ns_per_item` where an entry processes a counted batch. With
+//! `--check`, the binary instead compares fresh p50s against the
+//! committed `BENCH_core.json` and exits non-zero if any entry regressed
+//! more than 3× — the CI perf-smoke gate. Without it, this is a trend
+//! tool: the file is rewritten and CI only fails on a panic.
 
-use gpu_sim::DeviceConfig;
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::{CostTable, DeviceConfig};
 use model_zoo::ModelId;
+use profiler::{profile_split, profile_split_on};
 use sched::{simulate, Policy};
 use serde_json::{Map, Number, Value};
 use split_core::{evolve, GaConfig};
@@ -27,19 +38,30 @@ use workload::{RequestTrace, Scenario};
 
 /// Iterations for the slower, simulation-scale benchmarks.
 const ITERS: usize = 5;
-/// Iterations for the cheap telemetry paths.
+/// Iterations for the cheap telemetry + per-candidate paths.
 const FAST_ITERS: usize = 100;
+/// `--check` failure threshold: fresh p50 vs committed p50.
+const REGRESSION_FACTOR: u64 = 3;
 
 struct Entry {
     name: String,
     p50_ns: u64,
     mean_ns: f64,
     iters: usize,
+    /// Work items processed per iteration, when the entry times a
+    /// counted batch (candidate profiles, served requests); `None` for
+    /// single-artifact entries.
+    items: Option<u64>,
 }
 
-/// Time `iters` runs of `f` (its result is consumed via `drop` so the
-/// optimizer cannot elide the work).
+/// Time `iters` runs of `f` after `iters/5` (min 1) untimed warmup runs
+/// (first-touch effects — lazy allocations, cold caches — land in the
+/// warmup, not the samples). The result is consumed via `drop` so the
+/// optimizer cannot elide the work.
 fn time<T>(name: impl Into<String>, iters: usize, mut f: impl FnMut() -> T) -> Entry {
+    for _ in 0..(iters / 5).max(1) {
+        drop(f());
+    }
     let mut samples_ns: Vec<u64> = Vec::with_capacity(iters);
     for _ in 0..iters {
         let t0 = Instant::now();
@@ -60,12 +82,80 @@ fn time<T>(name: impl Into<String>, iters: usize, mut f: impl FnMut() -> T) -> E
         p50_ns,
         mean_ns,
         iters,
+        items: None,
     }
 }
 
+impl Entry {
+    fn with_items(mut self, items: u64) -> Self {
+        self.items = Some(items);
+        self
+    }
+
+    fn ns_per_item(&self) -> Option<f64> {
+        self.items
+            .filter(|&n| n > 0)
+            .map(|n| self.p50_ns as f64 / n as f64)
+    }
+}
+
+/// A deterministic batch of valid split candidates spanning the arities
+/// the GA explores: strided single cuts plus evenly spaced 2–4-way
+/// splits. Same batch every run, so entries are comparable across runs.
+fn candidate_specs(graph: &Graph) -> Vec<SplitSpec> {
+    let m = graph.op_count();
+    let stride = (m / 48).max(1);
+    let mut specs: Vec<SplitSpec> = (1..m)
+        .step_by(stride)
+        .filter_map(|c| SplitSpec::new(graph, vec![c]).ok())
+        .collect();
+    for k in 2..=4usize {
+        let cuts: Vec<usize> = (1..k).map(|i| (i * m / k).max(i)).collect();
+        if let Ok(spec) = SplitSpec::new(graph, cuts) {
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     let dev = DeviceConfig::jetson_nano();
     let mut entries: Vec<Entry> = Vec::new();
+
+    // --- Candidate profiling: direct arithmetic vs the memoized cost
+    // table, over the same fixed candidate batch. ---
+    for id in [ModelId::ResNet50, ModelId::Gpt2] {
+        let graph = id.build_calibrated(&dev);
+        let name = id.info().name;
+        let specs = candidate_specs(&graph);
+        let n = specs.len() as u64;
+        let direct = time(
+            format!("profile_candidate_direct/{name}"),
+            FAST_ITERS,
+            || {
+                specs
+                    .iter()
+                    .map(|s| profile_split(&graph, s, &dev).total_us())
+                    .sum::<f64>()
+            },
+        )
+        .with_items(n);
+        let table = CostTable::build(&graph, &dev);
+        let memoized = time(format!("profile_candidate/{name}"), FAST_ITERS, || {
+            specs
+                .iter()
+                .map(|s| profile_split_on(&table, s).total_us())
+                .sum::<f64>()
+        })
+        .with_items(n);
+        println!(
+            "    cost-table speedup ({name}, {n} candidates): {:.2}x",
+            direct.p50_ns as f64 / memoized.p50_ns.max(1) as f64
+        );
+        entries.push(direct);
+        entries.push(memoized);
+    }
 
     // --- Offline: GA split search on a representative long model pair. ---
     for id in [ModelId::ResNet50, ModelId::Vgg19] {
@@ -107,10 +197,14 @@ fn main() {
     // --- Online: one simulate() of the fig6 scenario-3 workload per policy. ---
     let deployment = experiment::paper_deployment(&dev);
     let workload = RequestTrace::generate(Scenario::table2(3), &experiment::PAPER_MODEL_NAMES);
+    let requests = workload.arrivals.len() as u64;
     for policy in Policy::all_default() {
-        entries.push(time(format!("simulate/{}", policy.name()), ITERS, || {
-            simulate(&policy, &workload.arrivals, deployment.table())
-        }));
+        entries.push(
+            time(format!("simulate/{}", policy.name()), ITERS, || {
+                simulate(&policy, &workload.arrivals, deployment.table())
+            })
+            .with_items(requests),
+        );
     }
 
     // --- Telemetry: registry/snapshot and attribution over one recording. ---
@@ -126,6 +220,12 @@ fn main() {
         result.attribution()
     }));
 
+    let path = bench::results_dir().join("../BENCH_core.json");
+    if check {
+        check_against_committed(&path, &entries);
+        return;
+    }
+
     let doc = Value::Array(
         entries
             .iter()
@@ -135,12 +235,62 @@ fn main() {
                 m.insert("p50_ns", Value::Number(Number::PosInt(e.p50_ns)));
                 m.insert("mean_ns", Value::Number(Number::Float(e.mean_ns)));
                 m.insert("iters", Value::Number(Number::PosInt(e.iters as u64)));
+                if let Some(per_item) = e.ns_per_item() {
+                    m.insert("ns_per_item", Value::Number(Number::Float(per_item)));
+                }
                 Value::Object(m)
             })
             .collect(),
     );
-    let path = bench::results_dir().join("../BENCH_core.json");
     let text = serde_json::to_string_pretty(&doc).expect("serialize");
     std::fs::write(&path, text + "\n").expect("write BENCH_core.json");
     println!("\n{} entries written to BENCH_core.json", entries.len());
+}
+
+/// `--check` mode: every fresh entry whose name exists in the committed
+/// baseline must have p50 within [`REGRESSION_FACTOR`]× of the committed
+/// p50. Names missing from the baseline (new entries) are skipped, and
+/// the file is never rewritten, so the gate cannot ratchet itself.
+fn check_against_committed(path: &std::path::Path, entries: &[Entry]) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {} for --check: {e}", path.display()));
+    let committed = serde_json::parse(&text).expect("parse committed BENCH_core.json");
+    let baseline = committed.as_array().expect("baseline is a JSON array");
+    let p50_of = |name: &str| -> Option<u64> {
+        baseline
+            .iter()
+            .find(|v| v.get("name").and_then(Value::as_str) == Some(name))
+            .and_then(|v| v.get("p50_ns"))
+            .and_then(Value::as_u64)
+    };
+    let mut failures = Vec::new();
+    for e in entries {
+        let Some(base) = p50_of(&e.name).filter(|&b| b > 0) else {
+            println!("    (no committed baseline for {}, skipped)", e.name);
+            continue;
+        };
+        if e.p50_ns > REGRESSION_FACTOR * base {
+            failures.push(format!(
+                "{}: fresh p50 {} ns is {:.1}x the committed {} ns (limit {}x)",
+                e.name,
+                e.p50_ns,
+                e.p50_ns as f64 / base as f64,
+                base,
+                REGRESSION_FACTOR
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!(
+            "\nperf-smoke: all {} baselined entries within {}x of committed p50",
+            entries.len(),
+            REGRESSION_FACTOR
+        );
+    } else {
+        eprintln!("\nperf-smoke FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,249 @@
+//! Memoized per-(graph, device) cost tables.
+//!
+//! Profiling one split candidate needs three ingredients: the sum of
+//! operator times inside each block, the transfer cost at each block
+//! boundary, and the vanilla (unsplit) model time. All three are pure
+//! functions of the *(graph, device)* pair — only the cut positions vary
+//! between candidates. A [`CostTable`] precomputes them once:
+//!
+//! * `op_prefix_us[i]` — the left-fold prefix sum of operator times, so
+//!   any block body `[start, end)` is one subtraction;
+//! * `half_boundary_us[c]` — the one-way transfer cost at every cut
+//!   position, from [`Graph::all_boundary_bytes`] (`O(M)` total);
+//! * `vanilla_us` — the unsplit model time.
+//!
+//! This turns candidate profiling from `O(ops)` into `O(cuts)`: the GA
+//! builds one table per `evolve` and every generation, worker thread, and
+//! cache miss reads it.
+//!
+//! ## Bit-identity
+//!
+//! The table reproduces [`crate::kernel::split_block_times_us`]'s float
+//! operations *in the same order*: the prefix vector is the same left fold
+//! the direct path used, `f64::sum` is the same fold (so `vanilla_us`
+//! matches [`crate::kernel::block_time_us`] bitwise), boundary bytes are
+//! exact `u64`s (`all_boundary_bytes` equals pointwise `boundary_bytes` —
+//! unit-tested in `dnn-graph`), and each block's time is assembled as
+//! `overhead + lead + body + trail` exactly as before. Table-backed
+//! profiles are therefore **bit-identical** to direct ones — audited
+//! repo-wide by `split-analyze`'s `SA107` check and a profiler property
+//! test.
+
+use crate::device::DeviceConfig;
+use crate::kernel::op_times_us;
+use crate::transfer::half_boundary_us;
+use dnn_graph::Graph;
+use std::hash::{Hash, Hasher};
+
+/// Precomputed candidate-profiling costs for one (graph, device) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    /// Prefix sums of operator times: `op_prefix_us[i]` = time of ops
+    /// `0..i`, µs. Length `op_count + 1`.
+    op_prefix_us: Vec<f64>,
+    /// Live activation bytes crossing each cut position `0..=op_count`
+    /// (0 at both ends — the model input/output is handled outside
+    /// splitting).
+    boundary_bytes: Vec<u64>,
+    /// One-way transfer cost at each cut position, µs.
+    half_boundary_us: Vec<f64>,
+    /// Fixed per-block dispatch overhead, µs.
+    block_overhead_us: f64,
+    /// Unsplit model time, µs (bitwise equal to
+    /// [`crate::kernel::block_time_us`]).
+    vanilla_us: f64,
+    /// Identity of the (graph, device) pair this table was built from.
+    fingerprint: u64,
+}
+
+impl CostTable {
+    /// Build the table: one `O(M)` pass over the graph.
+    pub fn build(graph: &Graph, dev: &DeviceConfig) -> Self {
+        let ops = op_times_us(graph, dev);
+        let mut op_prefix_us = Vec::with_capacity(ops.len() + 1);
+        op_prefix_us.push(0.0);
+        for t in &ops {
+            op_prefix_us.push(op_prefix_us.last().unwrap() + t);
+        }
+        // `iter().sum::<f64>()` is the same left fold from 0.0 as the
+        // prefix vector, so this reproduces `block_time_us` bitwise.
+        let vanilla_us = op_prefix_us[ops.len()] + dev.block_overhead_us;
+        let boundary_bytes = graph.all_boundary_bytes();
+        let half = boundary_bytes
+            .iter()
+            .map(|&b| half_boundary_us(b, dev))
+            .collect();
+        Self {
+            op_prefix_us,
+            boundary_bytes,
+            half_boundary_us: half,
+            block_overhead_us: dev.block_overhead_us,
+            vanilla_us,
+            fingerprint: fingerprint(graph, dev),
+        }
+    }
+
+    /// Number of operators in the underlying graph.
+    pub fn op_count(&self) -> usize {
+        self.op_prefix_us.len() - 1
+    }
+
+    /// Unsplit model time, µs.
+    pub fn vanilla_us(&self) -> f64 {
+        self.vanilla_us
+    }
+
+    /// Live bytes crossing cut position `c` (`0..=op_count`).
+    pub fn boundary_bytes(&self, c: usize) -> u64 {
+        self.boundary_bytes[c]
+    }
+
+    /// Hash identifying the (graph, device) pair this table models; used
+    /// as the profile-cache key component that keeps two deployments from
+    /// sharing entries.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Per-block execution times for the split at `cuts` — the `O(cuts)`
+    /// replacement for [`crate::kernel::split_block_times_us`], bitwise
+    /// identical to it.
+    ///
+    /// `cuts` must be strictly increasing within `1..op_count` (the
+    /// invariant `dnn_graph::SplitSpec` enforces).
+    pub fn split_block_times_us(&self, cuts: &[usize]) -> Vec<f64> {
+        let m = self.op_count();
+        let mut out = Vec::with_capacity(cuts.len() + 1);
+        let mut start = 0usize;
+        for i in 0..=cuts.len() {
+            let end = if i < cuts.len() { cuts[i] } else { m };
+            let body = self.op_prefix_us[end] - self.op_prefix_us[start];
+            let lead = self.half_boundary_us[start];
+            let trail = self.half_boundary_us[end];
+            out.push(self.block_overhead_us + lead + body + trail);
+            start = end;
+        }
+        out
+    }
+}
+
+/// Hash of everything the cost model reads from the pair: graph identity
+/// (name, per-op kind/flops/bytes/wiring, time scale) and every
+/// `DeviceConfig` field (`f64`s via `to_bits` so the hash is exact).
+pub fn fingerprint(graph: &Graph, dev: &DeviceConfig) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    graph.name.hash(&mut h);
+    graph.time_scale().to_bits().hash(&mut h);
+    graph.op_count().hash(&mut h);
+    for id in 0..graph.op_count() {
+        let op = graph.op(id);
+        op.kind.hash(&mut h);
+        op.flops.hash(&mut h);
+        op.output_bytes().hash(&mut h);
+        op.weight_bytes.hash(&mut h);
+        graph.inputs_of(id).hash(&mut h);
+    }
+    for f in [
+        dev.peak_gflops,
+        dev.mem_bw_gbps,
+        dev.launch_overhead_us,
+        dev.boundary_bw_gbps,
+        dev.block_overhead_us,
+        dev.contention_coef,
+        dev.aligned_contention_coef,
+    ] {
+        f.to_bits().hash(&mut h);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::block_time_us;
+    use dnn_graph::{GraphBuilder, SplitSpec, TensorShape};
+
+    /// The pre-table implementation of `split_block_times_us`, kept here
+    /// verbatim as the bit-identity reference (the public function now
+    /// delegates to the table, so comparing against it would be circular).
+    fn reference_split_times(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> Vec<f64> {
+        let ops = op_times_us(graph, dev);
+        let mut prefix = Vec::with_capacity(ops.len() + 1);
+        prefix.push(0.0);
+        for t in &ops {
+            prefix.push(prefix.last().unwrap() + t);
+        }
+        spec.blocks(graph)
+            .iter()
+            .map(|b| {
+                let body = prefix[b.end] - prefix[b.start];
+                let lead = half_boundary_us(b.input_transfer_bytes(graph), dev);
+                let trail = half_boundary_us(b.output_transfer_bytes(graph), dev);
+                dev.block_overhead_us + lead + body + trail
+            })
+            .collect()
+    }
+
+    fn toy(name: &str, width: u64) -> Graph {
+        let mut b = GraphBuilder::new(name, TensorShape::chw(3, 64, 64));
+        let x = b.source();
+        let c1 = b.conv(&x, width, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let p = b.maxpool(&r1, 2, 2, 0);
+        let c2 = b.conv(&p, width * 2, 3, 1, 1);
+        let r2 = b.relu(&c2);
+        let g = b.gavgpool(&r2);
+        let f = b.flatten(&g);
+        let _ = b.dense(&f, 10);
+        b.finish()
+    }
+
+    #[test]
+    fn vanilla_matches_direct_bitwise() {
+        let g = toy("ct", 32);
+        for dev in [DeviceConfig::jetson_nano(), DeviceConfig::edge_server()] {
+            let t = CostTable::build(&g, &dev);
+            assert_eq!(t.vanilla_us().to_bits(), block_time_us(&g, &dev).to_bits());
+        }
+    }
+
+    #[test]
+    fn block_times_match_direct_bitwise() {
+        let g = toy("ct", 32);
+        let dev = DeviceConfig::default();
+        let t = CostTable::build(&g, &dev);
+        for cuts in [vec![3], vec![1, 5], vec![2, 4, 6], vec![1, 2, 3, 4, 5]] {
+            let spec = SplitSpec::new(&g, cuts.clone()).unwrap();
+            let direct = reference_split_times(&g, &spec, &dev);
+            let tabled = t.split_block_times_us(&cuts);
+            assert_eq!(direct.len(), tabled.len());
+            for (a, b) in direct.iter().zip(&tabled) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cuts {cuts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_graphs_and_devices() {
+        let g1 = toy("a", 32);
+        let g2 = toy("b", 32); // same structure, different name
+        let g3 = toy("a", 48); // same name, different weights
+        let nano = DeviceConfig::jetson_nano();
+        let server = DeviceConfig::edge_server();
+        let f = |g: &Graph, d: &DeviceConfig| CostTable::build(g, d).fingerprint();
+        assert_ne!(f(&g1, &nano), f(&g2, &nano));
+        assert_ne!(f(&g1, &nano), f(&g3, &nano));
+        assert_ne!(f(&g1, &nano), f(&g1, &server));
+        // Deterministic: same pair, same fingerprint.
+        assert_eq!(f(&g1, &nano), f(&g1, &nano));
+    }
+
+    #[test]
+    fn time_scale_changes_fingerprint() {
+        let mut g = toy("a", 32);
+        let dev = DeviceConfig::default();
+        let before = fingerprint(&g, &dev);
+        g.set_time_scale(0.5);
+        assert_ne!(before, fingerprint(&g, &dev));
+    }
+}

@@ -12,7 +12,6 @@
 //! half (see [`crate::transfer`]).
 
 use crate::device::DeviceConfig;
-use crate::transfer::half_boundary_us;
 use dnn_graph::{Graph, SplitSpec};
 
 /// Isolated execution time of operator `id` of `graph`, in microseconds.
@@ -60,27 +59,20 @@ pub fn block_time_us(graph: &Graph, dev: &DeviceConfig) -> f64 {
 /// end-to-end time of running the split model back to back, and
 /// `sum(result) - block_time_us(unsplit)` is the paper's *splitting
 /// overhead* (§2.4, footnote 2 — expressed there as a ratio).
+///
+/// One-shot convenience over [`crate::costtable::CostTable`]: builds the
+/// table and evaluates the single spec. Call sites profiling many
+/// candidates of the same (graph, device) pair should build the table once
+/// and use [`crate::costtable::CostTable::split_block_times_us`] directly —
+/// the results are bit-identical either way.
 pub fn split_block_times_us(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> Vec<f64> {
-    let ops = op_times_us(graph, dev);
-    let mut prefix = Vec::with_capacity(ops.len() + 1);
-    prefix.push(0.0);
-    for t in &ops {
-        prefix.push(prefix.last().unwrap() + t);
-    }
-    spec.blocks(graph)
-        .iter()
-        .map(|b| {
-            let body = prefix[b.end] - prefix[b.start];
-            let lead = half_boundary_us(b.input_transfer_bytes(graph), dev);
-            let trail = half_boundary_us(b.output_transfer_bytes(graph), dev);
-            dev.block_overhead_us + lead + body + trail
-        })
-        .collect()
+    crate::costtable::CostTable::build(graph, dev).split_block_times_us(spec.cuts())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transfer::half_boundary_us;
     use dnn_graph::{GraphBuilder, TensorShape};
 
     fn toy() -> Graph {

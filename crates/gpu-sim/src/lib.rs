@@ -21,6 +21,7 @@
 //! All times are `f64` microseconds; the simulators are bit-deterministic.
 
 pub mod contention;
+pub mod costtable;
 pub mod device;
 pub mod fluid;
 pub mod kernel;
@@ -30,6 +31,7 @@ pub mod trace;
 pub mod transfer;
 
 pub use contention::ContentionModel;
+pub use costtable::CostTable;
 pub use device::DeviceConfig;
 pub use fluid::{FluidJob, FluidSim};
 pub use kernel::{block_time_us, op_time_us, op_times_us, split_block_times_us};

@@ -2,7 +2,7 @@
 
 use crate::stats::{mean, population_std, range_pct};
 use dnn_graph::{Graph, SplitSpec};
-use gpu_sim::{block_time_us, split_block_times_us, DeviceConfig};
+use gpu_sim::{block_time_us, CostTable, DeviceConfig};
 use serde::{Deserialize, Serialize};
 
 /// The measured profile of one split candidate.
@@ -51,13 +51,18 @@ pub fn profile_unsplit(graph: &Graph, dev: &DeviceConfig) -> BlockProfile {
     }
 }
 
-/// Profile a split candidate on the device.
-pub fn profile_split(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
-    let block_times_us = split_block_times_us(graph, spec, dev);
-    let vanilla_us = block_time_us(graph, dev);
+/// Assemble a [`BlockProfile`] from measured block times. This is the one
+/// place the derived statistics are computed, so the table-backed and
+/// direct profiling paths are *structurally* bit-identical: they feed the
+/// same inputs through the same float operations in the same order.
+fn profile_from_block_times(
+    cuts: Vec<usize>,
+    block_times_us: Vec<f64>,
+    vanilla_us: f64,
+) -> BlockProfile {
     let total: f64 = block_times_us.iter().sum();
     BlockProfile {
-        cuts: spec.cuts().to_vec(),
+        cuts,
         overhead_ratio: (total - vanilla_us) / vanilla_us,
         std_us: population_std(&block_times_us),
         mean_us: mean(&block_times_us),
@@ -65,6 +70,26 @@ pub fn profile_split(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> Blo
         block_times_us,
         vanilla_us,
     }
+}
+
+/// Profile a split candidate against a prebuilt [`CostTable`] — `O(cuts)`
+/// per candidate. Bit-identical to [`profile_split`] on the table's
+/// (graph, device) pair; the hot path for the GA, sweeps, and re-planning.
+pub fn profile_split_on(table: &CostTable, spec: &SplitSpec) -> BlockProfile {
+    profile_from_block_times(
+        spec.cuts().to_vec(),
+        table.split_block_times_us(spec.cuts()),
+        table.vanilla_us(),
+    )
+}
+
+/// Profile a split candidate on the device.
+///
+/// One-shot convenience that builds a throwaway [`CostTable`]; profile
+/// many candidates of one (graph, device) pair via [`profile_split_on`]
+/// or [`crate::ProfileCache`] instead.
+pub fn profile_split(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
+    profile_split_on(&CostTable::build(graph, dev), spec)
 }
 
 #[cfg(test)]

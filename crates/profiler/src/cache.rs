@@ -7,7 +7,11 @@
 //! **exactly** one measurement, even when a whole population races into it
 //! through the rayon pool:
 //!
-//! * the map is **sharded** (16 shards keyed by a hash of the cut vector)
+//! * entries are keyed by the **(graph, device) fingerprint plus the cut
+//!   vector** — the cuts alone would let one cache shared across two
+//!   deployments hand back profiles of the wrong model (regression-tested
+//!   below),
+//! * the map is **sharded** (16 shards keyed by a hash of the full key)
 //!   so concurrent lookups of distinct candidates rarely contend on one
 //!   lock, and
 //! * a shard entry is either `Ready` (measured) or `Pending` (someone is
@@ -20,9 +24,9 @@
 //! interleaving scenario): once all in-flight calls return,
 //! `misses == len()` — one miss per distinct candidate, never more.
 
-use crate::block_profile::{profile_split, BlockProfile};
+use crate::block_profile::{profile_split_on, BlockProfile};
 use dnn_graph::{Graph, SplitSpec};
-use gpu_sim::DeviceConfig;
+use gpu_sim::{costtable, CostTable, DeviceConfig};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,6 +35,12 @@ use std::sync::{Arc, Condvar, Mutex};
 /// Shard count; a power of two keeps the reduction a mask. 16 shards is
 /// plenty for the pool's worker counts (≤ a few dozen threads).
 const SHARDS: usize = 16;
+
+/// Cache key: the (graph, device) fingerprint plus the cut vector. The
+/// fingerprint component fixes the latent collision bug where one cache
+/// shared across two deployments returned profiles of the wrong model —
+/// the key used to be the cuts alone.
+type Key = (u64, Vec<usize>);
 
 /// A measurement in flight: the winner fills `done` and notifies; losers
 /// wait instead of re-measuring.
@@ -49,10 +59,14 @@ enum Slot {
     Pending(Arc<InFlight>),
 }
 
-/// A concurrent memo table from cut vectors to profiles.
+/// A concurrent memo table from (graph, device, cut vector) to profiles.
 #[derive(Debug)]
 pub struct ProfileCache {
-    shards: Vec<Mutex<HashMap<Vec<usize>, Slot>>>,
+    shards: Vec<Mutex<HashMap<Key, Slot>>>,
+    /// Memoized cost tables by fingerprint, for callers using the
+    /// convenience [`ProfileCache::profile`] entry point (hot loops build
+    /// their table once and call [`ProfileCache::profile_on`]).
+    tables: Mutex<HashMap<u64, Arc<CostTable>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -61,14 +75,16 @@ impl Default for ProfileCache {
     fn default() -> Self {
         Self {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            tables: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 }
 
-fn shard_of(cuts: &[usize]) -> usize {
+fn shard_of(fingerprint: u64, cuts: &[usize]) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
+    fingerprint.hash(&mut h);
     cuts.hash(&mut h);
     (h.finish() as usize) & (SHARDS - 1)
 }
@@ -79,16 +95,41 @@ impl ProfileCache {
         Self::default()
     }
 
-    /// Profile `spec`, measuring at most once per distinct cut vector.
+    /// Profile `spec`, measuring at most once per distinct
+    /// (graph, device, cut vector).
+    ///
+    /// Convenience entry point: fingerprints the pair and memoizes its
+    /// [`CostTable`] internally. Hot loops that profile many candidates of
+    /// one pair should build the table once ([`CostTable::build`]) and call
+    /// [`ProfileCache::profile_on`], which skips the per-call fingerprint
+    /// hash.
+    pub fn profile(&self, graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
+        let table = self.table_for(graph, dev);
+        self.profile_on(&table, spec)
+    }
+
+    /// The memoized cost table for a (graph, device) pair.
+    pub fn table_for(&self, graph: &Graph, dev: &DeviceConfig) -> Arc<CostTable> {
+        let fp = costtable::fingerprint(graph, dev);
+        let mut tables = self.tables.lock().unwrap();
+        tables
+            .entry(fp)
+            .or_insert_with(|| Arc::new(CostTable::build(graph, dev)))
+            .clone()
+    }
+
+    /// Profile `spec` against a prebuilt table, measuring at most once per
+    /// distinct (fingerprint, cut vector).
     ///
     /// Concurrent callers of the same candidate are deduplicated: the
     /// first claims the entry and measures; the rest block until the
     /// measurement lands and count as cache hits (they performed none).
-    pub fn profile(&self, graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
-        let shard = &self.shards[shard_of(spec.cuts())];
+    pub fn profile_on(&self, table: &CostTable, spec: &SplitSpec) -> BlockProfile {
+        let fp = table.fingerprint();
+        let shard = &self.shards[shard_of(fp, spec.cuts())];
         let inflight = {
             let mut map = shard.lock().unwrap();
-            match map.get(spec.cuts()) {
+            match map.get(&(fp, spec.cuts().to_vec())) {
                 Some(Slot::Ready(p)) => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return p.clone();
@@ -99,7 +140,7 @@ impl ProfileCache {
                     // the double-checked step that makes duplicate
                     // measurement impossible.
                     map.insert(
-                        spec.cuts().to_vec(),
+                        (fp, spec.cuts().to_vec()),
                         Slot::Pending(Arc::new(InFlight::default())),
                     );
                     None
@@ -119,10 +160,10 @@ impl ProfileCache {
 
         // We won the claim: measure outside the shard lock (the expensive
         // part stays uncontended), then publish.
-        let p = profile_split(graph, spec, dev);
+        let p = profile_split_on(table, spec);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = shard.lock().unwrap();
-        let prev = map.insert(spec.cuts().to_vec(), Slot::Ready(p.clone()));
+        let prev = map.insert((fp, spec.cuts().to_vec()), Slot::Ready(p.clone()));
         drop(map);
         match prev {
             Some(Slot::Pending(flight)) => {
@@ -168,6 +209,7 @@ impl ProfileCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::block_profile::profile_split;
     use dnn_graph::{GraphBuilder, TensorShape};
 
     fn chain() -> Graph {
@@ -269,6 +311,55 @@ mod tests {
             assert_eq!(cache.len(), keys, "round {round}");
             assert_eq!(hits as usize, n - keys, "round {round}");
         }
+    }
+
+    #[test]
+    fn identical_cuts_on_different_models_get_distinct_entries() {
+        // The latent key-collision bug: with cuts-only keys, profiling
+        // model B after model A through one shared cache returned A's
+        // profile for B. The fingerprint key component must keep them
+        // (and distinct devices of one model) apart.
+        let a = chain();
+        let b = {
+            let mut bb = GraphBuilder::new("other", TensorShape::chw(4, 32, 32));
+            let x = bb.source();
+            let mut t = bb.conv(&x, 16, 3, 1, 1);
+            for _ in 0..6 {
+                t = bb.relu(&t);
+            }
+            bb.finish()
+        };
+        let dev = DeviceConfig::default();
+        let cache = ProfileCache::new();
+        let spec_a = SplitSpec::new(&a, vec![3]).unwrap();
+        let spec_b = SplitSpec::new(&b, vec![3]).unwrap();
+        let pa = cache.profile(&a, &spec_a, &dev);
+        let pb = cache.profile(&b, &spec_b, &dev);
+        assert_eq!(cache.len(), 2, "identical cuts must not collide");
+        assert_eq!(cache.stats(), (0, 2));
+        assert_ne!(pa, pb, "distinct models must yield distinct profiles");
+        assert_eq!(pb, profile_split(&b, &spec_b, &dev));
+        // Same model, different device: also distinct.
+        let server = DeviceConfig::edge_server();
+        let pa_server = cache.profile(&a, &spec_a, &server);
+        assert_eq!(cache.len(), 3);
+        assert_ne!(pa, pa_server);
+    }
+
+    #[test]
+    fn profile_on_shares_entries_with_profile() {
+        // The two entry points address the same memo: a profile_on after a
+        // profile of the same candidate is a hit, not a re-measurement.
+        let g = chain();
+        let dev = DeviceConfig::default();
+        let cache = ProfileCache::new();
+        let spec = SplitSpec::new(&g, vec![3]).unwrap();
+        let a = cache.profile(&g, &spec, &dev);
+        let table = CostTable::build(&g, &dev);
+        let b = cache.profile_on(&table, &spec);
+        assert_eq!(a, b);
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

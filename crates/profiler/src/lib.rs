@@ -19,7 +19,7 @@ pub mod op_report;
 pub mod stats;
 pub mod sweep;
 
-pub use block_profile::{profile_split, profile_unsplit, BlockProfile};
+pub use block_profile::{profile_split, profile_split_on, profile_unsplit, BlockProfile};
 pub use cache::ProfileCache;
 pub use op_report::{op_report, KindTime, OpReport};
 pub use stats::{mean, population_std, range_pct};

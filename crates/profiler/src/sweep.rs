@@ -7,9 +7,9 @@
 //! evaluation" of §3.1 compressed from 80 GPU-hours to milliseconds by the
 //! simulated substrate.
 
-use crate::block_profile::{profile_split, BlockProfile};
+use crate::block_profile::{profile_split_on, BlockProfile};
 use dnn_graph::{Graph, SplitSpec};
-use gpu_sim::DeviceConfig;
+use gpu_sim::{CostTable, DeviceConfig};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -39,13 +39,14 @@ impl From<BlockProfile> for SweepPoint {
 pub fn sweep_one_cut(graph: &Graph, dev: &DeviceConfig, stride: usize) -> Vec<SweepPoint> {
     let m = graph.op_count();
     assert!(stride >= 1);
+    let table = CostTable::build(graph, dev);
     (1..m)
         .step_by(stride)
         .collect::<Vec<_>>()
         .into_par_iter()
         .map(|c| {
             let spec = SplitSpec::new(graph, vec![c]).expect("in-range cut");
-            profile_split(graph, &spec, dev).into()
+            profile_split_on(&table, &spec).into()
         })
         .collect()
 }
@@ -59,11 +60,12 @@ pub fn sweep_two_cuts(graph: &Graph, dev: &DeviceConfig, stride: usize) -> Vec<S
         .step_by(stride)
         .flat_map(|c1| ((c1 + 1)..m).step_by(stride).map(move |c2| (c1, c2)))
         .collect();
+    let table = CostTable::build(graph, dev);
     pairs
         .into_par_iter()
         .map(|(c1, c2)| {
             let spec = SplitSpec::new(graph, vec![c1, c2]).expect("in-range cuts");
-            profile_split(graph, &spec, dev).into()
+            profile_split_on(&table, &spec).into()
         })
         .collect()
 }

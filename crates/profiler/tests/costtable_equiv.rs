@@ -1,0 +1,108 @@
+//! Property test: the memoized cost-table profiling path is bit-identical
+//! to the direct per-candidate arithmetic, for random valid split specs
+//! over real zoo models, at both pool widths the CI matrix exercises.
+//!
+//! This is the per-candidate counterpart of split-analyze's SA107 audit:
+//! `f64::to_bits` on every float field, so even a 1-ulp reassociation in
+//! the table's prefix sums would fail, not just a tolerance check.
+
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::{CostTable, DeviceConfig};
+use model_zoo::ModelId;
+use profiler::{profile_split, profile_split_on, BlockProfile, ProfileCache};
+use proptest::prelude::*;
+
+const MODELS: [ModelId; 4] = [
+    ModelId::ResNet50,
+    ModelId::Gpt2,
+    ModelId::Vgg19,
+    ModelId::GoogLeNet,
+];
+
+/// Map arbitrary raw integers into a strictly increasing cut vector
+/// inside `1..op_count`. Collisions collapse (fewer cuts), which is fine:
+/// any non-empty result is a valid spec.
+fn cuts_from_raw(raw: &[u64], op_count: usize) -> Vec<usize> {
+    let mut cuts: Vec<usize> = raw
+        .iter()
+        .map(|r| 1 + (*r as usize) % (op_count - 1))
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts
+}
+
+fn assert_bit_identical(direct: &BlockProfile, table: &BlockProfile, what: &str) {
+    assert_eq!(direct.cuts, table.cuts, "{what}: cuts");
+    assert_eq!(
+        direct.block_times_us.len(),
+        table.block_times_us.len(),
+        "{what}: block count"
+    );
+    for (i, (a, b)) in direct
+        .block_times_us
+        .iter()
+        .zip(&table.block_times_us)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: block {i} ({a} vs {b})");
+    }
+    for (field, a, b) in [
+        ("vanilla_us", direct.vanilla_us, table.vanilla_us),
+        (
+            "overhead_ratio",
+            direct.overhead_ratio,
+            table.overhead_ratio,
+        ),
+        ("std_us", direct.std_us, table.std_us),
+        ("mean_us", direct.mean_us, table.mean_us),
+        ("range_pct", direct.range_pct, table.range_pct),
+    ] {
+        assert_eq!(a.to_bits(), b.to_bits(), "{what}: {field} ({a} vs {b})");
+    }
+}
+
+fn check_spec(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) {
+    let direct = profile_split(graph, spec, dev);
+    let table = CostTable::build(graph, dev);
+    assert_bit_identical(&direct, &profile_split_on(&table, spec), "profile_split_on");
+    let cache = ProfileCache::new();
+    for threads in [1usize, 8] {
+        let via_cache = rayon::with_threads(threads, || cache.profile_on(&table, spec));
+        assert_bit_identical(&direct, &via_cache, &format!("cache@{threads}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random valid specs over real zoo models: table-backed profiles
+    /// (with and without the cache, at 1 and 8 pool workers) match the
+    /// direct arithmetic bit for bit.
+    #[test]
+    fn table_backed_profiles_are_bit_identical(
+        model_idx in 0usize..MODELS.len(),
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..6),
+    ) {
+        let dev = DeviceConfig::default();
+        let graph = MODELS[model_idx].build_calibrated(&dev);
+        let cuts = cuts_from_raw(&raw, graph.op_count());
+        let spec = SplitSpec::new(&graph, cuts).expect("cuts are in range and increasing");
+        check_spec(&graph, &spec, &dev);
+    }
+}
+
+/// Degenerate shapes the random generator is unlikely to hit: the
+/// earliest and latest legal single cuts, and a maximally uneven spec.
+#[test]
+fn boundary_cuts_are_bit_identical() {
+    let dev = DeviceConfig::default();
+    for id in MODELS {
+        let graph = id.build_calibrated(&dev);
+        let m = graph.op_count();
+        for cuts in [vec![1], vec![m - 1], vec![1, 2, m - 1]] {
+            let spec = SplitSpec::new(&graph, cuts).expect("valid boundary cuts");
+            check_spec(&graph, &spec, &dev);
+        }
+    }
+}

@@ -127,65 +127,84 @@ const UTILIZATION_BUCKETS: usize = 64;
 /// policy function directly (e.g. the Figure 3 round-robin ablation)
 /// can still produce a full recording.
 pub fn attach_lifecycle(arrivals: &[Arrival], mut result: SimResult) -> SimResult {
-    let mut events: Vec<split_telemetry::Event> = Vec::new();
-    for a in arrivals {
-        events.push(split_telemetry::Event::Arrival {
-            req: a.id,
-            model: a.model.clone(),
-            t_us: a.arrival_us,
-        });
-    }
-    events.extend(result.trace.lifecycle_events());
-    for c in &result.completions {
-        events.push(split_telemetry::Event::Completion {
-            req: c.id,
-            t_us: c.end_us,
-        });
-    }
-    // In-system request count: +1 on arrival, -1 on completion
-    // (completions first on ties so an instant never over-counts).
-    let mut deltas: Vec<(f64, i64)> = arrivals
-        .iter()
-        .map(|a| (a.arrival_us, 1))
-        .chain(result.completions.iter().map(|c| (c.end_us, -1)))
-        .collect();
-    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut depth = 0i64;
-    for (t_us, d) in deltas {
-        depth += d;
-        events.push(split_telemetry::Event::QueueDepth {
-            depth: depth.max(0) as usize,
-            t_us,
-        });
-    }
-    if let Some(span) = result
-        .trace
-        .events()
-        .iter()
-        .map(|e| e.end_us)
-        .fold(None::<f64>, |m, e| Some(m.map_or(e, |m| m.max(e))))
-    {
-        let t0 = result
+    // Compute the derived pieces first so the merged vector can be
+    // allocated exactly once, then fill it in the same source order as
+    // always: arrivals, trace lifecycle, completions, queue depth,
+    // utilization, policy recorder. The stable sort below is what
+    // actually orders the recording, but the concatenation order is the
+    // tie-break *input* order, so it must not change.
+    let trace_events = result.trace.lifecycle_events();
+    let utilization = {
+        let span = result
             .trace
             .events()
             .iter()
-            .map(|e| e.start_us)
-            .fold(f64::INFINITY, f64::min);
-        let bucket = ((span - t0) / UTILIZATION_BUCKETS as f64).max(1.0);
-        events.extend(result.trace.utilization_series(bucket));
-    }
-    events.extend(result.recorder.events().cloned());
+            .map(|e| e.end_us)
+            .fold(None::<f64>, |m, e| Some(m.map_or(e, |m| m.max(e))));
+        match span {
+            Some(span) => {
+                let t0 = result
+                    .trace
+                    .events()
+                    .iter()
+                    .map(|e| e.start_us)
+                    .fold(f64::INFINITY, f64::min);
+                let bucket = ((span - t0) / UTILIZATION_BUCKETS as f64).max(1.0);
+                result.trace.utilization_series(bucket)
+            }
+            None => Vec::new(),
+        }
+    };
+    // Move the policy's decision events out instead of cloning each one.
+    let policy_events = std::mem::take(&mut result.recorder).into_events();
+
+    // In-system request count: +1 on arrival, -1 on completion
+    // (completions first on ties so an instant never over-counts).
+    let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(arrivals.len() + result.completions.len());
+    deltas.extend(arrivals.iter().map(|a| (a.arrival_us, 1)));
+    deltas.extend(result.completions.iter().map(|c| (c.end_us, -1)));
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let mut events: Vec<split_telemetry::Event> = Vec::with_capacity(
+        arrivals.len()
+            + trace_events.len()
+            + result.completions.len()
+            + deltas.len()
+            + utilization.len()
+            + policy_events.len(),
+    );
+    events.extend(arrivals.iter().map(|a| split_telemetry::Event::Arrival {
+        req: a.id,
+        model: a.model.clone(),
+        t_us: a.arrival_us,
+    }));
+    events.extend(trace_events);
+    events.extend(
+        result
+            .completions
+            .iter()
+            .map(|c| split_telemetry::Event::Completion {
+                req: c.id,
+                t_us: c.end_us,
+            }),
+    );
+    let mut depth = 0i64;
+    events.extend(deltas.into_iter().map(|(t_us, d)| {
+        depth += d;
+        split_telemetry::Event::QueueDepth {
+            depth: depth.max(0) as usize,
+            t_us,
+        }
+    }));
+    events.extend(utilization);
+    events.extend(policy_events);
     events.sort_by(|a, b| {
         a.t_us()
             .total_cmp(&b.t_us())
             .then(event_rank(a).cmp(&event_rank(b)))
     });
 
-    let mut recorder = split_telemetry::Recorder::new();
-    for e in events {
-        recorder.record(e);
-    }
-    result.recorder = recorder;
+    result.recorder = split_telemetry::Recorder::from_events(events);
     result
 }
 

@@ -15,6 +15,7 @@ use crate::engine::SimResult;
 use crate::request::{Completion, ModelTable};
 use gpu_sim::Trace;
 use std::collections::VecDeque;
+use std::sync::Arc;
 use workload::Arrival;
 
 struct Live {
@@ -29,11 +30,11 @@ struct Live {
 /// Serve the trace with round-robin *block* scheduling: the device cycles
 /// through the resident requests, one block each.
 pub fn block_round_robin(arrivals: &[Arrival], models: &ModelTable) -> SimResult {
-    let resolved: Vec<(&str, u32, f64, Vec<f64>)> = arrivals
+    let resolved: Vec<(Arc<str>, u32, f64, Vec<f64>)> = arrivals
         .iter()
         .map(|a| {
             let m = models.get(&a.model);
-            (m.name.as_str(), m.task, m.exec_us, m.blocks_us.clone())
+            (m.name.clone(), m.task, m.exec_us, m.blocks_us.clone())
         })
         .collect();
 
@@ -89,7 +90,7 @@ pub fn block_round_robin(arrivals: &[Arrival], models: &ModelTable) -> SimResult
         if r.blocks.is_empty() {
             completions.push(Completion {
                 id: r.id,
-                model: name.to_string(),
+                model: name.clone(),
                 task: *task,
                 arrival_us: r.arrival_us,
                 start_us: r.started.unwrap(),

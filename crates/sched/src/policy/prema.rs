@@ -64,11 +64,11 @@ struct Pending {
 pub fn prema(arrivals: &[Arrival], models: &ModelTable, cfg: &PremaCfg) -> SimResult {
     assert!(cfg.checkpoint_us > 0.0);
     // Resolve models once (name, task, exec) to avoid repeated lookups.
-    let resolved: Vec<(&str, u32, f64)> = arrivals
+    let resolved: Vec<(std::sync::Arc<str>, u32, f64)> = arrivals
         .iter()
         .map(|a| {
             let m = models.get(&a.model);
-            (m.name.as_str(), m.task, m.exec_us)
+            (m.name.clone(), m.task, m.exec_us)
         })
         .collect();
 
@@ -123,7 +123,7 @@ pub fn prema(arrivals: &[Arrival], models: &ModelTable, cfg: &PremaCfg) -> SimRe
         // the checkpoint (PREMA cannot preempt inside a checkpoint).
         {
             let p = &mut pending[pick];
-            let (name, _, _) = resolved[p.model_idx];
+            let (name, _, _) = &resolved[p.model_idx];
             if p.started.is_none() {
                 p.started = Some(now + overhead);
             }
@@ -135,15 +135,15 @@ pub fn prema(arrivals: &[Arrival], models: &ModelTable, cfg: &PremaCfg) -> SimRe
 
         if pending[pick].remaining_us <= 1e-9 {
             let p = pending.swap_remove(pick);
-            let (name, task, exec) = resolved[p.model_idx];
+            let (name, task, exec) = &resolved[p.model_idx];
             completions.push(Completion {
                 id: p.id,
-                model: name.to_string(),
-                task,
+                model: name.clone(),
+                task: *task,
                 arrival_us: p.arrival_us,
                 start_us: p.started.unwrap(),
                 end_us: now,
-                exec_us: exec,
+                exec_us: *exec,
             });
         }
     }

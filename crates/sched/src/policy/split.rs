@@ -10,7 +10,7 @@
 //! requests to vanilla execution during floods (§3.3).
 
 use crate::engine::SimResult;
-use crate::request::{Completion, ModelTable};
+use crate::request::{Completion, ModelRuntime, ModelTable};
 use gpu_sim::Trace;
 use serde::{Deserialize, Serialize};
 use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
@@ -39,17 +39,26 @@ impl Default for SplitCfg {
     }
 }
 
+/// Everything the policy tracks about one resident request, in a single
+/// map entry. The model description is borrowed from the deployment
+/// table, so admission copies no strings and the per-block transfer
+/// lookup needs no name-keyed map walk.
+struct ReqState<'a> {
+    model: &'a ModelRuntime,
+    blocks: VecDeque<f64>,
+    arrival_us: f64,
+    started: Option<f64>,
+    blocks_done: usize,
+}
+
 /// Serve the trace with SPLIT.
 pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimResult {
     let mut elastic = cfg.elastic.clone().map(ElasticController::new);
 
-    // Per-request state (BTreeMaps: keyed lookups only, but sorted maps
-    // keep every path deterministic by construction — audited by
+    // Per-request state (a BTreeMap: keyed lookups only, but a sorted map
+    // keeps every path deterministic by construction — audited by
     // split-analyze).
-    let mut blocks_left: BTreeMap<u64, VecDeque<f64>> = BTreeMap::new();
-    let mut meta: BTreeMap<u64, (String, u32, f64, f64)> = BTreeMap::new(); // name, task, exec, arrival
-    let mut started: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut blocks_done: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut states: BTreeMap<u64, ReqState<'_>> = BTreeMap::new();
 
     let mut queue: Vec<QueueEntry> = Vec::new();
     let mut running: Option<(u64, f64)> = None; // (request id, block end)
@@ -68,32 +77,30 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
         if running.is_none() {
             if let Some(head) = queue.first_mut() {
                 let id = head.id;
-                let blk = blocks_left
-                    .get_mut(&id)
-                    .and_then(|b| b.pop_front())
-                    .expect("queued request has blocks");
+                let st = states.get_mut(&id).expect("queued request has state");
+                let blk = st.blocks.pop_front().expect("queued request has blocks");
                 // The in-flight block leaves the entry's `left_us`; future
                 // preemption decisions see it as `base_wait` instead.
                 head.left_us -= blk;
-                let (name, _, _, _) = &meta[&id];
+                let name = &st.model.name;
                 // Index by blocks this request has actually executed — a
                 // downgraded request runs one vanilla block labeled b0,
                 // not the declared plan's last index (the split-analyze
                 // schedule linter checks block indices are contiguous
                 // from 0).
-                let block_idx = *blocks_done.get(&id).unwrap_or(&0);
-                *blocks_done.entry(id).or_insert(0) += 1;
+                let block_idx = st.blocks_done;
+                st.blocks_done += 1;
                 trace.record(format!("{name}#{id}/b{block_idx}"), 0, now, now + blk);
                 // Entering block N crosses boundary N−1: attribute the
                 // activation traffic. Zero duration — the transfer cost
                 // is already folded into the block overhead (§4), so
                 // schedules and latencies are unchanged.
                 if block_idx > 0 {
-                    if let Some(&bytes) = models.get(name).transfer_bytes.get(block_idx - 1) {
+                    if let Some(&bytes) = st.model.transfer_bytes.get(block_idx - 1) {
                         trace.record_transfer(id, bytes, now, 0.0);
                     }
                 }
-                started.entry(id).or_insert(now);
+                st.started.get_or_insert(now);
                 running = Some((id, now + blk));
                 continue;
             }
@@ -134,8 +141,16 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                     });
                 }
                 let left: f64 = blocks.iter().sum();
-                blocks_left.insert(a.id, blocks);
-                meta.insert(a.id, (m.name.clone(), m.task, m.exec_us, now));
+                states.insert(
+                    a.id,
+                    ReqState {
+                        model: m,
+                        blocks,
+                        arrival_us: now,
+                        started: None,
+                        blocks_done: 0,
+                    },
+                );
                 let base_wait = running.map(|(_, e)| e - now).unwrap_or(0.0);
                 let t0 = Instant::now();
                 let decision = greedy_preempt(
@@ -172,24 +187,22 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                 let te = t_block_end.expect("block end exists");
                 now = te;
                 let (id, _) = running.take().expect("block end without running block");
-                if blocks_left[&id].is_empty() {
+                if states[&id].blocks.is_empty() {
                     // Request finished: drop its queue entry and record.
                     let pos = queue
                         .iter()
                         .position(|e| e.id == id)
                         .expect("running request is queued");
                     queue.remove(pos);
-                    blocks_left.remove(&id);
-                    blocks_done.remove(&id);
-                    let (name, task, exec, arrival) = meta.remove(&id).expect("meta");
+                    let st = states.remove(&id).expect("state");
                     completions.push(Completion {
                         id,
-                        model: name,
-                        task,
-                        arrival_us: arrival,
-                        start_us: started.remove(&id).expect("started"),
+                        model: st.model.name.clone(),
+                        task: st.model.task,
+                        arrival_us: st.arrival_us,
+                        start_us: st.started.expect("started"),
                         end_us: now,
-                        exec_us: exec,
+                        exec_us: st.model.exec_us,
                     });
                 }
                 // Otherwise the request stays queued at its position; the

@@ -2,12 +2,16 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything a policy needs to know about one deployed model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelRuntime {
-    /// Model name (matches the workload trace).
-    pub name: String,
+    /// Model name (matches the workload trace). Interned as `Arc<str>`
+    /// once per deployment: every completion and scheduling decision that
+    /// carries the name bumps a refcount instead of copying the string
+    /// (the policies used to clone a `String` per scheduled request).
+    pub name: Arc<str>,
     /// Dense task id — requests of one task stay FIFO under SPLIT.
     pub task: u32,
     /// Isolated vanilla execution time `Ext`, µs (the QoS baseline).
@@ -26,7 +30,7 @@ pub struct ModelRuntime {
 
 impl ModelRuntime {
     /// An unsplit model.
-    pub fn vanilla(name: impl Into<String>, task: u32, exec_us: f64) -> Self {
+    pub fn vanilla(name: impl Into<Arc<str>>, task: u32, exec_us: f64) -> Self {
         Self {
             name: name.into(),
             task,
@@ -37,7 +41,7 @@ impl ModelRuntime {
     }
 
     /// A split model with the given block times.
-    pub fn split(name: impl Into<String>, task: u32, exec_us: f64, blocks_us: Vec<f64>) -> Self {
+    pub fn split(name: impl Into<Arc<str>>, task: u32, exec_us: f64, blocks_us: Vec<f64>) -> Self {
         assert!(!blocks_us.is_empty(), "need at least one block");
         Self {
             name: name.into(),
@@ -87,7 +91,7 @@ impl ModelTable {
 
     /// Insert a model (replacing an existing entry of the same name).
     pub fn insert(&mut self, m: ModelRuntime) {
-        self.map.insert(m.name.clone(), m);
+        self.map.insert(m.name.to_string(), m);
     }
 
     /// Look up a model.
@@ -122,8 +126,9 @@ impl ModelTable {
 pub struct Completion {
     /// Request id from the trace.
     pub id: u64,
-    /// Model name.
-    pub model: String,
+    /// Model name — a refcounted handle to the deployment's interned
+    /// name, not a per-completion copy.
+    pub model: Arc<str>,
     /// Task id.
     pub task: u32,
     /// Arrival time, µs.
@@ -153,7 +158,7 @@ impl Completion {
     pub fn to_outcome(&self) -> qos_metrics::RequestOutcome {
         qos_metrics::RequestOutcome {
             id: self.id,
-            model: self.model.clone(),
+            model: self.model.to_string(),
             exec_us: self.exec_us,
             e2e_us: self.e2e_us(),
         }

@@ -20,7 +20,9 @@
 //!   profiler's deduplicating `ProfileCache` (`SA2xx`);
 //! * [`par_audit`] — runs the offline GA at one pool worker and at eight
 //!   and structurally (bitwise) diffs the outcomes, extending the
-//!   `SA106` determinism audit to the thread pool;
+//!   `SA106` determinism audit to the thread pool; plus the `SA107`
+//!   cost-table audit proving memoized candidate profiles are
+//!   bit-identical to the direct arithmetic;
 //! * [`obs_lint`] — re-derives `split-obs` critical-path attribution
 //!   from the lifecycle recording and checks it is exact: components
 //!   sum to e2e within 1 ns, no negative components, every completion
@@ -44,7 +46,7 @@ pub use interleave::{
     Step,
 };
 pub use obs_lint::lint_attribution;
-pub use par_audit::audit_parallel_determinism;
+pub use par_audit::{audit_costtable_equivalence, audit_parallel_determinism};
 pub use plan_lint::{lint_plan, PlanLintCfg};
 pub use sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
 pub use suite::{run_suite, SuiteCfg, SuiteOutcome};

@@ -12,8 +12,9 @@
 //! by `==`, so a reassociated reduction cannot hide behind an epsilon.
 
 use crate::diag::{Diagnostic, Report};
-use dnn_graph::Graph;
-use gpu_sim::DeviceConfig;
+use dnn_graph::{Graph, SplitSpec};
+use gpu_sim::{CostTable, DeviceConfig};
+use profiler::{profile_split_on, BlockProfile};
 use split_core::{evolve, GaConfig, GaOutcome};
 
 /// Run the GA search at 1 worker and at `workers`, and diff the outcomes
@@ -103,6 +104,132 @@ pub fn diff_outcomes(ctx: &str, a: &GaOutcome, b: &GaOutcome) -> Report {
     report
 }
 
+/// Cost-table equivalence audit (`SA107`, the `SA106` family's companion
+/// for the memoized profiling path).
+///
+/// The `CostTable` optimization claims table-backed candidate profiles
+/// are **bit-identical** to ones derived from first principles — same
+/// float operations in the same order, just amortized. This auditor
+/// checks the claim over a deterministic spread of split candidates:
+/// every strided single cut, strided two-cut pairs, and evenly-spaced
+/// k-way splits, each profiled twice — once from a reference path that
+/// recomputes operator times, the prefix fold, and boundary transfers
+/// from the graph directly, and once through the shared [`CostTable`] —
+/// then compared with `to_bits` on every `f64` field. Any mismatch is an
+/// `SA107` error: the memoization changed numerics, which would silently
+/// shift GA outcomes and committed results.
+pub fn audit_costtable_equivalence(graph: &Graph, dev: &DeviceConfig) -> Report {
+    let mut report = Report::new();
+    let table = CostTable::build(graph, dev);
+    for spec in equivalence_specs(graph) {
+        let direct = reference_profile(graph, &spec, dev);
+        let tabled = profile_split_on(&table, &spec);
+        if let Some(field) = profile_bit_mismatch(&direct, &tabled) {
+            report.push(
+                Diagnostic::error(
+                    "SA107",
+                    format!("cost table on {} cuts {:?}", graph.name, spec.cuts()),
+                    format!(
+                        "table-backed profile diverges bitwise from the direct path in `{field}`"
+                    ),
+                )
+                .with_help(
+                    "CostTable must reproduce the reference float operations in the same order",
+                ),
+            );
+        }
+    }
+    report
+}
+
+/// Deterministic candidate spread for the equivalence audit: strided
+/// single cuts, strided two-cut pairs, and evenly-spaced k-way splits.
+fn equivalence_specs(graph: &Graph) -> Vec<SplitSpec> {
+    let m = graph.op_count();
+    let mut specs = Vec::new();
+    if m < 2 {
+        return specs;
+    }
+    let stride = (m / 16).max(1);
+    for c in (1..m).step_by(stride) {
+        specs.push(SplitSpec::new(graph, vec![c]).expect("strided cut in range"));
+    }
+    for c1 in (1..m).step_by(stride * 2) {
+        for c2 in ((c1 + stride)..m).step_by(stride * 2) {
+            specs.push(SplitSpec::new(graph, vec![c1, c2]).expect("strided pair in range"));
+        }
+    }
+    for k in 3..=6usize.min(m - 1) {
+        let cuts: Vec<usize> = (1..k).map(|i| (i * m / k).max(i)).collect();
+        if let Ok(spec) = SplitSpec::new(graph, cuts) {
+            specs.push(spec);
+        }
+    }
+    specs
+}
+
+/// The pre-table profiling arithmetic, recomputed from the graph: operator
+/// times, the left-fold prefix, per-block `overhead + lead + body + trail`,
+/// and the derived statistics in `BlockProfile` field order. This is the
+/// reference the table must match bitwise.
+fn reference_profile(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> BlockProfile {
+    let ops = gpu_sim::op_times_us(graph, dev);
+    let mut prefix = Vec::with_capacity(ops.len() + 1);
+    prefix.push(0.0);
+    for t in &ops {
+        prefix.push(prefix.last().unwrap() + t);
+    }
+    let vanilla_us = ops.iter().sum::<f64>() + dev.block_overhead_us;
+    let block_times_us: Vec<f64> = spec
+        .blocks(graph)
+        .iter()
+        .map(|b| {
+            let body = prefix[b.end] - prefix[b.start];
+            let lead = gpu_sim::transfer::half_boundary_us(b.input_transfer_bytes(graph), dev);
+            let trail = gpu_sim::transfer::half_boundary_us(b.output_transfer_bytes(graph), dev);
+            dev.block_overhead_us + lead + body + trail
+        })
+        .collect();
+    let total: f64 = block_times_us.iter().sum();
+    BlockProfile {
+        cuts: spec.cuts().to_vec(),
+        overhead_ratio: (total - vanilla_us) / vanilla_us,
+        std_us: profiler::population_std(&block_times_us),
+        mean_us: profiler::mean(&block_times_us),
+        range_pct: profiler::range_pct(&block_times_us),
+        block_times_us,
+        vanilla_us,
+    }
+}
+
+/// First `f64` field (or structural component) where two profiles differ
+/// bitwise, if any.
+fn profile_bit_mismatch(a: &BlockProfile, b: &BlockProfile) -> Option<&'static str> {
+    if a.cuts != b.cuts {
+        return Some("cuts");
+    }
+    if a.block_times_us.len() != b.block_times_us.len() {
+        return Some("block_times_us.len");
+    }
+    for (x, y) in a.block_times_us.iter().zip(&b.block_times_us) {
+        if x.to_bits() != y.to_bits() {
+            return Some("block_times_us");
+        }
+    }
+    for (field, x, y) in [
+        ("vanilla_us", a.vanilla_us, b.vanilla_us),
+        ("overhead_ratio", a.overhead_ratio, b.overhead_ratio),
+        ("std_us", a.std_us, b.std_us),
+        ("mean_us", a.mean_us, b.mean_us),
+        ("range_pct", a.range_pct, b.range_pct),
+    ] {
+        if x.to_bits() != y.to_bits() {
+            return Some(field);
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,6 +256,58 @@ mod tests {
         };
         let report = audit_parallel_determinism(&g, &dev, &cfg, 8);
         assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn costtable_equivalence_is_clean_on_zoo_models() {
+        let dev = DeviceConfig::default();
+        for id in [model_zoo::ModelId::ResNet50, model_zoo::ModelId::Gpt2] {
+            let g = id.build_calibrated(&dev);
+            let report = audit_costtable_equivalence(&g, &dev);
+            assert!(report.is_empty(), "{}: {}", g.name, report.render_text());
+        }
+        // And on a hand-built graph with a skip connection (live tensors
+        // crossing a boundary exercise the transfer half of the table).
+        let mut b = GraphBuilder::new("pa-skip", TensorShape::chw(8, 32, 32));
+        let x = b.source();
+        let c1 = b.conv(&x, 16, 3, 1, 1);
+        let r1 = b.relu(&c1);
+        let c2 = b.conv(&r1, 16, 3, 1, 1);
+        let s = b.add(&c2, &c1);
+        let c3 = b.conv(&s, 32, 3, 2, 1);
+        let _ = b.relu(&c3);
+        let g = b.finish();
+        let report = audit_costtable_equivalence(&g, &dev);
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn profile_bit_mismatch_catches_one_ulp() {
+        let g = chain(10);
+        let dev = DeviceConfig::default();
+        let spec = SplitSpec::new(&g, vec![3]).unwrap();
+        let a = reference_profile(&g, &spec, &dev);
+        assert_eq!(profile_bit_mismatch(&a, &a), None);
+        let mut b = a.clone();
+        b.std_us = f64::from_bits(a.std_us.to_bits() ^ 1);
+        assert_eq!(profile_bit_mismatch(&a, &b), Some("std_us"));
+        let mut c = a.clone();
+        c.block_times_us[1] = f64::from_bits(a.block_times_us[1].to_bits() ^ 1);
+        assert_eq!(profile_bit_mismatch(&a, &c), Some("block_times_us"));
+    }
+
+    #[test]
+    fn equivalence_specs_are_valid_and_cover_arities() {
+        let g = chain(20);
+        let specs = equivalence_specs(&g);
+        assert!(!specs.is_empty());
+        let mut max_blocks = 0;
+        for s in &specs {
+            // Re-validating proves every generated spec is in range/sorted.
+            SplitSpec::new(&g, s.cuts().to_vec()).unwrap();
+            max_blocks = max_blocks.max(s.block_count());
+        }
+        assert!(max_blocks >= 4, "k-way specs missing (max {max_blocks})");
     }
 
     #[test]

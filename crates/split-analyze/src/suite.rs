@@ -9,7 +9,7 @@
 use crate::diag::Report;
 use crate::interleave::{check_cache_interleavings, check_telemetry_interleavings};
 use crate::obs_lint::lint_attribution;
-use crate::par_audit::audit_parallel_determinism;
+use crate::par_audit::{audit_costtable_equivalence, audit_parallel_determinism};
 use crate::plan_lint::{lint_plan, PlanLintCfg};
 use crate::sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
 use gpu_sim::DeviceConfig;
@@ -70,8 +70,9 @@ pub struct SuiteOutcome {
     pub plan_report: Report,
     /// Schedule-analyzer findings (`SA101`–`SA105`), across all policies.
     pub schedule_report: Report,
-    /// Determinism-auditor findings (`SA106`), across all policies plus
-    /// the thread-pool (1-vs-8-worker) GA audit.
+    /// Determinism-auditor findings (`SA106`/`SA107`), across all
+    /// policies, the thread-pool (1-vs-8-worker) GA audit, and the
+    /// cost-table bit-identity audit over every model.
     pub determinism_report: Report,
     /// Interleaving-checker findings (`SA2xx`), telemetry plus the
     /// profile-cache dedup scenarios.
@@ -181,6 +182,13 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
             ..GaConfig::new(2)
         };
         determinism_report.merge(audit_parallel_determinism(&graph, &dev, &ga_cfg, 8));
+    }
+
+    // --- Cost-table stage: the memoized profiling path must be
+    // bit-identical to the direct arithmetic on every model (SA107). ---
+    for &id in &cfg.models {
+        let graph = id.build_calibrated(&dev);
+        determinism_report.merge(audit_costtable_equivalence(&graph, &dev));
     }
 
     // --- Telemetry + profile-cache stage: exhaustive interleavings. ---

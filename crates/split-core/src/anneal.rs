@@ -144,13 +144,14 @@ pub fn anneal(graph: &Graph, dev: &DeviceConfig, cfg: &AnnealConfig) -> AnnealOu
     assert!(cfg.iterations > 0);
     assert!((0.0..1.0).contains(&cfg.cooling) || cfg.cooling == 1.0);
 
+    let table = gpu_sim::CostTable::build(graph, dev);
     let cache = ProfileCache::new();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let cuts = cfg.blocks - 1;
 
     let eval = |state: &[usize]| {
         let spec = SplitSpec::new(graph, state.to_vec()).expect("valid state");
-        let p = cache.profile(graph, &spec, dev);
+        let p = cache.profile_on(&table, &spec);
         let f = fitness(&p);
         (spec, p, f)
     };

@@ -8,8 +8,8 @@
 
 use crate::fitness::fitness;
 use dnn_graph::{Graph, SplitSpec};
-use gpu_sim::DeviceConfig;
-use profiler::{profile_split, BlockProfile};
+use gpu_sim::{CostTable, DeviceConfig};
+use profiler::{profile_split_on, BlockProfile};
 use rayon::prelude::*;
 
 /// Number of split candidates for `op_count` operators into `blocks`
@@ -46,12 +46,13 @@ pub fn exhaustive_best(
         return None;
     }
     let combos = combinations(graph.op_count() - 1, blocks - 1);
+    let table = CostTable::build(graph, dev);
     combos
         .into_par_iter()
         .map(|cuts| {
             let cuts: Vec<usize> = cuts.into_iter().map(|c| c + 1).collect();
             let spec = SplitSpec::new(graph, cuts).expect("enumerated cuts valid");
-            let p = profile_split(graph, &spec, dev);
+            let p = profile_split_on(&table, &spec);
             let f = fitness(&p);
             (spec, p, f)
         })
@@ -96,6 +97,7 @@ fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
 mod tests {
     use super::*;
     use dnn_graph::{GraphBuilder, TensorShape};
+    use profiler::profile_split;
 
     fn chain(n: usize) -> Graph {
         let mut b = GraphBuilder::new("chain", TensorShape::chw(4, 32, 32));

@@ -19,7 +19,7 @@
 
 use crate::fitness::fitness;
 use dnn_graph::{Graph, SplitSpec};
-use gpu_sim::DeviceConfig;
+use gpu_sim::{CostTable, DeviceConfig};
 use profiler::{BlockProfile, ProfileCache};
 use rand::prelude::*;
 use rayon::prelude::*;
@@ -160,6 +160,23 @@ pub struct GaOutcome {
 /// # Panics
 /// Panics if `cfg.blocks < 2` or the model has fewer operators than blocks.
 pub fn evolve(graph: &Graph, dev: &DeviceConfig, cfg: &GaConfig) -> GaOutcome {
+    evolve_on(graph, &CostTable::build(graph, dev), cfg)
+}
+
+/// [`evolve`] against a prebuilt [`CostTable`].
+///
+/// The table is built once per run and shared by every generation and
+/// worker thread, so each candidate profile is `O(cuts)` instead of
+/// `O(ops)`. Bit-identical to [`evolve`] on the table's (graph, device)
+/// pair — the table reproduces the direct path's float operations in the
+/// same order, and the RNG never observes profiling at all. Callers
+/// planning several block counts over one pair (e.g.
+/// `SplitPlan::offline`) build the table themselves and amortize it
+/// across runs.
+///
+/// # Panics
+/// Panics if `cfg.blocks < 2` or the model has fewer operators than blocks.
+pub fn evolve_on(graph: &Graph, table: &CostTable, cfg: &GaConfig) -> GaOutcome {
     assert!(
         cfg.blocks >= 2,
         "splitting into {} blocks is a no-op",
@@ -192,7 +209,7 @@ pub fn evolve(graph: &Graph, dev: &DeviceConfig, cfg: &GaConfig) -> GaOutcome {
         let scored: Vec<(SplitSpec, BlockProfile, f64)> = population
             .par_iter()
             .map(|spec| {
-                let p = cache.profile(graph, spec, dev);
+                let p = cache.profile_on(table, spec);
                 let f = fitness(&p);
                 (spec.clone(), p, f)
             })

@@ -38,7 +38,7 @@ pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
 pub use elastic::{ElasticConfig, ElasticController};
 pub use exhaustive::{count_candidates, exhaustive_best};
 pub use fitness::{fitness, FitnessParts};
-pub use ga::{evolve, CrossoverOp, GaConfig, GaOutcome, GenStats, InitStrategy};
+pub use ga::{evolve, evolve_on, CrossoverOp, GaConfig, GaOutcome, GenStats, InitStrategy};
 pub use plan::{PlanSet, SplitPlan};
 pub use preempt::{
     algorithm1_preempt, greedy_preempt, response_ratio, PreemptDecision, QueueEntry,

@@ -7,10 +7,10 @@
 //! side consults.
 
 use crate::fitness::fitness;
-use crate::ga::{evolve, GaConfig, GaOutcome};
+use crate::ga::{evolve_on, GaConfig, GaOutcome};
 use dnn_graph::{Graph, SplitSpec};
-use gpu_sim::DeviceConfig;
-use profiler::{profile_split, profile_unsplit};
+use gpu_sim::{CostTable, DeviceConfig};
+use profiler::{profile_split_on, profile_unsplit};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -57,14 +57,21 @@ impl SplitPlan {
 
     /// Plan from an explicit split spec.
     pub fn from_spec(graph: &Graph, spec: &SplitSpec, dev: &DeviceConfig) -> Self {
-        let p = profile_split(graph, spec, dev);
+        Self::from_spec_on(graph, &CostTable::build(graph, dev), spec)
+    }
+
+    /// [`SplitPlan::from_spec`] against a prebuilt [`CostTable`] — both
+    /// the profile and the declared `transfer_bytes` come from the table
+    /// (its boundary volumes are the graph's exact live-set bytes).
+    pub fn from_spec_on(graph: &Graph, table: &CostTable, spec: &SplitSpec) -> Self {
+        let p = profile_split_on(table, spec);
         Self {
             model: graph.name.clone(),
             cuts: spec.cuts().to_vec(),
             transfer_bytes: spec
                 .cuts()
                 .iter()
-                .map(|&c| graph.boundary_bytes(c))
+                .map(|&c| table.boundary_bytes(c))
                 .collect(),
             block_times_us: p.block_times_us.clone(),
             vanilla_us: p.vanilla_us,
@@ -77,17 +84,22 @@ impl SplitPlan {
     /// Run the offline GA for each block count in `block_range` and keep
     /// the fittest result — the full §3.3 offline stage for one model.
     /// Returns the plan and the winning GA run's history.
+    ///
+    /// One [`CostTable`] is built for the whole range and shared by every
+    /// GA run (and the elastic controller's re-planning path, which goes
+    /// through here), so candidate profiling is `O(cuts)` throughout.
     pub fn offline(
         graph: &Graph,
         dev: &DeviceConfig,
         block_range: std::ops::RangeInclusive<usize>,
         seed: u64,
     ) -> (Self, GaOutcome) {
+        let table = CostTable::build(graph, dev);
         let mut best: Option<(Self, GaOutcome)> = None;
         for blocks in block_range {
             let cfg = GaConfig::new(blocks).with_seed(seed ^ blocks as u64);
-            let out = evolve(graph, dev, &cfg);
-            let plan = Self::from_spec(graph, &out.best, dev);
+            let out = evolve_on(graph, &table, &cfg);
+            let plan = Self::from_spec_on(graph, &table, &out.best);
             let better = match &best {
                 None => true,
                 Some((b, _)) => plan.fitness > b.fitness,

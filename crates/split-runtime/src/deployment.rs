@@ -18,7 +18,7 @@ impl Deployment {
     }
 
     /// Deploy a model that runs unsplit.
-    pub fn deploy_vanilla(&mut self, name: impl Into<String>, exec_us: f64) -> u32 {
+    pub fn deploy_vanilla(&mut self, name: impl Into<std::sync::Arc<str>>, exec_us: f64) -> u32 {
         let task = self.next_task;
         self.next_task += 1;
         self.table

@@ -347,7 +347,7 @@ fn responder_loop(
             // scheduling order across the two threads.
             shared.recorder.record(Event::Arrival {
                 req: id,
-                model: m.name.clone(),
+                model: m.name.to_string(),
                 t_us: now,
             });
             if !use_split && m.blocks_us.len() > 1 {
@@ -362,7 +362,7 @@ fn responder_loop(
             st.meta.insert(
                 id,
                 Meta {
-                    model: m.name.clone(),
+                    model: m.name.to_string(),
                     exec_us: m.exec_us,
                     arrival_us: now,
                     start_us: None,

@@ -237,6 +237,24 @@ impl Recorder {
         self.dropped
     }
 
+    /// Consume the recorder, yielding its events oldest-first. The
+    /// engine's lifecycle-merge path uses this to move a policy's
+    /// decision events into the merged recording without cloning them.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events.into()
+    }
+
+    /// Build an unbounded recorder directly from a pre-ordered event
+    /// vector (the inverse of [`Recorder::into_events`]), without the
+    /// per-event ring bookkeeping of [`Recorder::record`].
+    pub fn from_events(events: Vec<Event>) -> Self {
+        Self {
+            events: VecDeque::from(events),
+            mode: RecorderMode::Unbounded,
+            dropped: 0,
+        }
+    }
+
     /// Absorb another recorder's events (e.g. merging per-thread
     /// recordings); the result keeps this recorder's mode.
     pub fn merge(&mut self, other: &Recorder) {

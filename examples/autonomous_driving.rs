@@ -72,13 +72,13 @@ fn main() {
         let pose: Vec<f64> = r
             .completions
             .iter()
-            .filter(|c| c.model != "vgg19")
+            .filter(|c| &*c.model != "vgg19")
             .map(|c| c.e2e_us() / 1e3)
             .collect();
         let detect: Vec<f64> = r
             .completions
             .iter()
-            .filter(|c| c.model == "vgg19")
+            .filter(|c| &*c.model == "vgg19")
             .map(|c| c.e2e_us() / 1e3)
             .collect();
         let worst = pose.iter().copied().fold(0.0f64, f64::max);

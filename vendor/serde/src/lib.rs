@@ -467,6 +467,20 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
 impl<T: Serialize> Serialize for Box<T> {
     fn serialize_value(&self) -> Value {
         (**self).serialize_value()
