@@ -265,6 +265,28 @@ impl Trace {
         out
     }
 
+    /// Device-busy time (union of all spans across streams) clipped to
+    /// the window `[start_us, end_us]`, in µs. Backs the incident
+    /// bundles' device-utilization context.
+    pub fn busy_us_between(&self, start_us: f64, end_us: f64) -> f64 {
+        if end_us <= start_us {
+            return 0.0;
+        }
+        let mut iv: Vec<(f64, f64)> = self.events.iter().map(|e| (e.start_us, e.end_us)).collect();
+        iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut busy = 0.0;
+        let mut cursor = start_us;
+        for (s, e) in iv {
+            let lo = s.max(cursor);
+            let hi = e.min(end_us);
+            if hi > lo {
+                busy += hi - lo;
+                cursor = hi;
+            }
+        }
+        busy
+    }
+
     /// Render a fixed-width ASCII Gantt chart, one row per distinct label
     /// prefix (up to the first `/`), `width` columns spanning the full
     /// trace. Used by the schedule-gallery example to reproduce the
@@ -455,6 +477,20 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn busy_between_unions_overlaps_and_clips() {
+        let mut t = Trace::new();
+        t.record("a#0", 0, 0.0, 10.0);
+        t.record("b#1", 1, 5.0, 12.0); // overlap [5,10] counted once
+        t.record("c#2", 0, 20.0, 30.0);
+        assert!((t.busy_us_between(0.0, 30.0) - 22.0).abs() < 1e-9);
+        // Clipped window cuts both ends.
+        assert!((t.busy_us_between(6.0, 25.0) - 11.0).abs() < 1e-9);
+        // Degenerate / empty windows.
+        assert_eq!(t.busy_us_between(10.0, 10.0), 0.0);
+        assert_eq!(t.busy_us_between(13.0, 19.0), 0.0);
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct SimResult {
     /// merges in the uniform events every policy shares — arrivals,
     /// block spans, completions, queue depth, utilization.
     pub recorder: split_telemetry::Recorder,
+    /// Flight-recorder snapshot, projected lazily from the lifecycle on
+    /// first access — read it through [`SimResult::flight`]. Whether
+    /// recording is enabled is still decided at simulate time
+    /// ([`attach_lifecycle`] pins the disabled snapshot when
+    /// [`split_forensics::flight_enabled`] is off, e.g. under
+    /// `SPLIT_FLIGHT=0` or a perfbench off-measurement).
+    pub flight: std::sync::OnceLock<split_forensics::FlightSnapshot>,
 }
 
 impl SimResult {
@@ -93,6 +100,34 @@ impl SimResult {
     /// sched components (sum = e2e within 1 ns; linted as `SA301`).
     pub fn attribution(&self) -> Vec<split_obs::Attribution> {
         split_obs::attribute(&self.recorder)
+    }
+
+    /// Flight-recorder view of this run: bit-for-bit the bounded-ring
+    /// snapshot a quiescent [`split_forensics::FlightRing`] fed every
+    /// causal event would return. The projection is computed here, on
+    /// first access — the engine already retains the whole lifecycle in
+    /// [`SimResult::recorder`], so the always-on recorder adds no work
+    /// to the serving path itself (the perfbench on/off pair gates that
+    /// at ≤ 5% p50). Live server threads, where writes race, record
+    /// through the real ring instead.
+    pub fn flight(&self) -> &split_forensics::FlightSnapshot {
+        self.flight.get_or_init(|| {
+            split_forensics::FlightSnapshot::from_events(
+                self.recorder.events(),
+                split_forensics::flight_capacity(),
+            )
+        })
+    }
+
+    /// Run the tail-latency forensics pipeline over this result: replay
+    /// the SLO monitor, and build one incident bundle per fired
+    /// burn-rate alert (outliers sampled, classified, and aggregated
+    /// into a verdict).
+    pub fn investigate(
+        &self,
+        cfg: &split_forensics::ForensicsCfg,
+    ) -> split_forensics::Investigation {
+        split_forensics::investigate(&self.recorder, self.flight(), Some(&self.trace), cfg)
     }
 }
 
@@ -203,6 +238,15 @@ pub fn attach_lifecycle(arrivals: &[Arrival], mut result: SimResult) -> SimResul
             .total_cmp(&b.t_us())
             .then(event_rank(a).cmp(&event_rank(b)))
     });
+
+    // Pin the recording decision now (scoped `with_flight` overrides
+    // end with the caller): off pins the disabled snapshot; on leaves
+    // the cell empty for `SimResult::flight` to project lazily.
+    if !split_forensics::flight_enabled() {
+        let _ = result
+            .flight
+            .set(split_forensics::FlightSnapshot::disabled());
+    }
 
     result.recorder = split_telemetry::Recorder::from_events(events);
     result

@@ -108,6 +108,7 @@ pub fn block_round_robin(arrivals: &[Arrival], models: &ModelTable) -> SimResult
         completions,
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 

@@ -32,6 +32,7 @@ pub fn clockwork(arrivals: &[Arrival], models: &ModelTable) -> SimResult {
         completions,
         trace: tl.into_trace(),
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 
@@ -81,6 +82,7 @@ pub fn clockwork_with_dropping(
             completions,
             trace: tl.into_trace(),
             recorder: Default::default(),
+            flight: Default::default(),
         },
         dropped,
     )

@@ -81,6 +81,7 @@ pub fn edf(arrivals: &[Arrival], models: &ModelTable, cfg: &EdfCfg) -> SimResult
         completions,
         trace: tl.into_trace(),
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 

@@ -153,6 +153,7 @@ pub fn prema(arrivals: &[Arrival], models: &ModelTable, cfg: &PremaCfg) -> SimRe
         completions,
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 

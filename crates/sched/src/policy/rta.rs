@@ -82,6 +82,7 @@ pub fn rta(arrivals: &[Arrival], models: &ModelTable, cfg: &RtaCfg) -> SimResult
         completions,
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 

@@ -68,6 +68,7 @@ pub fn sjf(arrivals: &[Arrival], models: &ModelTable) -> SimResult {
         completions,
         trace: tl.into_trace(),
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 

@@ -217,6 +217,7 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
         completions,
         trace,
         recorder,
+        flight: Default::default(),
     }
 }
 

@@ -71,6 +71,7 @@ pub fn stream_parallel(
         completions,
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     }
 }
 

@@ -26,13 +26,19 @@
 //! * [`obs_lint`] — re-derives `split-obs` critical-path attribution
 //!   from the lifecycle recording and checks it is exact: components
 //!   sum to e2e within 1 ns, no negative components, every completion
-//!   attributed (`SA3xx`).
+//!   attributed (`SA3xx`);
+//! * [`forensics_lint`] — verifies incident bundles from
+//!   `split-forensics`: root-cause classifications reconcile with the
+//!   exact decomposition, the tail-sampling invariant holds (every
+//!   violating request captured), the flight ring reads causally, and
+//!   the verdict aggregates its outliers exactly (`SA4xx`).
 //!
-//! [`suite::run_suite`] runs all three over regenerated artifacts — this
-//! is what `split-cli analyze` and the figure harnesses call. The full
-//! invariant catalog lives in DESIGN.md §9.
+//! [`suite::run_suite`] runs all of these over regenerated artifacts —
+//! this is what `split-cli analyze` and the figure harnesses call. The
+//! full invariant catalog lives in DESIGN.md §9.
 
 pub mod diag;
+pub mod forensics_lint;
 pub mod interleave;
 pub mod obs_lint;
 pub mod par_audit;
@@ -41,6 +47,7 @@ pub mod sched_lint;
 pub mod suite;
 
 pub use diag::{Diagnostic, Report, Severity};
+pub use forensics_lint::{lint_bundle, lint_bundles};
 pub use interleave::{
     check_cache_interleavings, check_telemetry_interleavings, explore, ExploreOutcome, Machine,
     Step,

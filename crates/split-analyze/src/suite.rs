@@ -7,6 +7,7 @@
 //! scenario) and lints everything it produces.
 
 use crate::diag::Report;
+use crate::forensics_lint::lint_bundles;
 use crate::interleave::{check_cache_interleavings, check_telemetry_interleavings};
 use crate::obs_lint::lint_attribution;
 use crate::par_audit::{audit_costtable_equivalence, audit_parallel_determinism};
@@ -17,7 +18,7 @@ use model_zoo::{benchmark_models, LengthClass, ModelId};
 use sched::{simulate, Policy};
 use split_core::{GaConfig, SplitPlan};
 use split_runtime::Deployment;
-use workload::{RequestTrace, Scenario};
+use workload::{BurstConfig, RequestTrace, Scenario};
 
 /// Suite configuration.
 #[derive(Debug, Clone)]
@@ -80,10 +81,15 @@ pub struct SuiteOutcome {
     /// Attribution-exactness findings (`SA301`–`SA303`), across all
     /// policies.
     pub attribution_report: Report,
+    /// Forensics-bundle findings (`SA401`–`SA404`) from the burst
+    /// incident stage.
+    pub forensics_report: Report,
     /// Plans linted.
     pub plans_checked: usize,
     /// Policy schedules analyzed.
     pub schedules_checked: usize,
+    /// Incident bundles produced and linted by the burst stage.
+    pub bundles_checked: usize,
     /// Interleavings exhausted by the telemetry + cache scenarios.
     pub interleavings: u64,
 }
@@ -98,6 +104,7 @@ impl SuiteOutcome {
             &self.determinism_report,
             &self.interleave_report,
             &self.attribution_report,
+            &self.forensics_report,
         ] {
             for d in &r.diagnostics {
                 all.push(d.clone());
@@ -191,6 +198,40 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         determinism_report.merge(audit_costtable_equivalence(&graph, &dev));
     }
 
+    // --- Forensics stage: an overload burst must fire the burn-rate
+    // alert, and every bundle it produces must pass the SA4xx checks
+    // (sampling invariant, exact classification, causal flight ring,
+    // consistent verdict). ---
+    let mut forensics_report = Report::new();
+    let burst = BurstConfig {
+        calm_interval_us: 50_000.0,
+        burst_interval_us: 1_500.0,
+        calm_dwell_us: 300_000.0,
+        burst_dwell_us: 400_000.0,
+    };
+    let mut burst_scenario = Scenario::table2(cfg.scenario);
+    burst_scenario.requests = cfg.requests;
+    let burst_trace = RequestTrace::generate_burst(burst_scenario, &names, burst);
+    let burst_result = simulate(
+        &Policy::Split(Default::default()),
+        &burst_trace.arrivals,
+        table,
+    );
+    let inv = burst_result.investigate(&split_forensics::ForensicsCfg::default());
+    if inv.bundles.is_empty() {
+        forensics_report.push(
+            crate::diag::Diagnostic::error(
+                "SA402",
+                "forensics stage",
+                "the overload burst fired no burn-rate alert, so no incident bundle \
+                 could be verified",
+            )
+            .with_help("the burst workload or SLO config no longer overloads the device"),
+        );
+    }
+    let bundles_checked = inv.bundles.len();
+    forensics_report.merge(lint_bundles(&inv.bundles));
+
     // --- Telemetry + profile-cache stage: exhaustive interleavings. ---
     let (mut interleave_report, mut interleavings) =
         check_telemetry_interleavings(cfg.interleave_limit);
@@ -204,8 +245,10 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         determinism_report,
         interleave_report,
         attribution_report,
+        forensics_report,
         plans_checked,
         schedules_checked,
+        bundles_checked,
         interleavings,
     }
 }
@@ -245,6 +288,10 @@ mod tests {
         assert_eq!(merged.warning_count(), 0, "{}", merged.render_text());
         assert_eq!(out.plans_checked, 4);
         assert_eq!(out.schedules_checked, 6);
+        assert!(
+            out.bundles_checked >= 1,
+            "burst stage must produce a bundle"
+        );
         assert!(out.interleavings >= 20_000);
     }
 }

@@ -48,6 +48,7 @@ fn overlapping_streams_fixture_is_exactly_sa101() {
         ],
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     };
     let table = vanilla_table();
     let report = lint_schedule(&arrivals, &result, &ScheduleLintCfg::structural(&table));
@@ -74,6 +75,7 @@ fn mid_block_preemption_fixture_is_exactly_sa102() {
         completions: vec![completion(0, "s", 0.0, 0.0, 95.0)],
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     };
     let report = lint_schedule(&arrivals, &result, &ScheduleLintCfg::block_granular(&table));
     assert_eq!(report.len(), 1, "{}", report.render_text());
@@ -95,6 +97,7 @@ fn lost_request_fixture_is_exactly_sa103() {
         completions: vec![completion(0, "m", 0.0, 0.0, 100.0)],
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     };
     let table = vanilla_table();
     let report = lint_schedule(&arrivals, &result, &ScheduleLintCfg::structural(&table));
@@ -119,6 +122,7 @@ fn impossible_latency_fixture_is_exactly_sa104() {
         completions: vec![completion(0, "m", 0.0, 0.0, 80.0)],
         trace,
         recorder: Default::default(),
+        flight: Default::default(),
     };
     let table = vanilla_table();
     let report = lint_schedule(&arrivals, &result, &ScheduleLintCfg::structural(&table));

@@ -1,0 +1,602 @@
+//! Self-contained incident bundles.
+//!
+//! A bundle is everything a human (or the closed-loop controller of
+//! ROADMAP item 5) needs to understand one burn-rate alert, in one
+//! JSON document: the alert itself, the SLO config in force, the
+//! flight-recorder ring scoped to the incident window, queue-depth and
+//! device-utilization context, every retained outlier's full span tree
+//! with its root-cause label, per-model head counters for everything
+//! that was *not* retained, and an aggregated [`Verdict`].
+//!
+//! The schema is versioned ([`BUNDLE_SCHEMA`]) and flat enough for the
+//! plain serde derive; `split-cli forensics <bundle>` renders it and
+//! [`IncidentBundle::perfetto_events`] re-exports the captured spans as
+//! a Chrome/Perfetto trace with the incident context overlaid.
+
+use crate::classify::RootCause;
+use crate::ring::FlightSnapshot;
+use serde::{Deserialize, Serialize};
+use serde_json::{Map, Number, Value};
+use split_obs::{Alert, Attribution, Span, SpanContext, SpanKind};
+use std::io;
+use std::path::Path;
+
+/// Bundle schema identifier (bump on breaking changes).
+pub const BUNDLE_SCHEMA: &str = "split-forensics-bundle/v1";
+
+/// Lifecycle phase of a captured span (flattened [`SpanKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseKind {
+    /// Root arrival → completion span.
+    Request,
+    /// Pre-first-block queueing.
+    Queue,
+    /// One block on the device.
+    Block,
+    /// Boundary activation transfer.
+    Transfer,
+    /// Preemption/downgrade stall at a block boundary.
+    Stall,
+    /// Post-last-block drain.
+    Drain,
+}
+
+/// One span of an outlier's trace, flattened for serialization.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Trace id (= request id).
+    pub trace_id: u64,
+    /// Span id, unique within the trace.
+    pub span_id: u64,
+    /// Parent span id (`None` for the root).
+    pub parent: Option<u64>,
+    /// Lifecycle phase.
+    pub phase: PhaseKind,
+    /// Block index (Block spans; 0 otherwise).
+    pub index: u64,
+    /// Stream (Block spans; 0 otherwise).
+    pub stream: u64,
+    /// Payload bytes (Transfer spans; 0 otherwise).
+    pub bytes: u64,
+    /// Model name.
+    pub model: String,
+    /// Start, µs.
+    pub start_us: f64,
+    /// End, µs.
+    pub end_us: f64,
+}
+
+impl From<&Span> for SpanRecord {
+    fn from(sp: &Span) -> Self {
+        let (phase, index, stream, bytes) = match sp.kind {
+            SpanKind::Request => (PhaseKind::Request, 0, 0, 0),
+            SpanKind::Queue => (PhaseKind::Queue, 0, 0, 0),
+            SpanKind::Block { index, stream } => (PhaseKind::Block, index as u64, stream as u64, 0),
+            SpanKind::Transfer { bytes } => (PhaseKind::Transfer, 0, 0, bytes),
+            SpanKind::Stall => (PhaseKind::Stall, 0, 0, 0),
+            SpanKind::Drain => (PhaseKind::Drain, 0, 0, 0),
+        };
+        SpanRecord {
+            trace_id: sp.ctx.trace_id,
+            span_id: sp.ctx.span_id,
+            parent: sp.ctx.parent,
+            phase,
+            index,
+            stream,
+            bytes,
+            model: sp.model.clone(),
+            start_us: sp.start_us,
+            end_us: sp.end_us,
+        }
+    }
+}
+
+impl SpanRecord {
+    /// Reconstruct the in-memory [`Span`].
+    pub fn to_span(&self) -> Span {
+        let kind = match self.phase {
+            PhaseKind::Request => SpanKind::Request,
+            PhaseKind::Queue => SpanKind::Queue,
+            PhaseKind::Block => SpanKind::Block {
+                index: self.index as usize,
+                stream: self.stream as u32,
+            },
+            PhaseKind::Transfer => SpanKind::Transfer { bytes: self.bytes },
+            PhaseKind::Stall => SpanKind::Stall,
+            PhaseKind::Drain => SpanKind::Drain,
+        };
+        Span {
+            ctx: SpanContext {
+                trace_id: self.trace_id,
+                span_id: self.span_id,
+                parent: self.parent,
+            },
+            model: self.model.clone(),
+            kind,
+            start_us: self.start_us,
+            end_us: self.end_us,
+        }
+    }
+
+    /// Span duration, µs.
+    pub fn dur_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+}
+
+/// Why an outlier's full trace is in the bundle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleReason {
+    /// Violated QoS (`e2e > α × compute`). The sampling invariant
+    /// guarantees capture.
+    Violating,
+    /// Among the top-k slowest non-violating completions in its window.
+    TopK,
+    /// Rejected before execution (unknown model / admission drop).
+    Dropped,
+}
+
+/// One retained outlier: exact attribution, root-cause label, and the
+/// full span tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutlierReport {
+    /// Exact latency decomposition (components sum to e2e within 1 ns —
+    /// the `SA401` invariant).
+    pub attribution: Attribution,
+    /// Whether the request violated QoS.
+    pub violated: bool,
+    /// Why it was retained.
+    pub reason: SampleReason,
+    /// Root-cause label.
+    pub cause: RootCause,
+    /// Waiting time overlapped by other-model device time, µs.
+    pub interference_us: f64,
+    /// Model blamed for the interference (empty when none).
+    pub culprit_model: String,
+    /// Full span tree (root first).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Share of outliers carrying one root cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CauseShare {
+    /// The cause.
+    pub cause: RootCause,
+    /// Outliers labeled with it.
+    pub count: u64,
+    /// `count / total outliers` (shares sum to 1 — the `SA404`
+    /// invariant).
+    pub share: f64,
+}
+
+/// Aggregated incident verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// One-line human verdict, e.g. `p99 regression: 78%
+    /// preemption-stall on gpt2 behind resnet50 bursts`.
+    pub text: String,
+    /// Cause histogram over all outliers, descending by count.
+    pub cause_shares: Vec<CauseShare>,
+    /// Model with the most violating outliers.
+    pub top_model: String,
+    /// Most-blamed interfering model (empty when interference played no
+    /// role).
+    pub culprit_model: String,
+    /// Outliers in the bundle.
+    pub outliers: u64,
+    /// QoS-violating completions in the incident window.
+    pub violating: u64,
+    /// Violating completions whose traces are in the bundle. The
+    /// sampling invariant requires `captured_violating == violating`
+    /// (`SA402`).
+    pub captured_violating: u64,
+}
+
+/// Queue-depth sample inside the incident window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthSample {
+    /// Sample time, µs.
+    pub t_us: f64,
+    /// Wait-queue depth.
+    pub depth: u64,
+}
+
+/// Head-sampled per-model counters for the incident window (the
+/// requests that were *not* retained still count here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelStat {
+    /// Model name.
+    pub model: String,
+    /// Completions in the window.
+    pub completed: u64,
+    /// QoS violations among them.
+    pub violated: u64,
+    /// Traces retained in the bundle.
+    pub captured: u64,
+    /// Mean e2e latency, µs.
+    pub mean_e2e_us: f64,
+    /// Max e2e latency, µs.
+    pub max_e2e_us: f64,
+}
+
+/// One self-contained incident.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentBundle {
+    /// Schema identifier ([`BUNDLE_SCHEMA`]).
+    pub schema: String,
+    /// The burn-rate alert that triggered the capture.
+    pub alert: Alert,
+    /// QoS multiplier in force.
+    pub alpha: f64,
+    /// Violation-rate objective in force.
+    pub objective: f64,
+    /// Incident window start (alert fire − slow window), µs.
+    pub window_start_us: f64,
+    /// Incident window end (alert resolve, or end of recording), µs.
+    pub window_end_us: f64,
+    /// Queue-depth samples inside the window.
+    pub queue_depths: Vec<DepthSample>,
+    /// Peak queue depth inside the window.
+    pub peak_queue_depth: u64,
+    /// Device busy fraction over the window, percent (0 when no
+    /// execution trace was available).
+    pub device_busy_pct: f64,
+    /// Flight-recorder ring scoped to the window.
+    pub flight: FlightSnapshot,
+    /// Retained outliers with root-cause labels.
+    pub outliers: Vec<OutlierReport>,
+    /// Per-model head counters.
+    pub models: Vec<ModelStat>,
+    /// Aggregated verdict.
+    pub verdict: Verdict,
+}
+
+impl IncidentBundle {
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("bundle serializes")
+    }
+
+    /// Write the JSON document to `path`.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Load a bundle from `path`, verifying the schema tag.
+    pub fn load(path: &Path) -> io::Result<IncidentBundle> {
+        let text = std::fs::read_to_string(path)?;
+        let bundle: IncidentBundle = serde_json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if bundle.schema != BUNDLE_SCHEMA {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown bundle schema {:?}", bundle.schema),
+            ));
+        }
+        Ok(bundle)
+    }
+
+    /// Outlier span forest as in-memory [`Span`]s.
+    pub fn spans(&self) -> Vec<Span> {
+        self.outliers
+            .iter()
+            .flat_map(|o| o.spans.iter().map(SpanRecord::to_span))
+            .collect()
+    }
+
+    /// Export as a Chrome/Perfetto `trace_events` document: one track
+    /// per captured outlier (tid = 1000 + request id, cause in the root
+    /// span's args), queue depth as a counter track, and an instant
+    /// marker at alert fire/resolve.
+    pub fn perfetto_events(&self) -> Value {
+        let mut events: Vec<Value> = Vec::new();
+        events.push(obj(vec![
+            ("name", s("process_name")),
+            ("ph", s("M")),
+            ("pid", u(1)),
+            ("args", obj(vec![("name", s("split-forensics incident"))])),
+        ]));
+        events.push(obj(vec![
+            ("name", s("alert fired")),
+            ("ph", s("i")),
+            ("s", s("g")),
+            ("ts", f(self.alert.fired_at_us)),
+            ("pid", u(1)),
+            ("tid", u(0)),
+            ("args", obj(vec![("verdict", s(self.verdict.text.clone()))])),
+        ]));
+        if let Some(r) = self.alert.resolved_at_us {
+            events.push(obj(vec![
+                ("name", s("alert resolved")),
+                ("ph", s("i")),
+                ("s", s("g")),
+                ("ts", f(r)),
+                ("pid", u(1)),
+                ("tid", u(0)),
+            ]));
+        }
+        for d in &self.queue_depths {
+            events.push(obj(vec![
+                ("name", s("queue depth")),
+                ("ph", s("C")),
+                ("ts", f(d.t_us)),
+                ("pid", u(1)),
+                ("args", obj(vec![("depth", u(d.depth))])),
+            ]));
+        }
+        for o in &self.outliers {
+            for sp in &o.spans {
+                let mut args = vec![
+                    ("trace_id", u(sp.trace_id)),
+                    ("span_id", u(sp.span_id)),
+                    ("cause", s(o.cause.label())),
+                ];
+                if let Some(p) = sp.parent {
+                    args.push(("parent", u(p)));
+                }
+                events.push(obj(vec![
+                    ("name", s(sp.to_span().label())),
+                    ("cat", s(o.cause.label())),
+                    ("ph", s("X")),
+                    ("ts", f(sp.start_us)),
+                    ("dur", f(sp.dur_us())),
+                    ("pid", u(1)),
+                    ("tid", u(1_000 + sp.trace_id)),
+                    ("args", obj(args)),
+                ]));
+            }
+        }
+        let mut root = Map::new();
+        root.insert("traceEvents", Value::Array(events));
+        root.insert("displayTimeUnit", s("ms"));
+        Value::Object(root)
+    }
+
+    /// Serialize [`IncidentBundle::perfetto_events`] to a file.
+    pub fn write_perfetto(&self, path: &Path) -> io::Result<()> {
+        let text = serde_json::to_string(&self.perfetto_events())
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        std::fs::write(path, text)
+    }
+
+    /// Multi-line human rendering for `split-cli forensics`.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let a = &self.alert;
+        out.push_str(&format!("incident bundle ({})\n", self.schema));
+        out.push_str(&format!(
+            "  alert: fired {:.1} ms, {} (fast burn {:.2}, slow burn {:.2})\n",
+            a.fired_at_us / 1_000.0,
+            match a.resolved_at_us {
+                Some(r) => format!("resolved {:.1} ms", r / 1_000.0),
+                None => "still active".to_string(),
+            },
+            a.fast_burn_at_fire,
+            a.slow_burn_at_fire,
+        ));
+        out.push_str(&format!(
+            "  window: [{:.1}, {:.1}] ms  α={}  objective={:.0}%\n",
+            self.window_start_us / 1_000.0,
+            self.window_end_us / 1_000.0,
+            self.alpha,
+            self.objective * 100.0,
+        ));
+        out.push_str(&format!(
+            "  context: peak queue depth {}, device busy {:.1}%, flight ring {}/{} records ({} dropped)\n",
+            self.peak_queue_depth,
+            self.device_busy_pct,
+            self.flight.records.len(),
+            self.flight.capacity,
+            self.flight.dropped,
+        ));
+        out.push_str(&format!("  verdict: {}\n", self.verdict.text));
+        for cs in &self.verdict.cause_shares {
+            out.push_str(&format!(
+                "    {:>5.1}%  {} ({} outliers)\n",
+                cs.share * 100.0,
+                cs.cause.label(),
+                cs.count
+            ));
+        }
+        out.push_str(&format!(
+            "  capture: {} outliers, {}/{} violating requests retained\n",
+            self.verdict.outliers, self.verdict.captured_violating, self.verdict.violating
+        ));
+        out.push_str("  models:\n");
+        for m in &self.models {
+            out.push_str(&format!(
+                "    {:<12} {:>5} completed  {:>4} violated  {:>4} captured  mean {:>8.1} µs  max {:>8.1} µs\n",
+                m.model, m.completed, m.violated, m.captured, m.mean_e2e_us, m.max_e2e_us
+            ));
+        }
+        out
+    }
+}
+
+fn s(v: impl Into<String>) -> Value {
+    Value::String(v.into())
+}
+
+fn u(v: u64) -> Value {
+    Value::Number(Number::PosInt(v))
+}
+
+fn f(v: f64) -> Value {
+    Value::Number(Number::Float(v))
+}
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    let mut m = Map::new();
+    for (k, v) in pairs {
+        m.insert(k, v);
+    }
+    Value::Object(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::{FlightKind, FlightRing};
+
+    fn sample_bundle() -> IncidentBundle {
+        let ring = FlightRing::with_capacity(16);
+        ring.record(5.0, 7, FlightKind::Arrival, 0, 0);
+        ring.record(9.0, 7, FlightKind::Completion, 0, 0);
+        let attribution = Attribution {
+            req: 7,
+            model: "gpt2".into(),
+            arrival_us: 5.0,
+            completion_us: 9.0,
+            queue_us: 3.0,
+            compute_us: 1.0,
+            transfer_us: 0.0,
+            stall_us: 0.0,
+            sched_us: 0.0,
+        };
+        let spans = vec![
+            SpanRecord {
+                trace_id: 7,
+                span_id: 1,
+                parent: None,
+                phase: PhaseKind::Request,
+                index: 0,
+                stream: 0,
+                bytes: 0,
+                model: "gpt2".into(),
+                start_us: 5.0,
+                end_us: 9.0,
+            },
+            SpanRecord {
+                trace_id: 7,
+                span_id: 2,
+                parent: Some(1),
+                phase: PhaseKind::Queue,
+                index: 0,
+                stream: 0,
+                bytes: 0,
+                model: "gpt2".into(),
+                start_us: 5.0,
+                end_us: 8.0,
+            },
+        ];
+        IncidentBundle {
+            schema: BUNDLE_SCHEMA.to_string(),
+            alert: Alert {
+                fired_at_us: 8.0,
+                resolved_at_us: Some(20.0),
+                fast_burn_at_fire: 2.0,
+                slow_burn_at_fire: 1.5,
+            },
+            alpha: 4.0,
+            objective: 0.10,
+            window_start_us: 0.0,
+            window_end_us: 20.0,
+            queue_depths: vec![DepthSample {
+                t_us: 6.0,
+                depth: 2,
+            }],
+            peak_queue_depth: 2,
+            device_busy_pct: 55.0,
+            flight: ring.snapshot(),
+            outliers: vec![OutlierReport {
+                attribution,
+                violated: false,
+                reason: SampleReason::TopK,
+                cause: RootCause::QueueDominated,
+                interference_us: 0.0,
+                culprit_model: String::new(),
+                spans,
+            }],
+            models: vec![ModelStat {
+                model: "gpt2".into(),
+                completed: 1,
+                violated: 0,
+                captured: 1,
+                mean_e2e_us: 4.0,
+                max_e2e_us: 4.0,
+            }],
+            verdict: Verdict {
+                text: "p99 regression: 100% queue-dominated on gpt2".into(),
+                cause_shares: vec![CauseShare {
+                    cause: RootCause::QueueDominated,
+                    count: 1,
+                    share: 1.0,
+                }],
+                top_model: "gpt2".into(),
+                culprit_model: String::new(),
+                outliers: 1,
+                violating: 0,
+                captured_violating: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("split-forensics-bundle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bundle.json");
+        let b = sample_bundle();
+        b.save(&path).unwrap();
+        let back = IncidentBundle::load(&path).unwrap();
+        assert_eq!(back, b);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_unknown_schema() {
+        let dir = std::env::temp_dir().join("split-forensics-bundle-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad-schema.json");
+        let mut b = sample_bundle();
+        b.schema = "other/v9".into();
+        std::fs::write(&path, b.to_json()).unwrap();
+        assert!(IncidentBundle::load(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn span_records_roundtrip_to_spans() {
+        let b = sample_bundle();
+        let spans = b.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kind, SpanKind::Request);
+        assert_eq!(spans[1].kind, SpanKind::Queue);
+        assert_eq!(SpanRecord::from(&spans[1]), b.outliers[0].spans[1]);
+    }
+
+    #[test]
+    fn perfetto_export_has_counter_and_instant_tracks() {
+        let doc = sample_bundle().perfetto_events();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert!(phases.contains(&"i"), "alert instant missing");
+        assert!(phases.contains(&"C"), "queue-depth counter missing");
+        assert!(phases.contains(&"X"), "outlier spans missing");
+        let root_span = events
+            .iter()
+            .find(|e| e.get("cat").is_some() && e.get("ph").and_then(Value::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(
+            root_span
+                .get("args")
+                .unwrap()
+                .get("cause")
+                .unwrap()
+                .as_str(),
+            Some("queue-dominated")
+        );
+    }
+
+    #[test]
+    fn render_text_carries_verdict_and_models() {
+        let text = sample_bundle().render_text();
+        assert!(text.contains("verdict: p99 regression"));
+        assert!(text.contains("gpt2"));
+        assert!(!text.contains("1/1 violating"));
+        assert!(text.contains("0/0 violating requests retained"));
+    }
+}

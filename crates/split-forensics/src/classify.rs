@@ -1,0 +1,253 @@
+//! Automatic root-cause classification for tail outliers.
+//!
+//! Every retained outlier gets one label, derived from its *exact*
+//! critical-path attribution (the five components that sum to e2e
+//! within 1 ns) plus a span-overlap pass against the rest of the
+//! recording:
+//!
+//! 1. If compute dominates → **compute-bound** (the request was simply
+//!    large; the scheduler is not at fault).
+//! 2. If transfer dominates → **transfer-bound** (boundary activations
+//!    cost more than the queueing they enable).
+//! 3. Otherwise the request lost its time *waiting* (queue + stall +
+//!    drain). Overlap its waiting intervals with the device time of
+//!    *other models'* blocks: if at least half of the wait coincides
+//!    with another model holding the device, the wait was imposed by a
+//!    competing workload → **cross-model-interference**, with the
+//!    model that overlapped most as the culprit.
+//! 4. A self-inflicted wait is **preemption-stall** when mid-execution
+//!    stalls dominate the wait (the request kept losing the device at
+//!    block boundaries) and **queue-dominated** otherwise (it simply
+//!    started late).
+//!
+//! The split between (3) and (4) is what makes bundle verdicts
+//! actionable: "gpt2 is slow" becomes "gpt2 is slow *behind resnet50
+//! bursts*".
+
+use serde::{Deserialize, Serialize};
+use split_obs::{Attribution, Span, SpanKind};
+use std::collections::BTreeMap;
+
+/// Fraction of an outlier's waiting time that must overlap other-model
+/// device time before the wait is blamed on interference.
+pub const INTERFERENCE_SHARE: f64 = 0.5;
+
+/// Root-cause label for one outlier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RootCause {
+    /// Waited in the queue with no single competing model to blame.
+    QueueDominated,
+    /// Lost the device at block boundaries after starting (preemption /
+    /// downgrade stalls dominate the wait).
+    PreemptionStall,
+    /// Boundary activation transfers dominate the latency.
+    TransferBound,
+    /// The request's own device time dominates; not a scheduling
+    /// problem.
+    ComputeBound,
+    /// Waiting time coincides with another model holding the device.
+    CrossModelInterference,
+}
+
+impl RootCause {
+    /// Hyphenated label used in verdict strings and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            RootCause::QueueDominated => "queue-dominated",
+            RootCause::PreemptionStall => "preemption-stall",
+            RootCause::TransferBound => "transfer-bound",
+            RootCause::ComputeBound => "compute-bound",
+            RootCause::CrossModelInterference => "cross-model-interference",
+        }
+    }
+}
+
+/// Classification result for one outlier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Classification {
+    /// The label.
+    pub cause: RootCause,
+    /// Waiting time (queue + stall) overlapped by other-model blocks,
+    /// µs.
+    pub interference_us: f64,
+    /// Model whose blocks overlapped the most waiting time (empty when
+    /// none did).
+    pub culprit_model: String,
+}
+
+/// Classify one outlier given its attribution and the *full* span
+/// forest of the recording (all requests — the other traces provide the
+/// interference evidence).
+pub fn classify(attr: &Attribution, all_spans: &[Span]) -> Classification {
+    // The outlier's waiting intervals: queue + mid-execution stalls.
+    let waits: Vec<(f64, f64)> = all_spans
+        .iter()
+        .filter(|s| {
+            s.ctx.trace_id == attr.req && matches!(s.kind, SpanKind::Queue | SpanKind::Stall)
+        })
+        .map(|s| (s.start_us, s.end_us))
+        .collect();
+
+    // Overlap them with other models' device time, per model.
+    let mut overlap_by_model: BTreeMap<&str, f64> = BTreeMap::new();
+    for s in all_spans {
+        if s.ctx.trace_id == attr.req
+            || s.model == attr.model
+            || !matches!(s.kind, SpanKind::Block { .. })
+        {
+            continue;
+        }
+        let mut overlap = 0.0;
+        for &(w0, w1) in &waits {
+            let lo = s.start_us.max(w0);
+            let hi = s.end_us.min(w1);
+            if hi > lo {
+                overlap += hi - lo;
+            }
+        }
+        if overlap > 0.0 {
+            *overlap_by_model.entry(s.model.as_str()).or_default() += overlap;
+        }
+    }
+    let interference_us: f64 = overlap_by_model.values().sum();
+    let culprit_model = overlap_by_model
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(m, _)| (*m).to_string())
+        .unwrap_or_default();
+
+    let wait_us = attr.queue_us + attr.stall_us;
+    let cause = match attr.dominant() {
+        "compute" => RootCause::ComputeBound,
+        "transfer" => RootCause::TransferBound,
+        _ if wait_us > 0.0
+            && interference_us >= INTERFERENCE_SHARE * wait_us
+            && !culprit_model.is_empty() =>
+        {
+            RootCause::CrossModelInterference
+        }
+        "stall" => RootCause::PreemptionStall,
+        _ => RootCause::QueueDominated,
+    };
+    Classification {
+        cause,
+        interference_us,
+        culprit_model,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use split_obs::{attribute, build_spans};
+    use split_telemetry::{Event, Recorder};
+
+    fn arrival(r: &mut Recorder, req: u64, model: &str, t: f64) {
+        r.record(Event::Arrival {
+            req,
+            model: model.into(),
+            t_us: t,
+        });
+    }
+
+    fn block(r: &mut Recorder, req: u64, b: usize, s: f64, e: f64) {
+        r.record(Event::BlockStart {
+            req,
+            block: b,
+            stream: 0,
+            t_us: s,
+        });
+        r.record(Event::BlockEnd {
+            req,
+            block: b,
+            stream: 0,
+            t_us: e,
+        });
+    }
+
+    fn done(r: &mut Recorder, req: u64, t: f64) {
+        r.record(Event::Completion { req, t_us: t });
+    }
+
+    #[test]
+    fn compute_bound_when_own_blocks_dominate() {
+        let mut r = Recorder::new();
+        arrival(&mut r, 0, "bert", 0.0);
+        block(&mut r, 0, 0, 1.0, 101.0);
+        done(&mut r, 0, 102.0);
+        let spans = build_spans(&r);
+        let c = classify(&attribute(&r)[0], &spans);
+        assert_eq!(c.cause, RootCause::ComputeBound);
+        assert!(c.culprit_model.is_empty());
+    }
+
+    #[test]
+    fn interference_when_wait_overlaps_other_model() {
+        let mut r = Recorder::new();
+        // resnet50 holds the device [0,90]; gpt2 arrives at 0, waits
+        // until 90, runs [90,100].
+        arrival(&mut r, 1, "resnet50", 0.0);
+        block(&mut r, 1, 0, 0.0, 90.0);
+        done(&mut r, 1, 90.0);
+        arrival(&mut r, 2, "gpt2", 0.0);
+        block(&mut r, 2, 0, 90.0, 100.0);
+        done(&mut r, 2, 100.0);
+        let spans = build_spans(&r);
+        let attrs = attribute(&r);
+        let gpt2 = attrs.iter().find(|a| a.model == "gpt2").unwrap();
+        let c = classify(gpt2, &spans);
+        assert_eq!(c.cause, RootCause::CrossModelInterference);
+        assert_eq!(c.culprit_model, "resnet50");
+        assert!((c.interference_us - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_model_contention_is_queueing_not_interference() {
+        let mut r = Recorder::new();
+        arrival(&mut r, 1, "resnet50", 0.0);
+        block(&mut r, 1, 0, 0.0, 90.0);
+        done(&mut r, 1, 90.0);
+        arrival(&mut r, 2, "resnet50", 0.0);
+        block(&mut r, 2, 0, 90.0, 100.0);
+        done(&mut r, 2, 100.0);
+        let spans = build_spans(&r);
+        let attrs = attribute(&r);
+        let late = attrs.iter().find(|a| a.req == 2).unwrap();
+        let c = classify(late, &spans);
+        assert_eq!(c.cause, RootCause::QueueDominated);
+        assert_eq!(c.interference_us, 0.0);
+    }
+
+    #[test]
+    fn preemption_stall_when_boundary_stalls_dominate_alone() {
+        let mut r = Recorder::new();
+        // Two blocks with a long idle gap between them and nothing else
+        // on the device: a stall nobody else caused.
+        arrival(&mut r, 3, "vgg19", 0.0);
+        block(&mut r, 3, 0, 0.0, 10.0);
+        block(&mut r, 3, 1, 80.0, 90.0);
+        done(&mut r, 3, 90.0);
+        let spans = build_spans(&r);
+        let c = classify(&attribute(&r)[0], &spans);
+        assert_eq!(c.cause, RootCause::PreemptionStall);
+    }
+
+    #[test]
+    fn stall_overlapped_by_other_model_is_interference() {
+        let mut r = Recorder::new();
+        // vgg19 stalls [10,80] while resnet50 runs [10,80].
+        arrival(&mut r, 3, "vgg19", 0.0);
+        block(&mut r, 3, 0, 0.0, 10.0);
+        block(&mut r, 3, 1, 80.0, 90.0);
+        done(&mut r, 3, 90.0);
+        arrival(&mut r, 4, "resnet50", 5.0);
+        block(&mut r, 4, 0, 10.0, 80.0);
+        done(&mut r, 4, 80.0);
+        let spans = build_spans(&r);
+        let attrs = attribute(&r);
+        let vgg = attrs.iter().find(|a| a.model == "vgg19").unwrap();
+        let c = classify(vgg, &spans);
+        assert_eq!(c.cause, RootCause::CrossModelInterference);
+        assert_eq!(c.culprit_model, "resnet50");
+    }
+}

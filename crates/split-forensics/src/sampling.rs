@@ -1,0 +1,174 @@
+//! Tail sampling: keep the traces that matter, count the rest.
+//!
+//! Retaining every request's full span tree would make incident bundles
+//! grow with offered load; retaining none would leave nothing to
+//! diagnose. The tail sampler keeps the middle ground with one hard
+//! invariant:
+//!
+//! > **Every QoS-violating request is retained.** Head sampling only
+//! > ever drops requests that met their objective.
+//!
+//! Completions are bucketed into fixed windows of `window_us` simulated
+//! time (by completion timestamp); within each window the sampler
+//! retains all violating requests plus the `top_k` slowest (by e2e
+//! latency) non-violating ones — the near-misses that show where the
+//! tail is heading. `split-analyze` enforces the invariant as `SA402`.
+
+use split_obs::Attribution;
+use std::collections::BTreeMap;
+
+/// Default sampling window: matches the SLO fast window (5 s).
+pub const DEFAULT_WINDOW_US: f64 = 5_000_000.0;
+
+/// Default per-window count of non-violating "slowest" traces to keep.
+pub const DEFAULT_TOP_K: usize = 3;
+
+/// Why a request's full trace was retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Retain {
+    /// The request violated QoS (`e2e > α × compute`). Always kept.
+    Violating,
+    /// Among the `top_k` slowest non-violating completions in its
+    /// window.
+    TopK,
+}
+
+/// Tail-sampling policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailSampler {
+    /// Bucketing window for completions, µs of simulated time.
+    pub window_us: f64,
+    /// Non-violating slowest traces retained per window.
+    pub top_k: usize,
+}
+
+impl Default for TailSampler {
+    fn default() -> Self {
+        TailSampler {
+            window_us: DEFAULT_WINDOW_US,
+            top_k: DEFAULT_TOP_K,
+        }
+    }
+}
+
+impl TailSampler {
+    /// Decide which attributions to retain. Returns `(index, reason)`
+    /// pairs into `attrs`, in input order. `alpha` is the QoS
+    /// multiplier (violates iff `e2e > alpha × compute`, strict, with
+    /// `compute > 0` — the same rule as
+    /// `split_obs::SloMonitor::observe_outcome`).
+    pub fn select(&self, attrs: &[Attribution], alpha: f64) -> Vec<(usize, Retain)> {
+        // Bucket index → (e2e, attr index) of non-violating candidates.
+        let mut candidates: BTreeMap<i64, Vec<(f64, usize)>> = BTreeMap::new();
+        let mut kept: Vec<(usize, Retain)> = Vec::new();
+        for (i, a) in attrs.iter().enumerate() {
+            if violates(a, alpha) {
+                kept.push((i, Retain::Violating));
+            } else {
+                let bucket = (a.completion_us / self.window_us).floor() as i64;
+                candidates.entry(bucket).or_default().push((a.e2e_us(), i));
+            }
+        }
+        for mut window in candidates.into_values() {
+            window.sort_by(|a, b| b.0.total_cmp(&a.0));
+            kept.extend(
+                window
+                    .iter()
+                    .take(self.top_k)
+                    .map(|&(_, i)| (i, Retain::TopK)),
+            );
+        }
+        kept.sort_by_key(|&(i, _)| i);
+        kept
+    }
+}
+
+/// The strict QoS rule shared by the sampler, the SLO monitor, and the
+/// bundle builder.
+pub fn violates(a: &Attribution, alpha: f64) -> bool {
+    a.compute_us > 0.0 && a.e2e_us() > alpha * a.compute_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(req: u64, completion_us: f64, compute_us: f64, e2e_us: f64) -> Attribution {
+        Attribution {
+            req,
+            model: "m".into(),
+            arrival_us: completion_us - e2e_us,
+            completion_us,
+            queue_us: e2e_us - compute_us,
+            compute_us,
+            transfer_us: 0.0,
+            stall_us: 0.0,
+            sched_us: 0.0,
+        }
+    }
+
+    #[test]
+    fn every_violating_request_is_retained() {
+        // 50 requests, half violating (alpha 4, compute 10 → limit 40).
+        let attrs: Vec<Attribution> = (0..50)
+            .map(|i| {
+                let e2e = if i % 2 == 0 { 100.0 } else { 20.0 };
+                attr(i, i as f64 * 1_000.0, 10.0, e2e)
+            })
+            .collect();
+        let sampler = TailSampler {
+            window_us: 10_000.0,
+            top_k: 1,
+        };
+        let kept = sampler.select(&attrs, 4.0);
+        for (i, a) in attrs.iter().enumerate() {
+            if violates(a, 4.0) {
+                assert!(
+                    kept.iter().any(|&(k, r)| k == i && r == Retain::Violating),
+                    "violating request {} must be retained",
+                    a.req
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_slowest_non_violating_per_window() {
+        // One window; compute high enough that nothing violates.
+        let attrs: Vec<Attribution> = (0..6)
+            .map(|i| attr(i, 100.0 + i as f64, 1_000.0, 10.0 + i as f64))
+            .collect();
+        let sampler = TailSampler {
+            window_us: 1_000.0,
+            top_k: 2,
+        };
+        let kept = sampler.select(&attrs, 4.0);
+        assert_eq!(kept.len(), 2);
+        // Slowest two are reqs 5 and 4.
+        let reqs: Vec<u64> = kept.iter().map(|&(i, _)| attrs[i].req).collect();
+        assert_eq!(reqs, vec![4, 5]);
+        assert!(kept.iter().all(|&(_, r)| r == Retain::TopK));
+    }
+
+    #[test]
+    fn windows_are_sampled_independently() {
+        let attrs = vec![
+            attr(0, 500.0, 1_000.0, 30.0),
+            attr(1, 600.0, 1_000.0, 10.0),
+            attr(2, 1_500.0, 1_000.0, 5.0),
+        ];
+        let sampler = TailSampler {
+            window_us: 1_000.0,
+            top_k: 1,
+        };
+        let kept = sampler.select(&attrs, 4.0);
+        // One per window: req 0 (slowest in w0), req 2 (only in w1).
+        assert_eq!(kept.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn zero_compute_never_violates() {
+        let a = attr(0, 10.0, 0.0, 10.0);
+        assert!(!violates(&a, 4.0));
+    }
+}

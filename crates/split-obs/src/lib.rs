@@ -39,4 +39,7 @@ pub use attribution::{attribute, rollup_by_model, Attribution, SUM_TOLERANCE_US}
 pub use dashboard::{render_frame, Frame, ModelLatencyRow};
 pub use monitor::{Monitor, MonitorCfg};
 pub use slo::{Alert, AlertLog, SloCfg, SloMonitor};
-pub use span::{build_spans, span_trace_events, write_span_trace, Span, SpanContext, SpanKind};
+pub use span::{
+    build_spans, deterministic_span_id, span_trace_events, write_span_trace, Span, SpanContext,
+    SpanKind, ROOT_SPAN_ID,
+};

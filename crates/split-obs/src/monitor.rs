@@ -191,15 +191,25 @@ impl Monitor {
     /// alert gauges derived from the SLO monitor.
     pub fn prometheus(&self) -> String {
         let mut out = self.registry.snapshot().render_prometheus("split");
+        out.push_str(
+            "# HELP split_slo_fast_burn SLO error-budget burn rate over the fast window.\n",
+        );
         out.push_str("# TYPE split_slo_fast_burn gauge\n");
         out.push_str(&format!("split_slo_fast_burn {}\n", self.slo.fast_burn()));
+        out.push_str(
+            "# HELP split_slo_slow_burn SLO error-budget burn rate over the slow window.\n",
+        );
         out.push_str("# TYPE split_slo_slow_burn gauge\n");
         out.push_str(&format!("split_slo_slow_burn {}\n", self.slo.slow_burn()));
+        out.push_str(
+            "# HELP split_slo_alert_active Whether a burn-rate alert is currently firing.\n",
+        );
         out.push_str("# TYPE split_slo_alert_active gauge\n");
         out.push_str(&format!(
             "split_slo_alert_active {}\n",
             u8::from(self.slo.alert_active())
         ));
+        out.push_str("# HELP split_slo_alerts_fired Burn-rate alerts fired since start.\n");
         out.push_str("# TYPE split_slo_alerts_fired counter\n");
         out.push_str(&format!(
             "split_slo_alerts_fired {}\n",
@@ -287,12 +297,26 @@ mod tests {
         let mut m = Monitor::new(MonitorCfg::default());
         request(&mut m, 0, "resnet50", 0.0, 100.0, 150.0);
         let p = m.prometheus();
+        assert!(p.contains("# HELP split_requests_arrived "));
         assert!(p.contains("# TYPE split_requests_arrived counter"));
         assert!(p.contains("split_requests_arrived 1"));
-        assert!(p.contains("split_model_resnet50_e2e_us{quantile=\"0.99\"}"));
-        assert!(p.contains("split_model_resnet50_e2e_us_count 1"));
+        // Per-model latency is one labeled family, not a name per model.
+        assert!(p.contains("split_model_e2e_us{model=\"resnet50\",quantile=\"0.99\"}"));
+        assert!(p.contains("split_model_e2e_us_count{model=\"resnet50\"} 1"));
+        assert!(p.contains("# HELP split_slo_fast_burn "));
         assert!(p.contains("split_slo_fast_burn"));
         assert!(p.contains("split_slo_alert_active 0"));
+        // Every TYPE header is preceded by its HELP line.
+        let lines: Vec<&str> = p.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# TYPE ") {
+                let fam = rest.split_whitespace().next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {fam} ")),
+                    "TYPE without preceding HELP for {fam}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -317,6 +317,79 @@ mod tests {
     }
 
     #[test]
+    fn alert_fires_exactly_at_window_boundary() {
+        let mut m = SloMonitor::new(cfg());
+        // Fires immediately: rate 1.0 in both windows.
+        m.observe(0.0, true);
+        assert_eq!(m.log().fired(), 1);
+        // One tick before the boundary the violation is still inside
+        // the half-open fast window (now − 100, now] — alert holds.
+        m.advance(99.0);
+        assert!(m.alert_active(), "sample still inside the fast window");
+        // Exactly at the boundary the t=0 sample sits on the open edge,
+        // the fast window reads empty, and the alert resolves at
+        // precisely that instant — not a tick earlier or later.
+        m.advance(100.0);
+        assert!(!m.alert_active());
+        assert_eq!(m.log().alerts[0].resolved_at_us, Some(100.0));
+        // A violation arriving exactly at the boundary time is the only
+        // fast-window sample (t=0 stays excluded) — rate 1.0, burn 10 —
+        // and refires at that exact timestamp.
+        m.observe(100.0, true);
+        assert_eq!(m.log().fired(), 2);
+        let a = &m.log().alerts[1];
+        assert_eq!(a.fired_at_us, 100.0);
+        assert!(
+            (a.fast_burn_at_fire - 10.0).abs() < 1e-9,
+            "only the closed-edge sample is in the fast window: {}",
+            a.fast_burn_at_fire
+        );
+    }
+
+    #[test]
+    fn resolve_then_refire_records_two_alerts() {
+        let mut m = SloMonitor::new(cfg());
+        m.observe(0.0, true);
+        assert!(m.alert_active());
+        // While active, more violations must not stack extra alerts.
+        m.observe(10.0, true);
+        m.observe(20.0, true);
+        assert_eq!(m.log().fired(), 1, "active alert must not re-fire");
+        // Fast window cools → resolve.
+        m.advance(200.0);
+        assert!(!m.alert_active());
+        assert_eq!(m.log().alerts[0].resolved_at_us, Some(200.0));
+        // Fresh violation: fast window hot again, slow window still
+        // carries the earlier burn → a second, separate alert.
+        m.observe(300.0, true);
+        assert_eq!(m.log().fired(), 2, "cooled monitor must refire");
+        assert!(m.alert_active());
+        assert_eq!(m.log().alerts[1].fired_at_us, 300.0);
+        assert_eq!(m.log().alerts[1].resolved_at_us, None);
+        assert_eq!(m.log().summary(), "2 fired, 1 active");
+    }
+
+    #[test]
+    fn empty_window_burn_after_long_idle() {
+        let mut m = SloMonitor::new(cfg());
+        m.observe(0.0, true);
+        assert!(m.alert_active());
+        // Idle far past the slow window: every sample ages out, both
+        // burns read 0 (not NaN from 0/0), and the active alert
+        // resolves at the advance time.
+        m.advance(1_000_000.0);
+        assert!(m.samples.is_empty(), "all samples pruned");
+        assert_eq!(m.window_rate(m.cfg().fast_window_us), 0.0);
+        assert_eq!(m.fast_burn(), 0.0);
+        assert_eq!(m.slow_burn(), 0.0);
+        assert!(!m.alert_active());
+        assert_eq!(m.log().alerts[0].resolved_at_us, Some(1_000_000.0));
+        // And an empty monitor stays quiet forever after.
+        m.advance(2_000_000.0);
+        assert_eq!(m.log().fired(), 1);
+    }
+
+    #[test]
     fn observe_outcome_applies_alpha_rule() {
         let mut m = SloMonitor::new(cfg());
         m.observe_outcome(1.0, 39.9, 10.0); // 39.9 ≤ 4×10 → ok

@@ -32,12 +32,38 @@ use std::path::Path;
 pub struct SpanContext {
     /// Trace identifier — the request id (one trace per request).
     pub trace_id: u64,
-    /// Span identifier, unique within the trace (root = 1, children
-    /// numbered in chronological order from 2).
+    /// Span identifier, unique within the trace and a pure function of
+    /// the span's phase: lifecycle phase code in the high 32 bits,
+    /// per-phase occurrence in the low 32 (see [`deterministic_span_id`]).
+    /// The same request content yields bit-identical ids regardless of
+    /// worker-thread count or event arrival order.
     pub span_id: u64,
     /// Parent span id; `None` for the root span.
     pub parent: Option<u64>,
 }
+
+/// Span id for a phase: `(code + 1) << 32 | occurrence`, where the code
+/// orders the lifecycle phases (request, queue, execute, transfer,
+/// stall, drain) and `occurrence` distinguishes repeats of the same
+/// phase — the block index for `Block`, chronological rank otherwise.
+/// Ids derive only from (phase, occurrence), never from a shared
+/// counter, so rebuilding the same trace under `SPLIT_THREADS=1` or
+/// `=4` produces the same ids.
+pub fn deterministic_span_id(kind: &SpanKind, occurrence: u32) -> u64 {
+    let code: u64 = match kind {
+        SpanKind::Request => 0,
+        SpanKind::Queue => 1,
+        SpanKind::Block { .. } => 2,
+        SpanKind::Transfer { .. } => 3,
+        SpanKind::Stall => 4,
+        SpanKind::Drain => 5,
+    };
+    ((code + 1) << 32) | u64::from(occurrence)
+}
+
+/// The root (request) span's id: [`deterministic_span_id`] of
+/// `SpanKind::Request`, occurrence 0.
+pub const ROOT_SPAN_ID: u64 = 1 << 32;
 
 /// What a span represents in the request lifecycle.
 /// (Not serde-derived: spans reach disk via the hand-rolled Perfetto
@@ -177,10 +203,9 @@ fn build_one(id: u64, r: &ReqEvents, arrival: f64, completion: f64) -> Vec<Span>
     blocks.sort_by(|a, b| a.2.total_cmp(&b.2));
 
     let mut spans = Vec::with_capacity(blocks.len() * 2 + 3);
-    let mut next_span = 2u64;
     let root = SpanContext {
         trace_id: id,
-        span_id: 1,
+        span_id: ROOT_SPAN_ID,
         parent: None,
     };
     spans.push(Span {
@@ -190,22 +215,37 @@ fn build_one(id: u64, r: &ReqEvents, arrival: f64, completion: f64) -> Vec<Span>
         start_us: arrival,
         end_us: completion,
     });
+    // Occurrence counters per repeatable phase; blocks use their index
+    // so the id says *which* block, not just "the nth one".
+    let mut transfers_seen = 0u32;
+    let mut stalls_seen = 0u32;
     let mut child = |kind: SpanKind, start_us: f64, end_us: f64, spans: &mut Vec<Span>| {
         if end_us - start_us <= 0.0 {
             return;
         }
+        let occurrence = match kind {
+            SpanKind::Block { index, .. } => index as u32,
+            SpanKind::Transfer { .. } => {
+                transfers_seen += 1;
+                transfers_seen - 1
+            }
+            SpanKind::Stall => {
+                stalls_seen += 1;
+                stalls_seen - 1
+            }
+            _ => 0,
+        };
         spans.push(Span {
             ctx: SpanContext {
                 trace_id: id,
-                span_id: next_span,
-                parent: Some(1),
+                span_id: deterministic_span_id(&kind, occurrence),
+                parent: Some(ROOT_SPAN_ID),
             },
             model: r.model.clone(),
             kind,
             start_us,
             end_us,
         });
-        next_span += 1;
     };
 
     if blocks.is_empty() {
@@ -370,7 +410,7 @@ mod tests {
         let root = &spans[0];
         assert_eq!(root.kind, SpanKind::Request);
         assert_eq!(root.ctx.trace_id, 5);
-        assert_eq!(root.ctx.span_id, 1);
+        assert_eq!(root.ctx.span_id, ROOT_SPAN_ID);
         assert_eq!(root.ctx.parent, None);
         assert_eq!(root.label(), "request vgg19#5");
 
@@ -396,9 +436,25 @@ mod tests {
         let total: f64 = spans[1..].iter().map(Span::dur_us).sum();
         assert!((total - root.dur_us()).abs() < 1e-9, "{total}");
         for sp in &spans[1..] {
-            assert_eq!(sp.ctx.parent, Some(1));
+            assert_eq!(sp.ctx.parent, Some(ROOT_SPAN_ID));
             assert!(sp.dur_us() > 0.0);
         }
+        // Ids are phase-derived: block spans carry their block index.
+        let b1 = spans
+            .iter()
+            .find(|s| {
+                s.kind
+                    == SpanKind::Block {
+                        index: 1,
+                        stream: 0,
+                    }
+            })
+            .unwrap();
+        assert_eq!(
+            b1.ctx.span_id,
+            deterministic_span_id(&b1.kind, 1),
+            "block span id must encode the block index"
+        );
         // Span ids are unique within the trace.
         let mut ids: Vec<u64> = spans.iter().map(|s| s.ctx.span_id).collect();
         ids.sort_unstable();
@@ -482,7 +538,7 @@ mod tests {
                 .get("parent")
                 .unwrap()
                 .as_u64(),
-            Some(1)
+            Some(ROOT_SPAN_ID)
         );
         assert_eq!(
             queue_ev

@@ -21,6 +21,7 @@ use crate::stats::DecisionStats;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use split_forensics::{FlightKind, FlightRing, FlightSnapshot, ForensicsCfg, IncidentBundle};
 use split_obs::{AlertLog, SloCfg, SloMonitor};
 use split_telemetry::{Event, Recorder, RecorderMode, SharedRecorder};
 use std::collections::{HashMap, VecDeque};
@@ -88,6 +89,25 @@ struct Shared {
     /// observable live via [`Server::alerts`] and in the shutdown
     /// report.
     slo: Mutex<SloMonitor>,
+    /// Always-on flight recorder: every causal event both threads emit
+    /// also lands here as a compact lock-free record (`None` when
+    /// disabled via `SPLIT_FLIGHT=0`).
+    flight: Option<FlightRing>,
+    /// Ring snapshots taken the instant each alert fired, so the
+    /// pre-incident history survives even if the ring wraps before
+    /// shutdown.
+    incident_rings: Mutex<Vec<FlightSnapshot>>,
+}
+
+impl Shared {
+    /// Record a lifecycle event in both the full recorder and (its
+    /// compact projection) the flight ring.
+    fn record(&self, e: Event) {
+        if let Some(ring) = &self.flight {
+            ring.record_event(&e);
+        }
+        self.recorder.record(e);
+    }
 }
 
 /// A running SPLIT server.
@@ -155,6 +175,11 @@ pub struct ShutdownReport {
     pub recorder: Recorder,
     /// Burn-rate alert history (summarize with [`AlertLog::summary`]).
     pub alerts: AlertLog,
+    /// One self-contained forensic bundle per fired alert: flight-ring
+    /// history, queue depths, the violating requests' span trees, and
+    /// an aggregated root-cause verdict. Empty when no alert fired (or
+    /// the flight recorder was disabled).
+    pub incidents: Vec<IncidentBundle>,
 }
 
 impl Server {
@@ -170,6 +195,9 @@ impl Server {
                 alpha: cfg.alpha,
                 ..SloCfg::default()
             })),
+            flight: split_forensics::flight_enabled()
+                .then(|| FlightRing::with_capacity(split_forensics::flight_capacity())),
+            incident_rings: Mutex::new(Vec::new()),
         });
         let (request_tx, request_rx) = unbounded::<ClientRequest>();
         let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
@@ -261,6 +289,35 @@ impl Server {
             .take()
             .map(|h| h.join().expect("executor panicked"));
         let _ = accepted;
+        let recorder = self.shared.recorder.snapshot();
+        let (alerts, slo_cfg) = {
+            let slo = self.shared.slo.lock();
+            (slo.log().clone(), slo.cfg().clone())
+        };
+        // Merge the fire-time ring snapshots (pre-incident history that
+        // may since have been overwritten) with the final ring state.
+        let flight = {
+            let mut merged = self
+                .shared
+                .flight
+                .as_ref()
+                .map(|r| r.snapshot())
+                .unwrap_or_else(FlightSnapshot::disabled);
+            for snap in self.shared.incident_rings.lock().drain(..) {
+                merged = merged.merge(&snap);
+            }
+            merged
+        };
+        let incidents = split_forensics::bundles_for_alerts(
+            &recorder,
+            &flight,
+            None,
+            &ForensicsCfg {
+                slo: slo_cfg,
+                sampler: Default::default(),
+            },
+            &alerts,
+        );
         ShutdownReport {
             served: served.unwrap_or(0),
             decisions: self.shared.decisions.count(),
@@ -268,8 +325,9 @@ impl Server {
             max_decision_ns: self.shared.decisions.max_ns(),
             p50_decision_ns: self.shared.decisions.p50_ns(),
             p99_decision_ns: self.shared.decisions.p99_ns(),
-            recorder: self.shared.recorder.snapshot(),
-            alerts: self.shared.slo.lock().log().clone(),
+            recorder,
+            alerts,
+            incidents,
         }
     }
 }
@@ -310,10 +368,15 @@ fn responder_loop(
             let shared = self.shared;
             let now = shared.clock.now_us();
             if !self.deployment.table().contains(&req.model) {
-                shared.recorder.record(Event::Mark {
+                shared.record(Event::Mark {
                     label: format!("dropped:{}", req.model),
                     t_us: now,
                 });
+                // Mark events don't project into the flight ring, so drops
+                // get an explicit compact record of their own.
+                if let Some(ring) = &shared.flight {
+                    ring.record(now, self.next_id, FlightKind::Drop, 0, 0);
+                }
                 let _ = req.reply.send(InferenceReply {
                     id: self.next_id,
                     model: req.model,
@@ -345,13 +408,13 @@ fn responder_loop(
             let mut st = shared.state.lock();
             // Recorded under the state lock so event order matches
             // scheduling order across the two threads.
-            shared.recorder.record(Event::Arrival {
+            shared.record(Event::Arrival {
                 req: id,
                 model: m.name.to_string(),
                 t_us: now,
             });
             if !use_split && m.blocks_us.len() > 1 {
-                shared.recorder.record(Event::Downgrade {
+                shared.record(Event::Downgrade {
                     req: id,
                     from_blocks: m.blocks_us.len(),
                     to_blocks: 1,
@@ -392,7 +455,7 @@ fn responder_loop(
             );
             let decision_ns = t0.elapsed().as_nanos() as u64;
             shared.decisions.record(decision_ns);
-            shared.recorder.record(Event::PreemptDecision {
+            shared.record(Event::PreemptDecision {
                 req: id,
                 position: decision.position,
                 comparisons: decision.comparisons,
@@ -400,13 +463,13 @@ fn responder_loop(
                 decision_ns,
                 t_us: now,
             });
-            shared.recorder.record(Event::Enqueue {
+            shared.record(Event::Enqueue {
                 req: id,
                 position: decision.position,
                 displaced: st.queue.len() - 1 - decision.position,
                 t_us: now,
             });
-            shared.recorder.record(Event::QueueDepth {
+            shared.record(Event::QueueDepth {
                 depth: st.queue.len(),
                 t_us: now,
             });
@@ -480,7 +543,7 @@ fn executor_loop(shared: &Shared) -> u64 {
                 .and_then(|b| meta.transfer_bytes.get(b).copied());
             (idx, bytes)
         };
-        shared.recorder.record(Event::BlockStart {
+        shared.record(Event::BlockStart {
             req: id,
             block: block_idx,
             stream: 0,
@@ -490,7 +553,7 @@ fn executor_loop(shared: &Shared) -> u64 {
         // is already folded into the block's profiled duration (§4); the
         // event attributes traffic, it does not add latency.
         if let Some(bytes) = boundary_bytes {
-            shared.recorder.record(Event::Transfer {
+            shared.record(Event::Transfer {
                 req: id,
                 bytes,
                 t_us: now,
@@ -503,7 +566,7 @@ fn executor_loop(shared: &Shared) -> u64 {
 
         st = shared.state.lock();
         st.running_end_us = None;
-        shared.recorder.record(Event::BlockEnd {
+        shared.record(Event::BlockEnd {
             req: id,
             block: block_idx,
             stream: 0,
@@ -519,17 +582,24 @@ fn executor_loop(shared: &Shared) -> u64 {
             st.blocks.remove(&id);
             let meta = st.meta.remove(&id).expect("meta present");
             let end = shared.clock.now_us();
-            shared
-                .recorder
-                .record(Event::Completion { req: id, t_us: end });
-            shared.recorder.record(Event::QueueDepth {
+            shared.record(Event::Completion { req: id, t_us: end });
+            shared.record(Event::QueueDepth {
                 depth: st.queue.len(),
                 t_us: end,
             });
-            shared
-                .slo
-                .lock()
-                .observe_outcome(end, end - meta.arrival_us, meta.exec_us);
+            let newly_fired = {
+                let mut slo = shared.slo.lock();
+                let before = slo.log().fired();
+                slo.observe_outcome(end, end - meta.arrival_us, meta.exec_us);
+                slo.log().fired() > before
+            };
+            if newly_fired {
+                // Freeze the pre-incident history the instant the alert
+                // fires, before the ring can wrap over it.
+                if let Some(ring) = &shared.flight {
+                    shared.incident_rings.lock().push(ring.snapshot());
+                }
+            }
             let _ = meta.reply.send(InferenceReply {
                 id,
                 model: meta.model,
@@ -821,5 +891,62 @@ mod tests {
         let a = &report.alerts.alerts[0];
         assert!(a.fast_burn_at_fire >= 1.0);
         assert!(a.slow_burn_at_fire >= 1.0);
+    }
+
+    #[test]
+    fn overload_produces_incident_bundles() {
+        let server = Server::start(deployment(), config());
+        let client = server.client();
+        let rxs: Vec<_> = (0..30).map(|_| client.infer("short")).collect();
+        for rx in rxs {
+            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(report.alerts.fired() >= 1, "precondition: alert fires");
+        assert_eq!(
+            report.incidents.len(),
+            report.alerts.alerts.len(),
+            "one bundle per fired alert"
+        );
+        for bundle in &report.incidents {
+            // Tail-sampling invariant: every violating request in the
+            // incident window is captured with its full span tree.
+            assert_eq!(
+                bundle.verdict.captured_violating, bundle.verdict.violating,
+                "bundle must capture 100% of violating requests"
+            );
+            assert!(
+                bundle.verdict.violating > 0,
+                "overload window has violations"
+            );
+            assert!(bundle.flight.enabled(), "flight ring was on");
+            assert!(!bundle.flight.records.is_empty());
+            // Every outlier's root-cause components reconcile with its
+            // exact e2e decomposition.
+            for o in &bundle.outliers {
+                if matches!(o.reason, split_forensics::SampleReason::Dropped) {
+                    continue;
+                }
+                let a = &o.attribution;
+                assert!(
+                    (a.components_sum_us() - a.e2e_us()).abs() <= 1e-3,
+                    "attribution must reconcile for req {}",
+                    a.req
+                );
+                assert!(!o.spans.is_empty(), "outliers carry span trees");
+            }
+            assert!(bundle.verdict.text.contains("p99 regression"));
+        }
+    }
+
+    #[test]
+    fn flight_disabled_still_shuts_down_clean() {
+        split_forensics::with_flight(false, || {
+            let server = Server::start(deployment(), config());
+            let rx = server.client().infer("short");
+            rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            let report = server.shutdown();
+            assert_eq!(report.served, 1);
+        });
     }
 }

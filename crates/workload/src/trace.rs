@@ -42,6 +42,25 @@ impl RequestTrace {
         Self { scenario, arrivals }
     }
 
+    /// Generate a bursty trace: arrival times from the two-state MMPP
+    /// ([`crate::BurstGen`]) instead of plain Poisson, models drawn
+    /// uniformly. The scenario's `lambda_us` is ignored in favour of the
+    /// burst config's intervals; its seed still fixes both the arrival
+    /// process and the model draws, so traces stay reproducible.
+    pub fn generate_burst(scenario: Scenario, models: &[&str], cfg: crate::BurstConfig) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        let mut gen = crate::BurstGen::new(cfg, scenario.seed());
+        let mut rng = StdRng::seed_from_u64(scenario.seed() ^ 0x9E3779B97F4A7C15);
+        let arrivals = (0..scenario.requests)
+            .map(|i| Arrival {
+                id: i as u64,
+                model: models[rng.random_range(0..models.len())].to_string(),
+                arrival_us: gen.next_arrival_us(),
+            })
+            .collect();
+        Self { scenario, arrivals }
+    }
+
     /// Generate with a custom per-model weight (still Poisson in time).
     pub fn generate_weighted(scenario: Scenario, weighted: &[(&str, f64)]) -> Self {
         assert!(!weighted.is_empty());
@@ -123,6 +142,20 @@ mod tests {
         for (m, c) in counts {
             assert!((120..280).contains(&c), "{m}: {c}");
         }
+    }
+
+    #[test]
+    fn burst_trace_is_reproducible_and_ordered() {
+        let cfg = crate::BurstConfig::pedestrian();
+        let a = RequestTrace::generate_burst(Scenario::table2(3), &MODELS, cfg.clone());
+        let b = RequestTrace::generate_burst(Scenario::table2(3), &MODELS, cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals.len(), 1000);
+        for w in a.arrivals.windows(2) {
+            assert!(w[1].arrival_us > w[0].arrival_us);
+        }
+        // Models still mix (the draw rng is independent of arrivals).
+        assert!(a.model_counts().len() == MODELS.len());
     }
 
     #[test]

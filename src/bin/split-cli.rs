@@ -38,11 +38,20 @@ commands:
                                        (open in ui.perfetto.dev)
            [--metrics]                 also print the telemetry snapshot
                                        (decision latency p50/p99, e2e, ...)
+           [--burst]                   bursty (MMPP) arrivals instead of Poisson
+           [--forensics FILE]          investigate the run: on a burn-rate
+                                       alert, write the incident bundle to FILE
   dot <model> [--blocks N]             emit Graphviz DOT (split into N blocks)
   analyze [--all] [--deny-warnings]    statically verify plans, schedules, and
           [--json] [--requests N]      telemetry (DESIGN.md \u{a7}9); --all covers
-                                       every zoo model, --json emits machine-
-                                       readable diagnostics
+          [--bundle FILE]              every zoo model, --json emits machine-
+                                       readable diagnostics; --bundle verifies
+                                       one incident bundle (SA4xx) instead
+  forensics <bundle.json> [--json]     render an incident bundle: alert, queue
+            [--perfetto FILE]          context, outliers, root-cause verdict;
+            [--check]                  --perfetto re-exports the captured span
+                                       trees, --check exits non-zero unless the
+                                       bundle passes the SA4xx analyzer
   monitor [--replay FILE | --scenario 1..6 [--policy P] [--alpha A]]
           [--frames N] [--interval MS] live dashboard (queue depth, utilization,
           [--prom FILE]                per-model p50/p99, SLO burn rate) over a
@@ -67,6 +76,10 @@ fn main() -> ExitCode {
         // `analyze` owns its exit code: diagnostics are the output, not a
         // usage error — only bad arguments fall through to the usage path.
         "analyze" => match cmd_analyze(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
+        "forensics" => match cmd_forensics(rest) {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
@@ -230,8 +243,26 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
 
     let trace_out = opt(args, "--trace")?;
     let want_metrics = args.iter().any(|a| a == "--metrics");
+    let want_burst = args.iter().any(|a| a == "--burst");
+    let forensics_out = opt(args, "--forensics")?;
 
-    let trace = RequestTrace::generate(Scenario::table2(scenario), &experiment::PAPER_MODEL_NAMES);
+    let trace = if want_burst {
+        // Compress the pedestrian MMPP so the burst volleys overload the
+        // device and the burn-rate alert has something to fire on.
+        let burst = split_repro::workload::BurstConfig {
+            calm_interval_us: 50_000.0,
+            burst_interval_us: 1_500.0,
+            calm_dwell_us: 300_000.0,
+            burst_dwell_us: 400_000.0,
+        };
+        RequestTrace::generate_burst(
+            Scenario::table2(scenario),
+            &experiment::PAPER_MODEL_NAMES,
+            burst,
+        )
+    } else {
+        RequestTrace::generate(Scenario::table2(scenario), &experiment::PAPER_MODEL_NAMES)
+    };
     let r = simulate(&policy, &trace.arrivals, deployment.table());
     let outcomes = r.outcomes();
     println!(
@@ -268,6 +299,31 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             path.display()
         );
     }
+    if let Some(path) = forensics_out {
+        let path = PathBuf::from(path);
+        let mut cfg = split_repro::split_forensics::ForensicsCfg::default();
+        cfg.slo.alpha = alpha;
+        let inv = r.investigate(&cfg);
+        println!("\nforensics: {}", inv.alerts.summary());
+        match inv.bundles.first() {
+            None => println!("no burn-rate alert fired; no incident bundle written"),
+            Some(bundle) => {
+                for b in &inv.bundles {
+                    println!("  {}", b.verdict.text);
+                }
+                bundle
+                    .save(&path)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                println!(
+                    "wrote incident bundle ({} outliers, {}/{} violating captured) to {}",
+                    bundle.verdict.outliers,
+                    bundle.verdict.captured_violating,
+                    bundle.verdict.violating,
+                    path.display()
+                );
+            }
+        }
+    }
     if want_metrics {
         println!("\ntelemetry:\n{}", r.metrics().snapshot().render_markdown());
         println!(
@@ -285,12 +341,31 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--all" | "--deny-warnings" | "--json" => i += 1,
-            "--requests" => i += 2,
+            "--requests" | "--bundle" => i += 2,
             other => return Err(format!("analyze: unknown option {other:?}")),
         }
     }
     let deny_warnings = args.iter().any(|a| a == "--deny-warnings");
     let json = args.iter().any(|a| a == "--json");
+    if let Some(path) = opt(args, "--bundle")? {
+        // Single-bundle mode: SA4xx over one incident document.
+        let path = PathBuf::from(path);
+        let bundle = split_repro::split_forensics::IncidentBundle::load(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        let report = split_repro::split_analyze::lint_bundle(&bundle);
+        if json {
+            println!("{}", report.render_json());
+        } else if report.is_empty() {
+            eprintln!("bundle {}: clean", path.display());
+        } else {
+            print!("{}", report.render_text());
+        }
+        return Ok(if report.fails(deny_warnings) {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        });
+    }
     let mut cfg = if args.iter().any(|a| a == "--all") {
         SuiteCfg::all_models()
     } else {
@@ -306,8 +381,8 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         println!("{}", merged.render_json());
     } else {
         eprintln!(
-            "analyzed {} plan(s), {} schedule(s), {} interleavings",
-            out.plans_checked, out.schedules_checked, out.interleavings
+            "analyzed {} plan(s), {} schedule(s), {} bundle(s), {} interleavings",
+            out.plans_checked, out.schedules_checked, out.bundles_checked, out.interleavings
         );
         for (section, report) in [
             ("plans", &out.plan_report),
@@ -315,6 +390,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             ("determinism", &out.determinism_report),
             ("interleavings", &out.interleave_report),
             ("attribution", &out.attribution_report),
+            ("forensics", &out.forensics_report),
         ] {
             if report.is_empty() {
                 eprintln!("  {section}: clean");
@@ -329,6 +405,49 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+fn cmd_forensics(args: &[String]) -> Result<ExitCode, String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("forensics needs a bundle path")?;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" | "--check" => i += 1,
+            "--perfetto" => i += 2,
+            other => return Err(format!("forensics: unknown option {other:?}")),
+        }
+    }
+    let path = PathBuf::from(path);
+    let bundle = split_repro::split_forensics::IncidentBundle::load(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", bundle.to_json());
+    } else {
+        print!("{}", bundle.render_text());
+    }
+    if let Some(out) = opt(args, "--perfetto")? {
+        let out = PathBuf::from(out);
+        bundle
+            .write_perfetto(&out)
+            .map_err(|e| format!("{}: {e}", out.display()))?;
+        eprintln!("wrote Perfetto trace to {}", out.display());
+    }
+    if args.iter().any(|a| a == "--check") {
+        let report = split_repro::split_analyze::lint_bundle(&bundle);
+        if report.is_empty() {
+            eprintln!("check: clean (SA4xx)");
+        } else {
+            print!("{}", report.render_text());
+        }
+        if report.fails(true) {
+            return Ok(ExitCode::FAILURE);
+        }
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_monitor(args: &[String]) -> Result<(), String> {

@@ -45,9 +45,11 @@ pub use gpu_sim;
 pub use model_zoo;
 pub use profiler;
 pub use qos_metrics;
+pub use rayon;
 pub use sched;
 pub use split_analyze;
 pub use split_core;
+pub use split_forensics;
 pub use split_obs;
 pub use split_runtime;
 pub use split_telemetry;

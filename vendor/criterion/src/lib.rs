@@ -1,0 +1,174 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no registry access, so this vendored stub
+//! exposes exactly the surface the workspace benches use —
+//! `Criterion::benchmark_group`, `BenchmarkGroup::{bench_function,
+//! sample_size, finish}`, `Bencher::{iter, iter_batched}`, `BatchSize`,
+//! and the `criterion_group!` / `criterion_main!` macros — and runs
+//! each benchmark a small, fixed number of iterations, reporting the
+//! median wall-clock time. It is a smoke harness, not a statistics
+//! engine: the repo's tracked numbers come from `perfbench`.
+
+use std::time::{Duration, Instant};
+
+/// How a batched setup's output is sized (accepted, not interpreted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters: usize,
+}
+
+impl Bencher {
+    fn new(iters: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(iters),
+            iters,
+        }
+    }
+
+    /// Time `f` once per iteration.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..self.iters {
+            let t0 = Instant::now();
+            let out = f();
+            self.samples.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    /// Time `routine` over inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            self.samples.push(t0.elapsed());
+            drop(out);
+        }
+    }
+
+    fn median_ns(&self) -> u128 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut ns: Vec<u128> = self.samples.iter().map(Duration::as_nanos).collect();
+        ns.sort_unstable();
+        ns[ns.len() / 2]
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark and print its median time.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new(Criterion::ITERS);
+        f(&mut b);
+        println!("{}/{}: median {} ns", self.name, id.into(), b.median_ns());
+        self
+    }
+
+    /// End the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Iterations per benchmark (warmup-free smoke harness).
+    const ITERS: usize = 10;
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0;
+        group
+            .sample_size(50)
+            .bench_function("f", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, Criterion::ITERS);
+    }
+
+    #[test]
+    fn iter_batched_separates_setup_from_routine() {
+        let mut b = Bencher::new(5);
+        let mut setups = 0;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 8]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 5);
+        assert_eq!(b.samples.len(), 5);
+    }
+}
