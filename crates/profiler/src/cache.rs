@@ -20,9 +20,13 @@
 //!   dedup the old measure-outside-the-lock version lacked, which let two
 //!   racing threads double-measure and double-count `misses`.
 //!
-//! Invariant (checked by tests and modeled by `split-analyze`'s SA204
-//! interleaving scenario): once all in-flight calls return,
-//! `misses == len()` — one miss per distinct candidate, never more.
+//! Invariant (checked by tests and model-checked by `split-analyze`'s
+//! `profiler.cache` machine, SA204 — DESIGN.md §14): once all in-flight
+//! calls return, `misses == len()` — one miss per distinct candidate,
+//! never more. The model explores the claim-then-measure CAS protocol
+//! under weak memory (stale reads included), with a check-then-measure
+//! negative fixture proving the checker would catch the pre-fix
+//! double-measure.
 
 use crate::block_profile::{profile_split_on, BlockProfile};
 use dnn_graph::{Graph, SplitSpec};

@@ -1,868 +1,1256 @@
-//! Bounded exhaustive-interleaving checker for the lock-free telemetry
-//! primitives.
+//! Weak-memory stateless model checker for the lock-free hot-path
+//! structures, with dynamic partial-order reduction.
 //!
-//! `split-telemetry`'s hot-path metrics (`Counter`, `Gauge`, `Histogram`)
-//! are wait-free atomics; their correctness argument is "every mutation is
-//! a single RMW, so any interleaving linearizes". This module *checks*
-//! that argument instead of trusting it: the primitives' operations are
-//! modeled as sequences of atomic steps over shared cells, and a
-//! depth-first explorer enumerates **every** interleaving of the modeled
-//! threads (loom-style, but hand-rolled — the container has no registry
-//! access), asserting the invariant at each completed execution.
+//! The old checker enumerated thread schedules under **sequential
+//! consistency**, which cannot even express the bug class the
+//! `FlightRing` seqlock exists to prevent: under SC a reader that
+//! re-checks the stamp always sees the latest stamp, so a dropped
+//! Release fence is invisible. This module explores executions of
+//! [`crate::memmodel`] machines instead — per-access C11 orderings, standalone
+//! fences, and **reads-from enumeration** (a `Relaxed` load branches
+//! over every coherence-eligible message, so stale reads are reachable
+//! behaviors, and a missing fence is a reachable bug). See
+//! [`crate::memmodel`] for the exact fragment and DESIGN.md §14 for the
+//! engine description.
+//!
+//! Two exploration modes share one DFS:
+//!
+//! * **exhaustive** — every schedule × every reads-from choice; the
+//!   ground-truth baseline the equivalence tests compare against;
+//! * **DPOR** — sleep sets plus Flanagan–Godefroid backtrack points
+//!   computed over a happens-before relation (dependency vector
+//!   clocks), exploring one representative per Mazurkiewicz trace.
+//!   Reachable final states, invariant violations, and data races are
+//!   preserved (same-cell accesses with a writer are dependent, so
+//!   reads-from branching commutes with the reduction); the
+//!   `dpor_equiv` test suite checks this equivalence machine by
+//!   machine, and property-tests it on randomly generated programs.
 //!
 //! Invariant catalog (DESIGN.md §9):
-//! * `SA201` — lost update: the final state misses an increment some
-//!   thread performed (non-linearizable mutation)
+//! * `SA200` — model-checking budget exhausted (transition ceiling or
+//!   wall-clock cap hit before the space was covered)
+//! * `SA201` — lost update: the final state misses a mutation some
+//!   thread performed (non-linearizable counter/histogram update)
 //! * `SA202` — a snapshot observed a counter moving backwards
 //! * `SA203` — merge result depends on merge order
 //! * `SA204` — profile-cache dedup violation: a candidate measured more
-//!   than once, or `misses ≠` distinct candidates, under some
-//!   interleaving of the modeled `ProfileCache::profile` callers
+//!   than once, or `misses ≠` distinct candidates, under some execution
+//!   of the modeled `ProfileCache::profile` callers
+//! * `SA205` — torn record: a seqlock snapshot accepted a payload
+//!   mixing two writes (`FlightRing::snapshot` vs `record`)
+//! * `SA206` — snapshot not a consistent cut: an accepted record never
+//!   existed in the published history
+//! * `SA210` — data race: two unsynchronized conflicting accesses, at
+//!   least one non-atomic
 //!
-//! The step language deliberately includes two *racy* composite
-//! operations (`LoadAccum`/`StoreAccum` — a read-modify-write torn into a
-//! separate load and store) so the checker can be demonstrated to catch
-//! the bug class it exists for; the real primitives never use them.
-//!
-//! Branching steps (`CasOrJump`, `JumpIfEq`, `Jump`, all forward-only)
-//! extend the language far enough to model `profiler::ProfileCache`'s
-//! claim-then-measure protocol: the winner of the compare-and-swap claim
-//! measures and publishes, losers take the hit path. A *racy* variant
-//! (check-then-measure without a claim — the pre-fix cache) exists as a
-//! negative fixture proving the checker catches double measurement.
+//! Every machine the suite certifies has a **racy negative fixture** —
+//! the same protocol with the bug re-introduced (fence dropped, stamp
+//! parity swapped, RMW torn into load+store, claim skipped) — proving
+//! the checker catches exactly the bug class each SA code names. The
+//! fixtures live in [`negative_fixtures`] and are exercised by the
+//! `weakmem_fixtures` test suite, never by `analyze`.
 
 use crate::diag::{Diagnostic, Report};
+use crate::memmodel::{
+    dependent, ExecState, FinalState, Machine, MemOrd, Operand, RaceReport, RmwOp, Step, VClock,
+};
+use std::collections::BTreeSet;
+use std::time::Instant;
 
-/// One atomic step of a modeled thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Step {
-    /// `cell.fetch_add(delta, Relaxed)` — wrapping, like the real counter.
-    FetchAdd {
-        /// Shared cell index.
-        cell: usize,
-        /// Added value.
-        delta: u64,
-    },
-    /// `cell.fetch_max(val, Relaxed)`.
-    FetchMax {
-        /// Shared cell index.
-        cell: usize,
-        /// Candidate maximum.
-        val: u64,
-    },
-    /// `cell.fetch_min(val, Relaxed)`.
-    FetchMin {
-        /// Shared cell index.
-        cell: usize,
-        /// Candidate minimum.
-        val: u64,
-    },
-    /// `cell.store(val, Relaxed)`.
-    Store {
-        /// Shared cell index.
-        cell: usize,
-        /// Stored value.
-        val: u64,
-    },
-    /// `cell.load(Relaxed)` appended to the thread's observation log.
-    Load {
-        /// Shared cell index.
-        cell: usize,
-    },
-    /// **Racy**: load `cell` into the thread-local register (first half of
-    /// a torn read-modify-write). Only used by negative fixtures.
-    LoadAccum {
-        /// Shared cell index.
-        cell: usize,
-    },
-    /// **Racy**: store `register + delta` back to `cell` (second half of
-    /// the torn read-modify-write). Only used by negative fixtures.
-    StoreAccum {
-        /// Shared cell index.
-        cell: usize,
-        /// Added value.
-        delta: u64,
-    },
-    /// `cell.compare_exchange(expect, set)` as one atomic step: on success
-    /// fall through to the next step, on failure jump (forward) to
-    /// `orelse`. Models claiming a `Pending` slot under the shard lock.
-    CasOrJump {
-        /// Shared cell index.
-        cell: usize,
-        /// Expected current value.
-        expect: u64,
-        /// Value stored on success.
-        set: u64,
-        /// Forward jump target (step index) on failure.
-        orelse: usize,
-    },
-    /// Load `cell` and jump (forward) to `target` when it equals `val`,
-    /// else fall through. One atomic step — models a locked check.
-    JumpIfEq {
-        /// Shared cell index.
-        cell: usize,
-        /// Compared value.
-        val: u64,
-        /// Forward jump target (step index) on equality.
-        target: usize,
-    },
-    /// Unconditional forward jump to `target` (step index).
-    Jump {
-        /// Forward jump target (step index).
-        target: usize,
-    },
-}
-
-/// A little machine: shared cells plus per-thread step programs.
+/// Exploration configuration: mode plus budgets.
 #[derive(Debug, Clone)]
-pub struct Machine {
-    /// Initial shared-cell values.
-    pub cells: Vec<u64>,
-    /// One step program per modeled thread.
-    pub threads: Vec<Vec<Step>>,
+pub struct ExploreCfg {
+    /// Use DPOR (sleep sets + backtrack points). `false` = exhaustive
+    /// baseline, for equivalence testing only.
+    pub dpor: bool,
+    /// Transition ceiling: exploration stops (and reports
+    /// `budget_exceeded`) after this many applied steps.
+    pub max_transitions: u64,
+    /// Wall-clock cap in milliseconds (checked every 1024 transitions).
+    pub wall_ms: u64,
+    /// Collect the set of reachable final-state digests (for
+    /// equivalence testing; costs memory on large spaces).
+    pub collect_finals: bool,
 }
 
-/// The final state of one completed interleaving, handed to the checker.
-#[derive(Debug)]
-pub struct FinalState<'a> {
-    /// Shared cells after every thread ran to completion.
-    pub cells: &'a [u64],
-    /// Per-thread observation logs (values seen by `Load` steps, in
-    /// program order).
-    pub logs: &'a [Vec<u64>],
+impl Default for ExploreCfg {
+    fn default() -> Self {
+        Self {
+            dpor: true,
+            max_transitions: u64::MAX,
+            wall_ms: u64::MAX,
+            collect_finals: false,
+        }
+    }
 }
 
-/// Result of exploring a machine.
+/// What an exploration found and how much work it did.
 #[derive(Debug)]
 pub struct ExploreOutcome {
-    /// Complete interleavings enumerated.
-    pub interleavings: u64,
-    /// True when `limit` stopped the search before exhaustion.
-    pub truncated: bool,
-    /// Checker messages from violating interleavings (capped at 8).
-    pub violations: Vec<String>,
+    /// Completed executions (maximal interleavings × reads-from choices).
+    pub executions: u64,
+    /// Applied transitions (the "states explored" count the budget gate
+    /// and the DPOR-vs-exhaustive criterion are measured in).
+    pub transitions: u64,
+    /// Sleep-set prunes: nodes abandoned because every enabled thread
+    /// was asleep (each prune is a provably redundant subtree).
+    pub sleep_prunes: u64,
+    /// The budget ([`ExploreCfg::max_transitions`] or
+    /// [`ExploreCfg::wall_ms`]) ran out before the space was covered.
+    pub budget_exceeded: bool,
+    /// Distinct invariant-violation messages from the check function.
+    pub violations: BTreeSet<String>,
+    /// Data races observed in any explored execution (canonicalized, so
+    /// DPOR and exhaustive exploration agree exactly).
+    pub races: BTreeSet<RaceReport>,
+    /// Reachable final-state digests, when
+    /// [`ExploreCfg::collect_finals`] was set.
+    pub finals: Option<BTreeSet<Vec<u64>>>,
 }
 
-/// Exhaustively enumerate every interleaving of `machine`'s threads (up
-/// to `limit` complete executions) and run `check` on each final state.
-/// `check` returns `Some(description)` to flag a violation.
-pub fn explore(
-    machine: &Machine,
-    limit: u64,
-    check: &dyn Fn(&FinalState) -> Option<String>,
-) -> ExploreOutcome {
-    struct Dfs<'a> {
-        threads: &'a [Vec<Step>],
-        cells: Vec<u64>,
-        pcs: Vec<usize>,
-        regs: Vec<u64>,
-        logs: Vec<Vec<u64>>,
-        leaves: u64,
-        limit: u64,
-        truncated: bool,
-        violations: Vec<String>,
-        check: &'a dyn Fn(&FinalState) -> Option<String>,
+/// Per-node bookkeeping for DPOR.
+struct Node {
+    /// Threads that must (still) be explored from this node.
+    backtrack: BTreeSet<usize>,
+    /// Threads already fully explored from this node.
+    done: BTreeSet<usize>,
+    /// Sleep set: threads whose exploration here is provably redundant.
+    sleep: BTreeSet<usize>,
+    /// Threads enabled at this node (recorded for backtrack insertion).
+    enabled: Vec<usize>,
+}
+
+/// One executed event of the current trace.
+struct TraceEntry {
+    thread: usize,
+    step: Step,
+    /// Dependency clock of the event (happens-before in the
+    /// Mazurkiewicz-trace sense, built from [`dependent`]).
+    clock: VClock,
+}
+
+struct Explorer<'a> {
+    state: ExecState,
+    cfg: &'a ExploreCfg,
+    check: &'a dyn Fn(&FinalState<'_>) -> Vec<String>,
+    out: ExploreOutcome,
+    nodes: Vec<Node>,
+    trace: Vec<TraceEntry>,
+    /// Per-thread dependency clocks.
+    dep: Vec<VClock>,
+    /// Per-cell clock of the last write event.
+    last_write: Vec<VClock>,
+    /// Per-cell join of all access-event clocks.
+    all_access: Vec<VClock>,
+    /// Clock of the last SC event.
+    last_sc: VClock,
+    started: Instant,
+}
+
+fn join(dst: &mut VClock, src: &VClock) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+impl Explorer<'_> {
+    fn budget_ok(&mut self) -> bool {
+        if self.out.budget_exceeded {
+            return false;
+        }
+        if self.out.transitions >= self.cfg.max_transitions {
+            self.out.budget_exceeded = true;
+            return false;
+        }
+        if self.out.transitions.is_multiple_of(1024)
+            && self.started.elapsed().as_millis() as u64 >= self.cfg.wall_ms
+        {
+            self.out.budget_exceeded = true;
+            return false;
+        }
+        true
     }
 
-    impl Dfs<'_> {
-        fn run(&mut self) {
-            if self.leaves >= self.limit {
-                self.truncated = true;
-                return;
+    /// The dependency clock thread `t`'s next step would get, from the
+    /// clocks of the events it does not commute with.
+    fn event_clock(&self, t: usize, step: &Step) -> VClock {
+        use crate::memmodel::Access;
+        let mut c = self.dep[t].clone();
+        match step.access() {
+            Access::Read(x) => join(&mut c, &self.last_write[x]),
+            Access::Write(x) => {
+                join(&mut c, &self.all_access[x]);
             }
-            let mut any = false;
-            for t in 0..self.threads.len() {
-                let pc = self.pcs[t];
-                if pc >= self.threads[t].len() {
-                    continue;
-                }
-                any = true;
-                // Apply the step, remembering exactly what to undo. Each
-                // arm also yields the next program counter — `pc + 1`
-                // except for the (forward-only) branching steps.
-                let step = self.threads[t][pc];
-                let (old_cell, old_reg, logged, next_pc) = match step {
-                    Step::FetchAdd { cell, delta } => {
-                        let old = self.cells[cell];
-                        self.cells[cell] = old.wrapping_add(delta);
-                        (Some((cell, old)), None, false, pc + 1)
-                    }
-                    Step::FetchMax { cell, val } => {
-                        let old = self.cells[cell];
-                        self.cells[cell] = old.max(val);
-                        (Some((cell, old)), None, false, pc + 1)
-                    }
-                    Step::FetchMin { cell, val } => {
-                        let old = self.cells[cell];
-                        self.cells[cell] = old.min(val);
-                        (Some((cell, old)), None, false, pc + 1)
-                    }
-                    Step::Store { cell, val } => {
-                        let old = self.cells[cell];
-                        self.cells[cell] = val;
-                        (Some((cell, old)), None, false, pc + 1)
-                    }
-                    Step::Load { cell } => {
-                        self.logs[t].push(self.cells[cell]);
-                        (None, None, true, pc + 1)
-                    }
-                    Step::LoadAccum { cell } => {
-                        let old = self.regs[t];
-                        self.regs[t] = self.cells[cell];
-                        (None, Some(old), false, pc + 1)
-                    }
-                    Step::StoreAccum { cell, delta } => {
-                        let old = self.cells[cell];
-                        self.cells[cell] = self.regs[t].wrapping_add(delta);
-                        (Some((cell, old)), None, false, pc + 1)
-                    }
-                    Step::CasOrJump {
-                        cell,
-                        expect,
-                        set,
-                        orelse,
-                    } => {
-                        debug_assert!(orelse > pc, "jumps must be forward-only");
-                        let old = self.cells[cell];
-                        if old == expect {
-                            self.cells[cell] = set;
-                            (Some((cell, old)), None, false, pc + 1)
-                        } else {
-                            (None, None, false, orelse)
-                        }
-                    }
-                    Step::JumpIfEq { cell, val, target } => {
-                        debug_assert!(target > pc, "jumps must be forward-only");
-                        if self.cells[cell] == val {
-                            (None, None, false, target)
-                        } else {
-                            (None, None, false, pc + 1)
-                        }
-                    }
-                    Step::Jump { target } => {
-                        debug_assert!(target > pc, "jumps must be forward-only");
-                        (None, None, false, target)
-                    }
-                };
-                self.pcs[t] = next_pc;
-                self.run();
-                self.pcs[t] = pc;
-                if let Some((cell, old)) = old_cell {
-                    self.cells[cell] = old;
-                }
-                if let Some(old) = old_reg {
-                    self.regs[t] = old;
-                }
-                if logged {
-                    self.logs[t].pop();
-                }
-                if self.truncated {
-                    return;
-                }
+            Access::ScFence => join(&mut c, &self.last_sc),
+            Access::Local => {}
+        }
+        let sc = matches!(
+            step,
+            Step::Load {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Store {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Rmw {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Cas {
+                ord: MemOrd::SeqCst,
+                ..
             }
-            if !any {
-                // Every thread ran to completion: one full interleaving.
-                self.leaves += 1;
-                if self.violations.len() < 8 {
-                    let state = FinalState {
-                        cells: &self.cells,
-                        logs: &self.logs,
-                    };
-                    if let Some(msg) = (self.check)(&state) {
-                        self.violations.push(msg);
+        );
+        if sc {
+            join(&mut c, &self.last_sc);
+        }
+        c[t] += 1;
+        c
+    }
+
+    /// Flanagan–Godefroid race scan: find the last event of the trace
+    /// that is dependent with and concurrent to thread `p`'s next step,
+    /// and plant a backtrack point just before it.
+    fn update_backtracks(&mut self, p: usize) {
+        let Some(&next) = self.state.next_step(p) else {
+            return;
+        };
+        for i in (0..self.trace.len()).rev() {
+            let e = &self.trace[i];
+            if e.thread == p || !dependent(&e.step, &next) {
+                continue;
+            }
+            // Concurrent iff p has not (transitively) observed event i.
+            if e.clock[e.thread] <= self.dep[p][e.thread] {
+                continue;
+            }
+            let node = &mut self.nodes[i];
+            if node.enabled.contains(&p) {
+                if !node.done.contains(&p) {
+                    node.backtrack.insert(p);
+                }
+            } else {
+                for &q in &node.enabled {
+                    if !node.done.contains(&q) {
+                        node.backtrack.insert(q);
                     }
                 }
             }
+            return;
         }
     }
 
-    let n = machine.threads.len();
-    let mut dfs = Dfs {
-        threads: &machine.threads,
-        cells: machine.cells.clone(),
-        pcs: vec![0; n],
-        regs: vec![0; n],
-        logs: vec![Vec::new(); n],
-        leaves: 0,
-        limit: limit.max(1),
-        truncated: false,
-        violations: Vec::new(),
-        check,
-    };
-    dfs.run();
-    ExploreOutcome {
-        interleavings: dfs.leaves,
-        truncated: dfs.truncated,
-        violations: dfs.violations,
-    }
-}
-
-/// The correct model of `Counter::add`: one `FetchAdd` per increment.
-/// `threads × adds_per_thread` increments of distinct odd deltas.
-pub fn counter_machine(threads: usize, adds_per_thread: usize) -> (Machine, u64) {
-    let mut total = 0u64;
-    let programs: Vec<Vec<Step>> = (0..threads)
-        .map(|t| {
-            (0..adds_per_thread)
-                .map(|i| {
-                    let delta = (t * adds_per_thread + i) as u64 * 2 + 1;
-                    total += delta;
-                    Step::FetchAdd { cell: 0, delta }
-                })
-                .collect()
-        })
-        .collect();
-    (
-        Machine {
-            cells: vec![0],
-            threads: programs,
-        },
-        total,
-    )
-}
-
-/// A **deliberately broken** counter whose increment is a torn
-/// load/store pair. Exists so tests can prove the explorer catches lost
-/// updates (`SA201`); the real `Counter` never does this.
-pub fn racy_counter_machine(threads: usize, adds_per_thread: usize) -> (Machine, u64) {
-    let (correct, total) = counter_machine(threads, adds_per_thread);
-    let programs = correct
-        .threads
-        .iter()
-        .map(|prog| {
-            prog.iter()
-                .flat_map(|s| match *s {
-                    Step::FetchAdd { cell, delta } => {
-                        vec![Step::LoadAccum { cell }, Step::StoreAccum { cell, delta }]
-                    }
-                    other => vec![other],
-                })
-                .collect()
-        })
-        .collect();
-    (
-        Machine {
-            cells: vec![0],
-            threads: programs,
-        },
-        total,
-    )
-}
-
-/// Model of `Histogram::record(v)`: bucket count, total count, sum,
-/// max, and min are each a single RMW on their own cell.
-///
-/// Cells: `0..n_buckets` bucket counts, then count, sum, max, min.
-pub fn histogram_machine(
-    values: &[u64],
-    n_buckets: usize,
-    bucket_of: &dyn Fn(u64) -> usize,
-) -> Machine {
-    let count = n_buckets;
-    let sum = n_buckets + 1;
-    let max = n_buckets + 2;
-    let min = n_buckets + 3;
-    let mut cells = vec![0u64; n_buckets + 4];
-    cells[min] = u64::MAX; // empty-histogram sentinel, like the real one
-    let threads = values
-        .iter()
-        .map(|&v| {
-            vec![
-                Step::FetchAdd {
-                    cell: bucket_of(v),
-                    delta: 1,
-                },
-                Step::FetchAdd {
-                    cell: count,
-                    delta: 1,
-                },
-                Step::FetchAdd {
-                    cell: sum,
-                    delta: v,
-                },
-                Step::FetchMax { cell: max, val: v },
-                Step::FetchMin { cell: min, val: v },
-            ]
-        })
-        .collect();
-    Machine { cells, threads }
-}
-
-/// A modeled `ProfileCache` with `keys` distinct candidates: cell layout
-/// plus the thread programs, so checkers can find the invariant cells.
-///
-/// Cells: `0..keys` per-key slot state (0 = empty, 1 = pending,
-/// 2 = ready), `keys..2·keys` per-key measurement counts, then `misses`
-/// and `hits`.
-#[derive(Debug, Clone)]
-pub struct CacheModel {
-    /// The step machine (threads calling `profile` on their key).
-    pub machine: Machine,
-    /// Distinct keys (candidates).
-    pub keys: usize,
-    /// Total modeled calls across all keys.
-    pub calls: usize,
-}
-
-impl CacheModel {
-    fn cells(keys: usize) -> Vec<u64> {
-        // states + measure counts + misses + hits
-        vec![0; 2 * keys + 2]
-    }
-
-    fn measured(&self, st: &FinalState, key: usize) -> u64 {
-        st.cells[self.keys + key]
-    }
-
-    fn misses(&self, st: &FinalState) -> u64 {
-        st.cells[2 * self.keys]
-    }
-
-    fn hits(&self, st: &FinalState) -> u64 {
-        st.cells[2 * self.keys + 1]
-    }
-
-    /// The SA204 invariant over a final state: every key measured exactly
-    /// once, `misses ==` distinct keys, and hits account for the rest.
-    pub fn check(&self, st: &FinalState) -> Option<String> {
-        for k in 0..self.keys {
-            let m = self.measured(st, k);
-            if m != 1 {
-                return Some(format!(
-                    "candidate {k} measured {m} times (must be exactly 1)"
-                ));
+    fn dfs(&mut self, sleep: BTreeSet<usize>) {
+        let enabled = self.state.enabled();
+        if enabled.is_empty() {
+            self.out.executions += 1;
+            let fs = self.state.final_state();
+            for v in (self.check)(&fs) {
+                self.out.violations.insert(v);
             }
-            if st.cells[k] != 2 {
-                return Some(format!("candidate {k} never published Ready"));
+            if self.cfg.collect_finals {
+                let d = fs.digest();
+                self.out.finals.get_or_insert_with(BTreeSet::new).insert(d);
+            }
+            return;
+        }
+        if self.cfg.dpor {
+            for &p in &enabled {
+                self.update_backtracks(p);
             }
         }
-        let (misses, hits) = (self.misses(st), self.hits(st));
-        if misses != self.keys as u64 {
-            return Some(format!(
-                "misses = {misses} ≠ {} distinct candidates — \
-                 stats()/len() invariant broken",
-                self.keys
-            ));
+        let awake: Vec<usize> = enabled
+            .iter()
+            .copied()
+            .filter(|p| !sleep.contains(p))
+            .collect();
+        if awake.is_empty() {
+            self.out.sleep_prunes += 1;
+            return;
         }
-        if hits != (self.calls - self.keys) as u64 {
-            return Some(format!(
-                "hits = {hits} ≠ {} deduplicated calls",
-                self.calls - self.keys
-            ));
-        }
-        None
-    }
-}
-
-/// Model of the fixed `ProfileCache::profile`: claim the key's slot with
-/// a CAS under the shard lock, measure outside it, publish `Ready`; a
-/// caller that loses the claim takes the hit path (blocking on the
-/// in-flight condvar mutates nothing shared, so it is not modeled).
-///
-/// `calls_per_key[k]` threads run the program against key `k`.
-pub fn dedup_cache_machine(calls_per_key: &[usize]) -> CacheModel {
-    let keys = calls_per_key.len();
-    let (misses, hits) = (2 * keys, 2 * keys + 1);
-    let mut threads = Vec::new();
-    for (k, &calls) in calls_per_key.iter().enumerate() {
-        for _ in 0..calls {
-            threads.push(vec![
-                // Double-checked claim: only one caller wins the CAS.
-                Step::CasOrJump {
-                    cell: k,
-                    expect: 0,
-                    set: 1,
-                    orelse: 5,
-                },
-                // profile_split, outside the shard lock.
-                Step::FetchAdd {
-                    cell: keys + k,
-                    delta: 1,
-                },
-                Step::FetchAdd {
-                    cell: misses,
-                    delta: 1,
-                },
-                // Publish Ready (and notify waiters).
-                Step::Store { cell: k, val: 2 },
-                Step::Jump { target: 6 },
-                // Pending or Ready found: deduplicated, count a hit.
-                Step::FetchAdd {
-                    cell: hits,
-                    delta: 1,
-                },
-            ]);
-        }
-    }
-    CacheModel {
-        machine: Machine {
-            cells: CacheModel::cells(keys),
-            threads,
-        },
-        keys,
-        calls: calls_per_key.iter().sum(),
-    }
-}
-
-/// The **pre-fix** cache as a negative fixture: check the map, then
-/// measure outside the lock *without claiming the key* — two callers can
-/// both see "absent" and both measure. `check` must catch this (SA204).
-pub fn racy_cache_machine(calls_per_key: &[usize]) -> CacheModel {
-    let keys = calls_per_key.len();
-    let (misses, hits) = (2 * keys, 2 * keys + 1);
-    let mut threads = Vec::new();
-    for (k, &calls) in calls_per_key.iter().enumerate() {
-        for _ in 0..calls {
-            threads.push(vec![
-                // Lookup without a claim: hit only when already Ready.
-                Step::JumpIfEq {
-                    cell: k,
-                    val: 2,
-                    target: 5,
-                },
-                Step::FetchAdd {
-                    cell: keys + k,
-                    delta: 1,
-                },
-                Step::FetchAdd {
-                    cell: misses,
-                    delta: 1,
-                },
-                Step::Store { cell: k, val: 2 },
-                Step::Jump { target: 6 },
-                Step::FetchAdd {
-                    cell: hits,
-                    delta: 1,
-                },
-            ]);
-        }
-    }
-    CacheModel {
-        machine: Machine {
-            cells: CacheModel::cells(keys),
-            threads,
-        },
-        keys,
-        calls: calls_per_key.iter().sum(),
-    }
-}
-
-/// Run the profile-cache scenario suite (SA204): every interleaving of
-/// racing `ProfileCache::profile` callers, each bounded by `limit`.
-/// Returns the report plus the total interleavings exhausted.
-pub fn check_cache_interleavings(limit: u64) -> (Report, u64) {
-    let mut report = Report::new();
-    let mut explored = 0u64;
-
-    // --- Three callers race one candidate: worst contention on a key. ---
-    let model = dedup_cache_machine(&[3]);
-    let out = explore(&model.machine, limit, &|st: &FinalState| model.check(st));
-    explored += out.interleavings;
-    push_violations(&mut report, "SA204", "ProfileCache same-key race", &out);
-
-    // --- Two keys, mixed contention: dedup must stay per-key. ---
-    let model = dedup_cache_machine(&[2, 1]);
-    let out = explore(&model.machine, limit, &|st: &FinalState| model.check(st));
-    explored += out.interleavings;
-    push_violations(&mut report, "SA204", "ProfileCache cross-key", &out);
-
-    (report, explored)
-}
-
-/// Run the standard telemetry scenario suite: every interleaving of the
-/// modeled `Counter`, `Gauge`, `Histogram::record`, snapshot, and
-/// `Histogram::merge` operations, each bounded by `limit` interleavings.
-/// Returns the report plus the total number of interleavings exhausted.
-pub fn check_telemetry_interleavings(limit: u64) -> (Report, u64) {
-    let mut report = Report::new();
-    let mut explored = 0u64;
-
-    // --- Counter linearizability (SA201): 3 threads × 4 increments. ---
-    let (machine, expected) = counter_machine(3, 4);
-    let out = explore(&machine, limit, &|st: &FinalState| {
-        (st.cells[0] != expected).then(|| {
-            format!(
-                "final counter value {} ≠ sum of increments {expected}",
-                st.cells[0]
-            )
-        })
-    });
-    explored += out.interleavings;
-    push_violations(&mut report, "SA201", "Counter::add", &out);
-
-    // --- Gauge (signed add modeled two's-complement): 2×3 mixed deltas. ---
-    let deltas: [i64; 6] = [5, -3, 7, -2, 11, -6];
-    let net: i64 = deltas.iter().sum();
-    let machine = Machine {
-        cells: vec![0],
-        threads: deltas
-            .chunks(3)
-            .map(|c| {
-                c.iter()
-                    .map(|&d| Step::FetchAdd {
-                        cell: 0,
-                        delta: d as u64,
+        let backtrack: BTreeSet<usize> = if self.cfg.dpor {
+            // Seed with one awake thread; the race scans of deeper
+            // nodes add the rest on demand.
+            [awake[0]].into()
+        } else {
+            awake.iter().copied().collect()
+        };
+        let depth = self.nodes.len();
+        self.nodes.push(Node {
+            backtrack,
+            done: BTreeSet::new(),
+            sleep,
+            enabled,
+        });
+        loop {
+            let p = {
+                let node = &self.nodes[depth];
+                node.backtrack
+                    .iter()
+                    .copied()
+                    .find(|p| !node.done.contains(p) && !node.sleep.contains(p))
+            };
+            let Some(p) = p else { break };
+            let step = *self.state.next_step(p).expect("backtracked thread enabled");
+            // Child sleep set: threads asleep (or already explored) here
+            // stay asleep below p's step iff they commute with it. The
+            // exhaustive baseline uses no sleep sets at all.
+            let child_sleep: BTreeSet<usize> = if self.cfg.dpor {
+                let node = &self.nodes[depth];
+                node.sleep
+                    .iter()
+                    .chain(node.done.iter())
+                    .copied()
+                    .filter(|&q| match self.state.next_step(q) {
+                        Some(qs) => !dependent(qs, &step),
+                        None => false,
                     })
                     .collect()
-            })
-            .collect(),
-    };
-    let out = explore(&machine, limit, &|st: &FinalState| {
-        (st.cells[0] as i64 != net)
-            .then(|| format!("final gauge value {} ≠ net delta {net}", st.cells[0] as i64))
-    });
-    explored += out.interleavings;
-    push_violations(&mut report, "SA201", "Gauge::add", &out);
-
-    // --- Histogram::record linearizability: 3 concurrent records. ---
-    let values = [3u64, 900, 17];
-    let machine = histogram_machine(&values, 3, &|v| {
-        if v < 10 {
-            0
-        } else if v < 100 {
-            1
-        } else {
-            2
+            } else {
+                BTreeSet::new()
+            };
+            let clock = self.event_clock(p, &step);
+            let nchoices = self.state.choice_count(p);
+            for choice in 0..nchoices {
+                if !self.budget_ok() {
+                    break;
+                }
+                // Save the dependency-clock state this transition mutates.
+                use crate::memmodel::Access;
+                let saved_dep = self.dep[p].clone();
+                let saved_cell = match step.access() {
+                    Access::Read(x) => Some((x, self.all_access[x].clone(), None)),
+                    Access::Write(x) => Some((
+                        x,
+                        self.all_access[x].clone(),
+                        Some(self.last_write[x].clone()),
+                    )),
+                    _ => None,
+                };
+                let saved_sc = self.last_sc.clone();
+                self.dep[p] = clock.clone();
+                match step.access() {
+                    Access::Read(x) => join(&mut self.all_access[x], &clock),
+                    Access::Write(x) => {
+                        join(&mut self.all_access[x], &clock);
+                        self.last_write[x] = clock.clone();
+                    }
+                    Access::ScFence => self.last_sc = clock.clone(),
+                    Access::Local => {}
+                }
+                if matches!(
+                    step,
+                    Step::Load {
+                        ord: MemOrd::SeqCst,
+                        ..
+                    } | Step::Store {
+                        ord: MemOrd::SeqCst,
+                        ..
+                    } | Step::Rmw {
+                        ord: MemOrd::SeqCst,
+                        ..
+                    } | Step::Cas {
+                        ord: MemOrd::SeqCst,
+                        ..
+                    }
+                ) {
+                    self.last_sc = clock.clone();
+                }
+                self.trace.push(TraceEntry {
+                    thread: p,
+                    step,
+                    clock: clock.clone(),
+                });
+                let undo = self.state.apply(p, choice, &mut self.out.races);
+                self.out.transitions += 1;
+                self.dfs(child_sleep.clone());
+                self.state.undo(undo);
+                self.trace.pop();
+                self.dep[p] = saved_dep;
+                if let Some((x, all, lw)) = saved_cell {
+                    self.all_access[x] = all;
+                    if let Some(lw) = lw {
+                        self.last_write[x] = lw;
+                    }
+                }
+                self.last_sc = saved_sc;
+            }
+            self.nodes[depth].done.insert(p);
+            if self.out.budget_exceeded {
+                break;
+            }
         }
-    });
-    let out = explore(&machine, limit, &|st: &FinalState| {
-        let (count, sum, max, min) = (st.cells[3], st.cells[4], st.cells[5], st.cells[6]);
-        if st.cells[0] != 1 || st.cells[1] != 1 || st.cells[2] != 1 {
-            return Some(format!("bucket counts {:?} ≠ [1, 1, 1]", &st.cells[0..3]));
-        }
-        if count != 3 || sum != 920 || max != 900 || min != 3 {
-            return Some(format!(
-                "count/sum/max/min = {count}/{sum}/{max}/{min} ≠ 3/920/900/3"
-            ));
-        }
-        None
-    });
-    explored += out.interleavings;
-    push_violations(&mut report, "SA201", "Histogram::record", &out);
-
-    // --- Snapshot monotonicity (SA202): reader vs writer. ---
-    let machine = Machine {
-        cells: vec![0],
-        threads: vec![
-            vec![Step::FetchAdd { cell: 0, delta: 1 }; 4],
-            vec![Step::Load { cell: 0 }; 4],
-        ],
-    };
-    let out = explore(&machine, limit, &|st: &FinalState| {
-        let log = &st.logs[1];
-        log.windows(2)
-            .any(|w| w[1] < w[0])
-            .then(|| format!("snapshot sequence {log:?} is not monotone non-decreasing"))
-    });
-    explored += out.interleavings;
-    push_violations(&mut report, "SA202", "Counter snapshot", &out);
-
-    // --- Merge order-independence (SA203): two sources into one dest. ---
-    // Source A: count 2, sum 30, max 20, min 10; source B: count 3,
-    // sum 600, max 500, min 1. Cells: count, sum, max, min.
-    let merge_prog = |count: u64, sum: u64, max: u64, min: u64| {
-        vec![
-            Step::FetchAdd {
-                cell: 0,
-                delta: count,
-            },
-            Step::FetchAdd {
-                cell: 1,
-                delta: sum,
-            },
-            Step::FetchMax { cell: 2, val: max },
-            Step::FetchMin { cell: 3, val: min },
-        ]
-    };
-    let machine = Machine {
-        cells: vec![0, 0, 0, u64::MAX],
-        threads: vec![merge_prog(2, 30, 20, 10), merge_prog(3, 600, 500, 1)],
-    };
-    let out = explore(&machine, limit, &|st: &FinalState| {
-        (st.cells != [5, 630, 500, 1]).then(|| {
-            format!(
-                "merged count/sum/max/min = {:?} ≠ [5, 630, 500, 1] — \
-                 merge result depends on interleaving",
-                st.cells
-            )
-        })
-    });
-    explored += out.interleavings;
-    push_violations(&mut report, "SA203", "Histogram::merge", &out);
-
-    (report, explored)
+        self.nodes.pop();
+    }
 }
 
-fn push_violations(report: &mut Report, code: &str, context: &str, out: &ExploreOutcome) {
-    for v in &out.violations {
-        report.push(
-            Diagnostic::error(code, context, v.clone())
-                .with_help("a lock-free mutation is not linearizable as modeled"),
-        );
+/// Explore every reads-from-consistent execution of `machine`, calling
+/// `check` on each completed final state; returned violation messages
+/// are collected (deduplicated) into the outcome.
+pub fn explore(
+    machine: &Machine,
+    cfg: &ExploreCfg,
+    check: &dyn Fn(&FinalState<'_>) -> Vec<String>,
+) -> ExploreOutcome {
+    let n_threads = machine.threads.len();
+    let n_cells = machine.cells.len();
+    let mut ex = Explorer {
+        state: ExecState::new(machine),
+        cfg,
+        check,
+        out: ExploreOutcome {
+            executions: 0,
+            transitions: 0,
+            sleep_prunes: 0,
+            budget_exceeded: false,
+            violations: BTreeSet::new(),
+            races: BTreeSet::new(),
+            finals: if cfg.collect_finals {
+                Some(BTreeSet::new())
+            } else {
+                None
+            },
+        },
+        nodes: Vec::new(),
+        trace: Vec::new(),
+        dep: vec![vec![0; n_threads]; n_threads],
+        last_write: vec![vec![0; n_threads]; n_cells],
+        all_access: vec![vec![0; n_threads]; n_cells],
+        last_sc: vec![0; n_threads],
+        started: Instant::now(),
+    };
+    ex.dfs(BTreeSet::new());
+    ex.out
+}
+
+// ---------------------------------------------------------------------------
+// Machine catalog: the shipped protocols, modeled.
+// ---------------------------------------------------------------------------
+
+/// A certified model: one machine, the SA code its invariant belongs
+/// to, and the invariant check run on every final state.
+pub struct ModelSpec {
+    /// Display name (`structure.protocol`), used as diagnostic context.
+    pub name: &'static str,
+    /// The SA code a violation of this machine's invariant carries.
+    pub code: &'static str,
+    /// The machine.
+    pub machine: Machine,
+    /// Invariant check: violation messages for a final state.
+    pub check: fn(&FinalState<'_>) -> Vec<String>,
+}
+
+const RLX: MemOrd = MemOrd::Relaxed;
+
+fn rmw(cell: usize, op: RmwOp, v: u64, ord: MemOrd) -> Step {
+    Step::Rmw {
+        cell,
+        op,
+        val: Operand::Const(v),
+        ord,
     }
-    if out.truncated {
-        report.push(Diagnostic::note(
-            code,
-            context,
-            format!(
-                "search truncated after {} interleavings — not exhaustive",
-                out.interleavings
-            ),
+}
+
+fn store(cell: usize, v: u64, ord: MemOrd) -> Step {
+    Step::Store {
+        cell,
+        val: Operand::Const(v),
+        ord,
+    }
+}
+
+fn load(cell: usize, reg: usize, ord: MemOrd) -> Step {
+    Step::Load { cell, reg, ord }
+}
+
+/// `split-telemetry` `Counter::add`: three threads of relaxed
+/// `fetch_add`s; the final value must equal the arithmetic sum
+/// (SA201 — lost update).
+fn counter_machine() -> Machine {
+    Machine {
+        cells: vec![0],
+        threads: (1..=3u64)
+            .map(|d| vec![rmw(0, RmwOp::Add, d, RLX); 3])
+            .collect(),
+    }
+}
+
+fn counter_check(fs: &FinalState<'_>) -> Vec<String> {
+    if fs.cells[0] == 18 {
+        vec![]
+    } else {
+        vec![format!(
+            "lost update: final counter {} != 18 (3 threads x 3 adds of 1/2/3)",
+            fs.cells[0]
+        )]
+    }
+}
+
+/// The racy counter negative fixture: the RMW torn into a relaxed load
+/// plus a store of `register + delta` — the lost-update bug SA201
+/// exists to catch.
+fn racy_counter_machine() -> Machine {
+    let torn = |delta: u64| {
+        vec![
+            load(0, 0, RLX),
+            Step::Store {
+                cell: 0,
+                val: Operand::RegPlus(0, delta),
+                ord: RLX,
+            },
+        ]
+    };
+    Machine {
+        cells: vec![0],
+        threads: vec![torn(1), torn(2)],
+    }
+}
+
+fn racy_counter_check(fs: &FinalState<'_>) -> Vec<String> {
+    if fs.cells[0] == 3 {
+        vec![]
+    } else {
+        vec![format!(
+            "lost update: final counter {} != 3 (torn read-modify-write)",
+            fs.cells[0]
+        )]
+    }
+}
+
+/// `Histogram::record`: two threads record one sample each (count, sum,
+/// max, min, own bucket — all relaxed RMWs). Final aggregates must be
+/// exact (SA201).
+fn histogram_machine() -> Machine {
+    // cells: 0=count 1=sum 2=max 3=min 4=bucket_a 5=bucket_b
+    let record = |v: u64, bucket: usize| {
+        vec![
+            rmw(0, RmwOp::Add, 1, RLX),
+            rmw(1, RmwOp::Add, v, RLX),
+            rmw(2, RmwOp::Max, v, RLX),
+            rmw(3, RmwOp::Min, v, RLX),
+            rmw(bucket, RmwOp::Add, 1, RLX),
+        ]
+    };
+    Machine {
+        cells: vec![0, 0, 0, u64::MAX, 0, 0],
+        threads: vec![record(7, 4), record(1000, 5)],
+    }
+}
+
+fn histogram_check(fs: &FinalState<'_>) -> Vec<String> {
+    let mut v = Vec::new();
+    let c = &fs.cells;
+    if c[0] != 2 || c[1] != 1007 || c[2] != 1000 || c[3] != 7 || c[4] != 1 || c[5] != 1 {
+        v.push(format!(
+            "histogram aggregates wrong: count={} sum={} max={} min={} buckets=({},{})",
+            c[0], c[1], c[2], c[3], c[4], c[5]
         ));
     }
+    v
+}
+
+/// `Counter::get` monotonicity: a reader polling a relaxed counter that
+/// only grows must never observe it moving backwards, even though each
+/// relaxed load may be stale (SA202). Per-location coherence makes this
+/// hold — the model proves the primitive needs no stronger ordering.
+fn snapshot_machine() -> Machine {
+    Machine {
+        cells: vec![0],
+        threads: vec![
+            vec![rmw(0, RmwOp::Add, 1, RLX); 3],
+            vec![
+                load(0, 0, RLX),
+                Step::Log { reg: 0 },
+                load(0, 0, RLX),
+                Step::Log { reg: 0 },
+                load(0, 0, RLX),
+                Step::Log { reg: 0 },
+            ],
+        ],
+    }
+}
+
+fn snapshot_check(fs: &FinalState<'_>) -> Vec<String> {
+    let log = fs.logs[1];
+    if log.windows(2).any(|w| w[0] > w[1]) {
+        vec![format!("snapshot moved backwards: observed {log:?}")]
+    } else {
+        vec![]
+    }
+}
+
+/// `Histogram::merge` order-independence: two threads fold disjoint
+/// shard aggregates into the global histogram concurrently; the result
+/// must not depend on merge order (SA203).
+fn merge_machine() -> Machine {
+    // cells: 0=count 1=sum 2=max (shards: {2 samples,sum 50,max 30} and
+    // {3 samples,sum 70,max 40})
+    let fold = |n: u64, sum: u64, max: u64| {
+        vec![
+            rmw(0, RmwOp::Add, n, RLX),
+            rmw(1, RmwOp::Add, sum, RLX),
+            rmw(2, RmwOp::Max, max, RLX),
+        ]
+    };
+    Machine {
+        cells: vec![0, 0, 0],
+        threads: vec![fold(2, 50, 30), fold(3, 70, 40)],
+    }
+}
+
+fn merge_check(fs: &FinalState<'_>) -> Vec<String> {
+    let c = &fs.cells;
+    if c[0] != 5 || c[1] != 120 || c[2] != 40 {
+        vec![format!(
+            "merge result depends on order: count={} sum={} max={}",
+            c[0], c[1], c[2]
+        )]
+    } else {
+        vec![]
+    }
+}
+
+/// Cell layout of the cache machines: per key `k` of `keys`, `slot_k`
+/// (0 = empty, 1 = pending, 2 = ready) at `k` and `measured_k` at
+/// `keys + k`; then `misses` and `hits`.
+struct CacheCells {
+    keys: usize,
+    calls: usize,
+}
+
+impl CacheCells {
+    fn slot(&self, k: usize) -> usize {
+        k
+    }
+    fn measured(&self, k: usize) -> usize {
+        self.keys + k
+    }
+    fn misses(&self) -> usize {
+        2 * self.keys
+    }
+    fn hits(&self) -> usize {
+        2 * self.keys + 1
+    }
+    fn cells(&self) -> Vec<u64> {
+        vec![0; 2 * self.keys + 2]
+    }
+}
+
+/// One `ProfileCache::profile` caller for key `k`, claim-then-measure:
+/// fast-path acquire check, CAS claim of the empty slot, measure once,
+/// release-publish, losers count a hit.
+fn cache_caller(c: &CacheCells, k: usize) -> Vec<Step> {
+    vec![
+        // 0: fast path — already published?
+        load(c.slot(k), 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(2),
+            eq: true,
+            target: 8,
+        },
+        // 2: claim the empty slot
+        Step::Cas {
+            cell: c.slot(k),
+            expect: 0,
+            set: 1,
+            ord: MemOrd::AcqRel,
+            orelse: 8,
+        },
+        // 3: winner — measure exactly once, publish with Release
+        rmw(c.misses(), RmwOp::Add, 1, RLX),
+        rmw(c.measured(k), RmwOp::Add, 1, RLX),
+        store(c.slot(k), 2, MemOrd::Release),
+        Step::Jump { target: 9 },
+        Step::Jump { target: 9 }, // 7: unused pad (keeps targets stable)
+        // 8: loser/fast-path — count a hit
+        rmw(c.hits(), RmwOp::Add, 1, RLX),
+        // 9: end
+    ]
+}
+
+/// The 16-shard `ProfileCache` claim-then-measure protocol under weak
+/// memory: two keys, two concurrent callers per key. Exactly one caller
+/// per key may measure (SA204), even though the fast-path load can be
+/// stale — the CAS claim arbitrates.
+fn cache_machine() -> Machine {
+    let c = CacheCells { keys: 2, calls: 4 };
+    Machine {
+        cells: c.cells(),
+        threads: vec![
+            cache_caller(&c, 0),
+            cache_caller(&c, 0),
+            cache_caller(&c, 1),
+            cache_caller(&c, 1),
+        ],
+    }
+}
+
+fn cache_check(fs: &FinalState<'_>) -> Vec<String> {
+    cache_check_impl(fs, &CacheCells { keys: 2, calls: 4 })
+}
+
+fn cache_check_impl(fs: &FinalState<'_>, c: &CacheCells) -> Vec<String> {
+    let mut v = Vec::new();
+    for k in 0..c.keys {
+        let m = fs.cells[c.measured(k)];
+        if m != 1 {
+            v.push(format!("candidate {k} measured {m} times (want exactly 1)"));
+        }
+        if fs.cells[c.slot(k)] != 2 {
+            v.push(format!(
+                "slot {k} finished in state {} (want 2 = ready)",
+                fs.cells[c.slot(k)]
+            ));
+        }
+    }
+    let (misses, hits) = (fs.cells[c.misses()], fs.cells[c.hits()]);
+    if misses != c.keys as u64 {
+        v.push(format!(
+            "misses {} != distinct candidates {}",
+            misses, c.keys
+        ));
+    }
+    if hits != (c.calls - c.keys) as u64 {
+        v.push(format!(
+            "hits {} != calls - candidates {}",
+            hits,
+            c.calls - c.keys
+        ));
+    }
+    v
+}
+
+fn small_cache_check(fs: &FinalState<'_>) -> Vec<String> {
+    cache_check_impl(fs, &CacheCells { keys: 2, calls: 3 })
+}
+
+/// A three-caller ProfileCache machine (two contending on one key, one
+/// on the other) small enough for full exhaustive DFS: the same
+/// claim-then-measure protocol minus the fast-path pre-check (a pure
+/// optimization — the CAS alone arbitrates). The catalog's four-caller
+/// machine is exhaustively intractable — which is the point of DPOR —
+/// so this is the machine the `dpor_equiv` suite proves the reduction
+/// equivalent (and ≥5× smaller) on.
+pub fn small_cache_spec() -> ModelSpec {
+    let c = CacheCells { keys: 2, calls: 3 };
+    let caller = |k: usize| {
+        vec![
+            Step::Cas {
+                cell: c.slot(k),
+                expect: 0,
+                set: 1,
+                ord: MemOrd::AcqRel,
+                orelse: 5,
+            },
+            rmw(c.misses(), RmwOp::Add, 1, RLX),
+            rmw(c.measured(k), RmwOp::Add, 1, RLX),
+            store(c.slot(k), 2, MemOrd::Release),
+            Step::Jump { target: 6 },
+            // 5: loser — count a hit
+            rmw(c.hits(), RmwOp::Add, 1, RLX),
+            // 6: end
+        ]
+    };
+    ModelSpec {
+        name: "profiler.cache.small",
+        code: "SA204",
+        machine: Machine {
+            cells: c.cells(),
+            threads: vec![caller(0), caller(0), caller(1)],
+        },
+        check: small_cache_check,
+    }
+}
+
+/// The pre-fix cache negative fixture: check-then-measure *without* the
+/// CAS claim — two callers can both observe "empty" and measure twice
+/// (SA204).
+fn racy_cache_machine() -> Machine {
+    let c = CacheCells { keys: 1, calls: 2 };
+    let caller = vec![
+        load(c.slot(0), 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(2),
+            eq: true,
+            target: 6,
+        },
+        rmw(c.misses(), RmwOp::Add, 1, RLX),
+        rmw(c.measured(0), RmwOp::Add, 1, RLX),
+        store(c.slot(0), 2, MemOrd::Release),
+        Step::Jump { target: 7 },
+        // 6: hit path
+        rmw(c.hits(), RmwOp::Add, 1, RLX),
+        // 7: end
+    ];
+    Machine {
+        cells: c.cells(),
+        threads: vec![caller.clone(), caller],
+    }
+}
+
+fn racy_cache_check(fs: &FinalState<'_>) -> Vec<String> {
+    cache_check_impl(fs, &CacheCells { keys: 1, calls: 2 })
+}
+
+/// Seqlock cell layout: stamp at 0, two payload words at 1 and 2.
+const STAMP: usize = 0;
+const PAY_A: usize = 1;
+const PAY_B: usize = 2;
+
+/// One `FlightRing::record` of payload `(a, b)` into the slot whose
+/// published stamp will be `even`: odd stamp (Relaxed), Release fence,
+/// relaxed payload stores, even stamp (Release) — exactly the shipped
+/// protocol (`crates/split-forensics/src/ring.rs`).
+fn seqlock_write(even: u64, a: u64, b: u64, with_fence: bool) -> Vec<Step> {
+    let mut p = vec![store(STAMP, even - 1, RLX)];
+    if with_fence {
+        p.push(Step::Fence {
+            ord: MemOrd::Release,
+        });
+    }
+    p.push(store(PAY_A, a, RLX));
+    p.push(store(PAY_B, b, RLX));
+    p.push(store(STAMP, even, MemOrd::Release));
+    p
+}
+
+/// One `FlightRing::snapshot` read of the slot, expecting published
+/// stamp `expect`: acquire stamp load, relaxed payload loads, Acquire
+/// fence, relaxed stamp re-read, accept (log the payload) iff both
+/// stamp reads saw `expect`.
+fn seqlock_read(expect: u64) -> Vec<Step> {
+    vec![
+        load(STAMP, 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(expect),
+            eq: false,
+            target: 9,
+        },
+        load(PAY_A, 1, RLX),
+        load(PAY_B, 2, RLX),
+        Step::Fence {
+            ord: MemOrd::Acquire,
+        },
+        load(STAMP, 3, RLX),
+        Step::JumpIfReg {
+            reg: 3,
+            val: Operand::Const(expect),
+            eq: false,
+            target: 9,
+        },
+        Step::Log { reg: 1 },
+        Step::Log { reg: 2 },
+        // 9: end
+    ]
+}
+
+/// The `FlightRing` seqlock under reuse: one writer records twice into
+/// the same slot; a concurrent reader tries to snapshot the *first*
+/// record. An accepted snapshot must be exactly the first record's
+/// payload — anything else is a torn record (SA205).
+fn seqlock_machine(with_fence: bool) -> Machine {
+    let mut writer = seqlock_write(2, 10, 11, with_fence);
+    writer.extend(seqlock_write(4, 20, 21, with_fence));
+    // Rebase the second record's jump-free program (no jumps inside, so
+    // concatenation is safe).
+    Machine {
+        cells: vec![0, 0, 0],
+        threads: vec![writer, seqlock_read(2)],
+    }
+}
+
+fn seqlock_check(fs: &FinalState<'_>) -> Vec<String> {
+    let log = fs.logs[1];
+    match log {
+        [] | [10, 11] => vec![],
+        other => vec![format!(
+            "torn record accepted: snapshot saw {other:?}, writer published (10,11) then (20,21)"
+        )],
+    }
+}
+
+/// Snapshot consistent-cut machine: a single record, and the invariant
+/// that an accepted snapshot equals a payload the writer actually
+/// published (SA206). The negative fixture swaps the odd/even stamp
+/// order, so "published" marks a mid-write slot and the reader accepts
+/// content that never existed.
+fn snapshot_cut_machine(swapped: bool) -> Machine {
+    let writer = if swapped {
+        // Buggy parity: even ("published") stamp written *before* the
+        // payload, odd after.
+        vec![
+            store(STAMP, 2, RLX),
+            Step::Fence {
+                ord: MemOrd::Release,
+            },
+            store(PAY_A, 10, RLX),
+            store(PAY_B, 11, RLX),
+            store(STAMP, 1, MemOrd::Release),
+        ]
+    } else {
+        seqlock_write(2, 10, 11, true)
+    };
+    Machine {
+        cells: vec![0, 0, 0],
+        threads: vec![writer, seqlock_read(2)],
+    }
+}
+
+fn snapshot_cut_check(fs: &FinalState<'_>) -> Vec<String> {
+    let log = fs.logs[1];
+    match log {
+        [] | [10, 11] => vec![],
+        other => vec![format!(
+            "snapshot is not a cut of the published history: accepted {other:?}, \
+             published payloads are exactly {{(10,11)}}"
+        )],
+    }
+}
+
+/// Message passing, the synchronization skeleton every publish path in
+/// the workspace reduces to: a `Plain` (non-atomic) payload guarded by
+/// an atomic flag. With Release/Acquire on the flag the payload pair is
+/// happens-before ordered — no SA210 race, and the reader sees the
+/// value. The negative fixture downgrades both flag accesses to
+/// Relaxed, leaving the plain accesses unsynchronized.
+fn message_passing_machine(ordered: bool) -> Machine {
+    let (st, ld) = if ordered {
+        (MemOrd::Release, MemOrd::Acquire)
+    } else {
+        (RLX, RLX)
+    };
+    Machine {
+        cells: vec![0, 0], // data, flag
+        threads: vec![
+            vec![store(0, 42, MemOrd::Plain), store(1, 1, st)],
+            vec![
+                load(1, 0, ld),
+                Step::JumpIfReg {
+                    reg: 0,
+                    val: Operand::Const(1),
+                    eq: false,
+                    target: 4,
+                },
+                load(0, 1, MemOrd::Plain),
+                Step::Log { reg: 1 },
+            ],
+        ],
+    }
+}
+
+fn message_passing_check(fs: &FinalState<'_>) -> Vec<String> {
+    let log = fs.logs[1];
+    match log {
+        [] | [42] => vec![],
+        other => vec![format!("reader observed unpublished payload {other:?}")],
+    }
+}
+
+fn no_check(_: &FinalState<'_>) -> Vec<String> {
+    vec![]
+}
+
+/// The shipped-protocol catalog: every machine `analyze` certifies,
+/// each clean under all reads-from-consistent executions.
+pub fn catalog() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "telemetry.counter",
+            code: "SA201",
+            machine: counter_machine(),
+            check: counter_check,
+        },
+        ModelSpec {
+            name: "telemetry.histogram.record",
+            code: "SA201",
+            machine: histogram_machine(),
+            check: histogram_check,
+        },
+        ModelSpec {
+            name: "telemetry.snapshot",
+            code: "SA202",
+            machine: snapshot_machine(),
+            check: snapshot_check,
+        },
+        ModelSpec {
+            name: "telemetry.histogram.merge",
+            code: "SA203",
+            machine: merge_machine(),
+            check: merge_check,
+        },
+        ModelSpec {
+            name: "profiler.cache",
+            code: "SA204",
+            machine: cache_machine(),
+            check: cache_check,
+        },
+        ModelSpec {
+            name: "forensics.flightring.seqlock",
+            code: "SA205",
+            machine: seqlock_machine(true),
+            check: seqlock_check,
+        },
+        ModelSpec {
+            name: "forensics.flightring.cut",
+            code: "SA206",
+            machine: snapshot_cut_machine(false),
+            check: snapshot_cut_check,
+        },
+        ModelSpec {
+            name: "sync.message_passing",
+            code: "SA210",
+            machine: message_passing_machine(true),
+            check: message_passing_check,
+        },
+    ]
+}
+
+/// The racy negative fixtures: each re-introduces exactly the bug class
+/// its SA code names. Exercised by tests only — never by `analyze`.
+pub fn negative_fixtures() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "fixture.torn_counter",
+            code: "SA201",
+            machine: racy_counter_machine(),
+            check: racy_counter_check,
+        },
+        ModelSpec {
+            name: "fixture.unclaimed_cache",
+            code: "SA204",
+            machine: racy_cache_machine(),
+            check: racy_cache_check,
+        },
+        ModelSpec {
+            name: "fixture.seqlock_no_release_fence",
+            code: "SA205",
+            machine: seqlock_machine(false),
+            check: seqlock_check,
+        },
+        ModelSpec {
+            name: "fixture.seqlock_swapped_stamps",
+            code: "SA206",
+            machine: snapshot_cut_machine(true),
+            check: snapshot_cut_check,
+        },
+        ModelSpec {
+            name: "fixture.relaxed_flag_pair",
+            code: "SA210",
+            machine: message_passing_machine(false),
+            check: no_check,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Suite entry point.
+// ---------------------------------------------------------------------------
+
+/// Model-checking budget applied to each machine of the catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct McBudget {
+    /// Per-machine transition ceiling (`SA200` when hit).
+    pub max_transitions: u64,
+    /// Per-machine wall-clock cap in milliseconds (`SA200` when hit).
+    pub wall_ms: u64,
+}
+
+impl Default for McBudget {
+    fn default() -> Self {
+        // Generous for the shipped catalog (largest machine is ~200k
+        // transitions under DPOR) while still failing loudly — long
+        // before a CI timeout — if a future machine explodes.
+        Self {
+            max_transitions: 5_000_000,
+            wall_ms: 60_000,
+        }
+    }
+}
+
+/// Per-machine exploration statistics, surfaced in reports, the CLI
+/// `--json` output, and the CI job log.
+#[derive(Debug, Clone)]
+pub struct MachineStats {
+    /// Machine name from the [`catalog`].
+    pub name: &'static str,
+    /// The SA code the machine certifies.
+    pub code: &'static str,
+    /// Completed executions.
+    pub executions: u64,
+    /// Applied transitions (states explored).
+    pub transitions: u64,
+    /// Sleep-set prunes (redundant subtrees skipped by DPOR).
+    pub sleep_prunes: u64,
+    /// Whether the budget ran out (also reported as `SA200`).
+    pub budget_exceeded: bool,
+    /// Wall-clock milliseconds spent on this machine.
+    pub wall_ms: u64,
+}
+
+/// Run the whole catalog (optionally filtered to the SA codes in
+/// `only`) under DPOR with the given per-machine budget. Returns the
+/// findings plus per-machine statistics.
+pub fn check_models(budget: McBudget, only: Option<&[String]>) -> (Report, Vec<MachineStats>) {
+    let mut report = Report::new();
+    let mut stats = Vec::new();
+    for spec in catalog() {
+        if let Some(filter) = only {
+            if !filter.iter().any(|c| c.eq_ignore_ascii_case(spec.code)) {
+                continue;
+            }
+        }
+        let cfg = ExploreCfg {
+            dpor: true,
+            max_transitions: budget.max_transitions,
+            wall_ms: budget.wall_ms,
+            collect_finals: false,
+        };
+        let t0 = Instant::now();
+        let out = explore(&spec.machine, &cfg, &spec.check);
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        for v in &out.violations {
+            report
+                .push(Diagnostic::error(spec.code, spec.name, v).with_help(
+                    "reachable under the C11 release/acquire axioms; see DESIGN.md §14",
+                ));
+        }
+        for r in &out.races {
+            report.push(
+                Diagnostic::error(
+                    "SA210",
+                    spec.name,
+                    format!(
+                        "data race on cell {}: thread {} pc {} ({}) vs thread {} pc {} ({}), \
+                         unordered by happens-before",
+                        r.cell,
+                        r.a.0,
+                        r.a.1,
+                        if r.a.2 { "write" } else { "read" },
+                        r.b.0,
+                        r.b.1,
+                        if r.b.2 { "write" } else { "read" },
+                    ),
+                )
+                .with_help("at least one access is non-atomic; add an ordering or make it atomic"),
+            );
+        }
+        if out.budget_exceeded {
+            report.push(
+                Diagnostic::error(
+                    "SA200",
+                    spec.name,
+                    format!(
+                        "model-checking budget exhausted after {} transitions / {} ms \
+                         (ceiling {} transitions, {} ms): the state space was not covered",
+                        out.transitions, wall_ms, budget.max_transitions, budget.wall_ms
+                    ),
+                )
+                .with_help("shrink the machine or raise --mc-budget / --mc-wall-ms"),
+            );
+        }
+        stats.push(MachineStats {
+            name: spec.name,
+            code: spec.code,
+            executions: out.executions,
+            transitions: out.transitions,
+            sleep_prunes: out.sleep_prunes,
+            budget_exceeded: out.budget_exceeded,
+            wall_ms,
+        });
+    }
+    (report, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn counter_machine_exhausts_expected_count() {
-        // 3 threads × 4 steps: multinomial(12; 4,4,4) = 34650.
-        let (machine, expected) = counter_machine(3, 4);
-        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
-            (st.cells[0] != expected).then(|| "lost update".to_string())
-        });
-        assert_eq!(out.interleavings, 34_650);
-        assert!(!out.truncated);
-        assert!(out.violations.is_empty());
+    fn run(machine: &Machine, check: fn(&FinalState<'_>) -> Vec<String>) -> ExploreOutcome {
+        explore(machine, &ExploreCfg::default(), &check)
     }
 
     #[test]
-    fn racy_counter_loses_updates() {
-        let (machine, expected) = racy_counter_machine(2, 2);
-        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
-            (st.cells[0] != expected).then(|| format!("final {} ≠ {expected}", st.cells[0]))
-        });
+    fn catalog_is_clean_under_dpor() {
+        for spec in catalog() {
+            let out = run(&spec.machine, spec.check);
+            assert!(!out.budget_exceeded, "{} blew the budget", spec.name);
+            assert!(
+                out.violations.is_empty(),
+                "{}: {:?}",
+                spec.name,
+                out.violations
+            );
+            assert!(out.races.is_empty(), "{}: {:?}", spec.name, out.races);
+        }
+    }
+
+    #[test]
+    fn every_negative_fixture_fires() {
+        for spec in negative_fixtures() {
+            let out = run(&spec.machine, spec.check);
+            let fired = !out.violations.is_empty() || !out.races.is_empty();
+            assert!(fired, "{} found nothing", spec.name);
+        }
+    }
+
+    #[test]
+    fn seqlock_without_fence_tears() {
+        let out = run(&seqlock_machine(false), seqlock_check);
         assert!(
-            !out.violations.is_empty(),
-            "the torn RMW must lose updates in some interleaving"
-        );
-    }
-
-    #[test]
-    fn limit_truncates_and_reports() {
-        let (machine, _) = counter_machine(3, 3);
-        let out = explore(&machine, 10, &|_: &FinalState| None);
-        assert!(out.truncated);
-        assert!(out.interleavings <= 10);
-    }
-
-    #[test]
-    fn telemetry_suite_is_clean_and_exhaustive() {
-        let (report, explored) = check_telemetry_interleavings(u64::MAX);
-        assert!(report.is_empty(), "{}", report.render_text());
-        // The acceptance bar: ≥ 10⁴ interleavings actually exhausted.
-        assert!(explored >= 10_000, "only {explored} interleavings");
-    }
-
-    #[test]
-    fn cas_claim_admits_exactly_one_winner() {
-        // Two threads CAS the same cell 0→1; in every interleaving exactly
-        // one wins and bumps the win counter (cell 1).
-        let prog = vec![
-            Step::CasOrJump {
-                cell: 0,
-                expect: 0,
-                set: 1,
-                orelse: 2,
-            },
-            Step::FetchAdd { cell: 1, delta: 1 },
-        ];
-        let machine = Machine {
-            cells: vec![0, 0],
-            threads: vec![prog.clone(), prog],
-        };
-        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
-            (st.cells[1] != 1).then(|| format!("{} CAS winners ≠ 1", st.cells[1]))
-        });
-        assert!(!out.truncated);
-        assert!(out.violations.is_empty(), "{:?}", out.violations);
-    }
-
-    #[test]
-    fn jump_if_eq_branches_both_ways() {
-        // Thread 1 stores 7 into cell 0; thread 2 branches on it. Across
-        // interleavings both the taken and the fall-through path occur, so
-        // cell 1 ends at 1 (taken) in some runs and 2 (not taken) in
-        // others — never anything else.
-        let machine = Machine {
-            cells: vec![0, 0],
-            threads: vec![
-                vec![Step::Store { cell: 0, val: 7 }],
-                vec![
-                    Step::JumpIfEq {
-                        cell: 0,
-                        val: 7,
-                        target: 2,
-                    },
-                    Step::FetchAdd { cell: 1, delta: 1 },
-                    Step::FetchAdd { cell: 1, delta: 1 },
-                ],
-            ],
-        };
-        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
-            (st.cells[1] != 1 && st.cells[1] != 2)
-                .then(|| format!("impossible branch count {}", st.cells[1]))
-        });
-        assert!(out.violations.is_empty(), "{:?}", out.violations);
-        // Collect outcomes to prove both paths are reached.
-        let seen = std::cell::RefCell::new(std::collections::BTreeSet::new());
-        explore(&machine, u64::MAX, &|st: &FinalState| {
-            seen.borrow_mut().insert(st.cells[1]);
-            None
-        });
-        assert_eq!(
-            seen.into_inner().into_iter().collect::<Vec<_>>(),
-            vec![1, 2]
-        );
-    }
-
-    #[test]
-    fn dedup_cache_model_is_race_free() {
-        // The fixed claim-then-measure protocol: no interleaving of three
-        // same-key callers double-measures or breaks misses == len().
-        let model = dedup_cache_machine(&[3]);
-        let out = explore(&model.machine, u64::MAX, &|st: &FinalState| model.check(st));
-        assert!(!out.truncated);
-        assert!(out.violations.is_empty(), "{:?}", out.violations);
-        assert!(out.interleavings > 100, "only {}", out.interleavings);
-    }
-
-    #[test]
-    fn racy_cache_fixture_double_measures() {
-        // The pre-fix check-then-measure cache: two callers racing one key
-        // must double-measure in some interleaving, and the diagnostic is
-        // SA204.
-        let model = racy_cache_machine(&[2]);
-        let out = explore(&model.machine, u64::MAX, &|st: &FinalState| model.check(st));
-        assert!(
-            out.violations
-                .iter()
-                .any(|v| v.contains("measured 2 times")),
-            "racy cache must double-measure somewhere: {:?}",
+            out.violations.iter().any(|v| v.contains("torn record")),
+            "{:?}",
             out.violations
         );
-        let mut report = Report::new();
-        push_violations(&mut report, "SA204", "racy profile cache", &out);
-        assert!(!report.with_code("SA204").is_empty());
+        assert!(
+            out.races.is_empty(),
+            "seqlock fixture is race-free (all atomics)"
+        );
     }
 
     #[test]
-    fn cache_suite_is_clean_and_exhaustive() {
-        let (report, explored) = check_cache_interleavings(u64::MAX);
+    fn swapped_stamps_break_the_cut() {
+        let out = run(&snapshot_cut_machine(true), snapshot_cut_check);
+        assert!(
+            out.violations.iter().any(|v| v.contains("not a cut")),
+            "{:?}",
+            out.violations
+        );
+        assert!(out.races.is_empty());
+    }
+
+    #[test]
+    fn relaxed_flag_pair_races() {
+        let out = run(&message_passing_machine(false), no_check);
+        assert_eq!(out.races.len(), 1, "{:?}", out.races);
+        assert_eq!(out.races.first().unwrap().cell, 0);
+    }
+
+    #[test]
+    fn budget_ceiling_reports_exceeded() {
+        let cfg = ExploreCfg {
+            max_transitions: 10,
+            ..ExploreCfg::default()
+        };
+        let out = explore(&cache_machine(), &cfg, &cache_check);
+        assert!(out.budget_exceeded);
+        assert!(out.transitions <= 11);
+    }
+
+    #[test]
+    fn check_models_is_clean_and_counts() {
+        let (report, stats) = check_models(McBudget::default(), None);
         assert!(report.is_empty(), "{}", report.render_text());
-        assert!(explored >= 1_000, "only {explored} interleavings");
+        assert_eq!(stats.len(), catalog().len());
+        assert!(stats.iter().all(|s| s.executions > 0));
     }
 
     #[test]
-    fn racy_suite_diagnostic_is_sa201() {
-        let (machine, expected) = racy_counter_machine(2, 2);
-        let out = explore(&machine, u64::MAX, &|st: &FinalState| {
-            (st.cells[0] != expected).then(|| "lost update".to_string())
-        });
-        let mut report = Report::new();
-        push_violations(&mut report, "SA201", "racy counter", &out);
-        assert!(!report.with_code("SA201").is_empty());
+    fn only_filter_selects_machines() {
+        let (report, stats) = check_models(McBudget::default(), Some(&["SA205".to_string()]));
+        assert!(report.is_empty());
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].name, "forensics.flightring.seqlock");
     }
 }

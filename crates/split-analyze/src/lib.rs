@@ -15,9 +15,12 @@
 //! * [`sched_lint`] — replays a simulation result and checks scheduling
 //!   invariants, plus a determinism auditor that runs each policy twice
 //!   and structurally diffs the results (`SA1xx`);
-//! * [`interleave`] — a bounded exhaustive-interleaving explorer over
-//!   modeled atomic operations of the telemetry primitives and the
-//!   profiler's deduplicating `ProfileCache` (`SA2xx`);
+//! * [`interleave`] — a weak-memory stateless model checker (reads-from
+//!   enumeration under the C11 release/acquire axioms, dynamic
+//!   partial-order reduction, vector-clock race detection) over
+//!   [`memmodel`] machines of the telemetry primitives, the profiler's
+//!   deduplicating `ProfileCache`, and the `FlightRing` seqlock
+//!   (`SA2xx`);
 //! * [`par_audit`] — runs the offline GA at one pool worker and at eight
 //!   and structurally (bitwise) diffs the outcomes, extending the
 //!   `SA106` determinism audit to the thread pool; plus the `SA107`
@@ -40,6 +43,7 @@
 pub mod diag;
 pub mod forensics_lint;
 pub mod interleave;
+pub mod memmodel;
 pub mod obs_lint;
 pub mod par_audit;
 pub mod plan_lint;
@@ -49,9 +53,10 @@ pub mod suite;
 pub use diag::{Diagnostic, Report, Severity};
 pub use forensics_lint::{lint_bundle, lint_bundles};
 pub use interleave::{
-    check_cache_interleavings, check_telemetry_interleavings, explore, ExploreOutcome, Machine,
-    Step,
+    catalog, check_models, explore, negative_fixtures, ExploreCfg, ExploreOutcome, MachineStats,
+    McBudget, ModelSpec,
 };
+pub use memmodel::{Machine, MemOrd, Operand, RmwOp, Step};
 pub use obs_lint::lint_attribution;
 pub use par_audit::{audit_costtable_equivalence, audit_parallel_determinism};
 pub use plan_lint::{lint_plan, PlanLintCfg};

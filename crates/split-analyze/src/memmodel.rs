@@ -1,0 +1,1110 @@
+//! The weak-memory machine under the model checker: a step language with
+//! per-access C11 memory orderings, and an operational semantics for the
+//! release/acquire fragment.
+//!
+//! ## The modeled fragment
+//!
+//! The semantics is the standard *view-based* operational presentation of
+//! release/acquire + fences (the promising-semantics machine without
+//! promises). Every atomic cell carries a **timeline** of messages; the
+//! modification order of a cell is its append order under the explored
+//! schedule (the *strong* release/acquire fragment, SRA — the explorer
+//! enumerates every schedule, so every interesting modification order is
+//! covered). Each thread carries three views (per-cell timeline
+//! positions):
+//!
+//! * `cur` — what the thread has observed; a load may read any message at
+//!   or after `cur[x]` (per-location coherence: CoRR/CoWR/CoWW hold by
+//!   construction),
+//! * `acq` — knowledge gained by `Relaxed` reads, promoted into `cur` by
+//!   an `Acquire` **fence**,
+//! * `vrel` — the view pinned by the last `Release` **fence**, carried by
+//!   subsequent `Relaxed` stores.
+//!
+//! A message records the view its writer published: `Release` stores
+//! carry the writer's full `cur`; `Relaxed` stores carry only `vrel`;
+//! RMWs additionally carry the view of the message they read, which is
+//! exactly C++20's release-sequence rule (sequences continue through
+//! RMWs of any ordering and are broken by plain stores). An `Acquire`
+//! load joins the message view into `cur`; a `Relaxed` load only into
+//! `acq`. This is what makes a **missing fence a reachable bug**: drop
+//! the writer's `Release` fence and its relaxed payload stores carry an
+//! empty view, so a reader can observe the payload yet still re-read a
+//! stale stamp — the seqlock tear SA205 exists to catch.
+//!
+//! `SeqCst` is modeled as `AcqRel` plus a join through one global SC
+//! view (total SC order = execution order); the modeled structures rely
+//! only on release/acquire, so the approximation is not load-bearing.
+//!
+//! ## Races
+//!
+//! Every event also maintains a classic per-thread **vector clock**,
+//! advanced along program order and joined across the same
+//! synchronizes-with edges as the views (acquire load of a release
+//! store, fence pairings). Cells may be accessed `Plain` (non-atomic):
+//! two conflicting accesses — same cell, different threads, at least one
+//! write, at least one `Plain` — that are not ordered by happens-before
+//! are a data race (SA210). Atomic accesses of any ordering never race.
+
+use std::collections::BTreeSet;
+
+/// Memory ordering of one access, the C11 menu plus non-atomic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemOrd {
+    /// Non-atomic access: participates in race detection (SA210).
+    Plain,
+    /// `Ordering::Relaxed`.
+    Relaxed,
+    /// `Ordering::Acquire` (loads, fences, CAS success read side).
+    Acquire,
+    /// `Ordering::Release` (stores, fences, RMW write side).
+    Release,
+    /// `Ordering::AcqRel`.
+    AcqRel,
+    /// `Ordering::SeqCst` — modeled as `AcqRel` + the global SC view.
+    SeqCst,
+}
+
+impl MemOrd {
+    /// Does the access have acquire semantics?
+    pub fn acquires(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    /// Does the access have release semantics?
+    pub fn releases(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+}
+
+/// A value operand: a constant, a register, or `register + constant`
+/// (the torn-RMW negative fixtures need the addition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// Immediate value.
+    Const(u64),
+    /// Current value of a thread-local register.
+    Reg(usize),
+    /// `register + constant` (wrapping).
+    RegPlus(usize, u64),
+}
+
+/// The read-modify-write operations the telemetry primitives use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `fetch_add` (wrapping, like the real counter).
+    Add,
+    /// `fetch_max`.
+    Max,
+    /// `fetch_min`.
+    Min,
+}
+
+/// One step of a modeled thread. Jumps are forward-only, so every
+/// program terminates and the explorer needs no cycle detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// `reg := cell.load(ord)`. Under the weak model the load *branches*:
+    /// the explorer enumerates every coherence-eligible message.
+    Load {
+        /// Shared cell index.
+        cell: usize,
+        /// Destination register.
+        reg: usize,
+        /// Load ordering.
+        ord: MemOrd,
+    },
+    /// `cell.store(val, ord)`.
+    Store {
+        /// Shared cell index.
+        cell: usize,
+        /// Stored value.
+        val: Operand,
+        /// Store ordering.
+        ord: MemOrd,
+    },
+    /// `cell.fetch_op(val, ord)` as one atomic step (reads the
+    /// modification-order maximum, writes adjacent to it).
+    Rmw {
+        /// Shared cell index.
+        cell: usize,
+        /// Combine operation.
+        op: RmwOp,
+        /// Right-hand operand.
+        val: Operand,
+        /// Ordering (acquire half applies to the read, release to the
+        /// write).
+        ord: MemOrd,
+    },
+    /// `cell.compare_exchange(expect, set, ord, Relaxed)`: on success
+    /// fall through, on failure jump (forward) to `orelse`. Failure is a
+    /// `Relaxed` load of the message the CAS observed.
+    Cas {
+        /// Shared cell index.
+        cell: usize,
+        /// Expected value.
+        expect: u64,
+        /// Value stored on success.
+        set: u64,
+        /// Success ordering.
+        ord: MemOrd,
+        /// Forward jump target on failure.
+        orelse: usize,
+    },
+    /// Standalone `std::sync::atomic::fence(ord)`.
+    Fence {
+        /// Fence ordering (`Acquire`, `Release`, `AcqRel`, `SeqCst`).
+        ord: MemOrd,
+    },
+    /// Jump (forward) to `target` when `(regs[reg] == val) == eq`, else
+    /// fall through. Thread-local.
+    JumpIfReg {
+        /// Compared register.
+        reg: usize,
+        /// Right-hand side.
+        val: Operand,
+        /// Jump on equality (`true`) or inequality (`false`).
+        eq: bool,
+        /// Forward jump target.
+        target: usize,
+    },
+    /// Unconditional forward jump.
+    Jump {
+        /// Forward jump target.
+        target: usize,
+    },
+    /// Append `regs[reg]` to the thread's observation log (the checker
+    /// sees per-thread logs in the final state).
+    Log {
+        /// Logged register.
+        reg: usize,
+    },
+}
+
+impl Step {
+    /// What the step touches, for the dependency relation driving DPOR.
+    pub fn access(&self) -> Access {
+        match *self {
+            Step::Load { cell, .. } => Access::Read(cell),
+            Step::Store { cell, .. } | Step::Rmw { cell, .. } | Step::Cas { cell, .. } => {
+                Access::Write(cell)
+            }
+            Step::Fence {
+                ord: MemOrd::SeqCst,
+            } => Access::ScFence,
+            Step::Fence { .. } | Step::JumpIfReg { .. } | Step::Jump { .. } | Step::Log { .. } => {
+                Access::Local
+            }
+        }
+    }
+}
+
+/// Conservative access footprint of a step (CAS counts as a write even
+/// though it may fail; `SeqCst` accesses also touch the global SC view).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Reads one cell.
+    Read(usize),
+    /// Writes (or may write) one cell.
+    Write(usize),
+    /// A `SeqCst` fence: touches the global SC view.
+    ScFence,
+    /// Thread-local only.
+    Local,
+}
+
+/// Are two steps of *different* threads dependent (non-commuting)?
+///
+/// Same-cell pairs with at least one writer are dependent; everything
+/// else commutes. A load commutes with a load, and thread-local steps
+/// commute with everything. `SeqCst` steps all touch the global SC view
+/// and are conservatively mutually dependent.
+pub fn dependent(a: &Step, b: &Step) -> bool {
+    let sc = |s: &Step| -> bool {
+        matches!(s.access(), Access::ScFence)
+            || matches!(
+                s,
+                Step::Load {
+                    ord: MemOrd::SeqCst,
+                    ..
+                } | Step::Store {
+                    ord: MemOrd::SeqCst,
+                    ..
+                } | Step::Rmw {
+                    ord: MemOrd::SeqCst,
+                    ..
+                } | Step::Cas {
+                    ord: MemOrd::SeqCst,
+                    ..
+                }
+            )
+    };
+    if sc(a) && sc(b) {
+        return true;
+    }
+    let (ca, wa) = match a.access() {
+        Access::Read(c) => (c, false),
+        Access::Write(c) => (c, true),
+        _ => return false,
+    };
+    let (cb, wb) = match b.access() {
+        Access::Read(c) => (c, false),
+        Access::Write(c) => (c, true),
+        _ => return false,
+    };
+    ca == cb && (wa || wb)
+}
+
+/// A little machine: initial shared-cell values plus per-thread step
+/// programs.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Initial shared-cell values (each becomes the initial message of
+    /// the cell's timeline, happens-before every thread's start).
+    pub cells: Vec<u64>,
+    /// One step program per modeled thread.
+    pub threads: Vec<Vec<Step>>,
+}
+
+/// A per-cell view: for each cell, the timeline index the owner is
+/// "at" — a load must read at or after it.
+pub type View = Vec<usize>;
+
+/// A vector clock over the machine's threads.
+pub type VClock = Vec<u64>;
+
+fn join_view(dst: &mut View, src: &View) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn join_vc(dst: &mut VClock, src: &VClock) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// `a ≤ b` pointwise: does clock `a` happen-before (or equal) `b`?
+fn vc_leq(a: &VClock, b: &VClock) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// One message in a cell's timeline. Its timestamp is its index.
+#[derive(Debug, Clone)]
+struct Msg {
+    val: u64,
+    /// View published with the message (what an acquire reader learns).
+    view: View,
+    /// Vector clock published with the message (happens-before edge for
+    /// an acquire reader).
+    vc: VClock,
+}
+
+/// Per-thread execution state.
+#[derive(Debug, Clone)]
+struct ThreadState {
+    pc: usize,
+    regs: Vec<u64>,
+    log: Vec<u64>,
+    cur: View,
+    acq: View,
+    vrel: View,
+    vc: VClock,
+    acq_vc: VClock,
+    vrel_vc: VClock,
+}
+
+/// One recorded access to a cell, for race detection.
+#[derive(Debug, Clone)]
+struct CellAccess {
+    thread: usize,
+    pc: usize,
+    write: bool,
+    plain: bool,
+    vc: VClock,
+}
+
+/// A data race found during exploration: two unsynchronized conflicting
+/// accesses, at least one non-atomic (SA210).
+///
+/// The two endpoints are ordered lexicographically, *not* temporally:
+/// equivalent interleavings observe the same race with the endpoints in
+/// either temporal order, and canonicalizing makes the race set
+/// identical between exhaustive and DPOR-reduced exploration.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RaceReport {
+    /// The racing cell.
+    pub cell: usize,
+    /// Lexicographically smaller `(thread, pc, is_write)` endpoint.
+    pub a: (usize, usize, bool),
+    /// Lexicographically larger `(thread, pc, is_write)` endpoint.
+    pub b: (usize, usize, bool),
+}
+
+/// The mutable execution state the explorer drives, with O(1)-ish undo.
+#[derive(Debug)]
+pub struct ExecState {
+    threads: Vec<ThreadState>,
+    timelines: Vec<Vec<Msg>>,
+    accesses: Vec<Vec<CellAccess>>,
+    sc_view: View,
+    sc_vc: VClock,
+    programs: Vec<Vec<Step>>,
+}
+
+/// Everything needed to reverse one [`ExecState::apply`].
+#[derive(Debug)]
+pub struct Undo {
+    thread: usize,
+    saved: ThreadState,
+    pushed_msg: Option<usize>,
+    pushed_access: Option<usize>,
+    saved_sc: Option<(View, VClock)>,
+}
+
+/// A completed execution's final state, handed to the invariant checker.
+#[derive(Debug)]
+pub struct FinalState<'a> {
+    /// Final (modification-order-maximal) value of every cell.
+    pub cells: Vec<u64>,
+    /// Per-thread observation logs (`Step::Log`, program order).
+    pub logs: Vec<&'a [u64]>,
+    /// Per-thread register files.
+    pub regs: Vec<&'a [u64]>,
+}
+
+impl FinalState<'_> {
+    /// A canonical digest of the final state, for set comparison between
+    /// DPOR and exhaustive exploration (cells, then logs, then regs,
+    /// `u64::MAX`-separated).
+    pub fn digest(&self) -> Vec<u64> {
+        let mut d = self.cells.clone();
+        for log in &self.logs {
+            d.push(u64::MAX);
+            d.extend_from_slice(log);
+        }
+        for regs in &self.regs {
+            d.push(u64::MAX);
+            d.extend_from_slice(regs);
+        }
+        d
+    }
+}
+
+impl ExecState {
+    /// Fresh state for `machine`: every cell's timeline starts with one
+    /// initial message whose clock is ⊥ (initialization happens-before
+    /// every thread).
+    pub fn new(machine: &Machine) -> ExecState {
+        let n_cells = machine.cells.len();
+        let n_threads = machine.threads.len();
+        let zero_view = vec![0usize; n_cells];
+        let zero_vc = vec![0u64; n_threads];
+        let timelines = machine
+            .cells
+            .iter()
+            .map(|&v| {
+                vec![Msg {
+                    val: v,
+                    view: zero_view.clone(),
+                    vc: zero_vc.clone(),
+                }]
+            })
+            .collect();
+        let n_regs = machine
+            .threads
+            .iter()
+            .flatten()
+            .map(|s| match *s {
+                Step::Load { reg, .. } | Step::Log { reg } | Step::JumpIfReg { reg, .. } => reg + 1,
+                Step::Store { val, .. } | Step::Rmw { val, .. } => match val {
+                    Operand::Reg(r) | Operand::RegPlus(r, _) => r + 1,
+                    Operand::Const(_) => 0,
+                },
+                _ => 0,
+            })
+            .max()
+            .unwrap_or(0);
+        let threads = (0..n_threads)
+            .map(|t| {
+                let mut vc = zero_vc.clone();
+                vc[t] = 1; // own component: strictly after init
+                ThreadState {
+                    pc: 0,
+                    regs: vec![0; n_regs],
+                    log: Vec::new(),
+                    cur: zero_view.clone(),
+                    acq: zero_view.clone(),
+                    vrel: zero_view.clone(),
+                    acq_vc: vc.clone(),
+                    vrel_vc: zero_vc.clone(),
+                    vc,
+                }
+            })
+            .collect();
+        ExecState {
+            threads,
+            timelines,
+            accesses: vec![Vec::new(); n_cells],
+            sc_view: zero_view,
+            sc_vc: zero_vc,
+            programs: machine.threads.clone(),
+        }
+    }
+
+    /// Threads that still have steps to run.
+    pub fn enabled(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.threads[t].pc < self.programs[t].len())
+            .collect()
+    }
+
+    /// The step thread `t` would execute next (`None` when finished).
+    pub fn next_step(&self, t: usize) -> Option<&Step> {
+        self.programs[t].get(self.threads[t].pc)
+    }
+
+    /// How many branches executing thread `t`'s next step has: loads
+    /// (and CASes) enumerate every coherence-eligible message — index
+    /// `cur[cell]..=latest` of the cell's timeline; every other step has
+    /// exactly one. The choice passed to [`ExecState::apply`] is an
+    /// offset into that eligible range.
+    pub fn choice_count(&self, t: usize) -> usize {
+        match self.next_step(t) {
+            Some(&Step::Load { cell, .. }) | Some(&Step::Cas { cell, .. }) => {
+                self.timelines[cell].len() - self.threads[t].cur[cell]
+            }
+            _ => 1,
+        }
+    }
+
+    fn eval(&self, t: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Const(v) => v,
+            Operand::Reg(r) => self.threads[t].regs[r],
+            Operand::RegPlus(r, d) => self.threads[t].regs[r].wrapping_add(d),
+        }
+    }
+
+    /// Record an access for race detection; report new races into `races`.
+    fn record_access(
+        &mut self,
+        cell: usize,
+        t: usize,
+        write: bool,
+        plain: bool,
+        races: &mut BTreeSet<RaceReport>,
+    ) {
+        let me = &self.threads[t];
+        for a in &self.accesses[cell] {
+            if a.thread == t || !(a.write || write) || !(a.plain || plain) {
+                continue;
+            }
+            if !vc_leq(&a.vc, &me.vc) {
+                let mut x = (a.thread, a.pc, a.write);
+                let mut y = (t, self.threads[t].pc, write);
+                if y < x {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                races.insert(RaceReport { cell, a: x, b: y });
+            }
+        }
+        let vc = self.threads[t].vc.clone();
+        let pc = self.threads[t].pc;
+        self.accesses[cell].push(CellAccess {
+            thread: t,
+            pc,
+            write,
+            plain,
+            vc,
+        });
+    }
+
+    /// Acquire-read side effects of reading message (`view`, `vc`) at
+    /// `idx` of `cell` with ordering `ord`.
+    fn read_effects(&mut self, t: usize, cell: usize, idx: usize, ord: MemOrd) {
+        let (mview, mvc) = {
+            let m = &self.timelines[cell][idx];
+            (m.view.clone(), m.vc.clone())
+        };
+        let th = &mut self.threads[t];
+        th.cur[cell] = th.cur[cell].max(idx);
+        th.acq[cell] = th.acq[cell].max(idx);
+        if ord.acquires() {
+            join_view(&mut th.cur, &mview);
+            join_view(&mut th.acq, &mview);
+            join_vc(&mut th.vc, &mvc);
+            join_vc(&mut th.acq_vc, &mvc);
+        } else {
+            join_view(&mut th.acq, &mview);
+            join_vc(&mut th.acq_vc, &mvc);
+        }
+        if ord == MemOrd::SeqCst {
+            let sc_view = self.sc_view.clone();
+            let sc_vc = self.sc_vc.clone();
+            let th = &mut self.threads[t];
+            join_view(&mut th.cur, &sc_view);
+            join_vc(&mut th.vc, &sc_vc);
+            let cur = th.cur.clone();
+            let vc = th.vc.clone();
+            join_view(&mut self.sc_view, &cur);
+            join_vc(&mut self.sc_vc, &vc);
+        }
+    }
+
+    /// Append a message to `cell` with write ordering `ord`;
+    /// `continue_seq` carries the view/clock of the message an RMW read,
+    /// continuing its release sequence.
+    fn write_msg(
+        &mut self,
+        t: usize,
+        cell: usize,
+        val: u64,
+        ord: MemOrd,
+        continue_seq: Option<(View, VClock)>,
+    ) {
+        let ts = self.timelines[cell].len();
+        let th = &self.threads[t];
+        let mut view = th.vrel.clone();
+        let mut vc = th.vrel_vc.clone();
+        if ord.releases() {
+            join_view(&mut view, &th.cur);
+            join_vc(&mut vc, &th.vc);
+        }
+        if let Some((pview, pvc)) = continue_seq {
+            join_view(&mut view, &pview);
+            join_vc(&mut vc, &pvc);
+        }
+        view[cell] = view[cell].max(ts);
+        if ord == MemOrd::SeqCst {
+            let sc_view = self.sc_view.clone();
+            let sc_vc = self.sc_vc.clone();
+            join_view(&mut view, &sc_view);
+            join_vc(&mut vc, &sc_vc);
+            join_view(&mut self.sc_view, &view);
+            join_vc(&mut self.sc_vc, &vc);
+        }
+        self.timelines[cell].push(Msg { val, view, vc });
+        let th = &mut self.threads[t];
+        th.cur[cell] = ts;
+        th.acq[cell] = th.acq[cell].max(ts);
+    }
+
+    /// Execute thread `t`'s next step with the given read-from `choice`
+    /// (an offset into the eligible range — see
+    /// [`ExecState::choice_count`]; pass 0 for single-choice steps).
+    /// Newly discovered races accumulate into `races`. Returns the undo
+    /// token; apply/undo pairs must nest LIFO.
+    pub fn apply(&mut self, t: usize, choice: usize, races: &mut BTreeSet<RaceReport>) -> Undo {
+        let step = *self.next_step(t).expect("thread enabled");
+        let saved = self.threads[t].clone();
+        let mut undo = Undo {
+            thread: t,
+            saved,
+            pushed_msg: None,
+            pushed_access: None,
+            saved_sc: None,
+        };
+        let is_sc = matches!(
+            step,
+            Step::Load {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Store {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Rmw {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Cas {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Step::Fence {
+                ord: MemOrd::SeqCst
+            }
+        );
+        if is_sc {
+            undo.saved_sc = Some((self.sc_view.clone(), self.sc_vc.clone()));
+        }
+        // Every event advances the thread's own clock component.
+        self.threads[t].vc[t] += 1;
+        let pc = self.threads[t].pc;
+        let next_pc = match step {
+            Step::Load { cell, reg, ord } => {
+                let idx = self.threads[t].cur[cell] + choice;
+                debug_assert!(idx < self.timelines[cell].len(), "choice out of range");
+                self.record_access(cell, t, false, ord == MemOrd::Plain, races);
+                let val = self.timelines[cell][idx].val;
+                self.read_effects(t, cell, idx, ord);
+                undo.pushed_access = Some(cell);
+                self.threads[t].regs[reg] = val;
+                pc + 1
+            }
+            Step::Store { cell, val, ord } => {
+                let v = self.eval(t, val);
+                self.record_access(cell, t, true, ord == MemOrd::Plain, races);
+                self.write_msg(t, cell, v, ord, None);
+                undo.pushed_access = Some(cell);
+                undo.pushed_msg = Some(cell);
+                pc + 1
+            }
+            Step::Rmw { cell, op, val, ord } => {
+                let rhs = self.eval(t, val);
+                self.record_access(cell, t, true, ord == MemOrd::Plain, races);
+                let last = self.timelines[cell].len() - 1;
+                let prev = &self.timelines[cell][last];
+                let (pval, pview, pvc) = (prev.val, prev.view.clone(), prev.vc.clone());
+                self.read_effects(t, cell, last, ord);
+                let new = match op {
+                    RmwOp::Add => pval.wrapping_add(rhs),
+                    RmwOp::Max => pval.max(rhs),
+                    RmwOp::Min => pval.min(rhs),
+                };
+                self.write_msg(t, cell, new, ord, Some((pview, pvc)));
+                undo.pushed_access = Some(cell);
+                undo.pushed_msg = Some(cell);
+                pc + 1
+            }
+            Step::Cas {
+                cell,
+                expect,
+                set,
+                ord,
+                orelse,
+            } => {
+                debug_assert!(orelse > pc, "jumps must be forward-only");
+                self.record_access(cell, t, true, ord == MemOrd::Plain, races);
+                undo.pushed_access = Some(cell);
+                let idx = self.threads[t].cur[cell] + choice;
+                debug_assert!(idx < self.timelines[cell].len(), "choice out of range");
+                let last = self.timelines[cell].len() - 1;
+                let val = self.timelines[cell][idx].val;
+                if idx == last && val == expect {
+                    // Success: RMW semantics — read the mo-maximum,
+                    // write adjacent to it, continue its release
+                    // sequence.
+                    let prev = &self.timelines[cell][last];
+                    let (pview, pvc) = (prev.view.clone(), prev.vc.clone());
+                    self.read_effects(t, cell, last, ord);
+                    self.write_msg(t, cell, set, ord, Some((pview, pvc)));
+                    undo.pushed_msg = Some(cell);
+                    pc + 1
+                } else if val != expect {
+                    // Failure: a Relaxed load of the observed message.
+                    self.read_effects(t, cell, idx, MemOrd::Relaxed);
+                    orelse
+                } else {
+                    // Reading an older expect-matching message cannot
+                    // succeed under append-only modification order (the
+                    // write would not be adjacent); the explorer skips
+                    // this infeasible branch by treating it as a failure
+                    // read of the same message.
+                    self.read_effects(t, cell, idx, MemOrd::Relaxed);
+                    orelse
+                }
+            }
+            Step::Fence { ord } => {
+                let th = &mut self.threads[t];
+                if ord.acquires() {
+                    let acq = th.acq.clone();
+                    let acq_vc = th.acq_vc.clone();
+                    join_view(&mut th.cur, &acq);
+                    join_vc(&mut th.vc, &acq_vc);
+                }
+                if ord == MemOrd::SeqCst {
+                    let sc_view = self.sc_view.clone();
+                    let sc_vc = self.sc_vc.clone();
+                    let th = &mut self.threads[t];
+                    join_view(&mut th.cur, &sc_view);
+                    join_vc(&mut th.vc, &sc_vc);
+                    let cur = th.cur.clone();
+                    let vc = th.vc.clone();
+                    join_view(&mut self.sc_view, &cur);
+                    join_vc(&mut self.sc_vc, &vc);
+                }
+                let th = &mut self.threads[t];
+                if ord.releases() {
+                    let cur = th.cur.clone();
+                    let vc = th.vc.clone();
+                    join_view(&mut th.vrel, &cur);
+                    join_vc(&mut th.vrel_vc, &vc);
+                }
+                pc + 1
+            }
+            Step::JumpIfReg {
+                reg,
+                val,
+                eq,
+                target,
+            } => {
+                debug_assert!(target > pc, "jumps must be forward-only");
+                let rhs = self.eval(t, val);
+                if (self.threads[t].regs[reg] == rhs) == eq {
+                    target
+                } else {
+                    pc + 1
+                }
+            }
+            Step::Jump { target } => {
+                debug_assert!(target > pc, "jumps must be forward-only");
+                target
+            }
+            Step::Log { reg } => {
+                let v = self.threads[t].regs[reg];
+                self.threads[t].log.push(v);
+                pc + 1
+            }
+        };
+        self.threads[t].pc = next_pc;
+        undo
+    }
+
+    /// Reverse one [`ExecState::apply`]. Must be called LIFO.
+    pub fn undo(&mut self, undo: Undo) {
+        if let Some(cell) = undo.pushed_msg {
+            self.timelines[cell].pop();
+        }
+        if let Some(cell) = undo.pushed_access {
+            self.accesses[cell].pop();
+        }
+        if let Some((view, vc)) = undo.saved_sc {
+            self.sc_view = view;
+            self.sc_vc = vc;
+        }
+        self.threads[undo.thread] = undo.saved;
+    }
+
+    /// The final state of a completed execution (every thread finished).
+    pub fn final_state(&self) -> FinalState<'_> {
+        FinalState {
+            cells: self
+                .timelines
+                .iter()
+                .map(|tl| tl.last().expect("init message").val)
+                .collect(),
+            logs: self.threads.iter().map(|t| t.log.as_slice()).collect(),
+            regs: self.threads.iter().map(|t| t.regs.as_slice()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_to_end(machine: &Machine, order: &[usize]) -> (Vec<u64>, BTreeSet<RaceReport>) {
+        // Drive one fixed schedule (round-robin over `order`), always
+        // taking the *latest* eligible message (choice = last).
+        let mut st = ExecState::new(machine);
+        let mut races = BTreeSet::new();
+        let mut i = 0;
+        while !st.enabled().is_empty() {
+            let t = order[i % order.len()];
+            i += 1;
+            if st.next_step(t).is_none() {
+                continue;
+            }
+            let c = st.choice_count(t) - 1;
+            st.apply(t, c, &mut races);
+        }
+        (st.final_state().cells, races)
+    }
+
+    #[test]
+    fn relaxed_rmw_is_atomic() {
+        let prog = vec![
+            Step::Rmw {
+                cell: 0,
+                op: RmwOp::Add,
+                val: Operand::Const(5),
+                ord: MemOrd::Relaxed,
+            };
+            2
+        ];
+        let machine = Machine {
+            cells: vec![0],
+            threads: vec![prog.clone(), prog],
+        };
+        let (cells, races) = run_to_end(&machine, &[0, 1]);
+        assert_eq!(cells[0], 20);
+        assert!(races.is_empty(), "atomic RMWs never race");
+    }
+
+    #[test]
+    fn stale_read_is_eligible_for_relaxed_load() {
+        // Writer stores 1 then 2 (Relaxed); a fresh reader may read the
+        // initial 0, the 1, or the 2 — three eligible messages.
+        let machine = Machine {
+            cells: vec![0],
+            threads: vec![
+                vec![
+                    Step::Store {
+                        cell: 0,
+                        val: Operand::Const(1),
+                        ord: MemOrd::Relaxed,
+                    },
+                    Step::Store {
+                        cell: 0,
+                        val: Operand::Const(2),
+                        ord: MemOrd::Relaxed,
+                    },
+                ],
+                vec![Step::Load {
+                    cell: 0,
+                    reg: 0,
+                    ord: MemOrd::Relaxed,
+                }],
+            ],
+        };
+        let mut st = ExecState::new(&machine);
+        let mut races = BTreeSet::new();
+        st.apply(0, 0, &mut races);
+        st.apply(0, 0, &mut races);
+        assert_eq!(st.choice_count(1), 3);
+        // Choice 0 = the stale initial value.
+        st.apply(1, 0, &mut races);
+        assert!(st.enabled().is_empty());
+        let fs = st.final_state();
+        assert_eq!(fs.regs[1][0], 0, "relaxed load observed the stale init");
+    }
+
+    #[test]
+    fn message_passing_with_release_acquire_synchronizes() {
+        // T0: data = 42 (Plain); flag.store(1, Release).
+        // T1: if flag.load(Acquire) == 1 { r = data (Plain) }.
+        // Schedule T0 fully, then T1 reading the flag's latest message:
+        // no race, and r == 42.
+        let machine = Machine {
+            cells: vec![0, 0], // data, flag
+            threads: vec![
+                vec![
+                    Step::Store {
+                        cell: 0,
+                        val: Operand::Const(42),
+                        ord: MemOrd::Plain,
+                    },
+                    Step::Store {
+                        cell: 1,
+                        val: Operand::Const(1),
+                        ord: MemOrd::Release,
+                    },
+                ],
+                vec![
+                    Step::Load {
+                        cell: 1,
+                        reg: 0,
+                        ord: MemOrd::Acquire,
+                    },
+                    Step::JumpIfReg {
+                        reg: 0,
+                        val: Operand::Const(1),
+                        eq: false,
+                        target: 3,
+                    },
+                    Step::Load {
+                        cell: 0,
+                        reg: 1,
+                        ord: MemOrd::Plain,
+                    },
+                ],
+            ],
+        };
+        let mut st = ExecState::new(&machine);
+        let mut races = BTreeSet::new();
+        st.apply(0, 0, &mut races);
+        st.apply(0, 0, &mut races);
+        let c = st.choice_count(1) - 1; // latest flag message
+        st.apply(1, c, &mut races);
+        st.apply(1, 0, &mut races);
+        // After the acquire read of the release store, the data cell's
+        // only eligible message is the 42: cur[data] advanced.
+        assert_eq!(st.choice_count(1), 1);
+        st.apply(1, 0, &mut races);
+        assert!(races.is_empty(), "release/acquire orders the plain pair");
+        assert_eq!(st.final_state().regs[1][1], 42);
+    }
+
+    #[test]
+    fn relaxed_flag_leaves_plain_pair_racy() {
+        // Same shape, but the flag is Relaxed on both sides: the plain
+        // data accesses are unordered — a race even on a schedule where
+        // the reader sees the flag.
+        let machine = Machine {
+            cells: vec![0, 0],
+            threads: vec![
+                vec![
+                    Step::Store {
+                        cell: 0,
+                        val: Operand::Const(42),
+                        ord: MemOrd::Plain,
+                    },
+                    Step::Store {
+                        cell: 1,
+                        val: Operand::Const(1),
+                        ord: MemOrd::Relaxed,
+                    },
+                ],
+                vec![
+                    Step::Load {
+                        cell: 1,
+                        reg: 0,
+                        ord: MemOrd::Relaxed,
+                    },
+                    Step::Load {
+                        cell: 0,
+                        reg: 1,
+                        ord: MemOrd::Plain,
+                    },
+                ],
+            ],
+        };
+        let mut st = ExecState::new(&machine);
+        let mut races = BTreeSet::new();
+        st.apply(0, 0, &mut races);
+        st.apply(0, 0, &mut races);
+        let c = st.choice_count(1) - 1;
+        st.apply(1, c, &mut races);
+        st.apply(1, 0, &mut races);
+        assert_eq!(races.len(), 1, "plain pair must race: {races:?}");
+        let r = races.first().unwrap();
+        assert_eq!(r.cell, 0);
+    }
+
+    #[test]
+    fn acquire_fence_promotes_relaxed_knowledge() {
+        // T0: data = 7 (Plain); fence(Release); flag.store(1, Relaxed).
+        // T1: flag.load(Relaxed) == 1; fence(Acquire); read data.
+        // The fence pair synchronizes: no race.
+        let machine = Machine {
+            cells: vec![0, 0],
+            threads: vec![
+                vec![
+                    Step::Store {
+                        cell: 0,
+                        val: Operand::Const(7),
+                        ord: MemOrd::Plain,
+                    },
+                    Step::Fence {
+                        ord: MemOrd::Release,
+                    },
+                    Step::Store {
+                        cell: 1,
+                        val: Operand::Const(1),
+                        ord: MemOrd::Relaxed,
+                    },
+                ],
+                vec![
+                    Step::Load {
+                        cell: 1,
+                        reg: 0,
+                        ord: MemOrd::Relaxed,
+                    },
+                    Step::Fence {
+                        ord: MemOrd::Acquire,
+                    },
+                    Step::Load {
+                        cell: 0,
+                        reg: 1,
+                        ord: MemOrd::Plain,
+                    },
+                ],
+            ],
+        };
+        let mut st = ExecState::new(&machine);
+        let mut races = BTreeSet::new();
+        for _ in 0..3 {
+            st.apply(0, 0, &mut races);
+        }
+        let c = st.choice_count(1) - 1;
+        st.apply(1, c, &mut races);
+        st.apply(1, 0, &mut races);
+        st.apply(1, 0, &mut races);
+        assert!(races.is_empty(), "fence pairing synchronizes: {races:?}");
+        assert_eq!(st.final_state().regs[1][1], 7);
+    }
+
+    #[test]
+    fn undo_restores_state_exactly() {
+        let machine = Machine {
+            cells: vec![3],
+            threads: vec![vec![
+                Step::Rmw {
+                    cell: 0,
+                    op: RmwOp::Add,
+                    val: Operand::Const(4),
+                    ord: MemOrd::AcqRel,
+                },
+                Step::Load {
+                    cell: 0,
+                    reg: 0,
+                    ord: MemOrd::Acquire,
+                },
+            ]],
+        };
+        let mut st = ExecState::new(&machine);
+        let mut races = BTreeSet::new();
+        let before = format!("{st:?}");
+        let u1 = st.apply(0, 0, &mut races);
+        let u2 = st.apply(0, 0, &mut races);
+        st.undo(u2);
+        st.undo(u1);
+        assert_eq!(format!("{st:?}"), before);
+    }
+
+    #[test]
+    fn release_sequence_continues_through_rmw() {
+        // T0: data = 9 (Plain); flag.store(1, Release).
+        // T1: flag.fetch_add(1, Relaxed)  — continues T0's release seq.
+        // T2: flag.load(Acquire) reads the RMW's message → synchronizes
+        //     with T0's release store → may read data safely.
+        let machine = Machine {
+            cells: vec![0, 0],
+            threads: vec![
+                vec![
+                    Step::Store {
+                        cell: 0,
+                        val: Operand::Const(9),
+                        ord: MemOrd::Plain,
+                    },
+                    Step::Store {
+                        cell: 1,
+                        val: Operand::Const(1),
+                        ord: MemOrd::Release,
+                    },
+                ],
+                vec![Step::Rmw {
+                    cell: 1,
+                    op: RmwOp::Add,
+                    val: Operand::Const(1),
+                    ord: MemOrd::Relaxed,
+                }],
+                vec![
+                    Step::Load {
+                        cell: 1,
+                        reg: 0,
+                        ord: MemOrd::Acquire,
+                    },
+                    Step::Load {
+                        cell: 0,
+                        reg: 1,
+                        ord: MemOrd::Plain,
+                    },
+                ],
+            ],
+        };
+        let mut st = ExecState::new(&machine);
+        let mut races = BTreeSet::new();
+        st.apply(0, 0, &mut races);
+        st.apply(0, 0, &mut races);
+        st.apply(1, 0, &mut races); // RMW reads the release store
+        let c = st.choice_count(2) - 1; // the RMW's message (flag == 2)
+        st.apply(2, c, &mut races);
+        st.apply(2, 0, &mut races);
+        assert!(
+            races.is_empty(),
+            "release sequence through the RMW must synchronize: {races:?}"
+        );
+        assert_eq!(st.final_state().regs[2][1], 9);
+    }
+}

@@ -8,7 +8,7 @@
 
 use crate::diag::Report;
 use crate::forensics_lint::lint_bundles;
-use crate::interleave::{check_cache_interleavings, check_telemetry_interleavings};
+use crate::interleave::{check_models, MachineStats, McBudget};
 use crate::obs_lint::lint_attribution;
 use crate::par_audit::{audit_costtable_equivalence, audit_parallel_determinism};
 use crate::plan_lint::{lint_plan, PlanLintCfg};
@@ -34,8 +34,12 @@ pub struct SuiteCfg {
     pub ga_blocks: std::ops::RangeInclusive<usize>,
     /// GA seed (the experiments' offline seed).
     pub seed: u64,
-    /// Interleaving-search bound per scenario.
-    pub interleave_limit: u64,
+    /// Per-machine model-checking budget (transition ceiling +
+    /// wall-clock cap; `SA200` when exhausted).
+    pub mc_budget: McBudget,
+    /// Run only the stages/machines certifying these SA codes (the
+    /// `analyze --only SAxxx[,SAyyy]` filter). `None` = everything.
+    pub only: Option<Vec<String>>,
     /// Plan-linter thresholds.
     pub plan_cfg: PlanLintCfg,
 }
@@ -48,7 +52,8 @@ impl Default for SuiteCfg {
             requests: 150,
             ga_blocks: 2..=4,
             seed: 99,
-            interleave_limit: u64::MAX,
+            mc_budget: McBudget::default(),
+            only: None,
             plan_cfg: PlanLintCfg::default(),
         }
     }
@@ -75,8 +80,8 @@ pub struct SuiteOutcome {
     /// policies, the thread-pool (1-vs-8-worker) GA audit, and the
     /// cost-table bit-identity audit over every model.
     pub determinism_report: Report,
-    /// Interleaving-checker findings (`SA2xx`), telemetry plus the
-    /// profile-cache dedup scenarios.
+    /// Model-checker findings (`SA2xx`): weak-memory exploration of the
+    /// telemetry, profile-cache, and flight-ring machines.
     pub interleave_report: Report,
     /// Attribution-exactness findings (`SA301`–`SA303`), across all
     /// policies.
@@ -90,11 +95,51 @@ pub struct SuiteOutcome {
     pub schedules_checked: usize,
     /// Incident bundles produced and linted by the burst stage.
     pub bundles_checked: usize,
-    /// Interleavings exhausted by the telemetry + cache scenarios.
+    /// Executions covered by the model-checking stage, across machines.
     pub interleavings: u64,
+    /// Per-machine model-checking statistics (explored/pruned counts,
+    /// budget status, wall time) — surfaced in `--json` and CI logs.
+    pub machine_stats: Vec<MachineStats>,
 }
 
 impl SuiteOutcome {
+    /// The `analyze --json` document: every diagnostic plus the
+    /// per-machine model-checking statistics (explored/pruned counts),
+    /// as `{"diagnostics": [...], "machines": [...]}`.
+    pub fn render_json(&self) -> String {
+        let mut doc = serde::Map::new();
+        doc.insert(
+            "diagnostics",
+            serde_json::to_value(&self.merged().diagnostics).expect("diagnostics serialize"),
+        );
+        let machines: Vec<serde::Value> = self
+            .machine_stats
+            .iter()
+            .map(|s| {
+                let mut m = serde::Map::new();
+                m.insert("name", serde::Value::String(s.name.to_string()));
+                m.insert("code", serde::Value::String(s.code.to_string()));
+                m.insert(
+                    "executions",
+                    serde_json::to_value(&s.executions).expect("u64"),
+                );
+                m.insert(
+                    "transitions",
+                    serde_json::to_value(&s.transitions).expect("u64"),
+                );
+                m.insert(
+                    "sleep_prunes",
+                    serde_json::to_value(&s.sleep_prunes).expect("u64"),
+                );
+                m.insert("budget_exceeded", serde::Value::Bool(s.budget_exceeded));
+                m.insert("wall_ms", serde_json::to_value(&s.wall_ms).expect("u64"));
+                serde::Value::Object(m)
+            })
+            .collect();
+        doc.insert("machines", serde::Value::Array(machines));
+        serde_json::to_string_pretty(&serde::Value::Object(doc)).expect("doc serializes")
+    }
+
     /// All findings merged into one report (section order preserved).
     pub fn merged(&self) -> Report {
         let mut all = Report::new();
@@ -115,87 +160,120 @@ impl SuiteOutcome {
 }
 
 /// Run the whole suite.
+///
+/// With [`SuiteCfg::only`] set, only the stages certifying the listed
+/// SA codes run (mapped by the code's hundreds digit: `SA0xx` plans,
+/// `SA1xx` schedules/determinism, `SA2xx` model checking, `SA3xx`
+/// attribution, `SA4xx` forensics); skipped stages report clean with
+/// zero counts.
 pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
     let dev = DeviceConfig::default();
+    // Which stage families did --only select? Keyed by the hundreds
+    // digit of the SA code (position 2 of "SAxyz").
+    let wants = |digit: u8| -> bool {
+        match &cfg.only {
+            None => true,
+            Some(codes) => codes
+                .iter()
+                .any(|c| c.as_bytes().get(2).copied() == Some(digit)),
+        }
+    };
+    // Plans (and the deployment built from them) feed every
+    // simulation-based stage, not just the plan linter.
+    let need_plans = wants(b'0') || wants(b'1') || wants(b'3') || wants(b'4');
 
     // --- Offline stage: plan every model, lint every plan. ---
     let mut plan_report = Report::new();
     let mut plans_checked = 0usize;
     let mut deployment = Deployment::new();
     let mut names: Vec<&'static str> = Vec::new();
-    for &id in &cfg.models {
-        let graph = id.build_calibrated(&dev);
-        let info = id.info();
-        names.push(info.name);
-        // The paper splits the long models; short ones deploy vanilla.
-        // Lint both artifacts either way — the GA output must be sane
-        // even for models the deployment ends up not splitting.
-        let (ga_plan, _) =
-            SplitPlan::offline(&graph, &dev, cfg.ga_blocks.clone(), cfg.seed ^ id as u64);
-        plan_report.merge(lint_plan(&graph, &ga_plan, &dev, &cfg.plan_cfg));
-        let vanilla = SplitPlan::vanilla(&graph, &dev);
-        plan_report.merge(lint_plan(&graph, &vanilla, &dev, &cfg.plan_cfg));
-        plans_checked += 2;
-        if info.class == LengthClass::Long {
-            deployment.deploy_plan(&ga_plan);
-        } else {
-            deployment.deploy_plan(&vanilla);
+    if need_plans {
+        for &id in &cfg.models {
+            let graph = id.build_calibrated(&dev);
+            let info = id.info();
+            names.push(info.name);
+            // The paper splits the long models; short ones deploy vanilla.
+            // Lint both artifacts either way — the GA output must be sane
+            // even for models the deployment ends up not splitting.
+            let (ga_plan, _) =
+                SplitPlan::offline(&graph, &dev, cfg.ga_blocks.clone(), cfg.seed ^ id as u64);
+            let vanilla = SplitPlan::vanilla(&graph, &dev);
+            if wants(b'0') {
+                plan_report.merge(lint_plan(&graph, &ga_plan, &dev, &cfg.plan_cfg));
+                plan_report.merge(lint_plan(&graph, &vanilla, &dev, &cfg.plan_cfg));
+                plans_checked += 2;
+            }
+            if info.class == LengthClass::Long {
+                deployment.deploy_plan(&ga_plan);
+            } else {
+                deployment.deploy_plan(&vanilla);
+            }
         }
     }
     let table = deployment.table();
 
     // --- Online stage: one workload, every policy, lint + audit. ---
-    let mut scenario = Scenario::table2(cfg.scenario);
-    scenario.requests = cfg.requests;
-    let trace = RequestTrace::generate(scenario, &names);
-    let arrivals = &trace.arrivals;
-
     let mut schedule_report = Report::new();
     let mut determinism_report = Report::new();
     let mut attribution_report = Report::new();
     let mut schedules_checked = 0usize;
-    let mut policies = Policy::all_default();
-    policies.push(Policy::StreamParallel(Default::default()));
-    policies.push(Policy::Sjf);
-    for policy in &policies {
-        let result = simulate(policy, arrivals, table);
-        let lint_cfg = match policy {
-            Policy::Split(_) => ScheduleLintCfg::block_granular(table),
-            Policy::Rta(_) | Policy::StreamParallel(_) => ScheduleLintCfg::concurrent(table),
-            _ => ScheduleLintCfg::structural(table),
-        };
-        schedule_report.merge(prefix_context(
-            lint_schedule(arrivals, &result, &lint_cfg),
-            policy.name(),
-        ));
-        determinism_report.merge(audit_determinism(policy, arrivals, table));
-        attribution_report.merge(prefix_context(lint_attribution(&result), policy.name()));
-        schedules_checked += 1;
+    if wants(b'1') || wants(b'3') {
+        let mut scenario = Scenario::table2(cfg.scenario);
+        scenario.requests = cfg.requests;
+        let trace = RequestTrace::generate(scenario, &names);
+        let arrivals = &trace.arrivals;
+
+        let mut policies = Policy::all_default();
+        policies.push(Policy::StreamParallel(Default::default()));
+        policies.push(Policy::Sjf);
+        for policy in &policies {
+            let result = simulate(policy, arrivals, table);
+            if wants(b'1') {
+                let lint_cfg = match policy {
+                    Policy::Split(_) => ScheduleLintCfg::block_granular(table),
+                    Policy::Rta(_) | Policy::StreamParallel(_) => {
+                        ScheduleLintCfg::concurrent(table)
+                    }
+                    _ => ScheduleLintCfg::structural(table),
+                };
+                schedule_report.merge(prefix_context(
+                    lint_schedule(arrivals, &result, &lint_cfg),
+                    policy.name(),
+                ));
+                determinism_report.merge(audit_determinism(policy, arrivals, table));
+            }
+            if wants(b'3') {
+                attribution_report.merge(prefix_context(lint_attribution(&result), policy.name()));
+            }
+            schedules_checked += 1;
+        }
     }
 
     // --- Pool stage: the GA must be thread-count invariant (SA106). ---
     // One long model is enough — every model goes through the same
     // profile-through-the-pool path.
-    if let Some(&id) = cfg
-        .models
-        .iter()
-        .find(|id| id.info().class == LengthClass::Long)
-    {
-        let graph = id.build_calibrated(&dev);
-        let ga_cfg = GaConfig {
-            blocks: *cfg.ga_blocks.start().max(&2),
-            generations: 5,
-            seed: cfg.seed,
-            ..GaConfig::new(2)
-        };
-        determinism_report.merge(audit_parallel_determinism(&graph, &dev, &ga_cfg, 8));
-    }
+    if wants(b'1') {
+        if let Some(&id) = cfg
+            .models
+            .iter()
+            .find(|id| id.info().class == LengthClass::Long)
+        {
+            let graph = id.build_calibrated(&dev);
+            let ga_cfg = GaConfig {
+                blocks: *cfg.ga_blocks.start().max(&2),
+                generations: 5,
+                seed: cfg.seed,
+                ..GaConfig::new(2)
+            };
+            determinism_report.merge(audit_parallel_determinism(&graph, &dev, &ga_cfg, 8));
+        }
 
-    // --- Cost-table stage: the memoized profiling path must be
-    // bit-identical to the direct arithmetic on every model (SA107). ---
-    for &id in &cfg.models {
-        let graph = id.build_calibrated(&dev);
-        determinism_report.merge(audit_costtable_equivalence(&graph, &dev));
+        // --- Cost-table stage: the memoized profiling path must be
+        // bit-identical to the direct arithmetic on every model (SA107). ---
+        for &id in &cfg.models {
+            let graph = id.build_calibrated(&dev);
+            determinism_report.merge(audit_costtable_equivalence(&graph, &dev));
+        }
     }
 
     // --- Forensics stage: an overload burst must fire the burn-rate
@@ -203,41 +281,49 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
     // (sampling invariant, exact classification, causal flight ring,
     // consistent verdict). ---
     let mut forensics_report = Report::new();
-    let burst = BurstConfig {
-        calm_interval_us: 50_000.0,
-        burst_interval_us: 1_500.0,
-        calm_dwell_us: 300_000.0,
-        burst_dwell_us: 400_000.0,
-    };
-    let mut burst_scenario = Scenario::table2(cfg.scenario);
-    burst_scenario.requests = cfg.requests;
-    let burst_trace = RequestTrace::generate_burst(burst_scenario, &names, burst);
-    let burst_result = simulate(
-        &Policy::Split(Default::default()),
-        &burst_trace.arrivals,
-        table,
-    );
-    let inv = burst_result.investigate(&split_forensics::ForensicsCfg::default());
-    if inv.bundles.is_empty() {
-        forensics_report.push(
-            crate::diag::Diagnostic::error(
-                "SA402",
-                "forensics stage",
-                "the overload burst fired no burn-rate alert, so no incident bundle \
-                 could be verified",
-            )
-            .with_help("the burst workload or SLO config no longer overloads the device"),
+    let mut bundles_checked = 0usize;
+    if wants(b'4') {
+        let burst = BurstConfig {
+            calm_interval_us: 50_000.0,
+            burst_interval_us: 1_500.0,
+            calm_dwell_us: 300_000.0,
+            burst_dwell_us: 400_000.0,
+        };
+        let mut burst_scenario = Scenario::table2(cfg.scenario);
+        burst_scenario.requests = cfg.requests;
+        let burst_trace = RequestTrace::generate_burst(burst_scenario, &names, burst);
+        let burst_result = simulate(
+            &Policy::Split(Default::default()),
+            &burst_trace.arrivals,
+            table,
         );
+        let inv = burst_result.investigate(&split_forensics::ForensicsCfg::default());
+        if inv.bundles.is_empty() {
+            forensics_report.push(
+                crate::diag::Diagnostic::error(
+                    "SA402",
+                    "forensics stage",
+                    "the overload burst fired no burn-rate alert, so no incident bundle \
+                     could be verified",
+                )
+                .with_help("the burst workload or SLO config no longer overloads the device"),
+            );
+        }
+        bundles_checked = inv.bundles.len();
+        forensics_report.merge(lint_bundles(&inv.bundles));
     }
-    let bundles_checked = inv.bundles.len();
-    forensics_report.merge(lint_bundles(&inv.bundles));
 
-    // --- Telemetry + profile-cache stage: exhaustive interleavings. ---
-    let (mut interleave_report, mut interleavings) =
-        check_telemetry_interleavings(cfg.interleave_limit);
-    let (cache_report, cache_interleavings) = check_cache_interleavings(cfg.interleave_limit);
-    interleave_report.merge(cache_report);
-    interleavings += cache_interleavings;
+    // --- Model-checking stage: weak-memory exploration of every
+    // lock-free hot-path machine (telemetry, profile cache, flight
+    // ring), DPOR-reduced, under the per-machine budget. ---
+    let mut interleave_report = Report::new();
+    let mut machine_stats = Vec::new();
+    if wants(b'2') {
+        let (report, stats) = check_models(cfg.mc_budget, cfg.only.as_deref());
+        interleave_report.merge(report);
+        machine_stats = stats;
+    }
+    let interleavings = machine_stats.iter().map(|s| s.executions).sum();
 
     SuiteOutcome {
         plan_report,
@@ -250,6 +336,7 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         schedules_checked,
         bundles_checked,
         interleavings,
+        machine_stats,
     }
 }
 
@@ -273,17 +360,14 @@ mod tests {
     #[test]
     fn default_suite_is_clean() {
         let cfg = SuiteCfg {
-            // Keep the unit test quick: two models (one long, one short),
-            // a short trace, and a bounded interleaving search.
+            // Keep the unit test quick: two models (one long, one short)
+            // and a short trace.
             models: vec![ModelId::ResNet50, ModelId::GoogLeNet],
             requests: 60,
-            interleave_limit: 20_000,
             ..SuiteCfg::default()
         };
         let out = run_suite(&cfg);
         let merged = out.merged();
-        // Truncation notes are allowed (we bounded the search); errors and
-        // warnings are not.
         assert_eq!(merged.error_count(), 0, "{}", merged.render_text());
         assert_eq!(merged.warning_count(), 0, "{}", merged.render_text());
         assert_eq!(out.plans_checked, 4);
@@ -292,6 +376,28 @@ mod tests {
             out.bundles_checked >= 1,
             "burst stage must produce a bundle"
         );
-        assert!(out.interleavings >= 20_000);
+        assert_eq!(out.machine_stats.len(), crate::interleave::catalog().len());
+        assert!(out.interleavings > 0);
+        assert!(
+            out.machine_stats.iter().all(|s| !s.budget_exceeded),
+            "{:?}",
+            out.machine_stats
+        );
+    }
+
+    #[test]
+    fn only_filter_skips_unrelated_stages() {
+        let cfg = SuiteCfg {
+            models: vec![ModelId::ResNet50],
+            only: Some(vec!["SA205".to_string()]),
+            ..SuiteCfg::default()
+        };
+        let out = run_suite(&cfg);
+        assert_eq!(out.plans_checked, 0);
+        assert_eq!(out.schedules_checked, 0);
+        assert_eq!(out.bundles_checked, 0);
+        assert_eq!(out.machine_stats.len(), 1);
+        assert_eq!(out.machine_stats[0].code, "SA205");
+        assert!(out.merged().is_empty(), "{}", out.merged().render_text());
     }
 }

@@ -1,0 +1,108 @@
+//! Negative-fixture exactness: each racy fixture must fire **exactly**
+//! the SA code its bug class belongs to, and nothing else.
+//!
+//! A checker that flags a dropped Release fence as "some diagnostic"
+//! is not certifying anything — the value is in the mapping: fence
+//! dropped → SA205 (torn record), stamp parity swapped → SA206
+//! (inconsistent cut), atomics downgraded to a Relaxed-only pair over
+//! plain data → SA210 (data race). These tests pin that mapping, and
+//! pin that the *shipped* protocols stay silent under the exact same
+//! exploration.
+
+use split_analyze::interleave::{catalog, explore, negative_fixtures, ExploreCfg, ModelSpec};
+use std::collections::BTreeSet;
+
+/// Which SA codes an exploration of `spec` fires: the machine's own
+/// code for invariant violations, SA210 for any data race.
+fn fired_codes(spec: &ModelSpec) -> BTreeSet<&'static str> {
+    let out = explore(&spec.machine, &ExploreCfg::default(), &spec.check);
+    assert!(
+        !out.budget_exceeded,
+        "{} must be explorable without a budget",
+        spec.name
+    );
+    let mut codes = BTreeSet::new();
+    if !out.violations.is_empty() {
+        codes.insert(spec.code);
+    }
+    if !out.races.is_empty() {
+        codes.insert("SA210");
+    }
+    codes
+}
+
+fn fixture(name: &str) -> ModelSpec {
+    negative_fixtures()
+        .into_iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("no fixture named {name}"))
+}
+
+#[test]
+fn torn_counter_fires_exactly_sa201() {
+    let codes = fired_codes(&fixture("fixture.torn_counter"));
+    assert_eq!(codes, BTreeSet::from(["SA201"]), "{codes:?}");
+}
+
+#[test]
+fn unclaimed_cache_fires_exactly_sa204() {
+    let codes = fired_codes(&fixture("fixture.unclaimed_cache"));
+    assert_eq!(codes, BTreeSet::from(["SA204"]), "{codes:?}");
+}
+
+#[test]
+fn dropped_release_fence_fires_exactly_sa205() {
+    let codes = fired_codes(&fixture("fixture.seqlock_no_release_fence"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA205"]),
+        "a dropped Release fence is a torn record, not a race: {codes:?}"
+    );
+}
+
+#[test]
+fn swapped_stamp_order_fires_exactly_sa206() {
+    let codes = fired_codes(&fixture("fixture.seqlock_swapped_stamps"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA206"]),
+        "inverted stamp parity publishes a mid-write slot: {codes:?}"
+    );
+}
+
+#[test]
+fn relaxed_only_pair_fires_exactly_sa210() {
+    let codes = fired_codes(&fixture("fixture.relaxed_flag_pair"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA210"]),
+        "a Relaxed-only flag leaves the plain payload unsynchronized: {codes:?}"
+    );
+}
+
+#[test]
+fn every_fixture_has_a_clean_catalog_counterpart() {
+    // The fixtures prove the checker catches the bug; the catalog
+    // proves the shipped protocol does not have it. Both halves are
+    // needed, per SA code.
+    let fixture_codes: BTreeSet<&str> = negative_fixtures().iter().map(|s| s.code).collect();
+    let catalog_codes: BTreeSet<&str> = catalog().iter().map(|s| s.code).collect();
+    for code in &fixture_codes {
+        assert!(
+            catalog_codes.contains(code),
+            "fixture code {code} has no clean catalog machine"
+        );
+    }
+}
+
+#[test]
+fn shipped_protocols_stay_silent() {
+    for spec in catalog() {
+        let codes = fired_codes(&spec);
+        assert!(
+            codes.is_empty(),
+            "{} fired {codes:?} — the shipped protocol must be clean",
+            spec.name
+        );
+    }
+}

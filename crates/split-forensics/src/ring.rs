@@ -14,6 +14,18 @@
 //! only, so a torn *slot* is impossible by construction and a torn
 //! *record* (fields from two different writes) is rejected by the stamp
 //! check.
+//!
+//! **Certified under weak memory.** The exact stamp/fence protocol
+//! below — orderings included — is modeled by `split-analyze`'s
+//! weak-memory checker (DESIGN.md §14) as the
+//! `forensics.flightring.seqlock` (SA205, torn record) and
+//! `forensics.flightring.cut` (SA206, inconsistent cut) machines, and
+//! every execution reachable under C11 release/acquire semantics is
+//! explored via DPOR. Two negative fixtures keep the certification
+//! honest: deleting the writer's release fence fires exactly SA205,
+//! and swapping the odd/even stamp order fires exactly SA206 — so if
+//! you change this protocol, change the model with it or CI's
+//! `analyze` job will tell you which bug you just reintroduced.
 
 use serde::{Deserialize, Serialize};
 use split_telemetry::Event;
@@ -280,7 +292,9 @@ impl FlightRing {
 
     /// Append one record. Lock-free: one `fetch_add` claims a sequence
     /// number, then the slot is published through its seqlock stamp.
-    /// When the ring is full the oldest slot is overwritten.
+    /// When the ring is full the oldest slot is overwritten. The store
+    /// orderings here are load-bearing and model-checked (SA205 —
+    /// see the module docs); don't touch one without the other.
     pub fn record(&self, t_us: f64, req: u64, kind: FlightKind, a: u64, b: u64) {
         let seq = self.head.fetch_add(1, Ordering::Relaxed);
         let slot = &self.slots[(seq & self.mask) as usize];

@@ -9,6 +9,16 @@
 //! relative error per bucket), with exact tracking of count, sum, and
 //! max. Quantiles are read from the bucket boundaries and clamped to
 //! the exact max, so `p99 <= max` always holds.
+//!
+//! The lock-free paths are model-checked under weak memory by
+//! `split-analyze` (DESIGN.md §14): the `telemetry.counter` and
+//! `telemetry.histogram.record` machines certify linearizability of
+//! the relaxed RMWs (SA201), `telemetry.snapshot` certifies a reader
+//! never observes a counter move backwards (SA202), and
+//! `telemetry.histogram.merge` certifies merge order-independence
+//! (SA203) — all at the `Relaxed` orderings used here, where stale
+//! reads are part of the explored state space rather than an accident
+//! of the host's coherence.
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;

@@ -43,10 +43,16 @@ commands:
                                        alert, write the incident bundle to FILE
   dot <model> [--blocks N]             emit Graphviz DOT (split into N blocks)
   analyze [--all] [--deny-warnings]    statically verify plans, schedules, and
-          [--json] [--requests N]      telemetry (DESIGN.md \u{a7}9); --all covers
-          [--bundle FILE]              every zoo model, --json emits machine-
-                                       readable diagnostics; --bundle verifies
-                                       one incident bundle (SA4xx) instead
+          [--json] [--requests N]      the lock-free hot paths (weak-memory
+          [--only SAxxx[,SAyyy]]       model checking; DESIGN.md \u{a7}9/\u{a7}14);
+          [--mc-budget N]              --all covers every zoo model, --only
+          [--mc-wall-ms MS]            runs just the stages/machines for the
+          [--bundle FILE]              listed SA codes, --mc-* bound the
+                                       per-machine exploration (SA200 on
+                                       exhaustion), --json emits diagnostics
+                                       plus per-machine explored/pruned counts;
+                                       --bundle verifies one incident bundle
+                                       (SA4xx) instead
   forensics <bundle.json> [--json]     render an incident bundle: alert, queue
             [--perfetto FILE]          context, outliers, root-cause verdict;
             [--check]                  --perfetto re-exports the captured span
@@ -341,7 +347,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--all" | "--deny-warnings" | "--json" => i += 1,
-            "--requests" | "--bundle" => i += 2,
+            "--requests" | "--bundle" | "--only" | "--mc-budget" | "--mc-wall-ms" => i += 2,
             other => return Err(format!("analyze: unknown option {other:?}")),
         }
     }
@@ -374,16 +380,53 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     if let Some(n) = opt(args, "--requests")? {
         cfg.requests = n.parse().map_err(|_| "bad --requests")?;
     }
+    if let Some(codes) = opt(args, "--only")? {
+        let codes: Vec<String> = codes
+            .split(',')
+            .map(|c| c.trim().to_ascii_uppercase())
+            .filter(|c| !c.is_empty())
+            .collect();
+        for c in &codes {
+            if !c.starts_with("SA") || c.len() != 5 || !c[2..].bytes().all(|b| b.is_ascii_digit()) {
+                return Err(format!("bad --only code {c:?} (expected SAxxx)"));
+            }
+        }
+        if codes.is_empty() {
+            return Err("--only needs at least one SA code".into());
+        }
+        cfg.only = Some(codes);
+    }
+    if let Some(n) = opt(args, "--mc-budget")? {
+        cfg.mc_budget.max_transitions = n.parse().map_err(|_| "bad --mc-budget")?;
+    }
+    if let Some(ms) = opt(args, "--mc-wall-ms")? {
+        cfg.mc_budget.wall_ms = ms.parse().map_err(|_| "bad --mc-wall-ms")?;
+    }
 
     let out = run_suite(&cfg);
     let merged = out.merged();
     if json {
-        println!("{}", merged.render_json());
+        println!("{}", out.render_json());
     } else {
         eprintln!(
-            "analyzed {} plan(s), {} schedule(s), {} bundle(s), {} interleavings",
+            "analyzed {} plan(s), {} schedule(s), {} bundle(s), {} model-checked execution(s)",
             out.plans_checked, out.schedules_checked, out.bundles_checked, out.interleavings
         );
+        for s in &out.machine_stats {
+            eprintln!(
+                "  model {}: {} executions, {} transitions, {} sleep-set prunes, {} ms{}",
+                s.name,
+                s.executions,
+                s.transitions,
+                s.sleep_prunes,
+                s.wall_ms,
+                if s.budget_exceeded {
+                    " [BUDGET EXCEEDED]"
+                } else {
+                    ""
+                }
+            );
+        }
         for (section, report) in [
             ("plans", &out.plan_report),
             ("schedules", &out.schedule_report),

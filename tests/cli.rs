@@ -114,13 +114,68 @@ fn analyze_is_clean_and_exits_zero() {
     assert!(err.contains("schedules: clean"), "{err}");
     assert!(err.contains("determinism: clean"), "{err}");
     assert!(err.contains("attribution: clean"), "{err}");
+    // Per-machine model-checking counts belong in the job log.
+    assert!(err.contains("model forensics.flightring.seqlock:"), "{err}");
+    assert!(err.contains("sleep-set prunes"), "{err}");
 }
 
 #[test]
-fn analyze_json_emits_empty_diagnostic_array() {
+fn analyze_json_emits_diagnostics_and_machine_counts() {
     let out = cli(&["analyze", "--json", "--requests", "60"]);
     assert!(out.status.success());
-    assert_eq!(stdout(&out).trim(), "[]");
+    let text = stdout(&out);
+    assert!(text.contains("\"diagnostics\": []"), "{text}");
+    for needle in [
+        "\"machines\"",
+        "\"profiler.cache\"",
+        "\"forensics.flightring.seqlock\"",
+        "\"executions\"",
+        "\"transitions\"",
+        "\"sleep_prunes\"",
+        "\"budget_exceeded\": false",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in:\n{text}");
+    }
+}
+
+#[test]
+fn analyze_only_runs_a_single_machine() {
+    let out = cli(&["analyze", "--only", "sa205", "--deny-warnings"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("analyzed 0 plan(s), 0 schedule(s)"), "{err}");
+    assert!(err.contains("model forensics.flightring.seqlock:"), "{err}");
+    assert!(!err.contains("model telemetry.counter:"), "{err}");
+
+    let out = cli(&["analyze", "--only", "SA999x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --only"));
+}
+
+#[test]
+fn analyze_budget_gate_fires_sa200() {
+    // A one-transition ceiling cannot cover any machine: every model
+    // must report SA200 and --deny-warnings must fail the run.
+    let out = cli(&[
+        "analyze",
+        "--only",
+        "SA205",
+        "--mc-budget",
+        "1",
+        "--deny-warnings",
+    ]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("SA200"), "{text}");
+    assert!(text.contains("budget exhausted"), "{text}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("[BUDGET EXCEEDED]"),
+        "the job log must flag the exploded machine"
+    );
 }
 
 #[test]
