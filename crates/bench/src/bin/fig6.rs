@@ -71,6 +71,7 @@ fn main() {
                         h.count().to_string(),
                         h.quantile(0.50).to_string(),
                         h.quantile(0.99).to_string(),
+                        h.quantile(0.999).to_string(),
                         h.max().to_string(),
                     ]);
                     if sc.index == 3 {
@@ -115,7 +116,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["scenario", "decisions", "p50 (ns)", "p99 (ns)", "max (ns)"],
+            &[
+                "scenario",
+                "decisions",
+                "p50 (ns)",
+                "p99 (ns)",
+                "p999 (ns)",
+                "max (ns)",
+            ],
             &decision_rows
         )
     );

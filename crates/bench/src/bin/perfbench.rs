@@ -15,7 +15,11 @@
 //! * `simulate/<policy>` — one full `sched::simulate` of the Figure 6
 //!   scenario-3 workload per serving policy;
 //! * `telemetry/*` — deriving the metrics registry + snapshot from a
-//!   lifecycle recording, and critical-path attribution over it.
+//!   lifecycle recording, and critical-path attribution over it;
+//! * `sketch/*`, `window/rotate`, `drift/replay` — the drift-watch hot
+//!   paths: quantile-sketch insert and merge, window-ring rotation, and
+//!   replaying a full schedule through the windowed detectors (gated at
+//!   ≤ 5% of simulate/SPLIT p50 in `--check` mode).
 //!
 //! Every entry runs `iters/5` (min 1) untimed warmup iterations, then
 //! ≥ 5 timed ones, and reports `{name, p50_ns, mean_ns, iters}` plus
@@ -52,6 +56,13 @@ const FLIGHT_ITERS: usize = 101;
 /// simulation with the ring off (the tentpole's "measured overhead
 /// budget").
 const FLIGHT_OVERHEAD_LIMIT: f64 = 0.05;
+/// Ceiling on the live drift-recording cost: the per-request observe
+/// pair (arrival + judged completion) the serving threads pay must stay
+/// ≤ 5% of simulate/SPLIT's per-request p50, so always-on drift
+/// recording never becomes the serving path's bottleneck. (The full
+/// `drift/replay` projection is an offline analysis and is tracked as a
+/// trend entry, not gated against simulate.)
+const DRIFT_OVERHEAD_LIMIT: f64 = 0.05;
 
 struct Entry {
     name: String,
@@ -215,13 +226,16 @@ fn main() {
     let deployment = experiment::paper_deployment(&dev);
     let workload = RequestTrace::generate(Scenario::table2(3), &experiment::PAPER_MODEL_NAMES);
     let requests = workload.arrivals.len() as u64;
+    let mut simulate_split_p50 = 0u64;
     for policy in Policy::all_default() {
-        entries.push(
-            time(format!("simulate/{}", policy.name()), ITERS, || {
-                simulate(&policy, &workload.arrivals, deployment.table())
-            })
-            .with_items(requests),
-        );
+        let e = time(format!("simulate/{}", policy.name()), ITERS, || {
+            simulate(&policy, &workload.arrivals, deployment.table())
+        })
+        .with_items(requests);
+        if matches!(policy, Policy::Split(_)) {
+            simulate_split_p50 = e.p50_ns;
+        }
+        entries.push(e);
     }
 
     // --- Forensics: the flight recorder's overhead on the full serving
@@ -313,6 +327,113 @@ fn main() {
     entries.push(time("telemetry/attribution", FAST_ITERS, || {
         result.attribution()
     }));
+
+    // --- Drift watch: the sketch and window hot paths, plus the full
+    // drift projection's cost relative to the simulate it watches. ---
+    {
+        use split_repro::split_telemetry::sketch::QuantileSketch;
+        use split_repro::split_watch::{WatchCfg, WindowRing};
+        // Deterministic sample stream (xorshift64*): same values every
+        // run, so entries are comparable across runs.
+        let mut state = 0x5EED_1234_ABCDu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 1_000_000
+        };
+        let samples: Vec<u64> = (0..65_536).map(|_| next()).collect();
+        entries.push(
+            time("sketch/insert", FAST_ITERS, || {
+                let mut s = QuantileSketch::default();
+                for &v in &samples {
+                    s.record(v);
+                }
+                s
+            })
+            .with_items(samples.len() as u64),
+        );
+        let shards: Vec<QuantileSketch> = samples
+            .chunks(1_024)
+            .map(|c| {
+                let mut s = QuantileSketch::default();
+                for &v in c {
+                    s.record(v);
+                }
+                s
+            })
+            .collect();
+        entries.push(
+            time("sketch/merge", FAST_ITERS, || {
+                let mut out = QuantileSketch::default();
+                for s in &shards {
+                    out.merge(s);
+                }
+                out
+            })
+            .with_items(shards.len() as u64),
+        );
+        // 256 windows × 4 observations each; the entry times the whole
+        // feed, the per-item figure is the cost of one rotation.
+        let windows = 256u64;
+        entries.push(
+            time("window/rotate", FAST_ITERS, || {
+                let mut ring = WindowRing::new(1_000.0, 64, 0.01);
+                for w in 0..windows {
+                    for i in 0..4u64 {
+                        let t = w as f64 * 1_000.0 + 1.0 + i as f64 * 200.0;
+                        ring.observe_arrival(t, "m");
+                        ring.observe_completion(t, "m", 2_000.0, false);
+                    }
+                }
+                ring.finalize()
+            })
+            .with_items(windows),
+        );
+        // The live recording path: what a serving thread pays per
+        // request (one arrival + one judged completion) with the model
+        // mix the paper serves. One huge window isolates the record
+        // cost; rotation is amortized and timed by window/rotate.
+        let record_pairs = 4_096u64;
+        let record = time("drift/record", FAST_ITERS, || {
+            let mut ring = WindowRing::new(1e12, 64, 0.01);
+            for i in 0..record_pairs {
+                let model = experiment::PAPER_MODEL_NAMES
+                    [(i % experiment::PAPER_MODEL_NAMES.len() as u64) as usize];
+                let t = i as f64 * 10.0;
+                ring.observe_arrival(t, model);
+                ring.observe_completion(
+                    t + 5.0,
+                    model,
+                    2_000.0 + (i % 7) as f64 * 900.0,
+                    i % 9 == 0,
+                );
+            }
+            ring
+        })
+        .with_items(record_pairs);
+        let per_request = record.ns_per_item().unwrap_or(0.0);
+        let sim_per_request = simulate_split_p50 as f64 / requests.max(1) as f64;
+        let overhead = per_request / sim_per_request.max(1.0);
+        println!(
+            "    drift-recording cost per request: {per_request:.0} ns \
+             ({:.2}% of simulate/SPLIT per-request p50)",
+            100.0 * overhead
+        );
+        if check && overhead > DRIFT_OVERHEAD_LIMIT {
+            eprintln!(
+                "\nperf-smoke FAILED: drift recording costs {:.2}% of simulate/SPLIT \
+                 per-request p50 (limit {:.0}%)",
+                100.0 * overhead,
+                100.0 * DRIFT_OVERHEAD_LIMIT
+            );
+            std::process::exit(1);
+        }
+        entries.push(record);
+        entries.push(
+            time("drift/replay", ITERS, || result.drift(WatchCfg::default())).with_items(requests),
+        );
+    }
 
     let path = bench::results_dir().join("../BENCH_core.json");
     if check {

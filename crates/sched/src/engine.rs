@@ -129,6 +129,20 @@ impl SimResult {
     ) -> split_forensics::Investigation {
         split_forensics::investigate(&self.recorder, self.flight(), Some(&self.trace), cfg)
     }
+
+    /// Drift-watch view of this run: replay the lifecycle through a
+    /// [`split_watch::DriftWatch`] (windowed sketches + change-point
+    /// detectors) and return the finalized report. Like
+    /// [`SimResult::flight`], the projection is computed on demand from
+    /// the retained recorder, so simulation itself pays nothing for it.
+    pub fn drift(&self, cfg: split_watch::WatchCfg) -> split_watch::DriftReport {
+        let mut watch = split_watch::DriftWatch::new(cfg);
+        for e in self.recorder.events() {
+            watch.feed(e);
+        }
+        watch.finalize();
+        watch.report()
+    }
 }
 
 /// Ordering rank for events sharing a timestamp, so a merged recording

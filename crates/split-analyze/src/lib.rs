@@ -34,7 +34,12 @@
 //!   `split-forensics`: root-cause classifications reconcile with the
 //!   exact decomposition, the tail-sampling invariant holds (every
 //!   violating request captured), the flight ring reads causally, and
-//!   the verdict aggregates its outliers exactly (`SA4xx`).
+//!   the verdict aggregates its outliers exactly (`SA4xx`);
+//! * [`watch_lint`] — re-proves the drift-watch invariants: the
+//!   quantile sketch's relative-error bound against exact sorted data,
+//!   window sample conservation on a replayed schedule, sketch-merge
+//!   commutativity/associativity (bit-identical state), and detector
+//!   replay determinism (`SA5xx`).
 //!
 //! [`suite::run_suite`] runs all of these over regenerated artifacts —
 //! this is what `split-cli analyze` and the figure harnesses call. The
@@ -49,6 +54,7 @@ pub mod par_audit;
 pub mod plan_lint;
 pub mod sched_lint;
 pub mod suite;
+pub mod watch_lint;
 
 pub use diag::{Diagnostic, Report, Severity};
 pub use forensics_lint::{lint_bundle, lint_bundles};
@@ -62,3 +68,4 @@ pub use par_audit::{audit_costtable_equivalence, audit_parallel_determinism};
 pub use plan_lint::{lint_plan, PlanLintCfg};
 pub use sched_lint::{audit_determinism, lint_schedule, ScheduleLintCfg};
 pub use suite::{run_suite, SuiteCfg, SuiteOutcome};
+pub use watch_lint::lint_watch;

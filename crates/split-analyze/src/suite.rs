@@ -89,12 +89,17 @@ pub struct SuiteOutcome {
     /// Forensics-bundle findings (`SA401`–`SA404`) from the burst
     /// incident stage.
     pub forensics_report: Report,
+    /// Drift-watch findings (`SA501`–`SA504`): sketch accuracy, window
+    /// conservation, merge determinism, detector replay.
+    pub watch_report: Report,
     /// Plans linted.
     pub plans_checked: usize,
     /// Policy schedules analyzed.
     pub schedules_checked: usize,
     /// Incident bundles produced and linted by the burst stage.
     pub bundles_checked: usize,
+    /// Individual drift-watch probes run by the `SA5xx` stage.
+    pub watch_checks: usize,
     /// Executions covered by the model-checking stage, across machines.
     pub interleavings: u64,
     /// Per-machine model-checking statistics (explored/pruned counts,
@@ -150,6 +155,7 @@ impl SuiteOutcome {
             &self.interleave_report,
             &self.attribution_report,
             &self.forensics_report,
+            &self.watch_report,
         ] {
             for d in &r.diagnostics {
                 all.push(d.clone());
@@ -164,8 +170,8 @@ impl SuiteOutcome {
 /// With [`SuiteCfg::only`] set, only the stages certifying the listed
 /// SA codes run (mapped by the code's hundreds digit: `SA0xx` plans,
 /// `SA1xx` schedules/determinism, `SA2xx` model checking, `SA3xx`
-/// attribution, `SA4xx` forensics); skipped stages report clean with
-/// zero counts.
+/// attribution, `SA4xx` forensics, `SA5xx` drift watch); skipped
+/// stages report clean with zero counts.
 pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
     let dev = DeviceConfig::default();
     // Which stage families did --only select? Keyed by the hundreds
@@ -313,6 +319,18 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         forensics_report.merge(lint_bundles(&inv.bundles));
     }
 
+    // --- Drift-watch stage: re-prove the SA5xx invariants (sketch
+    // γ-bound vs exact sorted quantiles, window sample conservation on
+    // a replayed schedule, merge order-independence, detector replay
+    // determinism). ---
+    let mut watch_report = Report::new();
+    let mut watch_checks = 0usize;
+    if wants(b'5') {
+        let (r, n) = crate::watch_lint::lint_watch(cfg.scenario, cfg.requests);
+        watch_report.merge(r);
+        watch_checks = n;
+    }
+
     // --- Model-checking stage: weak-memory exploration of every
     // lock-free hot-path machine (telemetry, profile cache, flight
     // ring), DPOR-reduced, under the per-machine budget. ---
@@ -332,9 +350,11 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         interleave_report,
         attribution_report,
         forensics_report,
+        watch_report,
         plans_checked,
         schedules_checked,
         bundles_checked,
+        watch_checks,
         interleavings,
         machine_stats,
     }
@@ -376,6 +396,7 @@ mod tests {
             out.bundles_checked >= 1,
             "burst stage must produce a bundle"
         );
+        assert!(out.watch_checks > 60, "drift-watch stage must probe");
         assert_eq!(out.machine_stats.len(), crate::interleave::catalog().len());
         assert!(out.interleavings > 0);
         assert!(
@@ -396,6 +417,7 @@ mod tests {
         assert_eq!(out.plans_checked, 0);
         assert_eq!(out.schedules_checked, 0);
         assert_eq!(out.bundles_checked, 0);
+        assert_eq!(out.watch_checks, 0);
         assert_eq!(out.machine_stats.len(), 1);
         assert_eq!(out.machine_stats[0].code, "SA205");
         assert!(out.merged().is_empty(), "{}", out.merged().render_text());

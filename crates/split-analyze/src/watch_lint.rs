@@ -1,0 +1,383 @@
+//! Drift-watch lints (`SA501`–`SA504`, DESIGN.md §15).
+//!
+//! The streaming drift watch rests on four invariants, each re-proven
+//! here against freshly generated artifacts instead of trusted:
+//!
+//! * `SA501` — the quantile sketch's relative-error guarantee: for
+//!   every distribution shape and quantile probed, the sketch estimate
+//!   must be within `α` relative error of the exact sorted-data
+//!   quantile under the same rank convention (`rank = max(1, ⌈q·n⌉)`).
+//! * `SA502` — exact sample conservation: replaying a real simulation
+//!   through [`split_watch::DriftWatch`] must account for every
+//!   arrival, completion, violation, and drop — the per-window counters
+//!   re-sum to the feed totals, and the feed totals match the
+//!   schedule's own counts.
+//! * `SA503` — merge order-independence: merging the same sketches in
+//!   any order or grouping must produce bit-identical state (the
+//!   commutativity/associativity contract that makes per-window,
+//!   per-model sketches safely roll up).
+//! * `SA504` — detector replay determinism: stepping a fresh
+//!   [`split_watch::DetectorBank`] over the same window frames twice
+//!   must emit byte-identical regime events, and the surge fixture must
+//!   actually fire (a silent detector is a broken sensor).
+
+use crate::diag::{Diagnostic, Report};
+use gpu_sim::DeviceConfig;
+use model_zoo::ModelId;
+use sched::{simulate, Policy};
+use split_core::SplitPlan;
+use split_runtime::Deployment;
+use split_telemetry::sketch::QuantileSketch;
+use split_watch::{DetectCfg, DetectorBank, WatchCfg, WindowFrame, WindowRing};
+use workload::{RequestTrace, Scenario};
+
+/// SplitMix64 — the deterministic sample generator for the sketch
+/// audits (no `rand` dependency; the stream is a pure function of the
+/// seed).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The distribution shapes SA501/SA503 probe: name plus a sample
+/// stream derived from the seed.
+fn sample_streams() -> Vec<(&'static str, Vec<u64>)> {
+    const N: usize = 4096;
+    let stream = |seed: u64, f: &dyn Fn(u64) -> u64| -> Vec<u64> {
+        let mut s = seed;
+        (0..N).map(|_| f(splitmix64(&mut s))).collect()
+    };
+    vec![
+        ("uniform", stream(0xA11CE, &|r| r % 1_000_000)),
+        ("heavy-tail", stream(0xB0B, &|r| (r % 4096).pow(3))),
+        (
+            "with-zeros",
+            stream(0xCAFE, &|r| if r % 10 == 0 { 0 } else { r % 50_000 }),
+        ),
+        ("constant", vec![777; N]),
+    ]
+}
+
+/// Exact `q`-quantile of a sorted multiset under the sketch's rank
+/// convention (`rank = max(1, ⌈q·n⌉)`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).max(1).min(n);
+    sorted[rank - 1]
+}
+
+/// `SA501` — sketch estimates stay within the advertised `α` relative
+/// error of exact sorted quantiles, across distribution shapes,
+/// accuracies, and probe quantiles.
+pub fn lint_sketch_accuracy() -> (Report, usize) {
+    let mut report = Report::new();
+    let mut checked = 0usize;
+    let probes = [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0];
+    for (name, samples) in sample_streams() {
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for alpha in [0.01, 0.05] {
+            let mut sketch = QuantileSketch::new(alpha);
+            for &v in &samples {
+                sketch.record(v);
+            }
+            for q in probes {
+                checked += 1;
+                let exact = exact_quantile(&sorted, q);
+                let est = sketch.quantile(q);
+                let ok = if exact == 0 {
+                    est == 0.0
+                } else {
+                    (est - exact as f64).abs() <= (alpha + 1e-9) * exact as f64
+                };
+                if !ok {
+                    report.push(
+                        Diagnostic::error(
+                            "SA501",
+                            format!("sketch(α={alpha}, {name}) q={q}"),
+                            format!(
+                                "estimate {est} strays beyond the α={alpha} relative-error \
+                                 bound from the exact quantile {exact}"
+                            ),
+                        )
+                        .with_help(
+                            "the bucket index or representative-value formula no longer \
+                             matches the DDSketch γ-bound derivation",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    (report, checked)
+}
+
+/// `SA502` — replaying a real schedule through the drift watch
+/// conserves every sample: window counters re-sum to the feed totals
+/// and the feed totals match the simulation's own counts.
+pub fn lint_window_conservation(scenario: usize, requests: usize) -> (Report, usize) {
+    let mut report = Report::new();
+    let dev = DeviceConfig::default();
+    // A vanilla short-model deployment keeps this stage GA-free (fast)
+    // while still exercising the full arrival→completion replay path.
+    let id = ModelId::GoogLeNet;
+    let graph = id.build_calibrated(&dev);
+    let mut deployment = Deployment::new();
+    deployment.deploy_plan(&SplitPlan::vanilla(&graph, &dev));
+    let mut sc = Scenario::table2(scenario);
+    sc.requests = requests;
+    let trace = RequestTrace::generate(sc, &[id.info().name]);
+    let result = simulate(
+        &Policy::Split(Default::default()),
+        &trace.arrivals,
+        deployment.table(),
+    );
+    let drift = result.drift(WatchCfg {
+        window_us: 2_000_000.0,
+        ..WatchCfg::default()
+    });
+
+    if !drift.conservation_holds() {
+        report.push(
+            Diagnostic::error(
+                "SA502",
+                "drift replay",
+                "the drift report's own conservation check failed: per-window counters \
+                 do not re-sum to the feed totals",
+            )
+            .with_help("a window rotation is dropping or double-counting samples"),
+        );
+    }
+    // Independent re-sum from the serialized rows (don't trust the
+    // report's helper to audit itself).
+    let sums = drift.windows.iter().fold((0u64, 0u64, 0u64, 0u64), |a, w| {
+        (
+            a.0 + w.total.completions,
+            a.1 + w.total.violations,
+            a.2 + w.total.arrivals,
+            a.3 + w.total.drops,
+        )
+    });
+    let fed = (
+        drift.fed.completions,
+        drift.fed.violations,
+        drift.fed.arrivals,
+        drift.fed.drops,
+    );
+    if sums != fed {
+        report.push(
+            Diagnostic::error(
+                "SA502",
+                "drift replay",
+                format!(
+                    "window totals {sums:?} (completions, violations, arrivals, drops) \
+                     disagree with feed totals {fed:?}"
+                ),
+            )
+            .with_help("a closed frame was lost between the ring and the report"),
+        );
+    }
+    if drift.fed.arrivals != trace.arrivals.len() as u64
+        || drift.fed.completions != result.completions.len() as u64
+    {
+        report.push(
+            Diagnostic::error(
+                "SA502",
+                "drift replay",
+                format!(
+                    "feed totals ({} arrivals, {} completions) disagree with the \
+                     schedule ({} arrivals, {} completions)",
+                    drift.fed.arrivals,
+                    drift.fed.completions,
+                    trace.arrivals.len(),
+                    result.completions.len(),
+                ),
+            )
+            .with_help("the lifecycle replay is skipping recorder events"),
+        );
+    }
+    (report, 3)
+}
+
+/// `SA503` — sketch merges are commutative and associative: any merge
+/// order or grouping over the same inputs yields bit-identical state.
+pub fn lint_merge_determinism() -> (Report, usize) {
+    let mut report = Report::new();
+    let mut checked = 0usize;
+    let streams = sample_streams();
+    let build = |samples: &[u64]| {
+        let mut s = QuantileSketch::new(0.01);
+        for &v in samples {
+            s.record(v);
+        }
+        s
+    };
+    let bits = |s: &QuantileSketch| serde_json::to_string(s).expect("sketch serializes");
+    let merged = |parts: &[&QuantileSketch]| {
+        let mut out = QuantileSketch::new(0.01);
+        for p in parts {
+            out.merge(p);
+        }
+        out
+    };
+
+    let a = build(&streams[0].1);
+    let b = build(&streams[1].1);
+    let c = build(&streams[2].1);
+
+    checked += 1;
+    if bits(&merged(&[&a, &b])) != bits(&merged(&[&b, &a])) {
+        report.push(
+            Diagnostic::error(
+                "SA503",
+                "sketch merge",
+                "merge is not commutative: a∪b and b∪a serialize differently",
+            )
+            .with_help("bucket accumulation must be pure integer += keyed by index"),
+        );
+    }
+    checked += 1;
+    let mut left = merged(&[&a, &b]);
+    left.merge(&c);
+    let mut right = c.clone();
+    right.merge(&b);
+    let mut outer = a.clone();
+    outer.merge(&right);
+    if bits(&left) != bits(&outer) {
+        report.push(
+            Diagnostic::error(
+                "SA503",
+                "sketch merge",
+                "merge is not associative: (a∪b)∪c and a∪(c∪b) serialize differently",
+            )
+            .with_help("bucket accumulation must be pure integer += keyed by index"),
+        );
+    }
+    // Sharding invariance: one sketch over the whole stream must equal
+    // four shard sketches merged in reverse order.
+    checked += 1;
+    let whole = build(&streams[0].1);
+    let shards: Vec<QuantileSketch> = streams[0].1.chunks(1024).map(build).collect();
+    let mut resharded = QuantileSketch::new(0.01);
+    for s in shards.iter().rev() {
+        resharded.merge(s);
+    }
+    if bits(&whole) != bits(&resharded) {
+        report.push(
+            Diagnostic::error(
+                "SA503",
+                "sketch merge",
+                "recording a stream whole and merging its shards disagree",
+            )
+            .with_help("record() and merge() must land samples in identical buckets"),
+        );
+    }
+    (report, checked)
+}
+
+/// Deterministic window-frame fixture for `SA504`: twenty calm windows
+/// then ten with an 8× arrival surge and 15× latency shift.
+fn surge_frames() -> Vec<WindowFrame> {
+    let mut ring = WindowRing::new(1_000.0, 64, 0.01);
+    let mut frames = Vec::new();
+    for k in 0..30u64 {
+        let (n, e2e) = if k < 20 { (8, 2_000.0) } else { (64, 30_000.0) };
+        for i in 0..n {
+            let t = k as f64 * 1_000.0 + 1.0 + i as f64 * 10.0;
+            frames.extend(ring.observe_arrival(t, "victim"));
+            frames.extend(ring.observe_completion(t, "victim", e2e, e2e > 8_000.0));
+        }
+    }
+    frames.extend(ring.finalize());
+    frames
+}
+
+/// `SA504` — stepping a fresh detector bank over the same frames twice
+/// emits byte-identical regime events, and the surge fixture fires.
+pub fn lint_detector_replay() -> (Report, usize) {
+    let mut report = Report::new();
+    let frames = surge_frames();
+    let run = || {
+        let mut bank = DetectorBank::new(DetectCfg::default());
+        let events: Vec<_> = frames.iter().flat_map(|f| bank.step(f)).collect();
+        serde_json::to_string(&events).expect("events serialize")
+    };
+    let first = run();
+    let second = run();
+    if first != second {
+        report.push(
+            Diagnostic::error(
+                "SA504",
+                "detector replay",
+                "two replays of the same window frames emitted different regime events",
+            )
+            .with_help(
+                "detector state must be a pure fold over the frame series — no \
+                 ambient randomness, time, or iteration-order dependence",
+            ),
+        );
+    }
+    if first == "[]" {
+        report.push(
+            Diagnostic::error(
+                "SA504",
+                "detector replay",
+                "the 8× surge fixture fired no regime event, so replay determinism \
+                 could not be meaningfully verified",
+            )
+            .with_help("detector thresholds or warmup drifted; the sensor is silent"),
+        );
+    }
+    (report, 2)
+}
+
+/// Run every drift-watch lint; returns the merged report and the number
+/// of individual checks performed (surfaced by `analyze` logs).
+pub fn lint_watch(scenario: usize, requests: usize) -> (Report, usize) {
+    let mut report = Report::new();
+    let mut checked = 0usize;
+    for (r, n) in [
+        lint_sketch_accuracy(),
+        lint_window_conservation(scenario, requests),
+        lint_merge_determinism(),
+        lint_detector_replay(),
+    ] {
+        report.merge(r);
+        checked += n;
+    }
+    (report, checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_watch_lints_are_clean() {
+        let (report, checked) = lint_watch(3, 80);
+        assert_eq!(report.error_count(), 0, "{}", report.render_text());
+        assert_eq!(report.warning_count(), 0, "{}", report.render_text());
+        assert!(checked > 60, "expected many probes, got {checked}");
+    }
+
+    #[test]
+    fn surge_fixture_is_potent() {
+        let frames = surge_frames();
+        assert!(frames.len() >= 30);
+        let mut bank = DetectorBank::new(DetectCfg::default());
+        let events: Vec<_> = frames.iter().flat_map(|f| bank.step(f)).collect();
+        assert!(!events.is_empty(), "surge must fire at least one detector");
+    }
+
+    #[test]
+    fn exact_quantile_uses_sketch_rank_convention() {
+        let sorted = [1u64, 2, 3, 4];
+        assert_eq!(exact_quantile(&sorted, 0.0), 1);
+        assert_eq!(exact_quantile(&sorted, 0.5), 2);
+        assert_eq!(exact_quantile(&sorted, 0.51), 3);
+        assert_eq!(exact_quantile(&sorted, 1.0), 4);
+    }
+}

@@ -486,6 +486,8 @@ mod tests {
                 resolved_at_us: Some(20.0),
                 fast_burn_at_fire: 2.0,
                 slow_burn_at_fire: 1.5,
+                source: Default::default(),
+                detail: String::new(),
             },
             alpha: 4.0,
             objective: 0.10,

@@ -46,6 +46,15 @@ pub struct Frame {
     pub alert_active: bool,
     /// Total alerts fired since monitoring began.
     pub alerts_fired: usize,
+    /// Drift-watch windows closed so far (absent in old frames → 0).
+    #[serde(default)]
+    pub drift_windows: u64,
+    /// Regime-shift events detected so far.
+    #[serde(default)]
+    pub regime_events: usize,
+    /// Rendered line of the most recent regime event, if any.
+    #[serde(default)]
+    pub last_regime: Option<String>,
 }
 
 const WIDTH: usize = 62;
@@ -135,6 +144,22 @@ pub fn render_frame(f: &Frame) -> String {
             }
         ),
     );
+    line(
+        &mut out,
+        &format!(
+            "drift  windows {:>4}   regime events {:>3}   {}",
+            f.drift_windows,
+            f.regime_events,
+            if f.regime_events > 0 {
+                "** SHIFT **"
+            } else {
+                "stationary"
+            }
+        ),
+    );
+    if let Some(last) = &f.last_regime {
+        line(&mut out, &format!("  last: {last}"));
+    }
     out.push_str(&hr);
     out
 }
@@ -195,6 +220,9 @@ mod tests {
             violation_rate: 0.075,
             alert_active: true,
             alerts_fired: 3,
+            drift_windows: 12,
+            regime_events: 2,
+            last_regime: Some("w6 yolov2 latency_p99 cusum 9000 vs 2000".into()),
         }
     }
 
@@ -212,6 +240,10 @@ mod tests {
             "burn",
             "ALERT ACTIVE",
             "alerts fired   3",
+            "drift  windows   12",
+            "regime events   2",
+            "** SHIFT **",
+            "last: w6 yolov2",
         ] {
             assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
         }
@@ -230,12 +262,16 @@ mod tests {
         let f = Frame {
             models: vec![],
             alert_active: false,
+            regime_events: 0,
+            last_regime: None,
             ..frame()
         };
         let s = render_frame(&f);
         assert!(s.contains("(no completions yet)"));
         assert!(s.contains("ok"));
         assert!(!s.contains("ALERT ACTIVE"));
+        assert!(s.contains("stationary"));
+        assert!(!s.contains("last:"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 use crate::dashboard::{render_frame, Frame, ModelLatencyRow};
 use crate::slo::{SloCfg, SloMonitor};
 use split_telemetry::{Event, Recorder, Registry};
+use split_watch::{DriftWatch, WatchCfg};
 use std::collections::HashMap;
 
 /// Monitor configuration.
@@ -23,6 +24,9 @@ use std::collections::HashMap;
 pub struct MonitorCfg {
     /// SLO / burn-rate alert settings (α lives inside).
     pub slo: SloCfg,
+    /// Drift-watch settings (window width, sketch accuracy, detector
+    /// tuning).
+    pub drift: WatchCfg,
 }
 
 #[derive(Debug, Default)]
@@ -39,15 +43,21 @@ struct InFlight {
 pub struct Monitor {
     registry: Registry,
     slo: SloMonitor,
+    drift: DriftWatch,
     inflight: HashMap<u64, InFlight>,
 }
 
 impl Monitor {
-    /// New monitor with the given configuration.
+    /// New monitor with the given configuration. The drift watch's α
+    /// is forced to the SLO α so both layers judge violations
+    /// identically.
     pub fn new(cfg: MonitorCfg) -> Self {
+        let mut drift_cfg = cfg.drift;
+        drift_cfg.alpha = cfg.slo.alpha;
         Monitor {
             registry: Registry::new(),
             slo: SloMonitor::new(cfg.slo),
+            drift: DriftWatch::new(drift_cfg),
             inflight: HashMap::new(),
         }
     }
@@ -60,6 +70,11 @@ impl Monitor {
     /// The SLO / burn-rate monitor.
     pub fn slo(&self) -> &SloMonitor {
         &self.slo
+    }
+
+    /// The drift watch (windowed sketches + change-point detectors).
+    pub fn drift(&self) -> &DriftWatch {
+        &self.drift
     }
 
     /// Consume one lifecycle event.
@@ -134,6 +149,10 @@ impl Monitor {
             }
             Event::Enqueue { .. } | Event::Mark { .. } => {}
         }
+        self.drift.feed(e);
+        for ev in self.drift.drain_events() {
+            self.slo.observe_regime(&ev);
+        }
         self.slo.advance(e.t_us());
     }
 
@@ -178,6 +197,9 @@ impl Monitor {
             violation_rate: self.slo.window_rate(self.slo.cfg().slow_window_us),
             alert_active: self.slo.alert_active(),
             alerts_fired: self.slo.log().fired(),
+            drift_windows: self.drift.ring().closed_count(),
+            regime_events: self.drift.events().len(),
+            last_regime: self.drift.events().last().map(|e| e.render()),
         }
     }
 
@@ -214,6 +236,51 @@ impl Monitor {
         out.push_str(&format!(
             "split_slo_alerts_fired {}\n",
             self.slo.log().fired()
+        ));
+        // Drift-watch families: windowed latency quantiles from the most
+        // recently closed window, plus regime-shift state.
+        if let Some(frame) = self.drift.ring().latest() {
+            let mut quantiles = String::new();
+            let mut completions = String::new();
+            for (model, stats) in &frame.models {
+                for (q, v) in [
+                    ("0.5", stats.sketch.p50()),
+                    ("0.99", stats.sketch.p99()),
+                    ("0.999", stats.sketch.p999()),
+                ] {
+                    quantiles.push_str(&format!(
+                        "split_watch_window_e2e_us{{model=\"{model}\",quantile=\"{q}\"}} {v}\n"
+                    ));
+                }
+                completions.push_str(&format!(
+                    "split_watch_window_completions{{model=\"{model}\"}} {}\n",
+                    stats.completions
+                ));
+            }
+            out.push_str(
+                "# HELP split_watch_window_e2e_us Windowed e2e latency quantiles (last closed window).\n",
+            );
+            out.push_str("# TYPE split_watch_window_e2e_us gauge\n");
+            out.push_str(&quantiles);
+            out.push_str(
+                "# HELP split_watch_window_completions Completions in the last closed window.\n",
+            );
+            out.push_str("# TYPE split_watch_window_completions gauge\n");
+            out.push_str(&completions);
+        }
+        out.push_str("# HELP split_watch_windows_closed Drift-watch windows closed since start.\n");
+        out.push_str("# TYPE split_watch_windows_closed counter\n");
+        out.push_str(&format!(
+            "split_watch_windows_closed {}\n",
+            self.drift.ring().closed_count()
+        ));
+        out.push_str(
+            "# HELP split_watch_regime_events Regime-shift events detected since start.\n",
+        );
+        out.push_str("# TYPE split_watch_regime_events counter\n");
+        out.push_str(&format!(
+            "split_watch_regime_events {}\n",
+            self.drift.events().len()
         ));
         out
     }
@@ -306,6 +373,11 @@ mod tests {
         assert!(p.contains("# HELP split_slo_fast_burn "));
         assert!(p.contains("split_slo_fast_burn"));
         assert!(p.contains("split_slo_alert_active 0"));
+        // Drift counters are always present; the windowed family only
+        // appears once a window has closed (none has at t=150 µs).
+        assert!(p.contains("split_watch_windows_closed 0"));
+        assert!(p.contains("split_watch_regime_events 0"));
+        assert!(!p.contains("split_watch_window_e2e_us{"));
         // Every TYPE header is preceded by its HELP line.
         let lines: Vec<&str> = p.lines().collect();
         for (i, l) in lines.iter().enumerate() {
@@ -317,6 +389,68 @@ mod tests {
                 );
             }
         }
+    }
+
+    fn drifty_cfg() -> MonitorCfg {
+        MonitorCfg {
+            drift: WatchCfg {
+                window_us: 1_000.0,
+                ..WatchCfg::default()
+            },
+            ..MonitorCfg::default()
+        }
+    }
+
+    #[test]
+    fn windowed_families_appear_after_first_rotation() {
+        let mut m = Monitor::new(drifty_cfg());
+        request(&mut m, 0, "resnet50", 0.0, 100.0, 150.0);
+        request(&mut m, 1, "resnet50", 1_500.0, 100.0, 1_600.0);
+        // The second completion (t=1600) closes window 0.
+        let p = m.prometheus();
+        assert!(p.contains("split_watch_window_e2e_us{model=\"resnet50\",quantile=\"0.5\"}"));
+        assert!(p.contains("split_watch_window_e2e_us{model=\"resnet50\",quantile=\"0.999\"}"));
+        assert!(p.contains("split_watch_window_completions{model=\"resnet50\"} 1"));
+        assert!(p.contains("split_watch_windows_closed 1"));
+        let lines: Vec<&str> = p.lines().collect();
+        for (i, l) in lines.iter().enumerate() {
+            if let Some(rest) = l.strip_prefix("# TYPE ") {
+                let fam = rest.split_whitespace().next().unwrap();
+                assert!(
+                    i > 0 && lines[i - 1].starts_with(&format!("# HELP {fam} ")),
+                    "TYPE without preceding HELP for {fam}"
+                );
+            }
+        }
+        let f = m.frame();
+        assert_eq!(f.drift_windows, 1);
+    }
+
+    #[test]
+    fn arrival_surge_raises_regime_alerts() {
+        let mut m = Monitor::new(drifty_cfg());
+        let mut req = 0u64;
+        // 15 calm windows then a sustained 10× arrival surge; every
+        // request completes compliantly so only the arrival-rate series
+        // can fire.
+        for k in 0..30u64 {
+            let n = if k < 15 { 4 } else { 40 };
+            for i in 0..n {
+                let t = k as f64 * 1_000.0 + 1.0 + i as f64 * 10.0;
+                request(&mut m, req, "gpt2", t, 100.0, t + 120.0);
+                req += 1;
+            }
+        }
+        let f = m.frame();
+        assert!(f.regime_events > 0, "surge must fire a detector");
+        assert!(f.last_regime.is_some());
+        // Regime events were forwarded into the alert log as resolved
+        // informational alerts, without activating burn alerting.
+        use crate::slo::AlertSource;
+        assert!(m.slo().log().fired_from(AlertSource::RegimeShift) > 0);
+        assert!(!m.slo().alert_active());
+        let p = m.prometheus();
+        assert!(!p.contains("split_watch_regime_events 0"));
     }
 
     #[test]

@@ -12,7 +12,36 @@
 //! soon as the fast window drops below its threshold. Empty windows
 //! have rate 0 and never burn.
 
+//!
+//! Besides burn-rate alerts, the log also records **regime-shift**
+//! alerts forwarded from `split-watch`'s change-point detectors via
+//! [`SloMonitor::observe_regime`]. Regime alerts are informational:
+//! they enter the log already resolved (a change-point is an instant,
+//! not a condition that persists) and never gate or resolve burn-rate
+//! alerting, which tracks its own active alert by index.
+
 use serde::{Deserialize, Serialize};
+use split_watch::RegimeEvent;
+
+/// What raised an alert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AlertSource {
+    /// Multi-window burn-rate alerting (the SLO condition proper).
+    #[default]
+    BurnRate,
+    /// A change-point detector in `split-watch` flagged a regime shift.
+    RegimeShift,
+}
+
+impl AlertSource {
+    /// Stable lowercase label for rendering and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlertSource::BurnRate => "burn_rate",
+            AlertSource::RegimeShift => "regime_shift",
+        }
+    }
+}
 
 /// SLO + alerting configuration (times in simulated µs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +84,13 @@ pub struct Alert {
     pub fast_burn_at_fire: f64,
     /// Slow-window burn rate when it fired.
     pub slow_burn_at_fire: f64,
+    /// What raised the alert (absent in old logs → burn rate).
+    #[serde(default)]
+    pub source: AlertSource,
+    /// Human-readable context (regime alerts carry the event line;
+    /// burn alerts leave it empty).
+    #[serde(default)]
+    pub detail: String,
 }
 
 /// Chronological record of every alert the monitor has raised.
@@ -70,16 +106,25 @@ impl AlertLog {
         self.alerts.len()
     }
 
-    /// Whether the latest alert is still unresolved.
+    /// Whether any alert is still unresolved. (Regime-shift alerts
+    /// enter pre-resolved, so in practice this means an active
+    /// burn-rate alert.)
     pub fn active(&self) -> bool {
-        self.alerts
-            .last()
-            .is_some_and(|a| a.resolved_at_us.is_none())
+        self.alerts.iter().any(|a| a.resolved_at_us.is_none())
+    }
+
+    /// Number of alerts from the given source.
+    pub fn fired_from(&self, source: AlertSource) -> usize {
+        self.alerts.iter().filter(|a| a.source == source).count()
     }
 
     /// One-line summary for reports, e.g. `2 fired, 1 active`.
     pub fn summary(&self) -> String {
-        let active = usize::from(self.active());
+        let active = self
+            .alerts
+            .iter()
+            .filter(|a| a.resolved_at_us.is_none())
+            .count();
         format!("{} fired, {} active", self.fired(), active)
     }
 }
@@ -92,6 +137,10 @@ pub struct SloMonitor {
     samples: Vec<(f64, bool)>,
     now_us: f64,
     log: AlertLog,
+    /// Index into `log.alerts` of the unresolved burn-rate alert, if
+    /// any. Tracked explicitly so interleaved regime-shift alerts
+    /// (already resolved) cannot confuse fire/resolve bookkeeping.
+    active_burn: Option<usize>,
 }
 
 impl SloMonitor {
@@ -102,6 +151,7 @@ impl SloMonitor {
             samples: Vec::new(),
             now_us: 0.0,
             log: AlertLog::default(),
+            active_burn: None,
         }
     }
 
@@ -178,9 +228,9 @@ impl SloMonitor {
         self.burn_rate(self.cfg.slow_window_us)
     }
 
-    /// Whether an alert is currently firing.
+    /// Whether a burn-rate alert is currently firing.
     pub fn alert_active(&self) -> bool {
-        self.log.active()
+        self.active_burn.is_some()
     }
 
     /// The alert history.
@@ -198,23 +248,39 @@ impl SloMonitor {
         }
     }
 
+    /// Record a regime-shift event from `split-watch` as an
+    /// informational alert. The alert enters the log already resolved
+    /// (a change-point is an instant, not a persistent condition) and
+    /// does not interact with burn-rate fire/resolve logic.
+    pub fn observe_regime(&mut self, event: &RegimeEvent) {
+        let t = event.t_us.max(self.now_us);
+        self.log.alerts.push(Alert {
+            fired_at_us: t,
+            resolved_at_us: Some(t),
+            fast_burn_at_fire: self.fast_burn(),
+            slow_burn_at_fire: self.slow_burn(),
+            source: AlertSource::RegimeShift,
+            detail: event.render(),
+        });
+    }
+
     fn evaluate(&mut self) {
         let fast = self.fast_burn();
         let slow = self.slow_burn();
-        if self.log.active() {
+        if let Some(i) = self.active_burn {
             if fast < self.cfg.fast_burn {
-                self.log
-                    .alerts
-                    .last_mut()
-                    .expect("active implies non-empty")
-                    .resolved_at_us = Some(self.now_us);
+                self.log.alerts[i].resolved_at_us = Some(self.now_us);
+                self.active_burn = None;
             }
         } else if fast >= self.cfg.fast_burn && slow >= self.cfg.slow_burn {
+            self.active_burn = Some(self.log.alerts.len());
             self.log.alerts.push(Alert {
                 fired_at_us: self.now_us,
                 resolved_at_us: None,
                 fast_burn_at_fire: fast,
                 slow_burn_at_fire: slow,
+                source: AlertSource::BurnRate,
+                detail: String::new(),
             });
         }
     }
@@ -387,6 +453,53 @@ mod tests {
         // And an empty monitor stays quiet forever after.
         m.advance(2_000_000.0);
         assert_eq!(m.log().fired(), 1);
+    }
+
+    fn regime_event(t_us: f64) -> RegimeEvent {
+        RegimeEvent {
+            window: 7,
+            t_us,
+            model: "yolov2".into(),
+            metric: split_watch::WatchMetric::LatencyP99,
+            detector: split_watch::DetectorKind::Cusum,
+            value: 9_000.0,
+            baseline: 2_000.0,
+            stat: 12.0,
+            threshold: 8.0,
+            culprit: None,
+        }
+    }
+
+    #[test]
+    fn regime_alerts_are_informational_and_do_not_gate_burn_alerts() {
+        let mut m = SloMonitor::new(cfg());
+        m.observe(0.0, true); // burn alert fires
+        assert!(m.alert_active());
+        // A regime shift lands while the burn alert is active; it enters
+        // pre-resolved and must not hijack the burn alert's resolution.
+        m.observe_regime(&regime_event(50.0));
+        assert_eq!(m.log().fired(), 2);
+        assert!(m.alert_active(), "burn alert still active");
+        m.advance(200.0);
+        assert!(!m.alert_active());
+        // The burn alert (index 0) resolved, not the regime alert.
+        assert_eq!(m.log().alerts[0].resolved_at_us, Some(200.0));
+        assert_eq!(m.log().alerts[1].source, AlertSource::RegimeShift);
+        assert_eq!(m.log().alerts[1].resolved_at_us, Some(50.0));
+        assert!(m.log().alerts[1].detail.contains("yolov2"));
+        assert_eq!(m.log().fired_from(AlertSource::BurnRate), 1);
+        assert_eq!(m.log().fired_from(AlertSource::RegimeShift), 1);
+    }
+
+    #[test]
+    fn regime_alert_timestamps_clamp_to_monitor_time() {
+        let mut m = SloMonitor::new(cfg());
+        m.advance(500.0);
+        m.observe_regime(&regime_event(100.0)); // stale event time
+        let a = &m.log().alerts[0];
+        assert_eq!(a.fired_at_us, 500.0);
+        assert_eq!(a.resolved_at_us, Some(500.0));
+        assert_eq!(m.log().summary(), "1 fired, 0 active");
     }
 
     #[test]

@@ -24,6 +24,7 @@ use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
 use split_forensics::{FlightKind, FlightRing, FlightSnapshot, ForensicsCfg, IncidentBundle};
 use split_obs::{AlertLog, SloCfg, SloMonitor};
 use split_telemetry::{Event, Recorder, RecorderMode, SharedRecorder};
+use split_watch::{DriftReport, DriftWatch, WatchCfg};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Instant;
@@ -89,6 +90,11 @@ struct Shared {
     /// observable live via [`Server::alerts`] and in the shutdown
     /// report.
     slo: Mutex<SloMonitor>,
+    /// Streaming drift watch, fed live by both threads (arrivals on the
+    /// responder, judged completions and downgrades on the executor /
+    /// responder). Regime events it emits are forwarded into the SLO
+    /// alert log as informational alerts.
+    drift: Mutex<DriftWatch>,
     /// Always-on flight recorder: every causal event both threads emit
     /// also lands here as a compact lock-free record (`None` when
     /// disabled via `SPLIT_FLIGHT=0`).
@@ -170,6 +176,9 @@ pub struct ShutdownReport {
     /// 99th-percentile decision latency, nanoseconds
     /// (bucket-approximate).
     pub p99_decision_ns: u64,
+    /// 99.9th-percentile decision latency, nanoseconds
+    /// (bucket-approximate).
+    pub p999_decision_ns: u64,
     /// The server's lifecycle recording (ring-bounded; see
     /// [`Server::telemetry`]).
     pub recorder: Recorder,
@@ -180,6 +189,9 @@ pub struct ShutdownReport {
     /// an aggregated root-cause verdict. Empty when no alert fired (or
     /// the flight recorder was disabled).
     pub incidents: Vec<IncidentBundle>,
+    /// Finalized drift-watch report: windowed latency sketches and any
+    /// regime-shift events detected while serving.
+    pub drift: DriftReport,
 }
 
 impl Server {
@@ -194,6 +206,10 @@ impl Server {
             slo: Mutex::new(SloMonitor::new(SloCfg {
                 alpha: cfg.alpha,
                 ..SloCfg::default()
+            })),
+            drift: Mutex::new(DriftWatch::new(WatchCfg {
+                alpha: cfg.alpha,
+                ..WatchCfg::default()
             })),
             flight: split_forensics::flight_enabled()
                 .then(|| FlightRing::with_capacity(split_forensics::flight_capacity())),
@@ -318,6 +334,11 @@ impl Server {
             },
             &alerts,
         );
+        let drift = {
+            let mut watch = self.shared.drift.lock();
+            watch.finalize();
+            watch.report()
+        };
         ShutdownReport {
             served: served.unwrap_or(0),
             decisions: self.shared.decisions.count(),
@@ -325,9 +346,11 @@ impl Server {
             max_decision_ns: self.shared.decisions.max_ns(),
             p50_decision_ns: self.shared.decisions.p50_ns(),
             p99_decision_ns: self.shared.decisions.p99_ns(),
+            p999_decision_ns: self.shared.decisions.p999_ns(),
             recorder,
             alerts,
             incidents,
+            drift,
         }
     }
 }
@@ -404,6 +427,14 @@ fn responder_loop(
             let id = self.next_id;
             self.next_id += 1;
             self.accepted += 1;
+
+            {
+                let mut drift = shared.drift.lock();
+                drift.observe_arrival(now, &m.name);
+                if !use_split && m.blocks_us.len() > 1 {
+                    drift.observe_drop(now, &m.name);
+                }
+            }
 
             let mut st = shared.state.lock();
             // Recorded under the state lock so event order matches
@@ -590,8 +621,20 @@ fn executor_loop(shared: &Shared) -> u64 {
             let newly_fired = {
                 let mut slo = shared.slo.lock();
                 let before = slo.log().fired();
-                slo.observe_outcome(end, end - meta.arrival_us, meta.exec_us);
-                slo.log().fired() > before
+                let e2e = end - meta.arrival_us;
+                slo.observe_outcome(end, e2e, meta.exec_us);
+                let burn_fired = slo.log().fired() > before;
+                // Feed the drift watch with the already-judged verdict
+                // (same α rule the SLO monitor just applied) and forward
+                // any regime events into the alert log. Lock order is
+                // always slo → drift.
+                let violated = meta.exec_us > 0.0 && e2e > slo.cfg().alpha * meta.exec_us;
+                let mut drift = shared.drift.lock();
+                drift.observe_completion(end, &meta.model, e2e, violated);
+                for ev in drift.drain_events() {
+                    slo.observe_regime(&ev);
+                }
+                burn_fired
             };
             if newly_fired {
                 // Freeze the pre-incident history the instant the alert
@@ -819,7 +862,8 @@ mod tests {
         let errors = report.recorder.validate();
         assert!(errors.is_empty(), "lifecycle violations: {errors:?}");
         assert!(report.p50_decision_ns <= report.p99_decision_ns);
-        assert!(report.p99_decision_ns <= report.max_decision_ns);
+        assert!(report.p99_decision_ns <= report.p999_decision_ns);
+        assert!(report.p999_decision_ns <= report.max_decision_ns);
 
         let count = |f: fn(&Event) -> bool| report.recorder.events().filter(|e| f(e)).count();
         assert_eq!(count(|e| matches!(e, Event::Arrival { .. })), 6);
@@ -937,6 +981,34 @@ mod tests {
             }
             assert!(bundle.verdict.text.contains("p99 regression"));
         }
+    }
+
+    #[test]
+    fn shutdown_report_carries_conserving_drift_watch() {
+        let server = Server::start(deployment(), config());
+        let client = server.client();
+        let rxs: Vec<_> = (0..8)
+            .map(|i| client.infer(if i % 2 == 0 { "long" } else { "short" }))
+            .collect();
+        for rx in rxs {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        let report = server.shutdown();
+        assert!(report.drift.conservation_holds(), "{:?}", report.drift.fed);
+        assert_eq!(report.drift.fed.arrivals, 8);
+        assert_eq!(report.drift.fed.completions, 8);
+        assert!(!report.drift.windows.is_empty());
+        // Per-model rows carry windowed quantiles for both models.
+        let models: std::collections::BTreeSet<_> = report
+            .drift
+            .windows
+            .iter()
+            .flat_map(|w| w.models.iter().map(|r| r.model.clone()))
+            .collect();
+        assert!(
+            models.contains("short") && models.contains("long"),
+            "{models:?}"
+        );
     }
 
     #[test]

@@ -59,6 +59,12 @@ impl DecisionStats {
         self.hist.p99()
     }
 
+    /// 99.9th-percentile decision time, nanoseconds
+    /// (bucket-approximate).
+    pub fn p999_ns(&self) -> u64 {
+        self.hist.p999()
+    }
+
     /// The underlying histogram (e.g. for merging into a registry
     /// snapshot).
     pub fn histogram(&self) -> &Histogram {
@@ -88,9 +94,10 @@ mod tests {
         for ns in 1..=1_000u64 {
             s.record(ns);
         }
-        let (p50, p99, max) = (s.p50_ns(), s.p99_ns(), s.max_ns());
+        let (p50, p99, p999, max) = (s.p50_ns(), s.p99_ns(), s.p999_ns(), s.max_ns());
         assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
-        assert!(p99 <= max, "p99 {p99} > max {max}");
+        assert!(p99 <= p999, "p99 {p99} > p999 {p999}");
+        assert!(p999 <= max, "p999 {p999} > max {max}");
         // Log-bucketed: p50 within 12.5% of the true median 500.
         assert!((p50 as f64 - 500.0).abs() <= 500.0 * 0.125, "p50 {p50}");
         assert_eq!(max, 1_000);

@@ -3,10 +3,14 @@
 //! Three layers, usable together or independently:
 //!
 //! * [`metrics`] — a lock-free registry of named counters, gauges, and
-//!   log-bucketed latency histograms (p50/p95/p99/max). Handles are
+//!   log-bucketed latency histograms (p50/p95/p99/p999/max). Handles are
 //!   `Arc`-shared and update with atomic operations, so the scheduler's
 //!   microsecond-scale hot path ([§3.4] preemption decisions) can record
 //!   without taking locks.
+//! * [`sketch`] — a mergeable DDSketch-style quantile sketch with a
+//!   proven γ-relative-error bound and a commutative/associative
+//!   `merge`, the aggregation substrate for split-watch's sliding
+//!   windows and (eventually) fleet-level quantile roll-ups.
 //! * [`lifecycle`] — a structured per-request event recorder covering the
 //!   whole serving pipeline: arrival → enqueue (with preemption
 //!   displacement) → block execution → completion, plus queue-depth and
@@ -27,6 +31,7 @@
 pub mod lifecycle;
 pub mod metrics;
 pub mod perfetto;
+pub mod sketch;
 
 pub use lifecycle::{Event, Recorder, RecorderMode, SharedRecorder};
 pub use metrics::{
@@ -35,3 +40,4 @@ pub use metrics::{
 pub use perfetto::{
     read_chrome_trace, recorder_from_trace_events, trace_events, write_chrome_trace,
 };
+pub use sketch::QuantileSketch;

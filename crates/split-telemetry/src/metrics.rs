@@ -200,21 +200,32 @@ impl Histogram {
         self.quantile(0.99)
     }
 
-    /// `(p50, p95, p99)` from a single pass over the buckets.
-    ///
-    /// Value-identical to three [`Histogram::quantile`] calls — the
-    /// targets are monotone in `q`, so one cumulative scan resolves all
-    /// three in order — but reads the 496 buckets once instead of three
-    /// times. [`Registry::snapshot`] uses this per histogram.
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// `(p50, p95, p99)` — see [`Histogram::p50_p95_p99_p999`].
     pub fn p50_p95_p99(&self) -> (u64, u64, u64) {
+        let (p50, p95, p99, _) = self.p50_p95_p99_p999();
+        (p50, p95, p99)
+    }
+
+    /// `(p50, p95, p99, p999)` from a single pass over the buckets.
+    ///
+    /// Value-identical to four [`Histogram::quantile`] calls — the
+    /// targets are monotone in `q`, so one cumulative scan resolves all
+    /// four in order — but reads the 496 buckets once instead of four
+    /// times. [`Registry::snapshot`] uses this per histogram.
+    pub fn p50_p95_p99_p999(&self) -> (u64, u64, u64, u64) {
         let n = self.count();
         if n == 0 {
-            return (0, 0, 0);
+            return (0, 0, 0, 0);
         }
-        let targets = [0.50f64, 0.95, 0.99].map(|q| ((q * n as f64).ceil() as u64).max(1));
+        let targets = [0.50f64, 0.95, 0.99, 0.999].map(|q| ((q * n as f64).ceil() as u64).max(1));
         // Pre-fill with `quantile`'s fallthrough value; any target the
         // scan satisfies gets overwritten with its bucket's value.
-        let mut out = [self.max(); 3];
+        let mut out = [self.max(); 4];
         let (min, max) = (self.min(), self.max());
         let mut cum = 0u64;
         let mut next = 0usize;
@@ -223,12 +234,12 @@ impl Histogram {
             while cum >= targets[next] {
                 out[next] = bucket_value(idx).clamp(min, max);
                 next += 1;
-                if next == 3 {
+                if next == 4 {
                     break 'scan;
                 }
             }
         }
-        (out[0], out[1], out[2])
+        (out[0], out[1], out[2], out[3])
     }
 
     /// Fold `other`'s samples into `self`.
@@ -338,6 +349,7 @@ impl Registry {
                     p50: 0,
                     p95: 0,
                     p99: 0,
+                    p999: 0,
                     max: 0,
                 },
                 Metric::Gauge(g) => MetricEntry {
@@ -349,10 +361,11 @@ impl Registry {
                     p50: 0,
                     p95: 0,
                     p99: 0,
+                    p999: 0,
                     max: 0,
                 },
                 Metric::Histogram(h) => {
-                    let (p50, p95, p99) = h.p50_p95_p99();
+                    let (p50, p95, p99, p999) = h.p50_p95_p99_p999();
                     MetricEntry {
                         name: name.clone(),
                         kind: "histogram".into(),
@@ -362,6 +375,7 @@ impl Registry {
                         p50,
                         p95,
                         p99,
+                        p999,
                         max: h.max(),
                     }
                 }
@@ -391,6 +405,10 @@ pub struct MetricEntry {
     pub p95: u64,
     /// Histogram 99th percentile.
     pub p99: u64,
+    /// Histogram 99.9th percentile. Defaults to 0 when deserializing
+    /// snapshots written before the field existed.
+    #[serde(default)]
+    pub p999: u64,
     /// Histogram exact max.
     pub max: u64,
 }
@@ -409,9 +427,9 @@ impl MetricsSnapshot {
     }
 
     /// Table header matching [`MetricsSnapshot::to_rows`].
-    pub fn header() -> [&'static str; 9] {
+    pub fn header() -> [&'static str; 10] {
         [
-            "metric", "kind", "count", "value", "mean", "p50", "p95", "p99", "max",
+            "metric", "kind", "count", "value", "mean", "p50", "p95", "p99", "p999", "max",
         ]
     }
 
@@ -435,6 +453,7 @@ impl MetricsSnapshot {
                     num(stats_on, e.p50.to_string()),
                     num(stats_on, e.p95.to_string()),
                     num(stats_on, e.p99.to_string()),
+                    num(stats_on, e.p999.to_string()),
                     num(stats_on, e.max.to_string()),
                 ]
             })
@@ -455,7 +474,7 @@ impl MetricsSnapshot {
     /// `<prefix>_<name>` with non-alphanumeric characters mapped to
     /// `_`; per-model latency series (`model.<m>.<metric>`) collapse
     /// into one labeled family (`<prefix>_model_<metric>{model="<m>"}`);
-    /// histograms become summaries (p50/p95/p99 quantiles plus
+    /// histograms become summaries (p50/p95/p99/p999 quantiles plus
     /// `_sum`/`_count`), counters and gauges map directly. Conformance:
     /// every family gets exactly one `# HELP` and one `# TYPE` line,
     /// all its samples are grouped under that header, and label values
@@ -525,7 +544,12 @@ impl MetricsSnapshot {
                     .lines
                     .push(format!("{family}{} {}", labels(None), e.value)),
                 "histogram" => {
-                    for (q, v) in [("0.5", e.p50), ("0.95", e.p95), ("0.99", e.p99)] {
+                    for (q, v) in [
+                        ("0.5", e.p50),
+                        ("0.95", e.p95),
+                        ("0.99", e.p99),
+                        ("0.999", e.p999),
+                    ] {
                         fam.lines
                             .push(format!("{family}{} {v}", labels(Some(("quantile", q)))));
                     }
@@ -678,7 +702,8 @@ mod tests {
         assert_eq!(h.count(), 10_000);
         assert!(h.p50() <= h.p95());
         assert!(h.p95() <= h.p99());
-        assert!(h.p99() <= h.max());
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
         assert_eq!(h.max(), 1_000_000);
         // p50 of uniform 100..=1_000_000 is ~500_000; allow bucket error.
         let p50 = h.p50() as f64;
@@ -703,12 +728,18 @@ mod tests {
                 h.record(*v);
             }
             assert_eq!(
-                h.p50_p95_p99(),
-                (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)),
+                h.p50_p95_p99_p999(),
+                (
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.quantile(0.999)
+                ),
                 "samples len {}",
                 samples.len()
             );
         }
+        assert_eq!(Histogram::default().p50_p95_p99_p999(), (0, 0, 0, 0));
         assert_eq!(Histogram::default().p50_p95_p99(), (0, 0, 0));
     }
 

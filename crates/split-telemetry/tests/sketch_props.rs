@@ -1,0 +1,139 @@
+//! Property tests for [`split_telemetry::QuantileSketch`]:
+//!
+//! 1. The γ-relative-error bound holds against exact sorted quantiles
+//!    over adversarial distributions — heavy-tail (cubed uniform),
+//!    constant, and bimodal — at every quantile in a fixed grid.
+//! 2. `merge` is order-independent: folding per-chunk sketches in
+//!    forward, reverse, and interleaved order yields bit-identical
+//!    state (`PartialEq` on all fields plus `f64::to_bits` on the
+//!    quantile estimates), the same contract split-analyze audits as
+//!    SA503.
+
+use proptest::prelude::*;
+use split_telemetry::QuantileSketch;
+
+const ALPHA: f64 = 0.01;
+const QUANTILE_GRID: [f64; 9] = [0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+
+/// Map raw integers into one of three adversarial sample shapes.
+fn shape_samples(shape: usize, raw: &[u64]) -> Vec<u64> {
+    match shape % 3 {
+        // Heavy tail: cube of a uniform draw spans seven orders of
+        // magnitude with most mass at the low end.
+        0 => raw.iter().map(|r| (1 + r % 2_000).pow(3)).collect(),
+        // Constant: every sample identical (σ = 0; sketches must not
+        // smear a point mass across buckets by more than α).
+        1 => {
+            let v = 1 + raw[0] % 1_000_000;
+            raw.iter().map(|_| v).collect()
+        }
+        // Bimodal: two modes three decades apart with ±10% jitter.
+        _ => raw
+            .iter()
+            .map(|r| {
+                let jitter = 90 + r % 21; // 90..=110 percent
+                if r % 2 == 0 {
+                    1_000 * jitter / 100
+                } else {
+                    1_000_000 * jitter / 100
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Exact quantile under the sketch's rank convention
+/// (`rank = max(1, ⌈q·n⌉)`).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let target = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[target - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sketch quantiles stay within the γ bound of exact sorted
+    /// quantiles for heavy-tail, constant, and bimodal sample sets.
+    #[test]
+    fn quantiles_within_gamma_bound(
+        shape in 0usize..3,
+        raw in proptest::collection::vec(0u64..u64::MAX, 1..300),
+    ) {
+        let samples = shape_samples(shape, &raw);
+        let mut sketch = QuantileSketch::new(ALPHA);
+        for &v in &samples {
+            sketch.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in QUANTILE_GRID {
+            let exact = exact_quantile(&sorted, q);
+            let est = sketch.quantile(q);
+            // ε slack for the two f64 ops (ln, divide) at bucket edges.
+            let tol = ALPHA * exact as f64 * (1.0 + 1e-9) + 1e-9;
+            prop_assert!(
+                (est - exact as f64).abs() <= tol,
+                "shape {} q {}: exact {} est {} (n={})",
+                shape, q, exact, est, samples.len()
+            );
+        }
+        prop_assert_eq!(sketch.count(), samples.len() as u64);
+        prop_assert_eq!(sketch.min(), sorted[0]);
+        prop_assert_eq!(sketch.max(), *sorted.last().unwrap());
+    }
+
+    /// Folding per-chunk sketches in any order produces bit-identical
+    /// state and bit-identical quantile estimates.
+    #[test]
+    fn merge_is_order_independent_bitwise(
+        shape in 0usize..3,
+        raw in proptest::collection::vec(0u64..u64::MAX, 8..200),
+        chunks in 2usize..6,
+    ) {
+        let samples = shape_samples(shape, &raw);
+        let chunk_len = samples.len().div_ceil(chunks);
+        let parts: Vec<QuantileSketch> = samples
+            .chunks(chunk_len)
+            .map(|c| {
+                let mut s = QuantileSketch::new(ALPHA);
+                for &v in c {
+                    s.record(v);
+                }
+                s
+            })
+            .collect();
+
+        let fold = |order: &[usize]| {
+            let mut acc = QuantileSketch::new(ALPHA);
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let forward: Vec<usize> = (0..parts.len()).collect();
+        let reverse: Vec<usize> = forward.iter().rev().copied().collect();
+        // Even indices first, then odd — a third distinct order.
+        let interleaved: Vec<usize> = forward
+            .iter()
+            .filter(|i| *i % 2 == 0)
+            .chain(forward.iter().filter(|i| *i % 2 == 1))
+            .copied()
+            .collect();
+
+        let a = fold(&forward);
+        let b = fold(&reverse);
+        let c = fold(&interleaved);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        for q in QUANTILE_GRID {
+            prop_assert_eq!(a.quantile(q).to_bits(), b.quantile(q).to_bits());
+            prop_assert_eq!(a.quantile(q).to_bits(), c.quantile(q).to_bits());
+        }
+        // And the fold agrees with recording everything into one sketch.
+        let mut whole = QuantileSketch::new(ALPHA);
+        for &v in &samples {
+            whole.record(v);
+        }
+        prop_assert_eq!(&a, &whole);
+    }
+}

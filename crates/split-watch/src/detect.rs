@@ -1,0 +1,585 @@
+//! Online change-point detectors over the windowed series.
+//!
+//! Every closed [`WindowFrame`] yields one point
+//! per tracked series — per-model (and aggregate `"*"`) windowed p99
+//! latency, violation rate, and arrival rate — and each series runs two
+//! classic sequential detectors side by side:
+//!
+//! * **CUSUM** (one-sided, positive shift): `s ← max(0, s + (x − μ −
+//!   k·σ))`, firing when `s > h·σ`. Catches both a single large jump
+//!   and a sustained small drift above the allowance `k·σ`.
+//! * **Page–Hinkley**: `m ← m + (x − μ − δ)`, `M ← min(M, m)`, firing
+//!   when `m − M > λ`. The running-minimum form makes it robust to a
+//!   slow start before the shift.
+//!
+//! The baseline `(μ, σ)` is frozen from the first `warmup` valid points
+//! of each series (population moments), with `σ` floored at
+//! `sigma_floor_frac·|μ|` and a per-metric absolute floor — five points
+//! estimate σ noisily, and an accidental tiny σ̂ would turn runner
+//! noise into false positives. **Hysteresis**: a firing detector
+//! resets its statistics, sits out `cooldown` valid points, and then
+//! re-learns its baseline from post-shift points — so a persistent
+//! shift emits one event and adapts to the new regime instead of
+//! re-firing every `cooldown` windows.
+//!
+//! The **interference-onset** detector pairs a victim model's latency
+//! shift with a culprit model's arrival-rate shift within
+//! `pair_window` windows (either order), emitting one
+//! [`DetectorKind::InterferencePair`] event per (victim, culprit) pair
+//! — the "Performance Isolation …" hazard (PAPERS.md) made observable.
+//!
+//! Everything here is pure f64 arithmetic over a deterministic series:
+//! replaying the same windows yields a bit-identical event list
+//! (SA504), at any `SPLIT_THREADS`.
+
+use crate::window::WindowFrame;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Series name for the all-models aggregate.
+pub const AGGREGATE_MODEL: &str = "*";
+
+/// Which windowed series a detector watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WatchMetric {
+    /// Windowed p99 of end-to-end latency, µs.
+    LatencyP99,
+    /// Windowed QoS-violation rate (violations ÷ completions).
+    ViolationRate,
+    /// Windowed arrival count.
+    ArrivalRate,
+}
+
+impl WatchMetric {
+    /// Stable lower-case label (Prometheus label / report text).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WatchMetric::LatencyP99 => "latency_p99",
+            WatchMetric::ViolationRate => "violation_rate",
+            WatchMetric::ArrivalRate => "arrival_rate",
+        }
+    }
+}
+
+/// Which detector produced a [`RegimeEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// One-sided CUSUM.
+    Cusum,
+    /// Page–Hinkley.
+    PageHinkley,
+    /// Victim-latency ∧ culprit-arrival pairing.
+    InterferencePair,
+}
+
+impl DetectorKind {
+    /// Stable lower-case label (Prometheus label / report text).
+    pub fn label(&self) -> &'static str {
+        match self {
+            DetectorKind::Cusum => "cusum",
+            DetectorKind::PageHinkley => "page_hinkley",
+            DetectorKind::InterferencePair => "interference",
+        }
+    }
+}
+
+/// A typed, replayable change-point event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegimeEvent {
+    /// Index of the closed window whose point triggered the event.
+    pub window: u64,
+    /// End of that window, µs (the event's logical timestamp).
+    pub t_us: f64,
+    /// Model the shifted series belongs to ([`AGGREGATE_MODEL`] for the
+    /// all-models aggregate); the *victim* for interference events.
+    pub model: String,
+    /// The shifted series.
+    pub metric: WatchMetric,
+    /// The detector that fired.
+    pub detector: DetectorKind,
+    /// The series point that triggered the firing.
+    pub value: f64,
+    /// Frozen baseline mean μ of the series.
+    pub baseline: f64,
+    /// Detector statistic at fire time (CUSUM `s` / Page–Hinkley
+    /// `m − M`; for interference, the window distance of the pairing).
+    pub stat: f64,
+    /// Threshold the statistic exceeded.
+    pub threshold: f64,
+    /// Culprit model for [`DetectorKind::InterferencePair`] events.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub culprit: Option<String>,
+}
+
+impl RegimeEvent {
+    /// One-line human rendering, e.g.
+    /// `w12 @ 130.0s  resnet50 latency_p99 cusum: 41320 vs baseline 9874`.
+    pub fn render(&self) -> String {
+        let pair = match &self.culprit {
+            Some(c) => format!(" culprit={c}"),
+            None => String::new(),
+        };
+        format!(
+            "w{} @ {:.1}s  {} {} {}: value {:.1} vs baseline {:.1} (stat {:.1} > {:.1}){}",
+            self.window,
+            self.t_us / 1e6,
+            self.model,
+            self.metric.label(),
+            self.detector.label(),
+            self.value,
+            self.baseline,
+            self.stat,
+            self.threshold,
+            pair
+        )
+    }
+}
+
+/// Detector tuning. Defaults are calibrated so the six stationary
+/// Table-2 scenarios stay silent while a flash crowd fires within a
+/// window or two of onset (pinned by `tests/drift_watch.rs` and the CI
+/// `watch` job).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectCfg {
+    /// Valid points used to freeze each series' baseline (μ, σ).
+    pub warmup: usize,
+    /// CUSUM slack multiplier `k` (in σ).
+    pub k_sigma: f64,
+    /// CUSUM firing threshold `h` (in σ).
+    pub h_sigma: f64,
+    /// Page–Hinkley slack δ (in σ).
+    pub ph_delta_sigma: f64,
+    /// Page–Hinkley firing threshold λ (in σ).
+    pub ph_lambda_sigma: f64,
+    /// σ floor as a fraction of |μ|.
+    pub sigma_floor_frac: f64,
+    /// Absolute σ floor for latency series, µs.
+    pub latency_floor_us: f64,
+    /// Absolute σ floor for violation-rate series.
+    pub violation_floor: f64,
+    /// Absolute σ floor for arrival-rate series.
+    pub arrival_floor: f64,
+    /// Valid points a fired detector stays disarmed (hysteresis).
+    pub cooldown: usize,
+    /// Minimum completions in a window for its p99 / violation rate to
+    /// count as a valid series point (sparse windows are skipped, not
+    /// zero-filled).
+    pub min_completions: u64,
+    /// Max window distance for interference (victim, culprit) pairing.
+    pub pair_window: u64,
+}
+
+impl Default for DetectCfg {
+    fn default() -> Self {
+        DetectCfg {
+            warmup: 5,
+            k_sigma: 1.0,
+            h_sigma: 8.0,
+            ph_delta_sigma: 0.5,
+            ph_lambda_sigma: 12.0,
+            sigma_floor_frac: 0.25,
+            latency_floor_us: 500.0,
+            violation_floor: 0.05,
+            arrival_floor: 2.0,
+            cooldown: 8,
+            min_completions: 5,
+            pair_window: 3,
+        }
+    }
+}
+
+/// One series' sequential-detector state.
+#[derive(Debug, Clone)]
+struct SeriesDetector {
+    /// Warmup points; baseline freezes when `warm.len() == warmup`.
+    warm: Vec<f64>,
+    mean: f64,
+    sigma: f64,
+    armed: bool,
+    cusum: f64,
+    ph_m: f64,
+    ph_min: f64,
+    cooldown_left: usize,
+}
+
+impl SeriesDetector {
+    fn new() -> Self {
+        SeriesDetector {
+            warm: Vec::new(),
+            mean: 0.0,
+            sigma: 0.0,
+            armed: false,
+            cusum: 0.0,
+            ph_m: 0.0,
+            ph_min: 0.0,
+            cooldown_left: 0,
+        }
+    }
+
+    /// Feed one valid point; report `(detector, stat, threshold)` for
+    /// every detector that fired on it.
+    fn step(
+        &mut self,
+        x: f64,
+        cfg: &DetectCfg,
+        metric: WatchMetric,
+    ) -> Vec<(DetectorKind, f64, f64)> {
+        if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            return Vec::new();
+        }
+        if !self.armed {
+            self.warm.push(x);
+            if self.warm.len() >= cfg.warmup {
+                let n = self.warm.len() as f64;
+                let mean = self.warm.iter().sum::<f64>() / n;
+                let var = self
+                    .warm
+                    .iter()
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f64>()
+                    / n;
+                let floor_abs = match metric {
+                    WatchMetric::LatencyP99 => cfg.latency_floor_us,
+                    WatchMetric::ViolationRate => cfg.violation_floor,
+                    WatchMetric::ArrivalRate => cfg.arrival_floor,
+                };
+                self.mean = mean;
+                self.sigma = var
+                    .max(0.0)
+                    .sqrt()
+                    .max(cfg.sigma_floor_frac * mean.abs())
+                    .max(floor_abs);
+                self.armed = true;
+            }
+            return Vec::new();
+        }
+        let mut fired = Vec::new();
+        // CUSUM, one-sided positive.
+        self.cusum = (self.cusum + (x - self.mean - cfg.k_sigma * self.sigma)).max(0.0);
+        let h = cfg.h_sigma * self.sigma;
+        if self.cusum > h {
+            fired.push((DetectorKind::Cusum, self.cusum, h));
+        }
+        // Page–Hinkley.
+        self.ph_m += x - self.mean - cfg.ph_delta_sigma * self.sigma;
+        self.ph_min = self.ph_min.min(self.ph_m);
+        let ph_stat = self.ph_m - self.ph_min;
+        let lambda = cfg.ph_lambda_sigma * self.sigma;
+        if ph_stat > lambda {
+            fired.push((DetectorKind::PageHinkley, ph_stat, lambda));
+        }
+        if !fired.is_empty() {
+            // The series has entered a new regime: clear the statistics,
+            // sit out the cooldown, then *re-learn* the baseline from
+            // post-shift points. A persistent shift therefore emits one
+            // event and adapts, instead of re-firing every `cooldown`
+            // windows forever.
+            self.cusum = 0.0;
+            self.ph_m = 0.0;
+            self.ph_min = 0.0;
+            self.cooldown_left = cfg.cooldown;
+            self.armed = false;
+            self.warm.clear();
+        }
+        fired
+    }
+}
+
+/// All per-series detectors plus the interference pairer.
+#[derive(Debug, Clone)]
+pub struct DetectorBank {
+    cfg: DetectCfg,
+    series: BTreeMap<(String, WatchMetric), SeriesDetector>,
+    /// Recent latency-shift fires: (window, victim model).
+    latency_fires: Vec<(u64, String)>,
+    /// Recent arrival-shift fires: (window, culprit model).
+    arrival_fires: Vec<(u64, String)>,
+    /// (victim, culprit) pairs already reported.
+    paired: std::collections::BTreeSet<(String, String)>,
+}
+
+impl DetectorBank {
+    /// New bank with the given tuning.
+    pub fn new(cfg: DetectCfg) -> Self {
+        DetectorBank {
+            cfg,
+            series: BTreeMap::new(),
+            latency_fires: Vec::new(),
+            arrival_fires: Vec::new(),
+            paired: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// The tuning in force.
+    pub fn cfg(&self) -> &DetectCfg {
+        &self.cfg
+    }
+
+    /// Whether the named series's detector is currently in cooldown —
+    /// i.e. it fired within the last `cooldown` valid points (the
+    /// dashboard's "shifted" regime state).
+    pub fn in_cooldown(&self, model: &str, metric: WatchMetric) -> bool {
+        self.series
+            .get(&(model.to_string(), metric))
+            .is_some_and(|d| d.cooldown_left > 0)
+    }
+
+    /// Consume one closed frame; return the regime events it triggered.
+    pub fn step(&mut self, frame: &WindowFrame) -> Vec<RegimeEvent> {
+        let mut events = Vec::new();
+        // Aggregate first, then per-model in BTreeMap (name) order —
+        // a deterministic series order, so event order is replayable.
+        let mut series: Vec<(&str, &crate::window::WindowStats)> =
+            vec![(AGGREGATE_MODEL, &frame.total)];
+        series.extend(frame.models.iter().map(|(m, s)| (m.as_str(), s)));
+        for (model, stats) in series {
+            // Latency p99 and violation rate need enough completions to
+            // be meaningful; arrival counts are always valid (including
+            // an honest 0 for an idle window).
+            if stats.completions >= self.cfg.min_completions {
+                self.step_series(
+                    model,
+                    WatchMetric::LatencyP99,
+                    stats.sketch.p99(),
+                    frame,
+                    &mut events,
+                );
+                self.step_series(
+                    model,
+                    WatchMetric::ViolationRate,
+                    stats.violation_rate(),
+                    frame,
+                    &mut events,
+                );
+            }
+            self.step_series(
+                model,
+                WatchMetric::ArrivalRate,
+                stats.arrivals as f64,
+                frame,
+                &mut events,
+            );
+        }
+        self.pair_interference(frame, &mut events);
+        events
+    }
+
+    fn step_series(
+        &mut self,
+        model: &str,
+        metric: WatchMetric,
+        x: f64,
+        frame: &WindowFrame,
+        events: &mut Vec<RegimeEvent>,
+    ) {
+        let key = (model.to_string(), metric);
+        let det = self.series.entry(key).or_insert_with(SeriesDetector::new);
+        let baseline = det.mean;
+        for (kind, stat, threshold) in det.step(x, &self.cfg, metric) {
+            events.push(RegimeEvent {
+                window: frame.index,
+                t_us: frame.end_us,
+                model: model.to_string(),
+                metric,
+                detector: kind,
+                value: x,
+                baseline,
+                stat,
+                threshold,
+                culprit: None,
+            });
+            if model != AGGREGATE_MODEL {
+                match metric {
+                    WatchMetric::LatencyP99 => {
+                        self.latency_fires.push((frame.index, model.to_string()));
+                    }
+                    WatchMetric::ArrivalRate => {
+                        self.arrival_fires.push((frame.index, model.to_string()));
+                    }
+                    WatchMetric::ViolationRate => {}
+                }
+            }
+        }
+    }
+
+    /// Pair victim latency shifts with culprit arrival shifts within
+    /// `pair_window` windows, in either firing order. Deterministic
+    /// choice: smallest window distance, then lexicographic culprit.
+    fn pair_interference(&mut self, frame: &WindowFrame, events: &mut Vec<RegimeEvent>) {
+        let horizon = frame.index.saturating_sub(self.cfg.pair_window);
+        self.latency_fires.retain(|(w, _)| *w >= horizon);
+        self.arrival_fires.retain(|(w, _)| *w >= horizon);
+        let mut new_pairs = std::collections::BTreeMap::new();
+        for (lw, victim) in &self.latency_fires {
+            let mut best: Option<(u64, &String)> = None;
+            for (aw, culprit) in &self.arrival_fires {
+                if culprit == victim {
+                    continue;
+                }
+                let dist = lw.abs_diff(*aw);
+                if dist > self.cfg.pair_window {
+                    continue;
+                }
+                best = match best {
+                    Some((bd, bc)) if (bd, bc.as_str()) <= (dist, culprit.as_str()) => {
+                        Some((bd, bc))
+                    }
+                    _ => Some((dist, culprit)),
+                };
+            }
+            if let Some((dist, culprit)) = best {
+                let pair = (victim.clone(), culprit.clone());
+                if !self.paired.contains(&pair) {
+                    // BTreeMap dedupes the pair when both CUSUM and
+                    // Page–Hinkley put the same victim on the fire list.
+                    new_pairs.entry(pair).or_insert(dist);
+                }
+            }
+        }
+        for ((victim, culprit), dist) in new_pairs {
+            self.paired.insert((victim.clone(), culprit.clone()));
+            events.push(RegimeEvent {
+                window: frame.index,
+                t_us: frame.end_us,
+                model: victim,
+                metric: WatchMetric::LatencyP99,
+                detector: DetectorKind::InterferencePair,
+                value: 0.0,
+                baseline: 0.0,
+                stat: dist as f64,
+                threshold: self.cfg.pair_window as f64,
+                culprit: Some(culprit),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::WindowRing;
+
+    /// Drive a ring + bank with per-window completion batches.
+    fn run(bank: &mut DetectorBank, batches: &[(u64, f64)]) -> Vec<RegimeEvent> {
+        // batches[k] = (completions in window k, e2e_us per completion)
+        let mut ring = WindowRing::new(100.0, 64, 0.01);
+        let mut events = Vec::new();
+        for (k, (n, e2e)) in batches.iter().enumerate() {
+            let base = k as f64 * 100.0;
+            for i in 0..*n {
+                let t = base + (i as f64 + 0.5) * 100.0 / (*n as f64 + 1.0);
+                let mut closed = ring.observe_arrival(t, "m");
+                closed.extend(ring.observe_completion(t, "m", *e2e, false));
+                for f in closed {
+                    events.extend(bank.step(&f));
+                }
+            }
+        }
+        if let Some(f) = ring.finalize() {
+            events.extend(bank.step(&f));
+        }
+        events
+    }
+
+    #[test]
+    fn stationary_series_stays_silent() {
+        let mut bank = DetectorBank::new(DetectCfg::default());
+        let batches: Vec<(u64, f64)> = (0..30)
+            .map(|k| (10 + (k % 3), 5_000.0 + 50.0 * (k % 5) as f64))
+            .collect();
+        let events = run(&mut bank, &batches);
+        assert!(events.is_empty(), "false positives: {events:?}");
+    }
+
+    #[test]
+    fn step_shift_fires_once_within_two_windows() {
+        let mut bank = DetectorBank::new(DetectCfg::default());
+        let mut batches: Vec<(u64, f64)> = (0..10).map(|_| (10, 5_000.0)).collect();
+        // Onset at window 10: latency jumps 10x and arrivals triple.
+        batches.extend((0..10).map(|_| (30u64, 50_000.0)));
+        let events = run(&mut bank, &batches);
+        assert!(!events.is_empty(), "shift not detected");
+        let first = events.iter().map(|e| e.window).min().unwrap();
+        assert!(
+            (10..=12).contains(&first),
+            "detected at window {first}, onset was 10"
+        );
+        // Hysteresis: at most one event per (model, metric, detector).
+        let mut seen = std::collections::BTreeSet::new();
+        for e in &events {
+            assert!(
+                seen.insert((e.model.clone(), e.metric, e.detector)),
+                "duplicate event {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn interference_pairs_victim_latency_with_culprit_arrivals() {
+        let mut bank = DetectorBank::new(DetectCfg::default());
+        let mut ring = WindowRing::new(100.0, 64, 0.01);
+        let mut events = Vec::new();
+        let mut feed = |ring: &mut WindowRing,
+                        events: &mut Vec<RegimeEvent>,
+                        k: u64,
+                        victim_e2e: f64,
+                        culprit_n: u64| {
+            let base = k as f64 * 100.0;
+            for i in 0..10u64 {
+                let t = base + 1.0 + i as f64;
+                let mut closed = ring.observe_arrival(t, "victim");
+                closed.extend(ring.observe_completion(t, "victim", victim_e2e, false));
+                for f in closed {
+                    events.extend(bank.step(&f));
+                }
+            }
+            for i in 0..culprit_n {
+                let t = base + 50.0 + i as f64 * 0.1;
+                let mut closed = ring.observe_arrival(t, "culprit");
+                closed.extend(ring.observe_completion(t, "culprit", 1_000.0, false));
+                for f in closed {
+                    events.extend(bank.step(&f));
+                }
+            }
+        };
+        for k in 0..10 {
+            feed(&mut ring, &mut events, k, 5_000.0, 10);
+        }
+        // Culprit surges 20x; victim latency degrades 8x.
+        for k in 10..18 {
+            feed(&mut ring, &mut events, k, 40_000.0, 200);
+        }
+        if let Some(f) = ring.finalize() {
+            events.extend(bank.step(&f));
+        }
+        let pair: Vec<_> = events
+            .iter()
+            .filter(|e| e.detector == DetectorKind::InterferencePair)
+            .collect();
+        assert_eq!(pair.len(), 1, "events: {events:#?}");
+        assert_eq!(pair[0].model, "victim");
+        assert_eq!(pair[0].culprit.as_deref(), Some("culprit"));
+    }
+
+    #[test]
+    fn detector_replay_is_bit_identical() {
+        let batches: Vec<(u64, f64)> = (0..12)
+            .map(|k| (8 + k % 4, 4_000.0 + 800.0 * (k as f64).sin()))
+            .chain((0..8).map(|_| (40, 60_000.0)))
+            .collect();
+        let mut b1 = DetectorBank::new(DetectCfg::default());
+        let mut b2 = DetectorBank::new(DetectCfg::default());
+        let e1 = run(&mut b1, &batches);
+        let e2 = run(&mut b2, &batches);
+        assert!(!e1.is_empty());
+        assert_eq!(e1, e2);
+        let j1 = serde_json::to_string(&e1).unwrap();
+        let j2 = serde_json::to_string(&e2).unwrap();
+        assert_eq!(j1, j2, "serialized events must be byte-identical");
+        for (a, b) in e1.iter().zip(&e2) {
+            assert_eq!(a.stat.to_bits(), b.stat.to_bits());
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+    }
+}

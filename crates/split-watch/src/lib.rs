@@ -1,0 +1,341 @@
+//! Streaming drift watch for the SPLIT reproduction.
+//!
+//! The paper's QoS guarantee assumes traffic stays in the regime the
+//! split plan was optimized for; this crate is the sensor layer that
+//! notices when it does not (DESIGN.md §15). It sits between
+//! `split-telemetry` (whose [`QuantileSketch`](split_telemetry::QuantileSketch)
+//! it aggregates) and
+//! `split-obs` (whose monitor and SLO alerter consume its events):
+//!
+//! * [`window`] — a sliding time-window engine: a ring of per-window,
+//!   per-model sketches plus violation/drop/arrival counters, O(1)
+//!   rotation, exact sample conservation (SA502).
+//! * [`detect`] — CUSUM and Page–Hinkley change-point detectors over
+//!   the windowed per-model p99 / violation-rate / arrival-rate series,
+//!   plus an interference-onset detector pairing a victim's latency
+//!   shift with a culprit's arrival surge; all emit typed, replayable
+//!   [`RegimeEvent`]s (SA504).
+//! * [`report`] — the serializable [`DriftReport`] behind
+//!   `split-cli simulate --drift-report` and the CI `watch` job.
+//!
+//! [`DriftWatch`] ties the three together and is fed either whole
+//! lifecycle [`Event`]s (offline replay: `sched`'s `SimResult`, the
+//! monitor) or pre-judged observations (the live `split-runtime`
+//! server, which already knows each completion's QoS verdict).
+//! Everything downstream of the feed is pure integer/f64 arithmetic
+//! over deterministic series, so the same events produce bit-identical
+//! windows and regime events at any `SPLIT_THREADS`.
+
+#![warn(missing_docs)]
+
+pub mod detect;
+pub mod report;
+pub mod window;
+
+pub use detect::{
+    DetectCfg, DetectorBank, DetectorKind, RegimeEvent, WatchMetric, AGGREGATE_MODEL,
+};
+pub use report::{DriftReport, ModelWindowRow, WindowSummary};
+pub use window::{FeedTotals, WindowFrame, WindowRing, WindowStats};
+
+use split_telemetry::{sketch::DEFAULT_SKETCH_ALPHA, Event};
+use std::collections::HashMap;
+
+/// Drift-watch configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WatchCfg {
+    /// Window width, µs (default 10 s of simulated time).
+    pub window_us: f64,
+    /// Closed frames retained in the ring.
+    pub ring: usize,
+    /// QoS latency multiplier α (violation iff e2e > α × compute),
+    /// matching `SloCfg::alpha`.
+    pub alpha: f64,
+    /// Sketch relative accuracy.
+    pub sketch_alpha: f64,
+    /// Detector tuning.
+    pub detect: DetectCfg,
+}
+
+impl Default for WatchCfg {
+    fn default() -> Self {
+        WatchCfg {
+            window_us: 10_000_000.0,
+            ring: 64,
+            alpha: 4.0,
+            sketch_alpha: DEFAULT_SKETCH_ALPHA,
+            detect: DetectCfg::default(),
+        }
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct InFlight {
+    model: String,
+    arrival_us: f64,
+    compute_us: f64,
+    /// (block, stream) → start time of an unclosed block.
+    open_blocks: HashMap<(usize, u32), f64>,
+}
+
+/// Sliding windows + detectors + event log, fed live or by replay.
+#[derive(Debug, Clone)]
+pub struct DriftWatch {
+    cfg: WatchCfg,
+    ring: WindowRing,
+    bank: DetectorBank,
+    summaries: Vec<WindowSummary>,
+    events: Vec<RegimeEvent>,
+    /// Cursor into `events` for [`DriftWatch::drain_events`].
+    drained: usize,
+    inflight: HashMap<u64, InFlight>,
+    finalized: bool,
+}
+
+impl Default for DriftWatch {
+    fn default() -> Self {
+        Self::new(WatchCfg::default())
+    }
+}
+
+impl DriftWatch {
+    /// New watch with the given configuration.
+    pub fn new(cfg: WatchCfg) -> Self {
+        DriftWatch {
+            ring: WindowRing::new(cfg.window_us, cfg.ring, cfg.sketch_alpha),
+            bank: DetectorBank::new(cfg.detect.clone()),
+            cfg,
+            summaries: Vec::new(),
+            events: Vec::new(),
+            drained: 0,
+            inflight: HashMap::new(),
+            finalized: false,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn cfg(&self) -> &WatchCfg {
+        &self.cfg
+    }
+
+    /// The window ring (latest closed frame, feed totals, ...).
+    pub fn ring(&self) -> &WindowRing {
+        &self.ring
+    }
+
+    /// The detector bank (regime / cooldown state).
+    pub fn bank(&self) -> &DetectorBank {
+        &self.bank
+    }
+
+    /// Every regime event so far, in detection order.
+    pub fn events(&self) -> &[RegimeEvent] {
+        &self.events
+    }
+
+    /// Regime events emitted since the last drain (incremental
+    /// consumers: the live server routing events into `SloMonitor`).
+    pub fn drain_events(&mut self) -> Vec<RegimeEvent> {
+        let out = self.events[self.drained..].to_vec();
+        self.drained = self.events.len();
+        out
+    }
+
+    fn absorb(&mut self, closed: Vec<WindowFrame>) {
+        for frame in closed {
+            self.summaries.push(WindowSummary::from_frame(&frame));
+            self.events.extend(self.bank.step(&frame));
+        }
+    }
+
+    /// Record an arrival (live path — the caller names the model).
+    pub fn observe_arrival(&mut self, t_us: f64, model: &str) {
+        let closed = self.ring.observe_arrival(t_us, model);
+        self.absorb(closed);
+    }
+
+    /// Record a completion with a pre-judged QoS verdict (live path).
+    pub fn observe_completion(&mut self, t_us: f64, model: &str, e2e_us: f64, violated: bool) {
+        let closed = self.ring.observe_completion(t_us, model, e2e_us, violated);
+        self.absorb(closed);
+    }
+
+    /// Record a drop / elastic downgrade (live path).
+    pub fn observe_drop(&mut self, t_us: f64, model: &str) {
+        let closed = self.ring.observe_drop(t_us, model);
+        self.absorb(closed);
+    }
+
+    /// Consume one lifecycle event (replay path). Reconstructs each
+    /// request's pure compute time from its block durations and applies
+    /// the α rule at completion — the same judgement
+    /// `split-obs::Monitor` makes.
+    pub fn feed(&mut self, e: &Event) {
+        match e {
+            Event::Arrival { req, model, t_us } => {
+                self.inflight.insert(
+                    *req,
+                    InFlight {
+                        model: model.clone(),
+                        arrival_us: *t_us,
+                        ..InFlight::default()
+                    },
+                );
+                self.observe_arrival(*t_us, model);
+            }
+            Event::BlockStart {
+                req,
+                block,
+                stream,
+                t_us,
+            } => {
+                if let Some(f) = self.inflight.get_mut(req) {
+                    f.open_blocks.insert((*block, *stream), *t_us);
+                }
+            }
+            Event::BlockEnd {
+                req,
+                block,
+                stream,
+                t_us,
+            } => {
+                if let Some(f) = self.inflight.get_mut(req) {
+                    if let Some(start) = f.open_blocks.remove(&(*block, *stream)) {
+                        f.compute_us += (t_us - start).max(0.0);
+                    }
+                }
+            }
+            Event::Completion { req, t_us } => {
+                if let Some(f) = self.inflight.remove(req) {
+                    let e2e = (t_us - f.arrival_us).max(0.0);
+                    let violated = f.compute_us > 0.0 && e2e > self.cfg.alpha * f.compute_us;
+                    self.observe_completion(*t_us, &f.model, e2e, violated);
+                }
+            }
+            Event::Downgrade { req, t_us, .. } => {
+                let model = self
+                    .inflight
+                    .get(req)
+                    .map(|f| f.model.clone())
+                    .unwrap_or_default();
+                if !model.is_empty() {
+                    self.observe_drop(*t_us, &model);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Close the trailing partial window and stop accepting input.
+    /// Idempotent.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
+        if let Some(frame) = self.ring.finalize() {
+            self.summaries.push(WindowSummary::from_frame(&frame));
+            self.events.extend(self.bank.step(&frame));
+        }
+    }
+
+    /// Build the serializable report. Call [`DriftWatch::finalize`]
+    /// first to include the trailing partial window.
+    pub fn report(&self) -> DriftReport {
+        DriftReport {
+            window_us: self.cfg.window_us,
+            fed: self.ring.fed(),
+            windows: self.summaries.clone(),
+            events: self.events.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feed_applies_alpha_rule_and_conserves() {
+        let mut w = DriftWatch::new(WatchCfg {
+            window_us: 1_000.0,
+            ..WatchCfg::default()
+        });
+        for (req, (arr, exec, done)) in [
+            (0.0, 100.0, 150.0),    // ratio 1.5 → ok
+            (500.0, 100.0, 2500.0), // ratio 20 → violation
+            (2600.0, 50.0, 2700.0), // ratio 2 → ok
+        ]
+        .iter()
+        .enumerate()
+        {
+            let req = req as u64;
+            w.feed(&Event::Arrival {
+                req,
+                model: "m".into(),
+                t_us: *arr,
+            });
+            w.feed(&Event::BlockStart {
+                req,
+                block: 0,
+                stream: 0,
+                t_us: done - exec,
+            });
+            w.feed(&Event::BlockEnd {
+                req,
+                block: 0,
+                stream: 0,
+                t_us: *done,
+            });
+            w.feed(&Event::Completion { req, t_us: *done });
+        }
+        w.finalize();
+        let r = w.report();
+        assert!(r.conservation_holds(), "{r:?}");
+        assert_eq!(r.fed.completions, 3);
+        assert_eq!(r.fed.violations, 1);
+        assert_eq!(r.fed.arrivals, 3);
+        let text = r.render_text();
+        assert!(text.contains("drift report"));
+    }
+
+    #[test]
+    fn drain_events_is_incremental() {
+        let mut w = DriftWatch::new(WatchCfg {
+            window_us: 100.0,
+            ..WatchCfg::default()
+        });
+        // Stationary then a massive surge; drain as we go.
+        let mut drained_total = 0;
+        for k in 0..30u64 {
+            let (n, e2e) = if k < 15 {
+                (10, 2_000.0)
+            } else {
+                (80, 40_000.0)
+            };
+            for i in 0..n {
+                let t = k as f64 * 100.0 + 1.0 + i as f64 * 0.5;
+                w.observe_arrival(t, "m");
+                w.observe_completion(t, "m", e2e, false);
+            }
+            drained_total += w.drain_events().len();
+        }
+        w.finalize();
+        drained_total += w.drain_events().len();
+        assert_eq!(drained_total, w.events().len());
+        assert!(drained_total > 0, "surge must fire at least one detector");
+        assert!(w.drain_events().is_empty(), "second drain is empty");
+    }
+
+    #[test]
+    fn report_roundtrips_through_json() {
+        let mut w = DriftWatch::default();
+        w.observe_arrival(5.0, "a");
+        w.observe_completion(20.0, "a", 15.0, false);
+        w.finalize();
+        let r = w.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DriftReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

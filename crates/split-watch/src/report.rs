@@ -1,0 +1,149 @@
+//! Serializable drift report: per-window scalar digests plus the
+//! regime-event log.
+//!
+//! The report is the replayable artifact behind `split-cli simulate
+//! --drift-report PATH` and the CI `watch` smoke job: window summaries
+//! are plain scalars (no sketches), so the file stays small even for
+//! long runs, and [`DriftReport::conservation_holds`] re-checks the
+//! exact-sample-conservation invariant from the serialized counters
+//! alone.
+
+use crate::detect::RegimeEvent;
+use crate::window::{FeedTotals, WindowFrame};
+use serde::{Deserialize, Serialize};
+
+/// Per-model scalar digest of one closed window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWindowRow {
+    /// Model name.
+    pub model: String,
+    /// Completions in the window.
+    pub completions: u64,
+    /// QoS violations in the window.
+    pub violations: u64,
+    /// Arrivals in the window.
+    pub arrivals: u64,
+    /// Drops in the window.
+    pub drops: u64,
+    /// Windowed p50 latency, µs (0 when empty).
+    pub p50_us: f64,
+    /// Windowed p99 latency, µs (0 when empty).
+    pub p99_us: f64,
+    /// Windowed p999 latency, µs (0 when empty).
+    pub p999_us: f64,
+}
+
+/// Scalar digest of one closed window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSummary {
+    /// Window index.
+    pub index: u64,
+    /// Inclusive start, µs.
+    pub start_us: f64,
+    /// Exclusive end, µs.
+    pub end_us: f64,
+    /// All-models aggregate row (model name [`crate::AGGREGATE_MODEL`]).
+    pub total: ModelWindowRow,
+    /// Per-model rows, sorted by model name.
+    pub models: Vec<ModelWindowRow>,
+}
+
+impl WindowSummary {
+    /// Digest a closed frame into scalars.
+    pub fn from_frame(frame: &WindowFrame) -> Self {
+        let row = |model: &str, s: &crate::window::WindowStats| ModelWindowRow {
+            model: model.to_string(),
+            completions: s.completions,
+            violations: s.violations,
+            arrivals: s.arrivals,
+            drops: s.drops,
+            p50_us: s.sketch.p50(),
+            p99_us: s.sketch.p99(),
+            p999_us: s.sketch.p999(),
+        };
+        WindowSummary {
+            index: frame.index,
+            start_us: frame.start_us,
+            end_us: frame.end_us,
+            total: row(crate::AGGREGATE_MODEL, &frame.total),
+            models: frame.models.iter().map(|(m, s)| row(m, s)).collect(),
+        }
+    }
+}
+
+/// The full drift-watch artifact for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Window width, µs.
+    pub window_us: f64,
+    /// Lifetime feed totals (conservation cross-check).
+    pub fed: FeedTotals,
+    /// One summary per closed window, oldest first.
+    pub windows: Vec<WindowSummary>,
+    /// Regime events in detection order.
+    pub events: Vec<RegimeEvent>,
+}
+
+impl DriftReport {
+    /// Exact sample conservation: the per-window sums equal the
+    /// lifetime feed totals — every completion/arrival/drop landed in
+    /// exactly one closed window.
+    pub fn conservation_holds(&self) -> bool {
+        let sum =
+            |f: fn(&ModelWindowRow) -> u64| self.windows.iter().map(|w| f(&w.total)).sum::<u64>();
+        sum(|r| r.completions) == self.fed.completions
+            && sum(|r| r.violations) == self.fed.violations
+            && sum(|r| r.arrivals) == self.fed.arrivals
+            && sum(|r| r.drops) == self.fed.drops
+    }
+
+    /// Human rendering: one line per window plus the event log.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "drift report: {} windows of {:.1}s, {} regime events\n",
+            self.windows.len(),
+            self.window_us / 1e6,
+            self.events.len()
+        ));
+        out.push_str(
+            "  win      span(s)  compl  viol  arriv  drops    p50(ms)    p99(ms)   p999(ms)\n",
+        );
+        for w in &self.windows {
+            out.push_str(&format!(
+                "  w{:<4} {:>5.1}-{:<5.1} {:>6} {:>5} {:>6} {:>6} {:>10.2} {:>10.2} {:>10.2}\n",
+                w.index,
+                w.start_us / 1e6,
+                w.end_us / 1e6,
+                w.total.completions,
+                w.total.violations,
+                w.total.arrivals,
+                w.total.drops,
+                w.total.p50_us / 1e3,
+                w.total.p99_us / 1e3,
+                w.total.p999_us / 1e3,
+            ));
+        }
+        if self.events.is_empty() {
+            out.push_str("  no regime events (stationary)\n");
+        } else {
+            out.push_str("  regime events:\n");
+            for e in &self.events {
+                out.push_str(&format!("    {}\n", e.render()));
+            }
+        }
+        out
+    }
+
+    /// Serialize to pretty JSON at `path`.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a report written by [`DriftReport::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        let raw = std::fs::read_to_string(path)?;
+        serde_json::from_str(&raw).map_err(std::io::Error::other)
+    }
+}

@@ -1,0 +1,320 @@
+//! Non-stationary arrival generation: linear ramps and flash crowds.
+//!
+//! The six Table-2 scenarios are stationary Poisson; this module is the
+//! first brick of the hostile-traffic library (ROADMAP item 5) and the
+//! workload split-watch's change-point detectors fire on. Arrivals come
+//! from an **inhomogeneous Poisson process** sampled by Lewis–Shedler
+//! thinning: candidate gaps are drawn at the profile's peak rate and a
+//! candidate at time `t` is accepted with probability
+//! `rate(t) / rate_max`. Thinning is exact for any bounded rate
+//! function and stays seeded-deterministic — the candidate and
+//! acceptance draws come from one `StdRng`, so a `(profile, seed)` pair
+//! always yields the same trace.
+//!
+//! Two profiles:
+//!
+//! * [`DriftProfile::LinearRamp`] — the mean inter-arrival interval
+//!   slides linearly from `start_interval_us` to `end_interval_us`
+//!   over `ramp_span_us`, then holds. A slow squeeze: no single
+//!   change-point, just a drifting regime.
+//! * [`DriftProfile::FlashCrowd`] — stationary at `base_interval_us`
+//!   until `onset_us`, then the rate multiplies by `surge` for
+//!   `dwell_us`, then reverts. A step change with a known injected
+//!   onset, which makes it the calibration workload for detection
+//!   latency ("flag within 3 windows of onset").
+
+use rand::prelude::*;
+
+/// Time-varying arrival-rate profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftProfile {
+    /// Mean interval slides linearly from `start_interval_us` to
+    /// `end_interval_us` over `ramp_span_us`, then holds at the end
+    /// value.
+    LinearRamp {
+        /// Mean inter-arrival interval at t = 0, µs.
+        start_interval_us: f64,
+        /// Mean inter-arrival interval at and after `ramp_span_us`, µs.
+        end_interval_us: f64,
+        /// Ramp duration, µs.
+        ramp_span_us: f64,
+    },
+    /// Stationary at `base_interval_us`; at `onset_us` the rate jumps
+    /// ×`surge` for `dwell_us`, then reverts.
+    FlashCrowd {
+        /// Pre-onset mean inter-arrival interval, µs.
+        base_interval_us: f64,
+        /// Injected change-point, µs.
+        onset_us: f64,
+        /// Rate multiplier during the crowd (> 1 intensifies).
+        surge: f64,
+        /// Crowd duration, µs.
+        dwell_us: f64,
+    },
+}
+
+impl DriftProfile {
+    /// Instantaneous arrival rate (arrivals per µs) at time `t_us`.
+    pub fn rate_per_us(&self, t_us: f64) -> f64 {
+        match *self {
+            DriftProfile::LinearRamp {
+                start_interval_us,
+                end_interval_us,
+                ramp_span_us,
+            } => {
+                let f = (t_us / ramp_span_us).clamp(0.0, 1.0);
+                let interval = start_interval_us + f * (end_interval_us - start_interval_us);
+                1.0 / interval
+            }
+            DriftProfile::FlashCrowd {
+                base_interval_us,
+                onset_us,
+                surge,
+                dwell_us,
+            } => {
+                let base = 1.0 / base_interval_us;
+                if t_us >= onset_us && t_us < onset_us + dwell_us {
+                    base * surge
+                } else {
+                    base
+                }
+            }
+        }
+    }
+
+    /// Upper bound on [`DriftProfile::rate_per_us`] (the thinning
+    /// envelope).
+    pub fn max_rate_per_us(&self) -> f64 {
+        match *self {
+            DriftProfile::LinearRamp {
+                start_interval_us,
+                end_interval_us,
+                ..
+            } => 1.0 / start_interval_us.min(end_interval_us),
+            DriftProfile::FlashCrowd {
+                base_interval_us,
+                surge,
+                ..
+            } => surge.max(1.0) / base_interval_us,
+        }
+    }
+
+    /// The injected change-point, if the profile has a sharp one
+    /// (`FlashCrowd` onset). Ramps drift instead of stepping.
+    pub fn onset_us(&self) -> Option<f64> {
+        match *self {
+            DriftProfile::FlashCrowd { onset_us, .. } => Some(onset_us),
+            DriftProfile::LinearRamp { .. } => None,
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            DriftProfile::LinearRamp {
+                start_interval_us,
+                end_interval_us,
+                ramp_span_us,
+            } => {
+                assert!(
+                    start_interval_us > 0.0 && end_interval_us > 0.0 && ramp_span_us > 0.0,
+                    "ramp parameters must be positive"
+                );
+            }
+            DriftProfile::FlashCrowd {
+                base_interval_us,
+                onset_us,
+                surge,
+                dwell_us,
+            } => {
+                assert!(
+                    base_interval_us > 0.0 && surge > 0.0 && dwell_us > 0.0,
+                    "flash-crowd parameters must be positive"
+                );
+                assert!(onset_us >= 0.0, "onset must be non-negative");
+            }
+        }
+    }
+}
+
+/// Seeded generator of strictly increasing non-stationary arrivals.
+#[derive(Debug)]
+pub struct DriftGen {
+    rng: StdRng,
+    profile: DriftProfile,
+    now_us: f64,
+}
+
+/// The next representable f64 above `x` (for non-negative finite `x`),
+/// mirroring `PoissonGen`'s strict-monotonicity bump.
+fn next_up(x: f64) -> f64 {
+    f64::from_bits(x.to_bits() + 1)
+}
+
+impl DriftGen {
+    /// New generator for `profile` with the given seed.
+    ///
+    /// # Panics
+    /// If any profile parameter is non-positive where positivity is
+    /// required.
+    pub fn new(profile: DriftProfile, seed: u64) -> Self {
+        profile.validate();
+        DriftGen {
+            rng: StdRng::seed_from_u64(seed),
+            profile,
+            now_us: 0.0,
+        }
+    }
+
+    /// The profile being sampled.
+    pub fn profile(&self) -> &DriftProfile {
+        &self.profile
+    }
+
+    /// Sample the next arrival timestamp (µs, strictly increasing)
+    /// by thinning against the peak-rate envelope.
+    pub fn next_arrival_us(&mut self) -> f64 {
+        let rate_max = self.profile.max_rate_per_us();
+        let mean_gap = 1.0 / rate_max;
+        let mut t = self.now_us;
+        loop {
+            // Candidate gap at the envelope rate; reject the measure-zero
+            // u = 0 draw exactly as PoissonGen does, so gaps stay > 0.
+            let gap = loop {
+                let u: f64 = self.rng.random_range(0.0..1.0);
+                let g = -mean_gap * (1.0 - u).ln();
+                if g > 0.0 {
+                    break g;
+                }
+            };
+            t += gap;
+            // Accept with probability rate(t)/rate_max.
+            let accept: f64 = self.rng.random_range(0.0..1.0);
+            if accept * rate_max < self.profile.rate_per_us(t) {
+                self.now_us = if t > self.now_us {
+                    t
+                } else {
+                    next_up(self.now_us)
+                };
+                return self.now_us;
+            }
+        }
+    }
+
+    /// Generate `n` arrival timestamps.
+    pub fn take(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.next_arrival_us()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crowd() -> DriftProfile {
+        DriftProfile::FlashCrowd {
+            base_interval_us: 10_000.0,
+            onset_us: 1_000_000.0,
+            surge: 8.0,
+            dwell_us: 500_000.0,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_seeded() {
+        let a = DriftGen::new(crowd(), 7).take(400);
+        let b = DriftGen::new(crowd(), 7).take(400);
+        assert_eq!(a, b);
+        for w in a.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        let c = DriftGen::new(crowd(), 8).take(400);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn flash_crowd_rate_steps_at_onset() {
+        let p = crowd();
+        assert_eq!(p.rate_per_us(0.0), 1.0 / 10_000.0);
+        assert_eq!(p.rate_per_us(1_000_000.0), 8.0 / 10_000.0);
+        assert_eq!(p.rate_per_us(1_500_000.0), 1.0 / 10_000.0);
+        assert_eq!(p.onset_us(), Some(1_000_000.0));
+        // Surge visibly densifies arrivals: count arrivals in the 200 ms
+        // before vs after onset.
+        let ts = DriftGen::new(p, 3).take(600);
+        let before = ts
+            .iter()
+            .filter(|t| (800_000.0..1_000_000.0).contains(*t))
+            .count();
+        let after = ts
+            .iter()
+            .filter(|t| (1_000_000.0..1_200_000.0).contains(*t))
+            .count();
+        assert!(
+            after as f64 >= 3.0 * before as f64,
+            "surge not visible: {before} before vs {after} after"
+        );
+    }
+
+    #[test]
+    fn linear_ramp_interval_slides() {
+        let p = DriftProfile::LinearRamp {
+            start_interval_us: 20_000.0,
+            end_interval_us: 5_000.0,
+            ramp_span_us: 1_000_000.0,
+        };
+        assert_eq!(p.rate_per_us(0.0), 1.0 / 20_000.0);
+        assert_eq!(p.rate_per_us(500_000.0), 1.0 / 12_500.0);
+        // Holds at the end value past the ramp.
+        assert_eq!(p.rate_per_us(2_000_000.0), 1.0 / 5_000.0);
+        assert_eq!(p.onset_us(), None);
+        // Mean gap over the first vs last arrivals shrinks.
+        let ts = DriftGen::new(p, 11).take(400);
+        let early: f64 = ts[1..50].windows(2).map(|w| w[1] - w[0]).sum::<f64>() / 48.0;
+        let late: f64 = ts[350..].windows(2).map(|w| w[1] - w[0]).sum::<f64>() / 48.0;
+        assert!(late < early, "ramp did not accelerate: {early} → {late}");
+    }
+
+    #[test]
+    fn thinned_rate_matches_profile_segments() {
+        // Long stationary segments of the flash crowd must converge to
+        // their nominal rates (thinning is exact, not approximate).
+        let p = DriftProfile::FlashCrowd {
+            base_interval_us: 1_000.0,
+            onset_us: 5_000_000.0,
+            surge: 4.0,
+            dwell_us: 5_000_000.0,
+        };
+        // ~5k arrivals cover the pre segment and ~20k the surge; 27k
+        // total guarantees the trace spans past t = 10 s.
+        let ts = DriftGen::new(p, 42).take(27_000);
+        let pre = ts.iter().filter(|t| **t < 5_000_000.0).count() as f64;
+        let during = ts
+            .iter()
+            .filter(|t| (5_000_000.0..10_000_000.0).contains(*t))
+            .count() as f64;
+        let pre_rate = pre / 5_000_000.0;
+        let during_rate = during / 5_000_000.0;
+        assert!(
+            (pre_rate - 1.0 / 1_000.0).abs() / (1.0 / 1_000.0) < 0.1,
+            "pre rate {pre_rate}"
+        );
+        assert!(
+            (during_rate - 4.0 / 1_000.0).abs() / (4.0 / 1_000.0) < 0.1,
+            "during rate {during_rate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_profile_rejected() {
+        DriftGen::new(
+            DriftProfile::FlashCrowd {
+                base_interval_us: 0.0,
+                onset_us: 0.0,
+                surge: 1.0,
+                dwell_us: 1.0,
+            },
+            0,
+        );
+    }
+}

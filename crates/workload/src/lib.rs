@@ -8,11 +8,13 @@
 //! generator with explicit seeds so every figure is replayable.
 
 pub mod burst;
+pub mod drift;
 pub mod poisson;
 pub mod scenario;
 pub mod trace;
 
 pub use burst::{BurstConfig, BurstGen};
+pub use drift::{DriftGen, DriftProfile};
 pub use poisson::PoissonGen;
 pub use scenario::{all_scenarios, Load, Scenario};
 pub use trace::{Arrival, RequestTrace};

@@ -61,6 +61,29 @@ impl RequestTrace {
         Self { scenario, arrivals }
     }
 
+    /// Generate a non-stationary trace: arrival times from the
+    /// inhomogeneous-Poisson [`crate::DriftGen`] (linear ramp or flash
+    /// crowd), models drawn uniformly. The scenario's `lambda_us` is
+    /// ignored in favour of the profile's intervals; its seed still
+    /// fixes both the arrival process and the model draws.
+    pub fn generate_drift(
+        scenario: Scenario,
+        models: &[&str],
+        profile: crate::DriftProfile,
+    ) -> Self {
+        assert!(!models.is_empty(), "need at least one model");
+        let mut gen = crate::DriftGen::new(profile, scenario.seed());
+        let mut rng = StdRng::seed_from_u64(scenario.seed() ^ 0x9E3779B97F4A7C15);
+        let arrivals = (0..scenario.requests)
+            .map(|i| Arrival {
+                id: i as u64,
+                model: models[rng.random_range(0..models.len())].to_string(),
+                arrival_us: gen.next_arrival_us(),
+            })
+            .collect();
+        Self { scenario, arrivals }
+    }
+
     /// Generate with a custom per-model weight (still Poisson in time).
     pub fn generate_weighted(scenario: Scenario, weighted: &[(&str, f64)]) -> Self {
         assert!(!weighted.is_empty());
@@ -156,6 +179,36 @@ mod tests {
         }
         // Models still mix (the draw rng is independent of arrivals).
         assert!(a.model_counts().len() == MODELS.len());
+    }
+
+    #[test]
+    fn drift_trace_is_reproducible_and_surges() {
+        let profile = crate::DriftProfile::FlashCrowd {
+            base_interval_us: 10_000.0,
+            onset_us: 2_000_000.0,
+            surge: 8.0,
+            dwell_us: 2_000_000.0,
+        };
+        let a = RequestTrace::generate_drift(Scenario::table2(3), &MODELS, profile);
+        let b = RequestTrace::generate_drift(Scenario::table2(3), &MODELS, profile);
+        assert_eq!(a, b);
+        assert_eq!(a.arrivals.len(), 1000);
+        for w in a.arrivals.windows(2) {
+            assert!(w[1].arrival_us > w[0].arrival_us);
+        }
+        assert_eq!(a.model_counts().len(), MODELS.len());
+        // Density visibly jumps at the onset.
+        let pre = a
+            .arrivals
+            .iter()
+            .filter(|x| (1_000_000.0..2_000_000.0).contains(&x.arrival_us))
+            .count();
+        let post = a
+            .arrivals
+            .iter()
+            .filter(|x| (2_000_000.0..3_000_000.0).contains(&x.arrival_us))
+            .count();
+        assert!(post >= 3 * pre, "no surge: {pre} pre vs {post} post");
     }
 
     #[test]

@@ -39,6 +39,11 @@ commands:
            [--metrics]                 also print the telemetry snapshot
                                        (decision latency p50/p99, e2e, ...)
            [--burst]                   bursty (MMPP) arrivals instead of Poisson
+           [--drift]                   non-stationary arrivals: a flash crowd
+                                       (8x surge at t=60s) for the change-point
+                                       detectors to catch
+           [--drift-report FILE]       write the drift-watch report (windowed
+                                       sketches + regime events) as JSON
            [--forensics FILE]          investigate the run: on a burn-rate
                                        alert, write the incident bundle to FILE
   dot <model> [--blocks N]             emit Graphviz DOT (split into N blocks)
@@ -60,9 +65,11 @@ commands:
                                        bundle passes the SA4xx analyzer
   monitor [--replay FILE | --scenario 1..6 [--policy P] [--alpha A]]
           [--frames N] [--interval MS] live dashboard (queue depth, utilization,
-          [--prom FILE]                per-model p50/p99, SLO burn rate) over a
-                                       replayed trace or a fresh simulation;
-                                       --prom also writes Prometheus metrics
+          [--prom FILE] [--json]       per-model p50/p99, SLO burn rate, drift
+                                       panel) over a replayed trace or a fresh
+                                       simulation; --prom also writes Prometheus
+                                       metrics, --json dumps one frame per line
+                                       as JSON instead of the ASCII panel
 ";
 
 fn main() -> ExitCode {
@@ -250,9 +257,30 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     let trace_out = opt(args, "--trace")?;
     let want_metrics = args.iter().any(|a| a == "--metrics");
     let want_burst = args.iter().any(|a| a == "--burst");
+    let want_drift = args.iter().any(|a| a == "--drift");
+    let drift_report_out = opt(args, "--drift-report")?;
     let forensics_out = opt(args, "--forensics")?;
+    if want_burst && want_drift {
+        return Err("--burst and --drift are mutually exclusive".into());
+    }
 
-    let trace = if want_burst {
+    let trace = if want_drift {
+        // A flash crowd on top of the scenario's nominal interval: calm
+        // until t=60 s, then an 8× surge for 40 s. With the watch's 10 s
+        // windows the detectors finish warming up around window 5 and
+        // the onset lands in window 6.
+        let profile = split_repro::workload::DriftProfile::FlashCrowd {
+            base_interval_us: Scenario::table2(scenario).lambda_us(),
+            onset_us: 60_000_000.0,
+            surge: 8.0,
+            dwell_us: 40_000_000.0,
+        };
+        RequestTrace::generate_drift(
+            Scenario::table2(scenario),
+            &experiment::PAPER_MODEL_NAMES,
+            profile,
+        )
+    } else if want_burst {
         // Compress the pedestrian MMPP so the burst volleys overload the
         // device and the burn-rate alert has something to fire on.
         let burst = split_repro::workload::BurstConfig {
@@ -304,6 +332,18 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
             r.recorder.len(),
             path.display()
         );
+    }
+    if let Some(path) = drift_report_out {
+        let path = PathBuf::from(path);
+        let report = r.drift(split_repro::split_watch::WatchCfg {
+            alpha,
+            ..split_repro::split_watch::WatchCfg::default()
+        });
+        println!("\n{}", report.render_text());
+        report
+            .save(&path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote drift report to {}", path.display());
     }
     if let Some(path) = forensics_out {
         let path = PathBuf::from(path);
@@ -409,8 +449,13 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         println!("{}", out.render_json());
     } else {
         eprintln!(
-            "analyzed {} plan(s), {} schedule(s), {} bundle(s), {} model-checked execution(s)",
-            out.plans_checked, out.schedules_checked, out.bundles_checked, out.interleavings
+            "analyzed {} plan(s), {} schedule(s), {} bundle(s), {} model-checked \
+             execution(s), {} drift-watch probe(s)",
+            out.plans_checked,
+            out.schedules_checked,
+            out.bundles_checked,
+            out.interleavings,
+            out.watch_checks
         );
         for s in &out.machine_stats {
             eprintln!(
@@ -434,6 +479,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             ("interleavings", &out.interleave_report),
             ("attribution", &out.attribution_report),
             ("forensics", &out.forensics_report),
+            ("watch", &out.watch_report),
         ] {
             if report.is_empty() {
                 eprintln!("  {section}: clean");
@@ -499,9 +545,11 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
         match args[i].as_str() {
             "--replay" | "--scenario" | "--policy" | "--alpha" | "--frames" | "--interval"
             | "--prom" => i += 2,
+            "--json" => i += 1,
             other => return Err(format!("monitor: unknown option {other:?}")),
         }
     }
+    let want_json = args.iter().any(|a| a == "--json");
     let frames: usize = opt(args, "--frames")?
         .map(|s| s.parse().map_err(|_| "bad --frames"))
         .transpose()?
@@ -559,6 +607,7 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             alpha,
             ..SloCfg::default()
         },
+        ..MonitorCfg::default()
     });
     let mut fed = 0usize;
     for frame in 1..=frames {
@@ -567,7 +616,12 @@ fn cmd_monitor(args: &[String]) -> Result<(), String> {
             monitor.feed(&events[fed]);
             fed += 1;
         }
-        println!("{}", monitor.render());
+        if want_json {
+            let f = monitor.frame();
+            println!("{}", serde_json::to_string(&f).expect("frames serialize"));
+        } else {
+            println!("{}", monitor.render());
+        }
         if interval_ms > 0 && frame < frames {
             std::thread::sleep(std::time::Duration::from_millis(interval_ms));
         }

@@ -21,6 +21,7 @@
 //! | [`split_runtime`] | the threaded online serving system (Figure 4) |
 //! | [`split_telemetry`] | lock-free metrics, lifecycle tracing, Perfetto export |
 //! | [`split_obs`] | causal spans, latency attribution, SLO burn-rate, dashboard (DESIGN.md §10) |
+//! | [`split_watch`] | streaming drift watch: windowed sketches, change-point detectors (DESIGN.md §15) |
 //! | [`split_analyze`] | static verification of plans, schedules, telemetry (DESIGN.md §9) |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@ pub use split_forensics;
 pub use split_obs;
 pub use split_runtime;
 pub use split_telemetry;
+pub use split_watch;
 pub use workload;
 
 pub mod experiment;

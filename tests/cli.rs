@@ -249,6 +249,88 @@ fn monitor_renders_dashboard_frames_and_prometheus() {
 }
 
 #[test]
+fn simulate_drift_report_flags_flash_crowd() {
+    let dir = std::env::temp_dir().join("split_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let report: PathBuf = dir.join("drift.json");
+    let _ = std::fs::remove_file(&report);
+
+    let out = cli(&[
+        "simulate",
+        "--scenario",
+        "3",
+        "--drift",
+        "--drift-report",
+        report.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("drift report"), "{text}");
+    assert!(text.contains("wrote drift report to"), "{text}");
+
+    let report = split_repro::split_watch::DriftReport::load(&report).expect("load drift report");
+    assert!(report.conservation_holds());
+    assert!(
+        !report.events.is_empty(),
+        "the injected flash crowd must fire a change point"
+    );
+    assert!(!report.windows.is_empty());
+
+    // --drift and --burst are mutually exclusive arrival processes.
+    assert!(!cli(&["simulate", "--drift", "--burst"]).status.success());
+}
+
+#[test]
+fn monitor_json_emits_one_frame_per_line() {
+    let dir = std::env::temp_dir().join("split_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace: PathBuf = dir.join("monitor_json.trace.json");
+    let _ = std::fs::remove_file(&trace);
+
+    let out = cli(&[
+        "simulate",
+        "--scenario",
+        "3",
+        "--trace",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = cli(&[
+        "monitor",
+        "--replay",
+        trace.to_str().unwrap(),
+        "--frames",
+        "3",
+        "--interval",
+        "0",
+        "--json",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(lines.len(), 3, "one JSON frame per line:\n{text}");
+    for line in lines {
+        let v: serde_json::Value = serde_json::from_str(line).expect("frame parses as JSON");
+        for key in ["now_us", "completed", "drift_windows", "regime_events"] {
+            assert!(v.get(key).is_some(), "missing {key} in frame:\n{line}");
+        }
+    }
+}
+
+#[test]
 fn monitor_validates_inputs() {
     assert!(!cli(&["monitor", "--scenario", "9"]).status.success());
     assert!(!cli(&["monitor", "--bogus", "1"]).status.success());

@@ -1,0 +1,98 @@
+//! Acceptance tests for the streaming drift watch (DESIGN.md §15):
+//! a flash crowd must be flagged within three windows of onset, the six
+//! stationary Table 2 scenarios must fire nothing (zero false
+//! positives), and the whole pipeline must be bit-identical across
+//! thread counts.
+
+use split_repro::experiment;
+use split_repro::gpu_sim::DeviceConfig;
+use split_repro::sched::{simulate, Policy};
+use split_repro::split_watch::WatchCfg;
+use split_repro::workload::{all_scenarios, DriftProfile, RequestTrace, Scenario};
+
+const ONSET_US: f64 = 60_000_000.0;
+
+fn flash_crowd_trace() -> RequestTrace {
+    let sc = Scenario::table2(3);
+    let profile = DriftProfile::FlashCrowd {
+        base_interval_us: sc.lambda_us(),
+        onset_us: ONSET_US,
+        surge: 8.0,
+        dwell_us: 40_000_000.0,
+    };
+    RequestTrace::generate_drift(sc, &experiment::PAPER_MODEL_NAMES, profile)
+}
+
+#[test]
+fn flash_crowd_is_flagged_within_three_windows_of_onset() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let trace = flash_crowd_trace();
+    let r = simulate(
+        &Policy::Split(Default::default()),
+        &trace.arrivals,
+        deployment.table(),
+    );
+    let report = r.drift(WatchCfg::default());
+    assert!(report.conservation_holds(), "sample conservation broke");
+    let onset_window = (ONSET_US / report.window_us) as u64;
+    let first = report
+        .events
+        .first()
+        .expect("the 8x flash crowd must fire at least one regime event");
+    assert!(
+        (onset_window..=onset_window + 3).contains(&first.window),
+        "first regime event in window {} but onset is window {onset_window}: {}",
+        first.window,
+        first.render(),
+    );
+}
+
+#[test]
+fn stationary_table2_scenarios_fire_no_regime_events() {
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    for sc in all_scenarios() {
+        let trace = RequestTrace::generate(sc, &experiment::PAPER_MODEL_NAMES);
+        let r = simulate(
+            &Policy::Split(Default::default()),
+            &trace.arrivals,
+            deployment.table(),
+        );
+        let report = r.drift(WatchCfg::default());
+        assert!(
+            report.conservation_holds(),
+            "scenario {}: sample conservation broke",
+            sc.index
+        );
+        assert!(
+            report.events.is_empty(),
+            "scenario {} is stationary but fired: {}",
+            sc.index,
+            report
+                .events
+                .iter()
+                .map(|e| e.render())
+                .collect::<Vec<_>>()
+                .join("; "),
+        );
+    }
+}
+
+#[test]
+fn drift_report_is_bit_identical_across_thread_counts() {
+    let run = || {
+        let dev = DeviceConfig::jetson_nano();
+        let deployment = experiment::paper_deployment(&dev);
+        let trace = flash_crowd_trace();
+        let r = simulate(
+            &Policy::Split(Default::default()),
+            &trace.arrivals,
+            deployment.table(),
+        );
+        serde_json::to_string(&r.drift(WatchCfg::default())).expect("report serializes")
+    };
+    let one = split_repro::rayon::with_threads(1, run);
+    let four = split_repro::rayon::with_threads(4, run);
+    assert_eq!(one, four, "drift report must not depend on thread count");
+}
