@@ -19,15 +19,29 @@
 //! * `sketch/*`, `window/rotate`, `drift/replay` — the drift-watch hot
 //!   paths: quantile-sketch insert and merge, window-ring rotation, and
 //!   replaying a full schedule through the windowed detectors (gated at
-//!   ≤ 5% of simulate/SPLIT p50 in `--check` mode).
+//!   ≤ 5% of simulate/SPLIT p50 in `--check` mode);
+//! * `decision_core/contend{8,16,32,64}` (and `…_mutex` controls) — the
+//!   combining decision core under client-thread contention: N threads
+//!   hammer scheduler decisions and every operation's publish→applied
+//!   latency lands in a shared histogram, reported as p50/p99/p999. The
+//!   `…_mutex` twins run the identical handler through the old
+//!   lock-per-operation path, so the committed pair is the measured
+//!   combining-vs-lock-handoff gap.
 //!
 //! Every entry runs `iters/5` (min 1) untimed warmup iterations, then
 //! ≥ 5 timed ones, and reports `{name, p50_ns, mean_ns, iters}` plus
-//! `ns_per_item` where an entry processes a counted batch. With
-//! `--check`, the binary instead compares fresh p50s against the
-//! committed `BENCH_core.json` and exits non-zero if any entry regressed
-//! more than 3× — the CI perf-smoke gate. Without it, this is a trend
-//! tool: the file is rewritten and CI only fails on a panic.
+//! `ns_per_item` where an entry processes a counted batch (the
+//! decision-core entries add `p99_ns`/`p999_ns` from their latency
+//! histogram). With `--check`, the binary instead compares fresh p50s
+//! against the committed `BENCH_core.json` and exits non-zero if any
+//! entry regressed more than 3× — the CI perf-smoke gate. Without it,
+//! this is a trend tool: the file is rewritten and CI only fails on a
+//! panic.
+//!
+//! Positional arguments are name-prefix filters (`perfbench
+//! decision_core/contend8` runs just that contention pair); a filtered
+//! run never rewrites `BENCH_core.json`. `--smoke` shrinks the
+//! contention run for CI functional coverage.
 
 use dnn_graph::{Graph, SplitSpec};
 use gpu_sim::{CostTable, DeviceConfig};
@@ -73,6 +87,11 @@ struct Entry {
     /// counted batch (candidate profiles, served requests); `None` for
     /// single-artifact entries.
     items: Option<u64>,
+    /// Tail percentiles, for entries backed by a per-operation latency
+    /// histogram (the decision-core contention family) rather than
+    /// per-iteration wall samples.
+    p99_ns: Option<u64>,
+    p999_ns: Option<u64>,
 }
 
 /// Time `iters` runs of `f` after `iters/5` (min 1) untimed warmup runs
@@ -113,8 +132,35 @@ impl Entry {
             mean_ns,
             iters,
             items: None,
+            p99_ns: None,
+            p999_ns: None,
         }
     }
+
+    /// Summarize a per-operation latency histogram (publish→applied
+    /// decision latencies): p50/p99/p999 come from the histogram's
+    /// log-bucketed quantiles, `iters` is the operation count.
+    fn from_decision_stats(name: impl Into<String>, stats: &split_runtime::DecisionStats) -> Self {
+        let name = name.into();
+        let (p50, p99, p999) = (stats.p50_ns(), stats.p99_ns(), stats.p999_ns());
+        println!(
+            "{name:32} p50 {:>9} ns   p99 {:>9} ns   p999 {:>9} ns   ({} ops)",
+            p50,
+            p99,
+            p999,
+            stats.count()
+        );
+        Entry {
+            name,
+            p50_ns: p50,
+            mean_ns: stats.mean_ns(),
+            iters: stats.count() as usize,
+            items: None,
+            p99_ns: Some(p99),
+            p999_ns: Some(p999),
+        }
+    }
+
     fn with_items(mut self, items: u64) -> Self {
         self.items = Some(items);
         self
@@ -146,63 +192,151 @@ fn candidate_specs(graph: &Graph) -> Vec<SplitSpec> {
     specs
 }
 
+/// Shared state for the decision-core contention benchmark: the
+/// scheduler queue the decision scans plus the latency histogram every
+/// operation lands in.
+struct DecisionBenchState {
+    queue: Vec<u64>,
+    stats: split_runtime::DecisionStats,
+}
+
+/// The SPLIT decision shape on the combining core's hot path: scan the
+/// deadline-ordered queue for the preemption position, insert, keep the
+/// queue at serving depth — then account the operation's
+/// publish→applied latency. Identical for both cores, so the committed
+/// pair isolates the synchronization discipline.
+fn decision_bench_handler(st: &mut DecisionBenchState, deadline: u64, publish: Instant) -> usize {
+    let pos = st
+        .queue
+        .iter()
+        .position(|&d| d > deadline)
+        .unwrap_or(st.queue.len());
+    st.queue.insert(pos, deadline);
+    if st.queue.len() > 32 {
+        st.queue.pop();
+    }
+    st.stats.record(publish.elapsed().as_nanos() as u64);
+    pos
+}
+
+/// Run `threads` client threads, each submitting `ops` decisions
+/// through `submit`, after a warmup round whose latencies `reset`
+/// discards.
+/// Closed-loop contention harness: `threads` clients split `total_ops`
+/// submissions between them, each sleeping a pseudo-random think time
+/// after every response before issuing the next request.
+///
+/// Think time scales with the thread count so the *aggregate* offered
+/// load stays roughly constant as threads grow — the standard
+/// closed-loop discipline for isolating synchronization cost. Without
+/// it, N busy-loop clients oversubscribe the host's cores and the
+/// benchmark measures OS lock-holder preemption (any thread
+/// descheduled mid-decision strands the rest for whole scheduling
+/// quanta), not the decision path under contention.
+fn contend(threads: usize, total_ops: usize, submit: &(dyn Fn(u64) + Sync), reset: impl FnOnce()) {
+    let per_thread = (total_ops / threads).max(1);
+    let round = |per_thread: usize| {
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || {
+                    // Deterministic per-thread deadline stream so the
+                    // queue scan does real ordering work.
+                    let mut x = 0x9E37_79B9u64.wrapping_mul(t as u64 + 1);
+                    for _ in 0..per_thread {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        submit(x % 1_000_000);
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            1 + x % (16 * threads as u64),
+                        ));
+                    }
+                });
+            }
+        });
+    };
+    round((per_thread / 5).max(1));
+    reset();
+    round(per_thread);
+}
+
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let filters: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    // Two-way prefix match so `decision_core` selects the whole family
+    // and `decision_core/contend8` narrows to one pair; called with
+    // family prefixes below, so either direction may be the longer one.
+    let selected = |name: &str| {
+        filters.is_empty()
+            || filters
+                .iter()
+                .any(|f| name.starts_with(f.as_str()) || f.starts_with(name))
+    };
     let dev = DeviceConfig::jetson_nano();
     let mut entries: Vec<Entry> = Vec::new();
 
     // --- Candidate profiling: direct arithmetic vs the memoized cost
     // table, over the same fixed candidate batch. ---
-    for id in [ModelId::ResNet50, ModelId::Gpt2] {
-        let graph = id.build_calibrated(&dev);
-        let name = id.info().name;
-        let specs = candidate_specs(&graph);
-        let n = specs.len() as u64;
-        let direct = time(
-            format!("profile_candidate_direct/{name}"),
-            FAST_ITERS,
-            || {
+    if selected("profile_candidate") {
+        for id in [ModelId::ResNet50, ModelId::Gpt2] {
+            let graph = id.build_calibrated(&dev);
+            let name = id.info().name;
+            let specs = candidate_specs(&graph);
+            let n = specs.len() as u64;
+            let direct = time(
+                format!("profile_candidate_direct/{name}"),
+                FAST_ITERS,
+                || {
+                    specs
+                        .iter()
+                        .map(|s| profile_split(&graph, s, &dev).total_us())
+                        .sum::<f64>()
+                },
+            )
+            .with_items(n);
+            let table = CostTable::build(&graph, &dev);
+            let memoized = time(format!("profile_candidate/{name}"), FAST_ITERS, || {
                 specs
                     .iter()
-                    .map(|s| profile_split(&graph, s, &dev).total_us())
+                    .map(|s| profile_split_on(&table, s).total_us())
                     .sum::<f64>()
-            },
-        )
-        .with_items(n);
-        let table = CostTable::build(&graph, &dev);
-        let memoized = time(format!("profile_candidate/{name}"), FAST_ITERS, || {
-            specs
-                .iter()
-                .map(|s| profile_split_on(&table, s).total_us())
-                .sum::<f64>()
-        })
-        .with_items(n);
-        println!(
-            "    cost-table speedup ({name}, {n} candidates): {:.2}x",
-            direct.p50_ns as f64 / memoized.p50_ns.max(1) as f64
-        );
-        entries.push(direct);
-        entries.push(memoized);
+            })
+            .with_items(n);
+            println!(
+                "    cost-table speedup ({name}, {n} candidates): {:.2}x",
+                direct.p50_ns as f64 / memoized.p50_ns.max(1) as f64
+            );
+            entries.push(direct);
+            entries.push(memoized);
+        }
     }
 
     // --- Offline: GA split search on a representative long model pair. ---
-    for id in [ModelId::ResNet50, ModelId::Vgg19] {
-        let graph = id.build_calibrated(&dev);
-        let name = id.info().name;
-        entries.push(time(format!("ga_split/{name}"), ITERS, || {
-            evolve(
-                &graph,
-                &dev,
-                &GaConfig::new(3).with_seed(experiment::OFFLINE_SEED),
-            )
-        }));
+    if selected("ga_split") {
+        for id in [ModelId::ResNet50, ModelId::Vgg19] {
+            let graph = id.build_calibrated(&dev);
+            let name = id.info().name;
+            entries.push(time(format!("ga_split/{name}"), ITERS, || {
+                evolve(
+                    &graph,
+                    &dev,
+                    &GaConfig::new(3).with_seed(experiment::OFFLINE_SEED),
+                )
+            }));
+        }
     }
 
     // --- Pool: the same GA search pinned to one worker vs the ambient
     // pool width, on the op-heaviest zoo model. The ratio is the
     // work-stealing pool's speedup on population profiling; at
     // SPLIT_THREADS=1 (or on a 1-core host) the two entries coincide.
-    {
+    if selected("ga_split_seq") || selected("ga_split_par") {
         let graph = ModelId::Gpt2.build_calibrated(&dev);
         let cfg = GaConfig::new(3).with_seed(experiment::OFFLINE_SEED);
         let seq = time("ga_split_seq/gpt2", ITERS, || {
@@ -222,87 +356,226 @@ fn main() {
         entries.push(par);
     }
 
-    // --- Online: one simulate() of the fig6 scenario-3 workload per policy. ---
-    let deployment = experiment::paper_deployment(&dev);
-    let workload = RequestTrace::generate(Scenario::table2(3), &experiment::PAPER_MODEL_NAMES);
-    let requests = workload.arrivals.len() as u64;
+    // --- The simulation-backed families share one deployment and
+    // workload; none of it is built when the filters skip them all. ---
+    let need_workload = selected("simulate")
+        || selected("simulate_flight")
+        || selected("telemetry")
+        || selected("sketch")
+        || selected("window")
+        || selected("drift");
     let mut simulate_split_p50 = 0u64;
-    for policy in Policy::all_default() {
-        let e = time(format!("simulate/{}", policy.name()), ITERS, || {
-            simulate(&policy, &workload.arrivals, deployment.table())
-        })
-        .with_items(requests);
-        if matches!(policy, Policy::Split(_)) {
-            simulate_split_p50 = e.p50_ns;
+    if need_workload {
+        // --- Online: one simulate() of the fig6 scenario-3 workload per policy. ---
+        let deployment = experiment::paper_deployment(&dev);
+        let workload = RequestTrace::generate(Scenario::table2(3), &experiment::PAPER_MODEL_NAMES);
+        let requests = workload.arrivals.len() as u64;
+        if selected("simulate") {
+            for policy in Policy::all_default() {
+                let e = time(format!("simulate/{}", policy.name()), ITERS, || {
+                    simulate(&policy, &workload.arrivals, deployment.table())
+                })
+                .with_items(requests);
+                if matches!(policy, Policy::Split(_)) {
+                    simulate_split_p50 = e.p50_ns;
+                }
+                entries.push(e);
+            }
         }
-        entries.push(e);
-    }
 
-    // --- Forensics: the flight recorder's overhead on the full serving
-    // path, measured as an interleaved on/off pair over the same
-    // workload: samples alternate off/on so clock drift and cache state
-    // hit both sides equally, and the overhead is the median of the
-    // paired per-iteration differences (robust to the odd slow sample,
-    // unlike a ratio of independent p50s). The subsystem's always-on
-    // claim rests on this number staying ≤ 5% of p50 (checked in
-    // --check mode, gated in CI). ---
-    {
-        let split = Policy::Split(Default::default());
-        let run = |flight: bool| {
-            drop(split_forensics::with_flight(flight, || {
-                simulate(&split, &workload.arrivals, deployment.table())
-            }));
-        };
-        for _ in 0..(FLIGHT_ITERS / 5).max(1) {
-            run(false);
-            run(true);
-        }
-        let mut off_ns: Vec<u64> = Vec::with_capacity(FLIGHT_ITERS);
-        let mut on_ns: Vec<u64> = Vec::with_capacity(FLIGHT_ITERS);
-        let mut diff_ns: Vec<i64> = Vec::with_capacity(FLIGHT_ITERS);
-        for i in 0..FLIGHT_ITERS {
-            // Alternate which leg goes first: the second run of a pair
-            // is systematically slower (allocator and cache state left
-            // by the first), and that position bias would otherwise
-            // masquerade as recorder overhead.
-            let first_on = i % 2 == 1;
-            let t0 = Instant::now();
-            run(first_on);
-            let a = t0.elapsed().as_nanos() as u64;
-            let t0 = Instant::now();
-            run(!first_on);
-            let b = t0.elapsed().as_nanos() as u64;
-            let (off, on) = if first_on { (b, a) } else { (a, b) };
-            off_ns.push(off);
-            on_ns.push(on);
-            diff_ns.push(on as i64 - off as i64);
-        }
-        let off = Entry::from_samples("simulate_flight_off/SPLIT", off_ns).with_items(requests);
-        let on = Entry::from_samples("simulate_flight_on/SPLIT", on_ns).with_items(requests);
-        diff_ns.sort_unstable();
-        let overhead = diff_ns[diff_ns.len() / 2] as f64 / off.p50_ns.max(1) as f64;
-        println!(
-            "    flight-recorder overhead on simulate/SPLIT: {:+.2}% p50 (median paired diff)",
-            100.0 * overhead
-        );
-        if check && overhead > FLIGHT_OVERHEAD_LIMIT {
-            eprintln!(
-                "\nperf-smoke FAILED: flight recorder costs {:.2}% p50 on simulate/SPLIT \
-                 (limit {:.0}%)",
-                100.0 * overhead,
-                100.0 * FLIGHT_OVERHEAD_LIMIT
+        // --- Forensics: the flight recorder's overhead on the full serving
+        // path, measured as an interleaved on/off pair over the same
+        // workload: samples alternate off/on so clock drift and cache state
+        // hit both sides equally, and the overhead is the median of the
+        // paired per-iteration differences (robust to the odd slow sample,
+        // unlike a ratio of independent p50s). The subsystem's always-on
+        // claim rests on this number staying ≤ 5% of p50 (checked in
+        // --check mode, gated in CI). ---
+        if selected("simulate_flight") {
+            let split = Policy::Split(Default::default());
+            let run = |flight: bool| {
+                drop(split_forensics::with_flight(flight, || {
+                    simulate(&split, &workload.arrivals, deployment.table())
+                }));
+            };
+            for _ in 0..(FLIGHT_ITERS / 5).max(1) {
+                run(false);
+                run(true);
+            }
+            let mut off_ns: Vec<u64> = Vec::with_capacity(FLIGHT_ITERS);
+            let mut on_ns: Vec<u64> = Vec::with_capacity(FLIGHT_ITERS);
+            let mut diff_ns: Vec<i64> = Vec::with_capacity(FLIGHT_ITERS);
+            for i in 0..FLIGHT_ITERS {
+                // Alternate which leg goes first: the second run of a pair
+                // is systematically slower (allocator and cache state left
+                // by the first), and that position bias would otherwise
+                // masquerade as recorder overhead.
+                let first_on = i % 2 == 1;
+                let t0 = Instant::now();
+                run(first_on);
+                let a = t0.elapsed().as_nanos() as u64;
+                let t0 = Instant::now();
+                run(!first_on);
+                let b = t0.elapsed().as_nanos() as u64;
+                let (off, on) = if first_on { (b, a) } else { (a, b) };
+                off_ns.push(off);
+                on_ns.push(on);
+                diff_ns.push(on as i64 - off as i64);
+            }
+            let off = Entry::from_samples("simulate_flight_off/SPLIT", off_ns).with_items(requests);
+            let on = Entry::from_samples("simulate_flight_on/SPLIT", on_ns).with_items(requests);
+            diff_ns.sort_unstable();
+            let overhead = diff_ns[diff_ns.len() / 2] as f64 / off.p50_ns.max(1) as f64;
+            println!(
+                "    flight-recorder overhead on simulate/SPLIT: {:+.2}% p50 (median paired diff)",
+                100.0 * overhead
             );
-            std::process::exit(1);
+            if check && overhead > FLIGHT_OVERHEAD_LIMIT {
+                eprintln!(
+                    "\nperf-smoke FAILED: flight recorder costs {:.2}% p50 on simulate/SPLIT \
+                 (limit {:.0}%)",
+                    100.0 * overhead,
+                    100.0 * FLIGHT_OVERHEAD_LIMIT
+                );
+                std::process::exit(1);
+            }
+            entries.push(off);
+            entries.push(on);
         }
-        entries.push(off);
-        entries.push(on);
+
+        // --- Telemetry and drift share one recorded simulation. ---
+        if selected("telemetry") || selected("sketch") || selected("window") || selected("drift") {
+            let result = simulate(
+                &Policy::Split(Default::default()),
+                &workload.arrivals,
+                deployment.table(),
+            );
+            if selected("telemetry") {
+                entries.push(time("telemetry/registry_snapshot", FAST_ITERS, || {
+                    result.metrics().snapshot()
+                }));
+                entries.push(time("telemetry/attribution", FAST_ITERS, || {
+                    result.attribution()
+                }));
+            }
+
+            // --- Drift watch: the sketch and window hot paths, plus the full
+            // drift projection's cost relative to the simulate it watches. ---
+            if selected("sketch") || selected("window") || selected("drift") {
+                use split_repro::split_telemetry::sketch::QuantileSketch;
+                use split_repro::split_watch::{WatchCfg, WindowRing};
+                // Deterministic sample stream (xorshift64*): same values every
+                // run, so entries are comparable across runs.
+                let mut state = 0x5EED_1234_ABCDu64;
+                let mut next = move || {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    state % 1_000_000
+                };
+                let samples: Vec<u64> = (0..65_536).map(|_| next()).collect();
+                entries.push(
+                    time("sketch/insert", FAST_ITERS, || {
+                        let mut s = QuantileSketch::default();
+                        for &v in &samples {
+                            s.record(v);
+                        }
+                        s
+                    })
+                    .with_items(samples.len() as u64),
+                );
+                let shards: Vec<QuantileSketch> = samples
+                    .chunks(1_024)
+                    .map(|c| {
+                        let mut s = QuantileSketch::default();
+                        for &v in c {
+                            s.record(v);
+                        }
+                        s
+                    })
+                    .collect();
+                entries.push(
+                    time("sketch/merge", FAST_ITERS, || {
+                        let mut out = QuantileSketch::default();
+                        for s in &shards {
+                            out.merge(s);
+                        }
+                        out
+                    })
+                    .with_items(shards.len() as u64),
+                );
+                // 256 windows × 4 observations each; the entry times the whole
+                // feed, the per-item figure is the cost of one rotation.
+                let windows = 256u64;
+                entries.push(
+                    time("window/rotate", FAST_ITERS, || {
+                        let mut ring = WindowRing::new(1_000.0, 64, 0.01);
+                        for w in 0..windows {
+                            for i in 0..4u64 {
+                                let t = w as f64 * 1_000.0 + 1.0 + i as f64 * 200.0;
+                                ring.observe_arrival(t, "m");
+                                ring.observe_completion(t, "m", 2_000.0, false);
+                            }
+                        }
+                        ring.finalize()
+                    })
+                    .with_items(windows),
+                );
+                // The live recording path: what a serving thread pays per
+                // request (one arrival + one judged completion) with the model
+                // mix the paper serves. One huge window isolates the record
+                // cost; rotation is amortized and timed by window/rotate.
+                let record_pairs = 4_096u64;
+                let record = time("drift/record", FAST_ITERS, || {
+                    let mut ring = WindowRing::new(1e12, 64, 0.01);
+                    for i in 0..record_pairs {
+                        let model = experiment::PAPER_MODEL_NAMES
+                            [(i % experiment::PAPER_MODEL_NAMES.len() as u64) as usize];
+                        let t = i as f64 * 10.0;
+                        ring.observe_arrival(t, model);
+                        ring.observe_completion(
+                            t + 5.0,
+                            model,
+                            2_000.0 + (i % 7) as f64 * 900.0,
+                            i % 9 == 0,
+                        );
+                    }
+                    ring
+                })
+                .with_items(record_pairs);
+                let per_request = record.ns_per_item().unwrap_or(0.0);
+                let sim_per_request = simulate_split_p50 as f64 / requests.max(1) as f64;
+                let overhead = per_request / sim_per_request.max(1.0);
+                if simulate_split_p50 > 0 {
+                    println!(
+                        "    drift-recording cost per request: {per_request:.0} ns \
+                 ({:.2}% of simulate/SPLIT per-request p50)",
+                        100.0 * overhead
+                    );
+                }
+                if check && simulate_split_p50 > 0 && overhead > DRIFT_OVERHEAD_LIMIT {
+                    eprintln!(
+                        "\nperf-smoke FAILED: drift recording costs {:.2}% of simulate/SPLIT \
+                 per-request p50 (limit {:.0}%)",
+                        100.0 * overhead,
+                        100.0 * DRIFT_OVERHEAD_LIMIT
+                    );
+                    std::process::exit(1);
+                }
+                entries.push(record);
+                entries.push(
+                    time("drift/replay", ITERS, || result.drift(WatchCfg::default()))
+                        .with_items(requests),
+                );
+            }
+        }
     }
 
     // --- Forensics: the raw seqlock write path — what a live server
     // thread pays per causal event it pushes into the shared ring
     // (simulate's flight view is a lazy projection and never touches
     // it). ---
-    {
+    if selected("flight_ring") {
         let ring = split_forensics::FlightRing::with_capacity(8_192);
         let n = 8_192u64;
         entries.push(
@@ -315,129 +588,78 @@ fn main() {
         );
     }
 
-    // --- Telemetry: registry/snapshot and attribution over one recording. ---
-    let result = simulate(
-        &Policy::Split(Default::default()),
-        &workload.arrivals,
-        deployment.table(),
-    );
-    entries.push(time("telemetry/registry_snapshot", FAST_ITERS, || {
-        result.metrics().snapshot()
-    }));
-    entries.push(time("telemetry/attribution", FAST_ITERS, || {
-        result.attribution()
-    }));
-
-    // --- Drift watch: the sketch and window hot paths, plus the full
-    // drift projection's cost relative to the simulate it watches. ---
-    {
-        use split_repro::split_telemetry::sketch::QuantileSketch;
-        use split_repro::split_watch::{WatchCfg, WindowRing};
-        // Deterministic sample stream (xorshift64*): same values every
-        // run, so entries are comparable across runs.
-        let mut state = 0x5EED_1234_ABCDu64;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state % 1_000_000
-        };
-        let samples: Vec<u64> = (0..65_536).map(|_| next()).collect();
-        entries.push(
-            time("sketch/insert", FAST_ITERS, || {
-                let mut s = QuantileSketch::default();
-                for &v in &samples {
-                    s.record(v);
-                }
-                s
-            })
-            .with_items(samples.len() as u64),
-        );
-        let shards: Vec<QuantileSketch> = samples
-            .chunks(1_024)
-            .map(|c| {
-                let mut s = QuantileSketch::default();
-                for &v in c {
-                    s.record(v);
-                }
-                s
-            })
-            .collect();
-        entries.push(
-            time("sketch/merge", FAST_ITERS, || {
-                let mut out = QuantileSketch::default();
-                for s in &shards {
-                    out.merge(s);
-                }
-                out
-            })
-            .with_items(shards.len() as u64),
-        );
-        // 256 windows × 4 observations each; the entry times the whole
-        // feed, the per-item figure is the cost of one rotation.
-        let windows = 256u64;
-        entries.push(
-            time("window/rotate", FAST_ITERS, || {
-                let mut ring = WindowRing::new(1_000.0, 64, 0.01);
-                for w in 0..windows {
-                    for i in 0..4u64 {
-                        let t = w as f64 * 1_000.0 + 1.0 + i as f64 * 200.0;
-                        ring.observe_arrival(t, "m");
-                        ring.observe_completion(t, "m", 2_000.0, false);
-                    }
-                }
-                ring.finalize()
-            })
-            .with_items(windows),
-        );
-        // The live recording path: what a serving thread pays per
-        // request (one arrival + one judged completion) with the model
-        // mix the paper serves. One huge window isolates the record
-        // cost; rotation is amortized and timed by window/rotate.
-        let record_pairs = 4_096u64;
-        let record = time("drift/record", FAST_ITERS, || {
-            let mut ring = WindowRing::new(1e12, 64, 0.01);
-            for i in 0..record_pairs {
-                let model = experiment::PAPER_MODEL_NAMES
-                    [(i % experiment::PAPER_MODEL_NAMES.len() as u64) as usize];
-                let t = i as f64 * 10.0;
-                ring.observe_arrival(t, model);
-                ring.observe_completion(
-                    t + 5.0,
-                    model,
-                    2_000.0 + (i % 7) as f64 * 900.0,
-                    i % 9 == 0,
-                );
+    // --- Decision core under contention: N client threads hammer
+    // scheduler decisions through the combining core and through the
+    // old lock-per-operation path, identical handlers. The entries'
+    // p50/p99/p999 are publish→applied latencies from the shared
+    // histogram — the microsecond-decision claim of §3.4 measured under
+    // the thread counts the paper's serving tier sees. ---
+    if selected("decision_core") {
+        let ops = if smoke { 3_200 } else { 16_000 };
+        for threads in [8usize, 16, 32, 64] {
+            let pair_name = format!("decision_core/contend{threads}");
+            if !selected(&pair_name) {
+                continue;
             }
-            ring
-        })
-        .with_items(record_pairs);
-        let per_request = record.ns_per_item().unwrap_or(0.0);
-        let sim_per_request = simulate_split_p50 as f64 / requests.max(1) as f64;
-        let overhead = per_request / sim_per_request.max(1.0);
-        println!(
-            "    drift-recording cost per request: {per_request:.0} ns \
-             ({:.2}% of simulate/SPLIT per-request p50)",
-            100.0 * overhead
-        );
-        if check && overhead > DRIFT_OVERHEAD_LIMIT {
-            eprintln!(
-                "\nperf-smoke FAILED: drift recording costs {:.2}% of simulate/SPLIT \
-                 per-request p50 (limit {:.0}%)",
-                100.0 * overhead,
-                100.0 * DRIFT_OVERHEAD_LIMIT
+            let combining = split_runtime::CombiningCore::new(
+                DecisionBenchState {
+                    queue: Vec::with_capacity(64),
+                    stats: split_runtime::DecisionStats::new(),
+                },
+                decision_bench_handler,
             );
-            std::process::exit(1);
+            contend(
+                threads,
+                ops,
+                &|deadline| {
+                    combining.submit(deadline);
+                },
+                || {
+                    combining.with_state(|st| st.stats = split_runtime::DecisionStats::new());
+                },
+            );
+            let comb = combining.with_state(|st| Entry::from_decision_stats(&pair_name, &st.stats));
+
+            let mutexed = split_runtime::MutexCore::new(
+                DecisionBenchState {
+                    queue: Vec::with_capacity(64),
+                    stats: split_runtime::DecisionStats::new(),
+                },
+                decision_bench_handler,
+            );
+            contend(
+                threads,
+                ops,
+                &|deadline| {
+                    mutexed.submit(deadline);
+                },
+                || {
+                    mutexed.with_state(|st| st.stats = split_runtime::DecisionStats::new());
+                },
+            );
+            let ctrl = mutexed.with_state(|st| {
+                Entry::from_decision_stats(format!("{pair_name}_mutex"), &st.stats)
+            });
+            println!(
+                "    combining-core p99 advantage over the lock path \
+                 ({threads} threads): {:.1}x",
+                ctrl.p99_ns.unwrap_or(0) as f64 / comb.p99_ns.unwrap_or(1).max(1) as f64
+            );
+            entries.push(comb);
+            entries.push(ctrl);
         }
-        entries.push(record);
-        entries.push(
-            time("drift/replay", ITERS, || result.drift(WatchCfg::default())).with_items(requests),
-        );
     }
 
     let path = bench::results_dir().join("../BENCH_core.json");
     if check {
         check_against_committed(&path, &entries);
+        return;
+    }
+    if !filters.is_empty() {
+        println!(
+            "\n{} entries from a filtered run — BENCH_core.json left untouched",
+            entries.len()
+        );
         return;
     }
 
@@ -452,6 +674,12 @@ fn main() {
                 m.insert("iters", Value::Number(Number::PosInt(e.iters as u64)));
                 if let Some(per_item) = e.ns_per_item() {
                     m.insert("ns_per_item", Value::Number(Number::Float(per_item)));
+                }
+                if let Some(p99) = e.p99_ns {
+                    m.insert("p99_ns", Value::Number(Number::PosInt(p99)));
+                }
+                if let Some(p999) = e.p999_ns {
+                    m.insert("p999_ns", Value::Number(Number::PosInt(p999)));
                 }
                 Value::Object(m)
             })
@@ -480,6 +708,14 @@ fn check_against_committed(path: &std::path::Path, entries: &[Entry]) {
     };
     let mut failures = Vec::new();
     for e in entries {
+        // The `_mutex` entries are experimental controls (the replaced
+        // architecture), kept for the p99-ratio comparison, not product
+        // performance: their latency is context-switch dominated and
+        // swings several-fold with host scheduler noise, so gating them
+        // would only make the check flaky.
+        if e.name.ends_with("_mutex") {
+            continue;
+        }
         let Some(base) = p50_of(&e.name).filter(|&b| b > 0) else {
             println!("    (no committed baseline for {}, skipped)", e.name);
             continue;

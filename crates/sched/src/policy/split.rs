@@ -166,18 +166,32 @@ pub fn split(arrivals: &[Arrival], models: &ModelTable, cfg: &SplitCfg) -> SimRe
                     now,
                     cfg.alpha,
                 );
+                let decision_ns = t0.elapsed().as_nanos() as u64;
                 recorder.record(Event::PreemptDecision {
                     req: a.id,
                     position: decision.position,
                     comparisons: decision.comparisons,
                     stop: format!("{:?}", decision.stop),
-                    decision_ns: t0.elapsed().as_nanos() as u64,
+                    decision_ns,
+                    // The discrete-event simulator has no slot-publish
+                    // step: the decision is applied synchronously, so
+                    // publish-to-applied equals the greedy scan itself.
+                    publish_ns: decision_ns,
                     t_us: now,
                 });
+                debug_assert!(
+                    decision.position < queue.len(),
+                    "greedy_preempt returned position {} past queue of {}",
+                    decision.position,
+                    queue.len()
+                );
                 recorder.record(Event::Enqueue {
                     req: a.id,
                     position: decision.position,
-                    displaced: queue.len() - 1 - decision.position,
+                    displaced: queue
+                        .len()
+                        .saturating_sub(1)
+                        .saturating_sub(decision.position),
                     t_us: now,
                 });
             }

@@ -40,6 +40,11 @@
 //!   mixing two writes (`FlightRing::snapshot` vs `record`)
 //! * `SA206` — snapshot not a consistent cut: an accepted record never
 //!   existed in the published history
+//! * `SA207` — lost slot: a published combining slot was skipped,
+//!   consumed twice, or a queued request vanished across the combiner
+//!   lock handoff (`CombiningCore::submit` / `drain`)
+//! * `SA208` — stale response: a client observed a slot response the
+//!   combiner never wrote for its request
 //! * `SA210` — data race: two unsynchronized conflicting accesses, at
 //!   least one non-atomic
 //!
@@ -948,6 +953,327 @@ fn message_passing_check(fs: &FinalState<'_>) -> Vec<String> {
     }
 }
 
+// Combining-core handoff cell layout: the combiner lock, one
+// pre-published slot, the scheduler queue depth, and a pass counter.
+const CB_LOCK: usize = 0;
+const CB_SLOT: usize = 1;
+const CB_Q: usize = 2;
+const CB_WINS: usize = 3;
+
+/// The `CombiningCore` lock handoff (`crates/split-runtime/src/combiner.rs`):
+/// two threads race to become the combiner over one already-published
+/// slot (`CB_SLOT` starts at 1 = PUBLISHED). The winner CASes the lock
+/// (AcqRel), bumps the pass counter, consumes the slot if still
+/// published (Acquire read, Release consume), appends to the scheduler
+/// queue (plain-shaped Relaxed load/store pair — the queue is ordinary
+/// data guarded by the lock), and Release-stores the lock free.
+///
+/// Invariant (SA207): the slot ends consumed exactly once, the lock
+/// ends free, and the queue depth equals the number of combiner passes
+/// — the second combiner must see everything the first one did through
+/// the Release unlock / AcqRel lock edge.
+fn combiner_handoff_machine() -> Machine {
+    let contender = vec![
+        Step::Cas {
+            cell: CB_LOCK,
+            expect: 0,
+            set: 1,
+            ord: MemOrd::AcqRel,
+            orelse: 8, // try_lock failed: someone else is combining
+        },
+        rmw(CB_WINS, RmwOp::Add, 1, MemOrd::SeqCst),
+        load(CB_SLOT, 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(1),
+            eq: false,
+            target: 5, // already consumed by the previous combiner
+        },
+        store(CB_SLOT, 2, MemOrd::Release),
+        load(CB_Q, 1, RLX),
+        Step::Store {
+            cell: CB_Q,
+            val: Operand::RegPlus(1, 1),
+            ord: RLX,
+        },
+        store(CB_LOCK, 0, MemOrd::Release),
+        // 8: end
+    ];
+    Machine {
+        cells: vec![0, 1, 0, 0],
+        threads: vec![contender.clone(), contender],
+    }
+}
+
+fn combiner_handoff_check(fs: &FinalState<'_>) -> Vec<String> {
+    let mut v = Vec::new();
+    let (lock, slot, q, wins) = (
+        fs.cells[CB_LOCK],
+        fs.cells[CB_SLOT],
+        fs.cells[CB_Q],
+        fs.cells[CB_WINS],
+    );
+    if wins == 0 {
+        v.push("no thread ever won the combiner CAS".to_string());
+    }
+    if slot != 2 {
+        v.push(format!(
+            "published slot lost: final state {slot} (want 2 = consumed exactly once)"
+        ));
+    }
+    if lock != 0 {
+        v.push(format!("combiner lock leaked: final state {lock}"));
+    }
+    if q != wins {
+        v.push(format!(
+            "lost queued request across the lock handoff: queue depth {q} after {wins} combiner passes"
+        ));
+    }
+    v
+}
+
+/// SA207 fixture: a publisher whose `try_lock` fails simply gives up —
+/// the real protocol's post-publish recheck (and the combiner's
+/// post-unlock recheck) are both deleted. The current combiner can scan
+/// before the publish lands and the slot is then never consumed.
+fn combiner_no_recheck_machine() -> Machine {
+    let publisher = vec![
+        store(CB_SLOT, 1, MemOrd::SeqCst),
+        Step::Cas {
+            cell: CB_LOCK,
+            expect: 0,
+            set: 1,
+            ord: MemOrd::AcqRel,
+            orelse: 7, // bug: no recheck, no handoff — the slot is stranded
+        },
+        load(CB_SLOT, 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(1),
+            eq: false,
+            target: 5,
+        },
+        store(CB_SLOT, 2, MemOrd::Release),
+        store(CB_LOCK, 0, MemOrd::Release),
+        // 7: end
+    ];
+    let combiner = vec![
+        Step::Cas {
+            cell: CB_LOCK,
+            expect: 0,
+            set: 1,
+            ord: MemOrd::AcqRel,
+            orelse: 6,
+        },
+        load(CB_SLOT, 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(1),
+            eq: false,
+            target: 4,
+        },
+        store(CB_SLOT, 2, MemOrd::Release),
+        store(CB_LOCK, 0, MemOrd::Release),
+        // 6: end (no post-unlock recheck)
+    ];
+    Machine {
+        cells: vec![0, 0],
+        threads: vec![publisher, combiner],
+    }
+}
+
+fn combiner_no_recheck_check(fs: &FinalState<'_>) -> Vec<String> {
+    if fs.cells[CB_SLOT] == 1 {
+        vec![
+            "lost published slot: a request was published but no combiner ever consumed it"
+                .to_string(),
+        ]
+    } else {
+        vec![]
+    }
+}
+
+/// SA207 fixture: two drains run without taking the combiner lock at
+/// all. Both can Acquire-read the slot as PUBLISHED before either marks
+/// it consumed, so one operation is applied twice.
+fn combiner_unlocked_drain_machine() -> Machine {
+    let drain = vec![
+        load(CB_SLOT, 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(1),
+            eq: false,
+            target: 4,
+        },
+        rmw(CB_Q, RmwOp::Add, 1, RLX),
+        store(CB_SLOT, 2, MemOrd::Release),
+        // 4: end
+    ];
+    Machine {
+        cells: vec![0, 1, 0], // lock (unused), slot = PUBLISHED, consume count
+        threads: vec![drain.clone(), drain],
+    }
+}
+
+fn combiner_unlocked_drain_check(fs: &FinalState<'_>) -> Vec<String> {
+    if fs.cells[CB_Q] == 2 {
+        vec!["published operation consumed twice by racing unlocked drains".to_string()]
+    } else {
+        vec![]
+    }
+}
+
+/// SA207 fixture: the handoff with the lock CAS and unlock store
+/// downgraded to Relaxed. Mutual exclusion still holds (CAS success
+/// reads the modification-order maximum) but nothing synchronizes, so
+/// the second combiner can read a stale queue depth and lose the first
+/// combiner's enqueue. Cells: lock, queue depth, pass counter.
+fn combiner_relaxed_handoff_machine() -> Machine {
+    let contender = vec![
+        Step::Cas {
+            cell: 0,
+            expect: 0,
+            set: 1,
+            ord: RLX, // bug: no acquire on lock entry
+            orelse: 5,
+        },
+        rmw(2, RmwOp::Add, 1, MemOrd::SeqCst),
+        load(1, 0, RLX),
+        Step::Store {
+            cell: 1,
+            val: Operand::RegPlus(0, 1),
+            ord: RLX,
+        },
+        store(0, 0, RLX), // bug: no release on unlock
+                          // 5: end
+    ];
+    Machine {
+        cells: vec![0, 0, 0],
+        threads: vec![contender.clone(), contender],
+    }
+}
+
+fn combiner_relaxed_handoff_check(fs: &FinalState<'_>) -> Vec<String> {
+    let (q, wins) = (fs.cells[1], fs.cells[2]);
+    if q != wins {
+        vec![format!(
+            "lost queued request: queue depth {q} after {wins} combiner passes"
+        )]
+    } else {
+        vec![]
+    }
+}
+
+// Slot round-trip cell layout: request word, slot state
+// (0 = FREE, 1 = PUBLISHED, 2 = CONSUMED), response word.
+const RT_REQ: usize = 0;
+const RT_STATE: usize = 1;
+const RT_RESP: usize = 2;
+
+/// One client/combiner slot round trip (`CombiningCore::submit`): the
+/// client writes its request (plain), publishes with a Release state
+/// store, then Acquire-polls the state once; if it reads CONSUMED it
+/// logs the response. The combiner Acquire-reads the state, and if
+/// PUBLISHED computes `request + 100`, writes the response (plain), and
+/// Release-stores CONSUMED.
+///
+/// Invariant (SA208): an observed response is exactly the one computed
+/// for this client's request — 142 for request 42, never a stale or
+/// torn value.
+fn slot_roundtrip_machine(publish_ord: MemOrd, consume_ord: MemOrd) -> Machine {
+    // The bug knobs: `publish_ord` weakens the client's publish edge
+    // (request → combiner), `consume_ord` weakens the combiner's
+    // consume edge (response → client). `Release`/`Release` is the
+    // shipped protocol. The weakened sides keep their payload accesses
+    // atomic-Relaxed so the fixture stays race-free and fires SA208
+    // alone, not SA210.
+    let publish_weak = publish_ord == RLX;
+    let consume_weak = consume_ord == RLX;
+    let pay = |weak: bool| if weak { RLX } else { MemOrd::Plain };
+    let client = vec![
+        Step::Store {
+            cell: RT_REQ,
+            val: Operand::Const(42),
+            ord: pay(publish_weak),
+        },
+        store(RT_STATE, 1, publish_ord),
+        load(
+            RT_STATE,
+            0,
+            if consume_weak { RLX } else { MemOrd::Acquire },
+        ),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(2),
+            eq: false,
+            target: 6,
+        },
+        load(RT_RESP, 1, pay(consume_weak)),
+        Step::Log { reg: 1 },
+        // 6: end
+    ];
+    let combiner = vec![
+        load(RT_STATE, 0, MemOrd::Acquire),
+        Step::JumpIfReg {
+            reg: 0,
+            val: Operand::Const(1),
+            eq: false,
+            target: 5,
+        },
+        load(RT_REQ, 1, pay(publish_weak)),
+        Step::Store {
+            cell: RT_RESP,
+            val: Operand::RegPlus(1, 100),
+            ord: pay(consume_weak),
+        },
+        store(RT_STATE, 2, consume_ord),
+        // 5: end
+    ];
+    Machine {
+        cells: vec![0, 0, 0],
+        threads: vec![client, combiner],
+    }
+}
+
+fn slot_roundtrip_check(fs: &FinalState<'_>) -> Vec<String> {
+    let log = fs.logs[0];
+    match log {
+        [] | [142] => vec![],
+        other => vec![format!(
+            "stale response: client observed {other:?}, the combiner writes exactly 142 \
+             for request 42"
+        )],
+    }
+}
+
+/// SA210 fixture: the slot payload left plain while both state accesses
+/// are Relaxed — the request word races between client and combiner.
+fn slot_plain_payload_machine() -> Machine {
+    Machine {
+        cells: vec![0, 0],
+        threads: vec![
+            vec![
+                Step::Store {
+                    cell: RT_REQ,
+                    val: Operand::Const(42),
+                    ord: MemOrd::Plain,
+                },
+                store(RT_STATE, 1, RLX),
+            ],
+            vec![
+                load(RT_STATE, 0, RLX),
+                Step::JumpIfReg {
+                    reg: 0,
+                    val: Operand::Const(1),
+                    eq: false,
+                    target: 3,
+                },
+                load(RT_REQ, 1, MemOrd::Plain),
+            ],
+        ],
+    }
+}
+
 fn no_check(_: &FinalState<'_>) -> Vec<String> {
     vec![]
 }
@@ -999,6 +1325,18 @@ pub fn catalog() -> Vec<ModelSpec> {
             check: snapshot_cut_check,
         },
         ModelSpec {
+            name: "runtime.combiner.handoff",
+            code: "SA207",
+            machine: combiner_handoff_machine(),
+            check: combiner_handoff_check,
+        },
+        ModelSpec {
+            name: "runtime.combiner.slot_roundtrip",
+            code: "SA208",
+            machine: slot_roundtrip_machine(MemOrd::Release, MemOrd::Release),
+            check: slot_roundtrip_check,
+        },
+        ModelSpec {
             name: "sync.message_passing",
             code: "SA210",
             machine: message_passing_machine(true),
@@ -1039,6 +1377,42 @@ pub fn negative_fixtures() -> Vec<ModelSpec> {
             name: "fixture.relaxed_flag_pair",
             code: "SA210",
             machine: message_passing_machine(false),
+            check: no_check,
+        },
+        ModelSpec {
+            name: "fixture.combiner_no_recheck",
+            code: "SA207",
+            machine: combiner_no_recheck_machine(),
+            check: combiner_no_recheck_check,
+        },
+        ModelSpec {
+            name: "fixture.combiner_unlocked_drain",
+            code: "SA207",
+            machine: combiner_unlocked_drain_machine(),
+            check: combiner_unlocked_drain_check,
+        },
+        ModelSpec {
+            name: "fixture.combiner_relaxed_handoff",
+            code: "SA207",
+            machine: combiner_relaxed_handoff_machine(),
+            check: combiner_relaxed_handoff_check,
+        },
+        ModelSpec {
+            name: "fixture.slot_relaxed_publish",
+            code: "SA208",
+            machine: slot_roundtrip_machine(RLX, MemOrd::Release),
+            check: slot_roundtrip_check,
+        },
+        ModelSpec {
+            name: "fixture.slot_relaxed_consume",
+            code: "SA208",
+            machine: slot_roundtrip_machine(MemOrd::Release, RLX),
+            check: slot_roundtrip_check,
+        },
+        ModelSpec {
+            name: "fixture.slot_plain_payload",
+            code: "SA210",
+            machine: slot_plain_payload_machine(),
             check: no_check,
         },
     ]
@@ -1225,6 +1599,93 @@ mod tests {
         let out = run(&message_passing_machine(false), no_check);
         assert_eq!(out.races.len(), 1, "{:?}", out.races);
         assert_eq!(out.races.first().unwrap().cell, 0);
+    }
+
+    #[test]
+    fn lost_slot_without_recheck() {
+        let out = run(&combiner_no_recheck_machine(), combiner_no_recheck_check);
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.contains("lost published slot")),
+            "{:?}",
+            out.violations
+        );
+        assert!(out.races.is_empty(), "all slot accesses are atomic");
+    }
+
+    #[test]
+    fn unlocked_drains_double_consume() {
+        let out = run(
+            &combiner_unlocked_drain_machine(),
+            combiner_unlocked_drain_check,
+        );
+        assert!(
+            out.violations.iter().any(|v| v.contains("consumed twice")),
+            "{:?}",
+            out.violations
+        );
+        assert!(out.races.is_empty());
+    }
+
+    #[test]
+    fn relaxed_handoff_loses_queued_requests() {
+        let out = run(
+            &combiner_relaxed_handoff_machine(),
+            combiner_relaxed_handoff_check,
+        );
+        assert!(
+            out.violations
+                .iter()
+                .any(|v| v.contains("lost queued request")),
+            "{:?}",
+            out.violations
+        );
+        assert!(out.races.is_empty(), "the broken lock is still all-atomic");
+    }
+
+    #[test]
+    fn weak_slot_edges_yield_stale_responses() {
+        for (publish, consume) in [(RLX, MemOrd::Release), (MemOrd::Release, RLX)] {
+            let out = run(
+                &slot_roundtrip_machine(publish, consume),
+                slot_roundtrip_check,
+            );
+            assert!(
+                out.violations.iter().any(|v| v.contains("stale response")),
+                "publish={publish:?} consume={consume:?}: {:?}",
+                out.violations
+            );
+            assert!(out.races.is_empty(), "weakened sides stay atomic-Relaxed");
+        }
+    }
+
+    #[test]
+    fn plain_slot_payload_races() {
+        let out = run(&slot_plain_payload_machine(), no_check);
+        assert!(!out.races.is_empty());
+        assert!(
+            out.races.iter().all(|r| r.cell == RT_REQ),
+            "{:?}",
+            out.races
+        );
+    }
+
+    #[test]
+    fn only_filter_selects_combiner_machines() {
+        let (report, stats) = check_models(
+            McBudget::default(),
+            Some(&["SA207".to_string(), "SA208".to_string()]),
+        );
+        assert!(report.is_empty(), "{}", report.render_text());
+        let names: Vec<&str> = stats.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "runtime.combiner.handoff",
+                "runtime.combiner.slot_roundtrip"
+            ]
+        );
     }
 
     #[test]

@@ -353,6 +353,7 @@ fn structural(e: &Event) -> Event {
             comparisons: *comparisons,
             stop: stop.clone(),
             decision_ns: 0,
+            publish_ns: 0,
             t_us: *t_us,
         },
         other => other.clone(),

@@ -81,6 +81,66 @@ fn relaxed_only_pair_fires_exactly_sa210() {
 }
 
 #[test]
+fn combiner_no_recheck_fires_exactly_sa207() {
+    let codes = fired_codes(&fixture("fixture.combiner_no_recheck"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA207"]),
+        "a try_lock failure without recheck strands the published slot: {codes:?}"
+    );
+}
+
+#[test]
+fn combiner_unlocked_drain_fires_exactly_sa207() {
+    let codes = fired_codes(&fixture("fixture.combiner_unlocked_drain"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA207"]),
+        "racing lockless drains consume one slot twice: {codes:?}"
+    );
+}
+
+#[test]
+fn combiner_relaxed_handoff_fires_exactly_sa207() {
+    let codes = fired_codes(&fixture("fixture.combiner_relaxed_handoff"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA207"]),
+        "a Relaxed lock handoff loses queued requests, not a race: {codes:?}"
+    );
+}
+
+#[test]
+fn slot_relaxed_publish_fires_exactly_sa208() {
+    let codes = fired_codes(&fixture("fixture.slot_relaxed_publish"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA208"]),
+        "a Relaxed publish lets the combiner answer a stale request: {codes:?}"
+    );
+}
+
+#[test]
+fn slot_relaxed_consume_fires_exactly_sa208() {
+    let codes = fired_codes(&fixture("fixture.slot_relaxed_consume"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA208"]),
+        "a Relaxed consume lets the client read a stale response: {codes:?}"
+    );
+}
+
+#[test]
+fn plain_slot_payload_fires_exactly_sa210() {
+    let codes = fired_codes(&fixture("fixture.slot_plain_payload"));
+    assert_eq!(
+        codes,
+        BTreeSet::from(["SA210"]),
+        "a plain request word under Relaxed flags is a data race: {codes:?}"
+    );
+}
+
+#[test]
 fn every_fixture_has_a_clean_catalog_counterpart() {
     // The fixtures prove the checker catches the bug; the catalog
     // proves the shipped protocol does not have it. Both halves are

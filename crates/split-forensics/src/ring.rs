@@ -531,6 +531,7 @@ mod tests {
             comparisons: 4,
             stop: "won".into(),
             decision_ns: 750,
+            publish_ns: 750,
             t_us: 9.0,
         });
         ring.record_event(&Event::Transfer {

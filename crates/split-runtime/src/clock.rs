@@ -6,13 +6,34 @@
 //! costs ten real microseconds. Thread scheduling, lock contention, and
 //! preemption-decision latency remain genuinely concurrent.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Spin margin at (and below) [`REFERENCE_COMPRESSION`], µs. The OS
+/// sleep overshoots by tens of microseconds, so the final stretch before
+/// a deadline is spun instead of slept.
+const BASE_SPIN_MARGIN_US: f64 = 150.0;
+
+/// Compression at which the historical 150 µs margin was tuned. Above
+/// it the margin shrinks proportionally: at 2000× compression nearly
+/// every block sleep is shorter than 150 real µs, and a fixed margin
+/// would turn the executor into a pure spinner that starves client
+/// threads on a single-core host (and inflates every contention
+/// benchmark). A smaller margin trades a little per-block accuracy —
+/// already dwarfed at that compression by scheduler noise — for actually
+/// yielding the core.
+const REFERENCE_COMPRESSION: f64 = 100.0;
 
 /// A compressed clock mapping wall time to simulated microseconds.
 #[derive(Debug, Clone)]
 pub struct SimClock {
     start: Instant,
     compression: f64,
+    spin_margin: Duration,
+    /// Total wall time spent busy-spinning in [`SimClock::sleep_us`],
+    /// shared across clones so callers can bound the burn.
+    spin_ns: Arc<AtomicU64>,
 }
 
 impl SimClock {
@@ -20,9 +41,13 @@ impl SimClock {
     /// `compression` times faster than real time).
     pub fn new(compression: f64) -> Self {
         assert!(compression > 0.0, "compression must be positive");
+        let margin_us =
+            (BASE_SPIN_MARGIN_US * (REFERENCE_COMPRESSION / compression).min(1.0)).max(1.0);
         Self {
             start: Instant::now(),
             compression,
+            spin_margin: Duration::from_secs_f64(margin_us * 1e-6),
+            spin_ns: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -36,24 +61,34 @@ impl SimClock {
     /// Uses a hybrid sleep-then-spin: the OS sleep overshoots by tens of
     /// microseconds, which at high compression would inflate every block
     /// by whole simulated milliseconds, so the last stretch before the
-    /// deadline is spun. Durations remain accurate to ~1 µs wall time
-    /// even at 2000× compression.
+    /// deadline is spun. The spun stretch scales *inversely* with
+    /// compression (see `REFERENCE_COMPRESSION`), so total spin time
+    /// per sleep is bounded by the margin, not by the sleep duration.
     pub fn sleep_us(&self, sim_us: f64) {
         if sim_us <= 0.0 {
             return;
         }
         let deadline = Instant::now() + Duration::from_secs_f64(sim_us / self.compression / 1e6);
-        const SPIN_MARGIN: Duration = Duration::from_micros(150);
         loop {
             let now = Instant::now();
             if now >= deadline {
                 return;
             }
             let left = deadline - now;
-            if left > SPIN_MARGIN {
-                std::thread::sleep(left - SPIN_MARGIN);
+            if left > self.spin_margin {
+                std::thread::sleep(left - self.spin_margin);
             } else {
-                std::hint::spin_loop();
+                // Spin out the final margin, accounting the burn.
+                let spin_start = now;
+                loop {
+                    std::hint::spin_loop();
+                    let t = Instant::now();
+                    if t >= deadline {
+                        self.spin_ns
+                            .fetch_add((t - spin_start).as_nanos() as u64, Ordering::Relaxed);
+                        return;
+                    }
+                }
             }
         }
     }
@@ -61,6 +96,17 @@ impl SimClock {
     /// The compression factor.
     pub fn compression(&self) -> f64 {
         self.compression
+    }
+
+    /// The spin margin this clock resolved for its compression.
+    pub fn spin_margin(&self) -> Duration {
+        self.spin_margin
+    }
+
+    /// Total wall time spent busy-spinning so far, nanoseconds
+    /// (cumulative across all clones of this clock).
+    pub fn spin_ns(&self) -> u64 {
+        self.spin_ns.load(Ordering::Relaxed)
     }
 }
 
@@ -91,6 +137,54 @@ mod tests {
         let c = SimClock::new(10.0);
         c.sleep_us(0.0);
         c.sleep_us(-5.0);
+        assert_eq!(c.spin_ns(), 0);
+    }
+
+    #[test]
+    fn spin_margin_scales_with_compression() {
+        // At or below the reference compression the historical margin
+        // holds; above it the margin shrinks proportionally.
+        assert_eq!(
+            SimClock::new(100.0).spin_margin(),
+            Duration::from_micros(150)
+        );
+        assert_eq!(
+            SimClock::new(10.0).spin_margin(),
+            Duration::from_micros(150)
+        );
+        let high = SimClock::new(2_000.0).spin_margin();
+        assert!(
+            high <= Duration::from_micros(8),
+            "margin at 2000x must shrink, got {high:?}"
+        );
+        assert!(high >= Duration::from_micros(1), "margin keeps its floor");
+    }
+
+    #[test]
+    fn total_spin_time_stays_bounded_at_high_compression() {
+        // 20 sleeps of 100 real µs each at 2000×. Under the old fixed
+        // 150 µs margin every one of these was spun end-to-end
+        // (~2 ms of pure spin); with the scaled margin each sleep may
+        // spin at most the ~7.5 µs margin (plus timer jitter).
+        let c = SimClock::new(2_000.0);
+        const SLEEPS: u64 = 20;
+        for _ in 0..SLEEPS {
+            c.sleep_us(200_000.0); // 100 real µs
+        }
+        let spin = Duration::from_nanos(c.spin_ns());
+        let bound = Duration::from_micros(25 * SLEEPS);
+        assert!(
+            spin <= bound,
+            "spun {spin:?} across {SLEEPS} sleeps; bound {bound:?}"
+        );
+    }
+
+    #[test]
+    fn clones_share_spin_accounting() {
+        let c = SimClock::new(2_000.0);
+        let c2 = c.clone();
+        c2.sleep_us(50_000.0);
+        assert_eq!(c.spin_ns(), c2.spin_ns());
     }
 
     #[test]

@@ -7,13 +7,15 @@
 //!
 //! Components map one-to-one onto Figure 4:
 //!
-//! * **Responder** ([`server`]): accepts client requests over a crossbeam
-//!   channel (standing in for the RPC protocol), stamps arrivals, and
-//!   returns inference replies on per-request channels;
-//! * **Token scheduler**: on every arrival, runs the greedy preemption
-//!   algorithm ([`split_core::greedy_preempt`]) against the shared request
-//!   queue — the decision is timed so the microsecond-scale claim of §3.4
-//!   is *measured*, not assumed;
+//! * **Decision core** ([`combiner`]): a flat-combining core owns all
+//!   scheduler state; clients publish requests into cache-padded slots
+//!   and the current combiner drains them in one pass — no global mutex
+//!   or condvar on the decision path;
+//! * **Token scheduler** ([`server`]): on every arrival, the combiner
+//!   runs the greedy preemption algorithm
+//!   ([`split_core::greedy_preempt`]) against the request queue — both
+//!   the scan and the client-visible publish→apply latency are timed so
+//!   the microsecond-scale claim of §3.4 is *measured*, not assumed;
 //! * **Token assigner / executor**: hands the device token to the queue
 //!   head and executes its next block (simulated by a clock-compressed
 //!   sleep standing in for the GPU);
@@ -26,6 +28,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod combiner;
 pub mod deployment;
 pub mod driver;
 pub mod messages;
@@ -35,6 +38,7 @@ pub mod wire;
 
 pub use clock::SimClock;
 pub use codec::{decode, encode, CodecError, FrameDecoder, WireRequest};
+pub use combiner::{CombiningCore, MutexCore};
 pub use deployment::Deployment;
 pub use driver::{drive, DriveReport};
 pub use messages::{InferenceReply, RequestStatus};

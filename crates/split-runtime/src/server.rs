@@ -1,38 +1,61 @@
 //! The threaded SPLIT server (paper §4, Figure 4).
 //!
-//! Two long-lived threads share one queue behind a `parking_lot` mutex:
+//! All scheduler state — the request queue, the device token, per-request
+//! block cursors — is owned by a single flat-combining decision core
+//! ([`crate::combiner::CombiningCore`]). There is no responder thread and
+//! no condvar:
 //!
-//! * the **responder/token-scheduler** thread accepts client requests,
-//!   stamps their arrival, consults the elastic controller, and places
-//!   them with the greedy preemption algorithm (timing every decision);
-//! * the **token-assigner/executor** thread repeatedly grants the device
-//!   token to the queue head and executes its next block (a
-//!   clock-compressed sleep standing in for the GPU kernel launches).
+//! * **clients** publish `Infer` operations (the private `CoreOp` enum)
+//!   into cache-padded
+//!   combining slots from their own threads; whichever thread currently
+//!   combines stamps the arrival, consults the elastic controller, and
+//!   places the request with the greedy preemption algorithm (timing both
+//!   the scan and the client-visible publish→apply latency);
+//! * the **token-assigner/executor** thread publishes `NextBlock`
+//!   operations: each grants the device token to
+//!   the queue head for one block (a clock-compressed sleep standing in
+//!   for the GPU kernel launches) and retires the previous block,
+//!   completing requests whose last block finished.
 //!
 //! Preemption therefore happens exactly at block boundaries: whoever the
 //! scheduler moved to the head while a block was in flight gets the token
-//! next. The responder replies on a per-request channel as soon as the
-//! last block completes — the asynchronous read/write split of §4.2.
+//! next. Replies travel on per-request channels as soon as the last block
+//! completes — the asynchronous read/write split of §4.2.
+//!
+//! Shutdown is two-phase and cannot lose accepted work: the ingest gate
+//! closes first (new `infer` calls observe a disconnected reply channel),
+//! then the core is marked closed under the combiner discipline, which
+//! drains every already-published request before the flag lands. An
+//! `infer` that returned has *by construction* been decided — the old
+//! channel design's drop window (a send landing after the shutdown drain
+//! observed `Empty`) no longer exists.
 
 use crate::clock::SimClock;
+use crate::combiner::CombiningCore;
 use crate::deployment::Deployment;
 use crate::messages::{InferenceReply, RequestStatus};
 use crate::stats::DecisionStats;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use split_core::{greedy_preempt, ElasticConfig, ElasticController, QueueEntry};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use split_core::{greedy_preempt, ElasticController, QueueEntry};
 use split_forensics::{FlightKind, FlightRing, FlightSnapshot, ForensicsCfg, IncidentBundle};
 use split_obs::{AlertLog, SloCfg, SloMonitor};
 use split_telemetry::{Event, Recorder, RecorderMode, SharedRecorder};
 use split_watch::{DriftReport, DriftWatch, WatchCfg};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::thread::Thread;
+use std::time::{Duration, Instant};
 
 /// Ring capacity for the server's lifecycle recorder: enough for
 /// thousands of in-flight requests (≈6 events each) while bounding a
 /// long-running server's memory. Evictions are counted, not silent.
 const RECORDER_RING: usize = 65_536;
+
+/// How long the executor parks on an idle queue before re-polling. A
+/// backstop only — the combiner explicitly unparks it on arrival.
+const EXECUTOR_PARK: Duration = Duration::from_micros(200);
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -40,7 +63,7 @@ pub struct ServerConfig {
     /// Latency-target multiplier α for response-ratio comparisons.
     pub alpha: f64,
     /// Elastic-splitting thresholds (`None` = always split).
-    pub elastic: Option<ElasticConfig>,
+    pub elastic: Option<split_core::ElasticConfig>,
     /// Clock compression (simulated time vs wall time).
     pub compression: f64,
 }
@@ -49,15 +72,10 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             alpha: 4.0,
-            elastic: Some(ElasticConfig::default()),
+            elastic: Some(split_core::ElasticConfig::default()),
             compression: 100.0,
         }
     }
-}
-
-struct ClientRequest {
-    model: String,
-    reply: Sender<InferenceReply>,
 }
 
 struct Meta {
@@ -71,38 +89,94 @@ struct Meta {
     reply: Sender<InferenceReply>,
 }
 
+/// Everything the decision core owns. Only the current combiner touches
+/// it; there is no finer-grained locking inside.
 #[derive(Default)]
-struct State {
+struct CoreState {
     queue: Vec<QueueEntry>,
     blocks: HashMap<u64, VecDeque<f64>>,
     meta: HashMap<u64, Meta>,
     running_end_us: Option<f64>,
     closed: bool,
+    next_id: u64,
+    accepted: u64,
+    served: u64,
+    elastic: Option<ElasticController>,
+    /// The executor thread, for idle wakeups.
+    executor: Option<Thread>,
+    /// Set when the executor was told `Idle`; the next accepted arrival
+    /// clears it and unparks the executor.
+    executor_idle: bool,
 }
 
+/// Operations clients and the executor publish into combining slots.
+enum CoreOp {
+    /// A client inference request.
+    Infer {
+        model: String,
+        reply: Sender<InferenceReply>,
+    },
+    /// The executor asking for the next block, retiring the one it just
+    /// ran (if any).
+    NextBlock { finished: Option<FinishedBlock> },
+}
+
+/// A block the executor finished sleeping through.
+struct FinishedBlock {
+    id: u64,
+    block: usize,
+}
+
+/// The device-token grant handed to the executor.
+struct BlockGrant {
+    id: u64,
+    block: usize,
+    blk_us: f64,
+}
+
+/// Responses written back through the slots.
+enum CoreResp {
+    /// Request decided (enqueued, or replied `Dropped` for an unknown
+    /// model).
+    Accepted,
+    /// Ingest already closed; the dropped reply sender tells the client.
+    Rejected,
+    /// Executor: run this block.
+    Run(BlockGrant),
+    /// Executor: queue empty, park until an arrival unparks you.
+    Idle,
+    /// Executor: queue empty and server closed — exit.
+    Done,
+}
+
+type Core = CombiningCore<CoreOp, CoreResp, CoreState>;
+
 struct Shared {
-    state: Mutex<State>,
-    work: Condvar,
     clock: SimClock,
     decisions: DecisionStats,
     recorder: SharedRecorder,
-    /// Burn-rate SLO monitor, fed by the executor on every completion;
-    /// observable live via [`Server::alerts`] and in the shutdown
-    /// report.
+    /// Burn-rate SLO monitor, fed on every completion; observable live
+    /// via [`Server::alerts`] and in the shutdown report.
     slo: Mutex<SloMonitor>,
-    /// Streaming drift watch, fed live by both threads (arrivals on the
-    /// responder, judged completions and downgrades on the executor /
-    /// responder). Regime events it emits are forwarded into the SLO
-    /// alert log as informational alerts.
+    /// Streaming drift watch, fed by the combiner (arrivals, judged
+    /// completions, downgrades). Regime events it emits are forwarded
+    /// into the SLO alert log as informational alerts.
     drift: Mutex<DriftWatch>,
-    /// Always-on flight recorder: every causal event both threads emit
-    /// also lands here as a compact lock-free record (`None` when
-    /// disabled via `SPLIT_FLIGHT=0`).
+    /// Always-on flight recorder: every causal event also lands here as
+    /// a compact lock-free record (`None` when disabled via
+    /// `SPLIT_FLIGHT=0`).
     flight: Option<FlightRing>,
     /// Ring snapshots taken the instant each alert fired, so the
     /// pre-incident history survives even if the ring wraps before
     /// shutdown.
     incident_rings: Mutex<Vec<FlightSnapshot>>,
+    /// Phase 1 of shutdown: once set, `infer` returns a disconnected
+    /// reply channel without publishing.
+    ingest_closed: AtomicBool,
+    /// Test hook: nanoseconds each combined `Infer` spins before the
+    /// decision, simulating a slow combiner pass (see
+    /// [`Server::set_combiner_stall_ns`]).
+    combiner_stall_ns: AtomicU64,
 }
 
 impl Shared {
@@ -116,29 +190,369 @@ impl Shared {
     }
 }
 
+/// Number of queued requests pushed back by an insertion at `position`
+/// in a queue now `queue_len` long. Saturating: a policy returning
+/// `position == queue_len` (insertion past the tail) yields 0 displaced
+/// rather than underflowing.
+fn displaced_count(queue_len: usize, position: usize) -> usize {
+    queue_len.saturating_sub(1).saturating_sub(position)
+}
+
+/// The combiner's operation handler: applies one published op to the
+/// core state. Runs on whichever thread currently combines, with the
+/// core lock held.
+fn handle_op(
+    shared: &Shared,
+    deployment: &Deployment,
+    alpha: f64,
+    st: &mut CoreState,
+    op: CoreOp,
+    publish: Instant,
+) -> CoreResp {
+    match op {
+        CoreOp::Infer { model, reply } => {
+            handle_infer(shared, deployment, alpha, st, model, reply, publish)
+        }
+        CoreOp::NextBlock { finished } => handle_next_block(shared, st, finished),
+    }
+}
+
+fn handle_infer(
+    shared: &Shared,
+    deployment: &Deployment,
+    alpha: f64,
+    st: &mut CoreState,
+    model: String,
+    reply: Sender<InferenceReply>,
+    publish: Instant,
+) -> CoreResp {
+    let stall = shared.combiner_stall_ns.load(Ordering::Relaxed);
+    if stall > 0 {
+        let t = Instant::now();
+        while (t.elapsed().as_nanos() as u64) < stall {
+            std::hint::spin_loop();
+        }
+    }
+    if st.closed {
+        // Dropping `reply` disconnects the client's receiver: the
+        // rejection is observable, never a silent loss.
+        return CoreResp::Rejected;
+    }
+    let now = shared.clock.now_us();
+    if !deployment.table().contains(&model) {
+        shared.record(Event::Mark {
+            label: format!("dropped:{model}"),
+            t_us: now,
+        });
+        // Mark events don't project into the flight ring, so drops get
+        // an explicit compact record of their own.
+        if let Some(ring) = &shared.flight {
+            ring.record(now, st.next_id, FlightKind::Drop, 0, 0);
+        }
+        let _ = reply.send(InferenceReply {
+            id: st.next_id,
+            model,
+            status: RequestStatus::Dropped,
+            arrival_us: now,
+            start_us: 0.0,
+            end_us: 0.0,
+            exec_us: 0.0,
+            blocks_run: 0,
+        });
+        st.next_id += 1;
+        return CoreResp::Accepted;
+    }
+    let m = deployment.table().get(&model);
+    let use_split = match st.elastic.as_mut() {
+        Some(ctl) => ctl.on_arrival(now, m.task),
+        None => true,
+    };
+    let blocks: VecDeque<f64> = if use_split {
+        m.blocks_us.iter().copied().collect()
+    } else {
+        std::iter::once(m.exec_us).collect()
+    };
+    let left: f64 = blocks.iter().sum();
+    let id = st.next_id;
+    st.next_id += 1;
+    st.accepted += 1;
+
+    {
+        let mut drift = shared.drift.lock();
+        drift.observe_arrival(now, &m.name);
+        if !use_split && m.blocks_us.len() > 1 {
+            drift.observe_drop(now, &m.name);
+        }
+    }
+
+    // Recorded under the core lock so event order matches scheduling
+    // order across every combining thread.
+    shared.record(Event::Arrival {
+        req: id,
+        model: m.name.to_string(),
+        t_us: now,
+    });
+    if !use_split && m.blocks_us.len() > 1 {
+        shared.record(Event::Downgrade {
+            req: id,
+            from_blocks: m.blocks_us.len(),
+            to_blocks: 1,
+            t_us: now,
+        });
+    }
+    st.blocks.insert(id, blocks);
+    st.meta.insert(
+        id,
+        Meta {
+            model: m.name.to_string(),
+            exec_us: m.exec_us,
+            arrival_us: now,
+            start_us: None,
+            blocks_run: 0,
+            transfer_bytes: if use_split {
+                m.transfer_bytes.clone()
+            } else {
+                Vec::new()
+            },
+            reply,
+        },
+    );
+    let base_wait = st.running_end_us.map(|e| (e - now).max(0.0)).unwrap_or(0.0);
+    let t0 = Instant::now();
+    let decision = greedy_preempt(
+        &mut st.queue,
+        QueueEntry {
+            id,
+            task: m.task,
+            exec_us: m.exec_us,
+            left_us: left,
+            arrival_us: now,
+        },
+        base_wait,
+        now,
+        alpha,
+    );
+    let decision_ns = t0.elapsed().as_nanos() as u64;
+    // Client-visible latency: from the request becoming visible in its
+    // combining slot to the decision having been applied. Includes the
+    // wait for the current combiner pass — the number §3.4's
+    // microsecond-scale claim is judged on under contention.
+    let publish_ns = publish.elapsed().as_nanos() as u64;
+    shared.decisions.record(publish_ns);
+    shared.decisions.record_compute(decision_ns);
+    shared.record(Event::PreemptDecision {
+        req: id,
+        position: decision.position,
+        comparisons: decision.comparisons,
+        stop: format!("{:?}", decision.stop),
+        decision_ns,
+        publish_ns,
+        t_us: now,
+    });
+    debug_assert!(
+        decision.position < st.queue.len(),
+        "greedy_preempt returned position {} past queue of {}",
+        decision.position,
+        st.queue.len()
+    );
+    shared.record(Event::Enqueue {
+        req: id,
+        position: decision.position,
+        displaced: displaced_count(st.queue.len(), decision.position),
+        t_us: now,
+    });
+    shared.record(Event::QueueDepth {
+        depth: st.queue.len(),
+        t_us: now,
+    });
+    if st.executor_idle {
+        st.executor_idle = false;
+        if let Some(t) = &st.executor {
+            t.unpark();
+        }
+    }
+    CoreResp::Accepted
+}
+
+fn handle_next_block(
+    shared: &Shared,
+    st: &mut CoreState,
+    finished: Option<FinishedBlock>,
+) -> CoreResp {
+    if let Some(fin) = finished {
+        st.running_end_us = None;
+        let end = shared.clock.now_us();
+        shared.record(Event::BlockEnd {
+            req: fin.id,
+            block: fin.block,
+            stream: 0,
+            t_us: end,
+        });
+        if st
+            .blocks
+            .get(&fin.id)
+            .map(|b| b.is_empty())
+            .unwrap_or(false)
+        {
+            let pos = st
+                .queue
+                .iter()
+                .position(|e| e.id == fin.id)
+                .expect("entry present");
+            st.queue.remove(pos);
+            st.blocks.remove(&fin.id);
+            let meta = st.meta.remove(&fin.id).expect("meta present");
+            shared.record(Event::Completion {
+                req: fin.id,
+                t_us: end,
+            });
+            shared.record(Event::QueueDepth {
+                depth: st.queue.len(),
+                t_us: end,
+            });
+            let newly_fired = {
+                let mut slo = shared.slo.lock();
+                let before = slo.log().fired();
+                let e2e = end - meta.arrival_us;
+                slo.observe_outcome(end, e2e, meta.exec_us);
+                let burn_fired = slo.log().fired() > before;
+                // Feed the drift watch with the already-judged verdict
+                // (same α rule the SLO monitor just applied) and forward
+                // any regime events into the alert log. Lock order is
+                // always slo → drift.
+                let violated = meta.exec_us > 0.0 && e2e > slo.cfg().alpha * meta.exec_us;
+                let mut drift = shared.drift.lock();
+                drift.observe_completion(end, &meta.model, e2e, violated);
+                for ev in drift.drain_events() {
+                    slo.observe_regime(&ev);
+                }
+                burn_fired
+            };
+            if newly_fired {
+                // Freeze the pre-incident history the instant the alert
+                // fires, before the ring can wrap over it.
+                if let Some(ring) = &shared.flight {
+                    shared.incident_rings.lock().push(ring.snapshot());
+                }
+            }
+            let _ = meta.reply.send(InferenceReply {
+                id: fin.id,
+                model: meta.model,
+                status: RequestStatus::Completed,
+                arrival_us: meta.arrival_us,
+                start_us: meta.start_us.unwrap_or(end),
+                end_us: end,
+                exec_us: meta.exec_us,
+                blocks_run: meta.blocks_run,
+            });
+            st.served += 1;
+        }
+    }
+
+    if st.queue.is_empty() {
+        if st.closed {
+            return CoreResp::Done;
+        }
+        st.executor_idle = true;
+        return CoreResp::Idle;
+    }
+
+    // Token assignment: the head owns the device for one block.
+    let id = st.queue[0].id;
+    let blk = st
+        .blocks
+        .get_mut(&id)
+        .and_then(|b| b.pop_front())
+        .expect("queued request has blocks");
+    st.queue[0].left_us -= blk;
+    let now = shared.clock.now_us();
+    st.running_end_us = Some(now + blk);
+    let (block_idx, boundary_bytes) = {
+        let meta = st.meta.get_mut(&id).expect("meta");
+        meta.start_us.get_or_insert(now);
+        meta.blocks_run += 1;
+        let idx = meta.blocks_run - 1;
+        let bytes = idx
+            .checked_sub(1)
+            .and_then(|b| meta.transfer_bytes.get(b).copied());
+        (idx, bytes)
+    };
+    shared.record(Event::BlockStart {
+        req: id,
+        block: block_idx,
+        stream: 0,
+        t_us: now,
+    });
+    // Activation hand-off at the boundary into this block. Its time is
+    // already folded into the block's profiled duration (§4); the event
+    // attributes traffic, it does not add latency.
+    if let Some(bytes) = boundary_bytes {
+        shared.record(Event::Transfer {
+            req: id,
+            bytes,
+            t_us: now,
+            dur_us: 0.0,
+        });
+    }
+    CoreResp::Run(BlockGrant {
+        id,
+        block: block_idx,
+        blk_us: blk,
+    })
+}
+
+fn executor_loop(shared: &Shared, core: &Core) -> u64 {
+    core.with_state(|st| st.executor = Some(std::thread::current()));
+    let mut finished: Option<FinishedBlock> = None;
+    loop {
+        match core.submit(CoreOp::NextBlock {
+            finished: finished.take(),
+        }) {
+            CoreResp::Run(g) => {
+                shared.clock.sleep_us(g.blk_us);
+                finished = Some(FinishedBlock {
+                    id: g.id,
+                    block: g.block,
+                });
+            }
+            CoreResp::Idle => std::thread::park_timeout(EXECUTOR_PARK),
+            CoreResp::Done => break,
+            CoreResp::Accepted | CoreResp::Rejected => {
+                unreachable!("infer response delivered to the executor")
+            }
+        }
+    }
+    core.with_state(|st| st.served)
+}
+
 /// A running SPLIT server.
 pub struct Server {
     shared: Arc<Shared>,
-    request_tx: Sender<ClientRequest>,
-    shutdown_tx: Sender<()>,
-    responder: Option<std::thread::JoinHandle<u64>>,
+    core: Arc<Core>,
     executor: Option<std::thread::JoinHandle<u64>>,
 }
 
 /// A cheap cloneable handle for submitting requests.
 #[derive(Clone)]
 pub struct Client {
-    tx: Sender<ClientRequest>,
+    shared: Arc<Shared>,
+    core: Arc<Core>,
 }
 
 impl Client {
     /// Submit an inference request; the reply arrives on the returned
-    /// channel when the request completes (or is dropped at shutdown).
+    /// channel when the request completes (or the channel disconnects if
+    /// the server is gone). Returns only once the scheduling decision
+    /// has been applied, so a returned receiver is never silently lost
+    /// to a racing shutdown.
     pub fn infer(&self, model: impl Into<String>) -> Receiver<InferenceReply> {
         let (reply_tx, reply_rx) = bounded(1);
-        // A send failure means the server is gone; the empty reply channel
-        // communicates that to the caller.
-        let _ = self.tx.send(ClientRequest {
+        // A closed ingest gate means the server is shutting down; the
+        // disconnected reply channel communicates that to the caller.
+        if self.shared.ingest_closed.load(Ordering::SeqCst) {
+            return reply_rx;
+        }
+        let _ = self.core.submit(CoreOp::Infer {
             model: model.into(),
             reply: reply_tx,
         });
@@ -167,7 +581,8 @@ pub struct ShutdownReport {
     pub served: u64,
     /// Preemption decisions made.
     pub decisions: u64,
-    /// Mean decision latency, nanoseconds.
+    /// Mean decision latency (slot-publish → decision applied),
+    /// nanoseconds.
     pub mean_decision_ns: f64,
     /// Worst decision latency, nanoseconds.
     pub max_decision_ns: u64,
@@ -195,11 +610,9 @@ pub struct ShutdownReport {
 }
 
 impl Server {
-    /// Start the server threads over a deployment.
+    /// Start the server over a deployment.
     pub fn start(deployment: Deployment, cfg: ServerConfig) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
-            work: Condvar::new(),
             clock: SimClock::new(cfg.compression),
             decisions: DecisionStats::new(),
             recorder: SharedRecorder::with_mode(RecorderMode::Ring(RECORDER_RING)),
@@ -214,42 +627,32 @@ impl Server {
             flight: split_forensics::flight_enabled()
                 .then(|| FlightRing::with_capacity(split_forensics::flight_capacity())),
             incident_rings: Mutex::new(Vec::new()),
+            ingest_closed: AtomicBool::new(false),
+            combiner_stall_ns: AtomicU64::new(0),
         });
-        let (request_tx, request_rx) = unbounded::<ClientRequest>();
-        let (shutdown_tx, shutdown_rx) = bounded::<()>(1);
-
-        let responder = {
+        let core = {
             let shared = Arc::clone(&shared);
-            let deployment = deployment.clone();
             let alpha = cfg.alpha;
-            let elastic_cfg = cfg.elastic.clone();
-            std::thread::Builder::new()
-                .name("split-responder".into())
-                .spawn(move || {
-                    responder_loop(
-                        &shared,
-                        &deployment,
-                        alpha,
-                        elastic_cfg,
-                        request_rx,
-                        shutdown_rx,
-                    )
-                })
-                .expect("spawn responder")
+            Arc::new(CombiningCore::new(
+                CoreState {
+                    elastic: cfg.elastic.clone().map(ElasticController::new),
+                    ..CoreState::default()
+                },
+                move |st, op, publish| handle_op(&shared, &deployment, alpha, st, op, publish),
+            ))
         };
         let executor = {
             let shared = Arc::clone(&shared);
+            let core = Arc::clone(&core);
             std::thread::Builder::new()
                 .name("split-executor".into())
-                .spawn(move || executor_loop(&shared))
+                .spawn(move || executor_loop(&shared, &core))
                 .expect("spawn executor")
         };
 
         Self {
             shared,
-            request_tx,
-            shutdown_tx,
-            responder: Some(responder),
+            core,
             executor: Some(executor),
         }
     }
@@ -257,7 +660,8 @@ impl Server {
     /// A client handle (clone freely across threads).
     pub fn client(&self) -> Client {
         Client {
-            tx: self.request_tx.clone(),
+            shared: Arc::clone(&self.shared),
+            core: Arc::clone(&self.core),
         }
     }
 
@@ -266,16 +670,17 @@ impl Server {
         &self.shared.clock
     }
 
-    /// A point-in-time view of the scheduler state (telemetry; takes the
-    /// queue lock briefly).
+    /// A point-in-time view of the scheduler state (telemetry; passes
+    /// through the decision core briefly, serving any pending
+    /// operations on the way).
     pub fn snapshot(&self) -> QueueSnapshot {
-        let st = self.shared.state.lock();
-        QueueSnapshot {
+        let decisions = self.shared.decisions.count();
+        self.core.with_state(|st| QueueSnapshot {
             queued: st.queue.len(),
             block_in_flight: st.running_end_us.is_some(),
             head: st.queue.first().map(|e| (e.id, e.task)),
-            decisions: self.shared.decisions.count(),
-        }
+            decisions,
+        })
     }
 
     /// A snapshot of the server's lifecycle recording so far (arrivals,
@@ -292,19 +697,42 @@ impl Server {
         self.shared.slo.lock().log().clone()
     }
 
-    /// Stop accepting requests, drain the queue, join the threads, and
+    /// Test hook: make every combined `Infer` spin for `ns` nanoseconds
+    /// before deciding, simulating a slow combiner pass. Used to prove
+    /// the report's decision percentiles measure publish→apply.
+    #[doc(hidden)]
+    pub fn set_combiner_stall_ns(&self, ns: u64) {
+        self.shared.combiner_stall_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Two-phase close: gate the ingest, then mark the core closed.
+    /// `with_state` drains already-published requests *before* the flag
+    /// lands (they are accepted) and again after (gate-raced stragglers
+    /// are rejected observably). Idempotent.
+    fn initiate_shutdown(&self) {
+        self.shared.ingest_closed.store(true, Ordering::SeqCst);
+        self.core.with_state(|st| {
+            st.closed = true;
+            if let Some(t) = &st.executor {
+                t.unpark();
+            }
+        });
+    }
+
+    /// Stop accepting requests, drain the queue, join the executor, and
     /// report.
     pub fn shutdown(mut self) -> ShutdownReport {
-        let _ = self.shutdown_tx.send(());
-        let accepted = self
-            .responder
-            .take()
-            .map(|h| h.join().expect("responder panicked"));
+        self.initiate_shutdown();
         let served = self
             .executor
             .take()
             .map(|h| h.join().expect("executor panicked"));
-        let _ = accepted;
+        let accepted = self.core.with_state(|st| st.accepted);
+        debug_assert!(
+            served.unwrap_or(0) <= accepted,
+            "served {} must not exceed accepted {accepted}",
+            served.unwrap_or(0)
+        );
         let recorder = self.shared.recorder.snapshot();
         let (alerts, slo_cfg) = {
             let slo = self.shared.slo.lock();
@@ -357,306 +785,13 @@ impl Server {
 
 impl Drop for Server {
     fn drop(&mut self) {
-        // Idempotent: shutdown() takes the handles; a bare drop still stops
-        // the threads.
-        let _ = self.shutdown_tx.send(());
-        if let Some(h) = self.responder.take() {
-            let _ = h.join();
-        }
+        // Idempotent: shutdown() takes the handle; a bare drop still
+        // stops the executor.
+        self.initiate_shutdown();
         if let Some(h) = self.executor.take() {
             let _ = h.join();
         }
     }
-}
-
-fn responder_loop(
-    shared: &Shared,
-    deployment: &Deployment,
-    alpha: f64,
-    elastic_cfg: Option<ElasticConfig>,
-    request_rx: Receiver<ClientRequest>,
-    shutdown_rx: Receiver<()>,
-) -> u64 {
-    struct Ctx<'a> {
-        shared: &'a Shared,
-        deployment: &'a Deployment,
-        alpha: f64,
-        elastic: Option<ElasticController>,
-        next_id: u64,
-        accepted: u64,
-    }
-
-    impl Ctx<'_> {
-        fn handle(&mut self, req: ClientRequest) {
-            let shared = self.shared;
-            let now = shared.clock.now_us();
-            if !self.deployment.table().contains(&req.model) {
-                shared.record(Event::Mark {
-                    label: format!("dropped:{}", req.model),
-                    t_us: now,
-                });
-                // Mark events don't project into the flight ring, so drops
-                // get an explicit compact record of their own.
-                if let Some(ring) = &shared.flight {
-                    ring.record(now, self.next_id, FlightKind::Drop, 0, 0);
-                }
-                let _ = req.reply.send(InferenceReply {
-                    id: self.next_id,
-                    model: req.model,
-                    status: RequestStatus::Dropped,
-                    arrival_us: now,
-                    start_us: 0.0,
-                    end_us: 0.0,
-                    exec_us: 0.0,
-                    blocks_run: 0,
-                });
-                self.next_id += 1;
-                return;
-            }
-            let m = self.deployment.table().get(&req.model);
-            let use_split = match self.elastic.as_mut() {
-                Some(ctl) => ctl.on_arrival(now, m.task),
-                None => true,
-            };
-            let blocks: VecDeque<f64> = if use_split {
-                m.blocks_us.iter().copied().collect()
-            } else {
-                std::iter::once(m.exec_us).collect()
-            };
-            let left: f64 = blocks.iter().sum();
-            let id = self.next_id;
-            self.next_id += 1;
-            self.accepted += 1;
-
-            {
-                let mut drift = shared.drift.lock();
-                drift.observe_arrival(now, &m.name);
-                if !use_split && m.blocks_us.len() > 1 {
-                    drift.observe_drop(now, &m.name);
-                }
-            }
-
-            let mut st = shared.state.lock();
-            // Recorded under the state lock so event order matches
-            // scheduling order across the two threads.
-            shared.record(Event::Arrival {
-                req: id,
-                model: m.name.to_string(),
-                t_us: now,
-            });
-            if !use_split && m.blocks_us.len() > 1 {
-                shared.record(Event::Downgrade {
-                    req: id,
-                    from_blocks: m.blocks_us.len(),
-                    to_blocks: 1,
-                    t_us: now,
-                });
-            }
-            st.blocks.insert(id, blocks);
-            st.meta.insert(
-                id,
-                Meta {
-                    model: m.name.to_string(),
-                    exec_us: m.exec_us,
-                    arrival_us: now,
-                    start_us: None,
-                    blocks_run: 0,
-                    transfer_bytes: if use_split {
-                        m.transfer_bytes.clone()
-                    } else {
-                        Vec::new()
-                    },
-                    reply: req.reply,
-                },
-            );
-            let base_wait = st.running_end_us.map(|e| (e - now).max(0.0)).unwrap_or(0.0);
-            let t0 = Instant::now();
-            let decision = greedy_preempt(
-                &mut st.queue,
-                QueueEntry {
-                    id,
-                    task: m.task,
-                    exec_us: m.exec_us,
-                    left_us: left,
-                    arrival_us: now,
-                },
-                base_wait,
-                now,
-                self.alpha,
-            );
-            let decision_ns = t0.elapsed().as_nanos() as u64;
-            shared.decisions.record(decision_ns);
-            shared.record(Event::PreemptDecision {
-                req: id,
-                position: decision.position,
-                comparisons: decision.comparisons,
-                stop: format!("{:?}", decision.stop),
-                decision_ns,
-                t_us: now,
-            });
-            shared.record(Event::Enqueue {
-                req: id,
-                position: decision.position,
-                displaced: st.queue.len() - 1 - decision.position,
-                t_us: now,
-            });
-            shared.record(Event::QueueDepth {
-                depth: st.queue.len(),
-                t_us: now,
-            });
-            drop(st);
-            shared.work.notify_all();
-        }
-    }
-
-    let mut ctx = Ctx {
-        shared,
-        deployment,
-        alpha,
-        elastic: elastic_cfg.map(ElasticController::new),
-        next_id: 0,
-        accepted: 0,
-    };
-
-    loop {
-        crossbeam::channel::select! {
-            recv(request_rx) -> msg => {
-                let Ok(req) = msg else { break };
-                ctx.handle(req);
-            }
-            recv(shutdown_rx) -> _ => {
-                // Drain everything already submitted before closing: a
-                // request acknowledged by `infer` must not be lost.
-                while let Ok(req) = request_rx.try_recv() {
-                    ctx.handle(req);
-                }
-                break;
-            }
-        }
-    }
-
-    let mut st = shared.state.lock();
-    st.closed = true;
-    drop(st);
-    shared.work.notify_all();
-    ctx.accepted
-}
-
-fn executor_loop(shared: &Shared) -> u64 {
-    let mut served = 0u64;
-    let mut st = shared.state.lock();
-    loop {
-        if st.queue.is_empty() {
-            if st.closed {
-                break;
-            }
-            shared.work.wait(&mut st);
-            continue;
-        }
-
-        // Token assignment: the head owns the device for one block.
-        let id = st.queue[0].id;
-        let blk = st
-            .blocks
-            .get_mut(&id)
-            .and_then(|b| b.pop_front())
-            .expect("queued request has blocks");
-        st.queue[0].left_us -= blk;
-        let now = shared.clock.now_us();
-        st.running_end_us = Some(now + blk);
-        let (block_idx, boundary_bytes) = {
-            let meta = st.meta.get_mut(&id).expect("meta");
-            meta.start_us.get_or_insert(now);
-            meta.blocks_run += 1;
-            let idx = meta.blocks_run - 1;
-            let bytes = idx
-                .checked_sub(1)
-                .and_then(|b| meta.transfer_bytes.get(b).copied());
-            (idx, bytes)
-        };
-        shared.record(Event::BlockStart {
-            req: id,
-            block: block_idx,
-            stream: 0,
-            t_us: now,
-        });
-        // Activation hand-off at the boundary into this block. Its time
-        // is already folded into the block's profiled duration (§4); the
-        // event attributes traffic, it does not add latency.
-        if let Some(bytes) = boundary_bytes {
-            shared.record(Event::Transfer {
-                req: id,
-                bytes,
-                t_us: now,
-                dur_us: 0.0,
-            });
-        }
-        drop(st);
-
-        shared.clock.sleep_us(blk);
-
-        st = shared.state.lock();
-        st.running_end_us = None;
-        shared.record(Event::BlockEnd {
-            req: id,
-            block: block_idx,
-            stream: 0,
-            t_us: shared.clock.now_us(),
-        });
-        if st.blocks.get(&id).map(|b| b.is_empty()).unwrap_or(false) {
-            let pos = st
-                .queue
-                .iter()
-                .position(|e| e.id == id)
-                .expect("entry present");
-            st.queue.remove(pos);
-            st.blocks.remove(&id);
-            let meta = st.meta.remove(&id).expect("meta present");
-            let end = shared.clock.now_us();
-            shared.record(Event::Completion { req: id, t_us: end });
-            shared.record(Event::QueueDepth {
-                depth: st.queue.len(),
-                t_us: end,
-            });
-            let newly_fired = {
-                let mut slo = shared.slo.lock();
-                let before = slo.log().fired();
-                let e2e = end - meta.arrival_us;
-                slo.observe_outcome(end, e2e, meta.exec_us);
-                let burn_fired = slo.log().fired() > before;
-                // Feed the drift watch with the already-judged verdict
-                // (same α rule the SLO monitor just applied) and forward
-                // any regime events into the alert log. Lock order is
-                // always slo → drift.
-                let violated = meta.exec_us > 0.0 && e2e > slo.cfg().alpha * meta.exec_us;
-                let mut drift = shared.drift.lock();
-                drift.observe_completion(end, &meta.model, e2e, violated);
-                for ev in drift.drain_events() {
-                    slo.observe_regime(&ev);
-                }
-                burn_fired
-            };
-            if newly_fired {
-                // Freeze the pre-incident history the instant the alert
-                // fires, before the ring can wrap over it.
-                if let Some(ring) = &shared.flight {
-                    shared.incident_rings.lock().push(ring.snapshot());
-                }
-            }
-            let _ = meta.reply.send(InferenceReply {
-                id,
-                model: meta.model,
-                status: RequestStatus::Completed,
-                arrival_us: meta.arrival_us,
-                start_us: meta.start_us.unwrap_or(end),
-                end_us: end,
-                exec_us: meta.exec_us,
-                blocks_run: meta.blocks_run,
-            });
-            served += 1;
-        }
-    }
-    served
 }
 
 #[cfg(test)]
@@ -781,7 +916,8 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.served, 40);
         assert_eq!(report.decisions, 40);
-        // §3.4: decisions are microsecond-scale.
+        // §3.4: decisions are microsecond-scale — now measured from
+        // slot publish, not lock acquisition.
         assert!(
             report.mean_decision_ns < 1_000_000.0,
             "mean decision {} ns",
@@ -799,6 +935,134 @@ mod tests {
         for rx in rxs {
             assert_eq!(rx.recv().unwrap().status, RequestStatus::Completed);
         }
+    }
+
+    #[test]
+    fn infer_racing_shutdown_never_loses_accepted_requests() {
+        // Regression for the old channel-ingest drop window: a request
+        // whose `infer` returned could still be lost if its send landed
+        // after the shutdown drain observed Empty. Now `infer` returns
+        // only after the decision applied, so returned ⇒ decided, and
+        // racing clients either complete or observe a disconnect.
+        for round in 0..10 {
+            let server = Server::start(deployment(), config());
+            let client = server.client();
+            // These receivers exist before shutdown begins: they MUST
+            // all complete.
+            let pre: Vec<_> = (0..3).map(|_| client.infer("short")).collect();
+            let racers: Vec<_> = (0..4)
+                .map(|_| {
+                    let client = client.clone();
+                    std::thread::spawn(move || {
+                        (0..5).map(|_| client.infer("short")).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let report = server.shutdown();
+            let mut completed = 0u64;
+            for rx in pre {
+                let r = rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("pre-shutdown infer must be served");
+                assert_eq!(r.status, RequestStatus::Completed, "round {round}");
+                completed += 1;
+            }
+            for h in racers {
+                for rx in h.join().unwrap() {
+                    match rx.recv_timeout(Duration::from_secs(10)) {
+                        Ok(r) => {
+                            assert_eq!(r.status, RequestStatus::Completed, "round {round}");
+                            completed += 1;
+                        }
+                        // Raced past the close: an observable rejection,
+                        // never a hang.
+                        Err(e) => assert_eq!(
+                            e,
+                            crossbeam::channel::RecvTimeoutError::Disconnected,
+                            "round {round}"
+                        ),
+                    }
+                }
+            }
+            assert_eq!(
+                report.served, completed,
+                "round {round}: every accepted request must be served"
+            );
+        }
+    }
+
+    #[test]
+    fn decision_latency_measures_publish_to_apply() {
+        // Baseline: unstalled combiner, publish→apply stays far below
+        // the stall we are about to inject.
+        let server = Server::start(deployment(), config());
+        let client = server.client();
+        for _ in 0..8 {
+            client
+                .infer("short")
+                .recv_timeout(Duration::from_secs(10))
+                .unwrap();
+        }
+        let baseline = server.shutdown();
+        assert!(
+            baseline.p50_decision_ns < 1_500_000,
+            "unstalled p50 {} ns",
+            baseline.p50_decision_ns
+        );
+
+        // Stalled: every combiner pass spins 2 ms before deciding. The
+        // publish→apply histogram must shift by the stall; the pure
+        // greedy-scan time must not.
+        const STALL_NS: u64 = 2_000_000;
+        let server = Server::start(deployment(), config());
+        server.set_combiner_stall_ns(STALL_NS);
+        let client = server.client();
+        for _ in 0..8 {
+            client
+                .infer("short")
+                .recv_timeout(Duration::from_secs(10))
+                .unwrap();
+        }
+        let stalled = server.shutdown();
+        // Histogram buckets carry ≤12.5% relative error; leave slack.
+        assert!(
+            stalled.p50_decision_ns >= STALL_NS * 7 / 8,
+            "stalled p50 {} ns must absorb the {STALL_NS} ns stall",
+            stalled.p50_decision_ns
+        );
+        assert!(stalled.p999_decision_ns >= stalled.p50_decision_ns);
+        let mut decisions = 0;
+        for e in stalled.recorder.events() {
+            if let Event::PreemptDecision {
+                decision_ns,
+                publish_ns,
+                ..
+            } = e
+            {
+                decisions += 1;
+                assert!(
+                    *publish_ns >= STALL_NS,
+                    "publish→apply {publish_ns} ns below the stall"
+                );
+                assert!(
+                    *decision_ns < STALL_NS,
+                    "greedy scan {decision_ns} ns must not include the stall"
+                );
+            }
+        }
+        assert_eq!(decisions, 8);
+    }
+
+    #[test]
+    fn displaced_count_saturates_at_tail_insertion() {
+        assert_eq!(displaced_count(5, 2), 2);
+        assert_eq!(displaced_count(5, 4), 0);
+        assert_eq!(displaced_count(1, 0), 0);
+        // A policy returning position == queue length (insert past the
+        // tail) must yield 0, not underflow.
+        assert_eq!(displaced_count(3, 3), 0);
+        assert_eq!(displaced_count(0, 0), 0);
+        assert_eq!(displaced_count(0, 7), 0);
     }
 
     #[test]

@@ -53,6 +53,13 @@ pub enum Event {
         stop: String,
         /// Wall-clock cost of the decision itself (ns).
         decision_ns: u64,
+        /// Wall-clock latency from the client publishing the request
+        /// into its combining slot to the decision being applied (ns).
+        /// This is the number §3.4's "microsecond-scale" claim is
+        /// judged on: it includes the wait for the current combiner
+        /// pass, not just the greedy scan. Engines with no publication
+        /// step (the discrete-event simulator) set it to `decision_ns`.
+        publish_ns: u64,
         /// Scheduler time at which the decision ran (µs).
         t_us: f64,
     },

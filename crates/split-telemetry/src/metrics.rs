@@ -929,6 +929,7 @@ mod tests {
             comparisons: 2,
             stop: "QueueHead".into(),
             decision_ns: 800,
+            publish_ns: 800,
             t_us: 0.0,
         });
         rec.record(Event::Enqueue {

@@ -137,6 +137,7 @@ pub fn trace_events(rec: &Recorder, process_name: &str) -> Value {
                 comparisons,
                 stop,
                 decision_ns,
+                publish_ns,
                 t_us,
             } => {
                 events.push(instant(
@@ -149,6 +150,7 @@ pub fn trace_events(rec: &Recorder, process_name: &str) -> Value {
                         ("comparisons", u(*comparisons as u64)),
                         ("stop", s(stop.clone())),
                         ("decision_ns", u(*decision_ns)),
+                        ("publish_ns", u(*publish_ns)),
                     ],
                 ));
             }
@@ -330,6 +332,7 @@ pub fn recorder_from_trace_events(doc: &Value) -> Result<Recorder, String> {
                                 .unwrap_or_default()
                                 .to_string(),
                             decision_ns: arg_u64(e, "decision_ns").unwrap_or(0),
+                            publish_ns: arg_u64(e, "publish_ns").unwrap_or(0),
                             t_us: ts,
                         });
                     }
@@ -472,6 +475,7 @@ mod tests {
             comparisons: 2,
             stop: "Beaten".into(),
             decision_ns: 740,
+            publish_ns: 1_900,
             t_us: 0.0,
         });
         r.record(Event::QueueDepth {
