@@ -38,10 +38,20 @@
 //! this is a trend tool: the file is rewritten and CI only fails on a
 //! panic.
 //!
+//! * `fleet/route` and `fleet/simulate{4,16}` — the cluster router over
+//!   a 16-device fleet, and the sharded engine serving one fixed
+//!   absolute offered load on a 4-shard vs a 16-shard fleet. The load
+//!   oversubscribes the small fleet 1.8× while the large one runs at
+//!   0.45, so the committed `ns_per_item` ratio is the sharded engine's
+//!   4→16 throughput scaling (gated ≥ 2× in CI's `fleet` job).
+//!
 //! Positional arguments are name-prefix filters (`perfbench
-//! decision_core/contend8` runs just that contention pair); a filtered
-//! run never rewrites `BENCH_core.json`. `--smoke` shrinks the
-//! contention run for CI functional coverage.
+//! decision_core/contend8` runs just that contention pair). Neither a
+//! filtered run nor a `--smoke` run ever rewrites `BENCH_core.json`:
+//! `--smoke` shrinks the contention and fleet workloads for CI
+//! functional coverage, and those shrunk timings must never become the
+//! committed baseline (a filtered smoke run like `perfbench fleet
+//! --smoke` is the intended cheap pre-merge probe).
 
 use dnn_graph::{Graph, SplitSpec};
 use gpu_sim::{CostTable, DeviceConfig};
@@ -650,14 +660,93 @@ fn main() {
         }
     }
 
+    // --- Fleet: the sharded cluster engine. One fixed absolute offered
+    // load (18 jetson-units of work per unit time) is served by a
+    // 4-shard fleet (capacity 10 units → 1.8× oversubscribed, so lane
+    // queues and the O(queue) greedy-preempt scans grow without bound)
+    // and by a 16-shard fleet (capacity 40 units → 0.45 load, queues
+    // stay shallow). The request stream is identical, so the committed
+    // simulate4/simulate16 ns_per_item ratio is the sharded engine's
+    // 4→16 throughput scaling, gated ≥ 2× by CI's `fleet` job. ---
+    if selected("fleet") {
+        use split_repro::split_cluster as cluster;
+        const OFFERED_JETSON_UNITS: f64 = 18.0;
+        let deployment = experiment::paper_deployment(&dev);
+        let table = deployment.table();
+        let requests = if smoke { 2_000 } else { 20_000 };
+        let interval_us = cluster::mean_exec_us(table) / OFFERED_JETSON_UNITS;
+        let trace = RequestTrace::generate(
+            Scenario::fleet(interval_us, requests),
+            &experiment::PAPER_MODEL_NAMES,
+        );
+        let n = trace.arrivals.len() as u64;
+        let policy = Policy::Split(Default::default());
+        let build = |spec: &str| {
+            let spec = gpu_sim::FleetSpec::parse(spec).expect("bench fleet spec");
+            let fleet = cluster::Fleet::new(&spec, table);
+            let placement = cluster::Placement::full(&fleet, table);
+            (fleet, placement)
+        };
+        if selected("fleet/route") {
+            let (fleet, placement) = build("jetson*8,nx:1*8");
+            entries.push(
+                time("fleet/route", FAST_ITERS, || {
+                    cluster::route(
+                        &trace.arrivals,
+                        &fleet,
+                        &placement,
+                        &cluster::RouteCfg::default(),
+                    )
+                })
+                .with_items(n),
+            );
+        }
+        for (shards, spec) in [(4usize, "jetson*2,nx:1*2"), (16, "jetson*8,nx:1*8")] {
+            let name = format!("fleet/simulate{shards}");
+            if !selected(&name) {
+                continue;
+            }
+            let (fleet, placement) = build(spec);
+            assert_eq!(fleet.devices().len(), shards, "bench spec drifted");
+            entries.push(
+                time(name, ITERS, || {
+                    cluster::simulate_fleet(
+                        &policy,
+                        &trace.arrivals,
+                        &fleet,
+                        &placement,
+                        &cluster::RouteCfg::default(),
+                    )
+                })
+                .with_items(n),
+            );
+        }
+        if let (Some(small), Some(big)) = (
+            entries.iter().find(|e| e.name == "fleet/simulate4"),
+            entries.iter().find(|e| e.name == "fleet/simulate16"),
+        ) {
+            println!(
+                "    4→16-shard throughput scaling on a fixed offered load: {:.2}x",
+                small.p50_ns as f64 / big.p50_ns.max(1) as f64
+            );
+        }
+    }
+
     let path = bench::results_dir().join("../BENCH_core.json");
     if check {
         check_against_committed(&path, &entries);
         return;
     }
-    if !filters.is_empty() {
+    // Shrunk (--smoke) timings must never become the committed
+    // baseline, and a filtered run measures only a slice of it.
+    if !filters.is_empty() || smoke {
+        let kind = match (filters.is_empty(), smoke) {
+            (false, true) => "filtered smoke",
+            (false, false) => "filtered",
+            _ => "smoke",
+        };
         println!(
-            "\n{} entries from a filtered run — BENCH_core.json left untouched",
+            "\n{} entries from a {kind} run — BENCH_core.json left untouched",
             entries.len()
         );
         return;

@@ -1,0 +1,340 @@
+//! Pluggable device backends and fleet specification.
+//!
+//! Everything below the cluster router sees an accelerator through the
+//! [`Backend`] trait: a label, roofline parameters ([`DeviceConfig`]), a
+//! number of spatial partitions (streams), and a relative speed. A
+//! [`FleetSpec`] describes a heterogeneous fleet compactly
+//! (`"jetson*8,nx:2*4,edge:4*4"`) and instantiates it into concrete
+//! [`SimGpu`] backends.
+//!
+//! Speeds are expressed relative to the paper's testbed
+//! ([`DeviceConfig::jetson_nano`] ≡ 1.0) and derived from the peak-GFLOPS
+//! ratio, so a fleet's aggregate [`Backend::capacity`] is measured in
+//! "Jetson units" of sustained work.
+
+use crate::device::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// A simulated accelerator as seen by a cluster-level placement/routing
+/// layer: identity, roofline parameters, spatial partitioning, and
+/// relative speed.
+pub trait Backend: Send + Sync {
+    /// Human-readable device-class label (e.g. `"jetson"`).
+    fn label(&self) -> &str;
+
+    /// Roofline/overhead parameters of the device.
+    fn config(&self) -> &DeviceConfig;
+
+    /// Number of spatial partitions (concurrent streams) the device is
+    /// carved into. Each partition hosts one independent SPLIT scheduler.
+    fn streams(&self) -> usize {
+        1
+    }
+
+    /// Relative single-stream speed vs. the reference Jetson Nano.
+    fn speed(&self) -> f64 {
+        1.0
+    }
+
+    /// Effective speed of one spatial partition once contention with the
+    /// device's other `k-1` partitions is accounted for, using the
+    /// resource-aligned interference model
+    /// (`1/(1 + aligned_contention_coef * (k-1))`).
+    fn lane_speed(&self) -> f64 {
+        let k = self.streams().max(1) as f64;
+        self.speed() / (1.0 + self.config().aligned_contention_coef * (k - 1.0))
+    }
+
+    /// Aggregate sustained throughput of the device in Jetson units:
+    /// `lane_speed * streams`.
+    fn capacity(&self) -> f64 {
+        self.lane_speed() * self.streams().max(1) as f64
+    }
+}
+
+/// A concrete simulated GPU instantiated from a [`FleetSpec`] entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimGpu {
+    /// Device-class label (`"jetson"`, `"nx"`, `"edge"`).
+    pub class: String,
+    /// Roofline parameters for the class.
+    pub config: DeviceConfig,
+    /// Number of spatial partitions.
+    pub streams: usize,
+    /// Relative single-stream speed vs. the Jetson Nano reference.
+    pub speed: f64,
+}
+
+impl Backend for SimGpu {
+    fn label(&self) -> &str {
+        &self.class
+    }
+
+    fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    fn streams(&self) -> usize {
+        self.streams
+    }
+
+    fn speed(&self) -> f64 {
+        self.speed
+    }
+}
+
+/// Known device classes: `(label, config, default streams)`.
+///
+/// Speed is derived from the peak-GFLOPS ratio against the Jetson Nano
+/// reference, so adding a class only requires a [`DeviceConfig`] preset.
+fn class_table() -> [(&'static str, DeviceConfig, usize); 3] {
+    [
+        ("jetson", DeviceConfig::jetson_nano(), 1),
+        ("nx", DeviceConfig::xavier_nx(), 2),
+        ("edge", DeviceConfig::edge_server(), 4),
+    ]
+}
+
+/// Look up a device class by label, returning its config and default
+/// stream count. `None` for unknown labels.
+pub fn device_class(label: &str) -> Option<(DeviceConfig, usize)> {
+    class_table()
+        .into_iter()
+        .find(|(l, _, _)| *l == label)
+        .map(|(_, cfg, streams)| (cfg, streams))
+}
+
+/// All known device-class labels, for error messages.
+pub fn device_class_labels() -> Vec<&'static str> {
+    class_table().into_iter().map(|(l, _, _)| l).collect()
+}
+
+fn build_gpu(label: &str, config: DeviceConfig, streams: usize) -> SimGpu {
+    let reference = DeviceConfig::jetson_nano().peak_gflops;
+    SimGpu {
+        class: label.to_string(),
+        speed: config.peak_gflops / reference,
+        config,
+        streams,
+    }
+}
+
+/// One line of a [`FleetSpec`]: `count` devices of a class, each carved
+/// into `streams` spatial partitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEntry {
+    /// Device-class label (must resolve via [`device_class`]).
+    pub class: String,
+    /// Number of identical devices of this class.
+    pub count: usize,
+    /// Spatial partitions per device.
+    pub streams: usize,
+}
+
+/// A compact description of a heterogeneous fleet of simulated GPUs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Device groups, instantiated in order.
+    pub entries: Vec<FleetEntry>,
+}
+
+impl FleetSpec {
+    /// The default heterogeneous mix for `n` devices: classes cycle
+    /// through `jetson, nx, jetson, edge`, so every fourth device is a
+    /// big edge box and half the fleet is Nano-class. Deterministic in
+    /// `n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn heterogeneous(n: usize) -> Self {
+        assert!(n > 0, "fleet must have at least one device");
+        let cycle = ["jetson", "nx", "jetson", "edge"];
+        let mut entries: Vec<FleetEntry> = Vec::new();
+        for i in 0..n {
+            let class = cycle[i % cycle.len()];
+            let (_, streams) = device_class(class).expect("cycle classes are known");
+            match entries.last_mut() {
+                Some(e) if e.class == class && e.streams == streams => e.count += 1,
+                _ => entries.push(FleetEntry {
+                    class: class.to_string(),
+                    count: 1,
+                    streams,
+                }),
+            }
+        }
+        Self { entries }
+    }
+
+    /// A homogeneous fleet of `n` devices of one class with its default
+    /// stream count.
+    ///
+    /// # Panics
+    /// Panics if the class is unknown or `n == 0`.
+    pub fn uniform(class: &str, n: usize) -> Self {
+        assert!(n > 0, "fleet must have at least one device");
+        let (_, streams) =
+            device_class(class).unwrap_or_else(|| panic!("unknown device class `{class}`"));
+        Self {
+            entries: vec![FleetEntry {
+                class: class.to_string(),
+                count: n,
+                streams,
+            }],
+        }
+    }
+
+    /// Parse a compact spec: comma-separated `class[:streams][*count]`
+    /// groups, e.g. `"jetson*8,nx:2*4,edge:4*4"`. Omitted `streams`
+    /// falls back to the class default; omitted `count` means 1.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = Vec::new();
+        for group in text.split(',') {
+            let group = group.trim();
+            if group.is_empty() {
+                return Err(format!("empty group in fleet spec `{text}`"));
+            }
+            let (head, count) = match group.split_once('*') {
+                Some((h, c)) => (
+                    h,
+                    c.parse::<usize>()
+                        .map_err(|_| format!("bad device count in `{group}`"))?,
+                ),
+                None => (group, 1),
+            };
+            let (class, streams) = match head.split_once(':') {
+                Some((cl, s)) => (
+                    cl,
+                    Some(
+                        s.parse::<usize>()
+                            .map_err(|_| format!("bad stream count in `{group}`"))?,
+                    ),
+                ),
+                None => (head, None),
+            };
+            let (_, default_streams) = device_class(class).ok_or_else(|| {
+                format!(
+                    "unknown device class `{class}` (known: {})",
+                    device_class_labels().join(", ")
+                )
+            })?;
+            let streams = streams.unwrap_or(default_streams);
+            if count == 0 || streams == 0 {
+                return Err(format!("zero count/streams in `{group}`"));
+            }
+            entries.push(FleetEntry {
+                class: class.to_string(),
+                count,
+                streams,
+            });
+        }
+        if entries.is_empty() {
+            return Err("empty fleet spec".to_string());
+        }
+        Ok(Self { entries })
+    }
+
+    /// Total number of devices.
+    pub fn device_count(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+
+    /// Total number of spatial partitions (scheduler lanes) across the
+    /// fleet.
+    pub fn lane_count(&self) -> usize {
+        self.entries.iter().map(|e| e.count * e.streams).sum()
+    }
+
+    /// Instantiate the fleet into concrete [`SimGpu`] backends, in spec
+    /// order.
+    ///
+    /// # Panics
+    /// Panics if an entry names an unknown class.
+    pub fn instantiate(&self) -> Vec<SimGpu> {
+        let mut devices = Vec::with_capacity(self.device_count());
+        for entry in &self.entries {
+            let (config, _) = device_class(&entry.class)
+                .unwrap_or_else(|| panic!("unknown device class `{}`", entry.class));
+            for _ in 0..entry.count {
+                devices.push(build_gpu(&entry.class, config.clone(), entry.streams));
+            }
+        }
+        devices
+    }
+
+    /// Render back to the compact `class:streams*count` form.
+    pub fn render(&self) -> String {
+        self.entries
+            .iter()
+            .map(|e| format!("{}:{}*{}", e.class, e.streams, e.count))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_and_counts() {
+        let spec = FleetSpec::parse("jetson*8,nx:2*4,edge:4*4").unwrap();
+        assert_eq!(spec.device_count(), 16);
+        assert_eq!(spec.lane_count(), 8 + 8 + 16);
+        let again = FleetSpec::parse(&spec.render()).unwrap();
+        assert_eq!(spec, again);
+    }
+
+    #[test]
+    fn parse_defaults_streams_and_count() {
+        let spec = FleetSpec::parse("jetson,edge*2").unwrap();
+        assert_eq!(spec.device_count(), 3);
+        assert_eq!(spec.entries[0].streams, 1);
+        assert_eq!(spec.entries[1].streams, 4);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FleetSpec::parse("").is_err());
+        assert!(FleetSpec::parse("h100*4").is_err());
+        assert!(FleetSpec::parse("jetson*zero").is_err());
+        assert!(FleetSpec::parse("jetson:0*2").is_err());
+        assert!(FleetSpec::parse("jetson*0").is_err());
+    }
+
+    #[test]
+    fn heterogeneous_mix_cycles_classes() {
+        let spec = FleetSpec::heterogeneous(16);
+        assert_eq!(spec.device_count(), 16);
+        let devices = spec.instantiate();
+        assert_eq!(devices.iter().filter(|d| d.class == "jetson").count(), 8);
+        assert_eq!(devices.iter().filter(|d| d.class == "nx").count(), 4);
+        assert_eq!(devices.iter().filter(|d| d.class == "edge").count(), 4);
+    }
+
+    #[test]
+    fn capacity_orders_by_device_tier() {
+        let jetson = build_gpu("jetson", DeviceConfig::jetson_nano(), 1);
+        let nx = build_gpu("nx", DeviceConfig::xavier_nx(), 2);
+        let edge = build_gpu("edge", DeviceConfig::edge_server(), 4);
+        assert!((jetson.speed - 1.0).abs() < 1e-12);
+        assert!((jetson.capacity() - 1.0).abs() < 1e-12);
+        assert!(jetson.capacity() < nx.capacity());
+        assert!(nx.capacity() < edge.capacity());
+        // Spatial partitioning pays interference: a lane is slower than
+        // the isolated device, but the device in aggregate is faster.
+        assert!(nx.lane_speed() < nx.speed);
+        assert!(nx.capacity() > nx.speed);
+    }
+
+    #[test]
+    fn speed_scales_tables_consistently() {
+        // The fleet's capacity unit is "one Jetson": a 4-device uniform
+        // jetson fleet has capacity 4.
+        let total: f64 = FleetSpec::uniform("jetson", 4)
+            .instantiate()
+            .iter()
+            .map(|d| d.capacity())
+            .sum();
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+}

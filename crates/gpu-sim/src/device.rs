@@ -47,6 +47,21 @@ impl DeviceConfig {
         }
     }
 
+    /// A mid-tier embedded accelerator between the Nano and the edge
+    /// server (loosely a Xavier-NX-class part): ~4× the Nano's compute,
+    /// better interconnect, and milder spatial-sharing interference.
+    pub fn xavier_nx() -> Self {
+        Self {
+            peak_gflops: 944.0,
+            mem_bw_gbps: 59.7,
+            launch_overhead_us: 7.0,
+            boundary_bw_gbps: 3.0,
+            block_overhead_us: 300.0,
+            contention_coef: 0.7,
+            aligned_contention_coef: 0.3,
+        }
+    }
+
     /// A comfortably faster edge box (used by ablation benches to show the
     /// conclusions are not an artifact of one device point).
     pub fn edge_server() -> Self {
@@ -91,7 +106,11 @@ mod tests {
 
     #[test]
     fn presets_are_sane() {
-        for dev in [DeviceConfig::jetson_nano(), DeviceConfig::edge_server()] {
+        for dev in [
+            DeviceConfig::jetson_nano(),
+            DeviceConfig::xavier_nx(),
+            DeviceConfig::edge_server(),
+        ] {
             assert!(dev.peak_gflops > 0.0);
             assert!(dev.mem_bw_gbps > 0.0);
             assert!(dev.boundary_bw_gbps > 0.0);

@@ -20,6 +20,7 @@
 //!
 //! All times are `f64` microseconds; the simulators are bit-deterministic.
 
+pub mod backend;
 pub mod contention;
 pub mod costtable;
 pub mod device;
@@ -30,6 +31,7 @@ pub mod timeline;
 pub mod trace;
 pub mod transfer;
 
+pub use backend::{device_class, device_class_labels, Backend, FleetEntry, FleetSpec, SimGpu};
 pub use contention::ContentionModel;
 pub use costtable::CostTable;
 pub use device::DeviceConfig;

@@ -130,6 +130,26 @@ impl SimResult {
         split_forensics::investigate(&self.recorder, self.flight(), Some(&self.trace), cfg)
     }
 
+    /// FNV-1a fingerprint of the schedule: every completion's id and
+    /// exact start/end bits, in completion order. Two runs produced the
+    /// same schedule iff the digests match — the cheap equality the
+    /// cluster determinism tests and SA601 compare across thread counts.
+    pub fn schedule_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for c in &self.completions {
+            eat(c.id);
+            eat(c.start_us.to_bits());
+            eat(c.end_us.to_bits());
+        }
+        h
+    }
+
     /// Drift-watch view of this run: replay the lifecycle through a
     /// [`split_watch::DriftWatch`] (windowed sketches + change-point
     /// detectors) and return the finalized report. Like

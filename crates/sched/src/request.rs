@@ -119,6 +119,13 @@ impl ModelTable {
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
+
+    /// Iterate the deployed models in name order (the `BTreeMap` order),
+    /// so anything derived from a full-table walk — e.g. the per-device
+    /// rescaled tables a fleet builds — is deterministic.
+    pub fn iter(&self) -> impl Iterator<Item = &ModelRuntime> {
+        self.map.values()
+    }
 }
 
 /// One served request.

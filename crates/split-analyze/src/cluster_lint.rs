@@ -1,0 +1,307 @@
+//! Cluster-schedule lints (`SA6xx`): verify a fleet run end to end.
+//!
+//! A [`split_cluster::ClusterResult`] makes three claims the figures and
+//! the committed fleet artifacts rest on, each re-derived here from the
+//! inputs instead of trusted:
+//!
+//! * **SA601 — request conservation.** Every arrival is routed exactly
+//!   once and completed exactly once: the router's per-lane totals sum
+//!   to the trace, and the multiset of completion ids across shards is
+//!   exactly the arrival id set (no drops, no duplicates).
+//! * **SA602 — placement discipline.** Replica lists are sorted, free
+//!   of duplicate devices, and in range, and every completion ran on a
+//!   device actually holding a replica of its model.
+//! * **SA603 — per-device QoS feasibility.** No lane was offered
+//!   sustained work beyond what it can serve over the run's span
+//!   (`saturation ≤ 1`): an over-saturated lane grows its queue without
+//!   bound and its response ratios are unbounded, so a committed
+//!   "feasible" artifact must never contain one.
+
+use crate::diag::{Diagnostic, Report};
+use split_cluster::{ClusterResult, Fleet, Placement};
+use std::collections::BTreeMap;
+use workload::Arrival;
+
+/// Tolerance on sustained lane saturation: transient bursts above 1.0
+/// are expected of a Poisson stream, so feasibility is judged on the
+/// whole-span average with a small slack for boundary effects.
+pub const SATURATION_SLACK: f64 = 0.02;
+
+/// Minimum requests a lane must have served before its saturation is
+/// judged at all. Below this, "sustained" is meaningless — a single
+/// long-model request on a slow lane can exceed a short trace's whole
+/// span without implying instability.
+pub const MIN_SUSTAINED_REQUESTS: u64 = 20;
+
+/// Run every `SA6xx` lint over a fleet run.
+pub fn lint_cluster(
+    arrivals: &[Arrival],
+    fleet: &Fleet,
+    placement: &Placement,
+    result: &ClusterResult,
+) -> Report {
+    let mut report = Report::new();
+    check_conservation(arrivals, result, &mut report);
+    check_placement(fleet, placement, result, &mut report);
+    check_feasibility(result, &mut report);
+    report
+}
+
+/// SA601: arrivals, routed counts, and completions must be the same
+/// multiset of request ids.
+fn check_conservation(arrivals: &[Arrival], result: &ClusterResult, report: &mut Report) {
+    let ctx = format!("cluster[{}/{}]", result.policy, result.route.policy);
+    let routed: u64 = result.route.lanes.iter().map(|l| l.routed).sum();
+    if routed != arrivals.len() as u64 {
+        report.push(
+            Diagnostic::error(
+                "SA601",
+                &ctx,
+                format!(
+                    "router conservation broken: {} arrivals but {} routed",
+                    arrivals.len(),
+                    routed
+                ),
+            )
+            .with_help("every arrival must be assigned to exactly one lane"),
+        );
+    }
+    let mut counts: BTreeMap<u64, u32> = BTreeMap::new();
+    for s in &result.shards {
+        for c in &s.completions {
+            *counts.entry(c.id).or_insert(0) += 1;
+        }
+    }
+    let mut missing = 0u64;
+    for a in arrivals {
+        match counts.remove(&a.id) {
+            Some(1) => {}
+            Some(n) => {
+                report.push(
+                    Diagnostic::error(
+                        "SA601",
+                        &ctx,
+                        format!("request {} completed {} times across shards", a.id, n),
+                    )
+                    .with_help("a request must be served by exactly one lane"),
+                );
+            }
+            None => missing += 1,
+        }
+    }
+    if missing > 0 {
+        report.push(
+            Diagnostic::error(
+                "SA601",
+                &ctx,
+                format!("{missing} request(s) were routed but never completed"),
+            )
+            .with_help("shard schedulers must drain every routed request"),
+        );
+    }
+    for (id, _) in counts {
+        report.push(Diagnostic::error(
+            "SA601",
+            &ctx,
+            format!("completion for unknown request id {id} (not in the trace)"),
+        ));
+    }
+}
+
+/// SA602: replica lists are sane and no completion ran off-replica.
+fn check_placement(
+    fleet: &Fleet,
+    placement: &Placement,
+    result: &ClusterResult,
+    report: &mut Report,
+) {
+    let devices = fleet.devices().len();
+    for (model, replicas) in placement.iter() {
+        let ctx = format!("placement[{model}]");
+        if replicas.is_empty() {
+            report.push(Diagnostic::error("SA602", &ctx, "model has no replicas"));
+            continue;
+        }
+        let mut sorted = replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if &sorted != replicas {
+            report.push(
+                Diagnostic::error(
+                    "SA602",
+                    &ctx,
+                    format!("replica list {replicas:?} is not sorted and duplicate-free"),
+                )
+                .with_help("a device must not be assigned the same model twice"),
+            );
+        }
+        if let Some(&bad) = replicas.iter().find(|&&d| d >= devices) {
+            report.push(Diagnostic::error(
+                "SA602",
+                &ctx,
+                format!("replica device {bad} outside the {devices}-device fleet"),
+            ));
+        }
+    }
+    for s in &result.shards {
+        for c in &s.completions {
+            if !placement.devices_for(&c.model).contains(&s.device) {
+                report.push(
+                    Diagnostic::error(
+                        "SA602",
+                        format!("cluster[{}]", result.policy),
+                        format!(
+                            "request {} ({}) served on device {} which holds no replica",
+                            c.id, c.model, s.device
+                        ),
+                    )
+                    .with_help("the router must only consider lanes of replica devices"),
+                );
+            }
+        }
+    }
+}
+
+/// SA603: sustained per-lane saturation stays within capacity.
+fn check_feasibility(result: &ClusterResult, report: &mut Report) {
+    for lane in &result.route.lanes {
+        if lane.routed >= MIN_SUSTAINED_REQUESTS && lane.saturation > 1.0 + SATURATION_SLACK {
+            report.push(
+                Diagnostic::error(
+                    "SA603",
+                    format!("lane[{}] (device {})", lane.lane, lane.device),
+                    format!(
+                        "sustained saturation {:.3} exceeds lane capacity ({} requests, {:.0} µs demand over {:.0} µs span)",
+                        lane.saturation, lane.routed, lane.demand_us, result.route.span_us
+                    ),
+                )
+                .with_help(
+                    "an over-saturated lane grows its queue without bound; \
+                     lower the offered load, add devices, or fix the balancing policy",
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::FleetSpec;
+    use sched::{ModelRuntime, ModelTable, Policy};
+    use split_cluster::{simulate_fleet, RouteCfg};
+
+    fn base_table() -> ModelTable {
+        let mut t = ModelTable::new();
+        t.insert(ModelRuntime::vanilla("small", 0, 8_000.0));
+        t.insert(ModelRuntime::vanilla("big", 1, 30_000.0));
+        t
+    }
+
+    fn arrivals(n: u64, gap_us: f64) -> Vec<Arrival> {
+        (0..n)
+            .map(|i| Arrival {
+                id: i,
+                model: (if i % 3 == 0 { "big" } else { "small" }).to_string(),
+                arrival_us: i as f64 * gap_us,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_run_is_clean() {
+        let fleet = Fleet::new(&FleetSpec::heterogeneous(4), &base_table());
+        let placement = Placement::full(&fleet, &base_table());
+        let a = arrivals(200, 3_000.0);
+        let res = simulate_fleet(
+            &Policy::Split(Default::default()),
+            &a,
+            &fleet,
+            &placement,
+            &RouteCfg::default(),
+        );
+        let report = lint_cluster(&a, &fleet, &placement, &res);
+        assert!(report.is_empty(), "{}", report.render_text());
+    }
+
+    #[test]
+    fn dropped_and_duplicated_requests_fire_sa601() {
+        let fleet = Fleet::new(&FleetSpec::heterogeneous(2), &base_table());
+        let placement = Placement::full(&fleet, &base_table());
+        let a = arrivals(50, 4_000.0);
+        let mut res = simulate_fleet(
+            &Policy::Split(Default::default()),
+            &a,
+            &fleet,
+            &placement,
+            &RouteCfg::default(),
+        );
+        // Drop one completion and duplicate another.
+        let shard = res
+            .shards
+            .iter_mut()
+            .find(|s| s.completions.len() >= 2)
+            .expect("some shard served requests");
+        shard.completions.remove(0);
+        let dup = shard.completions[0].clone();
+        shard.completions.push(dup);
+        let report = lint_cluster(&a, &fleet, &placement, &res);
+        let text = report.render_text();
+        assert!(report.error_count() >= 2, "{text}");
+        assert!(text.contains("SA601"), "{text}");
+        assert!(text.contains("never completed"), "{text}");
+        assert!(text.contains("completed 2 times"), "{text}");
+    }
+
+    #[test]
+    fn off_replica_service_fires_sa602() {
+        let fleet = Fleet::new(&FleetSpec::heterogeneous(4), &base_table());
+        let placement = Placement::full(&fleet, &base_table());
+        let a = arrivals(60, 4_000.0);
+        let mut res = simulate_fleet(
+            &Policy::Split(Default::default()),
+            &a,
+            &fleet,
+            &placement,
+            &RouteCfg::default(),
+        );
+        // Lie about where a shard ran: single-replica placement, shard
+        // claims a different device.
+        let single = Placement::replicated(&fleet, &base_table(), 1);
+        let shard = res
+            .shards
+            .iter_mut()
+            .find(|s| !s.completions.is_empty())
+            .expect("some shard served requests");
+        let model = shard.completions[0].model.to_string();
+        shard.device = (0..4)
+            .find(|d| !single.devices_for(&model).contains(d))
+            .expect("some non-replica device");
+        let report = lint_cluster(&a, &fleet, &single, &res);
+        assert!(
+            report.render_text().contains("SA602"),
+            "{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn overload_fires_sa603() {
+        let fleet = Fleet::new(&FleetSpec::uniform("jetson", 2), &base_table());
+        let placement = Placement::full(&fleet, &base_table());
+        // Mean demand ≈ 15.3 ms per request on a 2-unit fleet offered
+        // every 2 ms: ~4× capacity — every lane saturates.
+        let a = arrivals(300, 2_000.0);
+        let res = simulate_fleet(
+            &Policy::Split(Default::default()),
+            &a,
+            &fleet,
+            &placement,
+            &RouteCfg::default(),
+        );
+        let report = lint_cluster(&a, &fleet, &placement, &res);
+        let text = report.render_text();
+        assert!(text.contains("SA603"), "{text}");
+        assert!(text.contains("saturation"), "{text}");
+    }
+}

@@ -35,6 +35,9 @@
 //!   exact decomposition, the tail-sampling invariant holds (every
 //!   violating request captured), the flight ring reads causally, and
 //!   the verdict aggregates its outliers exactly (`SA4xx`);
+//! * [`cluster_lint`] — verifies fleet runs from `split-cluster`:
+//!   request conservation across shards, replica-placement discipline,
+//!   and per-device QoS feasibility (`SA6xx`);
 //! * [`watch_lint`] — re-proves the drift-watch invariants: the
 //!   quantile sketch's relative-error bound against exact sorted data,
 //!   window sample conservation on a replayed schedule, sketch-merge
@@ -45,6 +48,7 @@
 //! this is what `split-cli analyze` and the figure harnesses call. The
 //! full invariant catalog lives in DESIGN.md §9.
 
+pub mod cluster_lint;
 pub mod diag;
 pub mod forensics_lint;
 pub mod interleave;
@@ -56,6 +60,7 @@ pub mod sched_lint;
 pub mod suite;
 pub mod watch_lint;
 
+pub use cluster_lint::lint_cluster;
 pub use diag::{Diagnostic, Report, Severity};
 pub use forensics_lint::{lint_bundle, lint_bundles};
 pub use interleave::{

@@ -6,6 +6,7 @@
 //! plans from the calibrated zoo graphs, simulations over a Table 2
 //! scenario) and lints everything it produces.
 
+use crate::cluster_lint::lint_cluster;
 use crate::diag::Report;
 use crate::forensics_lint::lint_bundles;
 use crate::interleave::{check_models, MachineStats, McBudget};
@@ -92,6 +93,10 @@ pub struct SuiteOutcome {
     /// Drift-watch findings (`SA501`–`SA504`): sketch accuracy, window
     /// conservation, merge determinism, detector replay.
     pub watch_report: Report,
+    /// Cluster-schedule findings (`SA601`–`SA603`): request conservation
+    /// across shards, replica-placement discipline, per-device QoS
+    /// feasibility — one fleet run per routing policy.
+    pub cluster_report: Report,
     /// Plans linted.
     pub plans_checked: usize,
     /// Policy schedules analyzed.
@@ -100,6 +105,9 @@ pub struct SuiteOutcome {
     pub bundles_checked: usize,
     /// Individual drift-watch probes run by the `SA5xx` stage.
     pub watch_checks: usize,
+    /// Fleet runs linted by the `SA6xx` cluster stage (one per routing
+    /// policy).
+    pub clusters_checked: usize,
     /// Executions covered by the model-checking stage, across machines.
     pub interleavings: u64,
     /// Per-machine model-checking statistics (explored/pruned counts,
@@ -156,6 +164,7 @@ impl SuiteOutcome {
             &self.attribution_report,
             &self.forensics_report,
             &self.watch_report,
+            &self.cluster_report,
         ] {
             for d in &r.diagnostics {
                 all.push(d.clone());
@@ -170,8 +179,8 @@ impl SuiteOutcome {
 /// With [`SuiteCfg::only`] set, only the stages certifying the listed
 /// SA codes run (mapped by the code's hundreds digit: `SA0xx` plans,
 /// `SA1xx` schedules/determinism, `SA2xx` model checking, `SA3xx`
-/// attribution, `SA4xx` forensics, `SA5xx` drift watch); skipped
-/// stages report clean with zero counts.
+/// attribution, `SA4xx` forensics, `SA5xx` drift watch, `SA6xx`
+/// cluster schedules); skipped stages report clean with zero counts.
 pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
     let dev = DeviceConfig::default();
     // Which stage families did --only select? Keyed by the hundreds
@@ -186,7 +195,7 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
     };
     // Plans (and the deployment built from them) feed every
     // simulation-based stage, not just the plan linter.
-    let need_plans = wants(b'0') || wants(b'1') || wants(b'3') || wants(b'4');
+    let need_plans = wants(b'0') || wants(b'1') || wants(b'3') || wants(b'4') || wants(b'6');
 
     // --- Offline stage: plan every model, lint every plan. ---
     let mut plan_report = Report::new();
@@ -331,6 +340,45 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         watch_checks = n;
     }
 
+    // --- Cluster stage: a small heterogeneous fleet run per routing
+    // policy, verified end to end (SA601 conservation, SA602 placement
+    // discipline, SA603 per-lane feasibility). The offered interval is
+    // scaled to the fleet's aggregate capacity so the run stays
+    // feasible by construction — SA603 firing means the router or the
+    // capacity model regressed, not that the stage overloads itself. ---
+    let mut cluster_report = Report::new();
+    let mut clusters_checked = 0usize;
+    if wants(b'6') {
+        let spec = gpu_sim::FleetSpec::heterogeneous(4);
+        let fleet = split_cluster::Fleet::new(&spec, table);
+        let placement = split_cluster::Placement::full(&fleet, table);
+        let mut scenario = Scenario::table2(cfg.scenario);
+        scenario.requests = cfg.requests;
+        // Offer ~60% of fleet capacity (the single-device Table 2
+        // scenario would leave a 4-device heterogeneous fleet idle).
+        let interval = split_cluster::offered_interval_us(table, &fleet, 0.6);
+        let fleet_scenario = Scenario::fleet(interval, scenario.requests);
+        let trace = RequestTrace::generate(fleet_scenario, &names);
+        for policy in split_cluster::RoutePolicy::all() {
+            let route_cfg = split_cluster::RouteCfg {
+                policy,
+                seed: cfg.seed,
+            };
+            let result = split_cluster::simulate_fleet(
+                &Policy::Split(Default::default()),
+                &trace.arrivals,
+                &fleet,
+                &placement,
+                &route_cfg,
+            );
+            cluster_report.merge(prefix_context(
+                lint_cluster(&trace.arrivals, &fleet, &placement, &result),
+                policy.name(),
+            ));
+            clusters_checked += 1;
+        }
+    }
+
     // --- Model-checking stage: weak-memory exploration of every
     // lock-free hot-path machine (telemetry, profile cache, flight
     // ring), DPOR-reduced, under the per-machine budget. ---
@@ -351,10 +399,12 @@ pub fn run_suite(cfg: &SuiteCfg) -> SuiteOutcome {
         attribution_report,
         forensics_report,
         watch_report,
+        cluster_report,
         plans_checked,
         schedules_checked,
         bundles_checked,
         watch_checks,
+        clusters_checked,
         interleavings,
         machine_stats,
     }
@@ -397,6 +447,7 @@ mod tests {
             "burst stage must produce a bundle"
         );
         assert!(out.watch_checks > 60, "drift-watch stage must probe");
+        assert_eq!(out.clusters_checked, 3, "one fleet run per routing policy");
         assert_eq!(out.machine_stats.len(), crate::interleave::catalog().len());
         assert!(out.interleavings > 0);
         assert!(
@@ -418,6 +469,7 @@ mod tests {
         assert_eq!(out.schedules_checked, 0);
         assert_eq!(out.bundles_checked, 0);
         assert_eq!(out.watch_checks, 0);
+        assert_eq!(out.clusters_checked, 0);
         assert_eq!(out.machine_stats.len(), 1);
         assert_eq!(out.machine_stats[0].code, "SA205");
         assert!(out.merged().is_empty(), "{}", out.merged().render_text());

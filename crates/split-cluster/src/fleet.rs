@@ -1,0 +1,308 @@
+//! A fleet of simulated GPUs with per-device model tables, and the
+//! per-model replica placement across it.
+//!
+//! Every device class runs the same deployed models, just faster or
+//! slower: a device's table is the reference (Jetson-calibrated) table
+//! with all time costs divided by the device's [`Backend::lane_speed`].
+//! Scaling per *lane* (spatial partition) folds the class's
+//! aligned-contention slowdown into the table once, so each lane can run
+//! an independent single-stream SPLIT scheduler and still account for
+//! its neighbours' interference.
+
+use gpu_sim::{Backend, FleetSpec, SimGpu};
+use sched::{ModelRuntime, ModelTable};
+use std::collections::BTreeMap;
+
+/// One scheduler lane: a spatial partition of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lane {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Partition index within the device.
+    pub stream: usize,
+}
+
+/// A concrete fleet: devices instantiated from a [`FleetSpec`], one
+/// speed-scaled [`ModelTable`] per device, and the flat lane list the
+/// router balances over.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    spec: FleetSpec,
+    devices: Vec<SimGpu>,
+    tables: Vec<ModelTable>,
+    lanes: Vec<Lane>,
+    lanes_by_device: Vec<Vec<usize>>,
+}
+
+impl Fleet {
+    /// Instantiate `spec` and derive each device's table from the
+    /// reference `base` table (costs calibrated to the Jetson Nano).
+    pub fn new(spec: &FleetSpec, base: &ModelTable) -> Self {
+        let devices = spec.instantiate();
+        let tables: Vec<ModelTable> = devices
+            .iter()
+            .map(|d| scale_table(base, d.lane_speed()))
+            .collect();
+        let mut lanes = Vec::with_capacity(spec.lane_count());
+        let mut lanes_by_device = Vec::with_capacity(devices.len());
+        for (device, gpu) in devices.iter().enumerate() {
+            let mut mine = Vec::with_capacity(gpu.streams);
+            for stream in 0..gpu.streams.max(1) {
+                mine.push(lanes.len());
+                lanes.push(Lane { device, stream });
+            }
+            lanes_by_device.push(mine);
+        }
+        Self {
+            spec: spec.clone(),
+            devices,
+            tables,
+            lanes,
+            lanes_by_device,
+        }
+    }
+
+    /// The spec this fleet was built from.
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// The instantiated devices, in spec order.
+    pub fn devices(&self) -> &[SimGpu] {
+        &self.devices
+    }
+
+    /// All scheduler lanes, device-major.
+    pub fn lanes(&self) -> &[Lane] {
+        &self.lanes
+    }
+
+    /// Lane indices belonging to one device.
+    pub fn device_lanes(&self, device: usize) -> &[usize] {
+        &self.lanes_by_device[device]
+    }
+
+    /// A device's speed-scaled model table (shared by its lanes).
+    pub fn device_table(&self, device: usize) -> &ModelTable {
+        &self.tables[device]
+    }
+
+    /// The table a lane schedules against.
+    pub fn lane_table(&self, lane: usize) -> &ModelTable {
+        &self.tables[self.lanes[lane].device]
+    }
+
+    /// Aggregate fleet capacity in Jetson units (sum of device
+    /// [`Backend::capacity`]).
+    pub fn capacity(&self) -> f64 {
+        self.devices.iter().map(|d| d.capacity()).sum()
+    }
+}
+
+/// Rescale a reference table by a lane speed: every time cost divides by
+/// `speed`; names, task ids, and transfer sizes are preserved. Iterates
+/// the table in its deterministic name order.
+pub fn scale_table(base: &ModelTable, speed: f64) -> ModelTable {
+    assert!(speed > 0.0, "lane speed must be positive");
+    let mut out = ModelTable::new();
+    for m in base.iter() {
+        let scaled = if m.blocks_us.len() > 1 {
+            let mut s = ModelRuntime::split(
+                m.name.clone(),
+                m.task,
+                m.exec_us / speed,
+                m.blocks_us.iter().map(|b| b / speed).collect(),
+            );
+            if m.transfer_bytes.len() == m.blocks_us.len() - 1 {
+                s = s.with_transfer_bytes(m.transfer_bytes.clone());
+            }
+            s
+        } else {
+            ModelRuntime::vanilla(m.name.clone(), m.task, m.exec_us / speed)
+        };
+        out.insert(scaled);
+    }
+    out
+}
+
+/// Mean isolated execution time across a table's models, µs — the mean
+/// service demand of a uniform-mix request in reference (Jetson) units.
+pub fn mean_exec_us(table: &ModelTable) -> f64 {
+    assert!(!table.is_empty(), "empty model table");
+    table.iter().map(|m| m.exec_us).sum::<f64>() / table.len() as f64
+}
+
+/// The Poisson inter-arrival interval (µs) that offers `load` × the
+/// fleet's aggregate capacity, for a uniform model mix drawn from the
+/// reference `base` table.
+pub fn offered_interval_us(base: &ModelTable, fleet: &Fleet, load: f64) -> f64 {
+    assert!(load > 0.0, "offered load must be positive");
+    mean_exec_us(base) / (fleet.capacity() * load)
+}
+
+/// Per-model replica placement: which devices may serve each model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    replicas: BTreeMap<String, Vec<usize>>,
+}
+
+impl Placement {
+    /// Place every model of `table` on every device (full replication —
+    /// the router alone decides balance).
+    pub fn full(fleet: &Fleet, table: &ModelTable) -> Self {
+        let all: Vec<usize> = (0..fleet.devices().len()).collect();
+        let replicas = table
+            .iter()
+            .map(|m| (m.name.to_string(), all.clone()))
+            .collect();
+        Self { replicas }
+    }
+
+    /// Place each model on `r` devices, spreading replicas round-robin
+    /// over the devices sorted by capacity (largest first) so every
+    /// model gets at least one fast replica slot and no device hosts a
+    /// model twice. Deterministic in the table's name order.
+    pub fn replicated(fleet: &Fleet, table: &ModelTable, r: usize) -> Self {
+        let n = fleet.devices().len();
+        let r = r.clamp(1, n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            let (ca, cb) = (fleet.devices()[a].capacity(), fleet.devices()[b].capacity());
+            cb.partial_cmp(&ca)
+                .expect("capacities are finite")
+                .then(a.cmp(&b))
+        });
+        let mut replicas = BTreeMap::new();
+        for (k, m) in table.iter().enumerate() {
+            let mut devs: Vec<usize> = (0..r).map(|j| order[(k + j) % n]).collect();
+            devs.sort_unstable();
+            devs.dedup();
+            replicas.insert(m.name.to_string(), devs);
+        }
+        Self { replicas }
+    }
+
+    /// Devices hosting `model`.
+    ///
+    /// # Panics
+    /// Panics when the model was never placed — routing a trace that
+    /// references an unplaced model is a harness bug.
+    pub fn devices_for(&self, model: &str) -> &[usize] {
+        self.replicas
+            .get(model)
+            .unwrap_or_else(|| panic!("model {model:?} has no placement"))
+    }
+
+    /// Iterate `(model, replica devices)` in model-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Vec<usize>)> {
+        self.replicas.iter()
+    }
+
+    /// Number of placed models.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// True when nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_table() -> ModelTable {
+        let mut t = ModelTable::new();
+        t.insert(ModelRuntime::vanilla("small", 0, 10_000.0));
+        t.insert(
+            ModelRuntime::split("big", 1, 60_000.0, vec![22_000.0; 3])
+                .with_transfer_bytes(vec![1024, 2048]),
+        );
+        t
+    }
+
+    #[test]
+    fn scale_table_divides_every_cost() {
+        let scaled = scale_table(&base_table(), 4.0);
+        assert_eq!(scaled.get("small").exec_us, 2_500.0);
+        let big = scaled.get("big");
+        assert_eq!(big.exec_us, 15_000.0);
+        assert_eq!(big.blocks_us, vec![5_500.0; 3]);
+        assert_eq!(big.transfer_bytes, vec![1024, 2048]);
+        assert_eq!(big.task, 1);
+    }
+
+    #[test]
+    fn fleet_builds_lane_major_layout() {
+        let spec = FleetSpec::parse("jetson*2,nx:2*1").unwrap();
+        let fleet = Fleet::new(&spec, &base_table());
+        assert_eq!(fleet.devices().len(), 3);
+        assert_eq!(fleet.lanes().len(), 4);
+        assert_eq!(
+            fleet.lanes()[0],
+            Lane {
+                device: 0,
+                stream: 0
+            }
+        );
+        assert_eq!(
+            fleet.lanes()[2],
+            Lane {
+                device: 2,
+                stream: 0
+            }
+        );
+        assert_eq!(
+            fleet.lanes()[3],
+            Lane {
+                device: 2,
+                stream: 1
+            }
+        );
+        assert_eq!(fleet.device_lanes(2), &[2, 3]);
+        // The nx lanes run faster tables than the jetson lanes.
+        assert!(
+            fleet.lane_table(2).get("small").exec_us < fleet.lane_table(0).get("small").exec_us
+        );
+        assert!(fleet.capacity() > 2.0);
+    }
+
+    #[test]
+    fn full_placement_covers_all_devices() {
+        let spec = FleetSpec::heterogeneous(4);
+        let fleet = Fleet::new(&spec, &base_table());
+        let p = Placement::full(&fleet, &base_table());
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.devices_for("big"), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn replicated_placement_is_spread_and_deduped() {
+        let spec = FleetSpec::heterogeneous(8);
+        let fleet = Fleet::new(&spec, &base_table());
+        let p = Placement::replicated(&fleet, &base_table(), 3);
+        for (_, devs) in p.iter() {
+            assert_eq!(devs.len(), 3);
+            let mut sorted = devs.clone();
+            sorted.dedup();
+            assert_eq!(&sorted, devs, "replica list must be sorted+unique");
+            for &d in devs {
+                assert!(d < 8);
+            }
+        }
+        // The two models don't land on identical replica sets.
+        let sets: Vec<_> = p.iter().map(|(_, d)| d.clone()).collect();
+        assert_ne!(sets[0], sets[1]);
+    }
+
+    #[test]
+    fn offered_interval_matches_capacity() {
+        let spec = FleetSpec::uniform("jetson", 4);
+        let fleet = Fleet::new(&spec, &base_table());
+        // mean exec = 35 ms, capacity 4, load 1.0 → 8.75 ms between arrivals.
+        let interval = offered_interval_us(&base_table(), &fleet, 1.0);
+        assert!((interval - 8_750.0).abs() < 1e-9);
+    }
+}

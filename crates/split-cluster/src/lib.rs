@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! # split-cluster — fleet-scale sharded serving over simulated GPUs
+//!
+//! Scales the single-device SPLIT reproduction to a cluster: a
+//! [`Fleet`] of heterogeneous simulated GPUs (instantiated from a
+//! [`gpu_sim::FleetSpec`] via the [`gpu_sim::Backend`] trait), a
+//! per-model replica [`Placement`], a deterministic [`route`] pass with
+//! pluggable balancing policies ([`RoutePolicy`]), and a sharded engine
+//! ([`simulate_fleet`]) that runs one SPLIT scheduler per spatial
+//! partition in parallel on the deterministic `SPLIT_THREADS` pool and
+//! merges telemetry with the existing bit-identical merge machinery.
+//!
+//! The design (and the argument for why results are reproducible at any
+//! thread count) is documented in DESIGN.md §17; cluster schedules are
+//! verified by `split-analyze`'s SA60x lints.
+
+pub mod engine;
+pub mod fleet;
+pub mod router;
+
+pub use engine::{simulate_fleet, ClusterResult, ShardReport};
+pub use fleet::{mean_exec_us, offered_interval_us, scale_table, Fleet, Lane, Placement};
+pub use router::{route, LaneLoad, RouteCfg, RouteOutcome, RoutePolicy, RouteReport};

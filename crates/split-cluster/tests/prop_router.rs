@@ -1,0 +1,139 @@
+//! Property tests over the cluster router and sharded engine: every
+//! routing policy must conserve requests — no drops, no duplicates, and
+//! every completion on a replica device — for arbitrary heterogeneous
+//! fleets, placements, and arrival processes.
+
+use gpu_sim::{device_class_labels, FleetEntry, FleetSpec};
+use proptest::prelude::*;
+use sched::{ModelRuntime, ModelTable, Policy};
+use split_cluster::{route, simulate_fleet, Fleet, Placement, RouteCfg, RoutePolicy};
+use std::collections::BTreeSet;
+use workload::Arrival;
+
+/// 1–5 devices drawn from every backend class, with 1–4 spatial
+/// partitions each.
+fn spec_strategy() -> impl Strategy<Value = FleetSpec> {
+    proptest::collection::vec((0usize..device_class_labels().len(), 1usize..4), 1..5).prop_map(
+        |entries| FleetSpec {
+            entries: entries
+                .into_iter()
+                .map(|(class, streams)| FleetEntry {
+                    class: device_class_labels()[class].to_string(),
+                    count: 1,
+                    streams,
+                })
+                .collect(),
+        },
+    )
+}
+
+fn table_strategy() -> impl Strategy<Value = ModelTable> {
+    proptest::collection::vec((3_000.0f64..40_000.0, 1usize..4), 1..4).prop_map(|models| {
+        let mut t = ModelTable::new();
+        for (i, (exec, blocks)) in models.into_iter().enumerate() {
+            let name = format!("m{i}");
+            if blocks == 1 {
+                t.insert(ModelRuntime::vanilla(name, i as u32, exec));
+            } else {
+                t.insert(ModelRuntime::split(
+                    name,
+                    i as u32,
+                    exec,
+                    vec![exec * 1.1 / blocks as f64; blocks],
+                ));
+            }
+        }
+        t
+    })
+}
+
+#[allow(clippy::type_complexity)]
+fn cluster_strategy() -> impl Strategy<Value = (FleetSpec, ModelTable, Vec<Arrival>, usize, u64)> {
+    (
+        spec_strategy(),
+        table_strategy(),
+        proptest::collection::vec((0.0f64..600_000.0, 0usize..4), 1..80),
+        1usize..5,
+        0u64..u64::MAX,
+    )
+        .prop_map(|(spec, table, raw, replicas, seed)| {
+            let n_models = table.len();
+            let mut arrivals: Vec<Arrival> = raw
+                .into_iter()
+                .map(|(at, m)| Arrival {
+                    id: 0,
+                    model: format!("m{}", m % n_models),
+                    arrival_us: at,
+                })
+                .collect();
+            arrivals.sort_by(|a, b| a.arrival_us.total_cmp(&b.arrival_us));
+            for (i, a) in arrivals.iter_mut().enumerate() {
+                a.id = i as u64;
+            }
+            (spec, table, arrivals, replicas, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The router assigns every arrival to exactly one lane of a replica
+    /// device, and the totals it reports agree with the assignments.
+    #[test]
+    fn every_policy_conserves_routed_requests(
+        (spec, table, arrivals, replicas, seed) in cluster_strategy()
+    ) {
+        let fleet = Fleet::new(&spec, &table);
+        let placement = Placement::replicated(&fleet, &table, replicas);
+        for policy in RoutePolicy::all() {
+            let out = route(&arrivals, &fleet, &placement, &RouteCfg { policy, seed });
+            let assigned: usize = out.assignments.iter().map(Vec::len).sum();
+            prop_assert_eq!(assigned, arrivals.len(), "{} dropped or duplicated", policy.name());
+            prop_assert_eq!(out.report.routed, arrivals.len() as u64);
+            let mut seen = BTreeSet::new();
+            for (lane, assigned) in out.assignments.iter().enumerate() {
+                let device = fleet.lanes()[lane].device;
+                for a in assigned {
+                    prop_assert!(seen.insert(a.id), "request {} routed twice", a.id);
+                    prop_assert!(
+                        placement.devices_for(&a.model).contains(&device),
+                        "request {} routed off-replica to device {device}",
+                        a.id
+                    );
+                }
+            }
+        }
+    }
+
+    /// End to end: the sharded engine completes exactly the routed set,
+    /// once each, under every policy.
+    #[test]
+    fn every_policy_conserves_completions(
+        (spec, table, arrivals, replicas, seed) in cluster_strategy()
+    ) {
+        let fleet = Fleet::new(&spec, &table);
+        let placement = Placement::replicated(&fleet, &table, replicas);
+        for policy in RoutePolicy::all() {
+            let result = simulate_fleet(
+                &Policy::Split(Default::default()),
+                &arrivals,
+                &fleet,
+                &placement,
+                &RouteCfg { policy, seed },
+            );
+            prop_assert_eq!(result.completed(), arrivals.len() as u64, "{}", policy.name());
+            let ids: BTreeSet<u64> = result
+                .shards
+                .iter()
+                .flat_map(|s| s.completions.iter().map(|c| c.id))
+                .collect();
+            prop_assert_eq!(
+                ids.len(),
+                arrivals.len(),
+                "{}: duplicate or missing completion ids",
+                policy.name()
+            );
+            prop_assert!(arrivals.iter().all(|a| ids.contains(&a.id)));
+        }
+    }
+}

@@ -95,6 +95,20 @@ impl Default for ElasticConfig {
     }
 }
 
+/// A point-in-time view of an [`ElasticController`] for observers
+/// (dashboards, shutdown reports). Plain data: taking one never blocks
+/// on anything the controller itself holds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ElasticSnapshot {
+    /// Current mode (true = requests are dispatched split).
+    pub splitting: bool,
+    /// Arrivals currently inside the sliding window.
+    pub window_len: usize,
+    /// Windowed arrival rate (requests per second) the mode decisions
+    /// are judged against.
+    pub rate_per_s: f64,
+}
+
 /// Sliding-window arrival monitor deciding split vs. vanilla execution.
 #[derive(Debug, Clone)]
 pub struct ElasticController {
@@ -169,6 +183,15 @@ impl ElasticController {
     /// Windowed arrival count (for tests and telemetry).
     pub fn window_len(&self) -> usize {
         self.window.len()
+    }
+
+    /// Point-in-time view for observers; does not record an arrival.
+    pub fn snapshot(&self) -> ElasticSnapshot {
+        ElasticSnapshot {
+            splitting: self.splitting,
+            window_len: self.window.len(),
+            rate_per_s: self.window.len() as f64 / (self.cfg.window_us / 1e6),
+        }
     }
 }
 
@@ -258,6 +281,22 @@ mod tests {
         assert_eq!(c.window_len(), 20);
         c.on_arrival(10_000_000.0, 0);
         assert_eq!(c.window_len(), 1, "stale entries must be evicted");
+    }
+
+    #[test]
+    fn snapshot_reflects_mode_and_window() {
+        let mut c = ctl();
+        let idle = c.snapshot();
+        assert!(idle.splitting);
+        assert_eq!(idle.window_len, 0);
+        assert_eq!(idle.rate_per_s, 0.0);
+        for i in 0..30 {
+            c.on_arrival(i as f64 * 33_000.0, (i % 5) as u32);
+        }
+        let flooded = c.snapshot();
+        assert!(!flooded.splitting, "flood must be visible to observers");
+        assert_eq!(flooded.window_len, c.window_len());
+        assert!(flooded.rate_per_s > 10.0);
     }
 
     #[test]

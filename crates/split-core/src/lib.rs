@@ -35,7 +35,7 @@ pub mod preempt;
 
 pub use analysis::{expected_waiting_us, expected_waiting_via_moments};
 pub use anneal::{anneal, AnnealConfig, AnnealOutcome};
-pub use elastic::{ElasticConfig, ElasticController};
+pub use elastic::{ElasticConfig, ElasticController, ElasticSnapshot};
 pub use exhaustive::{count_candidates, exhaustive_best};
 pub use fitness::{fitness, FitnessParts};
 pub use ga::{evolve, evolve_on, CrossoverOp, GaConfig, GaOutcome, GenStats, InitStrategy};

@@ -24,6 +24,9 @@
 //!   dashboard frames (queue depth, utilization, per-model p50/p99,
 //!   burn-rate gauges, active alerts), and emits Prometheus text-format
 //!   metrics. Backs `split-cli monitor`.
+//! * [`saturation`] — per-device saturation rollups for fleet runs
+//!   (routed/completed counts, utilization, latency tail), rendered as
+//!   the `split-cli fleet` device table and `results/` CSV artifacts.
 //!
 //! The crate depends only on `split-telemetry` and `qos-metrics`, so
 //! every layer above (the policy engine, the threaded runtime, the
@@ -32,12 +35,14 @@
 pub mod attribution;
 pub mod dashboard;
 pub mod monitor;
+pub mod saturation;
 pub mod slo;
 pub mod span;
 
 pub use attribution::{attribute, rollup_by_model, Attribution, SUM_TOLERANCE_US};
 pub use dashboard::{render_frame, Frame, ModelLatencyRow};
 pub use monitor::{Monitor, MonitorCfg};
+pub use saturation::{render_saturation_table, saturation_csv, DeviceSaturation};
 pub use slo::{Alert, AlertLog, SloCfg, SloMonitor};
 pub use span::{
     build_spans, deterministic_span_id, span_trace_events, write_span_trace, Span, SpanContext,

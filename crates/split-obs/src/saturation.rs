@@ -1,0 +1,143 @@
+//! Per-device saturation telemetry for fleet runs.
+//!
+//! The cluster engine reduces each device's shard results into one
+//! [`DeviceSaturation`] row: how much traffic the router sent it, how
+//! busy its timeline was, and its end-to-end latency tail. The rows are
+//! what `split-cli fleet` prints and what the committed
+//! `results/fleet_devices.csv` stores — all values derive from the
+//! simulation, never from wall clocks, so the artifact is deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// One device's saturation summary over a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSaturation {
+    /// Device index within the fleet.
+    pub device: usize,
+    /// Device-class label (`"jetson"`, `"nx"`, `"edge"`).
+    pub class: String,
+    /// Spatial partitions (scheduler lanes) on the device.
+    pub streams: usize,
+    /// Requests the router assigned to the device.
+    pub routed: u64,
+    /// Requests the device's schedulers completed.
+    pub completed: u64,
+    /// Offered work as a fraction of what the device could serve over
+    /// the run's span (router's demand estimate / capacity·span).
+    pub offered_load: f64,
+    /// Busy time summed over the device's lanes, µs.
+    pub busy_us: f64,
+    /// Longest lane timeline span on the device, µs.
+    pub span_us: f64,
+    /// Peak queue depth over the device's lanes.
+    pub queue_peak: i64,
+    /// Median end-to-end latency across the device's completions, µs.
+    pub p50_e2e_us: u64,
+    /// 99th-percentile end-to-end latency, µs.
+    pub p99_e2e_us: u64,
+}
+
+impl DeviceSaturation {
+    /// Fraction of the device's lane-time that was busy
+    /// (`busy / (streams · span)`); 0 when the device served nothing.
+    pub fn utilization(&self) -> f64 {
+        if self.span_us <= 0.0 {
+            return 0.0;
+        }
+        self.busy_us / (self.streams.max(1) as f64 * self.span_us)
+    }
+}
+
+/// Render an aligned per-device saturation table (the `split-cli fleet`
+/// stdout block).
+pub fn render_saturation_table(rows: &[DeviceSaturation]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "  dev  class    lanes     routed  completed   load   util   q.peak   p50(ms)   p99(ms)\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "  {:>3}  {:<7} {:>5} {:>10} {:>10}  {:>5.2}  {:>5.2} {:>8} {:>9.1} {:>9.1}\n",
+            r.device,
+            r.class,
+            r.streams,
+            r.routed,
+            r.completed,
+            r.offered_load,
+            r.utilization(),
+            r.queue_peak,
+            r.p50_e2e_us as f64 / 1e3,
+            r.p99_e2e_us as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+/// Render the rows as CSV (header + one line per device), for fig-style
+/// artifacts under `results/`.
+pub fn saturation_csv(rows: &[DeviceSaturation]) -> String {
+    let mut out = String::from(
+        "device,class,streams,routed,completed,offered_load,utilization,queue_peak,p50_e2e_us,p99_e2e_us\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{:.6},{:.6},{},{},{}\n",
+            r.device,
+            r.class,
+            r.streams,
+            r.routed,
+            r.completed,
+            r.offered_load,
+            r.utilization(),
+            r.queue_peak,
+            r.p50_e2e_us,
+            r.p99_e2e_us,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> DeviceSaturation {
+        DeviceSaturation {
+            device: 3,
+            class: "edge".into(),
+            streams: 4,
+            routed: 1000,
+            completed: 1000,
+            offered_load: 0.62,
+            busy_us: 2_000_000.0,
+            span_us: 1_000_000.0,
+            queue_peak: 7,
+            p50_e2e_us: 52_000,
+            p99_e2e_us: 240_000,
+        }
+    }
+
+    #[test]
+    fn utilization_normalizes_by_lanes() {
+        let r = row();
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        let idle = DeviceSaturation {
+            span_us: 0.0,
+            busy_us: 0.0,
+            ..row()
+        };
+        assert_eq!(idle.utilization(), 0.0);
+    }
+
+    #[test]
+    fn table_and_csv_carry_every_device() {
+        let rows = vec![row(), DeviceSaturation { device: 4, ..row() }];
+        let table = render_saturation_table(&rows);
+        assert!(table.contains("edge"));
+        assert_eq!(table.lines().count(), 3);
+        let csv = saturation_csv(&rows);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("device,class"));
+        assert!(csv.contains("\n3,edge,4,1000,1000,"));
+    }
+}

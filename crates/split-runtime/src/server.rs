@@ -683,6 +683,17 @@ impl Server {
         })
     }
 
+    /// A point-in-time view of the elastic-splitting controller, or
+    /// `None` when elasticity is disabled. Reads through the decision
+    /// core's [`CombiningCore::with_state`] — the full combiner
+    /// discipline, no separate server lock — so an observer sees
+    /// exactly the mode the next dispatch decision will use, and never
+    /// waits behind more than the in-flight combiner pass.
+    pub fn elastic(&self) -> Option<split_core::ElasticSnapshot> {
+        self.core
+            .with_state(|st| st.elastic.as_ref().map(ElasticController::snapshot))
+    }
+
     /// A snapshot of the server's lifecycle recording so far (arrivals,
     /// preemption decisions, block executions, completions, queue
     /// depth). Ring-bounded; exportable with

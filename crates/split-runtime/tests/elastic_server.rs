@@ -64,6 +64,64 @@ fn same_type_flood_switches_to_vanilla_blocks() {
 }
 
 #[test]
+fn elastic_observer_progresses_while_combiner_busy() {
+    // Regression test for the ROADMAP item-2 follow-on: elastic state is
+    // observed through `CombiningCore::with_state`, so an observer waits
+    // behind at most the in-flight combiner pass — never the whole
+    // backlog, and never a separate server lock.
+    let elastic = ElasticConfig {
+        window_us: 2_000_000.0,
+        density_off_per_s: 1_000_000.0,
+        density_on_per_s: 999_999.0,
+        same_type_frac: 0.8,
+        min_samples: 4,
+    };
+    let server = Server::start(
+        deployment(),
+        ServerConfig {
+            alpha: 4.0,
+            elastic: Some(elastic),
+            compression: 2_000.0,
+        },
+    );
+    // Every combined `Infer` spins 3 ms before deciding: a 40-request
+    // flood keeps the decision core busy for ~120 ms of combiner passes.
+    const STALL_NS: u64 = 3_000_000;
+    const FLOOD: usize = 40;
+    server.set_combiner_stall_ns(STALL_NS);
+    let client = server.client();
+    let flood = std::thread::spawn(move || {
+        let rxs: Vec<_> = (0..FLOOD).map(|_| client.infer("short")).collect();
+        rxs.into_iter()
+            .filter(|rx| rx.recv_timeout(Duration::from_secs(30)).is_ok())
+            .count()
+    });
+
+    // Observe concurrently with the flood. Each read must come back in
+    // bounded time (a pass or two), so well before the flood's ~120 ms
+    // of stalled passes drain, many reads have completed.
+    let t0 = std::time::Instant::now();
+    let mut reads = 0usize;
+    let mut saw_window = false;
+    while t0.elapsed() < Duration::from_millis(60) {
+        let snap = server.elastic().expect("elasticity is enabled");
+        saw_window |= snap.window_len > 0;
+        reads += 1;
+    }
+    assert!(
+        reads >= 3,
+        "observer managed only {reads} reads while the combiner was busy"
+    );
+    assert!(
+        saw_window,
+        "observer never saw the controller's windowed arrivals"
+    );
+
+    assert_eq!(flood.join().unwrap(), FLOOD, "flood must fully complete");
+    server.shutdown();
+}
+
+#[test]
 fn mixed_traffic_keeps_splitting() {
     let elastic = ElasticConfig {
         window_us: 2_000_000.0,

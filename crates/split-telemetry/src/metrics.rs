@@ -334,6 +334,33 @@ impl Registry {
         map.entry(name.to_string()).or_insert_with(make).clone()
     }
 
+    /// Fold every metric of `other` into `self`, creating missing names.
+    ///
+    /// Kind-wise semantics: counters add, histograms fold via
+    /// [`Histogram::merge`] (order-independent, SA203), and gauges take
+    /// the **max** — every gauge the engine emits is a peak level
+    /// (`queue.depth.peak`), and a cluster's peak is the max over its
+    /// shards. Each per-kind fold is commutative and associative, so any
+    /// merge tree over per-shard registries yields the same result — the
+    /// property the fleet engine leans on to stay bit-identical at any
+    /// `SPLIT_THREADS`.
+    ///
+    /// # Panics
+    /// If a name is registered with different kinds in the two registries.
+    pub fn merge(&self, other: &Registry) {
+        let src = other.inner.read().expect("registry lock");
+        for (name, metric) in src.iter() {
+            match metric {
+                Metric::Counter(c) => self.counter(name).add(c.get()),
+                Metric::Gauge(g) => {
+                    let dst = self.gauge(name);
+                    dst.set(dst.get().max(g.get()));
+                }
+                Metric::Histogram(h) => self.histogram(name).merge(h),
+            }
+        }
+    }
+
     /// Point-in-time snapshot of every registered metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let map = self.inner.read().expect("registry lock");
@@ -966,5 +993,34 @@ mod tests {
         assert_eq!(h.max(), 800);
         assert_eq!(reg.histogram("request.e2e_us").max(), 25);
         assert_eq!(reg.histogram("request.wait_us").max(), 10);
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent() {
+        let make = |counts: u64, gauge: i64, samples: &[u64]| {
+            let r = Registry::new();
+            r.counter("requests.completed").add(counts);
+            r.gauge("queue.depth.peak").set(gauge);
+            let h = r.histogram("request.e2e_us");
+            for &s in samples {
+                h.record(s);
+            }
+            r
+        };
+        let a = make(3, 7, &[10, 20]);
+        let b = make(5, 4, &[30]);
+
+        let ab = Registry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let ba = Registry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+
+        assert_eq!(ab.snapshot(), ba.snapshot());
+        assert_eq!(ab.counter("requests.completed").get(), 8);
+        assert_eq!(ab.gauge("queue.depth.peak").get(), 7);
+        assert_eq!(ab.histogram("request.e2e_us").count(), 3);
+        assert_eq!(ab.histogram("request.e2e_us").max(), 30);
     }
 }

@@ -49,6 +49,26 @@ impl Scenario {
         }
     }
 
+    /// A cluster-scale scenario outside the Table 2 grid: an arbitrary
+    /// Poisson interval for an arbitrary request count. Fleet harnesses
+    /// compute `lambda_us` from an offered load relative to the fleet's
+    /// aggregate capacity, so it rarely lands on a Table 2 value. Uses
+    /// the reserved index 7, giving fleet traces their own seed stream.
+    pub fn fleet(lambda_us: f64, requests: usize) -> Self {
+        assert!(lambda_us > 0.0, "arrival interval must be positive");
+        let lambda_ms = lambda_us / 1e3;
+        Scenario {
+            index: 7,
+            lambda_ms,
+            load: if lambda_ms >= 150.0 {
+                Load::Low
+            } else {
+                Load::High
+            },
+            requests,
+        }
+    }
+
     /// Mean arrival interval in microseconds.
     pub fn lambda_us(&self) -> f64 {
         self.lambda_ms * 1e3

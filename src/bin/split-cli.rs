@@ -63,6 +63,18 @@ commands:
             [--check]                  --perfetto re-exports the captured span
                                        trees, --check exits non-zero unless the
                                        bundle passes the SA4xx analyzer
+  fleet [--devices N | --fleet SPEC]     serve a Poisson stream across a fleet of
+        [--requests M] [--route POLICY]  simulated GPUs: routing + one SPLIT
+        [--policy P] [--load F]          scheduler per spatial partition, sharded
+        [--alpha A] [--seed S]           over the SPLIT_THREADS pool. SPEC is
+        [--replicas R]                   class[:streams][*count],... over classes
+        [--devices-csv FILE]             jetson|nx|edge (default: heterogeneous
+        [--qos-csv FILE]                 mix of N devices); POLICY is low|jsq|p2c;
+                                         --load F offers F x fleet capacity;
+                                         --replicas R places each model on R
+                                         devices (default: all); the run is
+                                         verified by the SA60x cluster analyzer
+                                         and exits non-zero on any finding
   monitor [--replay FILE | --scenario 1..6 [--policy P] [--alpha A]]
           [--frames N] [--interval MS] live dashboard (queue depth, utilization,
           [--prom FILE] [--json]       per-model p50/p99, SLO burn rate, drift
@@ -93,6 +105,12 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
         },
         "forensics" => match cmd_forensics(rest) {
+            Ok(code) => return code,
+            Err(e) => Err(e),
+        },
+        // `fleet` owns its exit code too: analyzer findings on the run
+        // are the output, not a usage error.
+        "fleet" => match cmd_fleet(rest) {
             Ok(code) => return code,
             Err(e) => Err(e),
         },
@@ -450,12 +468,13 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     } else {
         eprintln!(
             "analyzed {} plan(s), {} schedule(s), {} bundle(s), {} model-checked \
-             execution(s), {} drift-watch probe(s)",
+             execution(s), {} drift-watch probe(s), {} fleet run(s)",
             out.plans_checked,
             out.schedules_checked,
             out.bundles_checked,
             out.interleavings,
-            out.watch_checks
+            out.watch_checks,
+            out.clusters_checked
         );
         for s in &out.machine_stats {
             eprintln!(
@@ -480,6 +499,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             ("attribution", &out.attribution_report),
             ("forensics", &out.forensics_report),
             ("watch", &out.watch_report),
+            ("cluster", &out.cluster_report),
         ] {
             if report.is_empty() {
                 eprintln!("  {section}: clean");
@@ -537,6 +557,161 @@ fn cmd_forensics(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_fleet(args: &[String]) -> Result<ExitCode, String> {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--devices" | "--fleet" | "--requests" | "--route" | "--policy" | "--load"
+            | "--alpha" | "--seed" | "--replicas" | "--devices-csv" | "--qos-csv" => i += 2,
+            other => return Err(format!("fleet: unknown option {other:?}")),
+        }
+    }
+    use split_repro::split_cluster::{
+        offered_interval_us, simulate_fleet, Fleet, Placement, RouteCfg, RoutePolicy,
+    };
+    use split_repro::split_obs::{render_saturation_table, saturation_csv};
+
+    let devices: usize = opt(args, "--devices")?
+        .map(|s| s.parse().map_err(|_| "bad --devices"))
+        .transpose()?
+        .unwrap_or(16);
+    if devices == 0 {
+        return Err("--devices must be at least 1".into());
+    }
+    let spec = match opt(args, "--fleet")? {
+        Some(s) => {
+            split_repro::gpu_sim::FleetSpec::parse(&s).map_err(|e| format!("--fleet: {e}"))?
+        }
+        None => split_repro::gpu_sim::FleetSpec::heterogeneous(devices),
+    };
+    let requests: usize = opt(args, "--requests")?
+        .map(|s| s.parse().map_err(|_| "bad --requests"))
+        .transpose()?
+        .unwrap_or(100_000);
+    if requests == 0 {
+        return Err("--requests must be at least 1".into());
+    }
+    let route_policy = match opt(args, "--route")? {
+        Some(s) => RoutePolicy::parse(&s)
+            .ok_or_else(|| format!("unknown routing policy {s:?} (expected low, jsq, or p2c)"))?,
+        None => RoutePolicy::LeastOutstandingWork,
+    };
+    let policy = match opt(args, "--policy")?.as_deref().unwrap_or("split") {
+        "split" => Policy::Split(SplitCfg::default()),
+        "clockwork" => Policy::ClockWork,
+        "prema" => Policy::Prema(Default::default()),
+        "rta" => Policy::Rta(Default::default()),
+        other => return Err(format!("unknown policy {other:?}")),
+    };
+    let load: f64 = opt(args, "--load")?
+        .map(|s| s.parse().map_err(|_| "bad --load"))
+        .transpose()?
+        .unwrap_or(0.6);
+    if load <= 0.0 || !load.is_finite() {
+        return Err("--load must be positive".into());
+    }
+    let alpha: f64 = opt(args, "--alpha")?
+        .map(|s| s.parse().map_err(|_| "bad --alpha"))
+        .transpose()?
+        .unwrap_or(4.0);
+    let seed: u64 = opt(args, "--seed")?
+        .map(|s| s.parse().map_err(|_| "bad --seed"))
+        .transpose()?
+        .unwrap_or_else(|| RouteCfg::default().seed);
+    let replicas: Option<usize> = opt(args, "--replicas")?
+        .map(|s| s.parse().map_err(|_| "bad --replicas"))
+        .transpose()?;
+    if replicas == Some(0) {
+        return Err("--replicas must be at least 1".into());
+    }
+
+    let dev = DeviceConfig::jetson_nano();
+    let deployment = experiment::paper_deployment(&dev);
+    let table = deployment.table();
+    let fleet = Fleet::new(&spec, table);
+    let placement = match replicas {
+        Some(r) => Placement::replicated(&fleet, table, r),
+        None => Placement::full(&fleet, table),
+    };
+    let interval_us = offered_interval_us(table, &fleet, load);
+    let trace = RequestTrace::generate(
+        Scenario::fleet(interval_us, requests),
+        &experiment::PAPER_MODEL_NAMES,
+    );
+    let result = simulate_fleet(
+        &policy,
+        &trace.arrivals,
+        &fleet,
+        &placement,
+        &RouteCfg {
+            policy: route_policy,
+            seed,
+        },
+    );
+
+    println!(
+        "fleet {}: {} device(s), {} lane(s), capacity {:.2} jetson-units",
+        fleet.spec().render(),
+        fleet.devices().len(),
+        fleet.lanes().len(),
+        fleet.capacity()
+    );
+    println!(
+        "router {} (seed {seed:#x}) over {} placed model(s); scheduler {}; \
+         offered load {load:.2} (mean interval {:.1} µs)",
+        route_policy.name(),
+        placement.len(),
+        policy.name(),
+        interval_us
+    );
+    let span_s = result.span_us() / 1e6;
+    println!(
+        "{} request(s): {} completed over {span_s:.2} s simulated \
+         ({:.0} req/s of simulated time)",
+        trace.arrivals.len(),
+        result.completed(),
+        result.completed() as f64 / span_s.max(1e-9)
+    );
+    println!("schedule digest: {:#018x}", result.digest());
+    let outcomes = result.outcomes();
+    println!(
+        "violation rate @ α={alpha}: {:.2}%",
+        100.0 * violation_rate(&outcomes, alpha)
+    );
+
+    let saturation = result.device_saturation(&fleet);
+    println!("\n{}", render_saturation_table(&saturation));
+
+    if let Some(path) = opt(args, "--devices-csv")? {
+        let path = PathBuf::from(path);
+        std::fs::write(&path, saturation_csv(&saturation))
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote per-device saturation to {}", path.display());
+    }
+    if let Some(path) = opt(args, "--qos-csv")? {
+        let path = PathBuf::from(path);
+        let mut csv = String::from("alpha,violation_rate\n");
+        for (a, v) in split_repro::qos_metrics::violation_curve(&outcomes, 1, 12) {
+            csv.push_str(&format!("{a},{v:.6}\n"));
+        }
+        std::fs::write(&path, csv).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote cluster QoS curve to {}", path.display());
+    }
+
+    let report =
+        split_repro::split_analyze::lint_cluster(&trace.arrivals, &fleet, &placement, &result);
+    if report.is_empty() {
+        eprintln!("cluster lint: clean (SA601, SA602, SA603)");
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(if report.fails(true) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn cmd_monitor(args: &[String]) -> Result<(), String> {

@@ -22,6 +22,7 @@
 //! | [`split_telemetry`] | lock-free metrics, lifecycle tracing, Perfetto export |
 //! | [`split_obs`] | causal spans, latency attribution, SLO burn-rate, dashboard (DESIGN.md §10) |
 //! | [`split_watch`] | streaming drift watch: windowed sketches, change-point detectors (DESIGN.md §15) |
+//! | [`split_cluster`] | fleet of simulated GPUs, cluster router, sharded engine (DESIGN.md §17) |
 //! | [`split_analyze`] | static verification of plans, schedules, telemetry (DESIGN.md §9) |
 //!
 //! ## Quickstart
@@ -49,6 +50,7 @@ pub use qos_metrics;
 pub use rayon;
 pub use sched;
 pub use split_analyze;
+pub use split_cluster;
 pub use split_core;
 pub use split_forensics;
 pub use split_obs;

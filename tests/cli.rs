@@ -337,6 +337,115 @@ fn monitor_validates_inputs() {
 }
 
 #[test]
+fn fleet_serves_and_verifies_a_small_cluster() {
+    let dir = std::env::temp_dir().join("split_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let devices_csv: PathBuf = dir.join("fleet_devices.csv");
+    let qos_csv: PathBuf = dir.join("fleet_qos.csv");
+    let _ = std::fs::remove_file(&devices_csv);
+    let _ = std::fs::remove_file(&qos_csv);
+
+    let out = cli(&[
+        "fleet",
+        "--devices",
+        "4",
+        "--requests",
+        "5000",
+        "--route",
+        "p2c",
+        // p2c samples lanes uniformly, so on a small heterogeneous fleet
+        // the slow lanes saturate well below the fleet-average load the
+        // capacity-aware default policy can sustain.
+        "--load",
+        "0.45",
+        "--devices-csv",
+        devices_csv.to_str().unwrap(),
+        "--qos-csv",
+        qos_csv.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("4 device(s)"), "{text}");
+    assert!(text.contains("power-of-two-choices"), "{text}");
+    assert!(text.contains("5000 request(s): 5000 completed"), "{text}");
+    assert!(text.contains("schedule digest: 0x"), "{text}");
+    assert!(text.contains("violation rate"), "{text}");
+    assert!(
+        text.contains("q.peak"),
+        "the saturation table is printed:\n{text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cluster lint: clean"), "{err}");
+
+    let devices = std::fs::read_to_string(&devices_csv).unwrap();
+    assert!(devices.starts_with("device,class,streams,"), "{devices}");
+    assert_eq!(devices.lines().count(), 5, "header + one row per device");
+    let qos = std::fs::read_to_string(&qos_csv).unwrap();
+    assert!(qos.starts_with("alpha,violation_rate\n"), "{qos}");
+    assert_eq!(qos.lines().count(), 13, "header + α=1..12");
+}
+
+#[test]
+fn fleet_explicit_spec_controls_the_fleet() {
+    let out = cli(&[
+        "fleet",
+        "--fleet",
+        "jetson*2,nx:1*1",
+        "--requests",
+        "2000",
+        "--replicas",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("3 device(s)"), "{text}");
+    assert!(text.contains("3 lane(s)"), "{text}");
+}
+
+#[test]
+fn fleet_validates_inputs() {
+    assert!(!cli(&["fleet", "--fleet", "tpu*4"]).status.success());
+    assert!(!cli(&["fleet", "--route", "roundrobin"]).status.success());
+    assert!(!cli(&["fleet", "--devices", "0"]).status.success());
+    assert!(!cli(&["fleet", "--load", "-1"]).status.success());
+    assert!(!cli(&["fleet", "--frobnicate", "1"]).status.success());
+}
+
+#[test]
+fn analyze_reports_fleet_runs() {
+    let out = cli(&[
+        "analyze",
+        "--only",
+        "SA601",
+        "--deny-warnings",
+        "--requests",
+        "120",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("3 fleet run(s)"),
+        "one per routing policy: {err}"
+    );
+    assert!(err.contains("cluster: clean"), "{err}");
+}
+
+#[test]
 fn no_command_prints_usage() {
     let out = cli(&[]);
     assert!(!out.status.success());

@@ -1,0 +1,110 @@
+//! Cross-thread-count determinism of the sharded fleet engine: the
+//! cluster schedule, the merged telemetry registry, the merged latency
+//! sketches, and the route report must be bit-identical whether the
+//! per-lane simulations ran on one pool worker or four.
+//!
+//! The argument (DESIGN.md §17): routing is a sequential pass over the
+//! time-ordered trace, the parallel map collects shard results in lane
+//! order regardless of completion order, and every merge is either
+//! order-independent (counters add, gauges take maxima, sketches merge
+//! commutatively) or folds in fixed lane order (the digest).
+
+use split_repro::experiment;
+use split_repro::gpu_sim::{DeviceConfig, FleetSpec};
+use split_repro::sched::Policy;
+use split_repro::split_cluster::{
+    offered_interval_us, simulate_fleet, ClusterResult, Fleet, Placement, RouteCfg, RoutePolicy,
+};
+use split_repro::split_telemetry::MetricsSnapshot;
+use split_repro::workload::{RequestTrace, Scenario};
+
+/// Drop the wall-clock diagnostics (`*_ns` histograms such as
+/// `sched.preempt.decision_ns` measure host nanoseconds, not simulated
+/// time) — the determinism contract covers every simulated-time metric.
+fn simulated(mut snap: MetricsSnapshot) -> MetricsSnapshot {
+    snap.entries.retain(|e| !e.name.ends_with("_ns"));
+    snap
+}
+
+fn run(threads: usize, policy: RoutePolicy) -> ClusterResult {
+    rayon::with_threads(threads, || {
+        let dev = DeviceConfig::jetson_nano();
+        let deployment = experiment::paper_deployment(&dev);
+        let table = deployment.table();
+        let fleet = Fleet::new(&FleetSpec::heterogeneous(8), table);
+        let placement = Placement::full(&fleet, table);
+        let interval = offered_interval_us(table, &fleet, 0.7);
+        let trace = RequestTrace::generate(
+            Scenario::fleet(interval, 4_000),
+            &experiment::PAPER_MODEL_NAMES,
+        );
+        simulate_fleet(
+            &Policy::Split(Default::default()),
+            &trace.arrivals,
+            &fleet,
+            &placement,
+            &RouteCfg {
+                policy,
+                seed: 0xD15C,
+            },
+        )
+    })
+}
+
+#[test]
+fn cluster_run_is_bit_identical_across_thread_counts() {
+    for policy in RoutePolicy::all() {
+        let one = run(1, policy);
+        let four = run(4, policy);
+
+        assert_eq!(
+            one.digest(),
+            four.digest(),
+            "{}: cluster schedule digest differs between 1 and 4 workers",
+            policy.name()
+        );
+        for (a, b) in one.shards.iter().zip(&four.shards) {
+            assert_eq!(
+                (a.lane, a.digest),
+                (b.lane, b.digest),
+                "{}: shard digest differs on lane {}",
+                policy.name(),
+                a.lane
+            );
+        }
+        assert_eq!(
+            one.outcomes(),
+            four.outcomes(),
+            "{}: request outcomes differ",
+            policy.name()
+        );
+        assert_eq!(
+            one.route,
+            four.route,
+            "{}: route report differs",
+            policy.name()
+        );
+        assert_eq!(
+            simulated(one.merged_metrics().snapshot()),
+            simulated(four.merged_metrics().snapshot()),
+            "{}: merged telemetry registry differs",
+            policy.name()
+        );
+        assert_eq!(
+            one.merged_sketches(),
+            four.merged_sketches(),
+            "{}: merged latency sketches differ",
+            policy.name()
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_at_the_same_width_are_identical() {
+    // Same thread count twice: catches nondeterminism that happens to
+    // differ between widths only through e.g. allocator state.
+    let a = run(4, RoutePolicy::PowerOfTwoChoices);
+    let b = run(4, RoutePolicy::PowerOfTwoChoices);
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.route, b.route);
+}
